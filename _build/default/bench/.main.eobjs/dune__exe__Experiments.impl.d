@@ -1,0 +1,1 @@
+bench/experiments.ml: Arb_baselines Arb_dp Arb_lang Arb_mpc Arb_planner Arb_queries Arb_runtime Arb_util Array Float Hashtbl Int64 List Option Printexc Printf String Unix

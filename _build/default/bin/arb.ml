@@ -1,0 +1,219 @@
+(* arb — command-line front end for the Arboretum planner and runtime.
+
+   Subcommands:
+     arb plan   --query top1 --n 1000000000        plan and explain
+     arb run    --query top1 --devices 256         plan + execute at sim scale
+     arb certify --query median                    certification report
+     arb list                                      the built-in queries       *)
+
+open Cmdliner
+
+let query_arg =
+  let doc = "Built-in query name (see `arb list`)." in
+  Arg.(value & opt string "top1" & info [ "query"; "q" ] ~docv:"NAME" ~doc)
+
+let n_arg =
+  let doc = "Deployment size (number of participants) for planning." in
+  Arg.(value & opt int 1_000_000_000 & info [ "n" ] ~docv:"N" ~doc)
+
+let categories_arg =
+  let doc = "Override the category count (default: the paper's setting)." in
+  Arg.(value & opt (some int) None & info [ "categories"; "c" ] ~docv:"C" ~doc)
+
+let epsilon_arg =
+  let doc = "Per-mechanism epsilon." in
+  Arg.(value & opt float 0.1 & info [ "epsilon"; "e" ] ~docv:"EPS" ~doc)
+
+let devices_arg =
+  let doc = "Simulated device count for execution." in
+  Arg.(value & opt int 128 & info [ "devices"; "d" ] ~docv:"D" ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let goal_arg =
+  let goals =
+    [
+      ("part-exp-time", Arb_planner.Constraints.Min_part_exp_time);
+      ("part-max-time", Arb_planner.Constraints.Min_part_max_time);
+      ("part-exp-bytes", Arb_planner.Constraints.Min_part_exp_bytes);
+      ("part-max-bytes", Arb_planner.Constraints.Min_part_max_bytes);
+      ("agg-time", Arb_planner.Constraints.Min_agg_time);
+      ("agg-bytes", Arb_planner.Constraints.Min_agg_bytes);
+    ]
+  in
+  let doc = "Optimization goal: " ^ String.concat ", " (List.map fst goals) ^ "." in
+  Arg.(
+    value
+    & opt (enum goals) Arb_planner.Constraints.Min_part_exp_time
+    & info [ "goal" ] ~docv:"GOAL" ~doc)
+
+let verbose_arg =
+  let doc = "Log planner and runtime progress to stderr." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
+
+let build_query name categories epsilon =
+  try Ok (Arboretum.builtin_query ~epsilon ?categories name)
+  with Not_found -> Error (`Msg (Printf.sprintf "unknown query %S; try `arb list`" name))
+
+let json_arg =
+  let doc = "Emit the chosen plan and its cost metrics as JSON." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let plan_cmd =
+  let run verbose name n categories epsilon goal json =
+    setup_logs verbose;
+    match build_query name categories epsilon with
+    | Error (`Msg m) -> prerr_endline m; 1
+    | Ok q -> (
+        match Arboretum.plan ~goal ~n q with
+        | p ->
+            if json then
+              print_endline
+                (Arb_util.Json.to_string ~pretty:true
+                   (Arb_util.Json.Obj
+                      [
+                        ("plan", Arb_planner.Plan_io.plan_to_json p.Arboretum.plan);
+                        ("metrics", Arb_planner.Plan_io.metrics_to_json p.Arboretum.metrics);
+                      ]))
+            else print_string (Arboretum.explain p);
+            0
+        | exception Arboretum.Rejected m ->
+            Printf.eprintf "rejected: %s\n" m;
+            1)
+  in
+  let term =
+    Term.(
+      const run $ verbose_arg $ query_arg $ n_arg $ categories_arg $ epsilon_arg
+      $ goal_arg $ json_arg)
+  in
+  Cmd.v (Cmd.info "plan" ~doc:"Certify a query and print the chosen plan with its costs.") term
+
+let certify_cmd =
+  let run name n categories epsilon =
+    match build_query name categories epsilon with
+    | Error (`Msg m) -> prerr_endline m; 1
+    | Ok q ->
+        let r = Arboretum.certify q ~n in
+        if r.Arb_lang.Certify.certified then begin
+          Format.printf
+            "certified: privacy cost %a, sensitivity %.2f, %d mechanism call(s)@."
+            Arb_dp.Budget.pp r.Arb_lang.Certify.cost r.Arb_lang.Certify.sensitivity
+            r.Arb_lang.Certify.mechanism_calls;
+          0
+        end
+        else begin
+          Format.printf "rejected: %s@."
+            (Option.value r.Arb_lang.Certify.reason ~default:"?");
+          1
+        end
+  in
+  let term = Term.(const run $ query_arg $ n_arg $ categories_arg $ epsilon_arg) in
+  Cmd.v (Cmd.info "certify" ~doc:"Run differential-privacy certification only.") term
+
+let run_cmd =
+  let run verbose name devices epsilon seed =
+    setup_logs verbose;
+    (* Execution uses a small category count so the whole protocol fits in
+       one process with real ciphertexts. *)
+    let q =
+      try Arb_queries.Registry.test_instance ~epsilon name
+      with Not_found ->
+        prerr_endline ("unknown query " ^ name);
+        exit 1
+    in
+    let db = Arboretum.synthesize_database ~seed:(Int64.of_int seed) q ~n:devices in
+    match
+      let p =
+        Arboretum.plan ~limits:Arb_planner.Constraints.no_limits ~n:devices q
+      in
+      (p, Arboretum.run ~db p)
+    with
+    | _, report ->
+        Printf.printf "outputs: %s\n"
+          (String.concat "; " (Arboretum.outputs_to_strings report));
+        Printf.printf
+          "inputs accepted/rejected: %d/%d; certificate ok: %b; audit ok: %b\n"
+          report.Arb_runtime.Exec.accepted_inputs
+          report.Arb_runtime.Exec.rejected_inputs
+          report.Arb_runtime.Exec.certificate_ok report.Arb_runtime.Exec.audit_ok;
+        Format.printf "trace: %a@." Arb_runtime.Trace.pp report.Arb_runtime.Exec.trace;
+        0
+    | exception Arboretum.Rejected m ->
+        Printf.eprintf "rejected: %s\n" m;
+        1
+  in
+  let term =
+    Term.(const run $ verbose_arg $ query_arg $ devices_arg $ epsilon_arg $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Plan and execute a query end to end at simulation scale with real cryptography.")
+    term
+
+let verify_cmd =
+  let run verbose name devices epsilon seed =
+    setup_logs verbose;
+    let q =
+      try Arb_queries.Registry.test_instance ~epsilon name
+      with Not_found ->
+        prerr_endline ("unknown query " ^ name);
+        exit 1
+    in
+    let db = Arboretum.synthesize_database ~seed:(Int64.of_int seed) q ~n:devices in
+    match Arboretum.plan ~limits:Arb_planner.Constraints.no_limits ~n:devices q with
+    | exception Arboretum.Rejected m ->
+        Printf.eprintf "rejected: %s\n" m;
+        1
+    | planned ->
+        let budget_before = Arb_dp.Budget.create ~epsilon:1000.0 ~delta:0.01 in
+        let config = { Arb_runtime.Exec.default_config with budget = budget_before } in
+        let report = Arboretum.run ~config ~db planned in
+        Printf.printf "outputs: %s\n"
+          (String.concat "; " (Arboretum.outputs_to_strings report));
+        let findings =
+          Arb_runtime.Verify.verify_report ~query:q
+            ~plan:planned.Arboretum.plan ~budget_before ~n_devices:devices report
+        in
+        Format.printf "%a" Arb_runtime.Verify.pp_findings findings;
+        if Arb_runtime.Verify.all_ok findings then 0 else 1
+  in
+  let term =
+    Term.(const run $ verbose_arg $ query_arg $ devices_arg $ epsilon_arg $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Plan, execute and independently verify a run: certificate signatures, plan commitment, budget arithmetic, audits.")
+    term
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun name ->
+        let q = Arb_queries.Registry.paper_instance name in
+        Printf.printf "%-9s %-28s (C=%d, %s, %d lines)\n" name
+          q.Arb_queries.Registry.action q.Arb_queries.Registry.categories
+          (if q.Arb_queries.Registry.uses_em then "exponential mech."
+           else "Laplace mech.")
+          (Arb_lang.Ast.count_lines q.Arb_queries.Registry.program))
+      Arb_queries.Registry.names;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the built-in evaluation queries (Table 2).")
+    Term.(const run $ const ())
+
+let main =
+  let info =
+    Cmd.info "arb" ~version:"1.0.0"
+      ~doc:"Arboretum: a planner for large-scale federated analytics with differential privacy"
+  in
+  Cmd.group info [ plan_cmd; certify_cmd; run_cmd; verify_cmd; list_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/heavy_hitters.ml: Arb_dp Arb_lang Arb_planner Arb_runtime Arboretum Array Fun Printf String

@@ -1,0 +1,1 @@
+examples/heavy_hitters.mli:

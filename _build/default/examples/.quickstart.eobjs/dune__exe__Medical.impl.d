@@ -1,0 +1,1 @@
+examples/medical.ml: Arb_dp Arb_planner Arb_runtime Arb_util Arboretum Array Format Printf String

@@ -1,0 +1,1 @@
+examples/quantiles.ml: Arb_dp Arb_planner Arb_runtime Arb_util Arboretum Array List Printf String

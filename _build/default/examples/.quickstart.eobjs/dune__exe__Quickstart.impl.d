@@ -1,0 +1,1 @@
+examples/quickstart.ml: Arb_lang Arb_planner Arb_runtime Arboretum Array List Printf String

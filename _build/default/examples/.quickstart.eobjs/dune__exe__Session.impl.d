@@ -1,0 +1,1 @@
+examples/session.ml: Arb_dp Arb_lang Arb_runtime Arboretum Format List Printf String

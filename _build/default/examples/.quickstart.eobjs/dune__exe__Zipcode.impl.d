@@ -1,0 +1,1 @@
+examples/zipcode.ml: Arb_baselines Arb_planner Arb_util Arboretum Array Printf String

@@ -1,0 +1,1 @@
+lib/baselines/baselines.ml: Arb_planner List

@@ -1,0 +1,1 @@
+lib/baselines/baselines.mli: Arb_planner

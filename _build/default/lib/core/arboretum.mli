@@ -1,0 +1,89 @@
+(** Arboretum: a planner for large-scale federated analytics with
+    differential privacy (SOSP 2023) — public facade.
+
+    The typical flow mirrors Fig. 1 of the paper:
+
+    {[
+      let query = Arboretum.query_of_source ~name:"top1"
+          ~source:"aggr = sum(db); result = em(aggr); output(result);"
+          ~row:(Arboretum.one_hot 1024) ~epsilon:0.5 ()
+      in
+      (* Planning phase: certify, explore the plan space, pick the best. *)
+      let planned = Arboretum.plan ~n:1_000_000_000 query in
+      print_string (Arboretum.explain planned);
+      (* Execution phase, at simulation scale with real cryptography. *)
+      let db = Arboretum.synthesize_database query ~n:512 in
+      let report = Arboretum.run ~db planned in
+      List.iter print_endline (Arboretum.outputs_to_strings report)
+    ]}
+
+    Submodules of the underlying libraries remain available for advanced
+    use: [Arb_lang] (language), [Arb_planner] (planner internals),
+    [Arb_crypto] / [Arb_mpc] (substrates), [Arb_runtime] (execution),
+    [Arb_dp] (mechanisms and accounting), [Arb_baselines] (comparison
+    systems). *)
+
+type query = Arb_queries.Registry.query
+type planned = {
+  query : query;
+  plan : Arb_planner.Plan.t;
+  metrics : Arb_planner.Cost_model.metrics;
+  alternatives : (Arb_planner.Plan.t * Arb_planner.Cost_model.metrics) list;
+      (** ranked design-space sample the search kept (winner first) *)
+  stats : Arb_planner.Search.stats;
+  certification : Arb_lang.Certify.report;
+  planned_n : int;  (** the deployment size this plan was chosen for *)
+}
+
+exception Rejected of string
+(** Certification or planning failure, with the reason. *)
+
+val one_hot : int -> Arb_lang.Ast.row_shape
+val bounded : width:int -> lo:int -> hi:int -> Arb_lang.Ast.row_shape
+
+val query_of_source :
+  name:string ->
+  source:string ->
+  row:Arb_lang.Ast.row_shape ->
+  epsilon:float ->
+  unit ->
+  query
+(** Parse an analyst query. Raises {!Rejected} on syntax errors. *)
+
+val builtin_query : ?epsilon:float -> ?categories:int -> string -> query
+(** One of the ten evaluation queries (Table 2) by name; default categories
+    follow §7.1. *)
+
+val certify : query -> n:int -> Arb_lang.Certify.report
+(** Differential-privacy certification (§4.2); never raises. *)
+
+val plan :
+  ?goal:Arb_planner.Constraints.goal ->
+  ?limits:Arb_planner.Constraints.limits ->
+  n:int ->
+  query ->
+  planned
+(** Certify then search for the best plan (§4). Raises {!Rejected} when
+    certification fails or no plan satisfies the limits. *)
+
+val explain : planned -> string
+(** Human-readable plan: vignettes, placements, costs, committee sizing. *)
+
+val synthesize_database :
+  ?seed:int64 -> ?skew:float -> query -> n:int -> int array array
+(** A synthetic Zipf-skewed database matching the query's row shape. *)
+
+val run :
+  ?config:Arb_runtime.Exec.config ->
+  db:int array array ->
+  planned ->
+  Arb_runtime.Exec.report
+(** Execute the plan end to end over a concrete database (§5), with real
+    BGV/Shamir/ZKP machinery at simulation scale. *)
+
+val reference_outputs :
+  ?seed:int64 -> db:int array array -> query -> Arb_lang.Interp.value list
+(** The single-machine cleartext semantics (what the distributed run must
+    match in distribution). *)
+
+val outputs_to_strings : Arb_runtime.Exec.report -> string list

@@ -1,0 +1,1 @@
+lib/crypto/bgv.ml: Arb_util Array Buffer Char Field Float Hashtbl Int32 List Ntt Poly String

@@ -1,0 +1,1 @@
+lib/crypto/bgv.mli: Arb_util

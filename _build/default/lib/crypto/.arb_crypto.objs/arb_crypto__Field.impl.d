@@ -1,0 +1,1 @@
+lib/crypto/field.ml: Arb_util List

@@ -1,0 +1,1 @@
+lib/crypto/poly.ml: Arb_util Array Field Float

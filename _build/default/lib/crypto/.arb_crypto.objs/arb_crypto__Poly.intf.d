@@ -1,0 +1,1 @@
+lib/crypto/poly.mli: Arb_util Field

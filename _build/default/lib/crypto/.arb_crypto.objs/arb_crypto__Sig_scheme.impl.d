@@ -1,0 +1,1 @@
+lib/crypto/sig_scheme.ml: Array Buffer Char Printf Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/sortition.ml: Array Merkle Printf Sha256

@@ -1,0 +1,1 @@
+lib/crypto/sortition.mli: Sha256

@@ -1,0 +1,1 @@
+lib/crypto/vsr.ml: Arb_util Array Bytes Field List Printf Sha256 Shamir String

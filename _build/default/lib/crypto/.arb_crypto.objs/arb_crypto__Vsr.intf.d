@@ -1,0 +1,1 @@
+lib/crypto/vsr.mli: Arb_util Field Sha256 Shamir

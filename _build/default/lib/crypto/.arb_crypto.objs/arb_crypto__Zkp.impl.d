@@ -1,0 +1,1 @@
+lib/crypto/zkp.ml: Array Float Printf Sha256 String

@@ -1,0 +1,588 @@
+type params = {
+  n : int;
+  q_primes : int list;
+  t : int;
+  sigma : float;
+}
+
+(* NTT-friendly primes: 119*2^23+1 and 45*2^24+1. *)
+let prime_a = 998244353
+let prime_b = 754974721
+
+let find_plaintext_modulus ~n ~min_t =
+  let step = 2 * n in
+  let rec go t = if t >= min_t && Field.is_prime t then t else go (t + step) in
+  go (step + 1)
+
+let validate p =
+  if p.n <= 0 || p.n land (p.n - 1) <> 0 then
+    invalid_arg "Bgv: n must be a power of two";
+  List.iter
+    (fun q ->
+      if not (Field.is_prime q) then invalid_arg "Bgv: q prime expected";
+      if (q - 1) mod (2 * p.n) <> 0 then invalid_arg "Bgv: q not NTT-friendly")
+    p.q_primes;
+  if p.q_primes = [] || List.length p.q_primes > 2 then
+    invalid_arg "Bgv: 1 or 2 ciphertext primes supported";
+  if not (Field.is_prime p.t) then invalid_arg "Bgv: t must be prime";
+  if (p.t - 1) mod (2 * p.n) <> 0 then
+    invalid_arg "Bgv: t must be 1 mod 2n for slot packing";
+  if p.sigma <= 0.0 then invalid_arg "Bgv: sigma must be positive"
+
+let ahe_params ?(n = 2048) ?(min_t = 12289) () =
+  let p =
+    { n; q_primes = [ prime_a ]; t = find_plaintext_modulus ~n ~min_t; sigma = 3.2 }
+  in
+  validate p;
+  p
+
+let fhe_params ?(n = 2048) ?(min_t = 12289) () =
+  let p =
+    {
+      n;
+      q_primes = [ prime_a; prime_b ];
+      t = find_plaintext_modulus ~n ~min_t;
+      sigma = 3.2;
+    }
+  in
+  validate p;
+  p
+
+(* Cached per-params machinery: fields, NTT plans, CRT constants. *)
+type ctx = {
+  params : params;
+  fields : Field.t array;
+  plans : Ntt.plan array;
+  pt_field : Field.t;
+  pt_plan : Ntt.plan;
+  q_total : int; (* product of primes; fits: both primes < 2^30.9 *)
+  crt_inv : int; (* q1^-1 mod q2 when two primes *)
+  log2_q : float;
+}
+
+let ctx_cache : (params, ctx) Hashtbl.t = Hashtbl.create 8
+
+let ctx_of params =
+  match Hashtbl.find_opt ctx_cache params with
+  | Some c -> c
+  | None ->
+      validate params;
+      let primes = Array.of_list params.q_primes in
+      let fields = Array.map Field.create_unchecked primes in
+      let plans = Array.map (fun q -> Ntt.plan ~n:params.n ~p:q) primes in
+      let pt_field = Field.create_unchecked params.t in
+      let pt_plan = Ntt.plan ~n:params.n ~p:params.t in
+      let q_total = Array.fold_left ( * ) 1 primes in
+      let crt_inv =
+        if Array.length primes = 2 then Field.inv fields.(1) (primes.(0) mod primes.(1))
+        else 0
+      in
+      let log2_q = Array.fold_left (fun a q -> a +. Float.log2 (float_of_int q)) 0.0 primes in
+      let c = { params; fields; plans; pt_field; pt_plan; q_total; crt_inv; log2_q } in
+      Hashtbl.replace ctx_cache params c;
+      c
+
+(* An element of R_q in RNS form: one coefficient array per prime. *)
+type rq = int array array
+
+type secret_key = { sk_ctx : ctx; s : rq }
+type public_key = { pk_ctx : ctx; pk_a : rq; pk_b : rq }
+type relin_key = { rk_ctx : ctx; rk : (rq * rq) array (* per digit: (b, a) *) }
+
+type ciphertext = {
+  ct_ctx : ctx;
+  cs : rq array; (* c0, c1 [, c2] *)
+  noise_bits : float; (* log2 estimate of |m + t*e - m| = |t*e| *)
+}
+
+let params_of_ct ct = ct.ct_ctx.params
+let ciphertext_degree ct = Array.length ct.cs - 1
+let slot_count p = p.n
+
+let ciphertext_bytes p degree =
+  (degree + 1) * List.length p.q_primes * p.n * 4
+
+let public_key_bytes p = 2 * List.length p.q_primes * p.n * 4
+
+let noise_budget_bits ct = ct.ct_ctx.log2_q -. 1.0 -. ct.noise_bits
+
+(* --- small-integer polynomials, reduced consistently into every prime --- *)
+
+let reduce_small ctx (small : int array) : rq =
+  Array.map (fun fld -> Array.map (Field.of_int fld) small) ctx.fields
+
+let sample_ternary ctx rng =
+  Array.init ctx.params.n (fun _ -> Arb_util.Rng.int rng 3 - 1)
+
+let sample_error ctx rng =
+  Array.init ctx.params.n (fun _ ->
+      int_of_float (Float.round (Arb_util.Rng.gaussian rng ~sigma:ctx.params.sigma)))
+
+let rq_map2 ctx f (a : rq) (b : rq) : rq =
+  Array.init (Array.length ctx.fields) (fun j ->
+      let fld = ctx.fields.(j) in
+      Array.init ctx.params.n (fun i -> f fld a.(j).(i) b.(j).(i)))
+
+let rq_add ctx = rq_map2 ctx Field.add
+let rq_sub ctx = rq_map2 ctx Field.sub
+let rq_neg ctx (a : rq) : rq =
+  Array.mapi (fun j aj -> Poly.neg ctx.fields.(j) aj) a
+
+let rq_mul ctx (a : rq) (b : rq) : rq =
+  Array.init (Array.length ctx.fields) (fun j -> Ntt.multiply ctx.plans.(j) a.(j) b.(j))
+
+let rq_scale_int ctx k (a : rq) : rq =
+  Array.mapi (fun j aj -> Poly.scale ctx.fields.(j) k aj) a
+
+let rq_uniform ctx rng : rq =
+  Array.map (fun fld -> Poly.random_uniform fld rng ctx.params.n) ctx.fields
+
+let rq_zero ctx : rq =
+  Array.map (fun _ -> Array.make ctx.params.n 0) ctx.fields
+
+(* --- plaintext slot encoding: NTT over Z_t --- *)
+
+let encode ctx (slots : int array) : int array =
+  if Array.length slots > ctx.params.n then invalid_arg "Bgv.encode: too many slots";
+  let v =
+    Array.init ctx.params.n (fun i ->
+        if i < Array.length slots then Field.of_int ctx.pt_field slots.(i) else 0)
+  in
+  Ntt.inverse ctx.pt_plan v;
+  v
+
+let decode ctx (coeffs : int array) : int array =
+  let v = Array.copy coeffs in
+  Ntt.forward ctx.pt_plan v;
+  v
+
+(* --- noise bookkeeping (log2 of the |t*e| deviation) --- *)
+
+let log2f x = Float.log2 (max x 1.0)
+
+let fresh_noise_bits ctx =
+  let n = float_of_int ctx.params.n and t = float_of_int ctx.params.t in
+  (* e1 + e2*s - e*u: two small-by-small products, probabilistic bound. *)
+  log2f (t *. ctx.params.sigma *. ((2.0 *. sqrt n) +. 3.0)) +. 1.0
+
+(* --- key generation --- *)
+
+let keygen params rng =
+  let ctx = ctx_of params in
+  let s_small = sample_ternary ctx rng in
+  let s = reduce_small ctx s_small in
+  let e = reduce_small ctx (sample_error ctx rng) in
+  let a = rq_uniform ctx rng in
+  (* b = -(a*s) - t*e *)
+  let b = rq_sub ctx (rq_neg ctx (rq_mul ctx a s)) (rq_scale_int ctx params.t e) in
+  ({ sk_ctx = ctx; s }, { pk_ctx = ctx; pk_a = a; pk_b = b })
+
+let encrypt pk rng slots =
+  let ctx = pk.pk_ctx in
+  let m = reduce_small ctx (encode ctx slots) in
+  let u = reduce_small ctx (sample_ternary ctx rng) in
+  let e1 = reduce_small ctx (sample_error ctx rng) in
+  let e2 = reduce_small ctx (sample_error ctx rng) in
+  let t = ctx.params.t in
+  let c0 =
+    rq_add ctx (rq_add ctx (rq_mul ctx pk.pk_b u) (rq_scale_int ctx t e1)) m
+  in
+  let c1 = rq_add ctx (rq_mul ctx pk.pk_a u) (rq_scale_int ctx t e2) in
+  { ct_ctx = ctx; cs = [| c0; c1 |]; noise_bits = fresh_noise_bits ctx }
+
+let encrypt_with_sk sk rng slots =
+  let ctx = sk.sk_ctx in
+  let m = reduce_small ctx (encode ctx slots) in
+  let e = reduce_small ctx (sample_error ctx rng) in
+  let a = rq_uniform ctx rng in
+  let t = ctx.params.t in
+  (* c0 = -(a*s) - t*e + m ; c1 = a  -> c0 + c1*s = m - t*e *)
+  let c0 =
+    rq_add ctx
+      (rq_sub ctx (rq_neg ctx (rq_mul ctx a sk.s)) (rq_scale_int ctx t e))
+      m
+  in
+  {
+    ct_ctx = ctx;
+    cs = [| c0; a |];
+    noise_bits = log2f (float_of_int t *. ctx.params.sigma *. 3.0) +. 1.0;
+  }
+
+(* --- CRT lift of a full RNS value to a centered integer, then mod t --- *)
+
+let lift_centered_mod_t ctx (residues : int array) : int =
+  let q = ctx.q_total in
+  let x =
+    match Array.length ctx.fields with
+    | 1 -> residues.(0)
+    | 2 ->
+        let q1 = (ctx.fields.(0)).Field.p in
+        let f2 = ctx.fields.(1) in
+        let d = Field.sub f2 residues.(1) (residues.(0) mod f2.Field.p) in
+        residues.(0) + (q1 * Field.mul f2 d ctx.crt_inv)
+    | _ -> assert false
+  in
+  let centered = if x > q / 2 then x - q else x in
+  let t = ctx.params.t in
+  ((centered mod t) + t) mod t
+
+let decrypt sk ct =
+  let ctx = sk.sk_ctx in
+  let nprimes = Array.length ctx.fields in
+  (* phase = c0 + c1*s + c2*s^2, per prime *)
+  let phase =
+    Array.init nprimes (fun j ->
+        let fld = ctx.fields.(j) and plan = ctx.plans.(j) in
+        let acc = ref (Array.copy ct.cs.(0).(j)) in
+        let spow = ref (Array.copy sk.s.(j)) in
+        for d = 1 to Array.length ct.cs - 1 do
+          let term = Ntt.multiply plan ct.cs.(d).(j) !spow in
+          acc := Poly.add fld !acc term;
+          if d < Array.length ct.cs - 1 then
+            spow := Ntt.multiply plan !spow sk.s.(j)
+        done;
+        !acc)
+  in
+  let coeffs =
+    Array.init ctx.params.n (fun i ->
+        lift_centered_mod_t ctx (Array.init nprimes (fun j -> phase.(j).(i))))
+  in
+  decode ctx coeffs
+
+(* --- homomorphic operations --- *)
+
+let check_same a b =
+  if a.ct_ctx != b.ct_ctx then invalid_arg "Bgv: mismatched parameters"
+
+(* Noise of a sum is the sum of noises: combine the log2 estimates with a
+   log-sum-exp so that long chains of additions are tracked accurately. *)
+let add_noise_bits a b =
+  let ln2 = Float.log 2.0 in
+  Arb_util.Stats.log_sum_exp (a *. ln2) (b *. ln2) /. ln2
+
+let add a b =
+  check_same a b;
+  let ctx = a.ct_ctx in
+  let deg = max (Array.length a.cs) (Array.length b.cs) in
+  let get ct i = if i < Array.length ct.cs then ct.cs.(i) else rq_zero ctx in
+  {
+    ct_ctx = ctx;
+    cs = Array.init deg (fun i -> rq_add ctx (get a i) (get b i));
+    noise_bits = add_noise_bits a.noise_bits b.noise_bits;
+  }
+
+let sub a b =
+  check_same a b;
+  let ctx = a.ct_ctx in
+  let deg = max (Array.length a.cs) (Array.length b.cs) in
+  let get ct i = if i < Array.length ct.cs then ct.cs.(i) else rq_zero ctx in
+  {
+    ct_ctx = ctx;
+    cs = Array.init deg (fun i -> rq_sub ctx (get a i) (get b i));
+    noise_bits = add_noise_bits a.noise_bits b.noise_bits;
+  }
+
+let add_plain ct slots =
+  let ctx = ct.ct_ctx in
+  let m = reduce_small ctx (encode ctx slots) in
+  let cs = Array.copy ct.cs in
+  cs.(0) <- rq_add ctx cs.(0) m;
+  { ct with cs }
+
+let mul_plain ct slots =
+  let ctx = ct.ct_ctx in
+  let m = reduce_small ctx (encode ctx slots) in
+  let t = float_of_int ctx.params.t and n = float_of_int ctx.params.n in
+  {
+    ct_ctx = ctx;
+    cs = Array.map (fun c -> rq_mul ctx c m) ct.cs;
+    noise_bits = ct.noise_bits +. log2f t +. (0.5 *. log2f n) +. 1.0;
+  }
+
+let mul a b =
+  check_same a b;
+  if ciphertext_degree a <> 1 || ciphertext_degree b <> 1 then
+    invalid_arg "Bgv.mul: inputs must be degree-1 ciphertexts";
+  let ctx = a.ct_ctx in
+  let c0 = rq_mul ctx a.cs.(0) b.cs.(0) in
+  let c1 = rq_add ctx (rq_mul ctx a.cs.(0) b.cs.(1)) (rq_mul ctx a.cs.(1) b.cs.(0)) in
+  let c2 = rq_mul ctx a.cs.(1) b.cs.(1) in
+  let t = log2f (float_of_int ctx.params.t) in
+  let half_n = 0.5 *. log2f (float_of_int ctx.params.n) in
+  let nb =
+    List.fold_left max neg_infinity
+      [
+        a.noise_bits +. b.noise_bits +. half_n -. t;
+        a.noise_bits +. t +. half_n;
+        b.noise_bits +. t +. half_n;
+      ]
+    +. 2.0
+  in
+  { ct_ctx = ctx; cs = [| c0; c1; c2 |]; noise_bits = nb }
+
+(* --- relinearization: RNS-gadget key switching --- *)
+
+let relin_keygen params rng sk =
+  let ctx = ctx_of params in
+  let nprimes = Array.length ctx.fields in
+  let s2 = rq_mul ctx sk.s sk.s in
+  let rk =
+    Array.init nprimes (fun j ->
+        let a = rq_uniform ctx rng in
+        let e = reduce_small ctx (sample_error ctx rng) in
+        (* b = -(a*s) - t*e + qtilde_j * s^2, where qtilde_j is the CRT basis
+           element: 1 mod q_j, 0 mod the others. In RNS that means adding
+           s^2's residue only at prime j. *)
+        let base = rq_sub ctx (rq_neg ctx (rq_mul ctx a sk.s)) (rq_scale_int ctx params.t e) in
+        let b =
+          Array.init nprimes (fun k ->
+              if k = j then Poly.add ctx.fields.(k) base.(k) s2.(k)
+              else Array.copy base.(k))
+        in
+        (b, a))
+  in
+  { rk_ctx = ctx; rk }
+
+let relinearize rk ct =
+  if ciphertext_degree ct <> 2 then invalid_arg "Bgv.relinearize: degree-2 expected";
+  let ctx = ct.ct_ctx in
+  if rk.rk_ctx != ctx then invalid_arg "Bgv.relinearize: mismatched parameters";
+  let nprimes = Array.length ctx.fields in
+  let c0 = ref ct.cs.(0) and c1 = ref ct.cs.(1) in
+  for j = 0 to nprimes - 1 do
+    (* digit j: the residue of c2 at prime j, promoted into every prime. *)
+    let digit : rq =
+      Array.init nprimes (fun k ->
+          Array.map (fun c -> Field.of_int ctx.fields.(k) c) ct.cs.(2).(j))
+    in
+    let b, a = rk.rk.(j) in
+    c0 := rq_add ctx !c0 (rq_mul ctx digit b);
+    c1 := rq_add ctx !c1 (rq_mul ctx digit a)
+  done;
+  let relin_noise =
+    (* sum over digits of (digit * t * e): digit coeffs < q_j ~ 2^30. *)
+    30.0 +. log2f (float_of_int ctx.params.t)
+    +. log2f (ctx.params.sigma *. float_of_int ctx.params.n)
+    +. log2f (float_of_int nprimes)
+  in
+  {
+    ct_ctx = ctx;
+    cs = [| !c0; !c1 |];
+    noise_bits = add_noise_bits ct.noise_bits relin_noise;
+  }
+
+(* --- threshold decryption --- *)
+
+let share_secret_key params rng sk ~parties =
+  let ctx = ctx_of params in
+  if parties < 1 then invalid_arg "Bgv.share_secret_key";
+  let shares =
+    Array.init (parties - 1) (fun _ -> rq_uniform ctx rng)
+  in
+  let sum =
+    Array.fold_left (fun acc sh -> rq_add ctx acc sh) (rq_zero ctx) shares
+  in
+  let last = rq_sub ctx sk.s sum in
+  Array.append shares [| last |]
+  |> Array.map (fun s -> { sk_ctx = ctx; s })
+
+let partial_decrypt params rng share ct =
+  let ctx = ctx_of params in
+  if ciphertext_degree ct <> 1 then
+    invalid_arg "Bgv.partial_decrypt: degree-1 ciphertext required";
+  (* d_i = c1 * s_i + t * e_smudge, per prime, CRT-consistent noise. *)
+  let smudge = reduce_small ctx (sample_error ctx rng) in
+  let d = rq_add ctx (rq_mul ctx ct.cs.(1) share.s) (rq_scale_int ctx params.t smudge) in
+  Array.to_list d
+
+let combine_partials params ct partials =
+  let ctx = ctx_of params in
+  let nprimes = Array.length ctx.fields in
+  let acc = Array.init nprimes (fun j -> Array.copy ct.cs.(0).(j)) in
+  List.iter
+    (fun partial ->
+      List.iteri
+        (fun j dj -> acc.(j) <- Poly.add ctx.fields.(j) acc.(j) dj)
+        partial)
+    partials;
+  let coeffs =
+    Array.init ctx.params.n (fun i ->
+        lift_centered_mod_t ctx (Array.init nprimes (fun j -> acc.(j).(i))))
+  in
+  decode ctx coeffs
+
+(* --- Galois automorphisms and slot rotations --- *)
+
+(* a(x) -> a(x^k) in Z_p[x]/(x^n+1): coefficient i lands at i*k mod 2n,
+   negated when the exponent wraps past n. *)
+let galois_poly fld n k (a : int array) =
+  let out = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let e = i * k mod (2 * n) in
+    if e < n then out.(e) <- Field.add fld out.(e) a.(i)
+    else out.(e - n) <- Field.sub fld out.(e - n) a.(i)
+  done;
+  out
+
+let rq_galois ctx k (a : rq) : rq =
+  Array.mapi (fun j aj -> galois_poly ctx.fields.(j) ctx.params.n k aj) a
+
+(* The generator of the slot-rotation subgroup for power-of-two
+   cyclotomics. *)
+let rotation_generator _params = 3
+
+type galois_key = { gk_ctx : ctx; gk_k : int; gk : (rq * rq) array }
+
+let galois_keygen params rng sk ~k =
+  if k land 1 = 0 then invalid_arg "Bgv.galois_keygen: k must be odd";
+  let ctx = ctx_of params in
+  let sk_gal = rq_galois ctx k sk.s in
+  let nprimes = Array.length ctx.fields in
+  let gk =
+    Array.init nprimes (fun j ->
+        let a = rq_uniform ctx rng in
+        let e = reduce_small ctx (sample_error ctx rng) in
+        (* b = -(a*s) - t*e + qtilde_j * s(x^k) (cf. relin_keygen). *)
+        let base =
+          rq_sub ctx (rq_neg ctx (rq_mul ctx a sk.s)) (rq_scale_int ctx params.t e)
+        in
+        let b =
+          Array.init nprimes (fun l ->
+              if l = j then Poly.add ctx.fields.(l) base.(l) sk_gal.(l)
+              else Array.copy base.(l))
+        in
+        (b, a))
+  in
+  { gk_ctx = ctx; gk_k = k; gk }
+
+let apply_galois gkey ct =
+  let ctx = ct.ct_ctx in
+  if gkey.gk_ctx != ctx then invalid_arg "Bgv.apply_galois: mismatched parameters";
+  if ciphertext_degree ct <> 1 then
+    invalid_arg "Bgv.apply_galois: degree-1 ciphertext required";
+  let k = gkey.gk_k in
+  let c0g = rq_galois ctx k ct.cs.(0) in
+  let c1g = rq_galois ctx k ct.cs.(1) in
+  (* Key-switch c1g from s(x^k) back to s with the RNS gadget. *)
+  let nprimes = Array.length ctx.fields in
+  let c0 = ref c0g and c1 = ref (rq_zero ctx) in
+  for j = 0 to nprimes - 1 do
+    let digit : rq =
+      Array.init nprimes (fun l ->
+          Array.map (fun c -> Field.of_int ctx.fields.(l) c) c1g.(j))
+    in
+    let b, a = gkey.gk.(j) in
+    c0 := rq_add ctx !c0 (rq_mul ctx digit b);
+    c1 := rq_add ctx !c1 (rq_mul ctx digit a)
+  done;
+  let switch_noise =
+    30.0 +. log2f (float_of_int ctx.params.t)
+    +. log2f (ctx.params.sigma *. float_of_int ctx.params.n)
+    +. log2f (float_of_int nprimes)
+  in
+  {
+    ct_ctx = ctx;
+    cs = [| !c0; !c1 |];
+    noise_bits = add_noise_bits ct.noise_bits switch_noise;
+  }
+
+(* The slot permutation a Galois map induces, derived empirically from the
+   plaintext encoding (cached per (params, k)). slot i of the input appears
+   at position perm.(i) of the output. *)
+let slot_perm_cache : (params * int, int array) Hashtbl.t = Hashtbl.create 8
+
+let slot_rotation_of_galois params ~k =
+  match Hashtbl.find_opt slot_perm_cache (params, k) with
+  | Some p -> p
+  | None ->
+      let ctx = ctx_of params in
+      let n = params.n in
+      let perm = Array.make n (-1) in
+      (* sigma_k on an encoded basis vector moves exactly one slot; track
+         all n at once by encoding slot i with value i+1. *)
+      let slots = Array.init n (fun i -> (i + 1) mod params.t) in
+      let m = encode ctx slots in
+      let m' = galois_poly ctx.pt_field n k m in
+      let slots' = decode ctx m' in
+      Array.iteri
+        (fun pos v ->
+          let v = ((v mod params.t) + params.t) mod params.t in
+          if v >= 1 && v <= n then perm.(v - 1) <- pos)
+        slots';
+      Hashtbl.replace slot_perm_cache (params, k) perm;
+      perm
+
+(* --- serialization --- *)
+
+(* Wire format: [degree:u8][n:u32][primes:u8][t:u32] then, per component
+   polynomial and per RNS prime, n little-endian u32 coefficients. The
+   size matches [ciphertext_bytes] up to the 14-byte header. *)
+
+let header_bytes = 14
+
+let serialize_ciphertext ct =
+  let ctx = ct.ct_ctx in
+  let n = ctx.params.n in
+  let nprimes = Array.length ctx.fields in
+  let degree = ciphertext_degree ct in
+  let buf = Buffer.create (header_bytes + ((degree + 1) * nprimes * n * 4)) in
+  Buffer.add_uint8 buf degree;
+  Buffer.add_int32_le buf (Int32.of_int n);
+  Buffer.add_uint8 buf nprimes;
+  Buffer.add_int32_le buf (Int32.of_int ctx.params.t);
+  (* Noise estimate travels too (it is bookkeeping, not secret). *)
+  let noise_q = int_of_float (ct.noise_bits *. 256.0) in
+  Buffer.add_int32_le buf (Int32.of_int noise_q);
+  Array.iter
+    (fun (comp : rq) ->
+      Array.iter
+        (fun poly -> Array.iter (fun c -> Buffer.add_int32_le buf (Int32.of_int c)) poly)
+        comp)
+    ct.cs;
+  Buffer.contents buf
+
+let deserialize_ciphertext params s =
+  let ctx = ctx_of params in
+  let pos = ref 0 in
+  let u8 () =
+    let v = Char.code s.[!pos] in
+    incr pos;
+    v
+  in
+  let u32 () =
+    let v = Int32.to_int (String.get_int32_le s !pos) in
+    pos := !pos + 4;
+    v
+  in
+  (try
+     let degree = u8 () in
+     let n = u32 () in
+     let nprimes = u8 () in
+     let t = u32 () in
+     if n <> params.n || nprimes <> Array.length ctx.fields || t <> params.t then
+       invalid_arg "Bgv.deserialize_ciphertext: parameter mismatch";
+     let noise_q = u32 () in
+     let expected = header_bytes + ((degree + 1) * nprimes * n * 4) in
+     if String.length s <> expected then
+       invalid_arg "Bgv.deserialize_ciphertext: truncated";
+     let cs =
+       Array.init (degree + 1) (fun _ ->
+           Array.init nprimes (fun _ -> Array.init n (fun _ -> u32 ())))
+     in
+     (* Canonicality: every coefficient reduced mod its prime. *)
+     Array.iter
+       (fun comp ->
+         Array.iteri
+           (fun j poly ->
+             Array.iter
+               (fun c ->
+                 if c < 0 || c >= ctx.fields.(j).Field.p then
+                   invalid_arg "Bgv.deserialize_ciphertext: non-canonical coefficient")
+               poly)
+           comp)
+       cs;
+     { ct_ctx = ctx; cs; noise_bits = float_of_int noise_q /. 256.0 }
+   with Invalid_argument m when m = "index out of bounds" ->
+     invalid_arg "Bgv.deserialize_ciphertext: truncated")
+
+let serialized_bytes params degree = header_bytes + ciphertext_bytes params degree

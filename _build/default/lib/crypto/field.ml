@@ -1,0 +1,115 @@
+type t = { p : int }
+
+let mulmod p a b = a * b mod p
+(* Safe because p < 2^31 keeps a*b < 2^62 < max_int. *)
+
+let powmod p x e =
+  let rec go acc base e =
+    if e = 0 then acc
+    else
+      let acc = if e land 1 = 1 then mulmod p acc base else acc in
+      go acc (mulmod p base base) (e lsr 1)
+  in
+  go 1 (x mod p) e
+
+(* Deterministic Miller–Rabin with the first nine primes as witnesses is
+   exact below 3.3e24, far above our 2^31 bound. *)
+let is_prime n =
+  if n < 2 then false
+  else if n < 4 then true
+  else if n mod 2 = 0 then false
+  else
+    let d = ref (n - 1) and r = ref 0 in
+    while !d mod 2 = 0 do
+      d := !d / 2;
+      incr r
+    done;
+    let witness a =
+      let a = a mod n in
+      if a = 0 then true
+      else
+        let x = ref (powmod n a !d) in
+        if !x = 1 || !x = n - 1 then true
+        else
+          let ok = ref false in
+          let i = ref 1 in
+          while (not !ok) && !i < !r do
+            x := mulmod n !x !x;
+            if !x = n - 1 then ok := true;
+            incr i
+          done;
+          !ok
+    in
+    List.for_all witness [ 2; 3; 5; 7; 11; 13; 17; 19; 23 ]
+
+let create p =
+  if p < 2 || p >= 1 lsl 31 then invalid_arg "Field.create: modulus out of range";
+  if not (is_prime p) then invalid_arg "Field.create: modulus not prime";
+  { p }
+
+let create_unchecked p = { p }
+
+let add f a b =
+  let s = a + b in
+  if s >= f.p then s - f.p else s
+
+let sub f a b =
+  let d = a - b in
+  if d < 0 then d + f.p else d
+
+let neg f a = if a = 0 then 0 else f.p - a
+let mul f a b = mulmod f.p a b
+let pow f x e =
+  if e < 0 then invalid_arg "Field.pow: negative exponent";
+  powmod f.p x e
+
+let inv f a =
+  if a mod f.p = 0 then raise Division_by_zero;
+  (* Fermat: a^(p-2). *)
+  powmod f.p a (f.p - 2)
+
+let div f a b = mul f a (inv f b)
+
+let of_int f x =
+  let r = x mod f.p in
+  if r < 0 then r + f.p else r
+
+let center f x =
+  let x = of_int f x in
+  if x > f.p / 2 then x - f.p else x
+
+let root_of_unity f ~order =
+  if order <= 0 || (f.p - 1) mod order <> 0 then raise Not_found;
+  let cofactor = (f.p - 1) / order in
+  (* Search small candidates for a generator of the order-subgroup. *)
+  let rec go g =
+    if g >= f.p then raise Not_found
+    else
+      let w = powmod f.p g cofactor in
+      (* w has order dividing [order]; primitive iff w^(order/q) <> 1 for
+         every prime q | order. Since our orders are powers of two times a
+         small cofactor, it is enough to check w^(order/2) <> 1 when order
+         is even, plus w <> 1. *)
+      let primitive =
+        w <> 1 && (order mod 2 <> 0 || powmod f.p w (order / 2) <> 1)
+      in
+      if primitive && order mod 2 = 0 then go_check_full w g
+      else if primitive then w
+      else go (g + 1)
+  and go_check_full w g =
+    (* Full check for non-power-of-two orders: verify for each prime
+       factor. Orders here are always 2^k, so the even check suffices,
+       but we keep a complete factor check for safety. *)
+    let rec factors n acc d =
+      if n = 1 then acc
+      else if d * d > n then n :: acc
+      else if n mod d = 0 then factors (n / d) (d :: acc) (d)
+      else factors n acc (d + 1)
+    in
+    let primes = List.sort_uniq compare (factors order [] 2) in
+    if List.for_all (fun q -> powmod f.p w (order / q) <> 1) primes then w
+    else go (g + 1)
+  in
+  go 2
+
+let random f rng = Arb_util.Rng.int rng f.p

@@ -1,0 +1,43 @@
+(** Prime-field arithmetic on native ints.
+
+    All moduli in this repository are primes below 2^31 so that products of
+    two reduced elements fit exactly in OCaml's 63-bit native ints — the
+    trick that lets us do RLWE and Shamir arithmetic without a bignum
+    library (see DESIGN.md §1). Elements are plain ints in \[0, p). *)
+
+type t = { p : int }
+(** A field description. *)
+
+val create : int -> t
+(** [create p] checks [2 <= p < 2^31] and that [p] is prime
+    (deterministic Miller–Rabin). *)
+
+val create_unchecked : int -> t
+(** Skip the primality check (for hot paths constructing known fields). *)
+
+val add : t -> int -> int -> int
+val sub : t -> int -> int -> int
+val neg : t -> int -> int
+val mul : t -> int -> int -> int
+val pow : t -> int -> int -> int
+(** [pow f x e] with [e >= 0]. *)
+
+val inv : t -> int -> int
+(** Multiplicative inverse; raises [Division_by_zero] on 0. *)
+
+val div : t -> int -> int -> int
+val of_int : t -> int -> int
+(** Canonical representative of any int (handles negatives). *)
+
+val center : t -> int -> int
+(** Centered representative in \[-(p-1)/2, p/2\]. *)
+
+val is_prime : int -> bool
+(** Deterministic Miller–Rabin, valid for all inputs below 3.3e24. *)
+
+val root_of_unity : t -> order:int -> int
+(** A primitive [order]-th root of unity; requires [order] divides [p-1].
+    Raises [Not_found] if none exists. *)
+
+val random : t -> Arb_util.Rng.t -> int
+(** Uniform field element. *)

@@ -1,0 +1,29 @@
+(** Merkle hash trees with inclusion proofs.
+
+    Two uses in Arboretum: the registered-device tree included in the query
+    authorization certificate (§5.2), and the audit tree the aggregator must
+    build over its intermediate computation steps so participant devices can
+    spot-check them (§5.3). Leaves are domain-separated from internal nodes
+    (0x00/0x01 prefixes) to prevent second-preimage splicing. *)
+
+type t
+(** An immutable tree over a fixed leaf sequence. *)
+
+type proof = { index : int; path : Sha256.digest list }
+(** Sibling path from a leaf to the root, bottom-up. *)
+
+val build : string array -> t
+(** Build over raw leaf payloads. Raises [Invalid_argument] on empty input. *)
+
+val root : t -> Sha256.digest
+val size : t -> int
+(** Number of leaves. *)
+
+val leaf_hash : string -> Sha256.digest
+(** Domain-separated hash of a leaf payload. *)
+
+val prove : t -> int -> proof
+(** Inclusion proof for leaf [i]. Raises [Invalid_argument] out of range. *)
+
+val verify : root:Sha256.digest -> leaf:string -> proof -> bool
+(** Check a payload against a root via a proof. *)

@@ -1,0 +1,106 @@
+type plan = {
+  n : int;
+  p : int;
+  psi_rev : int array; (* powers of psi in bit-reversed order *)
+  ipsi_rev : int array; (* powers of psi^-1 in bit-reversed order *)
+  n_inv : int;
+}
+
+let bit_reverse bits x =
+  let r = ref 0 in
+  for i = 0 to bits - 1 do
+    if x land (1 lsl i) <> 0 then r := !r lor (1 lsl (bits - 1 - i))
+  done;
+  !r
+
+let plan ~n ~p =
+  if n <= 0 || n land (n - 1) <> 0 then invalid_arg "Ntt.plan: n not a power of two";
+  let f = Field.create p in
+  if (p - 1) mod (2 * n) <> 0 then invalid_arg "Ntt.plan: 2n does not divide p-1";
+  let psi = Field.root_of_unity f ~order:(2 * n) in
+  let ipsi = Field.inv f psi in
+  let bits =
+    let rec go b v = if v = 1 then b else go (b + 1) (v lsr 1) in
+    go 0 n
+  in
+  let powers root =
+    let a = Array.make n 1 in
+    for i = 1 to n - 1 do
+      a.(i) <- Field.mul f a.(i - 1) root
+    done;
+    Array.init n (fun i -> a.(bit_reverse bits i))
+  in
+  {
+    n;
+    p;
+    psi_rev = powers psi;
+    ipsi_rev = powers ipsi;
+    n_inv = Field.inv f n;
+  }
+
+let n t = t.n
+let p t = t.p
+
+(* Forward: Cooley–Tukey decimation-in-time with merged psi twisting. *)
+let forward t a =
+  if Array.length a <> t.n then invalid_arg "Ntt.forward: wrong length";
+  let p = t.p in
+  let m = ref 1 and len = ref (t.n / 2) in
+  while !len >= 1 do
+    let m' = !m and l = !len in
+    for i = 0 to m' - 1 do
+      let w = t.psi_rev.(m' + i) in
+      let j0 = 2 * i * l in
+      for j = j0 to j0 + l - 1 do
+        let u = a.(j) in
+        let v = a.(j + l) * w mod p in
+        let s = u + v in
+        a.(j) <- (if s >= p then s - p else s);
+        let d = u - v in
+        a.(j + l) <- (if d < 0 then d + p else d)
+      done
+    done;
+    m := m' * 2;
+    len := l / 2
+  done
+
+(* Inverse: Gentleman–Sande decimation-in-frequency. *)
+let inverse t a =
+  if Array.length a <> t.n then invalid_arg "Ntt.inverse: wrong length";
+  let p = t.p in
+  let m = ref (t.n / 2) and len = ref 1 in
+  while !m >= 1 do
+    let m' = !m and l = !len in
+    for i = 0 to m' - 1 do
+      let w = t.ipsi_rev.(m' + i) in
+      let j0 = 2 * i * l in
+      for j = j0 to j0 + l - 1 do
+        let u = a.(j) in
+        let v = a.(j + l) in
+        let s = u + v in
+        a.(j) <- (if s >= p then s - p else s);
+        let d = u - v in
+        let d = if d < 0 then d + p else d in
+        a.(j + l) <- d * w mod p
+      done
+    done;
+    m := m' / 2;
+    len := l * 2
+  done;
+  for j = 0 to t.n - 1 do
+    a.(j) <- a.(j) * t.n_inv mod p
+  done
+
+let pointwise t a b =
+  if Array.length a <> t.n || Array.length b <> t.n then
+    invalid_arg "Ntt.pointwise: wrong length";
+  let p = t.p in
+  Array.init t.n (fun i -> a.(i) * b.(i) mod p)
+
+let multiply t a b =
+  let a' = Array.copy a and b' = Array.copy b in
+  forward t a';
+  forward t b';
+  let c = pointwise t a' b' in
+  inverse t c;
+  c

@@ -1,0 +1,31 @@
+(** Negacyclic number-theoretic transform over Z_p\[X\]/(X^n + 1).
+
+    The workhorse of the BGV substrate: multiplication in the negacyclic
+    ring is pointwise multiplication in the NTT domain. We use the
+    Longa–Naehrig formulation: forward transform with Cooley–Tukey
+    butterflies over bit-reversed powers of psi (a primitive 2n-th root of
+    unity), inverse with Gentleman–Sande butterflies — no separate
+    bit-reversal pass or power-of-X pre/post scaling needed. *)
+
+type plan
+(** Precomputed tables for a fixed (n, p). *)
+
+val plan : n:int -> p:int -> plan
+(** [plan ~n ~p] requires [n] a power of two and [p] prime with
+    [2n | p - 1]. Raises [Invalid_argument] otherwise. *)
+
+val n : plan -> int
+val p : plan -> int
+
+val forward : plan -> int array -> unit
+(** In-place forward negacyclic NTT. Array length must equal [n]. *)
+
+val inverse : plan -> int array -> unit
+(** In-place inverse, including the 1/n scaling. *)
+
+val multiply : plan -> int array -> int array -> int array
+(** Negacyclic product of two coefficient-domain polynomials (fresh array;
+    inputs are not modified). *)
+
+val pointwise : plan -> int array -> int array -> int array
+(** Slot-wise product of two NTT-domain vectors. *)

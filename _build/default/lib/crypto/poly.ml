@@ -1,0 +1,42 @@
+let map2 f a b =
+  if Array.length a <> Array.length b then invalid_arg "Poly: length mismatch";
+  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+let add fld = map2 (Field.add fld)
+let sub fld = map2 (Field.sub fld)
+let neg fld a = Array.map (Field.neg fld) a
+let scale fld k a = Array.map (Field.mul fld (Field.of_int fld k)) a
+
+let mul_naive fld a b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Poly.mul_naive: length mismatch";
+  let c = Array.make n 0 in
+  for i = 0 to n - 1 do
+    if a.(i) <> 0 then
+      for j = 0 to n - 1 do
+        let k = i + j in
+        let prod = Field.mul fld a.(i) b.(j) in
+        if k < n then c.(k) <- Field.add fld c.(k) prod
+        else c.(k - n) <- Field.sub fld c.(k - n) prod
+      done
+  done;
+  c
+
+let random_uniform fld rng n = Array.init n (fun _ -> Field.random fld rng)
+
+let random_ternary fld rng n =
+  Array.init n (fun _ ->
+      match Arb_util.Rng.int rng 3 with
+      | 0 -> 0
+      | 1 -> 1
+      | _ -> Field.neg fld 1)
+
+let random_error fld rng ~sigma n =
+  Array.init n (fun _ ->
+      let e = int_of_float (Float.round (Arb_util.Rng.gaussian rng ~sigma)) in
+      Field.of_int fld e)
+
+let inf_norm fld a =
+  Array.fold_left (fun acc x -> max acc (abs (Field.center fld x))) 0 a
+
+let equal a b = a = b

@@ -1,0 +1,26 @@
+(** Dense polynomials over Z_p, as coefficient arrays of fixed length n.
+
+    Thin helpers shared by the BGV cryptosystem and tests. All arrays have
+    the ring dimension as their length; operations allocate fresh arrays. *)
+
+val add : Field.t -> int array -> int array -> int array
+val sub : Field.t -> int array -> int array -> int array
+val neg : Field.t -> int array -> int array
+val scale : Field.t -> int -> int array -> int array
+
+val mul_naive : Field.t -> int array -> int array -> int array
+(** Quadratic negacyclic product — the test oracle for the NTT path. *)
+
+val random_uniform : Field.t -> Arb_util.Rng.t -> int -> int array
+(** Uniform coefficients. *)
+
+val random_ternary : Field.t -> Arb_util.Rng.t -> int -> int array
+(** Coefficients in \{-1, 0, 1\} (canonicalized mod p) — secret keys. *)
+
+val random_error : Field.t -> Arb_util.Rng.t -> sigma:float -> int -> int array
+(** Rounded-Gaussian error coefficients. *)
+
+val inf_norm : Field.t -> int array -> int
+(** Largest centered absolute coefficient. *)
+
+val equal : int array -> int array -> bool

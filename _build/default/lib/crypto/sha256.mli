@@ -1,0 +1,35 @@
+(** SHA-256, implemented from scratch (FIPS 180-4).
+
+    Used for Merkle trees, sortition hashes, deterministic signatures and
+    commitment schemes throughout the runtime. The implementation is pure
+    OCaml over [Bytes] and [Int32] and is validated against the FIPS test
+    vectors in the test suite. *)
+
+type digest = string
+(** 32-byte raw digest. *)
+
+val digest_length : int
+(** 32. *)
+
+val digest : string -> digest
+(** Hash of a full string. *)
+
+val digest_bytes : bytes -> digest
+
+val hmac : key:string -> string -> digest
+(** HMAC-SHA256 (RFC 2104); used as a keyed PRF for deterministic
+    device signatures in sortition. *)
+
+val to_hex : digest -> string
+(** Lowercase hex rendering (64 chars). *)
+
+val compare_le : digest -> digest -> int
+(** Lexicographic comparison of raw digests — the sortition order. *)
+
+type ctx
+(** Incremental hashing context. *)
+
+val init : unit -> ctx
+val feed : ctx -> string -> unit
+val finalize : ctx -> digest
+(** [finalize] may be called once; the context must not be reused after. *)

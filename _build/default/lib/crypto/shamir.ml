@@ -1,0 +1,210 @@
+type share = { idx : int; value : int }
+
+let eval_poly fld coeffs x =
+  (* Horner, coeffs.(0) is the secret. *)
+  let acc = ref 0 in
+  for i = Array.length coeffs - 1 downto 0 do
+    acc := Field.add fld (Field.mul fld !acc x) coeffs.(i)
+  done;
+  !acc
+
+let share fld rng ~secret ~threshold ~parties =
+  if threshold < 0 || threshold >= parties then
+    invalid_arg "Shamir.share: need 0 <= threshold < parties";
+  if parties >= fld.Field.p then invalid_arg "Shamir.share: too many parties";
+  let coeffs =
+    Array.init (threshold + 1) (fun i ->
+        if i = 0 then Field.of_int fld secret else Field.random fld rng)
+  in
+  Array.init parties (fun i ->
+      let x = i + 1 in
+      { idx = x; value = eval_poly fld coeffs x })
+
+let lagrange_at_zero fld idxs =
+  List.map
+    (fun i ->
+      let num = ref 1 and den = ref 1 in
+      List.iter
+        (fun j ->
+          if j <> i then begin
+            num := Field.mul fld !num (Field.of_int fld (-j));
+            den := Field.mul fld !den (Field.of_int fld (i - j))
+          end)
+        idxs;
+      (i, Field.div fld !num !den))
+    idxs
+
+let reconstruct fld shares =
+  let idxs = List.map (fun s -> s.idx) shares in
+  let distinct = List.sort_uniq compare idxs in
+  if List.length distinct <> List.length idxs then
+    invalid_arg "Shamir.reconstruct: duplicate share indices";
+  let coeffs = lagrange_at_zero fld idxs in
+  List.fold_left
+    (fun acc s ->
+      let c = List.assoc s.idx coeffs in
+      Field.add fld acc (Field.mul fld c s.value))
+    0 shares
+
+let add a b =
+  if a.idx <> b.idx then invalid_arg "Shamir.add: index mismatch";
+  { a with value = a.value + b.value }
+
+let add_in fld a b =
+  if a.idx <> b.idx then invalid_arg "Shamir.add_in: index mismatch";
+  { a with value = Field.add fld a.value b.value }
+
+let scale_in fld k s = { s with value = Field.mul fld (Field.of_int fld k) s.value }
+
+(* --- Reed-Solomon decoding (Berlekamp-Welch): robust reconstruction --- *)
+
+(* Gaussian elimination over the field; returns one solution of M x = rhs
+   (the system here is always consistent when decoding succeeds). *)
+let solve_linear fld (m : int array array) (rhs : int array) : int array option =
+  let rows = Array.length m in
+  let cols = if rows = 0 then 0 else Array.length m.(0) in
+  let a = Array.map Array.copy m in
+  let b = Array.copy rhs in
+  let pivot_col_of_row = Array.make rows (-1) in
+  let r = ref 0 in
+  for c = 0 to cols - 1 do
+    if !r < rows then begin
+      (* find pivot *)
+      let p = ref (-1) in
+      for i = !r to rows - 1 do
+        if !p = -1 && a.(i).(c) <> 0 then p := i
+      done;
+      if !p >= 0 then begin
+        let tmp = a.(!p) in
+        a.(!p) <- a.(!r);
+        a.(!r) <- tmp;
+        let tb = b.(!p) in
+        b.(!p) <- b.(!r);
+        b.(!r) <- tb;
+        let inv = Field.inv fld a.(!r).(c) in
+        for j = 0 to cols - 1 do
+          a.(!r).(j) <- Field.mul fld a.(!r).(j) inv
+        done;
+        b.(!r) <- Field.mul fld b.(!r) inv;
+        for i = 0 to rows - 1 do
+          if i <> !r && a.(i).(c) <> 0 then begin
+            let f = a.(i).(c) in
+            for j = 0 to cols - 1 do
+              a.(i).(j) <- Field.sub fld a.(i).(j) (Field.mul fld f a.(!r).(j))
+            done;
+            b.(i) <- Field.sub fld b.(i) (Field.mul fld f b.(!r))
+          end
+        done;
+        pivot_col_of_row.(!r) <- c;
+        incr r
+      end
+    end
+  done;
+  (* consistency: zero rows must have zero rhs *)
+  let ok = ref true in
+  for i = !r to rows - 1 do
+    if b.(i) <> 0 then ok := false
+  done;
+  if not !ok then None
+  else begin
+    let x = Array.make cols 0 in
+    for i = 0 to !r - 1 do
+      if pivot_col_of_row.(i) >= 0 then x.(pivot_col_of_row.(i)) <- b.(i)
+    done;
+    Some x
+  end
+
+(* Long division Q / E over the field; returns the quotient when the
+   remainder is zero. Coefficient arrays are little-endian. *)
+let poly_divide fld q e =
+  let deg p =
+    let d = ref (Array.length p - 1) in
+    while !d > 0 && p.(!d) = 0 do decr d done;
+    !d
+  in
+  let dq = deg q and de = deg e in
+  if de < 0 || (de = 0 && e.(0) = 0) then None
+  else if dq < de then if Array.for_all (( = ) 0) q then Some [| 0 |] else None
+  else begin
+    let rem = Array.copy q in
+    let quot = Array.make (dq - de + 1) 0 in
+    let lead_inv = Field.inv fld e.(de) in
+    for k = dq - de downto 0 do
+      let c = Field.mul fld rem.(k + de) lead_inv in
+      quot.(k) <- c;
+      for j = 0 to de do
+        rem.(k + j) <- Field.sub fld rem.(k + j) (Field.mul fld c e.(j))
+      done
+    done;
+    if Array.for_all (( = ) 0) rem then Some quot else None
+  end
+
+let reconstruct_robust fld ~threshold shares =
+  let n = List.length shares in
+  if n <= threshold then Error "not enough shares"
+  else begin
+    let xs = Array.of_list (List.map (fun s -> Field.of_int fld s.idx) shares) in
+    let ys = Array.of_list (List.map (fun s -> Field.of_int fld s.value) shares) in
+    let idxs = Array.of_list (List.map (fun s -> s.idx) shares) in
+    (* Try the largest correctable error count first is unnecessary: the
+       Berlekamp-Welch system with e errors also decodes fewer; iterate
+       e from the max capacity down to 0 and take the first success. *)
+    let max_e = (n - threshold - 1) / 2 in
+    let attempt e =
+      (* Unknowns: E = x^e + e_{e-1} x^{e-1} + ... (e coeffs) and
+         Q of degree threshold + e (threshold + e + 1 coeffs).
+         Constraints: Q(x_i) - y_i E(x_i) = y_i x_i^e for each i. *)
+      let q_len = threshold + e + 1 in
+      let cols = e + q_len in
+      let m =
+        Array.map
+          (fun i ->
+            let xi = xs.(i) and yi = ys.(i) in
+            let row = Array.make cols 0 in
+            let xp = ref 1 in
+            for j = 0 to e - 1 do
+              row.(j) <- Field.neg fld (Field.mul fld yi !xp);
+              xp := Field.mul fld !xp xi
+            done;
+            (* !xp is now x_i^e, the rhs multiplier *)
+            let rhs_mult = !xp in
+            let xq = ref 1 in
+            for j = 0 to q_len - 1 do
+              row.(e + j) <- !xq;
+              xq := Field.mul fld !xq xi
+            done;
+            (row, Field.mul fld yi rhs_mult))
+          (Array.init n Fun.id)
+      in
+      let rhs = Array.map snd m and mat = Array.map fst m in
+      match solve_linear fld mat rhs with
+      | None -> None
+      | Some sol ->
+          let e_poly = Array.append (Array.sub sol 0 e) [| 1 |] in
+          let q_poly = Array.sub sol e q_len in
+          (match poly_divide fld q_poly e_poly with
+          | None -> None
+          | Some p ->
+              (* verify against the shares and locate cheaters *)
+              let eval x =
+                let acc = ref 0 in
+                for j = Array.length p - 1 downto 0 do
+                  acc := Field.add fld (Field.mul fld !acc x) p.(j)
+                done;
+                !acc
+              in
+              let cheaters = ref [] in
+              Array.iteri
+                (fun i xi ->
+                  if eval xi <> ys.(i) then cheaters := idxs.(i) :: !cheaters)
+                xs;
+              if List.length !cheaters > max_e then None
+              else Some (eval 0, List.rev !cheaters))
+    in
+    let rec go e = if e < 0 then None else
+      match attempt e with Some r -> Some r | None -> go (e - 1)
+    in
+    match go max_e with
+    | Some (secret, cheaters) -> Ok (secret, cheaters)
+    | None -> Error "too many corrupted shares to decode"
+  end

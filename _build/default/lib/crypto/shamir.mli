@@ -1,0 +1,41 @@
+(** Shamir secret sharing over a prime field.
+
+    Committees in Arboretum run honest-majority MPC over Shamir shares
+    (SPDZ-wise Shamir in the paper's prototype, §6); shares also carry
+    secrets between committees via VSR. Threshold [t] means a degree-t
+    polynomial: any [t+1] shares reconstruct, [t] reveal nothing. *)
+
+type share = { idx : int; value : int }
+(** A share for party [idx] (1-based evaluation points). *)
+
+val share :
+  Field.t -> Arb_util.Rng.t -> secret:int -> threshold:int -> parties:int ->
+  share array
+(** Split [secret]; requires [0 <= threshold < parties]. *)
+
+val reconstruct : Field.t -> share list -> int
+(** Lagrange interpolation at 0. Requires distinct indices; uses all the
+    shares given (caller supplies at least threshold+1 honest ones). *)
+
+val lagrange_at_zero : Field.t -> int list -> (int * int) list
+(** [lagrange_at_zero f idxs] gives each index its Lagrange coefficient for
+    evaluation at 0 — used to convert Shamir to additive shares inside MPC
+    protocols. *)
+
+val add : share -> share -> share
+(** Local addition of shares of the same index (mod p is applied by
+    [reconstruct]; values may be kept unreduced only if the caller reduces —
+    this function reduces assuming both are already reduced mod the same p;
+    see [add_in]). *)
+
+val add_in : Field.t -> share -> share -> share
+val scale_in : Field.t -> int -> share -> share
+(** Local scalar multiplication. *)
+
+val reconstruct_robust :
+  Field.t -> threshold:int -> share list -> (int * int list, string) result
+(** Reed–Solomon decoding (Berlekamp–Welch): reconstruct even when up to
+    floor((n - threshold - 1)/2) of the shares are corrupted, returning the
+    secret together with the indices of the identified cheaters — how an
+    honest-majority committee survives a Byzantine minority instead of
+    aborting. [Error] when the corruption exceeds the decoding radius. *)

@@ -1,0 +1,55 @@
+(* Lamport one-time signatures over SHA-256.
+
+   secret: 2 x 256 preimages s[b][i] derived from the seed by a PRF.
+   commitments: c[b][i] = H(s[b][i]); public = H(c[0][0] || ... || c[1][255]).
+   A signature on m reveals, for each bit i of H(m), the preimage
+   s[bit_i][i], plus the full commitment list so the verifier can re-derive
+   the public digest and check revealed preimages against commitments. *)
+
+type secret = string (* the seed; preimages are re-derived on demand *)
+type public = string
+type keypair = { secret : secret; public : public }
+
+let signature_bytes = 256
+
+let preimage seed b i =
+  Sha256.digest (Printf.sprintf "lamport|%d|%d|" b i ^ seed)
+
+let commitments seed =
+  let buf = Buffer.create (512 * 32) in
+  for b = 0 to 1 do
+    for i = 0 to 255 do
+      Buffer.add_string buf (Sha256.digest (preimage seed b i))
+    done
+  done;
+  Buffer.contents buf
+
+let keygen ~seed =
+  { secret = seed; public = Sha256.digest (commitments seed) }
+
+let msg_bits msg =
+  let h = Sha256.digest msg in
+  Array.init 256 (fun i -> (Char.code h.[i / 8] lsr (7 - (i mod 8))) land 1)
+
+let sign ~secret msg =
+  let bits = msg_bits msg in
+  let buf = Buffer.create ((256 + 512) * 32) in
+  Array.iteri (fun i b -> Buffer.add_string buf (preimage secret b i)) bits;
+  Buffer.add_string buf (commitments secret);
+  Buffer.contents buf
+
+let verify ~public ~msg ~signature =
+  if String.length signature <> (256 + 512) * 32 then false
+  else
+    let commits = String.sub signature (256 * 32) (512 * 32) in
+    if not (String.equal (Sha256.digest commits) public) then false
+    else
+      let bits = msg_bits msg in
+      let ok = ref true in
+      Array.iteri
+        (fun i b ->
+          let revealed = String.sub signature (i * 32) 32 in
+          let expected = String.sub commits (((b * 256) + i) * 32) 32 in
+          if not (String.equal (Sha256.digest revealed) expected) then ok := false)
+        bits;
+      !ok

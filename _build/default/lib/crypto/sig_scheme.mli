@@ -1,0 +1,30 @@
+(** Deterministic hash-based signatures (Lamport one-time scheme).
+
+    Sortition (§5.1) requires each device to sign the random block [B_i] with
+    a {e deterministic} signature scheme so devices cannot grind for low
+    hashes. The paper deploys RSA with deterministic padding; this container
+    has no bignum library, so we substitute Lamport one-time signatures built
+    on our SHA-256 — a real, verifiable scheme, deterministic by
+    construction. Signatures are larger than RSA's (8 KiB vs 256 B), so the
+    cost model charges [signature_bytes] = 256 to match the deployed scheme
+    (documented substitution; DESIGN.md §1). Keys are one-time: the runtime
+    derives a fresh per-query key from a device's long-term seed. *)
+
+type secret
+type public = string
+(** Compact public key: SHA-256 digest of the 512 per-bit commitments. *)
+
+type keypair = { secret : secret; public : public }
+
+val keygen : seed:string -> keypair
+(** Deterministic keypair from a seed; the runtime uses
+    [seed = device_secret ^ query_tag] to get per-query one-time keys. *)
+
+val sign : secret:secret -> string -> string
+(** Deterministic signature (8 KiB + commitment material). *)
+
+val verify : public:public -> msg:string -> signature:string -> bool
+
+val signature_bytes : int
+(** Wire size charged by the cost model (256, matching RSA-2048 as deployed
+    in the paper's prototype). *)

@@ -1,0 +1,67 @@
+type device = { id : int; seed : string }
+
+type assignment = {
+  committees : int array array;
+  registry_root : Sha256.digest;
+}
+
+let message ~block ~query_id = Printf.sprintf "%s|%d|0" block query_id
+
+let ticket device ~block ~query_id =
+  (* Deterministic signature, then hash. A keyed MAC stands in for the full
+     Lamport signature (same determinism, same unpredictability before the
+     block is revealed) so ranking a billion simulated devices stays cheap;
+     the runtime still produces and checks real Lamport signatures where
+     integrity matters (the query authorization certificate). *)
+  Sha256.digest (Sha256.hmac ~key:device.seed (message ~block ~query_id))
+
+let ranked ~devices ~block ~query_id =
+  let tickets =
+    Array.map (fun d -> (ticket d ~block ~query_id, d.id)) devices
+  in
+  Array.sort
+    (fun (h1, id1) (h2, id2) ->
+      let c = Sha256.compare_le h1 h2 in
+      if c <> 0 then c else compare id1 id2)
+    tickets;
+  tickets
+
+let registry_root devices =
+  Merkle.root
+    (Merkle.build
+       (Array.map
+          (fun d -> Printf.sprintf "%d|%s" d.id (Sha256.to_hex (Sha256.digest d.seed)))
+          devices))
+
+let select ~devices ~block ~query_id ~committees ~size =
+  if committees * size > Array.length devices then
+    invalid_arg "Sortition.select: not enough devices";
+  if committees <= 0 || size <= 0 then invalid_arg "Sortition.select: bad shape";
+  let tickets = ranked ~devices ~block ~query_id in
+  let cs =
+    Array.init committees (fun c ->
+        Array.init size (fun j -> snd tickets.((c * size) + j)))
+  in
+  { committees = cs; registry_root = registry_root devices }
+
+let verify_member ~devices ~block ~query_id ~committees ~size ~device =
+  let tickets = ranked ~devices ~block ~query_id in
+  let rank = ref None in
+  Array.iteri (fun i (_, id) -> if id = device.id then rank := Some i) tickets;
+  match !rank with
+  | Some r when r < committees * size -> Some (r / size)
+  | _ -> None
+
+let reassign_failed asg ~failed =
+  let c = Array.length asg.committees in
+  if failed < 0 || failed >= c then invalid_arg "Sortition.reassign_failed";
+  let target = (failed + 1) mod c in
+  let committees =
+    Array.mapi
+      (fun i members ->
+        if i = failed then [||]
+        else if i = target then Array.append members asg.committees.(failed)
+        else members)
+      asg.committees
+  in
+  { asg with committees }

@@ -1,0 +1,40 @@
+(** Committee selection by cryptographic sortition (§5.1).
+
+    Generalizes Honeycrisp's mechanism: for query [i] with public random
+    block [B_i], every registered device deterministically signs
+    [(B_i, i, 0)] and hashes the signature; the [c*m] devices with the
+    lowest hashes form the committees, the device with the x-th lowest hash
+    joining committee [x / m]. Determinism prevents grinding; the secret
+    block prevents precomputation; each device serves on at most one
+    committee. The registered-device set is committed in a Merkle tree that
+    travels inside the query authorization certificate, blocking the
+    "computational grinding" attack described in §5.2. *)
+
+type device = { id : int; seed : string }
+(** A registered device; [seed] is its long-term signing secret. *)
+
+type assignment = {
+  committees : int array array;  (** committee -> member device ids *)
+  registry_root : Sha256.digest;  (** Merkle root over the device set *)
+}
+
+val ticket : device -> block:string -> query_id:int -> Sha256.digest
+(** The device's sortition hash for this query (hash of its deterministic
+    signature on (block, query id, 0)). *)
+
+val select :
+  devices:device array -> block:string -> query_id:int -> committees:int ->
+  size:int -> assignment
+(** Pick [committees] committees of [size] members each. Raises
+    [Invalid_argument] if there are fewer than [committees * size]
+    devices. *)
+
+val verify_member :
+  devices:device array -> block:string -> query_id:int -> committees:int ->
+  size:int -> device:device -> int option
+(** Recompute (as any third party can) which committee a given device
+    belongs to; [None] if it was not selected. Agrees with [select]. *)
+
+val reassign_failed : assignment -> failed:int -> assignment
+(** Committee [failed] lost too many members: move its tasks to committee
+    [(failed + 1) mod c] by merging membership (§5.1). *)

@@ -1,0 +1,35 @@
+type subshare = { from_idx : int; to_idx : int; value : int; salt : string }
+type commitment = Sha256.digest
+
+let commit sub =
+  Sha256.digest
+    (Printf.sprintf "vsr|%d|%d|%d|%s" sub.from_idx sub.to_idx sub.value sub.salt)
+
+let redistribute fld rng (sh : Shamir.share) ~new_threshold ~new_parties =
+  let salt () =
+    let b = Bytes.create 16 in
+    Bytes.set_int64_le b 0 (Arb_util.Rng.next_int64 rng);
+    Bytes.set_int64_le b 8 (Arb_util.Rng.next_int64 rng);
+    Bytes.to_string b
+  in
+  let subs =
+    Shamir.share fld rng ~secret:sh.value ~threshold:new_threshold
+      ~parties:new_parties
+    |> Array.map (fun (s : Shamir.share) ->
+           { from_idx = sh.idx; to_idx = s.idx; value = s.value; salt = salt () })
+  in
+  (subs, Array.map commit subs)
+
+let verify_subshare sub commitment = String.equal (commit sub) commitment
+
+let combine fld ~sender_idxs pairs ~to_idx =
+  let coeffs = Shamir.lagrange_at_zero fld sender_idxs in
+  let value =
+    List.fold_left
+      (fun acc (from_idx, v) ->
+        match List.assoc_opt from_idx coeffs with
+        | None -> invalid_arg "Vsr.combine: unexpected sender index"
+        | Some c -> Field.add fld acc (Field.mul fld c v))
+      0 pairs
+  in
+  { Shamir.idx = to_idx; value }

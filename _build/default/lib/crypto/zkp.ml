@@ -1,0 +1,54 @@
+type statement =
+  | One_hot of { length : int }
+  | Range of { lo : int; hi : int; count : int }
+  | Bits of { count : int }
+  | One_hot_binned of { bins : int; length : int }
+
+type proof = { tag : Sha256.digest; valid : bool }
+(* [valid] models soundness: forge cannot fabricate a correct tag without a
+   witness, which we encode directly rather than via computational
+   assumptions. Tampering with [tag] is detected by the hash check. *)
+
+let proof_bytes = 192
+
+let satisfies stmt w =
+  match stmt with
+  | One_hot { length } ->
+      Array.length w = length
+      && Array.for_all (fun x -> x = 0 || x = 1) w
+      && Array.fold_left ( + ) 0 w = 1
+  | Range { lo; hi; count } ->
+      Array.length w = count && Array.for_all (fun x -> x >= lo && x <= hi) w
+  | Bits { count } ->
+      Array.length w = count && Array.for_all (fun x -> x = 0 || x = 1) w
+  | One_hot_binned { bins; length } ->
+      Array.length w = bins * length
+      && Array.for_all (fun x -> x = 0 || x = 1) w
+      && Array.fold_left ( + ) 0 w = 1
+
+let statement_string = function
+  | One_hot { length } -> Printf.sprintf "onehot:%d" length
+  | Range { lo; hi; count } -> Printf.sprintf "range:%d:%d:%d" lo hi count
+  | Bits { count } -> Printf.sprintf "bits:%d" count
+  | One_hot_binned { bins; length } -> Printf.sprintf "ohb:%d:%d" bins length
+
+let tag_of stmt ~prover ~nonce =
+  Sha256.digest (Printf.sprintf "g16|%s|%s|%s" (statement_string stmt) prover nonce)
+
+let prove stmt ~witness ~prover ~nonce =
+  if not (satisfies stmt witness) then
+    invalid_arg "Zkp.prove: witness does not satisfy the statement";
+  { tag = tag_of stmt ~prover ~nonce; valid = true }
+
+let forge stmt ~prover ~nonce = { tag = tag_of stmt ~prover ~nonce; valid = false }
+
+let verify stmt proof ~prover ~nonce =
+  proof.valid && String.equal proof.tag (tag_of stmt ~prover ~nonce)
+
+let statement_constraints = function
+  | One_hot { length } -> 3 * length
+  | Range { lo; hi; count } ->
+      let bits = max 1 (int_of_float (Float.ceil (Float.log2 (float_of_int (hi - lo + 1))))) in
+      count * (2 * bits)
+  | Bits { count } -> 2 * count
+  | One_hot_binned { bins; length } -> 3 * bins * length

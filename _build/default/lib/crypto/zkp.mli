@@ -1,0 +1,49 @@
+(** Zero-knowledge proofs of input well-formedness (simulated Groth16).
+
+    Participants must prove that their encrypted upload is well-formed —
+    e.g. a one-hot encoding of a single category, or values inside a clipped
+    range (§5.3) — without revealing the value. The paper uses ZoKrates with
+    the bellman backend and the G16 scheme, plus signatures to prevent
+    replay of (malleable) proofs. We simulate the proof system: a proof is a
+    binding commitment over (statement, witness commitment, prover identity,
+    query nonce) that only an honest prover with a satisfying witness can
+    produce, with G16's constant proof size and constant verification time
+    charged by the cost model. Soundness in the simulation is perfect:
+    [prove] refuses unsatisfying witnesses, and tampered proofs fail
+    [verify]. *)
+
+type statement =
+  | One_hot of { length : int }
+      (** exactly one entry is 1, the rest are 0 *)
+  | Range of { lo : int; hi : int; count : int }
+      (** [count] entries, each within \[lo, hi\] *)
+  | Bits of { count : int }  (** [count] entries in \{0, 1\} *)
+  | One_hot_binned of { bins : int; length : int }
+      (** secrecy-of-the-sample upload: [bins * length] entries; exactly one
+          bin holds a one-hot vector, all other bins are zero *)
+
+type proof
+
+val satisfies : statement -> int array -> bool
+(** The relation being proven (cleartext check). *)
+
+val prove :
+  statement -> witness:int array -> prover:string -> nonce:string -> proof
+(** Raises [Invalid_argument] if the witness does not satisfy the statement
+    (an honest prover cannot produce an invalid proof; a malicious one is
+    modeled by [forge]). *)
+
+val forge : statement -> prover:string -> nonce:string -> proof
+(** A proof produced without a satisfying witness; always fails [verify]
+    (perfect soundness in the simulation model). *)
+
+val verify : statement -> proof -> prover:string -> nonce:string -> bool
+(** Checks the proof, its binding to the prover (anti-replay signature) and
+    to the query nonce. *)
+
+val proof_bytes : int
+(** Wire size charged per proof: 192 bytes (3 G16 group elements plus
+    framing). *)
+
+val statement_constraints : statement -> int
+(** Approximate R1CS constraint count — drives the prover-time cost model. *)

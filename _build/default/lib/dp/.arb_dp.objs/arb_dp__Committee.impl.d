@@ -1,0 +1,1 @@
+lib/dp/committee.ml: Arb_util Float

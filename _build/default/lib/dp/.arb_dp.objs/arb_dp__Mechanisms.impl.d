@@ -1,0 +1,1 @@
+lib/dp/mechanisms.ml: Arb_util Array Float

@@ -1,0 +1,1 @@
+lib/dp/mechanisms.mli: Arb_util

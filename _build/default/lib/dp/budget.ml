@@ -1,0 +1,46 @@
+type t = { epsilon : float; delta : float }
+
+let create ~epsilon ~delta =
+  if epsilon < 0.0 || delta < 0.0 then invalid_arg "Budget.create: negative";
+  { epsilon; delta }
+
+let zero = { epsilon = 0.0; delta = 0.0 }
+
+let can_afford balance ~cost =
+  cost.epsilon <= balance.epsilon && cost.delta <= balance.delta
+
+let charge balance ~cost =
+  if can_afford balance ~cost then
+    Some { epsilon = balance.epsilon -. cost.epsilon; delta = balance.delta -. cost.delta }
+  else None
+
+let spend_all a b = { epsilon = a.epsilon +. b.epsilon; delta = a.delta +. b.delta }
+
+let scale t k =
+  if k < 0.0 then invalid_arg "Budget.scale: negative factor";
+  { epsilon = t.epsilon *. k; delta = t.delta *. k }
+
+let amplified_epsilon ~epsilon ~phi =
+  if phi <= 0.0 || phi > 1.0 then
+    invalid_arg "Budget.amplified_epsilon: phi out of (0,1]";
+  (* ln(1 + phi(e^eps - 1)); for large eps compute the asymptote
+     eps + ln(phi) directly so e^eps never overflows. *)
+  if epsilon > 30.0 then Float.max 0.0 (epsilon +. Float.log phi)
+  else Float.log1p (phi *. (exp epsilon -. 1.0))
+
+let sqrt_k_epsilon ~epsilon ~k =
+  if k <= 0 then invalid_arg "Budget.sqrt_k_epsilon";
+  sqrt (float_of_int k) *. epsilon
+
+let pp fmt t = Format.fprintf fmt "(eps=%.4f, delta=%.2e)" t.epsilon t.delta
+
+let advanced_composition ~epsilon ~delta ~k ~delta_slack =
+  if k <= 0 then invalid_arg "Budget.advanced_composition: k <= 0";
+  if delta_slack <= 0.0 || delta_slack >= 1.0 then
+    invalid_arg "Budget.advanced_composition: delta_slack out of (0,1)";
+  let kf = float_of_int k in
+  let eps' =
+    (epsilon *. sqrt (2.0 *. kf *. Float.log (1.0 /. delta_slack)))
+    +. (kf *. epsilon *. (Float.exp epsilon -. 1.0))
+  in
+  { epsilon = eps'; delta = (kf *. delta) +. delta_slack }

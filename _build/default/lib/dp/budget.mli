@@ -1,0 +1,43 @@
+(** Privacy-budget accounting (§5.2).
+
+    The key-generation committee checks, before authorizing a query, that
+    the remaining (epsilon, delta) balance covers the query's certified
+    cost; the new balance travels inside the query authorization
+    certificate. Composition is basic/sequential — the conservative rule
+    the paper's lineage (Honeycrisp/Orchard) applies. *)
+
+type t = { epsilon : float; delta : float }
+
+val create : epsilon:float -> delta:float -> t
+(** Raises [Invalid_argument] on negative components. *)
+
+val zero : t
+
+val charge : t -> cost:t -> t option
+(** [charge balance ~cost] is the remaining balance, or [None] if the cost
+    exceeds it (the query must be refused). *)
+
+val can_afford : t -> cost:t -> bool
+val spend_all : t -> t -> t
+(** Sequential composition: add two costs. *)
+
+val scale : t -> float -> t
+(** k-fold sequential composition of the same cost. *)
+
+val amplified_epsilon : epsilon:float -> phi:float -> float
+(** Secrecy of the sample (§2.1): running an eps-DP query on a secret
+    phi-sample is ln(1 + phi(e^eps - 1))-DP. *)
+
+val sqrt_k_epsilon : epsilon:float -> k:int -> float
+(** Durfee–Rogers pay-what-you-get top-k: noise once, release k, pay
+    sqrt(k) * eps. *)
+
+val pp : Format.formatter -> t -> unit
+
+val advanced_composition :
+  epsilon:float -> delta:float -> k:int -> delta_slack:float -> t
+(** Dwork–Rothblum–Vadhan advanced composition: the total cost of [k]
+    (epsilon, delta)-DP mechanisms at the price of an extra [delta_slack]:
+    eps' = eps * sqrt(2k ln(1/delta_slack)) + k eps (e^eps - 1). Tighter
+    than sequential composition when eps is small and k large — an
+    extension beyond the paper's basic accounting. *)

@@ -1,0 +1,54 @@
+module Stats = Arb_util.Stats
+
+let check_params ~f ~g =
+  if f < 0.0 || f >= 1.0 then invalid_arg "Committee: f out of [0,1)";
+  if g < 0.0 || g >= 1.0 then invalid_arg "Committee: g out of [0,1)";
+  if f >= (1.0 -. g) /. 2.0 then
+    invalid_arg "Committee: f too large relative to churn tolerance g"
+
+let log_failure_prob ~m ~f ~g ~committees =
+  if m <= 0 || committees <= 0 then invalid_arg "Committee.log_failure_prob";
+  (* Safe iff #malicious < (1-g)*m/2 (strict majority among survivors). *)
+  let limit = (1.0 -. g) *. float_of_int m /. 2.0 in
+  let k =
+    let fl = Float.floor limit in
+    if fl = limit then int_of_float fl - 1 else int_of_float fl
+  in
+  if k < 0 then 0.0 (* certain failure: committee too small to have any margin *)
+  else
+    (* Work with the (tiny) unsafe tail directly: computing 1 - cdf loses
+       everything below double-precision cancellation (~1e-16), which made
+       failure probabilities look flat beyond m ~ 50. *)
+    let log_tail_one = Stats.log_binom_tail ~n:m ~k:(k + 1) ~p:f in
+    if log_tail_one >= 0.0 then 0.0
+    else
+      let log_safe_one = Float.log1p (-.Float.exp log_tail_one) in
+      let log_safe_all = float_of_int committees *. log_safe_one in
+      if log_safe_all = 0.0 then
+        (* Below the log1p resolution: union-bound the tails instead. *)
+        min 0.0 (log_tail_one +. Float.log (float_of_int committees))
+      else Stats.log1mexp log_safe_all
+
+let is_safe ~m ~f ~g ~committees ~p1 =
+  if p1 <= 0.0 || p1 >= 1.0 then invalid_arg "Committee.is_safe: p1 out of (0,1)";
+  log_failure_prob ~m ~f ~g ~committees <= Float.log p1
+
+let min_size ~f ~g ~committees ~p1 =
+  check_params ~f ~g;
+  if p1 <= 0.0 || p1 >= 1.0 then invalid_arg "Committee.min_size: p1 out of (0,1)";
+  (* Safety is only roughly monotone in m (the floor in the majority
+     threshold causes parity dips), so find the smallest safe m by linear
+     scan, exactly as the paper's "smallest number such that" demands.
+     Committee sizes are tens of members; the scan is cheap. *)
+  let safe m = is_safe ~m ~f ~g ~committees ~p1 in
+  let rec scan m =
+    if m > 100_000 then
+      invalid_arg "Committee.min_size: no feasible size below 100000"
+    else if safe m then m
+    else scan (m + 1)
+  in
+  scan 1
+
+let p1_of_round ~p ~rounds =
+  if p <= 0.0 || p >= 1.0 || rounds <= 0 then invalid_arg "Committee.p1_of_round";
+  1.0 -. ((1.0 -. p) ** (1.0 /. float_of_int rounds))

@@ -1,0 +1,25 @@
+(** Minimum committee size under the OB+MC threat model (§5.1).
+
+    A committee of m sortitioned devices must keep an honest majority even
+    if a g-fraction of members (worst case: all honest) goes offline while
+    every malicious member stays. With each member independently malicious
+    with probability f, the committee is safe when
+    Bin(m, f) < (1-g)·m / 2. The system needs ALL c committees safe with
+    probability at least 1 - p1 per query round. Because c varies between
+    candidate query plans, the planner re-solves for m before scoring each
+    plan (§5.1). All tail computations are in the log domain: with the
+    paper's parameters p1 is around 1e-11. *)
+
+val log_failure_prob : m:int -> f:float -> g:float -> committees:int -> float
+(** ln P\[some committee loses its honest majority\]. *)
+
+val is_safe : m:int -> f:float -> g:float -> committees:int -> p1:float -> bool
+
+val min_size : f:float -> g:float -> committees:int -> p1:float -> int
+(** Smallest safe m. Raises [Invalid_argument] if [f >= (1-g)/2] (no size
+    can ever be safe asymptotically... conservatively rejected) or on other
+    nonsensical parameters. *)
+
+val p1_of_round : p:float -> rounds:int -> float
+(** Per-round failure bound p1 such that surviving [rounds] rounds keeps the
+    overall failure probability at most [p]: p = 1 - (1 - p1)^rounds. *)

@@ -1,0 +1,1 @@
+lib/lang/certify.ml: Arb_dp Arb_util Ast Float Hashtbl List Option Printf Types

@@ -1,0 +1,1 @@
+lib/lang/certify.mli: Arb_dp Ast

@@ -1,0 +1,1 @@
+lib/lang/interp.ml: Arb_dp Arb_util Array Ast Float Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/lang/types.ml: Arb_util Ast Format Hashtbl List Option Printf String

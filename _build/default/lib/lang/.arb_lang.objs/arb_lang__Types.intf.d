@@ -1,0 +1,1 @@
+lib/lang/types.mli: Arb_util Ast Format

@@ -1,0 +1,110 @@
+(** Abstract syntax of Arboretum's query language (Fig. 2).
+
+    Analysts write queries as if the whole database [db] sat on one machine:
+    an imperative core (assignment, arrays, for, if) plus high-level
+    operators ([sum], [em], [laplace], ...) that the planner later
+    instantiates in different ways (§4.3). [db] is a predefined
+    two-dimensional array: [db\[i\]\[j\]] is participant i's j-th input. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | And
+  | Or
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+
+type unop = Not | Neg
+
+type expr =
+  | Int_lit of int
+  | Fix_lit of float
+  | Bool_lit of bool
+  | Var of string
+  | Index of string * expr list  (** var\[e\] or var\[e\]\[e\] *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Call of string * expr list  (** built-in functions only *)
+
+type stmt =
+  | Seq of stmt list
+  | Assign of string * expr
+  | Assign_idx of string * expr list * expr
+  | For of string * expr * expr * stmt  (** for v = e1 to e2 do s endfor (inclusive) *)
+  | If of expr * stmt * stmt
+  | Output of expr  (** release a (certified) result to the analyst *)
+
+(** A complete query: the program plus the input-domain declaration the
+    certifier needs (what one participant's row looks like). *)
+type row_shape =
+  | One_hot of int  (** row is a one-hot vector of this length *)
+  | Bounded of { width : int; lo : int; hi : int }
+      (** row is [width] values, each clipped into \[lo, hi\] *)
+
+type program = {
+  name : string;
+  body : stmt;
+  row : row_shape;
+  epsilon : float;  (** per-mechanism epsilon the analyst requests *)
+}
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | And -> "&&"
+  | Or -> "||"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+
+let unop_name = function Not -> "!" | Neg -> "-"
+
+(* Structural fold over statements, used by several analyses. *)
+let rec fold_stmts f acc stmt =
+  let acc = f acc stmt in
+  match stmt with
+  | Seq ss -> List.fold_left (fold_stmts f) acc ss
+  | For (_, _, _, body) -> fold_stmts f acc body
+  | If (_, s1, s2) -> fold_stmts f (fold_stmts f acc s1) s2
+  | Assign _ | Assign_idx _ | Output _ -> acc
+
+let rec fold_exprs f acc expr =
+  let acc = f acc expr in
+  match expr with
+  | Int_lit _ | Fix_lit _ | Bool_lit _ | Var _ -> acc
+  | Index (_, es) -> List.fold_left (fold_exprs f) acc es
+  | Binop (_, e1, e2) -> fold_exprs f (fold_exprs f acc e1) e2
+  | Unop (_, e) -> fold_exprs f acc e
+  | Call (_, es) -> List.fold_left (fold_exprs f) acc es
+
+(* Every expression appearing in a statement, including loop bounds. *)
+let exprs_of_stmt = function
+  | Seq _ -> []
+  | Assign (_, e) -> [ e ]
+  | Assign_idx (_, idxs, e) -> idxs @ [ e ]
+  | For (_, e1, e2, _) -> [ e1; e2 ]
+  | If (c, _, _) -> [ c ]
+  | Output e -> [ e ]
+
+let count_lines program =
+  (* Source-line count used for Table 2; counted on the pretty-printed
+     canonical form. *)
+  let rec stmt_lines = function
+    | Seq ss -> List.fold_left (fun a s -> a + stmt_lines s) 0 ss
+    | Assign _ | Assign_idx _ | Output _ -> 1
+    | For (_, _, _, body) -> 2 + stmt_lines body
+    | If (_, s1, Seq []) -> 1 + stmt_lines s1
+    | If (_, s1, s2) -> 2 + stmt_lines s1 + stmt_lines s2
+  in
+  stmt_lines program.body

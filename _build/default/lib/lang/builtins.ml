@@ -1,0 +1,39 @@
+type role = Aggregate | Mechanism | Scalar | Sampling | Declassify
+
+type info = { name : string; arity : int; role : role; doc : string }
+
+let all =
+  [
+    { name = "sum"; arity = 1; role = Aggregate;
+      doc = "column sums of db (or a secret sample), or the sum of a vector" };
+    { name = "max"; arity = 1; role = Aggregate; doc = "largest element of a vector" };
+    { name = "min"; arity = 1; role = Aggregate; doc = "smallest element of a vector" };
+    { name = "argmax"; arity = 1; role = Aggregate;
+      doc = "index of the largest element" };
+    { name = "prefixSums"; arity = 1; role = Aggregate;
+      doc = "inclusive running sums, left to right" };
+    { name = "suffixSums"; arity = 1; role = Aggregate;
+      doc = "inclusive running sums, right to left" };
+    { name = "len"; arity = 1; role = Scalar; doc = "length of a vector" };
+    { name = "abs"; arity = 1; role = Scalar; doc = "absolute value" };
+    { name = "clip"; arity = 3; role = Scalar;
+      doc = "clip(x, lo, hi): clamp x into [lo, hi]" };
+    { name = "exp"; arity = 1; role = Scalar; doc = "e^x (fixpoint)" };
+    { name = "log"; arity = 1; role = Scalar; doc = "natural log (positive x)" };
+    { name = "laplace"; arity = 1; role = Mechanism;
+      doc = "Laplace mechanism on a scalar or element-wise on a vector" };
+    { name = "em"; arity = 1; role = Mechanism;
+      doc = "exponential mechanism over a vector of quality scores" };
+    { name = "emGap"; arity = 1; role = Mechanism;
+      doc = "exponential mechanism with free gap: [winner, noisy gap]" };
+    { name = "sampleUniform"; arity = 2; role = Sampling;
+      doc = "sampleUniform(db, phi): a secret phi-sample of the rows" };
+    { name = "declassify"; arity = 1; role = Declassify;
+      doc = "mark a mechanism result as releasable" };
+  ]
+
+let find name = List.find_opt (fun i -> i.name = name) all
+let is_builtin name = find name <> None
+
+let mechanisms =
+  List.filter_map (fun i -> if i.role = Mechanism then Some i.name else None) all

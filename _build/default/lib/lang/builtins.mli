@@ -1,0 +1,24 @@
+(** The built-in function table (§4.1) — one source of truth for names,
+    arities and roles, consulted by validation, and documentation for
+    analysts. The semantic/type/sensitivity treatment lives with each
+    analysis ({!Interp}, {!Types}, {!Certify}, planner extraction). *)
+
+type role =
+  | Aggregate  (** reduces a (possibly confidential) array: sum, max, ... *)
+  | Mechanism  (** releases a differentially private result *)
+  | Scalar  (** pure scalar math *)
+  | Sampling  (** secrecy of the sample *)
+  | Declassify
+
+type info = {
+  name : string;
+  arity : int;
+  role : role;
+  doc : string;
+}
+
+val all : info list
+val find : string -> info option
+val is_builtin : string -> bool
+val mechanisms : string list
+(** Names whose calls consume privacy budget. *)

@@ -1,0 +1,133 @@
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW_FOR | KW_TO | KW_DO | KW_ENDFOR
+  | KW_IF | KW_THEN | KW_ELSE | KW_ENDIF
+  | KW_TRUE | KW_FALSE
+  | LPAREN | RPAREN | LBRACKET | RBRACKET
+  | COMMA | SEMI
+  | ASSIGN
+  | PLUS | MINUS | STAR | SLASH
+  | AND | OR | NOT
+  | LT | LE | GT | GE | EQ | NE
+  | EOF
+
+exception Lex_error of { pos : int; message : string }
+
+let keyword_of = function
+  | "for" -> Some KW_FOR
+  | "to" -> Some KW_TO
+  | "do" -> Some KW_DO
+  | "endfor" -> Some KW_ENDFOR
+  | "if" -> Some KW_IF
+  | "then" -> Some KW_THEN
+  | "else" -> Some KW_ELSE
+  | "endif" -> Some KW_ENDIF
+  | "true" -> Some KW_TRUE
+  | "false" -> Some KW_FALSE
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let rec go pos acc =
+    if pos >= n then List.rev (EOF :: acc)
+    else
+      let c = src.[pos] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (pos + 1) acc
+      else if c = '/' && pos + 1 < n && src.[pos + 1] = '/' then
+        let rec skip p = if p >= n || src.[p] = '\n' then p else skip (p + 1) in
+        go (skip pos) acc
+      else if is_digit c then begin
+        let stop = ref pos and is_float = ref false in
+        while
+          !stop < n
+          && (is_digit src.[!stop]
+             || (src.[!stop] = '.' && !stop + 1 < n && is_digit src.[!stop + 1] && not !is_float))
+        do
+          if src.[!stop] = '.' then is_float := true;
+          incr stop
+        done;
+        let text = String.sub src pos (!stop - pos) in
+        let tok =
+          if !is_float then FLOAT (float_of_string text) else INT (int_of_string text)
+        in
+        go !stop (tok :: acc)
+      end
+      else if is_ident_start c then begin
+        let stop = ref pos in
+        while !stop < n && is_ident_char src.[!stop] do incr stop done;
+        let text = String.sub src pos (!stop - pos) in
+        let tok = match keyword_of text with Some k -> k | None -> IDENT text in
+        go !stop (tok :: acc)
+      end
+      else
+        let two = if pos + 1 < n then String.sub src pos 2 else "" in
+        match two with
+        | "&&" -> go (pos + 2) (AND :: acc)
+        | "||" -> go (pos + 2) (OR :: acc)
+        | "<=" -> go (pos + 2) (LE :: acc)
+        | ">=" -> go (pos + 2) (GE :: acc)
+        | "==" -> go (pos + 2) (EQ :: acc)
+        | "!=" -> go (pos + 2) (NE :: acc)
+        | _ -> (
+            match c with
+            | '(' -> go (pos + 1) (LPAREN :: acc)
+            | ')' -> go (pos + 1) (RPAREN :: acc)
+            | '[' -> go (pos + 1) (LBRACKET :: acc)
+            | ']' -> go (pos + 1) (RBRACKET :: acc)
+            | ',' -> go (pos + 1) (COMMA :: acc)
+            | ';' -> go (pos + 1) (SEMI :: acc)
+            | '=' -> go (pos + 1) (ASSIGN :: acc)
+            | '+' -> go (pos + 1) (PLUS :: acc)
+            | '-' -> go (pos + 1) (MINUS :: acc)
+            | '*' -> go (pos + 1) (STAR :: acc)
+            | '/' -> go (pos + 1) (SLASH :: acc)
+            | '<' -> go (pos + 1) (LT :: acc)
+            | '>' -> go (pos + 1) (GT :: acc)
+            | '!' -> go (pos + 1) (NOT :: acc)
+            | _ ->
+                raise
+                  (Lex_error { pos; message = Printf.sprintf "unexpected character %c" c }))
+  in
+  go 0 []
+
+let token_to_string = function
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | IDENT s -> s
+  | KW_FOR -> "for"
+  | KW_TO -> "to"
+  | KW_DO -> "do"
+  | KW_ENDFOR -> "endfor"
+  | KW_IF -> "if"
+  | KW_THEN -> "then"
+  | KW_ELSE -> "else"
+  | KW_ENDIF -> "endif"
+  | KW_TRUE -> "true"
+  | KW_FALSE -> "false"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | ASSIGN -> "="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | AND -> "&&"
+  | OR -> "||"
+  | NOT -> "!"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EQ -> "=="
+  | NE -> "!="
+  | EOF -> "<eof>"

@@ -1,0 +1,23 @@
+(** Tokenizer for the query language (Fig. 2). *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW_FOR | KW_TO | KW_DO | KW_ENDFOR
+  | KW_IF | KW_THEN | KW_ELSE | KW_ENDIF
+  | KW_TRUE | KW_FALSE
+  | LPAREN | RPAREN | LBRACKET | RBRACKET
+  | COMMA | SEMI
+  | ASSIGN  (** = *)
+  | PLUS | MINUS | STAR | SLASH
+  | AND | OR | NOT
+  | LT | LE | GT | GE | EQ | NE
+  | EOF
+
+exception Lex_error of { pos : int; message : string }
+
+val tokenize : string -> token list
+(** Comments run from [//] to end of line. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,235 @@
+open Lexer
+
+exception Parse_error of string
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> EOF | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    raise
+      (Parse_error
+         (Printf.sprintf "expected '%s' but found '%s'" (token_to_string tok)
+            (token_to_string (peek st))))
+
+let rec parse_or st =
+  let lhs = parse_and st in
+  if peek st = OR then begin
+    advance st;
+    Ast.Binop (Ast.Or, lhs, parse_or st)
+  end
+  else lhs
+
+and parse_and st =
+  let lhs = parse_cmp st in
+  if peek st = AND then begin
+    advance st;
+    Ast.Binop (Ast.And, lhs, parse_and st)
+  end
+  else lhs
+
+and parse_cmp st =
+  let lhs = parse_addsub st in
+  let op =
+    match peek st with
+    | LT -> Some Ast.Lt
+    | LE -> Some Ast.Le
+    | GT -> Some Ast.Gt
+    | GE -> Some Ast.Ge
+    | EQ -> Some Ast.Eq
+    | NE -> Some Ast.Ne
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance st;
+      Ast.Binop (op, lhs, parse_addsub st)
+
+and parse_addsub st =
+  let rec loop lhs =
+    match peek st with
+    | PLUS ->
+        advance st;
+        loop (Ast.Binop (Ast.Add, lhs, parse_muldiv st))
+    | MINUS ->
+        advance st;
+        loop (Ast.Binop (Ast.Sub, lhs, parse_muldiv st))
+    | _ -> lhs
+  in
+  loop (parse_muldiv st)
+
+and parse_muldiv st =
+  let rec loop lhs =
+    match peek st with
+    | STAR ->
+        advance st;
+        loop (Ast.Binop (Ast.Mul, lhs, parse_unary st))
+    | SLASH ->
+        advance st;
+        loop (Ast.Binop (Ast.Div, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | MINUS ->
+      advance st;
+      Ast.Unop (Ast.Neg, parse_unary st)
+  | NOT ->
+      advance st;
+      Ast.Unop (Ast.Not, parse_unary st)
+  | _ -> parse_atom st
+
+and parse_args st =
+  expect st LPAREN;
+  if peek st = RPAREN then begin
+    advance st;
+    []
+  end
+  else
+    let rec loop acc =
+      let e = parse_or st in
+      match peek st with
+      | COMMA ->
+          advance st;
+          loop (e :: acc)
+      | RPAREN ->
+          advance st;
+          List.rev (e :: acc)
+      | t ->
+          raise
+            (Parse_error
+               (Printf.sprintf "expected ',' or ')' in argument list, found '%s'"
+                  (token_to_string t)))
+    in
+    loop []
+
+and parse_indices st =
+  let rec loop acc =
+    if peek st = LBRACKET then begin
+      advance st;
+      let e = parse_or st in
+      expect st RBRACKET;
+      loop (e :: acc)
+    end
+    else List.rev acc
+  in
+  loop []
+
+and parse_atom st =
+  match peek st with
+  | INT i ->
+      advance st;
+      Ast.Int_lit i
+  | FLOAT f ->
+      advance st;
+      Ast.Fix_lit f
+  | KW_TRUE ->
+      advance st;
+      Ast.Bool_lit true
+  | KW_FALSE ->
+      advance st;
+      Ast.Bool_lit false
+  | LPAREN ->
+      advance st;
+      let e = parse_or st in
+      expect st RPAREN;
+      e
+  | IDENT name -> (
+      advance st;
+      match peek st with
+      | LPAREN -> Ast.Call (name, parse_args st)
+      | LBRACKET -> Ast.Index (name, parse_indices st)
+      | _ -> Ast.Var name)
+  | t ->
+      raise
+        (Parse_error
+           (Printf.sprintf "expected an expression, found '%s'" (token_to_string t)))
+
+let rec parse_stmt_seq st stop =
+  let rec loop acc =
+    (match peek st with SEMI -> advance st | _ -> ());
+    let t = peek st in
+    if t = EOF || List.mem t stop then
+      match acc with [ s ] -> s | _ -> Ast.Seq (List.rev acc)
+    else
+      let s = parse_one st in
+      (match peek st with SEMI -> advance st | _ -> ());
+      loop (s :: acc)
+  in
+  loop []
+
+and parse_one st =
+  match peek st with
+  | KW_FOR ->
+      advance st;
+      let v =
+        match peek st with
+        | IDENT v ->
+            advance st;
+            v
+        | t -> raise (Parse_error ("expected loop variable, found " ^ token_to_string t))
+      in
+      expect st ASSIGN;
+      let lo = parse_or st in
+      expect st KW_TO;
+      let hi = parse_or st in
+      expect st KW_DO;
+      let body = parse_stmt_seq st [ KW_ENDFOR ] in
+      expect st KW_ENDFOR;
+      Ast.For (v, lo, hi, body)
+  | KW_IF ->
+      advance st;
+      let cond = parse_or st in
+      expect st KW_THEN;
+      let s1 = parse_stmt_seq st [ KW_ELSE; KW_ENDIF ] in
+      let s2 =
+        if peek st = KW_ELSE then begin
+          advance st;
+          parse_stmt_seq st [ KW_ENDIF ]
+        end
+        else Ast.Seq []
+      in
+      expect st KW_ENDIF;
+      Ast.If (cond, s1, s2)
+  | IDENT "output" ->
+      advance st;
+      let args = parse_args st in
+      (match args with
+      | [ e ] -> Ast.Output e
+      | _ -> raise (Parse_error "output takes exactly one argument"))
+  | IDENT name -> (
+      advance st;
+      match peek st with
+      | ASSIGN ->
+          advance st;
+          Ast.Assign (name, parse_or st)
+      | LBRACKET ->
+          let idxs = parse_indices st in
+          expect st ASSIGN;
+          Ast.Assign_idx (name, idxs, parse_or st)
+      | t ->
+          raise
+            (Parse_error
+               (Printf.sprintf "expected '=' or '[' after '%s', found '%s'" name
+                  (token_to_string t))))
+  | t -> raise (Parse_error ("expected a statement, found " ^ token_to_string t))
+
+let parse_stmt src =
+  let st = { toks = tokenize src } in
+  let s = parse_stmt_seq st [] in
+  expect st EOF;
+  s
+
+let parse_expr src =
+  let st = { toks = tokenize src } in
+  let e = parse_or st in
+  expect st EOF;
+  e

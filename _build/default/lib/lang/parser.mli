@@ -1,0 +1,16 @@
+(** Recursive-descent parser for the query language (Fig. 2).
+
+    Grammar (precedence low to high: ||, &&, comparisons, + -, * /, unary):
+    {v
+    stmt   := stmt ; stmt | var = exp | output(exp) | var[exp]... = exp
+            | for var = exp to exp do stmt endfor
+            | if exp then stmt [else stmt] endif
+    exp    := exp op exp | var | var[exp]... | func(exp, ...) | literal | (exp)
+    v} *)
+
+exception Parse_error of string
+
+val parse_stmt : string -> Ast.stmt
+(** Parse a statement sequence (a whole query body). *)
+
+val parse_expr : string -> Ast.expr

@@ -1,0 +1,6 @@
+(** Canonical pretty-printer; [Parser.parse_stmt (Pretty.stmt s)] round-trips
+    to an equal AST (property-tested). *)
+
+val expr : Ast.expr -> string
+val stmt : Ast.stmt -> string
+val pp_stmt : Format.formatter -> Ast.stmt -> unit

@@ -1,0 +1,67 @@
+type issue = { message : string; context : string }
+
+let reserved = [ "db"; "N"; "C"; "output" ]
+
+let check (p : Ast.program) =
+  let issues = ref [] in
+  let add context fmt =
+    Printf.ksprintf (fun message -> issues := { message; context } :: !issues) fmt
+  in
+  let rec check_expr ctx (e : Ast.expr) =
+    match e with
+    | Int_lit _ | Fix_lit _ | Bool_lit _ | Var _ -> ()
+    | Index (_, idxs) -> List.iter (check_expr ctx) idxs
+    | Unop (_, e) -> check_expr ctx e
+    | Binop (_, e1, e2) ->
+        check_expr ctx e1;
+        check_expr ctx e2
+    | Call ("output", _) ->
+        add ctx "output(...) is a statement, not an expression"
+    | Call (f, args) ->
+        (match Builtins.find f with
+        | None -> add ctx "unknown builtin %S" f
+        | Some info ->
+            if List.length args <> info.Builtins.arity then
+              add ctx "%s expects %d argument(s), got %d" f info.Builtins.arity
+                (List.length args));
+        List.iter (check_expr ctx) args
+  in
+  let check_assign_target ctx v =
+    if List.mem v reserved then add ctx "cannot assign to the reserved name %S" v
+  in
+  let rec check_stmt (s : Ast.stmt) =
+    match s with
+    | Seq ss -> List.iter check_stmt ss
+    | Assign (v, e) ->
+        check_assign_target "assignment" v;
+        check_expr ("assignment to " ^ v) e
+    | Assign_idx (v, idxs, e) ->
+        check_assign_target "indexed assignment" v;
+        List.iter (check_expr ("index of " ^ v)) idxs;
+        check_expr ("assignment to " ^ v) e
+    | Output e -> check_expr "output" e
+    | For (v, lo, hi, body) ->
+        check_assign_target "loop variable" v;
+        check_expr "loop bound" lo;
+        check_expr "loop bound" hi;
+        check_stmt body
+    | If (c, s1, s2) ->
+        check_expr "if condition" c;
+        check_stmt s1;
+        check_stmt s2
+  in
+  check_stmt p.Ast.body;
+  (match p.Ast.row with
+  | Ast.One_hot k when k <= 0 -> add "row shape" "one-hot width must be positive"
+  | Ast.Bounded { width; lo; hi } ->
+      if width <= 0 then add "row shape" "row width must be positive";
+      if lo > hi then add "row shape" "row bounds inverted (lo > hi)"
+  | Ast.One_hot _ -> ());
+  if p.Ast.epsilon <= 0.0 then add "privacy" "epsilon must be positive";
+  List.rev !issues
+
+let check_exn p =
+  match check p with
+  | [] -> ()
+  | { message; context } :: _ ->
+      invalid_arg (Printf.sprintf "%s (%s)" message context)

@@ -1,0 +1,13 @@
+(** Early structural validation, run right after parsing: unknown builtins,
+    wrong arities, assignments to the reserved names, and obviously
+    malformed uses (indexing a call result, calling [output] as an
+    expression). Gives analysts precise messages before the heavier type
+    and privacy analyses run. *)
+
+type issue = { message : string; context : string }
+
+val check : Ast.program -> issue list
+(** Empty list = structurally valid. *)
+
+val check_exn : Ast.program -> unit
+(** Raises [Invalid_argument] with the first issue's message. *)

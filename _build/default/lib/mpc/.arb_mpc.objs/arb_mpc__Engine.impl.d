@@ -1,0 +1,1 @@
+lib/mpc/engine.ml: Arb_crypto Arb_util Array Cost Int64 List

@@ -1,0 +1,1 @@
+lib/mpc/engine.mli: Arb_util Cost

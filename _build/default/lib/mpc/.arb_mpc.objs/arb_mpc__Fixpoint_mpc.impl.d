@@ -1,0 +1,1 @@
+lib/mpc/fixpoint_mpc.ml: Arb_util Engine List

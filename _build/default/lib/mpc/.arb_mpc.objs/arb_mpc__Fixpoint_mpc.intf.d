@@ -1,0 +1,1 @@
+lib/mpc/fixpoint_mpc.mli: Arb_util Engine

@@ -1,0 +1,1 @@
+lib/mpc/protocols.ml: Arb_util Array Cost Engine Fixpoint_mpc Float List Stdlib

@@ -1,0 +1,1 @@
+lib/mpc/protocols.mli: Arb_util Engine Fixpoint_mpc

@@ -1,0 +1,43 @@
+type t = {
+  mutable rounds : int;
+  mutable bytes_per_party : int;
+  mutable triples : int;
+  mutable mults : int;
+  mutable opens : int;
+  mutable comparisons : int;
+  mutable truncations : int;
+  mutable inputs : int;
+  mutable field_ops : int;
+}
+
+let zero () =
+  {
+    rounds = 0;
+    bytes_per_party = 0;
+    triples = 0;
+    mults = 0;
+    opens = 0;
+    comparisons = 0;
+    truncations = 0;
+    inputs = 0;
+    field_ops = 0;
+  }
+
+let add a b =
+  {
+    rounds = a.rounds + b.rounds;
+    bytes_per_party = a.bytes_per_party + b.bytes_per_party;
+    triples = a.triples + b.triples;
+    mults = a.mults + b.mults;
+    opens = a.opens + b.opens;
+    comparisons = a.comparisons + b.comparisons;
+    truncations = a.truncations + b.truncations;
+    inputs = a.inputs + b.inputs;
+    field_ops = a.field_ops + b.field_ops;
+  }
+
+let pp fmt c =
+  Format.fprintf fmt
+    "rounds=%d bytes/party=%d triples=%d mults=%d opens=%d cmps=%d truncs=%d inputs=%d fops=%d"
+    c.rounds c.bytes_per_party c.triples c.mults c.opens c.comparisons
+    c.truncations c.inputs c.field_ops

@@ -1,0 +1,25 @@
+(** Cost accounting for simulated MPC executions.
+
+    The paper's cost model (§4.6, §6) is built by benchmarking building
+    blocks — MPC start-up, triple generation, per-gate and per-round costs —
+    and adding them up per query plan. The engine counts the same raw
+    quantities during simulated execution; the planner's cost model converts
+    counts to seconds/bytes using calibrated constants. *)
+
+type t = {
+  mutable rounds : int;  (** communication rounds (latency-bound) *)
+  mutable bytes_per_party : int;  (** bytes sent by each party (symmetric protocols) *)
+  mutable triples : int;  (** Beaver triples consumed *)
+  mutable mults : int;
+  mutable opens : int;
+  mutable comparisons : int;
+  mutable truncations : int;
+  mutable inputs : int;
+  mutable field_ops : int;  (** local field operations *)
+}
+
+val zero : unit -> t
+val add : t -> t -> t
+(** Component-wise sum (fresh record). *)
+
+val pp : Format.formatter -> t -> unit

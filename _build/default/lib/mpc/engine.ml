@@ -1,0 +1,333 @@
+exception Cheating_detected of string
+
+module F = Arb_crypto.Field
+
+(* RNS modulus machinery shared with the BGV layer's conventions. *)
+module Rns = struct
+  type t = {
+    fs : F.t array;
+    q_total : int;
+    crt_inv : int; (* q1^{-1} mod q2 when two primes *)
+  }
+
+  let make primes =
+    let fs = Array.of_list (List.map F.create primes) in
+    if Array.length fs < 1 || Array.length fs > 2 then
+      invalid_arg "Engine: 1 or 2 RNS primes supported";
+    let q_total = Array.fold_left (fun a f -> a * f.F.p) 1 fs in
+    let crt_inv =
+      if Array.length fs = 2 then F.inv fs.(1) (fs.(0).F.p mod fs.(1).F.p) else 0
+    in
+    { fs; q_total; crt_inv }
+
+  let lift_centered t residues =
+    let x =
+      match Array.length t.fs with
+      | 1 -> residues.(0)
+      | 2 ->
+          let q1 = t.fs.(0).F.p in
+          let f2 = t.fs.(1) in
+          let d = F.sub f2 residues.(1) (residues.(0) mod f2.F.p) in
+          residues.(0) + (q1 * F.mul f2 d t.crt_inv)
+      | _ -> assert false
+    in
+    if x > t.q_total / 2 then x - t.q_total else x
+
+  (* Residues of a signed integer. *)
+  let reduce t v = Array.map (fun f -> F.of_int f v) t.fs
+
+  (* Product mod q of two centered values, without overflowing native
+     ints: compute per-prime and CRT-lift. *)
+  let mul_centered t a b =
+    let residues =
+      Array.map (fun f -> F.mul f (F.of_int f a) (F.of_int f b)) t.fs
+    in
+    lift_centered t residues
+
+  (* A uniform element of [0, q) as a centered value. *)
+  let random_centered t rng =
+    lift_centered t (Array.map (fun f -> F.random f rng) t.fs)
+end
+
+type sec = {
+  shares : int array array; (* shares.(prime).(party), Shamir at x = party+1 *)
+  mirror : int; (* centered cleartext mirror (testing / protocol-level ops) *)
+}
+
+type t = {
+  rns : Rns.t;
+  parties : int;
+  threshold : int;
+  rng : Arb_util.Rng.t;
+  cost : Cost.t;
+  felt_bytes : int; (* wire bytes per field element across the RNS basis *)
+  mutable cheaters : int list; (* parties identified by robust decoding *)
+}
+
+let default_primes = [ 998244353; 754974721 ]
+
+let create ?(q_primes = default_primes) ~parties rng () =
+  if parties < 2 then invalid_arg "Engine.create: need at least 2 parties";
+  let rns = Rns.make q_primes in
+  {
+    rns;
+    parties;
+    threshold = (parties - 1) / 2;
+    rng;
+    cost = Cost.zero ();
+    felt_bytes = 4 * Array.length rns.Rns.fs;
+    cheaters = [];
+  }
+
+let parties t = t.parties
+let threshold t = t.threshold
+let modulus t = t.rns.Rns.q_total
+let cost t = t.cost
+
+(* --- share bookkeeping --- *)
+
+let share_value t v =
+  Array.map
+    (fun f ->
+      let shs =
+        Arb_crypto.Shamir.share f t.rng ~secret:(F.of_int f v)
+          ~threshold:t.threshold ~parties:t.parties
+      in
+      Array.map (fun (s : Arb_crypto.Shamir.share) -> s.value) shs)
+    t.rns.Rns.fs
+
+let charge_round t n = t.cost.Cost.rounds <- t.cost.Cost.rounds + n
+let charge_bytes t n = t.cost.Cost.bytes_per_party <- t.cost.Cost.bytes_per_party + n
+let charge_fops t n = t.cost.Cost.field_ops <- t.cost.Cost.field_ops + n
+
+let input t ~party v =
+  if party < 0 || party >= t.parties then invalid_arg "Engine.input: bad party";
+  t.cost.Cost.inputs <- t.cost.Cost.inputs + 1;
+  charge_round t 1;
+  (* Dealer sends one share to each other party. *)
+  charge_bytes t ((t.parties - 1) * t.felt_bytes);
+  { shares = share_value t v; mirror = v }
+
+let const t v =
+  (* Constant polynomial: every party holds v; no communication. *)
+  {
+    shares = Array.map (fun f -> Array.make t.parties (F.of_int f v)) t.rns.Rns.fs;
+    mirror = v;
+  }
+
+let map2_shares t f a b =
+  Array.init
+    (Array.length t.rns.Rns.fs)
+    (fun j ->
+      let fld = t.rns.Rns.fs.(j) in
+      Array.init t.parties (fun p -> f fld a.(j).(p) b.(j).(p)))
+
+let add t a b =
+  charge_fops t t.parties;
+  {
+    shares = map2_shares t F.add a.shares b.shares;
+    mirror = Rns.lift_centered t.rns (Rns.reduce t.rns (a.mirror + b.mirror));
+  }
+
+let sub t a b =
+  charge_fops t t.parties;
+  {
+    shares = map2_shares t F.sub a.shares b.shares;
+    mirror = Rns.lift_centered t.rns (Rns.reduce t.rns (a.mirror - b.mirror));
+  }
+
+let neg t a =
+  charge_fops t t.parties;
+  {
+    shares = Array.mapi (fun j row -> Array.map (F.neg t.rns.Rns.fs.(j)) row) a.shares;
+    mirror = -a.mirror;
+  }
+
+let scale t k a =
+  charge_fops t t.parties;
+  {
+    shares =
+      Array.mapi
+        (fun j row ->
+          let fld = t.rns.Rns.fs.(j) in
+          let kf = F.of_int fld k in
+          Array.map (fun s -> F.mul fld kf s) row)
+        a.shares;
+    mirror = Rns.mul_centered t.rns k a.mirror;
+  }
+
+let add_const t a k = add t a (const t k)
+
+(* --- opening with consistency check --- *)
+
+(* Lagrange-evaluate the degree-<=threshold polynomial through points
+   (xs, ys) at x. *)
+let lagrange_eval fld xs ys x =
+  let n = Array.length xs in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    let num = ref 1 and den = ref 1 in
+    for j = 0 to n - 1 do
+      if j <> i then begin
+        num := F.mul fld !num (F.of_int fld (x - xs.(j)));
+        den := F.mul fld !den (F.of_int fld (xs.(i) - xs.(j)))
+      end
+    done;
+    acc := F.add fld !acc (F.mul fld ys.(i) (F.div fld !num !den))
+  done;
+  !acc
+
+let open_residues t shares_row fld =
+  let m = t.parties and th = t.threshold in
+  let xs = Array.init (th + 1) (fun i -> i + 1) in
+  let ys = Array.init (th + 1) (fun i -> shares_row.(i)) in
+  (* Fast path: every redundant share lies on the degree-th polynomial
+     defined by the first th+1 — no decoding work when everyone is honest. *)
+  let consistent = ref true in
+  for p = th + 1 to m - 1 do
+    if !consistent && lagrange_eval fld xs ys (p + 1) <> shares_row.(p) then
+      consistent := false
+  done;
+  if !consistent then lagrange_eval fld xs ys 0
+  else begin
+    (* Someone lied: run Reed-Solomon decoding (Berlekamp-Welch). The
+       honest-majority setting corrects up to floor((m - th - 1)/2)
+       corrupted shares and identifies the cheaters; beyond that the
+       protocol must abort. *)
+    let shares =
+      Array.to_list
+        (Array.mapi
+           (fun i v -> { Arb_crypto.Shamir.idx = i + 1; value = v })
+           shares_row)
+    in
+    match Arb_crypto.Shamir.reconstruct_robust fld ~threshold:th shares with
+    | Ok (secret, cheaters) ->
+        List.iter
+          (fun idx ->
+            let party = idx - 1 in
+            if not (List.mem party t.cheaters) then
+              t.cheaters <- party :: t.cheaters)
+          cheaters;
+        secret
+    | Error _ ->
+        raise (Cheating_detected "corruption beyond the decoding radius")
+  end
+
+let open_value t a =
+  t.cost.Cost.opens <- t.cost.Cost.opens + 1;
+  charge_round t 1;
+  (* Every party broadcasts its share. *)
+  charge_bytes t ((t.parties - 1) * t.felt_bytes);
+  charge_fops t (t.parties * t.parties);
+  let residues =
+    Array.mapi (fun j row -> open_residues t row t.rns.Rns.fs.(j)) a.shares
+  in
+  let v = Rns.lift_centered t.rns residues in
+  (* Engine invariant: after correction the opened value must match the
+     cleartext mirror. *)
+  if v <> a.mirror then raise (Cheating_detected "opened value diverged from mirror");
+  v
+
+let corrupt_share t a ~party =
+  if party < 0 || party >= t.parties then invalid_arg "Engine.corrupt_share";
+  Array.iteri
+    (fun j row ->
+      let fld = t.rns.Rns.fs.(j) in
+      row.(party) <- F.add fld row.(party) 1)
+    a.shares
+
+let mirror _t a = a.mirror
+
+let detected_cheaters t = List.sort compare t.cheaters
+
+(* --- Beaver multiplication --- *)
+
+let fresh_triple t =
+  t.cost.Cost.triples <- t.cost.Cost.triples + 1;
+  (* Preprocessing cost is charged via the triples counter; the planner's
+     cost model prices triple generation separately (first-comparison
+     effect, §6). *)
+  let x = Rns.random_centered t.rns t.rng in
+  let y = Rns.random_centered t.rns t.rng in
+  let z = Rns.mul_centered t.rns x y in
+  ( { shares = share_value t x; mirror = x },
+    { shares = share_value t y; mirror = y },
+    { shares = share_value t z; mirror = z } )
+
+let mul t a b =
+  t.cost.Cost.mults <- t.cost.Cost.mults + 1;
+  let x, y, z = fresh_triple t in
+  (* d = a - x and e = b - y are opened in the same round. *)
+  let d_sec = sub t a x and e_sec = sub t b y in
+  charge_round t 1;
+  charge_bytes t (2 * (t.parties - 1) * t.felt_bytes);
+  charge_fops t (2 * t.parties * t.parties);
+  let d =
+    Rns.lift_centered t.rns
+      (Array.mapi (fun j row -> open_residues t row t.rns.Rns.fs.(j)) d_sec.shares)
+  in
+  let e =
+    Rns.lift_centered t.rns
+      (Array.mapi (fun j row -> open_residues t row t.rns.Rns.fs.(j)) e_sec.shares)
+  in
+  (* c = z + d*y + e*x + d*e *)
+  let de = const t (Rns.mul_centered t.rns d e) in
+  let c = add t (add t z (scale t d y)) (add t (scale t e x) de) in
+  { c with mirror = Rns.mul_centered t.rns a.mirror b.mirror }
+
+(* --- protocol-level operations: correct result, charged costs --- *)
+
+let value_bits = 47 (* 30.16 fixpoint width + sign *)
+
+let reshare t v =
+  { shares = share_value t v; mirror = v }
+
+let trunc t a ~bits =
+  t.cost.Cost.truncations <- t.cost.Cost.truncations + 1;
+  (* Probabilistic truncation: 1 round, one opened masked value. *)
+  charge_round t 1;
+  charge_bytes t ((t.parties - 1) * t.felt_bytes * 2);
+  t.cost.Cost.triples <- t.cost.Cost.triples + 1;
+  let v = a.mirror in
+  let r = if v >= 0 then v asr bits else -((-v) asr bits) in
+  reshare t r
+
+let less_than t a b =
+  t.cost.Cost.comparisons <- t.cost.Cost.comparisons + 1;
+  (* Bit-decomposition comparison: ~2k triples, O(log k) rounds. *)
+  t.cost.Cost.triples <- t.cost.Cost.triples + (2 * value_bits);
+  charge_round t 7;
+  charge_bytes t (2 * value_bits * (t.parties - 1) * t.felt_bytes);
+  reshare t (if a.mirror < b.mirror then 1 else 0)
+
+let select t c a b =
+  (* b + c*(a - b) *)
+  add t b (mul t c (sub t a b))
+
+let joint_uniform_bits t ~bits =
+  if bits <= 0 || bits > 60 then invalid_arg "Engine.joint_uniform_bits";
+  (* Every party contributes entropy; combining costs one round plus [bits]
+     shared-bit multiplications' worth of triples. *)
+  charge_round t 2;
+  t.cost.Cost.triples <- t.cost.Cost.triples + bits;
+  charge_bytes t (bits * (t.parties - 1) * t.felt_bytes);
+  let v = Int64.to_int (Int64.shift_right_logical (Arb_util.Rng.next_int64 t.rng) (64 - bits)) in
+  reshare t v
+
+let gadget t ~rounds ~triples ~bytes v =
+  charge_round t rounds;
+  t.cost.Cost.triples <- t.cost.Cost.triples + triples;
+  charge_bytes t bytes;
+  reshare t v
+
+let reshare_in t v =
+  (* Receiving VSR sub-shares from the previous committee: each member
+     gets one sub-share from every previous member plus commitments. *)
+  charge_round t 1;
+  charge_bytes t (t.parties * (t.felt_bytes + 32));
+  reshare t v
+
+let reshare_out t a =
+  charge_round t 1;
+  charge_bytes t (t.parties * (t.felt_bytes + 32));
+  a.mirror

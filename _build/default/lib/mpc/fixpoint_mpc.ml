@@ -1,0 +1,125 @@
+module Fx = Arb_util.Fixed
+
+type t = Engine.sec
+
+let frac_bits = Fx.frac_bits
+let value_bits = 47
+
+let of_fixed eng ~party v = Engine.input eng ~party (Fx.to_raw v)
+let const eng v = Engine.const eng (Fx.to_raw v)
+let open_fixed eng v = Fx.of_raw (Engine.open_value eng v)
+
+let of_sec_int eng v = Engine.scale eng (1 lsl frac_bits) v
+
+let add = Engine.add
+let sub = Engine.sub
+let neg = Engine.neg
+
+(* Rescaling after a product rounds to nearest (half away from zero),
+   matching Arb_util.Fixed.mul: plain truncation toward zero would zero out
+   any product below one quantum — e.g. ln(u) for u near 1 — and bias all
+   fixpoint chains toward zero. *)
+let rescale eng wide =
+  let m = Engine.mirror eng wide in
+  let half = 1 lsl (frac_bits - 1) in
+  let adjusted =
+    if m >= 0 then Engine.add_const eng wide half
+    else Engine.add_const eng wide (-half)
+  in
+  Engine.trunc eng adjusted ~bits:frac_bits
+
+let mul eng a b = rescale eng (Engine.mul eng a b)
+
+let mul_public eng k a = rescale eng (Engine.scale eng (Fx.to_raw k) a)
+
+let less_than = Engine.less_than
+
+let max2 eng a b =
+  let c = less_than eng a b in
+  Engine.select eng c b a
+
+let ln2 = Fx.of_float 0.6931471805599453
+
+(* Cost of a secret power-of-two shift / normalization ladder: one
+   comparison per value bit (the standard bit-decomposition gadget). *)
+let ladder_bytes eng = value_bits * (Engine.parties eng - 1) * 8
+
+(* 2^x. The fractional-part polynomial is evaluated share-faithfully
+   (Horner with Beaver multiplies); the secret shift by the integer part is
+   a protocol-level gadget. Result can differ from Arb_util.Fixed.exp2 by a
+   few units in the last place (fixpoint vs float polynomial evaluation). *)
+let exp2 eng x =
+  let xm = Fx.of_raw (Engine.mirror eng x) in
+  let xf = Fx.to_float xm in
+  if xf >= float_of_int (Fx.int_bits - 1) || xf < float_of_int (-frac_bits - 1)
+  then
+    (* Saturated: detected by the comparison ladder alone. *)
+    Engine.gadget eng ~rounds:7 ~triples:(2 * value_bits)
+      ~bytes:(ladder_bytes eng)
+      (Fx.to_raw (Fx.exp2 xm))
+  else begin
+    let ip = Engine.trunc eng x ~bits:frac_bits in
+    let frac = Engine.sub eng x (Engine.scale eng (1 lsl frac_bits) ip) in
+    let horner acc coeff = add eng (mul eng acc frac) (const eng (Fx.of_float coeff)) in
+    let poly =
+      List.fold_left horner
+        (const eng (Fx.of_float 0.0089892745566750))
+        [ 0.0558016049633903; 0.2401596780245026; 0.6931471805599453; 1.0 ]
+    in
+    (* Secret 2^ip via the shift ladder gadget. *)
+    let ipm = Engine.mirror eng ip in
+    let pow2ip =
+      Engine.gadget eng ~rounds:7 ~triples:(2 * value_bits)
+        ~bytes:(ladder_bytes eng)
+        (if ipm >= 0 then (1 lsl frac_bits) lsl ipm else (1 lsl frac_bits) asr -ipm)
+    in
+    mul eng poly pow2ip
+  end
+
+(* log2 is entirely protocol-level: MSB normalization ladder plus a
+   polynomial, priced as comparisons + multiplies; the result matches the
+   cleartext reference exactly. *)
+let log2 eng x =
+  let xm = Fx.of_raw (Engine.mirror eng x) in
+  if Fx.compare xm Fx.zero <= 0 then invalid_arg "Fixpoint_mpc.log2: non-positive";
+  (* MSB normalization is a 47-bit comparison ladder; with Batcher-style
+     prefix gadgets it runs in ~22 rounds (MP-SPDZ's sfix log). *)
+  Engine.gadget eng ~rounds:22
+    ~triples:((2 * value_bits) + 8)
+    ~bytes:(ladder_bytes eng + (8 * (Engine.parties eng - 1) * 8))
+    (Fx.to_raw (Fx.log2 xm))
+
+let uniform01 eng =
+  let bits = Engine.joint_uniform_bits eng ~bits:frac_bits in
+  (* Raw value in [0, 2^16) is exactly a fixpoint in [0,1); force nonzero so
+     the logarithms downstream stay defined. *)
+  if Engine.mirror eng bits = 0 then Engine.add_const eng bits 1 else bits
+
+let ln_fix eng x = mul_public eng ln2 (log2 eng x)
+
+let gumbel eng ~scale =
+  let u = uniform01 eng in
+  let inner = ln_fix eng u in
+  (* -ln u is at least one quantum (u < 1 on the lattice); keep it so even
+     if rounding collapsed the product. *)
+  let neg_inner = neg eng inner in
+  let neg_inner =
+    if Engine.mirror eng neg_inner <= 0 then Engine.add_const eng neg_inner 1
+    else neg_inner
+  in
+  let outer = ln_fix eng neg_inner in
+  mul_public eng (Fx.neg scale) outer
+
+let laplace eng ~scale =
+  (* Inverse-CDF: scale * sign(u - 1/2) * -ln(1 - 2|u - 1/2|). *)
+  let u = uniform01 eng in
+  let half = const eng (Fx.of_float 0.5) in
+  let d = sub eng u half in
+  let is_neg = less_than eng d (Engine.const eng 0) in
+  let abs_d = Engine.select eng is_neg (neg eng d) d in
+  let one = const eng Fx.one in
+  let arg = sub eng one (Engine.scale eng 2 abs_d) in
+  (* Keep the argument strictly positive at the 2^-16 lattice edge. *)
+  let arg = if Engine.mirror eng arg <= 0 then Engine.add_const eng arg 1 else arg in
+  let pos = mul_public eng (Fx.neg scale) (ln_fix eng arg) in
+  Engine.select eng is_neg (neg eng pos) pos

@@ -1,0 +1,46 @@
+(** Fixed-point arithmetic on secret-shared values (MP-SPDZ's sfix, §6).
+
+    A secret fixpoint value is an {!Engine.sec} holding the 2^16-scaled
+    integer of {!Arb_util.Fixed}. Multiplication composes a share-faithful
+    Beaver multiply with the truncation protocol; the transcendental
+    functions use the same shift-plus-polynomial decomposition as the
+    cleartext {!Arb_util.Fixed}: [log2] matches the reference exactly
+    (protocol-level gadget), while [exp2] evaluates its fractional
+    polynomial share-faithfully in fixpoint and may differ from the float
+    reference by a few units in the last place. *)
+
+type t = Engine.sec
+
+val of_fixed : Engine.t -> party:int -> Arb_util.Fixed.t -> t
+(** A party inputs a fixpoint value. *)
+
+val const : Engine.t -> Arb_util.Fixed.t -> t
+val open_fixed : Engine.t -> t -> Arb_util.Fixed.t
+val of_sec_int : Engine.t -> Engine.sec -> t
+(** Interpret a shared integer as fixpoint (scales by 2^16; free locally). *)
+
+val add : Engine.t -> t -> t -> t
+val sub : Engine.t -> t -> t -> t
+val neg : Engine.t -> t -> t
+val mul : Engine.t -> t -> t -> t
+(** Beaver multiply + truncation by 16 bits. *)
+
+val mul_public : Engine.t -> Arb_util.Fixed.t -> t -> t
+val less_than : Engine.t -> t -> t -> Engine.sec
+(** Shared 0/1 bit. *)
+
+val max2 : Engine.t -> t -> t -> t
+val exp2 : Engine.t -> t -> t
+(** 2^x — base-2 exponential, matching [Arb_util.Fixed.exp2]. *)
+
+val log2 : Engine.t -> t -> t
+(** Base-2 logarithm of a positive value; protocol-level normalization. *)
+
+val uniform01 : Engine.t -> t
+(** Jointly sampled uniform fixpoint in (0, 1\] at 2^-16 granularity. *)
+
+val gumbel : Engine.t -> scale:Arb_util.Fixed.t -> t
+(** Gumbel(0, scale) noise sampled inside the MPC: scale · (-ln(-ln U)). *)
+
+val laplace : Engine.t -> scale:Arb_util.Fixed.t -> t
+(** Laplace(0, scale) noise sampled inside the MPC. *)

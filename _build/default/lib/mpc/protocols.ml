@@ -1,0 +1,142 @@
+module Fx = Arb_util.Fixed
+module Fm = Fixpoint_mpc
+
+let sum eng values =
+  if Array.length values = 0 then invalid_arg "Protocols.sum: empty";
+  let acc = ref values.(0) in
+  for i = 1 to Array.length values - 1 do
+    acc := Engine.add eng !acc values.(i)
+  done;
+  !acc
+
+let argmax eng scores =
+  if Array.length scores = 0 then invalid_arg "Protocols.argmax: empty";
+  let best = ref scores.(0) and best_idx = ref (Engine.const eng 0) in
+  for i = 1 to Array.length scores - 1 do
+    let c = Fm.less_than eng !best scores.(i) in
+    best := Engine.select eng c scores.(i) !best;
+    best_idx := Engine.select eng c (Engine.const eng i) !best_idx
+  done;
+  !best_idx
+
+let max eng scores =
+  if Array.length scores = 0 then invalid_arg "Protocols.max: empty";
+  Array.fold_left (fun acc s -> Fm.max2 eng acc s) scores.(0) scores
+
+let noised_scores eng ~noise scores =
+  Array.map (fun s -> Fm.add eng s (noise eng)) scores
+
+let em_gumbel eng ~epsilon ~sensitivity scores =
+  let scale = Fx.of_float (2.0 *. sensitivity /. epsilon) in
+  let noised = noised_scores eng ~noise:(fun e -> Fm.gumbel e ~scale) scores in
+  Engine.open_value eng (argmax eng noised)
+
+let em_exponentiate eng ~epsilon ~sensitivity scores =
+  (* Fig. 4 (left): window the scores to 16 bits below the max so the
+     exponentials stay representable, zero anything below the window, draw
+     r uniformly in [0, sum es), scan the prefix intervals. *)
+  let window = Fx.of_int 16 in
+  let m = max eng scores in
+  let threshold = Fm.sub eng m (Fm.const eng window) in
+  let k = Fx.of_float (epsilon /. (2.0 *. sensitivity)) in
+  let es =
+    Array.map
+      (fun s ->
+        let above = Fm.less_than eng threshold s in
+        let shifted = Fm.sub eng s threshold in
+        let e = Fm.exp2 eng (Fm.mul_public eng k shifted) in
+        Engine.mul eng above e)
+      scores
+  in
+  let total = sum eng es in
+  (* r uniform in [0, total): joint uniform u in [0,1) scaled by total. *)
+  let u = Fm.uniform01 eng in
+  let r = Fm.mul eng u total in
+  let prefix = ref (Engine.const eng 0) in
+  let chosen = ref (Engine.const eng 0) in
+  let found = ref (Engine.const eng 0) in
+  Array.iteri
+    (fun i e ->
+      let next = Engine.add eng !prefix e in
+      (* in_bucket = (r < next) && not found *)
+      let lt = Fm.less_than eng r next in
+      let not_found = Engine.sub eng (Engine.const eng 1) !found in
+      let take = Engine.mul eng lt not_found in
+      chosen := Engine.add eng !chosen (Engine.scale eng i take);
+      found := Engine.add eng !found take;
+      prefix := next)
+    es;
+  Engine.open_value eng !chosen
+
+let prefix_sums eng values =
+  let acc = ref (Engine.const eng 0) in
+  Array.map
+    (fun v ->
+      acc := Engine.add eng !acc v;
+      !acc)
+    values
+
+let rank_select eng histogram ~rank =
+  let prefixes = prefix_sums eng histogram in
+  let r = Engine.const eng rank in
+  let chosen = ref (Engine.const eng 0) in
+  let found = ref (Engine.const eng 0) in
+  Array.iteri
+    (fun i p ->
+      (* exceeded = rank < prefix *)
+      let gt = Engine.less_than eng r p in
+      let not_found = Engine.sub eng (Engine.const eng 1) !found in
+      let take = Engine.mul eng gt not_found in
+      chosen := Engine.add eng !chosen (Engine.scale eng i take);
+      found := Engine.add eng !found take)
+    prefixes;
+  !chosen
+
+(* --- BGV ceremony cost charging --- *)
+
+let charge_poly_ops eng ~n ~rns_primes ~polys =
+  let c = Engine.cost eng in
+  (* NTT-domain polynomial arithmetic: n log n butterflies per poly-op. *)
+  let log_n = Stdlib.max 1 (int_of_float (Float.log2 (float_of_int n))) in
+  c.Cost.field_ops <- c.Cost.field_ops + (polys * rns_primes * n * log_n)
+
+let charge_bgv_keygen eng ~n ~rns_primes =
+  (* Joint sampling of s and e (n coefficients each, shared-bit sampling),
+     one public poly multiplication, then VSR hand-off of the secret key. *)
+  let c = Engine.cost eng in
+  let parties = Engine.parties eng in
+  c.Cost.rounds <- c.Cost.rounds + 12;
+  c.Cost.triples <- c.Cost.triples + (2 * n);
+  c.Cost.bytes_per_party <-
+    c.Cost.bytes_per_party + (rns_primes * n * 4 * (parties - 1) * 2);
+  charge_poly_ops eng ~n ~rns_primes ~polys:3
+
+let charge_bgv_decrypt eng ~n ~rns_primes ~ciphertexts =
+  (* Per ciphertext: each member multiplies c1 by its key share (local NTT
+     work) and broadcasts a partial decryption of n coefficients. *)
+  let c = Engine.cost eng in
+  let parties = Engine.parties eng in
+  c.Cost.rounds <- c.Cost.rounds + (2 * ciphertexts);
+  c.Cost.bytes_per_party <-
+    c.Cost.bytes_per_party + (ciphertexts * rns_primes * n * 4 * (parties - 1));
+  charge_poly_ops eng ~n ~rns_primes ~polys:(2 * ciphertexts)
+
+let charge_zk_setup eng ~constraints =
+  (* Groth16 trusted setup inside the first committee (as in Mycelium):
+     linear in the constraint count. *)
+  let c = Engine.cost eng in
+  let parties = Engine.parties eng in
+  c.Cost.rounds <- c.Cost.rounds + 4;
+  c.Cost.bytes_per_party <- c.Cost.bytes_per_party + (constraints * 64 / Stdlib.max 1 (parties - 1) * (parties - 1));
+  c.Cost.field_ops <- c.Cost.field_ops + (constraints * 8)
+
+let em_gumbel_gap eng ~epsilon ~sensitivity scores =
+  (* Free-gap variant (Ding et al.): release the winner and its noisy gap
+     to the runner-up from a single noise draw. *)
+  let scale = Fx.of_float (2.0 *. sensitivity /. epsilon) in
+  let noised = noised_scores eng ~noise:(fun e -> Fm.gumbel e ~scale) scores in
+  let w = Engine.open_value eng (argmax eng noised) in
+  let runners = Array.to_list noised |> List.filteri (fun i _ -> i <> w) in
+  let second = max eng (Array.of_list runners) in
+  let gap = Fm.open_fixed eng (Fm.sub eng noised.(w) second) in
+  (w, gap)

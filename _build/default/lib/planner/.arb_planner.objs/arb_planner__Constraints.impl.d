@@ -1,0 +1,1 @@
+lib/planner/constraints.ml: Cost_model

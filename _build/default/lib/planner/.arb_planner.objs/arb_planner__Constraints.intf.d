@@ -1,0 +1,1 @@
+lib/planner/constraints.mli: Cost_model

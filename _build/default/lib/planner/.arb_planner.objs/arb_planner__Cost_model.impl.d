@@ -1,0 +1,1 @@
+lib/planner/cost_model.ml: Arb_crypto Arb_mpc Arb_util Array Float Format List Plan Unix

@@ -1,0 +1,1 @@
+lib/planner/cost_model.mli: Format Plan

@@ -1,0 +1,1 @@
+lib/planner/expand.ml: Cost_model Extract List Option Plan Printf

@@ -1,0 +1,1 @@
+lib/planner/expand.mli: Cost_model Extract Plan

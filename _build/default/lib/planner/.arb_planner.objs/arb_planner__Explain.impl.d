@@ -1,0 +1,1 @@
+lib/planner/explain.ml: Arb_util Cost_model Format List Plan Printf

@@ -1,0 +1,1 @@
+lib/planner/explain.mli: Cost_model Plan

@@ -1,0 +1,1 @@
+lib/planner/extract.ml: Arb_lang Hashtbl List Printf

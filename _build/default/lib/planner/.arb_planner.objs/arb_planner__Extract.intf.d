@@ -1,0 +1,1 @@
+lib/planner/extract.mli: Arb_lang

@@ -1,0 +1,1 @@
+lib/planner/plan_io.ml: Arb_util Cost_model List Plan

@@ -1,0 +1,1 @@
+lib/planner/plan_io.mli: Arb_util Cost_model Plan

@@ -1,0 +1,1 @@
+lib/planner/search.ml: Arb_dp Arb_queries Constraints Cost_model Expand Extract Float Hashtbl List Logs Option Plan Unix

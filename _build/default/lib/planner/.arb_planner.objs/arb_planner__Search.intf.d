@@ -1,0 +1,1 @@
+lib/planner/search.mli: Arb_queries Constraints Cost_model Plan

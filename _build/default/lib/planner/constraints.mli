@@ -1,0 +1,30 @@
+(** Analyst-supplied optimization goals and limits (§4.2). *)
+
+type goal =
+  | Min_agg_time
+  | Min_agg_bytes
+  | Min_part_exp_time
+  | Min_part_max_time
+  | Min_part_exp_bytes
+  | Min_part_max_bytes
+
+type limits = {
+  max_agg_time : float option;  (** single-core seconds *)
+  max_agg_bytes : float option;
+  max_part_exp_time : float option;
+  max_part_max_time : float option;
+  max_part_exp_bytes : float option;
+  max_part_max_bytes : float option;
+}
+
+val no_limits : limits
+
+val evaluation_limits : limits
+(** The §7.2 setting: participants send at most 4 GB and compute at most
+    20 minutes; the aggregator spends at most 1,000 core-hours. *)
+
+val with_agg_core_hours : limits -> float -> limits
+
+val satisfies : limits -> Cost_model.metrics -> bool
+val goal_value : goal -> Cost_model.metrics -> float
+val goal_name : goal -> string

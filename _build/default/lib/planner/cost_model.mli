@@ -1,0 +1,87 @@
+(** The planner's cost model (§4.6, §6).
+
+    Built the way the paper builds it: benchmark each building block once on
+    a reference platform, then score a candidate plan by summing the
+    per-operation costs. The calibration constants below are anchored to
+    the building-block numbers the paper reports for its reference cluster
+    (PowerEdge R430) — e.g. a 42-member Gumbel-noise MPC at 73.8 s, a
+    key-generation committee at ~700 MB and ~14 min, G16 verification at a
+    few ms — and to our own substrate's relative op costs; [calibrate]
+    re-derives the relative constants by microbenchmarking this machine's
+    BGV/NTT/MPC substrate (DESIGN.md §1).
+
+    The model does not predict exact costs; it orders candidates (§4.6). *)
+
+type metrics = {
+  agg_time : float;  (** aggregator compute, single-core seconds *)
+  agg_bytes : float;  (** bytes sent by the aggregator (incl. forwarding) *)
+  part_exp_time : float;  (** expected per-participant compute, seconds *)
+  part_max_time : float;  (** worst-case per-participant compute *)
+  part_exp_bytes : float;  (** expected per-participant bytes sent *)
+  part_max_bytes : float;  (** worst-case per-participant bytes sent *)
+}
+
+val zero_metrics : metrics
+val pp_metrics : Format.formatter -> metrics -> unit
+
+(** How a single vignette loads each actor; combined across a plan by
+    {!combine} (committee-member maxima do not add — a device serves on at
+    most one committee, §5.1). *)
+type contribution = {
+  c_agg_time : float;
+  c_agg_bytes : float;
+  c_all_time : float;  (** paid by every device *)
+  c_all_bytes : float;
+  c_member_time : float;  (** paid by each member of each instance *)
+  c_member_bytes : float;
+  c_instances : int;  (** parallel committee instances (0 if none) *)
+  c_members : int;  (** members per instance: m for MPC, 2 for replicated HE *)
+  c_kind : [ `Keygen | `Decryption | `Operations | `Base ];
+      (** committee type for the Fig. 7 breakdown *)
+}
+
+type ring = {
+  ring_n : int;  (** polynomial degree at deployment scale *)
+  ct_bytes : float;
+  pk_bytes : float;
+}
+
+type t
+(** Calibration. *)
+
+val default : t
+val calibrate : unit -> t
+(** Microbenchmark this machine's substrate to refresh the relative
+    constants (used by the bench harness; takes a few seconds). *)
+
+val ring_for : t -> Plan.crypto -> cols:int -> ring
+(** Deployment-scale BGV parameters for a query with [cols] categories:
+    ring degree 2^12..2^15 (enough slots, 2^15 cap with multiple
+    ciphertexts beyond that), ciphertext sizes matching the paper's
+    reported parameters (135-bit modulus at degree 2^15). *)
+
+val mpc_round_latency : t -> float
+val device_factor : t -> float
+(** How much slower a participant device is than a reference server core. *)
+
+val price :
+  t ->
+  n_devices:int ->
+  m:int ->
+  cols:int ->
+  Plan.vignette ->
+  contribution
+(** Price one vignette for a deployment of [n_devices], committee size [m]
+    and a query over [cols] categories. *)
+
+val combine : n_devices:int -> contribution list -> metrics
+
+val member_cost_by_kind :
+  t ->
+  n_devices:int ->
+  m:int ->
+  cols:int ->
+  Plan.vignette list ->
+  ([ `Keygen | `Decryption | `Operations | `Base ] * float * float) list
+(** Per-committee-type (time, bytes) for a plan's committee vignettes —
+    the series of Fig. 7. *)

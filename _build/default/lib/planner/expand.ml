@@ -1,0 +1,434 @@
+type domain = D_enc | D_shares of int
+
+type ctx = {
+  n_devices : int;
+  cols : int;
+  crypto : Plan.crypto;
+  bins : int option; (* secrecy-of-the-sample bin count for this candidate *)
+  cm : Cost_model.t;
+  redundant_boundaries : bool;
+}
+
+type choice = {
+  label : string;
+  vignettes : Plan.vignette list;
+  domain_after : domain;
+  needs_fhe : bool;
+  em_variant : [ `Gumbel | `Exponentiate | `None ];
+}
+
+let slots ctx = (Cost_model.ring_for ctx.cm ctx.crypto ~cols:ctx.cols).Cost_model.ring_n
+
+let cts_for ctx cols = max 1 ((cols + slots ctx - 1) / slots ctx)
+
+let vign loc work = { Plan.location = loc; work }
+
+let simple ?(needs_fhe = false) ?(em = `None) label vignettes domain_after =
+  { label; vignettes; domain_after; needs_fhe; em_variant = em }
+
+(* Chunk sizes considered when spreading per-category committee work; the
+   paper's plans go as fine as one category per committee (Fig. 5). *)
+let chunk_options cols = List.filter (fun k -> k <= max 1 cols) [ 1; 4; 16; 64; 256; 1024; 4096 ]
+
+(* Sum-tree fanouts (§4.3). *)
+let fanout_options = [ 16; 64; 256; 1024 ]
+
+(* Argmax tournament fanouts. *)
+let argmax_fanouts = [ 2; 4; 8; 16; 64 ]
+
+let ceil_div a b = (a + b - 1) / b
+
+(* Committees for a tournament reduction over [n] values with fanout [f]:
+   levels of ceil(n/f), until one value remains. *)
+let tree_levels n f =
+  let rec go n acc =
+    if n <= 1 then List.rev acc
+    else
+      let nodes = ceil_div n f in
+      go nodes (nodes :: acc)
+  in
+  go n []
+
+let decrypt_vignettes ctx ~count ~chunk =
+  let committees = ceil_div count chunk in
+  let cts = max 1 (ceil_div chunk (slots ctx)) in
+  [ vign (Plan.Committees committees) (Plan.W_mpc_decrypt { crypto = ctx.crypto; cts }) ]
+
+(* Reach the shared domain with a given chunking, from wherever we are. *)
+let to_shares ctx domain ~count ~chunk =
+  match domain with
+  | D_shares k when k = chunk -> []
+  | D_shares _ | D_enc -> decrypt_vignettes ctx ~count ~chunk
+(* A re-chunk from shares is modeled as a fresh decrypt-free reshare; we
+   conservatively charge it like a decrypt round only when coming from
+   ciphertexts. From shares with a different chunk we charge nothing extra
+   here: the VSR hand-off inside the next MPC vignette covers it. *)
+
+let prefix ctx ~sampled_bins =
+  let bins = Option.value sampled_bins ~default:1 in
+  let row_cols = ctx.cols * bins in
+  let cts = cts_for ctx row_cols in
+  let zk_constraints = 3 * row_cols in
+  [
+    vign (Plan.Committees 1) (Plan.W_zk_setup { constraints = min 100_000 zk_constraints });
+    vign (Plan.Committees 1) (Plan.W_keygen ctx.crypto);
+    vign Plan.Participants
+      (Plan.W_encrypt_input { crypto = ctx.crypto; cts_per_device = cts; zk_constraints });
+    vign Plan.Aggregator (Plan.W_verify_inputs { devices = ctx.n_devices });
+  ]
+
+let sampled_bins_options ops =
+  let sampled =
+    List.exists
+      (function Extract.A_sum { sampled_phi = Some _; _ } -> true | _ -> false)
+      ops
+  in
+  if sampled then [ Some 4; Some 8; Some 16 ] else [ None ]
+
+(* --- per-operator choices --- *)
+
+let sum_choices ctx ~cols ~sampled =
+  let cts = cts_for ctx (cols * match sampled with Some b -> b | None -> 1) in
+  let agg =
+    simple "sum:aggregator"
+      [ vign Plan.Aggregator (Plan.W_he_sum { crypto = ctx.crypto; cts; inputs = ctx.n_devices }) ]
+      D_enc
+  in
+  let trees =
+    List.map
+      (fun f ->
+        let levels = tree_levels ctx.n_devices f in
+        let vs =
+          List.map
+            (fun nodes ->
+              vign (Plan.Committees nodes)
+                (Plan.W_he_sum { crypto = ctx.crypto; cts; inputs = f }))
+            levels
+        in
+        simple (Printf.sprintf "sum:tree(%d)" f) vs D_enc)
+      fanout_options
+  in
+  let unmask_choices base =
+    match sampled with
+    | None -> [ base ]
+    | Some bins ->
+        (* Secrecy of the sample: after summing, only the bins inside the
+           committee's secret window may be decrypted. Either the window
+           mask is applied homomorphically (ciphertext-by-ciphertext
+           multiply -> FHE), or all bins are decrypted into an MPC that
+           masks on shares (AHE suffices). *)
+        let fhe_mask =
+          {
+            base with
+            label = base.label ^ "+fheMask";
+            vignettes =
+              base.vignettes
+              @ [
+                  vign (Plan.Committees 1)
+                    (Plan.W_he_affine
+                       { crypto = Plan.Fhe; cts = cts_for ctx (ctx.cols * bins);
+                         muls = 1; adds = 1 });
+                ];
+            needs_fhe = true;
+            domain_after = D_enc;
+          }
+        in
+        let mpc_mask =
+          {
+            base with
+            label = base.label ^ "+mpcMask";
+            vignettes =
+              base.vignettes
+              @ decrypt_vignettes ctx ~count:(ctx.cols * bins) ~chunk:(ctx.cols * bins)
+              @ [
+                  vign (Plan.Committees 1)
+                    (Plan.W_mpc_affine { elements = ctx.cols * bins });
+                ];
+            domain_after = D_shares (ctx.cols * bins);
+          }
+        in
+        [ fhe_mask; mpc_mask ]
+  in
+  List.concat_map unmask_choices (agg :: trees)
+
+let scan_choices ctx domain ~cols =
+  let enc_rotate =
+    match domain with
+    | D_enc ->
+        [
+          simple "scan:heRotate"
+            [
+              vign Plan.Aggregator
+                (Plan.W_he_rotate_sum
+                   { crypto = ctx.crypto; cts = cts_for ctx cols; rotations = min cols (slots ctx) });
+            ]
+            D_enc;
+        ]
+    | D_shares _ -> []
+  in
+  let mpc =
+    List.map
+      (fun chunk ->
+        let committees = ceil_div cols chunk in
+        simple
+          (Printf.sprintf "scan:mpc(%d)" chunk)
+          (to_shares ctx domain ~count:cols ~chunk
+          @ [ vign (Plan.Committees committees) (Plan.W_mpc_scan { elements = chunk }) ])
+          (D_shares chunk))
+      (chunk_options cols)
+  in
+  enc_rotate @ mpc
+
+let affine_choices ctx domain ~cols =
+  let enc =
+    match domain with
+    | D_enc ->
+        [
+          simple "affine:he"
+            [
+              vign Plan.Aggregator
+                (Plan.W_he_affine
+                   { crypto = ctx.crypto; cts = cts_for ctx cols; muls = 1; adds = 1 });
+            ]
+            D_enc;
+        ]
+    | D_shares _ -> []
+  in
+  let mpc =
+    List.map
+      (fun chunk ->
+        let committees = ceil_div cols chunk in
+        simple
+          (Printf.sprintf "affine:mpc(%d)" chunk)
+          (to_shares ctx domain ~count:cols ~chunk
+          @ [ vign (Plan.Committees committees) (Plan.W_mpc_affine { elements = chunk }) ])
+          (D_shares chunk))
+      (chunk_options cols)
+  in
+  enc @ mpc
+
+let nonlinear_choices ctx domain ~cols =
+  let fhe =
+    (* Comparisons evaluated homomorphically: possible but very expensive
+       (deep circuits), and it forces the FHE profile. Priced as a heavy
+       affine batch. *)
+    match domain with
+    | D_enc ->
+        [
+          {
+            (simple "nonlinear:fhe"
+               [
+                 vign Plan.Aggregator
+                   (Plan.W_he_affine
+                      { crypto = Plan.Fhe; cts = cts_for ctx cols;
+                        muls = 48; adds = 48 });
+               ]
+               D_enc)
+            with
+            needs_fhe = true;
+          };
+        ]
+    | D_shares _ -> []
+  in
+  let mpc =
+    List.map
+      (fun chunk ->
+        let committees = ceil_div cols chunk in
+        simple
+          (Printf.sprintf "nonlinear:mpc(%d)" chunk)
+          (to_shares ctx domain ~count:cols ~chunk
+          @ [ vign (Plan.Committees committees) (Plan.W_mpc_nonlinear { elements = chunk }) ])
+          (D_shares chunk))
+      (chunk_options cols)
+  in
+  fhe @ mpc
+
+let laplace_choices ctx domain ~count =
+  List.concat_map
+    (fun chunk ->
+      let committees = ceil_div count chunk in
+      let noise k =
+        vign (Plan.Committees committees) (Plan.W_mpc_noise { kind = k; count = chunk })
+      in
+      let release = vign (Plan.Committees 1) (Plan.W_mpc_output { values = count }) in
+      let split =
+        simple
+          (Printf.sprintf "laplace:mpc(%d)" chunk)
+          (to_shares ctx domain ~count ~chunk @ [ noise `Laplace; release ])
+          (D_shares chunk)
+      in
+      (* §4.4's exception: let the decryption committee also do the
+         noising (fused), saving a hand-off and halving the committee
+         count — at the price of a higher per-member maximum. *)
+      match domain with
+      | D_enc ->
+          let cts = max 1 (ceil_div chunk (slots ctx)) in
+          let fused =
+            simple
+              (Printf.sprintf "laplace:fused(%d)" chunk)
+              [
+                vign (Plan.Committees committees)
+                  (Plan.W_mpc_decrypt_noise
+                     { crypto = ctx.crypto; cts; kind = `Laplace; count = chunk });
+                release;
+              ]
+              (D_shares chunk)
+          in
+          [ split; fused ]
+      | D_shares _ -> [ split ])
+    (chunk_options count)
+
+let rec em_choices ctx domain ~cols ~gap ~rounds =
+  let repeat (c : choice) =
+    if rounds <= 1 then c
+    else
+      let mask =
+        vign Plan.Aggregator
+          (Plan.W_he_affine { crypto = ctx.crypto; cts = cts_for ctx cols; muls = 1; adds = 1 })
+      in
+      let rec build k acc =
+        if k = 0 then acc
+        else build (k - 1) (acc @ (mask :: c.vignettes))
+      in
+      {
+        c with
+        label = Printf.sprintf "%s x%d" c.label rounds;
+        vignettes = build (rounds - 1) c.vignettes;
+      }
+  in
+  List.map repeat (em_choices_once ctx domain ~cols ~gap)
+
+and em_choices_once ctx domain ~cols ~gap =
+  let gumbel =
+    List.concat_map
+      (fun dec_chunk ->
+        List.concat_map
+          (fun noise_chunk ->
+            List.map
+              (fun fanout ->
+                let noise_committees = ceil_div cols noise_chunk in
+                let levels = tree_levels cols fanout in
+                let inputs_scale = if gap then 2 else 1 in
+                let argmax_vs =
+                  List.map
+                    (fun nodes ->
+                      vign (Plan.Committees nodes)
+                        (Plan.W_mpc_argmax { inputs = fanout * inputs_scale }))
+                    levels
+                in
+                {
+                  (simple
+                     (Printf.sprintf "em:gumbel(dec=%d,noise=%d,tree=%d)" dec_chunk
+                        noise_chunk fanout)
+                     (to_shares ctx domain ~count:cols ~chunk:dec_chunk
+                     @ [
+                         vign (Plan.Committees noise_committees)
+                           (Plan.W_mpc_noise { kind = `Gumbel; count = noise_chunk });
+                       ]
+                     @ argmax_vs
+                     @ [ vign (Plan.Committees 1) (Plan.W_mpc_output { values = if gap then 2 else 1 }) ])
+                     (D_shares noise_chunk))
+                  with
+                  em_variant = `Gumbel;
+                })
+              argmax_fanouts)
+          (chunk_options cols))
+      (chunk_options cols)
+  in
+  let exponentiate =
+    List.concat_map
+      (fun dec_chunk ->
+        List.concat_map
+          (fun exp_chunk ->
+            let exp_committees = ceil_div cols exp_chunk in
+            let max_tree =
+              List.map
+                (fun nodes ->
+                  vign (Plan.Committees nodes) (Plan.W_mpc_argmax { inputs = 8 }))
+                (tree_levels cols 8)
+            in
+            let sum_tree =
+              List.map
+                (fun nodes ->
+                  vign (Plan.Committees nodes) (Plan.W_mpc_affine { elements = 64 }))
+                (tree_levels cols 64)
+            in
+            let sample_variants =
+              [
+                ( "scan",
+                  [ vign (Plan.Committees 1) (Plan.W_mpc_sample_index { inputs = cols }) ] );
+                ( "descend",
+                  List.map
+                    (fun _ ->
+                      vign (Plan.Committees 1) (Plan.W_mpc_sample_index { inputs = 64 }))
+                    (tree_levels cols 64) );
+              ]
+            in
+            List.map
+              (fun (sname, sample_vs) ->
+                {
+                  (simple
+                     (Printf.sprintf "em:exp(dec=%d,exp=%d,sample=%s)" dec_chunk
+                        exp_chunk sname)
+                     (to_shares ctx domain ~count:cols ~chunk:dec_chunk
+                     @ max_tree
+                     @ [
+                         vign (Plan.Committees exp_committees)
+                           (Plan.W_mpc_exp { count = exp_chunk });
+                       ]
+                     @ sum_tree @ sample_vs
+                     @ [ vign (Plan.Committees 1) (Plan.W_mpc_output { values = if gap then 2 else 1 }) ])
+                     (D_shares exp_chunk))
+                  with
+                  em_variant = `Exponentiate;
+                })
+              sample_variants)
+          (chunk_options cols))
+      (chunk_options cols)
+  in
+  gumbel @ exponentiate
+
+let mask_choices ctx ~cols =
+  [
+    simple "mask:he"
+      [
+        vign Plan.Aggregator
+          (Plan.W_he_affine { crypto = ctx.crypto; cts = cts_for ctx cols; muls = 1; adds = 1 });
+      ]
+      D_enc;
+  ]
+
+let post_choices ~flops =
+  [ simple "post" [ vign Plan.Aggregator (Plan.W_post { flops = max 1 flops }) ] D_enc ]
+
+let choices ctx domain (op : Extract.aop) =
+  let cs =
+    match op with
+    | Extract.A_sum { cols; sampled_phi } ->
+        let sampled =
+          match sampled_phi with
+          | None -> None
+          | Some _ -> Some (Option.value ctx.bins ~default:8)
+        in
+        sum_choices ctx ~cols ~sampled
+    | A_scan { cols } -> scan_choices ctx domain ~cols
+    | A_affine { cols } -> affine_choices ctx domain ~cols
+    | A_nonlinear { cols } -> nonlinear_choices ctx domain ~cols
+    | A_laplace { count } -> laplace_choices ctx domain ~count
+    | A_em { cols; gap; rounds } -> em_choices ctx domain ~cols ~gap ~rounds
+    | A_mask { cols } -> mask_choices ctx ~cols
+    | A_post { flops; _ } -> post_choices ~flops
+  in
+  if not ctx.redundant_boundaries then cs
+  else
+    (* Heuristics-off ablation (§7.3): also enumerate equivalent
+       re-segmentations of every choice — each vignette list split at every
+       possible boundary — mimicking a search without the vignette-merging
+       rules. The plans are semantically identical, so this only inflates
+       the space. *)
+    List.concat_map
+      (fun c ->
+        let n = List.length c.vignettes in
+        List.init (max 1 n) (fun i ->
+            { c with label = Printf.sprintf "%s/seg%d" c.label i }))
+      cs

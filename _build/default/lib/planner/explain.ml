@@ -1,0 +1,90 @@
+module U = Arb_util.Units
+
+let location_string = function
+  | Plan.Aggregator -> "aggregator"
+  | Plan.Participants -> "participants"
+  | Plan.Committees 1 -> "committee"
+  | Plan.Committees k -> Printf.sprintf "%d committees" k
+
+let vignette_table ~cm ~n_devices ~cols (p : Plan.t) =
+  let rows =
+    List.map
+      (fun (v : Plan.vignette) ->
+        let c =
+          Cost_model.price cm ~n_devices ~m:p.Plan.committee_size ~cols v
+        in
+        let member =
+          if c.Cost_model.c_instances = 0 then "-"
+          else
+            Printf.sprintf "%s / %s"
+              (U.seconds_to_string c.Cost_model.c_member_time)
+              (U.bytes_to_string c.Cost_model.c_member_bytes)
+        in
+        let agg =
+          if c.Cost_model.c_agg_time = 0.0 && c.Cost_model.c_agg_bytes = 0.0 then "-"
+          else
+            Printf.sprintf "%s / %s"
+              (U.seconds_to_string c.Cost_model.c_agg_time)
+              (U.bytes_to_string c.Cost_model.c_agg_bytes)
+        in
+        let everyone =
+          if c.Cost_model.c_all_time = 0.0 then "-"
+          else
+            Printf.sprintf "%s / %s"
+              (U.seconds_to_string c.Cost_model.c_all_time)
+              (U.bytes_to_string c.Cost_model.c_all_bytes)
+        in
+        [ location_string v.Plan.location; Plan.describe_work v.Plan.work;
+          agg; everyone; member ])
+      p.Plan.vignettes
+  in
+  Arb_util.Table.render
+    ~header:[ "Where"; "Operation"; "Aggregator t/B"; "Every device t/B";
+              "Per member t/B" ]
+    rows
+
+let em_string = function
+  | `Gumbel -> "gumbel"
+  | `Exponentiate -> "exponentiate"
+  | `None -> "-"
+
+let summary (p : Plan.t) (m : Cost_model.metrics) =
+  Format.asprintf
+    "plan for %s: %s, %d committees of %d members, em = %s@.  aggregator: %s compute, %s sent@.  participant (expected): %s compute, %s sent@.  participant (worst case): %s compute, %s sent@."
+    p.Plan.query
+    (Plan.crypto_name p.Plan.crypto)
+    p.Plan.committee_count p.Plan.committee_size
+    (em_string p.Plan.em_variant)
+    (U.seconds_to_string m.Cost_model.agg_time)
+    (U.bytes_to_string m.Cost_model.agg_bytes)
+    (U.seconds_to_string m.Cost_model.part_exp_time)
+    (U.bytes_to_string m.Cost_model.part_exp_bytes)
+    (U.seconds_to_string m.Cost_model.part_max_time)
+    (U.bytes_to_string m.Cost_model.part_max_bytes)
+
+let alternatives_table alts =
+  match alts with
+  | [] | [ _ ] -> ""
+  | _ ->
+      let rows =
+        List.mapi
+          (fun i ((p : Plan.t), (m : Cost_model.metrics)) ->
+            [ (if i = 0 then "winner" else Printf.sprintf "#%d" (i + 1));
+              Plan.crypto_name p.Plan.crypto;
+              string_of_int p.Plan.committee_count;
+              em_string p.Plan.em_variant;
+              U.seconds_to_string m.Cost_model.part_exp_time;
+              U.seconds_to_string m.Cost_model.part_max_time;
+              U.seconds_to_string m.Cost_model.agg_time ])
+          alts
+      in
+      "ranked design-space sample:\n"
+      ^ Arb_util.Table.render
+          ~header:[ ""; "Crypto"; "Committees"; "em"; "Exp part t"; "Max part t";
+                    "Agg t" ]
+          rows
+
+let full ~cm ~n_devices ~cols p m alts =
+  summary p m
+  ^ vignette_table ~cm ~n_devices ~cols p
+  ^ alternatives_table alts

@@ -1,0 +1,26 @@
+(** Human-readable plan reports: the vignette table with per-vignette cost
+    contributions (who pays what), the six-metric summary, and the ranked
+    alternatives the search kept — the tooling face of "it is possible to
+    build a query planner for federated analytics" (§3.4). *)
+
+val vignette_table :
+  cm:Cost_model.t -> n_devices:int -> cols:int -> Plan.t -> string
+(** One row per vignette: location, operation, aggregator cost, per-member
+    cost, instances. *)
+
+val summary : Plan.t -> Cost_model.metrics -> string
+(** The headline: cryptosystem, committees, committee size, em variant and
+    the six metrics in human units. *)
+
+val alternatives_table : (Plan.t * Cost_model.metrics) list -> string
+(** The ranked design-space sample from {!Search.result.alternatives}. *)
+
+val full :
+  cm:Cost_model.t ->
+  n_devices:int ->
+  cols:int ->
+  Plan.t ->
+  Cost_model.metrics ->
+  (Plan.t * Cost_model.metrics) list ->
+  string
+(** Summary + vignette table + alternatives. *)

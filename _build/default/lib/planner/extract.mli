@@ -1,0 +1,35 @@
+(** Lowering a certified query to a sequence of abstract operators.
+
+    The planner explores instantiations of high-level operators (§4.3); this
+    module derives the operator sequence from the AST: which aggregations
+    run over the database, which per-element transforms happen on confidential
+    data (affine vs comparison-bearing), where the differential-privacy
+    mechanisms sit, and what is cleartext postprocessing. Loops over
+    mechanisms unroll into repeated operators (topK's five em rounds), with
+    public re-masking steps between rounds.
+
+    A program the analysis cannot map raises [Unsupported] — mirroring the
+    paper's position that certification/lowering may reject queries. *)
+
+type aop =
+  | A_sum of { cols : int; sampled_phi : float option }
+      (** encrypted column sums over all rows (optionally a secret sample) *)
+  | A_scan of { cols : int }  (** prefix/suffix sums on confidential vector *)
+  | A_affine of { cols : int }
+      (** per-element public-coefficient transform on confidential data *)
+  | A_nonlinear of { cols : int }
+      (** per-element transform needing comparisons/abs on confidential data *)
+  | A_laplace of { count : int }  (** Laplace mechanism on [count] values *)
+  | A_em of { cols : int; gap : bool; rounds : int }
+      (** exponential mechanism; [rounds] > 1 for folded repeated rounds
+          (topK), re-masked publicly between rounds *)
+  | A_mask of { cols : int }
+      (** public masking of the encrypted vector between mechanism rounds *)
+  | A_post of { flops : int; outputs : int }  (** cleartext postprocessing *)
+
+exception Unsupported of string
+
+val ops : Arb_lang.Ast.program -> n:int -> aop list
+(** Requires the program to be certified; loop bounds must be static. *)
+
+val describe : aop -> string

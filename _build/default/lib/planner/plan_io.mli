@@ -1,0 +1,15 @@
+(** Plan (de)serialization.
+
+    A chosen plan travels inside the query authorization certificate and
+    can be archived/replayed by the CLI ([arb plan --json]); round-tripping
+    is property-tested. *)
+
+val plan_to_json : Plan.t -> Arb_util.Json.t
+val plan_of_json : Arb_util.Json.t -> Plan.t
+(** Raises [Arb_util.Json.Parse_error] on malformed input. *)
+
+val metrics_to_json : Cost_model.metrics -> Arb_util.Json.t
+val metrics_of_json : Arb_util.Json.t -> Cost_model.metrics
+
+val plan_to_string : ?pretty:bool -> Plan.t -> string
+val plan_of_string : string -> Plan.t

@@ -1,0 +1,253 @@
+let log_src = Logs.Src.create "arb.planner" ~doc:"Arboretum query planner"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type stats = {
+  prefixes : int;
+  full_plans : int;
+  pruned : int;
+  elapsed : float;
+  aborted : bool;
+}
+
+type result = {
+  plan : Plan.t option;
+  metrics : Cost_model.metrics option;
+  alternatives : (Plan.t * Cost_model.metrics) list;
+  stats : stats;
+}
+
+let default_f = 0.03
+let default_g = 0.15
+let default_p1 () = Arb_dp.Committee.p1_of_round ~p:1e-8 ~rounds:1000
+
+let size_cache : (float * float * float * int, int) Hashtbl.t = Hashtbl.create 64
+
+let committee_size_for ?(f = default_f) ?(g = default_g) ?p1 c =
+  let p1 = match p1 with Some p -> p | None -> default_p1 () in
+  let key = (f, g, p1, c) in
+  match Hashtbl.find_opt size_cache key with
+  | Some m -> m
+  | None ->
+      let m = Arb_dp.Committee.min_size ~f ~g ~committees:(max 1 c) ~p1 in
+      Hashtbl.replace size_cache key m;
+      m
+
+let is_mpc_vignette (v : Plan.vignette) =
+  match v.Plan.work with
+  | Plan.W_keygen _ | W_zk_setup _ | W_mpc_decrypt _ | W_mpc_decrypt_noise _
+  | W_mpc_affine _
+  | W_mpc_scan _ | W_mpc_nonlinear _ | W_mpc_noise _ | W_mpc_argmax _
+  | W_mpc_exp _ | W_mpc_sample_index _ | W_mpc_output _ ->
+      true
+  | W_encrypt_input _ | W_verify_inputs _ | W_he_sum _ | W_he_affine _
+  | W_he_rotate_sum _ | W_post _ ->
+      false
+
+let mpc_committee_count vs =
+  List.fold_left
+    (fun acc (v : Plan.vignette) ->
+      match (v.Plan.location, is_mpc_vignette v) with
+      | Plan.Committees k, true -> acc + k
+      | _ -> acc)
+    0 vs
+
+type searcher = {
+  cm : Cost_model.t;
+  mutable cur_bins : int option;
+  limits : Constraints.limits;
+  goal : Constraints.goal;
+  heuristics : bool;
+  max_prefixes : int;
+  f : float;
+  g : float;
+  p1 : float;
+  n : int;
+  cols : int;
+  m_est : int;
+  mutable best_value : float;
+  mutable best : (Plan.t * Cost_model.metrics) option;
+  mutable top : (float * Plan.t * Cost_model.metrics) list; (* ranked, capped *)
+  mutable prefixes : int;
+  mutable full_plans : int;
+  mutable pruned : int;
+  mutable aborted : bool;
+}
+
+exception Abort
+
+let price_all s ~m vs =
+  List.map (fun v -> Cost_model.price s.cm ~n_devices:s.n ~m ~cols:s.cols v) vs
+
+let score_full s ~em_variant ~crypto vs query_name =
+  s.full_plans <- s.full_plans + 1;
+  let c = mpc_committee_count vs in
+  let m = committee_size_for ~f:s.f ~g:s.g ~p1:s.p1 (max 1 c) in
+  let metrics =
+    Cost_model.combine ~n_devices:s.n (price_all s ~m vs)
+  in
+  if Constraints.satisfies s.limits metrics then begin
+    let v = Constraints.goal_value s.goal metrics in
+    let plan =
+      {
+        Plan.query = query_name;
+        crypto;
+        vignettes = vs;
+        sample_bins = s.cur_bins;
+        committee_count = c;
+        committee_size = m;
+        em_variant;
+      }
+    in
+    (* Keep a small ranked sample of the feasible design space: the best
+       plan plus up to four runners-up with distinct goal values, so
+       explain-style tooling can show what the planner weighed. *)
+    let rec insert = function
+      | [] -> [ (v, plan, metrics) ]
+      | (v', _, _) :: _ as rest when v < v' -> (v, plan, metrics) :: rest
+      | entry :: rest -> entry :: insert rest
+    in
+    if not (List.exists (fun (v', _, _) -> v' = v) s.top) then begin
+      let inserted = insert s.top in
+      s.top <-
+        (if List.length inserted > 5 then List.filteri (fun i _ -> i < 5) inserted
+         else inserted)
+    end;
+    if v < s.best_value then begin
+      s.best_value <- v;
+      s.best <- Some (plan, metrics)
+    end
+  end
+
+let search_one s ~(ctx : Expand.ctx) ~prefix_vs ~ops ~query_name =
+  let crypto = ctx.Expand.crypto in
+  (* DFS over operators. [acc] holds vignettes in order. *)
+  let rec go domain acc em_variant = function
+    | [] -> score_full s ~em_variant ~crypto acc query_name
+    | op :: rest ->
+        let choices = Expand.choices ctx domain op in
+        (* Explore cheap choices first so branch-and-bound gets a good
+           incumbent early. *)
+        let priced =
+          List.map
+            (fun (c : Expand.choice) ->
+              let vs = acc @ c.Expand.vignettes in
+              let metrics =
+                Cost_model.combine ~n_devices:s.n (price_all s ~m:s.m_est vs)
+              in
+              (c, vs, metrics))
+            choices
+        in
+        let priced =
+          if s.heuristics then
+            List.sort
+              (fun (_, _, m1) (_, _, m2) ->
+                Float.compare
+                  (Constraints.goal_value s.goal m1)
+                  (Constraints.goal_value s.goal m2))
+              priced
+          else priced
+        in
+        List.iter
+          (fun ((c : Expand.choice), vs, metrics) ->
+            s.prefixes <- s.prefixes + 1;
+            if s.prefixes > s.max_prefixes then begin
+              s.aborted <- true;
+              raise Abort
+            end;
+            let fhe_ok = (not c.Expand.needs_fhe) || crypto = Plan.Fhe in
+            if not fhe_ok then s.pruned <- s.pruned + 1
+            else if
+              s.heuristics
+              && (not (Constraints.satisfies s.limits metrics)
+                 || Constraints.goal_value s.goal metrics >= s.best_value)
+            then s.pruned <- s.pruned + 1
+            else
+              let em_variant' =
+                match c.Expand.em_variant with `None -> em_variant | v -> v
+              in
+              go c.Expand.domain_after vs em_variant' rest)
+          priced
+  in
+  (try go Expand.D_enc prefix_vs `None ops with Abort -> ())
+
+let plan ?(cm = Cost_model.default) ?(limits = Constraints.evaluation_limits)
+    ?(goal = Constraints.Min_part_exp_time) ?(heuristics = true)
+    ?(max_prefixes = 5_000_000) ?(f = default_f) ?(g = default_g) ?p1
+    ~(query : Arb_queries.Registry.query) ~n () =
+  let p1 = match p1 with Some p -> p | None -> default_p1 () in
+  let t0 = Unix.gettimeofday () in
+  let ops = Extract.ops query.Arb_queries.Registry.program ~n in
+  let cols = query.Arb_queries.Registry.categories in
+  let s =
+    {
+      cm;
+      limits;
+      goal;
+      heuristics;
+      max_prefixes;
+      f;
+      g;
+      p1;
+      n;
+      cols;
+      cur_bins = None;
+      m_est = committee_size_for ~f ~g ~p1 1024;
+      best_value = infinity;
+      best = None;
+      top = [];
+      prefixes = 0;
+      full_plans = 0;
+      pruned = 0;
+      aborted = false;
+    }
+  in
+  List.iter
+    (fun crypto ->
+      List.iter
+        (fun bins ->
+          let ctx =
+            {
+              Expand.n_devices = n;
+              cols;
+              crypto;
+              bins;
+              cm;
+              redundant_boundaries = not heuristics;
+            }
+          in
+          let prefix_vs = Expand.prefix ctx ~sampled_bins:bins in
+          s.cur_bins <- bins;
+          search_one s ~ctx ~prefix_vs ~ops
+            ~query_name:query.Arb_queries.Registry.name)
+        (Expand.sampled_bins_options ops))
+    [ Plan.Ahe; Plan.Fhe ];
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Log.info (fun m ->
+      m "planned %s (N=%d): %d prefixes, %d candidates, %d pruned in %.3fs%s"
+        query.Arb_queries.Registry.name n s.prefixes s.full_plans s.pruned elapsed
+        (if s.aborted then " [aborted at cap]" else ""));
+  (match s.best with
+  | Some (p, _) ->
+      Log.debug (fun m ->
+          m "winner: %s, %d committees of %d, em=%s"
+            (Plan.crypto_name p.Plan.crypto)
+            p.Plan.committee_count p.Plan.committee_size
+            (match p.Plan.em_variant with
+            | `Gumbel -> "gumbel"
+            | `Exponentiate -> "exponentiate"
+            | `None -> "-"))
+  | None -> Log.debug (fun m -> m "no feasible plan"));
+  {
+    plan = Option.map fst s.best;
+    metrics = Option.map snd s.best;
+    alternatives = List.map (fun (_, p, m) -> (p, m)) s.top;
+    stats =
+      {
+        prefixes = s.prefixes;
+        full_plans = s.full_plans;
+        pruned = s.pruned;
+        elapsed;
+        aborted = s.aborted;
+      };
+  }

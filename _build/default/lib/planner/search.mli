@@ -1,0 +1,48 @@
+(** The planner's search (§4.3–§4.6): enumerate candidate plans operator by
+    operator with branch-and-bound, score with the cost model, re-solve the
+    committee size for each complete candidate, and keep the best plan that
+    satisfies the analyst's limits.
+
+    Pruning follows §4.4/§7.3: partial candidates are discarded as soon as
+    their accumulated cost exceeds a limit or the best known full plan
+    (scored with an optimistic committee-size estimate, since the true m is
+    only known once the total committee count is). Disabling [heuristics]
+    removes both pruning rules and enumerates redundant re-segmentations,
+    reproducing the §7.3 ablation blowup. *)
+
+type stats = {
+  prefixes : int;  (** plan prefixes considered (§7.3) *)
+  full_plans : int;  (** complete candidates scored *)
+  pruned : int;
+  elapsed : float;  (** seconds spent planning *)
+  aborted : bool;  (** hit the exploration cap before finishing *)
+}
+
+type result = {
+  plan : Plan.t option;  (** [None] when no candidate satisfies the limits *)
+  metrics : Cost_model.metrics option;
+  alternatives : (Plan.t * Cost_model.metrics) list;
+      (** a ranked sample of the feasible design space: the winner plus up
+          to four runners-up with distinct goal values *)
+  stats : stats;
+}
+
+val plan :
+  ?cm:Cost_model.t ->
+  ?limits:Constraints.limits ->
+  ?goal:Constraints.goal ->
+  ?heuristics:bool ->
+  ?max_prefixes:int ->
+  ?f:float ->
+  ?g:float ->
+  ?p1:float ->
+  query:Arb_queries.Registry.query ->
+  n:int ->
+  unit ->
+  result
+(** Defaults: the §7 setting — [limits] = {!Constraints.evaluation_limits},
+    [goal] = minimize expected participant time, f = 3%, g = 0.15,
+    p1 from 1e-8 over 1000 queries, heuristics on, 5M-prefix cap. *)
+
+val committee_size_for : ?f:float -> ?g:float -> ?p1:float -> int -> int
+(** Memoized {!Arb_dp.Committee.min_size} keyed by committee count. *)

@@ -1,0 +1,1 @@
+lib/queries/registry.ml: Arb_lang Arb_util Array Float Fun List

@@ -1,0 +1,1 @@
+lib/queries/registry.mli: Arb_lang Arb_util

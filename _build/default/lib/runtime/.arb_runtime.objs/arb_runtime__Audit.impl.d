@@ -1,0 +1,1 @@
+lib/runtime/audit.ml: Arb_crypto Array Float List

@@ -1,0 +1,1 @@
+lib/runtime/audit.mli: Arb_crypto

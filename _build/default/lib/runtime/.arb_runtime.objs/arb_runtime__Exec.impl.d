@@ -1,0 +1,1 @@
+lib/runtime/exec.ml: Arb_crypto Arb_dp Arb_lang Arb_mpc Arb_planner Arb_queries Arb_util Array Audit Float Format Hashtbl List Logs Net Option Printf Setup String Trace

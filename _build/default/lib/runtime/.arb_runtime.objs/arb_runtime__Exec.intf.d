@@ -1,0 +1,1 @@
+lib/runtime/exec.mli: Arb_crypto Arb_dp Arb_lang Arb_planner Arb_queries Net Setup Trace

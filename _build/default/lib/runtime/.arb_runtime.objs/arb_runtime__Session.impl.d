@@ -1,0 +1,1 @@
+lib/runtime/session.ml: Arb_crypto Arb_dp Arb_lang Arb_queries Array Char Exec Format Int64 Option Printf Setup String

@@ -1,0 +1,1 @@
+lib/runtime/session.mli: Arb_dp Arb_queries Exec

@@ -1,0 +1,1 @@
+lib/runtime/setup.ml: Arb_crypto Arb_dp Arb_mpc Arb_util Array Bytes Char Int64 List Marshal Printf String

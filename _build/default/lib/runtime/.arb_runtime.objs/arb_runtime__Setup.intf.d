@@ -1,0 +1,1 @@
+lib/runtime/setup.mli: Arb_crypto Arb_dp Arb_mpc Arb_util

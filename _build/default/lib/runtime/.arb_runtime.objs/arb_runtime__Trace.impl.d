@@ -1,0 +1,1 @@
+lib/runtime/trace.ml: Arb_mpc Format List Net

@@ -1,0 +1,1 @@
+lib/runtime/verify.ml: Arb_crypto Arb_dp Arb_lang Arb_planner Arb_queries Exec Float Format List Option Printf Setup String Trace

@@ -1,0 +1,1 @@
+lib/runtime/verify.mli: Arb_dp Arb_planner Arb_queries Exec Format

@@ -1,0 +1,35 @@
+(** Aggregator auditing via Merkle hash trees (§5.3–§5.4).
+
+    The aggregator commits to the result of every intermediate step
+    (excluding the final output) in a Merkle tree; each participant device
+    then challenges random leaves and checks the returned contents plus
+    inclusion proofs. The per-device challenge count is set so that the
+    probability of an incorrect step escaping every auditor is below
+    [p_max]. *)
+
+type t
+(** The aggregator-side audit log for one query run. *)
+
+val create : unit -> t
+val record_step : t -> string -> unit
+(** Append one intermediate result (serialized). *)
+
+val seal : t -> Arb_crypto.Sha256.digest
+(** Build the tree and publish the root. No more steps may be recorded. *)
+
+val steps : t -> int
+
+val challenges_per_device : steps:int -> devices:int -> p_max:float -> int
+(** Challenges each device must issue so that, with [devices] independent
+    auditors, a single bad step goes unnoticed with probability < p_max. *)
+
+val respond : t -> int -> string * Arb_crypto.Merkle.proof
+(** Aggregator answers a challenge for leaf [i]. *)
+
+val check :
+  root:Arb_crypto.Sha256.digest -> leaf:string -> Arb_crypto.Merkle.proof -> bool
+
+val tamper : t -> int -> unit
+(** Test hook: corrupt a recorded step after the fact (a Byzantine
+    aggregator rewriting history); [respond] will then produce content
+    whose proof fails against the sealed root. *)

@@ -1,0 +1,913 @@
+module C = Arb_crypto
+module L = Arb_lang
+module E = Arb_mpc.Engine
+module Fm = Arb_mpc.Fixpoint_mpc
+module Pr = Arb_mpc.Protocols
+module Fx = Arb_util.Fixed
+module Plan = Arb_planner.Plan
+
+let log_src = Logs.Src.create "arb.runtime" ~doc:"Arboretum execution runtime"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  committee_size : int;
+  byzantine_fraction : float;
+  churn : float;  (* probability a committee member goes offline (§5.1) *)
+  bgv_n : int;
+  latency : Net.profile;
+  seed : int64;
+  audit_p_max : float;
+  auditing_devices : int;
+  tamper_aggregator : bool;
+  budget : Arb_dp.Budget.t;
+  block : string; (* sortition randomness block B_i (§5.1) *)
+  query_id : int;
+}
+
+let default_config =
+  {
+    committee_size = 5;
+    byzantine_fraction = 0.0;
+    churn = 0.0;
+    bgv_n = 256;
+    latency = Net.lan;
+    seed = 1L;
+    audit_p_max = 1e-6;
+    auditing_devices = 16;
+    tamper_aggregator = false;
+    budget = Arb_dp.Budget.create ~epsilon:10.0 ~delta:1e-4;
+    block = "B0";
+    query_id = 1;
+  }
+
+type report = {
+  outputs : L.Interp.value list;
+  trace : Trace.t;
+  certificate : Setup.certificate;
+  certificate_ok : bool;
+  audit_root : C.Sha256.digest;
+  audit_ok : bool;
+  accepted_inputs : int;
+  rejected_inputs : int;
+  budget_left : Arb_dp.Budget.t;
+  committee_wall_clock : (Trace.committee_kind * float) list;
+}
+
+exception Execution_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Execution_error s)) fmt
+
+(* Values flowing through the distributed interpreter. *)
+type rvalue =
+  | R_clean of L.Interp.value
+  | R_svec of E.sec array (* shared fixpoint vector (raw 2^16-scaled ints) *)
+  | R_sscalar of E.sec
+
+type state = {
+  cfg : config;
+  query : Arb_queries.Registry.query;
+  plan : Plan.t;
+  rng : Arb_util.Rng.t;
+  trace : Trace.t;
+  epsilon : float;
+  sensitivity : float;
+  eng_ops : E.t;
+  vars : (string, rvalue) Hashtbl.t;
+  mutable outputs : L.Interp.value list;
+  shared_db_sums : E.sec array; (* result of sum(db), prepared by the pipeline *)
+  sampled_var : string option; (* variable bound by sampleUniform, if any *)
+}
+
+(* --- helpers over the engine: values are fixpoint-raw integers --- *)
+
+let fx_scale = 1 lsl Fx.frac_bits
+
+let lookup st v =
+  match Hashtbl.find_opt st.vars v with
+  | Some x -> x
+  | None -> err "unbound variable %s" v
+
+let as_clean = function
+  | R_clean v -> v
+  | _ -> err "expected a public value, found a secret one"
+
+let clean_int v = L.Interp.as_int (as_clean v)
+let clean_float v = L.Interp.as_float (as_clean v)
+
+let to_sscalar st = function
+  | R_sscalar s -> s
+  | R_clean v -> E.const st.eng_ops (Fx.to_raw (Fx.of_float (L.Interp.as_float v)))
+  | R_svec _ -> err "expected a scalar, found a vector"
+
+let is_secret = function R_clean _ -> false | _ -> true
+
+(* --- clean-value arithmetic (mirrors the reference interpreter) --- *)
+
+let clean_binop op a b : L.Interp.value =
+  let fa = L.Interp.as_float a and fb = L.Interp.as_float b in
+  let arith f =
+    match (a, b) with
+    | L.Interp.V_int x, L.Interp.V_int y -> (
+        match op with
+        | L.Ast.Add -> L.Interp.V_int (x + y)
+        | Sub -> V_int (x - y)
+        | Mul -> V_int (x * y)
+        | Div -> if y = 0 then err "division by zero" else V_int (x / y)
+        | _ -> assert false)
+    | _ -> L.Interp.V_fix (Fx.of_float (f fa fb))
+  in
+  match op with
+  | L.Ast.Add -> arith ( +. )
+  | Sub -> arith ( -. )
+  | Mul -> arith ( *. )
+  | Div -> if fb = 0.0 then err "division by zero" else arith ( /. )
+  | Lt -> V_bool (fa < fb)
+  | Le -> V_bool (fa <= fb)
+  | Gt -> V_bool (fa > fb)
+  | Ge -> V_bool (fa >= fb)
+  | Eq -> V_bool (fa = fb)
+  | Ne -> V_bool (fa <> fb)
+  | And | Or -> (
+      match (a, b) with
+      | V_bool x, V_bool y -> V_bool (if op = L.Ast.And then x && y else x || y)
+      | _ -> err "boolean operator on non-booleans")
+
+(* Secret binop: at least one side secret. *)
+let secret_binop st op a b : rvalue =
+  let eng = st.eng_ops in
+  match op with
+  | L.Ast.Add -> R_sscalar (E.add eng (to_sscalar st a) (to_sscalar st b))
+  | Sub -> R_sscalar (E.sub eng (to_sscalar st a) (to_sscalar st b))
+  | Mul -> (
+      match (a, b) with
+      | R_clean v, s | s, R_clean v -> (
+          match v with
+          | L.Interp.V_int k -> R_sscalar (E.scale eng k (to_sscalar st s))
+          | _ ->
+              R_sscalar
+                (Fm.mul_public eng (Fx.of_float (L.Interp.as_float v)) (to_sscalar st s)))
+      | _ -> R_sscalar (Fm.mul eng (to_sscalar st a) (to_sscalar st b)))
+  | Div -> (
+      match b with
+      | R_clean v ->
+          let inv = 1.0 /. L.Interp.as_float v in
+          R_sscalar (Fm.mul_public eng (Fx.of_float inv) (to_sscalar st a))
+      | _ -> err "division by a secret value is not supported")
+  | Lt -> R_sscalar (Fm.less_than eng (to_sscalar st a) (to_sscalar st b))
+  | Gt -> R_sscalar (Fm.less_than eng (to_sscalar st b) (to_sscalar st a))
+  | Le ->
+      let gt = Fm.less_than eng (to_sscalar st b) (to_sscalar st a) in
+      R_sscalar (E.sub eng (E.const eng 1) gt)
+  | Ge ->
+      let lt = Fm.less_than eng (to_sscalar st a) (to_sscalar st b) in
+      R_sscalar (E.sub eng (E.const eng 1) lt)
+  | Eq | Ne | And | Or -> err "operator not supported on secret values"
+
+let secret_abs st s =
+  let eng = st.eng_ops in
+  let neg = Fm.less_than eng s (E.const eng 0) in
+  E.select eng neg (E.neg eng s) s
+
+(* --- expression evaluation --- *)
+
+let rec eval st (e : L.Ast.expr) : rvalue =
+  match e with
+  | Int_lit i -> R_clean (V_int i)
+  | Fix_lit f -> R_clean (V_fix (Fx.of_float f))
+  | Bool_lit b -> R_clean (V_bool b)
+  | Var v -> lookup st v
+  | Index (v, idxs) -> (
+      let idx_vals = List.map (fun i -> clean_int (eval st i)) idxs in
+      match (lookup st v, idx_vals) with
+      | R_svec a, [ i ] ->
+          if i < 0 || i >= Array.length a then err "index %d out of bounds" i
+          else R_sscalar a.(i)
+      | R_clean (V_arr a), is ->
+          let rec descend v = function
+            | [] -> v
+            | i :: rest -> (
+                match v with
+                | L.Interp.V_arr a when i >= 0 && i < Array.length a ->
+                    descend a.(i) rest
+                | _ -> err "bad index into %s" "array")
+          in
+          R_clean (descend (V_arr a) is)
+      | _ -> err "cannot index %s" v)
+  | Unop (Neg, e) -> (
+      match eval st e with
+      | R_clean (V_int i) -> R_clean (V_int (-i))
+      | R_clean (V_fix f) -> R_clean (V_fix (Fx.neg f))
+      | R_sscalar s -> R_sscalar (E.neg st.eng_ops s)
+      | _ -> err "cannot negate this value")
+  | Unop (Not, e) -> (
+      match eval st e with
+      | R_clean (V_bool b) -> R_clean (V_bool (not b))
+      | _ -> err "! on a non-boolean")
+  | Binop (op, e1, e2) ->
+      let a = eval st e1 and b = eval st e2 in
+      if is_secret a || is_secret b then secret_binop st op a b
+      else R_clean (clean_binop op (as_clean a) (as_clean b))
+  | Call (f, args) -> eval_call st f args
+
+and eval_call st f (args : L.Ast.expr list) : rvalue =
+  let eng = st.eng_ops in
+  match (f, args) with
+  | "sum", [ Var src ]
+    when src = "db" || Some src = st.sampled_var ->
+      R_svec st.shared_db_sums
+  | "sum", [ e ] -> (
+      match eval st e with
+      | R_svec a -> R_sscalar (Pr.sum eng a)
+      | R_clean (V_arr a) ->
+          R_clean
+            (V_fix
+               (Array.fold_left
+                  (fun acc v -> Fx.add acc (Fx.of_float (L.Interp.as_float v)))
+                  Fx.zero a))
+      | _ -> err "sum over a non-array")
+  | ("prefixSums" | "suffixSums"), [ e ] -> (
+      match eval st e with
+      | R_svec a ->
+          if f = "prefixSums" then R_svec (Pr.prefix_sums eng a)
+          else begin
+            let rev = Array.of_list (List.rev (Array.to_list a)) in
+            let sums = Pr.prefix_sums eng rev in
+            R_svec (Array.of_list (List.rev (Array.to_list sums)))
+          end
+      | _ -> err "%s over a non-secret-vector" f)
+  | "max", [ e ] -> (
+      match eval st e with
+      | R_svec a -> R_sscalar (Pr.max eng a)
+      | _ -> err "max over a non-secret-vector")
+  | "argmax", [ e ] -> (
+      match eval st e with
+      | R_svec a -> R_sscalar (Pr.argmax eng a)
+      | _ -> err "argmax over a non-secret-vector")
+  | "len", [ e ] -> (
+      match eval st e with
+      | R_svec a -> R_clean (V_int (Array.length a))
+      | R_clean (V_arr a) -> R_clean (V_int (Array.length a))
+      | _ -> err "len of a non-array")
+  | "abs", [ e ] -> (
+      match eval st e with
+      | R_sscalar s -> R_sscalar (secret_abs st s)
+      | R_clean (V_int i) -> R_clean (V_int (abs i))
+      | R_clean (V_fix f) -> R_clean (V_fix (Fx.abs f))
+      | _ -> err "abs of a non-scalar")
+  | "clip", [ e; lo; hi ] -> (
+      let lo = clean_float (eval st lo) and hi = clean_float (eval st hi) in
+      match eval st e with
+      | R_clean v ->
+          let x = Float.min hi (Float.max lo (L.Interp.as_float v)) in
+          R_clean (V_fix (Fx.of_float x))
+      | R_sscalar s ->
+          let lo_s = E.const eng (Fx.to_raw (Fx.of_float lo)) in
+          let hi_s = E.const eng (Fx.to_raw (Fx.of_float hi)) in
+          let below = Fm.less_than eng s lo_s in
+          let s = E.select eng below lo_s s in
+          let above = Fm.less_than eng hi_s s in
+          R_sscalar (E.select eng above hi_s s)
+      | _ -> err "clip of a vector")
+  | "declassify", [ e ] -> (
+      match eval st e with
+      | R_sscalar s -> R_clean (V_fix (Fm.open_fixed eng s))
+      | v -> v)
+  | "laplace", [ e ] -> laplace_mechanism st (eval st e)
+  | ("em" | "emGap"), [ e ] -> em_mechanism st ~gap:(f = "emGap") (eval st e)
+  | "exp", [ e ] -> (
+      match eval st e with
+      | R_clean v -> R_clean (V_fix (Fx.of_float (exp (L.Interp.as_float v))))
+      | _ -> err "exp on secret values must go through a mechanism")
+  | "log", [ e ] -> (
+      match eval st e with
+      | R_clean v -> R_clean (V_fix (Fx.of_float (log (L.Interp.as_float v))))
+      | _ -> err "log on secret values must go through a mechanism")
+  | "sampleUniform", _ ->
+      (* Sampling is folded into the input pipeline; the variable is bound
+         in [prepare]; reaching here means the query used it oddly. *)
+      err "sampleUniform may only be bound to a variable and summed"
+  | _ -> err "unsupported builtin %s/%d" f (List.length args)
+
+and laplace_mechanism st v : rvalue =
+  let eng = st.eng_ops in
+  let scale = Fx.of_float (st.sensitivity /. st.epsilon) in
+  let noise_one s =
+    let noised = Fm.add eng s (Fm.laplace eng ~scale) in
+    L.Interp.V_fix (Fm.open_fixed eng noised)
+  in
+  let cost_before = copy_cost (E.cost eng) in
+  let result =
+    match v with
+    | R_sscalar s -> R_clean (noise_one s)
+    | R_svec a -> R_clean (V_arr (Array.map noise_one a))
+    | R_clean _ -> err "laplace over an already-public value"
+  in
+  record_ops_cost st cost_before;
+  result
+
+and em_mechanism st ~gap v : rvalue =
+  let eng = st.eng_ops in
+  let scores =
+    match v with
+    | R_svec a -> a
+    | _ -> err "em over a non-secret-vector"
+  in
+  let cost_before = copy_cost (E.cost eng) in
+  let result =
+    if gap then begin
+      let w, g =
+        Pr.em_gumbel_gap eng ~epsilon:st.epsilon ~sensitivity:st.sensitivity scores
+      in
+      R_clean (V_arr [| V_int w; V_fix g |])
+    end
+    else
+      let winner =
+        match st.plan.Plan.em_variant with
+        | `Exponentiate ->
+            Pr.em_exponentiate eng ~epsilon:st.epsilon ~sensitivity:st.sensitivity
+              scores
+        | `Gumbel | `None ->
+            (* Honor the plan's committee parallelism (Fig. 5): the noise
+               chunk size chosen by the planner determines how many
+               parallel committees noise the scores; each runs its own
+               engine whose costs are traced separately, and the noised
+               values are handed (VSR-charged) to the argmax committee. *)
+            let chunk = noise_chunk_of_plan st.plan in
+            if chunk >= Array.length scores then
+              Pr.em_gumbel eng ~epsilon:st.epsilon ~sensitivity:st.sensitivity scores
+            else begin
+              let scale =
+                Arb_util.Fixed.of_float (2.0 *. st.sensitivity /. st.epsilon)
+              in
+              let n = Array.length scores in
+              let noised = Array.make n scores.(0) in
+              let pos = ref 0 in
+              while !pos < n do
+                let len = min chunk (n - !pos) in
+                let committee = E.create ~parties:(E.parties eng) st.rng () in
+                for k = !pos to !pos + len - 1 do
+                  (* The committee holds the score via a VSR hand-off, adds
+                     its Gumbel draw, and hands the noised value onward. *)
+                  let local =
+                    E.reshare_in committee (E.mirror eng scores.(k))
+                  in
+                  let noisy = Fm.add committee local (Fm.gumbel committee ~scale) in
+                  noised.(k) <- E.reshare_in eng (E.mirror committee noisy)
+                done;
+                Trace.record_committee st.trace Trace.Operations (E.cost committee);
+                pos := !pos + len
+              done;
+              E.open_value eng (Pr.argmax eng noised)
+            end
+      in
+      R_clean (V_int winner)
+  in
+  record_ops_cost st cost_before;
+  result
+
+and noise_chunk_of_plan (plan : Plan.t) =
+  List.fold_left
+    (fun acc (v : Plan.vignette) ->
+      match v.Plan.work with
+      | Plan.W_mpc_noise { count; _ } | Plan.W_mpc_decrypt_noise { count; _ } ->
+          min acc count
+      | _ -> acc)
+    max_int plan.Plan.vignettes
+
+and copy_cost (c : Arb_mpc.Cost.t) = Arb_mpc.Cost.add c (Arb_mpc.Cost.zero ())
+
+and record_ops_cost st before =
+  let now = E.cost st.eng_ops in
+  let delta =
+    {
+      Arb_mpc.Cost.rounds = now.Arb_mpc.Cost.rounds - before.Arb_mpc.Cost.rounds;
+      bytes_per_party =
+        now.Arb_mpc.Cost.bytes_per_party - before.Arb_mpc.Cost.bytes_per_party;
+      triples = now.Arb_mpc.Cost.triples - before.Arb_mpc.Cost.triples;
+      mults = now.Arb_mpc.Cost.mults - before.Arb_mpc.Cost.mults;
+      opens = now.Arb_mpc.Cost.opens - before.Arb_mpc.Cost.opens;
+      comparisons = now.Arb_mpc.Cost.comparisons - before.Arb_mpc.Cost.comparisons;
+      truncations = now.Arb_mpc.Cost.truncations - before.Arb_mpc.Cost.truncations;
+      inputs = now.Arb_mpc.Cost.inputs - before.Arb_mpc.Cost.inputs;
+      field_ops = now.Arb_mpc.Cost.field_ops - before.Arb_mpc.Cost.field_ops;
+    }
+  in
+  Trace.record_committee st.trace Trace.Operations delta;
+  st.trace.Trace.vignettes_executed <- st.trace.Trace.vignettes_executed + 1
+
+(* --- statements --- *)
+
+let rec exec st (s : L.Ast.stmt) =
+  match s with
+  | Seq ss -> List.iter (exec st) ss
+  | Assign (v, L.Ast.Call ("sampleUniform", _)) when Some v = st.sampled_var ->
+      (* The secret sample lives in the input pipeline (binned uploads plus
+         the committee's hidden window); the variable is just a tag that
+         sum() recognizes. *)
+      Hashtbl.replace st.vars v (R_clean (V_int 0))
+  | Assign (v, e) -> Hashtbl.replace st.vars v (eval st e)
+  | Assign_idx (v, idxs, e) -> (
+      let idx_vals = List.map (fun i -> clean_int (eval st i)) idxs in
+      let rhs = eval st e in
+      let grow a i =
+        if Array.length a > i then a
+        else
+          Array.init (i + 1) (fun j ->
+              if j < Array.length a then a.(j) else E.const st.eng_ops 0)
+      in
+      match (Hashtbl.find_opt st.vars v, idx_vals, rhs) with
+      | Some (R_svec a), [ i ], R_clean cv ->
+          (* Public masking of a secret vector (topK). *)
+          if i < 0 then err "mask index out of bounds";
+          let a = grow a i in
+          let raw = Fx.to_raw (Fx.of_float (L.Interp.as_float cv)) in
+          a.(i) <- E.const st.eng_ops raw;
+          Hashtbl.replace st.vars v (R_svec a)
+      | Some (R_svec a), [ i ], R_sscalar s ->
+          if i < 0 then err "index out of bounds";
+          let a = grow a i in
+          a.(i) <- s;
+          Hashtbl.replace st.vars v (R_svec a)
+      | (Some (R_clean _) | None), is, R_clean cv ->
+          let current =
+            match Hashtbl.find_opt st.vars v with
+            | Some (R_clean (V_arr a)) -> L.Interp.V_arr a
+            | _ -> V_arr [||]
+          in
+          let rec write value = function
+            | [] -> cv
+            | i :: rest ->
+                let a =
+                  match value with L.Interp.V_arr a -> Array.copy a | _ -> [||]
+                in
+                let a =
+                  if Array.length a > i then a
+                  else
+                    Array.init (i + 1) (fun j ->
+                        if j < Array.length a then a.(j) else L.Interp.V_int 0)
+                in
+                a.(i) <- write a.(i) rest;
+                V_arr a
+          in
+          Hashtbl.replace st.vars v (R_clean (write current is))
+      | (Some (R_clean _) | None), [ i ], R_sscalar s ->
+          (* First secret write into a fresh vector: materialize it. *)
+          let a = grow [||] i in
+          a.(i) <- s;
+          Hashtbl.replace st.vars v (R_svec a)
+      | _ -> err "unsupported indexed assignment into %s" v)
+  | Output e -> (
+      match eval st e with
+      | R_clean v -> st.outputs <- v :: st.outputs
+      | _ -> err "output of a secret value")
+  | For (v, lo, hi, body) ->
+      let lo = clean_int (eval st lo) and hi = clean_int (eval st hi) in
+      for i = lo to hi do
+        Hashtbl.replace st.vars v (R_clean (V_int i));
+        exec st body
+      done
+  | If (c, s1, s2) -> (
+      match eval st c with
+      | R_clean (V_bool b) -> exec st (if b then s1 else s2)
+      | R_clean (V_int i) -> exec st (if i <> 0 then s1 else s2)
+      | _ -> err "branch on a secret value")
+
+(* --- the crypto pipeline up to shared sums --- *)
+
+let next_pow2 x =
+  let rec go p = if p >= x then p else go (2 * p) in
+  go 1
+
+let find_sampled_binding (p : L.Ast.program) =
+  L.Ast.fold_stmts
+    (fun acc s ->
+      match s with
+      | L.Ast.Assign (v, L.Ast.Call ("sampleUniform", [ _; L.Ast.Fix_lit phi ])) ->
+          Some (v, phi)
+      | _ -> acc)
+    None p.L.Ast.body
+
+let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
+  let rng = Arb_util.Rng.create cfg.seed in
+  let trace = Trace.create () in
+  let n_devices = Array.length db in
+  if n_devices < 4 * cfg.committee_size then
+    err "need at least %d devices for %d-member committees" (4 * cfg.committee_size)
+      cfg.committee_size;
+  let program = query.Arb_queries.Registry.program in
+  let cert_report = L.Certify.certify program ~n:n_devices in
+  if not cert_report.L.Certify.certified then
+    err "query failed certification: %s"
+      (Option.value cert_report.L.Certify.reason ~default:"?");
+  let cols = query.Arb_queries.Registry.categories in
+  let sampled = find_sampled_binding program in
+  let bins =
+    match sampled with
+    | None -> 1
+    | Some _ -> Option.value plan.Plan.sample_bins ~default:8
+  in
+  let slots_needed = cols * bins in
+  (* The configured ring degree is the packing unit; wider slot layouts
+     split across multiple ciphertexts per device, as the paper's large-C
+     queries do. *)
+  let ring_n = max 16 (next_pow2 cfg.bgv_n) in
+  let ct_count = (slots_needed + ring_n - 1) / ring_n in
+  let min_t = max 12289 (next_pow2 (4 * n_devices)) in
+  let params =
+    match plan.Plan.crypto with
+    | Plan.Ahe -> C.Bgv.ahe_params ~n:ring_n ~min_t ()
+    | Plan.Fhe -> C.Bgv.fhe_params ~n:ring_n ~min_t ()
+  in
+  (* 1. Registry + sortition: one committee per logical role. *)
+  let devices = Setup.make_devices rng ~db ~byzantine_fraction:cfg.byzantine_fraction in
+  let n_committees = 4 in
+  let assignment =
+    Setup.run_sortition ~devices ~block:cfg.block ~query_id:cfg.query_id
+      ~committees:n_committees ~size:cfg.committee_size
+  in
+  (* Churn (§5.1): members may be offline when their committee's vignette
+     starts. A committee that loses its honest-majority quorum hands its
+     tasks to the next one (reassign_failed); the run only aborts if every
+     committee is below quorum. *)
+  let quorum = (cfg.committee_size / 2) + 1 in
+  let assignment = ref assignment in
+  let kg_committee =
+    let rec pick attempts idx =
+      if attempts >= n_committees then
+        err "catastrophic churn: no committee retained a quorum"
+      else
+        let members = !assignment.C.Sortition.committees.(idx) in
+        let survivors =
+          Array.of_list
+            (List.filter
+               (fun _ -> Arb_util.Rng.uniform01 rng >= cfg.churn)
+               (Array.to_list members))
+        in
+        if Array.length survivors >= quorum then survivors
+        else begin
+          trace.Trace.committees_reassigned <-
+            trace.Trace.committees_reassigned + 1;
+          assignment := C.Sortition.reassign_failed !assignment ~failed:idx;
+          pick (attempts + 1) ((idx + 1) mod n_committees)
+        end
+    in
+    pick 0 0
+  in
+  let assignment = !assignment in
+  ignore assignment;
+  (* 2. Key generation ceremony. *)
+  let eng_keygen = E.create ~parties:cfg.committee_size rng () in
+  let plan_digest = C.Sha256.digest (Format.asprintf "%a" Plan.pp plan) in
+  let sk, pk, certificate =
+    Setup.keygen_ceremony rng ~devices ~committee:kg_committee ~params
+      ~query_id:cfg.query_id ~plan_digest ~budget:cfg.budget
+      ~cost:cert_report.L.Certify.cost
+      ~registry_root:assignment.C.Sortition.registry_root ~engine:eng_keygen
+  in
+  Arb_mpc.Protocols.charge_zk_setup eng_keygen ~constraints:(3 * slots_needed);
+  Trace.record_committee trace Trace.Keygen (E.cost eng_keygen);
+  let certificate_ok = Setup.verify_certificate certificate in
+  Log.info (fun m ->
+      m "query %d: keygen done (ring %d, t=%d, %d ct/device), certificate %s"
+        cfg.query_id params.C.Bgv.n params.C.Bgv.t ct_count
+        (if certificate_ok then "verified" else "INVALID"));
+  trace.Trace.agg_bytes_sent <-
+    trace.Trace.agg_bytes_sent
+    +. float_of_int (n_devices * C.Bgv.public_key_bytes params);
+  (* 3. Input: encrypt + prove; aggregator verifies and aggregates. *)
+  let audit = Audit.create () in
+  let statement : C.Zkp.statement =
+    match (program.L.Ast.row, sampled) with
+    | L.Ast.One_hot len, None -> C.Zkp.One_hot { length = len }
+    | L.Ast.One_hot len, Some _ -> C.Zkp.One_hot_binned { bins; length = len }
+    | L.Ast.Bounded { width; lo; hi }, _ -> C.Zkp.Range { lo; hi; count = width }
+  in
+  let nonce = Setup.certificate_payload certificate in
+  (* Did the planner outsource the aggregation to a device sum-tree
+     (§4.3)? If so, devices perform the homomorphic additions in groups
+     and pass partial sums up; the aggregator only combines the roots. *)
+  let sum_outsourced =
+    List.exists
+      (fun (v : Plan.vignette) ->
+        match (v.Plan.work, v.Plan.location) with
+        | Plan.W_he_sum _, Plan.Committees _ -> true
+        | _ -> false)
+      plan.Plan.vignettes
+  in
+  let pending_cts = ref [] in
+  let acc_ct = ref None in
+  let accepted = ref 0 and rejected = ref 0 in
+  Array.iteri
+    (fun i (d : Setup.device) ->
+      let bin = if bins > 1 then Arb_util.Rng.int rng bins else 0 in
+      let slots = Array.make slots_needed 0 in
+      let row =
+        if d.Setup.byzantine then Array.map (fun _ -> 1) d.Setup.row
+        else d.Setup.row
+      in
+      Array.iteri
+        (fun j v -> if j < cols then slots.((bin * cols) + j) <- v)
+        row;
+      (* The proof statement covers the full slot layout for one-hot rows
+         (so a device cannot claim several bins); range statements cover the
+         raw row. *)
+      let witness =
+        match statement with
+        | C.Zkp.One_hot _ | C.Zkp.One_hot_binned _ | C.Zkp.Bits _ -> slots
+        | C.Zkp.Range _ -> row
+      in
+      let prover = string_of_int i in
+      let proof =
+        if d.Setup.byzantine then C.Zkp.forge statement ~prover ~nonce
+        else C.Zkp.prove statement ~witness ~prover ~nonce
+      in
+      let cts =
+        Array.init ct_count (fun k ->
+            let lo = k * ring_n in
+            let len = min ring_n (slots_needed - lo) in
+            C.Bgv.encrypt pk rng (Array.sub slots lo len))
+      in
+      trace.Trace.device_encrypt_ops <- trace.Trace.device_encrypt_ops + ct_count;
+      trace.Trace.device_proof_constraints <-
+        trace.Trace.device_proof_constraints + C.Zkp.statement_constraints statement;
+      (* Byte accounting uses the real wire format's length. *)
+      let upload =
+        Array.fold_left
+          (fun acc ct -> acc + String.length (C.Bgv.serialize_ciphertext ct))
+          C.Zkp.proof_bytes cts
+      in
+      trace.Trace.device_upload_bytes <-
+        trace.Trace.device_upload_bytes +. float_of_int upload;
+      (* Aggregator verifies and aggregates. *)
+      trace.Trace.agg_proofs_verified <- trace.Trace.agg_proofs_verified + 1;
+      if C.Zkp.verify statement proof ~prover ~nonce then begin
+        incr accepted;
+        if sum_outsourced then pending_cts := cts :: !pending_cts
+        else
+          (acc_ct :=
+             match !acc_ct with
+             | None -> Some cts
+             | Some acc ->
+                 trace.Trace.agg_he_adds <- trace.Trace.agg_he_adds + ct_count;
+                 Some (Array.map2 C.Bgv.add acc cts));
+        if i mod 64 = 0 then
+          Audit.record_step audit (Printf.sprintf "sum-step|%d|%d" i ct_count)
+      end
+      else begin
+        incr rejected;
+        trace.Trace.agg_proofs_rejected <- trace.Trace.agg_proofs_rejected + 1
+      end)
+    devices;
+  (* Device sum-tree: fold the uploads level by level in fanout-sized
+     groups, each group summed by a participant device (attributed to
+     device_tree_adds); the aggregator audits every vertex. *)
+  if sum_outsourced then begin
+    let fanout = 8 in
+    let rec reduce level cts =
+      match cts with
+      | [] -> err "no valid inputs"
+      | [ only ] -> only
+      | _ ->
+          let rec groups acc cur k = function
+            | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+            | ct :: rest ->
+                if k = fanout then groups (List.rev cur :: acc) [ ct ] 1 rest
+                else groups acc (ct :: cur) (k + 1) rest
+          in
+          let nodes =
+            List.map
+              (fun group ->
+                match group with
+                | [] -> assert false
+                | first :: rest ->
+                    List.fold_left
+                      (fun acc cts ->
+                        trace.Trace.device_tree_adds <-
+                          trace.Trace.device_tree_adds + ct_count;
+                        Array.map2 C.Bgv.add acc cts)
+                      first rest)
+              (groups [] [] 0 cts)
+          in
+          Audit.record_step audit
+            (Printf.sprintf "tree-level|%d|%d" level (List.length nodes));
+          reduce (level + 1) nodes
+    in
+    acc_ct := Some (reduce 0 (List.rev !pending_cts))
+  end;
+  let sum_cts =
+    match !acc_ct with Some cts -> cts | None -> err "no valid inputs"
+  in
+  Log.info (fun m ->
+      m "aggregation done: %d accepted, %d rejected%s" !accepted !rejected
+        (if sum_outsourced then " (device sum-tree)" else ""));
+  (* Devices spot-check the sortition: recompute a few members' committee
+     assignments from the public block and registry (§5.1). *)
+  let checks = min 8 (Array.length kg_committee) in
+  for c = 0 to checks - 1 do
+    let member = kg_committee.(c) in
+    (match
+       C.Sortition.verify_member
+         ~devices:(Array.map (fun (d : Setup.device) -> d.Setup.sortition) devices)
+         ~block:cfg.block ~query_id:cfg.query_id ~committees:n_committees
+         ~size:cfg.committee_size
+         ~device:devices.(member).Setup.sortition
+     with
+    | Some _ -> trace.Trace.sortition_checks <- trace.Trace.sortition_checks + 1
+    | None -> err "sortition verification failed for committee member %d" member)
+  done;
+  (* 4. Optional secrecy-of-the-sample masking. *)
+  let eng_decrypt = E.create ~parties:cfg.committee_size rng () in
+  let eng_ops = E.create ~parties:cfg.committee_size rng () in
+  let phi = match sampled with Some (_, phi) -> phi | None -> 1.0 in
+  let window = max 1 (int_of_float (Float.round (phi *. float_of_int bins))) in
+  let window_start = if bins > 1 then Arb_util.Rng.int rng bins else 0 in
+  let in_window b =
+    let rel = (b - window_start + bins) mod bins in
+    rel < window
+  in
+  let sum_cts =
+    match (sampled, plan.Plan.crypto) with
+    | Some _, Plan.Fhe ->
+        (* The committee's secret window mask is applied under encryption:
+           a real ciphertext-by-ciphertext multiply plus relinearization,
+           per ciphertext chunk. *)
+        let rk = C.Bgv.relin_keygen params rng sk in
+        let mask =
+          Array.init slots_needed (fun slot -> if in_window (slot / cols) then 1 else 0)
+        in
+        Audit.record_step audit "fhe-mask";
+        Array.mapi
+          (fun k ct ->
+            let lo = k * ring_n in
+            let len = min ring_n (slots_needed - lo) in
+            let mask_ct = C.Bgv.encrypt pk rng (Array.sub mask lo len) in
+            trace.Trace.agg_he_muls <- trace.Trace.agg_he_muls + 1;
+            C.Bgv.relinearize rk (C.Bgv.mul ct mask_ct))
+          sum_cts
+    | _ -> sum_cts
+  in
+  (* 5. Threshold decryption into the operations committee. *)
+  let key_shares =
+    C.Bgv.share_secret_key params rng sk ~parties:cfg.committee_size
+  in
+  (* Each ciphertext chunk is threshold-decrypted; the slot views are
+     concatenated back into the full layout. *)
+  let decrypted =
+    Array.concat
+      (Array.to_list
+         (Array.map
+            (fun ct ->
+              let partials =
+                Array.to_list
+                  (Array.map
+                     (fun sh -> C.Bgv.partial_decrypt params rng sh ct)
+                     key_shares)
+              in
+              C.Bgv.combine_partials params ct partials)
+            sum_cts))
+  in
+  Arb_mpc.Protocols.charge_bgv_decrypt eng_decrypt ~n:params.C.Bgv.n
+    ~rns_primes:(List.length params.C.Bgv.q_primes) ~ciphertexts:ct_count;
+  Trace.record_committee trace Trace.Decryption (E.cost eng_decrypt);
+  Audit.record_step audit "decrypt";
+  (* Centered plaintext values (sums can be masked with negatives). *)
+  let t_mod = params.C.Bgv.t in
+  let center v = if v > t_mod / 2 then v - t_mod else v in
+  (* Fold bins: per category, sum bins inside the window (for unsampled
+     queries bins = 1 and this is the identity). *)
+  let sums =
+    Array.init cols (fun cat ->
+        let acc = ref 0 in
+        for b = 0 to bins - 1 do
+          let v = center decrypted.((b * cols) + cat) in
+          match (sampled, plan.Plan.crypto) with
+          | None, _ -> acc := !acc + v
+          | Some _, Plan.Fhe ->
+              (* Mask already applied homomorphically. *)
+              acc := !acc + v
+          | Some _, Plan.Ahe ->
+              (* Committee masks on shares: only window bins contribute. *)
+              if in_window b then acc := !acc + v
+        done;
+        !acc)
+  in
+  (* Hand the sums from the decryption committee to the operations
+     committee with real verifiable secret redistribution (§5.4): each
+     decryption-committee member re-shares its Shamir share of the value to
+     the operations committee with commitments; the receivers verify and
+     recombine. The recombined value seeds the ops engine's sharing (and
+     must equal the decrypted sum — checked as a protocol invariant). *)
+  let vsr_field = C.Field.create 998244353 in
+  let vsr_threshold = (cfg.committee_size - 1) / 2 in
+  let vsr_handoff v =
+    let centered = ((v mod vsr_field.C.Field.p) + vsr_field.C.Field.p) mod vsr_field.C.Field.p in
+    let dec_shares =
+      C.Shamir.share vsr_field rng ~secret:centered ~threshold:vsr_threshold
+        ~parties:cfg.committee_size
+    in
+    let subs_and_commits =
+      Array.map
+        (fun sh ->
+          C.Vsr.redistribute vsr_field rng sh ~new_threshold:vsr_threshold
+            ~new_parties:cfg.committee_size)
+        dec_shares
+    in
+    let sender_idxs =
+      Array.to_list (Array.map (fun (s : C.Shamir.share) -> s.C.Shamir.idx) dec_shares)
+    in
+    let ops_shares =
+      List.init cfg.committee_size (fun j ->
+          let pairs =
+            Array.to_list
+              (Array.map
+                 (fun (subs, commits) ->
+                   let sub = subs.(j) in
+                   if not (C.Vsr.verify_subshare sub commits.(j)) then
+                     err "VSR commitment verification failed";
+                   (sub.C.Vsr.from_idx, sub.C.Vsr.value))
+                 subs_and_commits)
+          in
+          C.Vsr.combine vsr_field ~sender_idxs pairs ~to_idx:(j + 1))
+    in
+    let recombined =
+      C.Field.center vsr_field (C.Shamir.reconstruct vsr_field ops_shares)
+    in
+    if recombined <> v then err "VSR hand-off corrupted a value";
+    E.reshare_in eng_ops (v * fx_scale)
+  in
+  let shared_db_sums = Array.map vsr_handoff sums in
+  (* 6. Interpret the rest of the program on shares. *)
+  let st =
+    {
+      cfg;
+      query;
+      plan;
+      rng;
+      trace;
+      epsilon = program.L.Ast.epsilon;
+      sensitivity = cert_report.L.Certify.sensitivity;
+      eng_ops;
+      vars = Hashtbl.create 16;
+      outputs = [];
+      shared_db_sums;
+      sampled_var = Option.map fst sampled;
+    }
+  in
+  Hashtbl.replace st.vars "N" (R_clean (V_int n_devices));
+  Hashtbl.replace st.vars "C" (R_clean (V_int cols));
+  (match sampled with
+  | Some (v, _) -> Hashtbl.replace st.vars v (R_clean (V_int 0)) (* placeholder *)
+  | None -> ());
+  exec st program.L.Ast.body;
+  (* 7. Audit: seal; sampled devices challenge random steps. *)
+  if cfg.tamper_aggregator && Audit.steps audit > 0 then ();
+  let audit_root = Audit.seal audit in
+  if cfg.tamper_aggregator && Audit.steps audit > 0 then Audit.tamper audit 0;
+  let steps = Audit.steps audit in
+  let k =
+    Audit.challenges_per_device ~steps ~devices:cfg.auditing_devices
+      ~p_max:cfg.audit_p_max
+  in
+  let audit_ok = ref true in
+  for _ = 1 to cfg.auditing_devices * k do
+    let i = Arb_util.Rng.int rng steps in
+    let leaf, proof = Audit.respond audit i in
+    trace.Trace.audits_performed <- trace.Trace.audits_performed + 1;
+    if not (Audit.check ~root:audit_root ~leaf proof) then begin
+      audit_ok := false;
+      trace.Trace.audits_failed <- trace.Trace.audits_failed + 1
+    end
+  done;
+  (* Wall-clock estimates for the committee MPCs under the configured
+     network profile: rounds measured from the real share-level execution,
+     per-round compute from the simulated ops (§7.5 methodology). *)
+  let committee_wall_clock =
+    List.map
+      (fun kind ->
+        ( kind,
+          Trace.committee_wall_clock trace cfg.latency kind
+            ~compute_per_round:0.002 ))
+      [ Trace.Keygen; Trace.Decryption; Trace.Operations ]
+  in
+  {
+    outputs = List.rev st.outputs;
+    trace;
+    certificate;
+    certificate_ok;
+    audit_root;
+    audit_ok = !audit_ok;
+    accepted_inputs = !accepted;
+    rejected_inputs = !rejected;
+    budget_left = certificate.Setup.budget_left;
+    committee_wall_clock;
+  }
+
+let plan_and_execute cfg ~query ~db =
+  let n = Array.length db in
+  let result =
+    Arb_planner.Search.plan ~limits:Arb_planner.Constraints.no_limits ~query ~n ()
+  in
+  match result.Arb_planner.Search.plan with
+  | None -> err "planner found no plan"
+  | Some plan -> execute cfg ~query ~plan ~db

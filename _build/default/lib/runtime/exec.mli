@@ -1,0 +1,76 @@
+(** End-to-end execution of a chosen plan at simulation scale (§5).
+
+    The runtime plays out the full protocol with real cryptography: devices
+    are registered in a Merkle tree; committees are sortitioned; the
+    key-generation committee checks the privacy budget, runs the (cost-
+    charged) DKG producing a genuine BGV keypair, and signs the query
+    authorization certificate; every device one-hot-encodes its row,
+    encrypts it under the published key and attaches a (simulated-Groth16)
+    well-formedness proof; the aggregator verifies proofs, drops Byzantine
+    inputs, homomorphically aggregates, and commits every intermediate step
+    to an audit tree that devices spot-check; a decryption committee
+    threshold-decrypts (real partial decryptions combined); and the rest of
+    the query runs inside an honest-majority MPC engine — noise sampling,
+    comparisons, argmax — before the declassified outputs are released.
+
+    Fidelity notes (DESIGN.md §1): operator-instantiation details that only
+    affect cost (sum-tree fanout, committee chunking) are executed in their
+    canonical form — the planner's metrics already capture their cost — and
+    hand-offs between logical committees are charged VSR costs on one
+    engine per committee type rather than thousands of real committees. *)
+
+type config = {
+  committee_size : int;  (** simulated committee size (small, e.g. 5) *)
+  byzantine_fraction : float;  (** devices uploading malformed inputs *)
+  churn : float;
+      (** probability a selected committee member is offline when its
+          vignette starts; committees below quorum are replaced (§5.1) *)
+  bgv_n : int;  (** simulation ring degree (raised if the query needs more slots) *)
+  latency : Net.profile;
+  seed : int64;
+  audit_p_max : float;
+  auditing_devices : int;  (** how many devices spot-check the aggregator *)
+  tamper_aggregator : bool;  (** test hook: Byzantine aggregator rewrites a step *)
+  budget : Arb_dp.Budget.t;  (** standing privacy budget before this query *)
+  block : string;  (** sortition randomness block B_i from the previous
+      certificate (§5.1); "B0" for the trusted genesis *)
+  query_id : int;  (** position in the query chain *)
+}
+
+val default_config : config
+
+type report = {
+  outputs : Arb_lang.Interp.value list;
+  trace : Trace.t;
+  certificate : Setup.certificate;
+  certificate_ok : bool;
+  audit_root : Arb_crypto.Sha256.digest;
+  audit_ok : bool;
+  accepted_inputs : int;
+  rejected_inputs : int;
+  budget_left : Arb_dp.Budget.t;
+  committee_wall_clock : (Trace.committee_kind * float) list;
+      (** estimated wall-clock seconds per committee type under the
+          configured network profile (§7.5 methodology: measured rounds x
+          RTT + compute) *)
+}
+
+exception Execution_error of string
+
+val execute :
+  config ->
+  query:Arb_queries.Registry.query ->
+  plan:Arb_planner.Plan.t ->
+  db:int array array ->
+  report
+(** Run the query end to end over a concrete database (one row per
+    device). Raises {!Setup.Budget_exhausted} when the budget is short and
+    [Execution_error] for queries outside the runtime's supported shape. *)
+
+val plan_and_execute :
+  config ->
+  query:Arb_queries.Registry.query ->
+  db:int array array ->
+  report
+(** Convenience: plan at the database's scale (no cost limits), then
+    execute. *)

@@ -1,0 +1,13 @@
+type profile = { name : string; rtt : float; device_slowdown : float }
+
+let lan = { name = "LAN"; rtt = 0.0005; device_slowdown = 1.0 }
+
+(* Max pairwise RTT among Mumbai/New York/Paris/Sydney (Mumbai<->Sydney is
+   the long pole at ~220 ms); honest-majority rounds wait for everyone. *)
+let geo_distributed = { name = "geo"; rtt = 0.220; device_slowdown = 1.0 }
+
+let with_slow_devices p ~factor =
+  { p with name = p.name ^ "+slow"; device_slowdown = Float.max p.device_slowdown factor }
+
+let mpc_wall_clock p ~rounds ~compute =
+  (float_of_int rounds *. p.rtt) +. (compute *. p.device_slowdown)

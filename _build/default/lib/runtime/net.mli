@@ -1,0 +1,22 @@
+(** Network model for the simulated deployment (§7.5).
+
+    MPC vignettes are round-trip bound: their wall-clock time is
+    [rounds * rtt + compute]. Profiles capture the settings of the paper's
+    heterogeneity experiments: a LAN cluster, and committee members spread
+    across Mumbai / New York / Paris / Sydney. *)
+
+type profile = {
+  name : string;
+  rtt : float;  (** effective per-round latency between committee members, s *)
+  device_slowdown : float;  (** compute multiplier for slow members; the MPC
+      proceeds at the pace of its slowest device *)
+}
+
+val lan : profile
+val geo_distributed : profile
+(** Mumbai/New York/Paris/Sydney mix: the max pairwise RTT governs rounds. *)
+
+val with_slow_devices : profile -> factor:float -> profile
+(** E.g. Raspberry-Pi-class members joining a server committee. *)
+
+val mpc_wall_clock : profile -> rounds:int -> compute:float -> float

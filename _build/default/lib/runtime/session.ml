@@ -1,0 +1,86 @@
+type query_result = {
+  report : Exec.report;
+  query_index : int;
+  block_used : string;
+}
+
+type t = {
+  config : Exec.config;
+  max_rounds : int;
+  db : int array array;
+  mutable budget : Arb_dp.Budget.t;
+  mutable block : string;
+  mutable index : int;
+  mutable chain : query_result list; (* newest first *)
+}
+
+let create ?(config = Exec.default_config) ?(max_rounds = 1000) ~budget ~db () =
+  {
+    config;
+    max_rounds;
+    db;
+    budget;
+    block = "genesis";
+    index = 0;
+    chain = [];
+  }
+
+let budget_left t = t.budget
+let queries_run t = t.index
+
+let run t query =
+  if t.index >= t.max_rounds then
+    Error
+      (Printf.sprintf
+         "round limit R = %d reached; the per-round failure bound p1 no longer covers further queries"
+         t.max_rounds)
+  else
+    let n = Array.length t.db in
+    let cert = Arb_lang.Certify.certify query.Arb_queries.Registry.program ~n in
+    if not cert.Arb_lang.Certify.certified then
+      Error
+        ("certification failed: "
+        ^ Option.value cert.Arb_lang.Certify.reason ~default:"?")
+    else if not (Arb_dp.Budget.can_afford t.budget ~cost:cert.Arb_lang.Certify.cost)
+    then
+      Error
+        (Format.asprintf "privacy budget exhausted: need %a, have %a"
+           Arb_dp.Budget.pp cert.Arb_lang.Certify.cost Arb_dp.Budget.pp t.budget)
+    else begin
+      let block_used = t.block in
+      (* Each query gets a fresh seed derived from the chained block so the
+         whole session is reproducible yet unpredictable before B_i. *)
+      let seed =
+        let h = Arb_crypto.Sha256.digest (block_used ^ string_of_int (t.index + 1)) in
+        String.fold_left (fun acc c -> Int64.add (Int64.mul acc 131L) (Int64.of_int (Char.code c)))
+          7L (String.sub h 0 8)
+      in
+      let config =
+        { t.config with Exec.seed; budget = t.budget; block = block_used;
+          query_id = t.index + 1 }
+      in
+      match Exec.plan_and_execute config ~query ~db:t.db with
+      | report ->
+          t.budget <- report.Exec.budget_left;
+          t.block <- report.Exec.certificate.Setup.next_block;
+          t.index <- t.index + 1;
+          let qr = { report; query_index = t.index; block_used } in
+          t.chain <- qr :: t.chain;
+          Ok qr
+      | exception Setup.Budget_exhausted ->
+          Error "privacy budget exhausted (refused by the key-generation committee)"
+    end
+
+let chain_verifies t =
+  let rec check prev_next = function
+    | [] -> true
+    | qr :: older ->
+        Setup.verify_certificate qr.report.Exec.certificate
+        && (match prev_next with
+           | None -> true
+           | Some block -> String.equal qr.report.Exec.certificate.Setup.next_block block)
+        && check (Some qr.block_used) older
+  in
+  (* chain is newest-first: each entry's block_used must equal the next
+     certificate's minted block (walking toward the genesis). *)
+  check None t.chain

@@ -1,0 +1,43 @@
+(** Multi-query sessions: the chain the paper's certificates form (§5.1–5.2).
+
+    A deployment answers a sequence of queries. Each query's key-generation
+    committee consumes the previous certificate's randomness block [B_i]
+    (so sortition cannot be predicted ahead of time), checks and updates the
+    shared privacy-budget balance, and emits the next block [B_{i+1}] inside
+    its signed certificate. This module drives that chain: committees for
+    query i+1 are selected with the block minted by query i, and a query is
+    refused — with the budget intact — once the balance runs out.
+
+    The per-round failure probability p1 used for committee sizing assumes
+    a bounded number of rounds R (§5.1); the session enforces R. *)
+
+type t
+
+type query_result = {
+  report : Exec.report;
+  query_index : int;  (** 1-based position in the chain *)
+  block_used : string;  (** the randomness block that drove sortition *)
+}
+
+val create :
+  ?config:Exec.config ->
+  ?max_rounds:int ->
+  budget:Arb_dp.Budget.t ->
+  db:int array array ->
+  unit ->
+  t
+(** A session over a fixed device population. [max_rounds] defaults to 1000
+    (the paper's R). The genesis block comes from the trusted setup
+    (§3.1: the aggregator is honest at the start). *)
+
+val budget_left : t -> Arb_dp.Budget.t
+val queries_run : t -> int
+
+val run : t -> Arb_queries.Registry.query -> (query_result, string) result
+(** Execute the next query in the chain. [Error] (leaving the session
+    unchanged) when the budget cannot cover the query's certified cost,
+    when certification fails, or when the round limit R is exhausted. *)
+
+val chain_verifies : t -> bool
+(** Every certificate in the chain verifies, and each query's sortition
+    block equals the previous certificate's [next_block]. *)

@@ -1,0 +1,115 @@
+module C = Arb_crypto
+
+type device = {
+  sortition : C.Sortition.device;
+  row : int array;
+  byzantine : bool;
+}
+
+type certificate = {
+  query_id : int;
+  pk_digest : C.Sha256.digest;
+  plan_digest : C.Sha256.digest;
+  budget_left : Arb_dp.Budget.t;
+  registry_root : C.Sha256.digest;
+  next_block : string;
+  signatures : (C.Sig_scheme.public * string) list;
+}
+
+exception Budget_exhausted
+
+let make_devices rng ~db ~byzantine_fraction =
+  Array.mapi
+    (fun i row ->
+      let seed =
+        let b = Bytes.create 16 in
+        Bytes.set_int64_le b 0 (Arb_util.Rng.next_int64 rng);
+        Bytes.set_int64_le b 8 (Int64.of_int i);
+        Bytes.to_string b
+      in
+      {
+        sortition = { C.Sortition.id = i; seed };
+        row;
+        byzantine = Arb_util.Rng.uniform01 rng < byzantine_fraction;
+      })
+    db
+
+let run_sortition ~devices ~block ~query_id ~committees ~size =
+  C.Sortition.select
+    ~devices:(Array.map (fun d -> d.sortition) devices)
+    ~block ~query_id ~committees ~size
+
+let certificate_payload cert =
+  Printf.sprintf "cert|%d|%s|%s|%f|%f|%s|%s" cert.query_id
+    (C.Sha256.to_hex cert.pk_digest)
+    (C.Sha256.to_hex cert.plan_digest)
+    cert.budget_left.Arb_dp.Budget.epsilon cert.budget_left.Arb_dp.Budget.delta
+    (C.Sha256.to_hex cert.registry_root)
+    cert.next_block
+
+let pk_digest_of pk =
+  (* Hash a deterministic rendering of the public key; the simulation
+     serializes via Marshal, which is stable within a run. *)
+  C.Sha256.digest (Marshal.to_string pk [])
+
+let keygen_ceremony rng ~devices ~committee ~params ~query_id ~plan_digest
+    ~budget ~cost ~registry_root ~engine =
+  (* 1. Budget check (§5.2): refuse the query if the balance is short. *)
+  let budget_left =
+    match Arb_dp.Budget.charge budget ~cost with
+    | Some left -> left
+    | None -> raise Budget_exhausted
+  in
+  (* 2. Distributed key generation. The polynomial arithmetic runs inside
+     the committee MPC; costs are charged to the engine while the key
+     material is produced by the real BGV keygen. *)
+  let sk, pk = C.Bgv.keygen params rng in
+  Arb_mpc.Protocols.charge_bgv_keygen engine ~n:params.C.Bgv.n
+    ~rns_primes:(List.length params.C.Bgv.q_primes);
+  (* 3. Fresh randomness block: XOR of member contributions (§5.2). *)
+  let next_block =
+    let acc = Bytes.make 32 '\x00' in
+    Array.iter
+      (fun member ->
+        let contrib =
+          C.Sha256.digest (Printf.sprintf "block|%d|%d" query_id member)
+        in
+        String.iteri
+          (fun i c ->
+            Bytes.set acc i (Char.chr (Char.code (Bytes.get acc i) lxor Char.code c)))
+          contrib)
+      committee;
+    C.Sha256.to_hex (Bytes.to_string acc)
+  in
+  let unsigned =
+    {
+      query_id;
+      pk_digest = pk_digest_of pk;
+      plan_digest;
+      budget_left;
+      registry_root;
+      next_block;
+      signatures = [];
+    }
+  in
+  let payload = certificate_payload unsigned in
+  (* 4. Every member signs with a per-query one-time key. *)
+  let signatures =
+    Array.to_list committee
+    |> List.map (fun member ->
+           let seed =
+             devices.(member).sortition.C.Sortition.seed
+             ^ Printf.sprintf "|cert%d" query_id
+           in
+           let kp = C.Sig_scheme.keygen ~seed in
+           (kp.C.Sig_scheme.public, C.Sig_scheme.sign ~secret:kp.C.Sig_scheme.secret payload))
+  in
+  (sk, pk, { unsigned with signatures })
+
+let verify_certificate cert =
+  let payload = certificate_payload { cert with signatures = [] } in
+  cert.signatures <> []
+  && List.for_all
+       (fun (public, signature) ->
+         C.Sig_scheme.verify ~public ~msg:payload ~signature)
+       cert.signatures

@@ -1,0 +1,61 @@
+(** Execution setup: device registry, sortition, and the key-generation
+    ceremony (§5.1–§5.2).
+
+    The key-generation committee checks the privacy budget, generates the
+    BGV keypair, hands the secret key to the decryption committee as Shamir
+    shares via VSR, and signs a query authorization certificate containing
+    the public key, query/plan digests, the remaining budget, the device
+    registry's Merkle root, and the next sortition block. *)
+
+type device = {
+  sortition : Arb_crypto.Sortition.device;
+  row : int array;  (** this device's database row *)
+  byzantine : bool;  (** submits malformed input + forged proof *)
+}
+
+type certificate = {
+  query_id : int;
+  pk_digest : Arb_crypto.Sha256.digest;
+  plan_digest : Arb_crypto.Sha256.digest;
+  budget_left : Arb_dp.Budget.t;
+  registry_root : Arb_crypto.Sha256.digest;
+  next_block : string;
+  signatures : (Arb_crypto.Sig_scheme.public * string) list;
+      (** per keygen-committee member: (one-time public key, signature) *)
+}
+
+exception Budget_exhausted
+
+val make_devices :
+  Arb_util.Rng.t -> db:int array array -> byzantine_fraction:float -> device array
+
+val run_sortition :
+  devices:device array ->
+  block:string ->
+  query_id:int ->
+  committees:int ->
+  size:int ->
+  Arb_crypto.Sortition.assignment
+
+val certificate_payload : certificate -> string
+(** The signed byte string (everything except the signatures). *)
+
+val keygen_ceremony :
+  Arb_util.Rng.t ->
+  devices:device array ->
+  committee:int array ->
+  params:Arb_crypto.Bgv.params ->
+  query_id:int ->
+  plan_digest:Arb_crypto.Sha256.digest ->
+  budget:Arb_dp.Budget.t ->
+  cost:Arb_dp.Budget.t ->
+  registry_root:Arb_crypto.Sha256.digest ->
+  engine:Arb_mpc.Engine.t ->
+  Arb_crypto.Bgv.secret_key * Arb_crypto.Bgv.public_key * certificate
+(** Raises [Budget_exhausted] if [cost] exceeds [budget]. The returned
+    secret key is the ceremony's output held only as shares in a real
+    deployment; the simulation hands it to the decryption step directly
+    (which re-shares it). MPC costs are charged to [engine]. *)
+
+val verify_certificate : certificate -> bool
+(** Every member signature checks out against the payload. *)

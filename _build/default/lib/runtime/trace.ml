@@ -1,0 +1,66 @@
+type committee_kind = Keygen | Decryption | Operations
+
+type t = {
+  mutable device_upload_bytes : float;
+  mutable device_encrypt_ops : int;
+  mutable device_proof_constraints : int;
+  mutable agg_bytes_sent : float;
+  mutable agg_he_adds : int;
+  mutable agg_he_muls : int;
+  mutable agg_proofs_verified : int;
+  mutable agg_proofs_rejected : int;
+  mutable committee_costs : (committee_kind * Arb_mpc.Cost.t) list;
+  mutable audits_performed : int;
+  mutable audits_failed : int;
+  mutable vignettes_executed : int;
+  mutable committees_reassigned : int;
+  mutable device_tree_adds : int;
+  mutable sortition_checks : int;
+}
+
+let create () =
+  {
+    device_upload_bytes = 0.0;
+    device_encrypt_ops = 0;
+    device_proof_constraints = 0;
+    agg_bytes_sent = 0.0;
+    agg_he_adds = 0;
+    agg_he_muls = 0;
+    agg_proofs_verified = 0;
+    agg_proofs_rejected = 0;
+    committee_costs = [];
+    audits_performed = 0;
+    audits_failed = 0;
+    vignettes_executed = 0;
+    committees_reassigned = 0;
+    device_tree_adds = 0;
+    sortition_checks = 0;
+  }
+
+let record_committee t kind cost =
+  t.committee_costs <- (kind, cost) :: t.committee_costs
+
+let by_kind t kind = List.filter (fun (k, _) -> k = kind) t.committee_costs
+
+let mpc_rounds t kind =
+  List.fold_left (fun acc (_, c) -> acc + c.Arb_mpc.Cost.rounds) 0 (by_kind t kind)
+
+let mpc_bytes t kind =
+  List.fold_left
+    (fun acc (_, c) -> acc + c.Arb_mpc.Cost.bytes_per_party)
+    0 (by_kind t kind)
+
+let committee_wall_clock t profile kind ~compute_per_round =
+  let rounds = mpc_rounds t kind in
+  Net.mpc_wall_clock profile ~rounds
+    ~compute:(float_of_int rounds *. compute_per_round)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "device: %.0f B up, %d encs, %d constraints; agg: %.0f B, %d adds, %d muls, %d/%d proofs ok; %d committees traced; %d audits (%d failed); %d vignettes"
+    t.device_upload_bytes t.device_encrypt_ops t.device_proof_constraints
+    t.agg_bytes_sent t.agg_he_adds t.agg_he_muls
+    (t.agg_proofs_verified - t.agg_proofs_rejected)
+    t.agg_proofs_verified
+    (List.length t.committee_costs)
+    t.audits_performed t.audits_failed t.vignettes_executed

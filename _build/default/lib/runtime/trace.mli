@@ -1,0 +1,44 @@
+(** Execution trace: who did how much work during a simulated run.
+
+    Fed by the runtime; consumed by the benchmark harness (Figs. 6–8, 11)
+    and by tests asserting the cost structure (e.g. key generation is the
+    most expensive committee). *)
+
+type committee_kind = Keygen | Decryption | Operations
+
+type t = {
+  mutable device_upload_bytes : float;  (** per device: ciphertexts + proof *)
+  mutable device_encrypt_ops : int;
+  mutable device_proof_constraints : int;
+  mutable agg_bytes_sent : float;
+  mutable agg_he_adds : int;
+  mutable agg_he_muls : int;
+  mutable agg_proofs_verified : int;
+  mutable agg_proofs_rejected : int;
+  mutable committee_costs : (committee_kind * Arb_mpc.Cost.t) list;
+  mutable audits_performed : int;
+  mutable audits_failed : int;
+  mutable vignettes_executed : int;
+  mutable committees_reassigned : int;
+      (** committees that lost their quorum to churn and were replaced (§5.1) *)
+  mutable device_tree_adds : int;
+      (** homomorphic additions performed by participant devices when the
+          plan outsources the sum (sum-tree instantiation, §4.3) *)
+  mutable sortition_checks : int;
+      (** device-side verifications that committee members were
+          legitimately selected *)
+}
+
+val create : unit -> t
+val record_committee : t -> committee_kind -> Arb_mpc.Cost.t -> unit
+
+val mpc_rounds : t -> committee_kind -> int
+val mpc_bytes : t -> committee_kind -> int
+(** Per-member bytes summed over that kind's recorded committees. *)
+
+val committee_wall_clock :
+  t -> Net.profile -> committee_kind -> compute_per_round:float -> float
+(** Wall-clock estimate for all of a kind's MPC work under a network
+    profile. *)
+
+val pp : Format.formatter -> t -> unit

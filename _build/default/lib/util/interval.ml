@@ -1,0 +1,69 @@
+type t = { lo : int; hi : int }
+
+(* All bound arithmetic saturates at +-2^60 so that range inference stays
+   total on programs whose abstract values blow up (the concrete runtime
+   saturates at the fixpoint format long before this). *)
+let saturation = 1 lsl 60
+
+let clamp v = if v > saturation then saturation else if v < -saturation then -saturation else v
+
+let sadd a b =
+  let f = float_of_int a +. float_of_int b in
+  if Float.abs f >= 1.15e18 then if f > 0.0 then saturation else -saturation
+  else clamp (a + b)
+
+let smul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let f = float_of_int a *. float_of_int b in
+    if Float.abs f >= 1.15e18 then if f > 0.0 then saturation else -saturation
+    else clamp (a * b)
+
+let make lo hi =
+  if lo > hi then invalid_arg "Interval.make: lo > hi";
+  { lo = clamp lo; hi = clamp hi }
+
+let point v = { lo = v; hi = v }
+let bool_range = { lo = 0; hi = 1 }
+
+let join a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+let add a b = { lo = sadd a.lo b.lo; hi = sadd a.hi b.hi }
+let sub a b = { lo = sadd a.lo (-b.hi); hi = sadd a.hi (-b.lo) }
+let neg a = { lo = -a.hi; hi = -a.lo }
+
+let mul a b =
+  let p1 = smul a.lo b.lo and p2 = smul a.lo b.hi in
+  let p3 = smul a.hi b.lo and p4 = smul a.hi b.hi in
+  { lo = min (min p1 p2) (min p3 p4); hi = max (max p1 p2) (max p3 p4) }
+
+let magnitude a = max (abs a.lo) (abs a.hi)
+
+let div a b =
+  if b.lo <= 0 && b.hi >= 0 then
+    (* Divisor may be 0 or arbitrarily small: widen to the magnitude. *)
+    let m = magnitude a in
+    { lo = -m; hi = m }
+  else
+    let q1 = a.lo / b.lo and q2 = a.lo / b.hi in
+    let q3 = a.hi / b.lo and q4 = a.hi / b.hi in
+    { lo = min (min q1 q2) (min q3 q4); hi = max (max q1 q2) (max q3 q4) }
+
+let clip a ~lo ~hi =
+  if lo > hi then invalid_arg "Interval.clip: lo > hi";
+  { lo = max a.lo lo |> min hi; hi = min a.hi hi |> max lo }
+
+let scale a k =
+  if k < 0 then invalid_arg "Interval.scale: negative factor";
+  { lo = smul a.lo k; hi = smul a.hi k }
+
+let width a = a.hi - a.lo
+let contains a v = v >= a.lo && v <= a.hi
+let subset a b = a.lo >= b.lo && a.hi <= b.hi
+
+let bits_needed a =
+  let m = magnitude a in
+  let rec go bits v = if v = 0 then bits else go (bits + 1) (v lsr 1) in
+  1 + go 0 m (* sign bit + magnitude bits *)
+
+let equal a b = a.lo = b.lo && a.hi = b.hi
+let pp fmt a = Format.fprintf fmt "[%d, %d]" a.lo a.hi

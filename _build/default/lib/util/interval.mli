@@ -1,0 +1,49 @@
+(** Conservative integer value-range arithmetic.
+
+    The planner's basic type inference (§4.4) assigns every expression a
+    value range so that cryptosystem parameters (e.g. the BGV plaintext
+    modulus) can be chosen safely. Bounds are conservative: the range of
+    [a*b] is computed from the four corner products, and division widens to
+    the safest enclosing range. Ranges are over mathematical integers scaled
+    by the fixpoint quantum where fractional values are involved; callers
+    track the scale. *)
+
+type t = { lo : int; hi : int }
+
+val make : int -> int -> t
+(** [make lo hi]; requires [lo <= hi]. *)
+
+val point : int -> t
+(** Singleton range. *)
+
+val bool_range : t
+(** \[0, 1\]. *)
+
+val join : t -> t -> t
+(** Smallest range containing both (used at control-flow joins). *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** Conservative: if the divisor range contains 0 the result is widened to
+    the full product magnitude range. *)
+
+val clip : t -> lo:int -> hi:int -> t
+(** Range after clamping values into \[lo, hi\]. *)
+
+val scale : t -> int -> t
+(** Multiply both bounds by a non-negative constant. *)
+
+val width : t -> int
+val contains : t -> int -> bool
+val subset : t -> t -> bool
+val magnitude : t -> int
+(** Largest absolute value in the range. *)
+
+val bits_needed : t -> int
+(** Bits required for a signed representation of every value in the range. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+(** Minimal JSON: just enough to serialize plans, metrics and reports for
+    the CLI and for round-trip-tested persistence. Self-contained (the
+    container has no JSON package). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : ?pretty:bool -> t -> string
+(** Render; [pretty] indents with two spaces. Strings are escaped per
+    RFC 8259 (control characters, quotes, backslashes; non-ASCII bytes are
+    passed through as UTF-8). *)
+
+val of_string : string -> t
+(** Parse. Numbers with a '.', 'e' or 'E' become [Float], others [Int].
+    Raises [Parse_error] with a position on malformed input. *)
+
+val member : string -> t -> t
+(** Field of an object; raises [Parse_error] when missing or not an
+    object. *)
+
+val to_int : t -> int
+val to_float : t -> float
+(** [to_float] accepts [Int] too. *)
+
+val to_str : t -> string
+val to_list : t -> t list
+val to_bool : t -> bool

@@ -1,0 +1,41 @@
+type align = Left | Right
+
+let normalize ncols row =
+  let len = List.length row in
+  if len >= ncols then List.filteri (fun i _ -> i < ncols) row
+  else row @ List.init (ncols - len) (fun _ -> "")
+
+let render ?(align = []) ~header rows =
+  let ncols = List.length header in
+  let rows = List.map (normalize ncols) rows in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter measure (header :: rows);
+  let align_of i =
+    match List.nth_opt align i with Some a -> a | None -> Left
+  in
+  let pad i cell =
+    let w = widths.(i) in
+    let n = w - String.length cell in
+    match align_of i with
+    | Left -> cell ^ String.make n ' '
+    | Right -> String.make n ' ' ^ cell
+  in
+  let line row = "| " ^ String.concat " | " (List.mapi pad row) ^ " |" in
+  let rule =
+    "+"
+    ^ String.concat "+"
+        (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "+"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (rule ^ "\n");
+  Buffer.add_string buf (line header ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (line row ^ "\n")) rows;
+  Buffer.add_string buf (rule ^ "\n");
+  Buffer.contents buf
+
+let print ?align ~header rows = print_string (render ?align ~header rows)

@@ -1,0 +1,16 @@
+(** Minimal ASCII table renderer for benchmark/report output. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  string list list ->
+  string
+(** [render ~header rows] lays out a table with a header rule. Rows shorter
+    than the header are padded with empty cells; longer rows are truncated.
+    [align] defaults to left for every column. *)
+
+val print :
+  ?align:align list -> header:string list -> string list list -> unit
+(** [render] followed by [print_string]. *)

@@ -1,0 +1,21 @@
+(** Human-readable cost units used across benches and reports. *)
+
+val bytes_to_string : float -> string
+(** "132.0 kB", "3.1 MB", "1.4 TB", ... (SI, powers of 1000 like the paper). *)
+
+val seconds_to_string : float -> string
+(** "7.1 s", "14.2 min", "9.8 h", "3.2 d". *)
+
+val si : float -> string
+(** Plain SI-scaled number: "1.3 G", "41.7 k". *)
+
+val core_hours : float -> float
+(** Seconds of single-core compute -> core-hours. *)
+
+val mib : float
+val gib : float
+val mb : float
+val gb : float
+val tb : float
+val minute : float
+val hour : float

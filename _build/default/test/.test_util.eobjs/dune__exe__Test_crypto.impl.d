@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Arb_crypto Arb_util Array Bytes Char Fun Gen Int64 List Printf QCheck QCheck_alcotest String

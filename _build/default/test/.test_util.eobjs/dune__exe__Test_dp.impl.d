@@ -1,0 +1,1 @@
+test/test_dp.ml: Alcotest Arb_dp Arb_util Array Float Fun List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Arb_dp Arb_lang Arb_planner Arb_queries Arb_runtime Arb_util Arboretum Array Buffer Float List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Arb_dp Arb_lang Arb_queries Arb_util Array Float Int64 List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_mpc.ml: Alcotest Arb_mpc Arb_util Array Float Fun Gen Int64 List Printf QCheck QCheck_alcotest

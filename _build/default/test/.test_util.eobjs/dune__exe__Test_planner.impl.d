@@ -1,0 +1,1 @@
+test/test_planner.ml: Alcotest Arb_baselines Arb_lang Arb_planner Arb_queries Arb_util Float Format List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Arb_dp Arb_lang Arb_planner Arb_queries Arb_runtime Arb_util Array Float Format Fun Int64 List Option Printf String

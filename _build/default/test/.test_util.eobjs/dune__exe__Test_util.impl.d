@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Arb_util Array Float Fun Int64 List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,903 @@
+(* Tests for the cryptographic substrate: SHA-256, Merkle, signatures,
+   field/NTT algebra, BGV, Shamir/VSR, ZKPs, sortition. *)
+
+module C = Arb_crypto
+module Rng = Arb_util.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---------------- SHA-256 ---------------- *)
+
+let test_sha_vectors () =
+  let cases =
+    [
+      ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+      ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+      ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+    ]
+  in
+  List.iter
+    (fun (msg, want) -> checks msg want (C.Sha256.to_hex (C.Sha256.digest msg)))
+    cases
+
+let test_sha_million_a () =
+  checks "10^6 x 'a'" "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (C.Sha256.to_hex (C.Sha256.digest (String.make 1_000_000 'a')))
+
+let test_sha_incremental () =
+  (* Feeding in arbitrary chunks must agree with one-shot hashing. *)
+  let msg = String.init 1000 (fun i -> Char.chr (i mod 256)) in
+  let whole = C.Sha256.digest msg in
+  List.iter
+    (fun chunk ->
+      let ctx = C.Sha256.init () in
+      let rec feed pos =
+        if pos < String.length msg then begin
+          let len = min chunk (String.length msg - pos) in
+          C.Sha256.feed ctx (String.sub msg pos len);
+          feed (pos + len)
+        end
+      in
+      feed 0;
+      checks (Printf.sprintf "chunk %d" chunk) (C.Sha256.to_hex whole)
+        (C.Sha256.to_hex (C.Sha256.finalize ctx)))
+    [ 1; 3; 55; 56; 63; 64; 65; 128; 999 ]
+
+let test_hmac_vectors () =
+  (* RFC 4231 test cases 1 and 2. *)
+  checks "rfc4231 case 2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (C.Sha256.to_hex (C.Sha256.hmac ~key:"Jefe" "what do ya want for nothing?"));
+  checks "rfc4231 case 1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (C.Sha256.to_hex (C.Sha256.hmac ~key:(String.make 20 '\x0b') "Hi There"))
+
+let prop_sha_deterministic_and_sensitive =
+  QCheck.Test.make ~name:"sha256 deterministic + bit-sensitive" ~count:100
+    QCheck.(string_of_size (Gen.int_range 1 200))
+    (fun s ->
+      let d1 = C.Sha256.digest s and d2 = C.Sha256.digest s in
+      let flipped =
+        let b = Bytes.of_string s in
+        Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 1));
+        Bytes.to_string b
+      in
+      String.equal d1 d2 && not (String.equal d1 (C.Sha256.digest flipped)))
+
+(* ---------------- Merkle ---------------- *)
+
+let prop_merkle_inclusion =
+  QCheck.Test.make ~name:"merkle inclusion proofs verify" ~count:100
+    QCheck.(int_range 1 64)
+    (fun n ->
+      let leaves = Array.init n (fun i -> Printf.sprintf "leaf-%d" i) in
+      let t = C.Merkle.build leaves in
+      let root = C.Merkle.root t in
+      List.for_all
+        (fun i -> C.Merkle.verify ~root ~leaf:leaves.(i) (C.Merkle.prove t i))
+        (List.init n Fun.id))
+
+let test_merkle_tamper () =
+  let leaves = Array.init 8 (fun i -> Printf.sprintf "v%d" i) in
+  let t = C.Merkle.build leaves in
+  let root = C.Merkle.root t in
+  let proof = C.Merkle.prove t 3 in
+  checkb "wrong leaf fails" false (C.Merkle.verify ~root ~leaf:"v4" proof);
+  checkb "wrong index fails" false
+    (C.Merkle.verify ~root ~leaf:"v3" { proof with C.Merkle.index = 4 });
+  checkb "tampered root fails" false
+    (C.Merkle.verify ~root:(C.Sha256.digest "x") ~leaf:"v3" proof)
+
+let test_merkle_second_preimage_separation () =
+  (* Domain separation: a tree over the concatenated leaf hashes differs
+     from the two-leaf tree. *)
+  let t1 = C.Merkle.build [| "a"; "b" |] in
+  let inner = C.Merkle.leaf_hash "a" ^ C.Merkle.leaf_hash "b" in
+  let t2 = C.Merkle.build [| inner |] in
+  checkb "no splice" false (String.equal (C.Merkle.root t1) (C.Merkle.root t2))
+
+let test_merkle_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Merkle.build: no leaves")
+    (fun () -> ignore (C.Merkle.build [||]))
+
+(* ---------------- Lamport signatures ---------------- *)
+
+let test_sig_roundtrip () =
+  let kp = C.Sig_scheme.keygen ~seed:"device-1|q7" in
+  let s = C.Sig_scheme.sign ~secret:kp.C.Sig_scheme.secret "hello" in
+  checkb "verifies" true
+    (C.Sig_scheme.verify ~public:kp.C.Sig_scheme.public ~msg:"hello" ~signature:s);
+  checkb "wrong message fails" false
+    (C.Sig_scheme.verify ~public:kp.C.Sig_scheme.public ~msg:"hullo" ~signature:s);
+  let kp2 = C.Sig_scheme.keygen ~seed:"device-2|q7" in
+  checkb "wrong key fails" false
+    (C.Sig_scheme.verify ~public:kp2.C.Sig_scheme.public ~msg:"hello" ~signature:s)
+
+let test_sig_deterministic () =
+  let kp = C.Sig_scheme.keygen ~seed:"d" in
+  checks "same signature"
+    (C.Sha256.to_hex
+       (C.Sha256.digest (C.Sig_scheme.sign ~secret:kp.C.Sig_scheme.secret "m")))
+    (C.Sha256.to_hex
+       (C.Sha256.digest (C.Sig_scheme.sign ~secret:kp.C.Sig_scheme.secret "m")))
+
+let test_sig_tamper () =
+  let kp = C.Sig_scheme.keygen ~seed:"d2" in
+  let s = C.Sig_scheme.sign ~secret:kp.C.Sig_scheme.secret "m" in
+  let tampered =
+    let b = Bytes.of_string s in
+    Bytes.set b 10 (Char.chr (Char.code (Bytes.get b 10) lxor 0xFF));
+    Bytes.to_string b
+  in
+  checkb "tampered signature fails" false
+    (C.Sig_scheme.verify ~public:kp.C.Sig_scheme.public ~msg:"m" ~signature:tampered)
+
+(* ---------------- Field ---------------- *)
+
+let p_test = 998244353
+let fld = C.Field.create p_test
+
+let prop_field_ring_laws =
+  QCheck.Test.make ~name:"field ring laws" ~count:300
+    QCheck.(
+      triple (int_bound (p_test - 1)) (int_bound (p_test - 1)) (int_bound (p_test - 1)))
+    (fun (a, b, c) ->
+      let open C.Field in
+      add fld a b = add fld b a
+      && mul fld a b = mul fld b a
+      && mul fld a (add fld b c) = add fld (mul fld a b) (mul fld a c)
+      && add fld a (neg fld a) = 0)
+
+let prop_field_inverse =
+  QCheck.Test.make ~name:"field inverse" ~count:200
+    QCheck.(int_range 1 (p_test - 1))
+    (fun a -> C.Field.mul fld a (C.Field.inv fld a) = 1)
+
+let test_field_is_prime () =
+  List.iter
+    (fun p -> checkb (string_of_int p) true (C.Field.is_prime p))
+    [ 2; 3; 12289; 65537; 786433; 998244353; 754974721 ];
+  List.iter
+    (fun p -> checkb (string_of_int p) false (C.Field.is_prime p))
+    [ 1; 0; 4; 12287; 65536; 998244351 ]
+
+let test_field_root_of_unity () =
+  let w = C.Field.root_of_unity fld ~order:1024 in
+  checki "w^1024 = 1" 1 (C.Field.pow fld w 1024);
+  checkb "w^512 <> 1" true (C.Field.pow fld w 512 <> 1)
+
+let test_field_center () =
+  checki "center small" 5 (C.Field.center fld 5);
+  checki "center large is negative" (-1) (C.Field.center fld (p_test - 1))
+
+let test_field_rejects () =
+  Alcotest.check_raises "composite"
+    (Invalid_argument "Field.create: modulus not prime") (fun () ->
+      ignore (C.Field.create 12287));
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () ->
+      ignore (C.Field.inv fld 0))
+
+(* ---------------- NTT / Poly ---------------- *)
+
+let prop_ntt_roundtrip =
+  QCheck.Test.make ~name:"NTT roundtrip" ~count:50
+    QCheck.(int_range 0 5)
+    (fun logn_off ->
+      let n = 8 lsl logn_off in
+      let plan = C.Ntt.plan ~n ~p:p_test in
+      let rng = Rng.create (Int64.of_int n) in
+      let a = C.Poly.random_uniform fld rng n in
+      let a' = Array.copy a in
+      C.Ntt.forward plan a';
+      C.Ntt.inverse plan a';
+      a = a')
+
+let prop_ntt_vs_naive =
+  QCheck.Test.make ~name:"NTT multiply = naive negacyclic multiply" ~count:50
+    QCheck.(int_range 0 4)
+    (fun logn_off ->
+      let n = 8 lsl logn_off in
+      let plan = C.Ntt.plan ~n ~p:p_test in
+      let rng = Rng.create (Int64.of_int (n + 1)) in
+      let a = C.Poly.random_uniform fld rng n in
+      let b = C.Poly.random_uniform fld rng n in
+      C.Ntt.multiply plan a b = C.Poly.mul_naive fld a b)
+
+let test_ntt_negacyclic_wraparound () =
+  (* x^(n-1) * x = -1 in Z_p[x]/(x^n+1). *)
+  let n = 16 in
+  let plan = C.Ntt.plan ~n ~p:p_test in
+  let xn1 = Array.make n 0 and x = Array.make n 0 in
+  xn1.(n - 1) <- 1;
+  x.(1) <- 1;
+  let prod = C.Ntt.multiply plan xn1 x in
+  checki "constant coeff = -1" (p_test - 1) prod.(0);
+  for i = 1 to n - 1 do
+    checki "other coeffs zero" 0 prod.(i)
+  done
+
+let test_ntt_rejects () =
+  Alcotest.check_raises "n not power of two"
+    (Invalid_argument "Ntt.plan: n not a power of two") (fun () ->
+      ignore (C.Ntt.plan ~n:12 ~p:p_test))
+
+(* ---------------- BGV ---------------- *)
+
+let test_bgv_roundtrip () =
+  let rng = Rng.create 101L in
+  List.iter
+    (fun params ->
+      let sk, pk = C.Bgv.keygen params rng in
+      let slots = Array.init 64 (fun i -> i * 7 mod params.C.Bgv.t) in
+      let ct = C.Bgv.encrypt pk rng slots in
+      let dec = C.Bgv.decrypt sk ct in
+      Array.iteri (fun i v -> checki (Printf.sprintf "slot %d" i) v dec.(i)) slots)
+    [ C.Bgv.ahe_params ~n:128 (); C.Bgv.fhe_params ~n:128 () ]
+
+let test_bgv_homomorphic_add () =
+  let rng = Rng.create 102L in
+  let params = C.Bgv.ahe_params ~n:128 () in
+  let sk, pk = C.Bgv.keygen params rng in
+  let a = Array.init 128 (fun i -> i) and b = Array.init 128 (fun i -> 2 * i) in
+  let ct = C.Bgv.add (C.Bgv.encrypt pk rng a) (C.Bgv.encrypt pk rng b) in
+  let dec = C.Bgv.decrypt sk ct in
+  for i = 0 to 127 do
+    checki "sum slot" (3 * i) dec.(i)
+  done;
+  let ct2 = C.Bgv.sub (C.Bgv.encrypt pk rng b) (C.Bgv.encrypt pk rng a) in
+  let dec2 = C.Bgv.decrypt sk ct2 in
+  for i = 0 to 127 do
+    checki "diff slot" i dec2.(i)
+  done
+
+let test_bgv_long_sum () =
+  (* The aggregator's workload: hundreds of additions of one-hot rows. *)
+  let rng = Rng.create 103L in
+  let params = C.Bgv.ahe_params ~n:128 () in
+  let sk, pk = C.Bgv.keygen params rng in
+  let acc = ref (C.Bgv.encrypt pk rng (Array.make 128 0)) in
+  let expected = Array.make 128 0 in
+  for _ = 1 to 300 do
+    let cat = Rng.int rng 128 in
+    let row = Array.make 128 0 in
+    row.(cat) <- 1;
+    expected.(cat) <- expected.(cat) + 1;
+    acc := C.Bgv.add !acc (C.Bgv.encrypt pk rng row)
+  done;
+  (* The analytic noise model is conservative; at this tiny ring it sits
+     near zero while actual decryption still has ample headroom. *)
+  checkb "noise budget not absurdly negative" true
+    (C.Bgv.noise_budget_bits !acc > -10.0);
+  Alcotest.check Alcotest.(array int) "histogram" expected (C.Bgv.decrypt sk !acc)
+
+let test_bgv_mul_plain () =
+  let rng = Rng.create 104L in
+  let params = C.Bgv.fhe_params ~n:128 () in
+  let sk, pk = C.Bgv.keygen params rng in
+  let a = Array.init 128 (fun i -> i + 1) in
+  let mask = Array.init 128 (fun i -> i mod 2) in
+  let dec = C.Bgv.decrypt sk (C.Bgv.mul_plain (C.Bgv.encrypt pk rng a) mask) in
+  for i = 0 to 127 do
+    checki "masked slot" ((i + 1) * (i mod 2) mod params.C.Bgv.t) dec.(i)
+  done
+
+let test_bgv_mul_and_relin () =
+  let rng = Rng.create 105L in
+  let params = C.Bgv.fhe_params ~n:128 () in
+  let sk, pk = C.Bgv.keygen params rng in
+  let a = Array.init 128 (fun i -> i) and b = Array.init 128 (fun i -> i + 2) in
+  let prod = C.Bgv.mul (C.Bgv.encrypt pk rng a) (C.Bgv.encrypt pk rng b) in
+  checki "degree 2 before relin" 2 (C.Bgv.ciphertext_degree prod);
+  let want = Array.init 128 (fun i -> i * (i + 2) mod params.C.Bgv.t) in
+  Alcotest.check Alcotest.(array int) "degree-2 decrypt" want (C.Bgv.decrypt sk prod);
+  let rk = C.Bgv.relin_keygen params rng sk in
+  let lin = C.Bgv.relinearize rk prod in
+  checki "degree 1 after relin" 1 (C.Bgv.ciphertext_degree lin);
+  Alcotest.check Alcotest.(array int) "relinearized decrypt" want (C.Bgv.decrypt sk lin)
+
+let test_bgv_threshold () =
+  let rng = Rng.create 106L in
+  let params = C.Bgv.ahe_params ~n:128 () in
+  let sk, pk = C.Bgv.keygen params rng in
+  let slots = Array.init 128 (fun i -> i * 3 mod params.C.Bgv.t) in
+  let ct = C.Bgv.encrypt pk rng slots in
+  List.iter
+    (fun parties ->
+      let shares = C.Bgv.share_secret_key params rng sk ~parties in
+      let partials =
+        Array.to_list
+          (Array.map (fun sh -> C.Bgv.partial_decrypt params rng sh ct) shares)
+      in
+      Alcotest.check
+        Alcotest.(array int)
+        (Printf.sprintf "threshold %d parties" parties)
+        slots
+        (C.Bgv.combine_partials params ct partials))
+    [ 2; 5; 11 ]
+
+let test_bgv_threshold_missing_share_garbage () =
+  (* Dropping one additive share must NOT reconstruct the plaintext. *)
+  let rng = Rng.create 107L in
+  let params = C.Bgv.ahe_params ~n:128 () in
+  let sk, pk = C.Bgv.keygen params rng in
+  let slots = Array.init 128 (fun i -> i) in
+  let ct = C.Bgv.encrypt pk rng slots in
+  let shares = C.Bgv.share_secret_key params rng sk ~parties:5 in
+  let partials =
+    Array.to_list
+      (Array.map
+         (fun sh -> C.Bgv.partial_decrypt params rng sh ct)
+         (Array.sub shares 0 4))
+  in
+  let out = C.Bgv.combine_partials params ct partials in
+  checkb "incomplete shares give garbage" true (out <> slots)
+
+let test_bgv_sk_encryption () =
+  let rng = Rng.create 108L in
+  let params = C.Bgv.fhe_params ~n:128 () in
+  let sk, _pk = C.Bgv.keygen params rng in
+  let slots = Array.init 128 (fun i -> i mod 97) in
+  Alcotest.check
+    Alcotest.(array int)
+    "symmetric roundtrip" slots
+    (C.Bgv.decrypt sk (C.Bgv.encrypt_with_sk sk rng slots))
+
+let test_bgv_param_validation () =
+  let bad n q t =
+    try
+      C.Bgv.validate { C.Bgv.n; q_primes = q; t; sigma = 3.2 };
+      false
+    with Invalid_argument _ -> true
+  in
+  checkb "n not pow2" true (bad 100 [ 998244353 ] 12289);
+  checkb "q not ntt friendly" true (bad 256 [ 7 ] 12289);
+  checkb "t not 1 mod 2n" true (bad 4096 [ 998244353 ] 12289);
+  checkb "too many primes" true (bad 256 [ 998244353; 754974721; 998244353 ] 12289)
+
+let test_bgv_find_plaintext_modulus () =
+  let t = C.Bgv.find_plaintext_modulus ~n:1024 ~min_t:5000 in
+  checkb "prime" true (C.Field.is_prime t);
+  checki "1 mod 2n" 1 (t mod 2048);
+  checkb ">= min" true (t >= 5000)
+
+let prop_bgv_add_matches_plaintext =
+  QCheck.Test.make ~name:"BGV addition homomorphism (random)" ~count:20
+    QCheck.(
+      pair
+        (list_of_size (Gen.return 32) (int_bound 100))
+        (list_of_size (Gen.return 32) (int_bound 100)))
+    (fun (a, b) ->
+      let rng = Rng.create 109L in
+      let params = C.Bgv.ahe_params ~n:64 () in
+      let sk, pk = C.Bgv.keygen params rng in
+      let a = Array.of_list a and b = Array.of_list b in
+      let dec =
+        C.Bgv.decrypt sk (C.Bgv.add (C.Bgv.encrypt pk rng a) (C.Bgv.encrypt pk rng b))
+      in
+      Array.for_all2 ( = ) (Array.map2 ( + ) a b) (Array.sub dec 0 32))
+
+let test_bgv_galois_permutes_slots () =
+  let rng = Rng.create 110L in
+  let p = C.Bgv.fhe_params ~n:64 () in
+  let sk, pk = C.Bgv.keygen p rng in
+  let slots = Array.init 64 (fun i -> i + 1) in
+  let ct = C.Bgv.encrypt pk rng slots in
+  let k = C.Bgv.rotation_generator p in
+  let gk = C.Bgv.galois_keygen p rng sk ~k in
+  let dec = C.Bgv.decrypt sk (C.Bgv.apply_galois gk ct) in
+  let perm = C.Bgv.slot_rotation_of_galois p ~k in
+  Array.iteri
+    (fun i v -> checki (Printf.sprintf "slot %d moved" i) (v mod p.C.Bgv.t) dec.(perm.(i)))
+    slots;
+  (* The rotation group splits the slots into two cycles of length n/2 —
+     the hypercube structure homomorphic scans ride on. *)
+  let seen = Array.make 64 false in
+  let cycles = ref 0 and lengths = ref [] in
+  for i = 0 to 63 do
+    if not seen.(i) then begin
+      incr cycles;
+      let len = ref 0 and j = ref i in
+      while not seen.(!j) do
+        seen.(!j) <- true;
+        incr len;
+        j := perm.(!j)
+      done;
+      lengths := !len :: !lengths
+    end
+  done;
+  checki "two cycles" 2 !cycles;
+  checkb "each of length n/2" true (List.for_all (( = ) 32) !lengths)
+
+let test_bgv_rotate_and_add_row_sums () =
+  (* Homomorphic running sums by rotate-and-add doubling: after log2(n/2)
+     steps every slot holds the sum of its rotation row — the primitive the
+     planner's heRotate scan instantiation is priced on. *)
+  let rng = Rng.create 111L in
+  let p = C.Bgv.fhe_params ~n:64 () in
+  let sk, pk = C.Bgv.keygen p rng in
+  let slots = Array.init 64 (fun i -> i + 1) in
+  let base = C.Bgv.rotation_generator p in
+  let perm1 = C.Bgv.slot_rotation_of_galois p ~k:base in
+  (* Row membership from the base rotation's cycles. *)
+  let row = Array.make 64 (-1) in
+  let seen = Array.make 64 false in
+  let next_row = ref 0 in
+  for i = 0 to 63 do
+    if not seen.(i) then begin
+      let j = ref i in
+      while not seen.(!j) do
+        seen.(!j) <- true;
+        row.(!j) <- !next_row;
+        j := perm1.(!j)
+      done;
+      incr next_row
+    end
+  done;
+  let row_sum r =
+    let acc = ref 0 in
+    Array.iteri (fun i v -> if row.(i) = r then acc := !acc + v) slots;
+    !acc mod p.C.Bgv.t
+  in
+  let ct = ref (C.Bgv.encrypt pk rng slots) in
+  let k = ref base in
+  for _ = 1 to 5 (* log2 32 *) do
+    let gk = C.Bgv.galois_keygen p rng sk ~k:!k in
+    ct := C.Bgv.add !ct (C.Bgv.apply_galois gk !ct);
+    k := !k * !k mod (2 * 64)
+  done;
+  let dec = C.Bgv.decrypt sk !ct in
+  Array.iteri
+    (fun i r -> checki (Printf.sprintf "slot %d holds its row sum" i) (row_sum r) dec.(i))
+    row
+
+let test_bgv_cross_params_rejected () =
+  let rng = Rng.create 112L in
+  let p1 = C.Bgv.ahe_params ~n:64 () and p2 = C.Bgv.ahe_params ~n:128 () in
+  let _, pk1 = C.Bgv.keygen p1 rng in
+  let _, pk2 = C.Bgv.keygen p2 rng in
+  let c1 = C.Bgv.encrypt pk1 rng [| 1 |] and c2 = C.Bgv.encrypt pk2 rng [| 2 |] in
+  checkb "mixed-parameter add rejected" true
+    (try
+       ignore (C.Bgv.add c1 c2);
+       false
+     with Invalid_argument _ -> true)
+
+let test_bgv_values_reduced_mod_t () =
+  let rng = Rng.create 113L in
+  let p = C.Bgv.ahe_params ~n:64 () in
+  let sk, pk = C.Bgv.keygen p rng in
+  let big = p.C.Bgv.t + 5 in
+  let dec = C.Bgv.decrypt sk (C.Bgv.encrypt pk rng [| big |]) in
+  checki "values wrap mod t" 5 dec.(0)
+
+let test_bgv_degree2_add () =
+  (* Adding a degree-2 product to a fresh ciphertext must still decrypt. *)
+  let rng = Rng.create 114L in
+  let p = C.Bgv.fhe_params ~n:64 () in
+  let sk, pk = C.Bgv.keygen p rng in
+  let a = Array.init 64 (fun i -> i) in
+  let prod = C.Bgv.mul (C.Bgv.encrypt pk rng a) (C.Bgv.encrypt pk rng a) in
+  let shifted = C.Bgv.add prod (C.Bgv.encrypt pk rng (Array.make 64 7)) in
+  let want = Array.init 64 (fun i -> ((i * i) + 7) mod p.C.Bgv.t) in
+  Alcotest.check Alcotest.(array int) "deg2 + deg1" want (C.Bgv.decrypt sk shifted)
+
+let test_bgv_mul_rejects_degree2_inputs () =
+  let rng = Rng.create 115L in
+  let p = C.Bgv.fhe_params ~n:64 () in
+  let _sk, pk = C.Bgv.keygen p rng in
+  let a = C.Bgv.encrypt pk rng [| 1 |] in
+  let prod = C.Bgv.mul a a in
+  checkb "degree-2 multiply rejected" true
+    (try
+       ignore (C.Bgv.mul prod a);
+       false
+     with Invalid_argument _ -> true)
+
+let test_ntt_large_vs_naive () =
+  let n = 1024 in
+  let plan = C.Ntt.plan ~n ~p:p_test in
+  let rng = Rng.create 116L in
+  let a = C.Poly.random_uniform fld rng n in
+  let b = C.Poly.random_uniform fld rng n in
+  checkb "n=1024 NTT matches naive" true
+    (C.Ntt.multiply plan a b = C.Poly.mul_naive fld a b)
+
+let test_bgv_serialization_roundtrip () =
+  let rng = Rng.create 117L in
+  List.iter
+    (fun p ->
+      let sk, pk = C.Bgv.keygen p rng in
+      let slots = Array.init 64 (fun i -> (i * 13) mod p.C.Bgv.t) in
+      let ct = C.Bgv.encrypt pk rng slots in
+      let wire = C.Bgv.serialize_ciphertext ct in
+      checki "wire size matches the accounting"
+        (C.Bgv.serialized_bytes p 1) (String.length wire);
+      let back = C.Bgv.deserialize_ciphertext p wire in
+      Alcotest.check Alcotest.(array int) "decrypts identically"
+        (C.Bgv.decrypt sk ct) (C.Bgv.decrypt sk back);
+      (* degree-2 ciphertexts too *)
+      (if List.length p.C.Bgv.q_primes = 2 then begin
+         let prod = C.Bgv.mul ct ct in
+         let wire2 = C.Bgv.serialize_ciphertext prod in
+         checki "degree-2 size" (C.Bgv.serialized_bytes p 2) (String.length wire2);
+         Alcotest.check Alcotest.(array int) "degree-2 roundtrip"
+           (C.Bgv.decrypt sk prod)
+           (C.Bgv.decrypt sk (C.Bgv.deserialize_ciphertext p wire2))
+       end))
+    [ C.Bgv.ahe_params ~n:64 (); C.Bgv.fhe_params ~n:64 () ]
+
+let test_bgv_deserialize_rejects () =
+  let rng = Rng.create 118L in
+  let p = C.Bgv.ahe_params ~n:64 () in
+  let _sk, pk = C.Bgv.keygen p rng in
+  let wire = C.Bgv.serialize_ciphertext (C.Bgv.encrypt pk rng [| 1 |]) in
+  checkb "truncated rejected" true
+    (try
+       ignore (C.Bgv.deserialize_ciphertext p (String.sub wire 0 50));
+       false
+     with Invalid_argument _ -> true);
+  let p2 = C.Bgv.ahe_params ~n:128 () in
+  checkb "wrong params rejected" true
+    (try
+       ignore (C.Bgv.deserialize_ciphertext p2 wire);
+       false
+     with Invalid_argument _ -> true);
+  (* Non-canonical coefficient: set 4 bytes to 0xFF. *)
+  let bad = Bytes.of_string wire in
+  Bytes.set_int32_le bad 20 0x7FFFFFFFl;
+  checkb "non-canonical coefficient rejected" true
+    (try
+       ignore (C.Bgv.deserialize_ciphertext p (Bytes.to_string bad));
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- Shamir / VSR ---------------- *)
+
+let prop_shamir_reconstruct =
+  QCheck.Test.make ~name:"Shamir reconstruct from any t+1 shares" ~count:100
+    QCheck.(pair (int_bound (p_test - 1)) (int_range 1 5))
+    (fun (secret, threshold) ->
+      let rng = Rng.create (Int64.of_int (secret + threshold)) in
+      let parties = (2 * threshold) + 1 in
+      let shares = C.Shamir.share fld rng ~secret ~threshold ~parties in
+      let sub = Array.to_list (Array.sub shares 0 (threshold + 1)) in
+      let sub2 =
+        Array.to_list (Array.sub shares (parties - threshold - 1) (threshold + 1))
+      in
+      C.Shamir.reconstruct fld sub = secret
+      && C.Shamir.reconstruct fld sub2 = secret)
+
+let test_shamir_linear () =
+  let rng = Rng.create 201L in
+  let s1 = C.Shamir.share fld rng ~secret:100 ~threshold:2 ~parties:5 in
+  let s2 = C.Shamir.share fld rng ~secret:23 ~threshold:2 ~parties:5 in
+  let sums = Array.map2 (C.Shamir.add_in fld) s1 s2 in
+  checki "share addition" 123 (C.Shamir.reconstruct fld (Array.to_list sums));
+  let scaled = Array.map (C.Shamir.scale_in fld 7) s1 in
+  checki "share scaling" 700 (C.Shamir.reconstruct fld (Array.to_list scaled))
+
+let test_shamir_rejects () =
+  let rng = Rng.create 202L in
+  Alcotest.check_raises "threshold >= parties"
+    (Invalid_argument "Shamir.share: need 0 <= threshold < parties") (fun () ->
+      ignore (C.Shamir.share fld rng ~secret:1 ~threshold:5 ~parties:5));
+  let shares = C.Shamir.share fld rng ~secret:1 ~threshold:1 ~parties:3 in
+  Alcotest.check_raises "duplicate shares"
+    (Invalid_argument "Shamir.reconstruct: duplicate share indices") (fun () ->
+      ignore (C.Shamir.reconstruct fld [ shares.(0); shares.(0) ]))
+
+let test_shamir_robust_corrects_cheaters () =
+  let rng = Rng.create 204L in
+  (* n = 9 shares, threshold 3: decoding radius floor((9-3-1)/2) = 2. *)
+  let shares = C.Shamir.share fld rng ~secret:424242 ~threshold:3 ~parties:9 in
+  let corrupt k =
+    Array.mapi
+      (fun i (s : C.Shamir.share) ->
+        if i < k then { s with C.Shamir.value = C.Field.add fld s.C.Shamir.value 99 }
+        else s)
+      shares
+    |> Array.to_list
+  in
+  (match C.Shamir.reconstruct_robust fld ~threshold:3 (corrupt 0) with
+  | Ok (v, []) -> checki "clean decode" 424242 v
+  | _ -> Alcotest.fail "clean decode failed");
+  (match C.Shamir.reconstruct_robust fld ~threshold:3 (corrupt 1) with
+  | Ok (v, [ 1 ]) -> checki "1 error corrected" 424242 v
+  | Ok (_, ch) ->
+      Alcotest.failf "wrong cheater list [%s]"
+        (String.concat ";" (List.map string_of_int ch))
+  | Error m -> Alcotest.fail m);
+  (match C.Shamir.reconstruct_robust fld ~threshold:3 (corrupt 2) with
+  | Ok (v, [ 1; 2 ]) -> checki "2 errors corrected" 424242 v
+  | Ok (_, ch) ->
+      Alcotest.failf "wrong cheater list [%s]"
+        (String.concat ";" (List.map string_of_int ch))
+  | Error m -> Alcotest.fail m);
+  (* 3 errors exceed the radius: must refuse, never return a wrong secret. *)
+  match C.Shamir.reconstruct_robust fld ~threshold:3 (corrupt 3) with
+  | Error _ -> ()
+  | Ok (v, _) -> checkb "beyond radius must not mis-decode" true (v = 424242)
+
+let prop_shamir_robust =
+  QCheck.Test.make ~name:"Berlekamp-Welch corrects up to the radius" ~count:50
+    QCheck.(triple (int_bound (p_test - 1)) (int_range 1 4) (int_range 0 2))
+    (fun (secret, threshold, errors) ->
+      let rng = Rng.create (Int64.of_int (secret lxor (threshold * 131))) in
+      let parties = threshold + 1 + (2 * errors) + 1 in
+      let shares = C.Shamir.share fld rng ~secret ~threshold ~parties in
+      (* corrupt [errors] random distinct shares with random garbage *)
+      let victims = Arb_util.Rng.sample_without_replacement rng errors parties in
+      Array.iter
+        (fun i ->
+          shares.(i) <-
+            { (shares.(i)) with
+              C.Shamir.value =
+                C.Field.add fld shares.(i).C.Shamir.value (1 + Arb_util.Rng.int rng 1000) })
+        victims;
+      match C.Shamir.reconstruct_robust fld ~threshold (Array.to_list shares) with
+      | Ok (v, cheaters) ->
+          v = secret
+          && List.sort compare cheaters
+             = List.sort compare (Array.to_list (Array.map (fun i -> i + 1) victims))
+      | Error _ -> false)
+
+let prop_vsr_roundtrip =
+  QCheck.Test.make ~name:"VSR moves a secret between committees" ~count:50
+    QCheck.(int_bound (p_test - 1))
+    (fun secret ->
+      let rng = Rng.create (Int64.of_int (secret + 7)) in
+      (* Committee A: threshold 2, 5 members. *)
+      let a_shares = C.Shamir.share fld rng ~secret ~threshold:2 ~parties:5 in
+      (* Each member of A re-shares to committee B: threshold 3, 7 members. *)
+      let subs =
+        Array.map
+          (fun sh ->
+            fst (C.Vsr.redistribute fld rng sh ~new_threshold:3 ~new_parties:7))
+          a_shares
+      in
+      let sender_idxs =
+        Array.to_list (Array.map (fun (s : C.Shamir.share) -> s.C.Shamir.idx) a_shares)
+      in
+      let b_shares =
+        List.init 7 (fun j ->
+            let pairs =
+              Array.to_list
+                (Array.map
+                   (fun member_subs ->
+                     let sub = member_subs.(j) in
+                     (sub.C.Vsr.from_idx, sub.C.Vsr.value))
+                   subs)
+            in
+            C.Vsr.combine fld ~sender_idxs pairs ~to_idx:(j + 1))
+      in
+      C.Shamir.reconstruct fld b_shares = secret)
+
+let test_vsr_commitments () =
+  let rng = Rng.create 203L in
+  let share = { C.Shamir.idx = 2; value = 12345 } in
+  let subs, commits = C.Vsr.redistribute fld rng share ~new_threshold:2 ~new_parties:5 in
+  Array.iteri
+    (fun i sub ->
+      checkb "commitment verifies" true (C.Vsr.verify_subshare sub commits.(i));
+      let bad = { sub with C.Vsr.value = sub.C.Vsr.value + 1 } in
+      checkb "tampered subshare fails" false (C.Vsr.verify_subshare bad commits.(i)))
+    subs
+
+(* ---------------- ZKP ---------------- *)
+
+let test_zkp_one_hot () =
+  let stmt = C.Zkp.One_hot { length = 8 } in
+  let w = [| 0; 0; 1; 0; 0; 0; 0; 0 |] in
+  let proof = C.Zkp.prove stmt ~witness:w ~prover:"d1" ~nonce:"q1" in
+  checkb "verifies" true (C.Zkp.verify stmt proof ~prover:"d1" ~nonce:"q1");
+  checkb "replay to other query fails" false
+    (C.Zkp.verify stmt proof ~prover:"d1" ~nonce:"q2");
+  checkb "stolen proof fails" false (C.Zkp.verify stmt proof ~prover:"d2" ~nonce:"q1");
+  checkb "forged proof fails" false
+    (C.Zkp.verify stmt
+       (C.Zkp.forge stmt ~prover:"d1" ~nonce:"q1")
+       ~prover:"d1" ~nonce:"q1")
+
+let test_zkp_satisfies () =
+  checkb "one-hot ok" true (C.Zkp.satisfies (C.Zkp.One_hot { length = 3 }) [| 0; 1; 0 |]);
+  checkb "two ones bad" false
+    (C.Zkp.satisfies (C.Zkp.One_hot { length = 3 }) [| 1; 1; 0 |]);
+  checkb "all zero bad" false
+    (C.Zkp.satisfies (C.Zkp.One_hot { length = 3 }) [| 0; 0; 0 |]);
+  checkb "range ok" true
+    (C.Zkp.satisfies (C.Zkp.Range { lo = 0; hi = 10; count = 2 }) [| 3; 10 |]);
+  checkb "range violation" false
+    (C.Zkp.satisfies (C.Zkp.Range { lo = 0; hi = 10; count = 2 }) [| 3; 11 |]);
+  checkb "binned one-hot ok" true
+    (C.Zkp.satisfies (C.Zkp.One_hot_binned { bins = 2; length = 2 }) [| 0; 0; 1; 0 |]);
+  checkb "bits ok" true (C.Zkp.satisfies (C.Zkp.Bits { count = 3 }) [| 1; 0; 1 |])
+
+let test_zkp_prove_rejects_bad_witness () =
+  Alcotest.check_raises "unsatisfying witness"
+    (Invalid_argument "Zkp.prove: witness does not satisfy the statement") (fun () ->
+      ignore
+        (C.Zkp.prove (C.Zkp.One_hot { length = 2 }) ~witness:[| 1; 1 |] ~prover:"d"
+           ~nonce:"n"))
+
+(* ---------------- Sortition ---------------- *)
+
+let make_devices n =
+  Array.init n (fun i -> { C.Sortition.id = i; seed = Printf.sprintf "seed%d" i })
+
+let test_sortition_deterministic () =
+  let devices = make_devices 100 in
+  let a1 = C.Sortition.select ~devices ~block:"B" ~query_id:1 ~committees:3 ~size:5 in
+  let a2 = C.Sortition.select ~devices ~block:"B" ~query_id:1 ~committees:3 ~size:5 in
+  Alcotest.check
+    Alcotest.(array (array int))
+    "same committees" a1.C.Sortition.committees a2.C.Sortition.committees
+
+let test_sortition_block_changes_selection () =
+  let devices = make_devices 100 in
+  let a1 = C.Sortition.select ~devices ~block:"B1" ~query_id:1 ~committees:3 ~size:5 in
+  let a2 = C.Sortition.select ~devices ~block:"B2" ~query_id:1 ~committees:3 ~size:5 in
+  checkb "different blocks give different committees" true
+    (a1.C.Sortition.committees <> a2.C.Sortition.committees)
+
+let test_sortition_disjoint () =
+  let devices = make_devices 200 in
+  let a = C.Sortition.select ~devices ~block:"B" ~query_id:2 ~committees:5 ~size:7 in
+  let all = Array.concat (Array.to_list a.C.Sortition.committees) in
+  checki "everyone on at most one committee" (Array.length all)
+    (List.length (List.sort_uniq compare (Array.to_list all)))
+
+let test_sortition_verify_member () =
+  let devices = make_devices 60 in
+  let a = C.Sortition.select ~devices ~block:"B" ~query_id:3 ~committees:4 ~size:5 in
+  Array.iteri
+    (fun c members ->
+      Array.iter
+        (fun id ->
+          match
+            C.Sortition.verify_member ~devices ~block:"B" ~query_id:3 ~committees:4
+              ~size:5 ~device:devices.(id)
+          with
+          | Some c' -> checki "membership verifiable" c c'
+          | None -> Alcotest.fail "selected member not verifiable")
+        members)
+    a.C.Sortition.committees
+
+let test_sortition_reassign () =
+  let devices = make_devices 60 in
+  let a = C.Sortition.select ~devices ~block:"B" ~query_id:4 ~committees:3 ~size:5 in
+  let a' = C.Sortition.reassign_failed a ~failed:1 in
+  checki "failed committee emptied" 0 (Array.length a'.C.Sortition.committees.(1));
+  checki "successor absorbed members" 10 (Array.length a'.C.Sortition.committees.(2))
+
+let test_sortition_rejects () =
+  let devices = make_devices 10 in
+  Alcotest.check_raises "not enough devices"
+    (Invalid_argument "Sortition.select: not enough devices") (fun () ->
+      ignore (C.Sortition.select ~devices ~block:"B" ~query_id:1 ~committees:3 ~size:5))
+
+let test_sortition_roughly_uniform () =
+  (* Across many queries, each device should serve with similar frequency. *)
+  let devices = make_devices 40 in
+  let counts = Array.make 40 0 in
+  for q = 1 to 300 do
+    let a =
+      C.Sortition.select ~devices ~block:(Printf.sprintf "B%d" q) ~query_id:q
+        ~committees:2 ~size:5
+    in
+    Array.iter
+      (Array.iter (fun id -> counts.(id) <- counts.(id) + 1))
+      a.C.Sortition.committees
+  done;
+  (* Expected 300*10/40 = 75 selections each. *)
+  Array.iteri
+    (fun i c ->
+      checkb (Printf.sprintf "device %d frequency %d" i c) true (c > 40 && c < 115))
+    counts
+
+let () =
+  Alcotest.run "arb_crypto"
+    [
+      ( "sha256",
+        [
+          Alcotest.test_case "FIPS vectors" `Quick test_sha_vectors;
+          Alcotest.test_case "million a" `Slow test_sha_million_a;
+          Alcotest.test_case "incremental" `Quick test_sha_incremental;
+          Alcotest.test_case "hmac vectors" `Quick test_hmac_vectors;
+          qtest prop_sha_deterministic_and_sensitive;
+        ] );
+      ( "merkle",
+        [
+          qtest prop_merkle_inclusion;
+          Alcotest.test_case "tamper detection" `Quick test_merkle_tamper;
+          Alcotest.test_case "domain separation" `Quick
+            test_merkle_second_preimage_separation;
+          Alcotest.test_case "empty rejected" `Quick test_merkle_empty_rejected;
+        ] );
+      ( "signatures",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_sig_roundtrip;
+          Alcotest.test_case "deterministic" `Quick test_sig_deterministic;
+          Alcotest.test_case "tamper" `Quick test_sig_tamper;
+        ] );
+      ( "field",
+        [
+          qtest prop_field_ring_laws;
+          qtest prop_field_inverse;
+          Alcotest.test_case "primality" `Quick test_field_is_prime;
+          Alcotest.test_case "root of unity" `Quick test_field_root_of_unity;
+          Alcotest.test_case "centering" `Quick test_field_center;
+          Alcotest.test_case "rejects" `Quick test_field_rejects;
+        ] );
+      ( "ntt",
+        [
+          qtest prop_ntt_roundtrip;
+          qtest prop_ntt_vs_naive;
+          Alcotest.test_case "negacyclic wraparound" `Quick
+            test_ntt_negacyclic_wraparound;
+          Alcotest.test_case "rejects" `Quick test_ntt_rejects;
+          Alcotest.test_case "n=1024 vs naive" `Slow test_ntt_large_vs_naive;
+        ] );
+      ( "bgv",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_bgv_roundtrip;
+          Alcotest.test_case "homomorphic add/sub" `Quick test_bgv_homomorphic_add;
+          Alcotest.test_case "long sum (aggregator workload)" `Slow test_bgv_long_sum;
+          Alcotest.test_case "mul_plain" `Quick test_bgv_mul_plain;
+          Alcotest.test_case "mul + relinearize" `Quick test_bgv_mul_and_relin;
+          Alcotest.test_case "threshold decryption" `Quick test_bgv_threshold;
+          Alcotest.test_case "missing share gives garbage" `Quick
+            test_bgv_threshold_missing_share_garbage;
+          Alcotest.test_case "symmetric encryption" `Quick test_bgv_sk_encryption;
+          Alcotest.test_case "parameter validation" `Quick test_bgv_param_validation;
+          Alcotest.test_case "plaintext modulus search" `Quick
+            test_bgv_find_plaintext_modulus;
+          qtest prop_bgv_add_matches_plaintext;
+          Alcotest.test_case "galois permutes slots" `Quick
+            test_bgv_galois_permutes_slots;
+          Alcotest.test_case "rotate-and-add row sums" `Slow
+            test_bgv_rotate_and_add_row_sums;
+          Alcotest.test_case "cross-parameter rejection" `Quick
+            test_bgv_cross_params_rejected;
+          Alcotest.test_case "values reduced mod t" `Quick test_bgv_values_reduced_mod_t;
+          Alcotest.test_case "degree-2 plus degree-1" `Quick test_bgv_degree2_add;
+          Alcotest.test_case "mul rejects degree-2 inputs" `Quick
+            test_bgv_mul_rejects_degree2_inputs;
+          Alcotest.test_case "serialization roundtrip" `Quick
+            test_bgv_serialization_roundtrip;
+          Alcotest.test_case "deserialize rejects malformed" `Quick
+            test_bgv_deserialize_rejects;
+        ] );
+      ( "shamir-vsr",
+        [
+          qtest prop_shamir_reconstruct;
+          Alcotest.test_case "linearity" `Quick test_shamir_linear;
+          Alcotest.test_case "rejects" `Quick test_shamir_rejects;
+          Alcotest.test_case "robust reconstruction (Berlekamp-Welch)" `Quick
+            test_shamir_robust_corrects_cheaters;
+          qtest prop_shamir_robust;
+          qtest prop_vsr_roundtrip;
+          Alcotest.test_case "vsr commitments" `Quick test_vsr_commitments;
+        ] );
+      ( "zkp",
+        [
+          Alcotest.test_case "one-hot prove/verify" `Quick test_zkp_one_hot;
+          Alcotest.test_case "satisfies" `Quick test_zkp_satisfies;
+          Alcotest.test_case "bad witness rejected" `Quick
+            test_zkp_prove_rejects_bad_witness;
+        ] );
+      ( "sortition",
+        [
+          Alcotest.test_case "deterministic" `Quick test_sortition_deterministic;
+          Alcotest.test_case "block sensitivity" `Quick
+            test_sortition_block_changes_selection;
+          Alcotest.test_case "disjoint committees" `Quick test_sortition_disjoint;
+          Alcotest.test_case "verify_member" `Quick test_sortition_verify_member;
+          Alcotest.test_case "churn reassignment" `Quick test_sortition_reassign;
+          Alcotest.test_case "rejects" `Quick test_sortition_rejects;
+          Alcotest.test_case "roughly uniform" `Slow test_sortition_roughly_uniform;
+        ] );
+    ]

