@@ -423,6 +423,61 @@ let e2e () =
   in
   T.print ~header:[ "Query"; "Outputs"; "Cert ok"; "Audit ok" ] rows
 
+let chaos () =
+  section "Chaos runs: fault plan vs outcome (64 devices, top1)";
+  let q = Q.test_instance ~epsilon:1000.0 "top1" in
+  let db = Q.random_database (Arb_util.Rng.create 99L) q ~n:64 ~skew:2.0 () in
+  let plan =
+    let r =
+      P.Search.plan ~limits:P.Constraints.no_limits ~query:q
+        ~n:(Array.length db) ()
+    in
+    match r.P.Search.plan with
+    | Some p -> p
+    | None -> failwith "no plan for top1"
+  in
+  let module F = Arb_runtime.Fault in
+  let specs =
+    [ ("clean", F.no_faults);
+      ("dropout p=.5", { F.no_faults with F.dropout_p = 0.5 });
+      ("corrupt 1 party", { F.no_faults with F.share_corrupt_p = 0.15 });
+      ("corrupt 2 parties",
+       { F.no_faults with F.share_corrupt_p = 1.0; corrupt_parties = 2 });
+      ("drop p=.2", { F.no_faults with F.message_drop_p = 0.2 });
+      ("tamper", { F.no_faults with F.tamper_p = 1.0 });
+      ("auditors down", { F.no_faults with F.audit_fail_p = 1.0 });
+      ("chaos", F.chaos) ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, spec) ->
+        List.map
+          (fun seed ->
+            let config =
+              {
+                Arb_runtime.Exec.default_config with
+                Arb_runtime.Exec.seed;
+                budget = Arb_dp.Budget.create ~epsilon:1.0e7 ~delta:0.5;
+                faults = spec;
+              }
+            in
+            match Arb_runtime.Exec.run config ~query:q ~plan ~db with
+            | Ok rep ->
+                let tr = rep.Arb_runtime.Exec.trace in
+                [ name; Printf.sprintf "%Ld" seed; "ok";
+                  string_of_int (Arb_runtime.Trace.faults_total tr);
+                  string_of_int tr.Arb_runtime.Trace.fault_retries;
+                  string_of_int tr.Arb_runtime.Trace.committees_reassigned ]
+            | Error f ->
+                [ name; Printf.sprintf "%Ld" seed;
+                  "fail-closed: " ^ f.Arb_runtime.Exec.stage; "-"; "-"; "-" ])
+          [ 1L; 2L ])
+      specs
+  in
+  T.print
+    ~header:[ "Fault plan"; "Seed"; "Outcome"; "Injected"; "Retries"; "Reassigned" ]
+    rows
+
 (* ------------------------------------------------------------------ *)
 (* Ablations of the design decisions DESIGN.md §4 calls out.           *)
 
@@ -630,4 +685,4 @@ let all =
   [ ("table1", table1); ("table2", table2); ("fig6", fig6); ("fig7", fig7);
     ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("fig11", fig11);
     ("fig12", fig12); ("ablations", ablations); ("accuracy", accuracy);
-    ("validation", validation); ("e2e", e2e) ]
+    ("validation", validation); ("e2e", e2e); ("chaos", chaos) ]

@@ -32,6 +32,8 @@ let sqrt_k_epsilon ~epsilon ~k =
   if k <= 0 then invalid_arg "Budget.sqrt_k_epsilon";
   sqrt (float_of_int k) *. epsilon
 
+let equal a b = a.epsilon = b.epsilon && a.delta = b.delta
+
 let pp fmt t = Format.fprintf fmt "(eps=%.4f, delta=%.2e)" t.epsilon t.delta
 
 let advanced_composition ~epsilon ~delta ~k ~delta_slack =

@@ -32,6 +32,10 @@ val sqrt_k_epsilon : epsilon:float -> k:int -> float
 (** Durfee–Rogers pay-what-you-get top-k: noise once, release k, pay
     sqrt(k) * eps. *)
 
+val equal : t -> t -> bool
+(** Exact (epsilon, delta) equality — used by tests asserting a failed
+    query left the remaining budget untouched. *)
+
 val pp : Format.formatter -> t -> unit
 
 val advanced_composition :

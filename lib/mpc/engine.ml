@@ -62,6 +62,9 @@ type t = {
   cost : Cost.t;
   felt_bytes : int; (* wire bytes per field element across the RNS basis *)
   mutable cheaters : int list; (* parties identified by robust decoding *)
+  mutable saboteur : (unit -> int list) option;
+      (* fault harness: called before each opening's broadcast; returned
+         parties corrupt their shares for that opening *)
 }
 
 let default_primes = [ 998244353; 754974721 ]
@@ -77,6 +80,7 @@ let create ?(q_primes = default_primes) ~parties rng () =
     cost = Cost.zero ();
     felt_bytes = 4 * Array.length rns.Rns.fs;
     cheaters = [];
+    saboteur = None;
   }
 
 let parties t = t.parties
@@ -219,6 +223,16 @@ let open_value t a =
   (* Every party broadcasts its share. *)
   charge_bytes t ((t.parties - 1) * t.felt_bytes);
   charge_fops t (t.parties * t.parties);
+  (match t.saboteur with
+  | None -> ()
+  | Some pick ->
+      List.iter
+        (fun party ->
+          if party >= 0 && party < t.parties then
+            Array.iteri
+              (fun j row -> row.(party) <- F.add t.rns.Rns.fs.(j) row.(party) 1)
+              a.shares)
+        (pick ()));
   let residues =
     Array.mapi (fun j row -> open_residues t row t.rns.Rns.fs.(j)) a.shares
   in
@@ -239,6 +253,7 @@ let corrupt_share t a ~party =
 let mirror _t a = a.mirror
 
 let detected_cheaters t = List.sort compare t.cheaters
+let set_saboteur t f = t.saboteur <- f
 
 (* --- Beaver multiplication --- *)
 

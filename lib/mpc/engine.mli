@@ -70,6 +70,12 @@ val detected_cheaters : t -> int list
 val corrupt_share : t -> sec -> party:int -> unit
 (** Test hook: a Byzantine party adds garbage to its share of this value. *)
 
+val set_saboteur : t -> (unit -> int list) option -> unit
+(** Fault-harness hook: when set, the function is consulted at the top of
+    every {!open_value}; each returned party corrupts its share of the
+    value being opened. Within the decoding radius the opening self-heals
+    (and {!detected_cheaters} grows); beyond it, [Cheating_detected]. *)
+
 val mirror : t -> sec -> int
 (** The engine's cleartext mirror of a value (testing/debug only — a real
     deployment has no such oracle). *)

@@ -121,6 +121,15 @@ let charge_bgv_decrypt eng ~n ~rns_primes ~ciphertexts =
     c.Cost.bytes_per_party + (ciphertexts * rns_primes * n * 4 * (parties - 1));
   charge_poly_ops eng ~n ~rns_primes ~polys:(2 * ciphertexts)
 
+let charge_vsr_retry eng =
+  (* A corrupted subshare failed verification: the honest sender re-sends
+     its subshare (one value + commitment salt) to every receiver in one
+     extra round. *)
+  let c = Engine.cost eng in
+  let parties = Engine.parties eng in
+  c.Cost.rounds <- c.Cost.rounds + 1;
+  c.Cost.bytes_per_party <- c.Cost.bytes_per_party + ((parties - 1) * 40)
+
 let charge_zk_setup eng ~constraints =
   (* Groth16 trusted setup inside the first committee (as in Mycelium):
      linear in the constraint count. *)

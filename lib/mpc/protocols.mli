@@ -50,6 +50,10 @@ val charge_bgv_keygen : Engine.t -> n:int -> rns_primes:int -> unit
 val charge_bgv_decrypt : Engine.t -> n:int -> rns_primes:int -> ciphertexts:int -> unit
 val charge_zk_setup : Engine.t -> constraints:int -> unit
 
+val charge_vsr_retry : Engine.t -> unit
+(** One extra round + re-sent subshare bytes when a VSR hand-off message
+    failed verification and the honest sender re-sends (fault recovery). *)
+
 val em_gumbel_gap :
   Engine.t -> epsilon:float -> sensitivity:float -> Fixpoint_mpc.t array ->
   int * Arb_util.Fixed.t

@@ -23,6 +23,7 @@ type config = {
   budget : Arb_dp.Budget.t;
   block : string; (* sortition randomness block B_i (§5.1) *)
   query_id : int;
+  faults : Fault.spec; (* deterministic fault plan (Fault.no_faults = clean) *)
 }
 
 let default_config =
@@ -39,6 +40,7 @@ let default_config =
     budget = Arb_dp.Budget.create ~epsilon:10.0 ~delta:1e-4;
     block = "B0";
     query_id = 1;
+    faults = Fault.no_faults;
   }
 
 type report = {
@@ -55,8 +57,10 @@ type report = {
 }
 
 exception Execution_error of string
+exception Execution_degraded of string
 
 let err fmt = Printf.ksprintf (fun s -> raise (Execution_error s)) fmt
+let degraded fmt = Printf.ksprintf (fun s -> raise (Execution_degraded s)) fmt
 
 (* Values flowing through the distributed interpreter. *)
 type rvalue =
@@ -70,6 +74,7 @@ type state = {
   plan : Plan.t;
   rng : Arb_util.Rng.t;
   trace : Trace.t;
+  inj : Fault.t;
   epsilon : float;
   sensitivity : float;
   eng_ops : E.t;
@@ -345,7 +350,23 @@ and em_mechanism st ~gap v : rvalue =
               let pos = ref 0 in
               while !pos < n do
                 let len = min chunk (n - !pos) in
-                let committee = E.create ~parties:(E.parties eng) st.rng () in
+                (* A noising committee may lose its quorum before starting;
+                   reassignment picks a replacement, charged against the
+                   backoff budget like any other retry. *)
+                let rec fresh_committee attempt =
+                  let committee = E.create ~parties:(E.parties eng) st.rng () in
+                  if Fault.fires st.inj Fault.Committee_dropout then begin
+                    st.trace.Trace.committees_reassigned <-
+                      st.trace.Trace.committees_reassigned + 1;
+                    match Fault.backoff st.inj ~attempt with
+                    | None -> err "noise-committee reassignment budget exhausted"
+                    | Some _ ->
+                        Fault.record_recovery st.inj Fault.Committee_dropout;
+                        fresh_committee (attempt + 1)
+                  end
+                  else committee
+                in
+                let committee = fresh_committee 0 in
                 for k = !pos to !pos + len - 1 do
                   (* The committee holds the score via a VSR hand-off, adds
                      its Gumbel draw, and hands the noised value onward. *)
@@ -491,6 +512,10 @@ let find_sampled_binding (p : L.Ast.program) =
 let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
   let rng = Arb_util.Rng.create cfg.seed in
   let trace = Trace.create () in
+  (* The fault plan draws from its own per-kind streams (same seed), so a
+     clean run and a faulted run make identical session-RNG draws up to the
+     first recovery action. *)
+  let inj = Fault.create ~seed:cfg.seed cfg.faults in
   let n_devices = Array.length db in
   if n_devices < 4 * cfg.committee_size then
     err "need at least %d devices for %d-member committees" (4 * cfg.committee_size)
@@ -532,6 +557,7 @@ let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
      committee is below quorum. *)
   let quorum = (cfg.committee_size / 2) + 1 in
   let assignment = ref assignment in
+  let dropout_seen = ref false in
   let kg_committee =
     let rec pick attempts idx =
       if attempts >= n_committees then
@@ -544,10 +570,21 @@ let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
                (fun _ -> Arb_util.Rng.uniform01 rng >= cfg.churn)
                (Array.to_list members))
         in
-        if Array.length survivors >= quorum then survivors
+        (* Injected dropout: the whole pick loses its quorum regardless of
+           churn, and the retry is charged against the backoff budget. *)
+        let dropped = Fault.fires inj Fault.Committee_dropout in
+        if dropped then dropout_seen := true;
+        if (not dropped) && Array.length survivors >= quorum then begin
+          if !dropout_seen then Fault.record_recovery inj Fault.Committee_dropout;
+          survivors
+        end
         else begin
           trace.Trace.committees_reassigned <-
             trace.Trace.committees_reassigned + 1;
+          (if dropped then
+             match Fault.backoff inj ~attempt:attempts with
+             | None -> err "committee reassignment backoff budget exhausted"
+             | Some _ -> ());
           assignment := C.Sortition.reassign_failed !assignment ~failed:idx;
           pick (attempts + 1) ((idx + 1) mod n_committees)
         end
@@ -598,6 +635,20 @@ let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
   let pending_cts = ref [] in
   let acc_ct = ref None in
   let accepted = ref 0 and rejected = ref 0 in
+  (* Uploads travel over a link whose drops and delays come from the fault
+     plan; a delay is absorbed as latency, a drop costs a retry. *)
+  let fspec = Fault.spec inj in
+  let link =
+    Net.lossy cfg.latency
+      ~drop:(fun () -> Fault.fires inj Fault.Message_drop)
+      ~delay:(fun () ->
+        if Fault.fires inj Fault.Message_delay then begin
+          Fault.record_recovery inj Fault.Message_delay;
+          fspec.Fault.delay_s
+        end
+        else 0.0)
+  in
+  let lost = ref 0 in
   Array.iteri
     (fun i (d : Setup.device) ->
       let bin = if bins > 1 then Arb_util.Rng.int rng bins else 0 in
@@ -639,26 +690,50 @@ let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
       in
       trace.Trace.device_upload_bytes <-
         trace.Trace.device_upload_bytes +. float_of_int upload;
-      (* Aggregator verifies and aggregates. *)
-      trace.Trace.agg_proofs_verified <- trace.Trace.agg_proofs_verified + 1;
-      if C.Zkp.verify statement proof ~prover ~nonce then begin
-        incr accepted;
-        if sum_outsourced then pending_cts := cts :: !pending_cts
-        else
-          (acc_ct :=
-             match !acc_ct with
-             | None -> Some cts
-             | Some acc ->
-                 trace.Trace.agg_he_adds <- trace.Trace.agg_he_adds + ct_count;
-                 Some (Array.map2 C.Bgv.add acc cts));
-        if i mod 64 = 0 then
-          Audit.record_step audit (Printf.sprintf "sum-step|%d|%d" i ct_count)
-      end
-      else begin
-        incr rejected;
-        trace.Trace.agg_proofs_rejected <- trace.Trace.agg_proofs_rejected + 1
-      end)
+      (* The device did its work either way; the transmit decides whether
+         the aggregator ever sees it. *)
+      match
+        Net.transmit link
+          ~max_attempts:(fspec.Fault.max_retries + 1)
+          ~backoff:(fun a -> Fault.backoff inj ~attempt:a)
+      with
+      | None ->
+          incr lost;
+          trace.Trace.lost_uploads <- trace.Trace.lost_uploads + 1
+      | Some del ->
+          if del.Net.attempts > 1 then begin
+            trace.Trace.upload_retries <-
+              trace.Trace.upload_retries + (del.Net.attempts - 1);
+            Fault.record_recovery inj Fault.Message_drop
+          end;
+          trace.Trace.upload_latency_s <-
+            trace.Trace.upload_latency_s +. del.Net.latency;
+          (* Aggregator verifies and aggregates. *)
+          trace.Trace.agg_proofs_verified <- trace.Trace.agg_proofs_verified + 1;
+          if C.Zkp.verify statement proof ~prover ~nonce then begin
+            incr accepted;
+            if sum_outsourced then pending_cts := cts :: !pending_cts
+            else
+              (acc_ct :=
+                 match !acc_ct with
+                 | None -> Some cts
+                 | Some acc ->
+                     trace.Trace.agg_he_adds <- trace.Trace.agg_he_adds + ct_count;
+                     Some (Array.map2 C.Bgv.add acc cts));
+            if i mod 64 = 0 then
+              Audit.record_step audit (Printf.sprintf "sum-step|%d|%d" i ct_count)
+          end
+          else begin
+            incr rejected;
+            trace.Trace.agg_proofs_rejected <- trace.Trace.agg_proofs_rejected + 1
+          end)
     devices;
+  (* Fail closed rather than silently answer over a partial database: a
+     lost input would change the query's true answer. *)
+  if !lost > 0 then
+    degraded "%d device upload%s lost despite %d retries" !lost
+      (if !lost = 1 then "" else "s")
+      fspec.Fault.max_retries;
   (* Device sum-tree: fold the uploads level by level in fanout-sized
      groups, each group summed by a participant device (attributed to
      device_tree_adds); the aggregator audits every vertex. *)
@@ -701,6 +776,10 @@ let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
   Log.info (fun m ->
       m "aggregation done: %d accepted, %d rejected%s" !accepted !rejected
         (if sum_outsourced then " (device sum-tree)" else ""));
+  (* One per-run tamper opportunity: the aggregator rewrites an aggregated
+     ciphertext. Its audit commitment no longer matches, so the device
+     spot-checks below catch it and the run fails closed. *)
+  let ct_tampered = Fault.fires inj Fault.Ciphertext_tamper in
   (* Devices spot-check the sortition: recompute a few members' committee
      assignments from the public block and registry (§5.1). *)
   let checks = min 8 (Array.length kg_committee) in
@@ -816,20 +895,42 @@ let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
     let sender_idxs =
       Array.to_list (Array.map (fun (s : C.Shamir.share) -> s.C.Shamir.idx) dec_shares)
     in
-    let ops_shares =
-      List.init cfg.committee_size (fun j ->
-          let pairs =
-            Array.to_list
-              (Array.map
-                 (fun (subs, commits) ->
-                   let sub = subs.(j) in
-                   if not (C.Vsr.verify_subshare sub commits.(j)) then
-                     err "VSR commitment verification failed";
-                   (sub.C.Vsr.from_idx, sub.C.Vsr.value))
-                 subs_and_commits)
-          in
-          C.Vsr.combine vsr_field ~sender_idxs pairs ~to_idx:(j + 1))
+    (* A subshare may be corrupted in transit; Vsr.verify_subshare catches
+       it against the sender's commitments and the honest sender re-sends
+       the same subshare (no fresh randomness), bounded by the backoff
+       budget. *)
+    let corrupt_in_transit = ref (Fault.fires inj Fault.Share_corruption) in
+    let rec receive attempt =
+      match
+        List.init cfg.committee_size (fun j ->
+            let pairs =
+              Array.to_list
+                (Array.mapi
+                   (fun sender (subs, commits) ->
+                     let sub = subs.(j) in
+                     let sub =
+                       if !corrupt_in_transit && j = 0 && sender = 0 then
+                         { sub with C.Vsr.value = sub.C.Vsr.value + 1 }
+                       else sub
+                     in
+                     if not (C.Vsr.verify_subshare sub commits.(j)) then
+                       err "VSR commitment verification failed";
+                     (sub.C.Vsr.from_idx, sub.C.Vsr.value))
+                   subs_and_commits)
+            in
+            C.Vsr.combine vsr_field ~sender_idxs pairs ~to_idx:(j + 1))
+      with
+      | shares -> shares
+      | exception Execution_error _ when !corrupt_in_transit -> (
+          match Fault.backoff inj ~attempt with
+          | None -> err "VSR re-send backoff budget exhausted"
+          | Some _ ->
+              Pr.charge_vsr_retry eng_ops;
+              Fault.record_recovery inj Fault.Share_corruption;
+              corrupt_in_transit := false;
+              receive (attempt + 1))
     in
+    let ops_shares = receive 0 in
     let recombined =
       C.Field.center vsr_field (C.Shamir.reconstruct vsr_field ops_shares)
     in
@@ -837,6 +938,19 @@ let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
     E.reshare_in eng_ops (v * fx_scale)
   in
   let shared_db_sums = Array.map vsr_handoff sums in
+  (* Byzantine minority inside the operations committee: before each share
+     opening the saboteur corrupts [corrupt_parties] shares. Within the
+     decoding radius the opening self-heals (robust Reed–Solomon);
+     beyond it, Cheating_detected aborts the run. *)
+  let sab_hits = ref 0 in
+  E.set_saboteur eng_ops
+    (Some
+       (fun () ->
+         if Fault.fires inj Fault.Share_corruption then begin
+           incr sab_hits;
+           List.init fspec.Fault.corrupt_parties (fun p -> p)
+         end
+         else []));
   (* 6. Interpret the rest of the program on shares. *)
   let st =
     {
@@ -845,6 +959,7 @@ let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
       plan;
       rng;
       trace;
+      inj;
       epsilon = program.L.Ast.epsilon;
       sensitivity = cert_report.L.Certify.sensitivity;
       eng_ops;
@@ -860,17 +975,37 @@ let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
   | Some (v, _) -> Hashtbl.replace st.vars v (R_clean (V_int 0)) (* placeholder *)
   | None -> ());
   exec st program.L.Ast.body;
+  (* Reaching here means every corrupted opening was corrected. *)
+  E.set_saboteur eng_ops None;
+  for _ = 1 to !sab_hits do
+    Fault.record_recovery inj Fault.Share_corruption
+  done;
   (* 7. Audit: seal; sampled devices challenge random steps. *)
-  if cfg.tamper_aggregator && Audit.steps audit > 0 then ();
   let audit_root = Audit.seal audit in
-  if cfg.tamper_aggregator && Audit.steps audit > 0 then Audit.tamper audit 0;
+  if (cfg.tamper_aggregator || ct_tampered) && Audit.steps audit > 0 then
+    Audit.tamper audit 0;
   let steps = Audit.steps audit in
-  let k =
-    Audit.challenges_per_device ~steps ~devices:cfg.auditing_devices
-      ~p_max:cfg.audit_p_max
+  (* Auditing devices may be offline; the survivors recompute their
+     challenge count so the detection bound p_max still holds. Only when
+     every auditor is gone does the run degrade. *)
+  let auditors =
+    let alive = ref 0 in
+    for _ = 1 to cfg.auditing_devices do
+      if Fault.fires inj Fault.Audit_failure then
+        trace.Trace.audit_devices_failed <- trace.Trace.audit_devices_failed + 1
+      else incr alive
+    done;
+    !alive
   in
+  if auditors = 0 then
+    degraded "all %d auditing devices failed before the spot-check"
+      cfg.auditing_devices;
+  for _ = 1 to trace.Trace.audit_devices_failed do
+    Fault.record_recovery inj Fault.Audit_failure
+  done;
+  let k = Audit.challenges_per_device ~steps ~devices:auditors ~p_max:cfg.audit_p_max in
   let audit_ok = ref true in
-  for _ = 1 to cfg.auditing_devices * k do
+  for _ = 1 to auditors * k do
     let i = Arb_util.Rng.int rng steps in
     let leaf, proof = Audit.respond audit i in
     trace.Trace.audits_performed <- trace.Trace.audits_performed + 1;
@@ -890,6 +1025,13 @@ let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
             ~compute_per_round:0.002 ))
       [ Trace.Keygen; Trace.Decryption; Trace.Operations ]
   in
+  trace.Trace.faults_injected <- Fault.injected_named inj;
+  trace.Trace.fault_recoveries <- Fault.recovered_named inj;
+  trace.Trace.fault_retries <- Fault.retries inj;
+  trace.Trace.fault_backoff_s <- Fault.backoff_spent inj;
+  trace.Trace.shares_corrected <- List.length (E.detected_cheaters eng_ops);
+  if Fault.total_injected inj > 0 then
+    Log.info (fun m -> m "fault plan absorbed: %a" Fault.pp inj);
   {
     outputs = List.rev st.outputs;
     trace;
@@ -902,6 +1044,31 @@ let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
     budget_left = certificate.Setup.budget_left;
     committee_wall_clock;
   }
+
+type failure = { stage : string; reason : string }
+
+let pp_failure fmt f = Format.fprintf fmt "[%s] %s" f.stage f.reason
+
+let run cfg ~query ~plan ~db =
+  match execute cfg ~query ~plan ~db with
+  | report ->
+      (* Fail closed: outputs are released only when both the budget
+         certificate and the audit spot-checks verified. *)
+      if not report.certificate_ok then
+        Error
+          { stage = "certificate"; reason = "budget certificate failed to verify" }
+      else if not report.audit_ok then
+        Error
+          {
+            stage = "audit";
+            reason = "audit spot-checks failed; outputs withheld";
+          }
+      else Ok report
+  | exception Execution_degraded m -> Error { stage = "degraded"; reason = m }
+  | exception Execution_error m -> Error { stage = "execute"; reason = m }
+  | exception E.Cheating_detected m -> Error { stage = "mpc"; reason = m }
+  | exception Setup.Budget_exhausted ->
+      Error { stage = "budget"; reason = "privacy budget exhausted" }
 
 let plan_and_execute cfg ~query ~db =
   let n = Array.length db in

@@ -35,6 +35,9 @@ type config = {
   block : string;  (** sortition randomness block B_i from the previous
       certificate (§5.1); "B0" for the trusted genesis *)
   query_id : int;  (** position in the query chain *)
+  faults : Fault.spec;
+      (** deterministic fault plan, driven by [seed]; {!Fault.no_faults}
+          (the default) injects nothing *)
 }
 
 val default_config : config
@@ -57,6 +60,10 @@ type report = {
 
 exception Execution_error of string
 
+exception Execution_degraded of string
+(** The run could not absorb its injected faults (lost device inputs, every
+    auditing device offline, …) and refuses to release outputs. *)
+
 val execute :
   config ->
   query:Arb_queries.Registry.query ->
@@ -64,8 +71,29 @@ val execute :
   db:int array array ->
   report
 (** Run the query end to end over a concrete database (one row per
-    device). Raises {!Setup.Budget_exhausted} when the budget is short and
-    [Execution_error] for queries outside the runtime's supported shape. *)
+    device). Raises {!Setup.Budget_exhausted} when the budget is short,
+    [Execution_error] for queries outside the runtime's supported shape,
+    [Execution_degraded] when faults exceeded the recovery budget, and
+    {!Arb_mpc.Engine.Cheating_detected} when share corruption exceeded the
+    robust-decoding radius. *)
+
+type failure = { stage : string; reason : string }
+(** Where a run failed closed ("certificate", "audit", "degraded",
+    "execute", "mpc", "budget") and why. *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val run :
+  config ->
+  query:Arb_queries.Registry.query ->
+  plan:Arb_planner.Plan.t ->
+  db:int array array ->
+  (report, failure) result
+(** {!execute} with every fault path reified as a typed [Error] instead of
+    an exception, and the release gate applied: a report whose certificate
+    or audit checks failed becomes an [Error] too, so [Ok] always means
+    "outputs were legitimately released". The DP budget is only committed
+    by callers on [Ok] (see {!Session.run}). *)
 
 val plan_and_execute :
   config ->

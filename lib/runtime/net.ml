@@ -11,3 +11,29 @@ let with_slow_devices p ~factor =
 
 let mpc_wall_clock p ~rounds ~compute =
   (float_of_int rounds *. p.rtt) +. (compute *. p.device_slowdown)
+
+(* --- message-level links (fault harness) --- *)
+
+type link = {
+  base : profile;
+  drop : unit -> bool;
+  delay : unit -> float;
+}
+
+let reliable p = { base = p; drop = (fun () -> false); delay = (fun () -> 0.0) }
+let lossy p ~drop ~delay = { base = p; drop; delay }
+
+type delivery = { attempts : int; latency : float }
+
+let transmit link ~max_attempts ~backoff =
+  let rec go attempt latency =
+    if attempt >= max_attempts then None
+    else
+      let latency = latency +. (link.base.rtt /. 2.0) +. link.delay () in
+      if not (link.drop ()) then Some { attempts = attempt + 1; latency }
+      else
+        match backoff attempt with
+        | None -> None
+        | Some wait -> go (attempt + 1) (latency +. wait)
+  in
+  go 0 0.0

@@ -59,16 +59,29 @@ let run t query =
         { t.config with Exec.seed; budget = t.budget; block = block_used;
           query_id = t.index + 1 }
       in
-      match Exec.plan_and_execute config ~query ~db:t.db with
-      | report ->
-          t.budget <- report.Exec.budget_left;
-          t.block <- report.Exec.certificate.Setup.next_block;
-          t.index <- t.index + 1;
-          let qr = { report; query_index = t.index; block_used } in
-          t.chain <- qr :: t.chain;
-          Ok qr
-      | exception Setup.Budget_exhausted ->
-          Error "privacy budget exhausted (refused by the key-generation committee)"
+      let planned =
+        Arb_planner.Search.plan ~limits:Arb_planner.Constraints.no_limits ~query
+          ~n ()
+      in
+      match planned.Arb_planner.Search.plan with
+      | None -> Error "planner found no plan for this query"
+      | Some plan -> (
+          (* Exec.run fails closed: any fault the runtime could not absorb
+             (and any certificate/audit failure) comes back as a typed
+             error. The session commits the budget and advances the chain
+             only on Ok, so a failed query leaves everything intact. *)
+          match Exec.run config ~query ~plan ~db:t.db with
+          | Ok report ->
+              t.budget <- report.Exec.budget_left;
+              t.block <- report.Exec.certificate.Setup.next_block;
+              t.index <- t.index + 1;
+              let qr = { report; query_index = t.index; block_used } in
+              t.chain <- qr :: t.chain;
+              Ok qr
+          | Error f ->
+              Error
+                (Format.asprintf "%a (session unchanged, budget intact)"
+                   Exec.pp_failure f))
     end
 
 let chain_verifies t =

@@ -35,8 +35,11 @@ val queries_run : t -> int
 
 val run : t -> Arb_queries.Registry.query -> (query_result, string) result
 (** Execute the next query in the chain. [Error] (leaving the session
-    unchanged) when the budget cannot cover the query's certified cost,
-    when certification fails, or when the round limit R is exhausted. *)
+    unchanged — budget, block and index intact) when the budget cannot
+    cover the query's certified cost, when certification fails, when the
+    round limit R is exhausted, or when execution fails closed
+    ({!Exec.run}: unabsorbed faults, detected cheating, failed audit or
+    certificate). *)
 
 val chain_verifies : t -> bool
 (** Every certificate in the chain verifies, and each query's sortition

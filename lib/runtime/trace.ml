@@ -1,5 +1,10 @@
 type committee_kind = Keygen | Decryption | Operations
 
+let committee_kind_name = function
+  | Keygen -> "keygen"
+  | Decryption -> "decryption"
+  | Operations -> "operations"
+
 type t = {
   mutable device_upload_bytes : float;
   mutable device_encrypt_ops : int;
@@ -16,6 +21,15 @@ type t = {
   mutable committees_reassigned : int;
   mutable device_tree_adds : int;
   mutable sortition_checks : int;
+  mutable faults_injected : (string * int) list;
+  mutable fault_recoveries : (string * int) list;
+  mutable fault_retries : int;
+  mutable fault_backoff_s : float;
+  mutable upload_retries : int;
+  mutable lost_uploads : int;
+  mutable upload_latency_s : float;
+  mutable audit_devices_failed : int;
+  mutable shares_corrected : int;
 }
 
 let create () =
@@ -35,6 +49,15 @@ let create () =
     committees_reassigned = 0;
     device_tree_adds = 0;
     sortition_checks = 0;
+    faults_injected = [];
+    fault_recoveries = [];
+    fault_retries = 0;
+    fault_backoff_s = 0.0;
+    upload_retries = 0;
+    lost_uploads = 0;
+    upload_latency_s = 0.0;
+    audit_devices_failed = 0;
+    shares_corrected = 0;
   }
 
 let record_committee t kind cost =
@@ -55,12 +78,81 @@ let committee_wall_clock t profile kind ~compute_per_round =
   Net.mpc_wall_clock profile ~rounds
     ~compute:(float_of_int rounds *. compute_per_round)
 
+let faults_total t = List.fold_left (fun acc (_, n) -> acc + n) 0 t.faults_injected
+
 let pp fmt t =
   Format.fprintf fmt
-    "device: %.0f B up, %d encs, %d constraints; agg: %.0f B, %d adds, %d muls, %d/%d proofs ok; %d committees traced; %d audits (%d failed); %d vignettes"
+    "device: %.0f B up, %d encs, %d constraints; agg: %.0f B, %d adds, %d muls, %d/%d proofs ok; %d committees traced; %d audits (%d failed); %d vignettes; %d reassigned; %d tree adds; %d sortition checks"
     t.device_upload_bytes t.device_encrypt_ops t.device_proof_constraints
     t.agg_bytes_sent t.agg_he_adds t.agg_he_muls
     (t.agg_proofs_verified - t.agg_proofs_rejected)
     t.agg_proofs_verified
     (List.length t.committee_costs)
     t.audits_performed t.audits_failed t.vignettes_executed
+    t.committees_reassigned t.device_tree_adds t.sortition_checks;
+  if faults_total t > 0 || t.fault_retries > 0 then begin
+    Format.fprintf fmt "; faults:";
+    List.iter
+      (fun (k, n) -> if n > 0 then Format.fprintf fmt " %s=%d" k n)
+      t.faults_injected;
+    Format.fprintf fmt
+      " (retries=%d backoff=%.2fs lost=%d corrected=%d auditors_down=%d)"
+      t.fault_retries t.fault_backoff_s t.lost_uploads t.shares_corrected
+      t.audit_devices_failed
+  end
+
+let to_json t =
+  let module J = Arb_util.Json in
+  let cost_json (c : Arb_mpc.Cost.t) =
+    J.Obj
+      [
+        ("rounds", J.Int c.Arb_mpc.Cost.rounds);
+        ("bytes_per_party", J.Int c.Arb_mpc.Cost.bytes_per_party);
+        ("triples", J.Int c.Arb_mpc.Cost.triples);
+        ("mults", J.Int c.Arb_mpc.Cost.mults);
+        ("opens", J.Int c.Arb_mpc.Cost.opens);
+        ("comparisons", J.Int c.Arb_mpc.Cost.comparisons);
+        ("truncations", J.Int c.Arb_mpc.Cost.truncations);
+        ("inputs", J.Int c.Arb_mpc.Cost.inputs);
+        ("field_ops", J.Int c.Arb_mpc.Cost.field_ops);
+      ]
+  in
+  let counts pairs = J.Obj (List.map (fun (k, n) -> (k, J.Int n)) pairs) in
+  J.Obj
+    [
+      ("device_upload_bytes", J.Float t.device_upload_bytes);
+      ("device_encrypt_ops", J.Int t.device_encrypt_ops);
+      ("device_proof_constraints", J.Int t.device_proof_constraints);
+      ("agg_bytes_sent", J.Float t.agg_bytes_sent);
+      ("agg_he_adds", J.Int t.agg_he_adds);
+      ("agg_he_muls", J.Int t.agg_he_muls);
+      ("agg_proofs_verified", J.Int t.agg_proofs_verified);
+      ("agg_proofs_rejected", J.Int t.agg_proofs_rejected);
+      ( "committee_costs",
+        (* Stored newest-first; emit oldest-first so the JSON reads in
+           execution order and is stable for byte-identity checks. *)
+        J.List
+          (List.rev_map
+             (fun (k, c) ->
+               J.Obj
+                 [
+                   ("kind", J.String (committee_kind_name k));
+                   ("cost", cost_json c);
+                 ])
+             t.committee_costs) );
+      ("audits_performed", J.Int t.audits_performed);
+      ("audits_failed", J.Int t.audits_failed);
+      ("vignettes_executed", J.Int t.vignettes_executed);
+      ("committees_reassigned", J.Int t.committees_reassigned);
+      ("device_tree_adds", J.Int t.device_tree_adds);
+      ("sortition_checks", J.Int t.sortition_checks);
+      ("faults_injected", counts t.faults_injected);
+      ("fault_recoveries", counts t.fault_recoveries);
+      ("fault_retries", J.Int t.fault_retries);
+      ("fault_backoff_s", J.Float t.fault_backoff_s);
+      ("upload_retries", J.Int t.upload_retries);
+      ("lost_uploads", J.Int t.lost_uploads);
+      ("upload_latency_s", J.Float t.upload_latency_s);
+      ("audit_devices_failed", J.Int t.audit_devices_failed);
+      ("shares_corrected", J.Int t.shares_corrected);
+    ]

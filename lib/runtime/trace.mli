@@ -6,6 +6,8 @@
 
 type committee_kind = Keygen | Decryption | Operations
 
+val committee_kind_name : committee_kind -> string
+
 type t = {
   mutable device_upload_bytes : float;  (** per device: ciphertexts + proof *)
   mutable device_encrypt_ops : int;
@@ -27,6 +29,19 @@ type t = {
   mutable sortition_checks : int;
       (** device-side verifications that committee members were
           legitimately selected *)
+  mutable faults_injected : (string * int) list;
+      (** injected fault counts keyed by {!Fault.kind_name}, zeros included *)
+  mutable fault_recoveries : (string * int) list;
+      (** how many of each kind the runtime absorbed rather than failing *)
+  mutable fault_retries : int;  (** retry attempts charged to the backoff budget *)
+  mutable fault_backoff_s : float;  (** total simulated backoff wait *)
+  mutable upload_retries : int;  (** device uploads that needed more than one send *)
+  mutable lost_uploads : int;  (** device inputs lost despite retries *)
+  mutable upload_latency_s : float;  (** summed simulated transmission latency *)
+  mutable audit_devices_failed : int;
+      (** auditing devices that went offline; survivors take over their share *)
+  mutable shares_corrected : int;
+      (** corrupted Shamir shares repaired by robust (Berlekamp–Welch) decoding *)
 }
 
 val create : unit -> t
@@ -41,4 +56,14 @@ val committee_wall_clock :
 (** Wall-clock estimate for all of a kind's MPC work under a network
     profile. *)
 
+val faults_total : t -> int
+(** Sum of all injected-fault counts. *)
+
 val pp : Format.formatter -> t -> unit
+(** One-line summary including every counter; fault counters are appended
+    only when at least one fault or retry occurred. *)
+
+val to_json : t -> Arb_util.Json.t
+(** Canonical JSON rendering of every field (committee costs in execution
+    order). Two runs with identical traces serialize to identical strings,
+    which is what the chaos suite's determinism property checks. *)

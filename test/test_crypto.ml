@@ -380,6 +380,47 @@ let prop_bgv_add_matches_plaintext =
       in
       Array.for_all2 ( = ) (Array.map2 ( + ) a b) (Array.sub dec 0 32))
 
+let prop_bgv_mul_matches_plaintext =
+  QCheck.Test.make ~name:"BGV multiplication homomorphism (random)" ~count:10
+    QCheck.(
+      pair
+        (list_of_size (Gen.return 32) (int_bound 100))
+        (list_of_size (Gen.return 32) (int_bound 100)))
+    (fun (a, b) ->
+      let rng = Rng.create 111L in
+      let params = C.Bgv.fhe_params ~n:64 () in
+      let sk, pk = C.Bgv.keygen params rng in
+      let rk = C.Bgv.relin_keygen params rng sk in
+      let a = Array.of_list a and b = Array.of_list b in
+      let prod = C.Bgv.mul (C.Bgv.encrypt pk rng a) (C.Bgv.encrypt pk rng b) in
+      let dec = C.Bgv.decrypt sk (C.Bgv.relinearize rk prod) in
+      Array.for_all2 ( = )
+        (Array.map2 (fun x y -> x * y mod params.C.Bgv.t) a b)
+        (Array.sub dec 0 32))
+
+let prop_bgv_mul_then_add_matches_plaintext =
+  (* The aggregator's FHE workload shape: a masked product accumulated with
+     a fresh encryption. decrypt(relin(enc a * enc b) + enc c) = a*b + c. *)
+  QCheck.Test.make ~name:"BGV mul-then-add homomorphism (random)" ~count:10
+    QCheck.(
+      triple
+        (list_of_size (Gen.return 16) (int_bound 50))
+        (list_of_size (Gen.return 16) (int_bound 50))
+        (list_of_size (Gen.return 16) (int_bound 50)))
+    (fun (a, b, c) ->
+      let rng = Rng.create 112L in
+      let params = C.Bgv.fhe_params ~n:64 () in
+      let sk, pk = C.Bgv.keygen params rng in
+      let rk = C.Bgv.relin_keygen params rng sk in
+      let a = Array.of_list a and b = Array.of_list b and c = Array.of_list c in
+      let prod =
+        C.Bgv.relinearize rk
+          (C.Bgv.mul (C.Bgv.encrypt pk rng a) (C.Bgv.encrypt pk rng b))
+      in
+      let dec = C.Bgv.decrypt sk (C.Bgv.add prod (C.Bgv.encrypt pk rng c)) in
+      let want = Array.init 16 (fun i -> ((a.(i) * b.(i)) + c.(i)) mod params.C.Bgv.t) in
+      Array.for_all2 ( = ) want (Array.sub dec 0 16))
+
 let test_bgv_galois_permutes_slots () =
   let rng = Rng.create 110L in
   let p = C.Bgv.fhe_params ~n:64 () in
@@ -645,6 +686,31 @@ let prop_shamir_robust =
              = List.sort compare (Array.to_list (Array.map (fun i -> i + 1) victims))
       | Error _ -> false)
 
+let prop_shamir_never_silently_wrong =
+  (* Corruption beyond the decoding radius must be detected: the decoder
+     either refuses or still lands on the true secret — it never presents
+     a wrong value as a successful reconstruction. *)
+  QCheck.Test.make ~name:"beyond-radius corruption never mis-decodes silently"
+    ~count:100
+    QCheck.(triple (int_bound (p_test - 1)) (int_range 1 3) (int_range 0 6))
+    (fun (secret, threshold, extra) ->
+      let rng = Rng.create (Int64.of_int (secret + (31 * threshold) + extra)) in
+      let parties = (2 * threshold) + 1 in
+      let radius = (parties - threshold - 1) / 2 in
+      let errors = min parties (radius + 1 + extra) in
+      let shares = C.Shamir.share fld rng ~secret ~threshold ~parties in
+      for i = 0 to errors - 1 do
+        shares.(i) <-
+          {
+            (shares.(i)) with
+            C.Shamir.value =
+              C.Field.add fld shares.(i).C.Shamir.value (1 + Rng.int rng 9999);
+          }
+      done;
+      match C.Shamir.reconstruct_robust fld ~threshold (Array.to_list shares) with
+      | Error _ -> true
+      | Ok (v, _) -> v = secret)
+
 let prop_vsr_roundtrip =
   QCheck.Test.make ~name:"VSR moves a secret between committees" ~count:50
     QCheck.(int_bound (p_test - 1))
@@ -856,6 +922,8 @@ let () =
           Alcotest.test_case "plaintext modulus search" `Quick
             test_bgv_find_plaintext_modulus;
           qtest prop_bgv_add_matches_plaintext;
+          qtest prop_bgv_mul_matches_plaintext;
+          qtest prop_bgv_mul_then_add_matches_plaintext;
           Alcotest.test_case "galois permutes slots" `Quick
             test_bgv_galois_permutes_slots;
           Alcotest.test_case "rotate-and-add row sums" `Slow
@@ -879,6 +947,7 @@ let () =
           Alcotest.test_case "robust reconstruction (Berlekamp-Welch)" `Quick
             test_shamir_robust_corrects_cheaters;
           qtest prop_shamir_robust;
+          qtest prop_shamir_never_silently_wrong;
           qtest prop_vsr_roundtrip;
           Alcotest.test_case "vsr commitments" `Quick test_vsr_commitments;
         ] );

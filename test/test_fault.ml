@@ -1,0 +1,463 @@
+(* Chaos and property tests for the deterministic fault-injection harness.
+
+   The central invariant: a faulted run either produces the same output as
+   the clean run with the same seed (faults absorbed), or fails closed with
+   a typed error and an intact DP budget. On top of that, qcheck properties
+   pin down replayability: the same seed gives byte-identical traces. *)
+
+module R = Arb_runtime
+module Q = Arb_queries.Registry
+module L = Arb_lang
+module P = Arb_planner
+module Rng = Arb_util.Rng
+module Fault = R.Fault
+
+let qtest = QCheck_alcotest.to_alcotest
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let contains s needle =
+  let n = String.length needle and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let big_budget = Arb_dp.Budget.create ~epsilon:1.0e7 ~delta:0.5
+
+let config ?(seed = 1L) ?(faults = Fault.no_faults) () =
+  {
+    R.Exec.default_config with
+    R.Exec.seed;
+    budget = big_budget;
+    faults;
+  }
+
+(* One planned (query, db, plan) context per query name, shared across
+   scenarios. Skew 2.0 keeps argmax margins decisive, so recovery actions
+   that shift the session RNG cannot flip an integer winner at the chaos
+   suite's huge epsilon. *)
+let context =
+  let cache = Hashtbl.create 8 in
+  fun name ->
+    match Hashtbl.find_opt cache name with
+    | Some c -> c
+    | None ->
+        let q = Q.test_instance ~epsilon:1000.0 name in
+        let db = Q.random_database (Rng.create 99L) q ~n:64 ~skew:2.0 () in
+        let r =
+          P.Search.plan ~limits:P.Constraints.no_limits ~query:q
+            ~n:(Array.length db) ()
+        in
+        let plan =
+          match r.P.Search.plan with
+          | Some p -> p
+          | None -> Alcotest.fail ("no plan for " ^ name)
+        in
+        let c = (q, db, plan) in
+        Hashtbl.add cache name c;
+        c
+
+let exec_run ?(faults = Fault.no_faults) ~seed name =
+  let q, db, plan = context name in
+  R.Exec.run (config ~seed ~faults ()) ~query:q ~plan ~db
+
+let clean_report ~seed name =
+  match exec_run ~seed name with
+  | Ok r -> r
+  | Error f ->
+      Alcotest.fail
+        (Format.asprintf "clean run of %s failed: %a" name R.Exec.pp_failure f)
+
+(* Equality up to DP noise: integers must match exactly (at epsilon 1000
+   over a skew-2.0 database the noise cannot flip a count margin); noisy
+   fixpoint outputs may differ by the recovery-shifted noise draws. *)
+let noise_tol = 1.0
+
+let rec value_close (a : L.Interp.value) (b : L.Interp.value) =
+  match (a, b) with
+  | L.Interp.V_int x, L.Interp.V_int y -> x = y
+  | V_bool x, V_bool y -> x = y
+  | V_arr x, V_arr y ->
+      Array.length x = Array.length y
+      && Array.for_all2 value_close x y
+  | _ ->
+      Float.abs (L.Interp.as_float a -. L.Interp.as_float b) <= noise_tol
+
+let outputs_close a b =
+  List.length a = List.length b && List.for_all2 value_close a b
+
+(* ---------------- the chaos sweep ---------------- *)
+
+let single_fault_specs =
+  [
+    ("committee_dropout", { Fault.no_faults with Fault.dropout_p = 0.5 });
+    ("share_corruption", { Fault.no_faults with Fault.share_corrupt_p = 0.15 });
+    ("message_drop", { Fault.no_faults with Fault.message_drop_p = 0.2 });
+    ("message_delay", { Fault.no_faults with Fault.message_delay_p = 0.5 });
+    ("ciphertext_tamper", { Fault.no_faults with Fault.tamper_p = 0.5 });
+    ("audit_failure", { Fault.no_faults with Fault.audit_fail_p = 0.5 });
+  ]
+
+let scenario_seeds = [ 2L; 3L; 5L; 7L; 11L; 13L ]
+
+(* Every scenario must satisfy the invariant; returns whether the fault
+   plan actually perturbed the run (injected > 0), so the sweep can assert
+   it exercised real faults and not 30 clean runs. *)
+let check_scenario ~name ~query ~seed spec =
+  let clean = clean_report ~seed query in
+  match exec_run ~faults:spec ~seed query with
+  | Ok r ->
+      checkb
+        (Printf.sprintf "%s seed %Ld: absorbed faults preserve the output"
+           name seed)
+        true
+        (outputs_close clean.R.Exec.outputs r.R.Exec.outputs);
+      checkb
+        (Printf.sprintf "%s seed %Ld: absorbed faults leave the budget alone"
+           name seed)
+        true
+        (Arb_dp.Budget.equal clean.R.Exec.budget_left r.R.Exec.budget_left);
+      checkb
+        (Printf.sprintf "%s seed %Ld: released outputs imply audit ok" name seed)
+        true
+        (r.R.Exec.audit_ok && r.R.Exec.certificate_ok);
+      R.Trace.faults_total r.R.Exec.trace > 0
+  | Error f ->
+      (* Fail closed: a typed stage, never a raw exception. *)
+      checkb
+        (Printf.sprintf "%s seed %Ld: failure is typed (%s)" name seed
+           f.R.Exec.stage)
+        true
+        (List.mem f.R.Exec.stage
+           [ "certificate"; "audit"; "degraded"; "execute"; "mpc"; "budget" ]);
+      true
+
+let test_chaos_single_faults () =
+  let scenarios = ref 0 and perturbed = ref 0 in
+  List.iter
+    (fun (name, spec) ->
+      List.iter
+        (fun seed ->
+          incr scenarios;
+          if check_scenario ~name ~query:"top1" ~seed spec then incr perturbed)
+        scenario_seeds)
+    single_fault_specs;
+  checkb "sweep ran at least 30 scenarios" true (!scenarios >= 30);
+  checkb
+    (Printf.sprintf "most scenarios injected real faults (%d/%d)" !perturbed
+       !scenarios)
+    true
+    (!perturbed * 2 >= !scenarios)
+
+let test_chaos_all_faults_other_queries () =
+  List.iter
+    (fun query ->
+      List.iter
+        (fun seed ->
+          ignore (check_scenario ~name:("chaos/" ^ query) ~query ~seed Fault.chaos))
+        [ 17L; 23L ])
+    [ "gap"; "median"; "auction" ]
+
+(* Corruption beyond the robust-decoding radius must abort, never release
+   a wrong answer: with 5 parties and threshold 2 the radius is 1, so two
+   corrupted parties are uncorrectable. *)
+let test_corruption_beyond_radius_fails_closed () =
+  let spec =
+    { Fault.no_faults with Fault.share_corrupt_p = 1.0; corrupt_parties = 2 }
+  in
+  match exec_run ~faults:spec ~seed:5L "top1" with
+  | Ok _ -> Alcotest.fail "uncorrectable corruption must not release outputs"
+  | Error f ->
+      checkb "typed mpc/execute failure" true
+        (f.R.Exec.stage = "mpc" || f.R.Exec.stage = "execute")
+
+(* Within the radius, every opening self-heals and the cheater shows up in
+   the trace. *)
+let test_corruption_within_radius_self_heals () =
+  let spec =
+    { Fault.no_faults with Fault.share_corrupt_p = 1.0; corrupt_parties = 1 }
+  in
+  let clean = clean_report ~seed:5L "top1" in
+  match exec_run ~faults:spec ~seed:5L "top1" with
+  | Error f ->
+      Alcotest.fail
+        (Format.asprintf "radius-1 corruption should be absorbed: %a"
+           R.Exec.pp_failure f)
+  | Ok r ->
+      checkb "output preserved" true
+        (outputs_close clean.R.Exec.outputs r.R.Exec.outputs);
+      checkb "cheater recorded in the trace" true
+        (r.R.Exec.trace.R.Trace.shares_corrected > 0)
+
+let test_tamper_always_detected () =
+  let spec = { Fault.no_faults with Fault.tamper_p = 1.0 } in
+  List.iter
+    (fun seed ->
+      match exec_run ~faults:spec ~seed "top1" with
+      | Ok _ -> Alcotest.fail "tampered aggregation must not release outputs"
+      | Error f -> checks "audit catches the tamper" "audit" f.R.Exec.stage)
+    [ 1L; 2L; 3L ]
+
+let test_all_auditors_down_degrades () =
+  let spec = { Fault.no_faults with Fault.audit_fail_p = 1.0 } in
+  match exec_run ~faults:spec ~seed:1L "top1" with
+  | Ok _ -> Alcotest.fail "no auditors means no release"
+  | Error f -> checks "degraded stage" "degraded" f.R.Exec.stage
+
+let test_forced_dropout_at_round () =
+  (* dropout_at forces the k-th committee pick to fail even with zero
+     probability everywhere else; one reassignment absorbs it. *)
+  let spec = { Fault.no_faults with Fault.dropout_at = Some 0 } in
+  let clean = clean_report ~seed:4L "top1" in
+  match exec_run ~faults:spec ~seed:4L "top1" with
+  | Error f ->
+      Alcotest.fail
+        (Format.asprintf "single forced dropout should be absorbed: %a"
+           R.Exec.pp_failure f)
+  | Ok r ->
+      checkb "committee was reassigned" true
+        (r.R.Exec.trace.R.Trace.committees_reassigned >= 1);
+      checkb "recovery recorded" true
+        (List.assoc "committee_dropout" r.R.Exec.trace.R.Trace.fault_recoveries
+         >= 1);
+      checkb "output preserved" true
+        (outputs_close clean.R.Exec.outputs r.R.Exec.outputs)
+
+let test_backoff_exhaustion_fails_closed () =
+  (* A zero backoff budget turns the first retry-requiring fault into a
+     typed failure instead of a loop. *)
+  let spec =
+    {
+      Fault.no_faults with
+      Fault.message_drop_p = 0.8;
+      backoff_budget_s = 0.0;
+    }
+  in
+  match exec_run ~faults:spec ~seed:3L "top1" with
+  | Ok r ->
+      (* Possible but vanishingly unlikely: every message got through on
+         the first try. Accept only if genuinely nothing was lost. *)
+      checki "no lost uploads if Ok" 0 r.R.Exec.trace.R.Trace.lost_uploads
+  | Error f -> checks "degraded stage" "degraded" f.R.Exec.stage
+
+(* ---------------- determinism properties ---------------- *)
+
+let trace_string (r : R.Exec.report) =
+  Arb_util.Json.to_string (R.Trace.to_json r.R.Exec.trace)
+
+let run_twice_identical ~faults seed =
+  let a = exec_run ~faults ~seed "top1" in
+  let b = exec_run ~faults ~seed "top1" in
+  match (a, b) with
+  | Ok ra, Ok rb ->
+      ra.R.Exec.outputs = rb.R.Exec.outputs
+      && String.equal (trace_string ra) (trace_string rb)
+      && ra.R.Exec.audit_root = rb.R.Exec.audit_root
+  | Error fa, Error fb ->
+      fa.R.Exec.stage = fb.R.Exec.stage && fa.R.Exec.reason = fb.R.Exec.reason
+  | _ -> false
+
+let prop_same_seed_same_trace =
+  QCheck.Test.make ~name:"same seed => byte-identical trace (chaos spec)"
+    ~count:8
+    QCheck.(int_range 1 10_000)
+    (fun s -> run_twice_identical ~faults:Fault.chaos (Int64.of_int s))
+
+let prop_same_seed_same_trace_clean =
+  QCheck.Test.make ~name:"same seed => byte-identical trace (no faults)"
+    ~count:5
+    QCheck.(int_range 1 10_000)
+    (fun s -> run_twice_identical ~faults:Fault.no_faults (Int64.of_int s))
+
+let prop_injector_schedule_deterministic =
+  (* Two injectors with the same seed agree on every decision, regardless
+     of which kinds the runtime happens to ask about in between. *)
+  QCheck.Test.make ~name:"fault schedule depends only on (seed, spec, site)"
+    ~count:200
+    QCheck.(pair (int_range 0 10_000) (small_list (int_range 0 5)))
+    (fun (seed, kinds) ->
+      let kinds = List.map (fun i -> List.nth Fault.all_kinds i) kinds in
+      let a = Fault.create ~seed:(Int64.of_int seed) Fault.chaos in
+      let b = Fault.create ~seed:(Int64.of_int seed) Fault.chaos in
+      List.for_all (fun k -> Fault.fires a k = Fault.fires b k) kinds)
+
+let prop_backoff_respects_budget =
+  QCheck.Test.make ~name:"backoff never exceeds its budget" ~count:200
+    QCheck.(pair (int_range 0 1000) (float_range 0.0 2.0))
+    (fun (seed, budget) ->
+      let spec = { Fault.chaos with Fault.backoff_budget_s = budget } in
+      let t = Fault.create ~seed:(Int64.of_int seed) spec in
+      let total = ref 0.0 in
+      let exhausted = ref false in
+      for attempt = 0 to 19 do
+        match Fault.backoff t ~attempt with
+        | Some d -> total := !total +. d
+        | None -> exhausted := true
+      done;
+      !total <= budget +. 1e-9
+      && Float.abs (Fault.backoff_spent t -. !total) <= 1e-9)
+
+let prop_transmit_deterministic =
+  QCheck.Test.make ~name:"Net.transmit replays exactly from the fault seed"
+    ~count:100
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let mk () =
+        let inj = Fault.create ~seed:(Int64.of_int seed) Fault.chaos in
+        let link =
+          R.Net.lossy R.Net.lan
+            ~drop:(fun () -> Fault.fires inj Fault.Message_drop)
+            ~delay:(fun () ->
+              if Fault.fires inj Fault.Message_delay then 0.25 else 0.0)
+        in
+        List.init 20 (fun _ ->
+            R.Net.transmit link ~max_attempts:4 ~backoff:(fun a ->
+                Fault.backoff inj ~attempt:a))
+      in
+      mk () = mk ())
+
+(* ---------------- session lifecycle under faults ---------------- *)
+
+let session_db () =
+  let q = Q.test_instance ~epsilon:2.0 "top1" in
+  (q, Q.random_database (Rng.create 42L) q ~n:64 ~skew:2.0 ())
+
+let test_session_faulted_query_leaves_state_intact () =
+  let q, db = session_db () in
+  let cfg = config ~faults:{ Fault.no_faults with Fault.tamper_p = 1.0 } () in
+  let budget = Arb_dp.Budget.create ~epsilon:10.0 ~delta:1e-3 in
+  let session = R.Session.create ~config:cfg ~budget ~db () in
+  (match R.Session.run session q with
+  | Ok _ -> Alcotest.fail "tampered session query must fail closed"
+  | Error m -> checkb "error mentions the audit stage" true (contains m "audit"));
+  checkb "budget intact after the failure" true
+    (Arb_dp.Budget.equal budget (R.Session.budget_left session));
+  checki "no query committed" 0 (R.Session.queries_run session);
+  checkb "empty chain still verifies" true (R.Session.chain_verifies session)
+
+let test_session_recovers_after_failure () =
+  (* Same session object: a run that fails closed must not poison the
+     chain — the next (recoverable) query succeeds and charges normally. *)
+  let q, db = session_db () in
+  let cfg =
+    config ~faults:{ Fault.no_faults with Fault.dropout_at = Some 0 } ()
+  in
+  let budget = Arb_dp.Budget.create ~epsilon:10.0 ~delta:1e-3 in
+  let session = R.Session.create ~config:cfg ~budget ~db () in
+  (match R.Session.run session q with
+  | Ok qr ->
+      checkb "forced dropout absorbed inside the session" true
+        (qr.R.Session.report.R.Exec.trace.R.Trace.committees_reassigned >= 1)
+  | Error m -> Alcotest.fail m);
+  checki "one query committed" 1 (R.Session.queries_run session);
+  checkb "budget was charged" true
+    ((R.Session.budget_left session).Arb_dp.Budget.epsilon < 10.0 -. 1.9);
+  checkb "chain verifies" true (R.Session.chain_verifies session)
+
+let test_session_budget_depletion_refuses_next () =
+  let q, db = session_db () in
+  let budget = Arb_dp.Budget.create ~epsilon:3.0 ~delta:1e-3 in
+  let session = R.Session.create ~config:(config ()) ~budget ~db () in
+  (match R.Session.run session q with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  let left = R.Session.budget_left session in
+  (* epsilon 2 spent of 3: the second query must be refused up front. *)
+  match R.Session.run session q with
+  | Ok _ -> Alcotest.fail "depleted budget must refuse the next query"
+  | Error m ->
+      checkb "refusal mentions the budget" true (contains m "budget");
+      checkb "refusal does not spend" true
+        (Arb_dp.Budget.equal left (R.Session.budget_left session));
+      checki "still one query" 1 (R.Session.queries_run session)
+
+let test_session_zero_rounds_refuses_immediately () =
+  let q, db = session_db () in
+  let session =
+    R.Session.create ~config:(config ()) ~max_rounds:0 ~budget:big_budget ~db ()
+  in
+  match R.Session.run session q with
+  | Ok _ -> Alcotest.fail "max_rounds 0 must refuse every query"
+  | Error m ->
+      checkb "round-limit refusal is an Error, not an exception" true
+        (contains m "round limit");
+      checki "nothing ran" 0 (R.Session.queries_run session)
+
+(* ---------------- trace rendering ---------------- *)
+
+let test_trace_pp_shows_all_counters () =
+  let r = clean_report ~seed:1L "top1" in
+  let s = Format.asprintf "%a" R.Trace.pp r.R.Exec.trace in
+  List.iter
+    (fun needle ->
+      checkb (Printf.sprintf "pp mentions %S" needle) true (contains s needle))
+    [ "reassigned"; "tree adds"; "sortition checks" ]
+
+let test_trace_json_roundtrips () =
+  let spec = { Fault.no_faults with Fault.dropout_at = Some 0 } in
+  let r =
+    match exec_run ~faults:spec ~seed:4L "top1" with
+    | Ok r -> r
+    | Error f -> Alcotest.fail (Format.asprintf "%a" R.Exec.pp_failure f)
+  in
+  let j = R.Trace.to_json r.R.Exec.trace in
+  let parsed = Arb_util.Json.of_string (Arb_util.Json.to_string j) in
+  let module J = Arb_util.Json in
+  checki "reassignments serialized" r.R.Exec.trace.R.Trace.committees_reassigned
+    (J.to_int (J.member "committees_reassigned" parsed));
+  checki "dropout count serialized"
+    (List.assoc "committee_dropout" r.R.Exec.trace.R.Trace.faults_injected)
+    (J.to_int
+       (J.member "committee_dropout" (J.member "faults_injected" parsed)));
+  checkb "committee costs present" true
+    (List.length (J.to_list (J.member "committee_costs" parsed)) > 0)
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "chaos",
+        [
+          Alcotest.test_case "36-scenario single-fault sweep" `Slow
+            test_chaos_single_faults;
+          Alcotest.test_case "full chaos spec on gap/median/auction" `Slow
+            test_chaos_all_faults_other_queries;
+          Alcotest.test_case "corruption beyond radius fails closed" `Quick
+            test_corruption_beyond_radius_fails_closed;
+          Alcotest.test_case "corruption within radius self-heals" `Quick
+            test_corruption_within_radius_self_heals;
+          Alcotest.test_case "ciphertext tamper always detected" `Quick
+            test_tamper_always_detected;
+          Alcotest.test_case "all auditors down degrades" `Quick
+            test_all_auditors_down_degrades;
+          Alcotest.test_case "forced dropout at pick 0 absorbed" `Quick
+            test_forced_dropout_at_round;
+          Alcotest.test_case "backoff exhaustion fails closed" `Quick
+            test_backoff_exhaustion_fails_closed;
+        ] );
+      ( "determinism",
+        [
+          qtest prop_same_seed_same_trace;
+          qtest prop_same_seed_same_trace_clean;
+          qtest prop_injector_schedule_deterministic;
+          qtest prop_backoff_respects_budget;
+          qtest prop_transmit_deterministic;
+        ] );
+      ( "session-lifecycle",
+        [
+          Alcotest.test_case "faulted query leaves state intact" `Quick
+            test_session_faulted_query_leaves_state_intact;
+          Alcotest.test_case "session recovers after absorbed fault" `Quick
+            test_session_recovers_after_failure;
+          Alcotest.test_case "budget depletion refuses next query" `Quick
+            test_session_budget_depletion_refuses_next;
+          Alcotest.test_case "max_rounds 0 refuses immediately" `Quick
+            test_session_zero_rounds_refuses_immediately;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "pp shows every counter" `Quick
+            test_trace_pp_shows_all_counters;
+          Alcotest.test_case "to_json roundtrips" `Quick
+            test_trace_json_roundtrips;
+        ] );
+    ]

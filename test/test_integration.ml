@@ -281,6 +281,73 @@ let prop_fuzz_execute_matches_reference =
               Float.abs (L.Interp.as_float got -. L.Interp.as_float want) < 1.0)
         report.Arb_runtime.Exec.outputs reference)
 
+(* ---------------- differential: MPC runtime vs cleartext reference ----------------
+
+   Every registry query, executed end to end through the typed Exec.run
+   wrapper, must agree with the cleartext reference interpreter up to DP
+   noise: at epsilon 1000 integer outputs (em winners, medians, decisions)
+   are deterministic and compared exactly; noisy numeric outputs must land
+   within a small tolerance; secrecy-of-the-sample draws its own hidden
+   window on each side, so only the magnitude is comparable. *)
+
+let exact_int_queries = [ "top1"; "topK"; "gap"; "median"; "hypotest"; "auction" ]
+
+let differential_tolerance name ~n =
+  if name = "secrecy" then float_of_int n else 2.0
+
+let test_differential_all_registry_queries () =
+  List.iter
+    (fun name ->
+      let q = Arb_queries.Registry.test_instance ~epsilon:1000.0 name in
+      let db =
+        Arb_queries.Registry.random_database (Arb_util.Rng.create 77L) q ~n:64
+          ~skew:2.0 ()
+      in
+      let n = Array.length db in
+      let planned =
+        Arb_planner.Search.plan ~limits:P.Constraints.no_limits ~query:q ~n ()
+      in
+      let plan =
+        match planned.Arb_planner.Search.plan with
+        | Some p -> p
+        | None -> Alcotest.fail (name ^ ": no plan")
+      in
+      let config =
+        {
+          Arb_runtime.Exec.default_config with
+          Arb_runtime.Exec.seed = 5L;
+          budget = Arb_dp.Budget.create ~epsilon:1.0e7 ~delta:0.9;
+        }
+      in
+      match Arb_runtime.Exec.run config ~query:q ~plan ~db with
+      | Error f ->
+          Alcotest.fail
+            (Format.asprintf "%s failed closed unexpectedly: %a" name
+               Arb_runtime.Exec.pp_failure f)
+      | Ok report ->
+          let reference = A.reference_outputs ~db q in
+          checki (name ^ ": output arity") (List.length reference)
+            (List.length report.Arb_runtime.Exec.outputs);
+          let tol = differential_tolerance name ~n in
+          let idx = ref 0 in
+          List.iter2
+            (fun got want ->
+              let i = !idx in
+              incr idx;
+              match (got, want) with
+              | L.Interp.V_int a, L.Interp.V_int b
+                when List.mem name exact_int_queries ->
+                  checki (Printf.sprintf "%s[%d]: exact int" name i) b a
+              | got, want ->
+                  let g = L.Interp.as_float got and w = L.Interp.as_float want in
+                  checkb
+                    (Printf.sprintf "%s[%d]: %.3f within %.1f of %.3f" name i g
+                       tol w)
+                    true
+                    (Float.abs (g -. w) <= tol))
+            report.Arb_runtime.Exec.outputs reference)
+    Arb_queries.Registry.names
+
 let () =
   Alcotest.run "integration"
     [
@@ -306,6 +373,11 @@ let () =
           Alcotest.test_case "table 2 settings" `Quick test_registry_table2;
           Alcotest.test_case "database shapes" `Quick test_registry_database_shapes;
           Alcotest.test_case "skew" `Quick test_registry_skew_shifts_mode;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "runtime matches reference on every registry query"
+            `Slow test_differential_all_registry_queries;
         ] );
       ( "fuzz",
         [
