@@ -10,7 +10,12 @@ module Cm = P.Cost_model
 module U = Arb_util.Units
 module T = Arb_util.Table
 
-let paper_n = 1_000_000_000
+let smoke = ref false
+(* --smoke (wired to the [bench-smoke] dune alias) shrinks every experiment
+   to seconds so `dune runtest` executes the bench code end to end; the
+   full-size tables are unchanged without the flag. *)
+
+let paper_n () = if !smoke then 1_000_000 else 1_000_000_000
 
 let section title =
   Printf.printf "\n==================== %s ====================\n" title
@@ -24,7 +29,7 @@ let plan_of name =
   | Some p -> p
   | None ->
       let q = Q.paper_instance name in
-      let r = P.Search.plan ~query:q ~n:paper_n () in
+      let r = P.Search.plan ~query:q ~n:(paper_n ()) () in
       let v =
         match (r.P.Search.plan, r.P.Search.metrics) with
         | Some p, Some m -> (p, m, r.P.Search.stats)
@@ -37,7 +42,7 @@ let contributions_of (plan : P.Plan.t) =
   let q = Q.paper_instance plan.P.Plan.query in
   List.map
     (fun v ->
-      Cm.price Cm.default ~n_devices:paper_n ~m:plan.P.Plan.committee_size
+      Cm.price Cm.default ~n_devices:(paper_n ()) ~m:plan.P.Plan.committee_size
         ~cols:q.Q.categories v)
     plan.P.Plan.vignettes
 
@@ -47,7 +52,7 @@ let participant_split contributions =
   List.fold_left
     (fun (bt, bb, mt, mb) (c : Cm.contribution) ->
       let seats = float_of_int (c.Cm.c_instances * c.Cm.c_members) in
-      let nf = float_of_int paper_n in
+      let nf = float_of_int (paper_n ()) in
       ( bt +. c.Cm.c_all_time,
         bb +. c.Cm.c_all_bytes,
         mt +. (seats /. nf *. c.Cm.c_member_time),
@@ -59,7 +64,8 @@ let participant_split contributions =
 
 let table1 () =
   section "Table 1: approaches at 10^8 participants (zip-code query)";
-  let n = 100_000_000 and cols = 41_683 in
+  let n = if !smoke then 1_000_000 else 100_000_000
+  and cols = if !smoke then 4_096 else 41_683 in
   let fhe = Arb_baselines.Baselines.fhe_only ~n ~cols in
   let mpc = Arb_baselines.Baselines.all_to_all_mpc ~n in
   let boehler =
@@ -139,13 +145,13 @@ let fig6 () =
           | "cms" ->
               let q = Q.paper_instance "cms" in
               let p =
-                Arb_baselines.Baselines.orchard_plan ~crypto:P.Plan.Ahe ~n:paper_n
+                Arb_baselines.Baselines.orchard_plan ~crypto:P.Plan.Ahe ~n:(paper_n ())
                   ~cols:q.Q.categories ~noise_count:q.Q.categories ~cm:Cm.default
               in
               let cs =
                 List.map
                   (fun v ->
-                    Cm.price Cm.default ~n_devices:paper_n
+                    Cm.price Cm.default ~n_devices:(paper_n ())
                       ~m:p.P.Plan.committee_size ~cols:q.Q.categories v)
                   p.P.Plan.vignettes
               in
@@ -154,13 +160,13 @@ let fig6 () =
           | "bayes" | "kmedians" ->
               let q = Q.paper_instance name in
               let p =
-                Arb_baselines.Baselines.orchard_plan ~crypto:P.Plan.Ahe ~n:paper_n
+                Arb_baselines.Baselines.orchard_plan ~crypto:P.Plan.Ahe ~n:(paper_n ())
                   ~cols:q.Q.categories ~noise_count:q.Q.categories ~cm:Cm.default
               in
               let cs =
                 List.map
                   (fun v ->
-                    Cm.price Cm.default ~n_devices:paper_n
+                    Cm.price Cm.default ~n_devices:(paper_n ())
                       ~m:p.P.Plan.committee_size ~cols:q.Q.categories v)
                   p.P.Plan.vignettes
               in
@@ -193,7 +199,7 @@ let fig7 () =
         let plan, _, _ = plan_of name in
         let q = Q.paper_instance name in
         let by_kind =
-          Cm.member_cost_by_kind Cm.default ~n_devices:paper_n
+          Cm.member_cost_by_kind Cm.default ~n_devices:(paper_n ())
             ~m:plan.P.Plan.committee_size ~cols:q.Q.categories plan.P.Plan.vignettes
         in
         (* max per kind *)
@@ -207,7 +213,7 @@ let fig7 () =
           by_kind;
         let frac =
           float_of_int (plan.P.Plan.committee_count * plan.P.Plan.committee_size)
-          /. float_of_int paper_n *. 100.0
+          /. float_of_int (paper_n ()) *. 100.0
         in
         Hashtbl.fold
           (fun k (t, b) acc ->
@@ -273,14 +279,16 @@ let fig9 () =
         let q = Q.paper_instance name in
         let t0 = Unix.gettimeofday () in
         let r =
-          P.Search.plan ~heuristics:false ~max_prefixes:400_000 ~query:q ~n:paper_n ()
+          P.Search.plan ~heuristics:false
+            ~max_prefixes:(if !smoke then 20_000 else 400_000)
+            ~query:q ~n:(paper_n ()) ()
         in
         let dt = Unix.gettimeofday () -. t0 in
         [ name;
           Printf.sprintf "%.3f s" dt;
           string_of_int r.P.Search.stats.P.Search.prefixes;
           (if r.P.Search.stats.P.Search.aborted then "exhausted (cap hit)" else "finished") ])
-      [ "top1"; "hypotest"; "cms"; "median" ]
+      (if !smoke then [ "top1" ] else [ "top1"; "hypotest"; "cms"; "median" ])
   in
   T.print ~header:[ "Query"; "Time"; "Prefixes"; "Outcome" ] rows
 
@@ -317,7 +325,8 @@ let fig10 () =
                      Printf.sprintf "%.2f" m.Cm.part_exp_time;
                      Printf.sprintf "%.1f" (m.Cm.part_max_time /. 60.0) ])
              settings)
-      [ 17; 18; 19; 20; 21; 22; 23; 24; 25; 26; 27; 28; 29; 30 ]
+      (if !smoke then [ 17; 20 ]
+       else [ 17; 18; 19; 20; 21; 22; 23; 24; 25; 26; 27; 28; 29; 30 ])
   in
   T.print
     ~header:
@@ -344,7 +353,7 @@ let fig11 () =
         let plan, _, _ = plan_of name in
         let q = Q.paper_instance name in
         let by_kind =
-          Cm.member_cost_by_kind Cm.default ~n_devices:paper_n
+          Cm.member_cost_by_kind Cm.default ~n_devices:(paper_n ())
             ~m:plan.P.Plan.committee_size ~cols:q.Q.categories plan.P.Plan.vignettes
         in
         let worst =
@@ -364,14 +373,19 @@ let fig11 () =
 (* §7.5: heterogeneity — geo-distribution and slow devices.            *)
 
 let fig12 () =
-  section "§7.5: heterogeneity effects on the Gumbel-noise MPC (42 parties)";
+  let parties = if !smoke then 7 else 42 in
+  section
+    (Printf.sprintf
+       "§7.5: heterogeneity effects on the Gumbel-noise MPC (%d parties)"
+       parties);
   (* Run the real Gumbel MPC to count its communication rounds, then apply
      the network profiles. The 73.8 s LAN compute anchor is the paper's
      measured 42-party run. *)
   let rng = Arb_util.Rng.create 5L in
-  let eng = Arb_mpc.Engine.create ~parties:42 rng () in
+  let iters = if !smoke then 4 else 40 in
+  let eng = Arb_mpc.Engine.create ~parties rng () in
   let scale = Arb_util.Fixed.of_float 20.0 in
-  for _ = 1 to 40 do
+  for _ = 1 to iters do
     ignore (Arb_mpc.Fixpoint_mpc.gumbel eng ~scale)
   done;
   let rounds = (Arb_mpc.Engine.cost eng).Arb_mpc.Cost.rounds in
@@ -397,13 +411,17 @@ let fig12 () =
 (* End-to-end validation runs at simulation scale.                     *)
 
 let e2e () =
-  section "End-to-end simulated runs (96 devices, real cryptography)";
+  let devices = if !smoke then 48 else 96 in
+  section
+    (Printf.sprintf "End-to-end simulated runs (%d devices, real cryptography)"
+       devices);
   let rng = Arb_util.Rng.create 17L in
+  let names = if !smoke then [ "top1"; "median"; "cms" ] else Q.names in
   let rows =
     List.map
       (fun name ->
         let q = Q.test_instance ~epsilon:2.0 name in
-        let db = Q.random_database rng q ~n:96 () in
+        let db = Q.random_database rng q ~n:devices () in
         let config =
           {
             Arb_runtime.Exec.default_config with
@@ -419,7 +437,7 @@ let e2e () =
               string_of_bool rep.Arb_runtime.Exec.certificate_ok;
               string_of_bool rep.Arb_runtime.Exec.audit_ok ]
         | exception e -> [ name; "FAILED: " ^ Printexc.to_string e; "-"; "-" ])
-      Q.names
+      names
   in
   T.print ~header:[ "Query"; "Outputs"; "Cert ok"; "Audit ok" ] rows
 
@@ -471,7 +489,7 @@ let chaos () =
             | Error f ->
                 [ name; Printf.sprintf "%Ld" seed;
                   "fail-closed: " ^ f.Arb_runtime.Exec.stage; "-"; "-"; "-" ])
-          [ 1L; 2L ])
+          (if !smoke then [ 1L ] else [ 1L; 2L ]))
       specs
   in
   T.print
@@ -485,7 +503,7 @@ let ablations () =
   section "Ablation: sum-tree fanout (expected vs max participant cost)";
   (* §4.3: larger fanouts amortize committee startup (lower expected cost);
      smaller fanouts cap each node's work (lower max cost). *)
-  let n = paper_n and cols = 32768 in
+  let n = (paper_n ()) and cols = 32768 in
   let ring = Cm.ring_for Cm.default P.Plan.Ahe ~cols in
   ignore ring;
   let m = P.Search.committee_size_for 1024 in
@@ -526,7 +544,7 @@ let ablations () =
     List.map
       (fun c ->
         let q = Q.make ~name:"top1" ~c () in
-        let r = P.Search.plan ~query:q ~n:paper_n () in
+        let r = P.Search.plan ~query:q ~n:(paper_n ()) () in
         match (r.P.Search.plan, r.P.Search.metrics) with
         | Some p, Some mt ->
             [ string_of_int c;
@@ -553,8 +571,8 @@ let ablations () =
           { P.Plan.location = P.Plan.Committees committees;
             work = P.Plan.W_mpc_noise { kind = `Gumbel; count = chunk } }
         in
-        let c = Cm.price Cm.default ~n_devices:paper_n ~m ~cols v in
-        let metrics = Cm.combine ~n_devices:paper_n [ c ] in
+        let c = Cm.price Cm.default ~n_devices:(paper_n ()) ~m ~cols v in
+        let metrics = Cm.combine ~n_devices:(paper_n ()) [ c ] in
         Some
           [ string_of_int chunk; string_of_int committees; string_of_int m;
             U.seconds_to_string metrics.Cm.part_exp_time;
@@ -585,8 +603,10 @@ let ablations () =
    sweep stays fast. *)
 
 let accuracy () =
-  section "Extension: utility vs epsilon (reference semantics, N = 2000, C = 64)";
-  let n = 2000 and trials = 60 in
+  let n = if !smoke then 400 else 2000 and trials = if !smoke then 10 else 60 in
+  section
+    (Printf.sprintf
+       "Extension: utility vs epsilon (reference semantics, N = %d, C = 64)" n);
   let top1 = Q.make ~name:"top1" ~c:64 () in
   let median = Q.make ~name:"median" ~c:64 () in
   let db = Q.random_database (Arb_util.Rng.create 123L) top1 ~n ~skew:1.2 () in
@@ -675,14 +695,82 @@ let validation () =
           Printf.sprintf "%.1fx" m_ratio;
           Printf.sprintf "%.1fx" t_ratio;
           (if (m_ratio > 1.0) = (t_ratio > 1.0) then "agree" else "DISAGREE") ])
-      [ "top1"; "median"; "hypotest"; "cms"; "bayes" ]
+      (if !smoke then [ "top1"; "bayes" ]
+       else [ "top1"; "median"; "hypotest"; "cms"; "bayes" ])
   in
   Printf.printf
     "  (operations-committee bytes relative to bayes; the model orders plans,\n   so agreement in direction is the requirement, §4.6)\n";
   T.print ~header:[ "Query"; "Model (vs bayes)"; "Executed (vs bayes)"; "Direction" ] rows
 
+(* ------------------------------------------------------------------ *)
+(* Planner scaling: the seed's full-repricing sequential search vs the
+   incremental-pricing search vs the multicore fan-out. All three must
+   return the same winning plan (the incremental bound and the shared
+   incumbent are exact and admissible); the interesting output is the
+   wall-clock ratio and the per-variant explored/pruned counters. *)
+
+let planner_scaling () =
+  section "Planner scaling: naive vs incremental vs parallel";
+  let ns =
+    if !smoke then [ 1_000_000 ]
+    else [ 1_000_000; 100_000_000; 1_000_000_000 ]
+  in
+  let queries = if !smoke then [ "top1"; "median" ] else Q.names in
+  let workers = max 2 (Domain.recommended_domain_count ()) in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let winner (r : P.Search.result) =
+    match r.P.Search.plan with
+    | Some p -> P.Plan_io.plan_to_string p
+    | None -> "none"
+  in
+  let counters (r : P.Search.result) =
+    Printf.sprintf "%d/%d" r.P.Search.stats.P.Search.prefixes
+      r.P.Search.stats.P.Search.pruned
+  in
+  let rows =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun name ->
+            let q = Q.paper_instance name in
+            let naive, t_naive =
+              time (fun () -> P.Search.plan ~incremental:false ~query:q ~n ())
+            in
+            let inc, t_inc = time (fun () -> P.Search.plan ~query:q ~n ()) in
+            let par, t_par =
+              time (fun () -> P.Search.plan ~domains:workers ~query:q ~n ())
+            in
+            if winner naive <> winner inc || winner inc <> winner par then
+              failwith
+                (Printf.sprintf
+                   "planner_scaling: search variants disagree on the winner \
+                    for %s at N=%d"
+                   name n);
+            [ name;
+              Printf.sprintf "%.0e" (float_of_int n);
+              Printf.sprintf "%.4f s" t_naive;
+              Printf.sprintf "%.4f s" t_inc;
+              Printf.sprintf "%.4f s" t_par;
+              Printf.sprintf "%.1fx" (t_naive /. Float.max 1e-9 t_inc);
+              Printf.sprintf "%.1fx" (t_naive /. Float.max 1e-9 t_par);
+              counters naive; counters inc; counters par ])
+          queries)
+      ns
+  in
+  Printf.printf "  (parallel = %d domains; prefixes/pruned per variant)\n" workers;
+  T.print
+    ~header:
+      [ "Query"; "N"; "naive"; "incremental"; "parallel"; "inc speedup";
+        "par speedup"; "naive p/p"; "inc p/p"; "par p/p" ]
+    rows
+
 let all =
   [ ("table1", table1); ("table2", table2); ("fig6", fig6); ("fig7", fig7);
     ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("fig11", fig11);
     ("fig12", fig12); ("ablations", ablations); ("accuracy", accuracy);
-    ("validation", validation); ("e2e", e2e); ("chaos", chaos) ]
+    ("validation", validation); ("e2e", e2e); ("chaos", chaos);
+    ("planner_scaling", planner_scaling) ]

@@ -3,6 +3,8 @@
      dune exec bench/main.exe                 -- everything
      dune exec bench/main.exe -- --only fig9  -- one experiment
      dune exec bench/main.exe -- --skip-micro -- skip the Bechamel pass
+     dune exec bench/main.exe -- --smoke      -- tiny sizes (the bench-smoke
+                                                alias, run under dune runtest)
 
    One Bechamel Test.make is registered per table/figure: it times the
    experiment's core computation at a reduced size, so the micro pass stays
@@ -111,6 +113,9 @@ let () =
         parse rest
     | "--skip-micro" :: rest ->
         skip_micro := true;
+        parse rest
+    | "--smoke" :: rest ->
+        Experiments.smoke := true;
         parse rest
     | _ :: rest -> parse rest
   in

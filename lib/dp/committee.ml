@@ -33,7 +33,7 @@ let is_safe ~m ~f ~g ~committees ~p1 =
   if p1 <= 0.0 || p1 >= 1.0 then invalid_arg "Committee.is_safe: p1 out of (0,1)";
   log_failure_prob ~m ~f ~g ~committees <= Float.log p1
 
-let min_size ~f ~g ~committees ~p1 =
+let min_size_from ~start ~f ~g ~committees ~p1 =
   check_params ~f ~g;
   if p1 <= 0.0 || p1 >= 1.0 then invalid_arg "Committee.min_size: p1 out of (0,1)";
   (* Safety is only roughly monotone in m (the floor in the majority
@@ -47,7 +47,9 @@ let min_size ~f ~g ~committees ~p1 =
     else if safe m then m
     else scan (m + 1)
   in
-  scan 1
+  scan (max 1 start)
+
+let min_size ~f ~g ~committees ~p1 = min_size_from ~start:1 ~f ~g ~committees ~p1
 
 let p1_of_round ~p ~rounds =
   if p <= 0.0 || p >= 1.0 || rounds <= 0 then invalid_arg "Committee.p1_of_round";

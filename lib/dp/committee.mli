@@ -20,6 +20,14 @@ val min_size : f:float -> g:float -> committees:int -> p1:float -> int
     can ever be safe asymptotically... conservatively rejected) or on other
     nonsensical parameters. *)
 
+val min_size_from :
+  start:int -> f:float -> g:float -> committees:int -> p1:float -> int
+(** [min_size], scanning upward from [start] instead of 1. Sound (returns
+    the global minimum) only when every m < [start] is known unsafe — e.g.
+    [start = min_size ... ~committees:1] when sizing more committees, since
+    safety at fixed m is antitone in the committee count. The planner's
+    size cache uses this to skip the common unsafe prefix of the scan. *)
+
 val p1_of_round : p:float -> rounds:int -> float
 (** Per-round failure bound p1 such that surviving [rounds] rounds keeps the
     overall failure probability at most [p]: p = 1 - (1 - p1)^rounds. *)

@@ -51,6 +51,11 @@ let satisfies l (m : Cost_model.metrics) =
   && le_opt m.Cost_model.part_exp_bytes l.max_part_exp_bytes
   && le_opt m.Cost_model.part_max_bytes l.max_part_max_bytes
 
+(* Every limit is an upper cap, so a *lower bound* on a candidate's metrics
+   that already violates one can never be repaired by completing the plan:
+   pruning on this predicate is admissible. *)
+let lower_bound_infeasible l m = not (satisfies l m)
+
 let goal_value g (m : Cost_model.metrics) =
   match g with
   | Min_agg_time -> m.Cost_model.agg_time

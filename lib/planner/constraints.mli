@@ -26,5 +26,12 @@ val evaluation_limits : limits
 val with_agg_core_hours : limits -> float -> limits
 
 val satisfies : limits -> Cost_model.metrics -> bool
+
+val lower_bound_infeasible : limits -> Cost_model.metrics -> bool
+(** [lower_bound_infeasible l bound] is true when [bound] — a componentwise
+    lower bound on some candidate's final metrics — already violates a
+    limit. Because every limit is an upper cap, no completion of that
+    candidate can satisfy [l]: pruning on this predicate is admissible. *)
+
 val goal_value : goal -> Cost_model.metrics -> float
 val goal_name : goal -> string

@@ -402,39 +402,74 @@ let price t ~n_devices ~m ~cols (v : Plan.vignette) : contribution =
   in
   with_forwarding c
 
-let combine ~n_devices cs =
-  let nf = float_of_int n_devices in
-  (* A device serves on at most one committee (§5.1), so worst-case costs
-     take the maximum over committee vignettes, while expected costs weight
-     each vignette by the probability of serving in it. *)
-  let max_member_time = ref 0.0 and max_member_bytes = ref 0.0 in
-  let acc =
-    List.fold_left
-      (fun acc c ->
-        let seats = float_of_int (c.c_instances * c.c_members) in
-        if c.c_member_time > !max_member_time then
-          max_member_time := c.c_member_time;
-        if c.c_member_bytes > !max_member_bytes then
-          max_member_bytes := c.c_member_bytes;
-        {
-          agg_time = acc.agg_time +. c.c_agg_time;
-          agg_bytes = acc.agg_bytes +. c.c_agg_bytes;
-          part_exp_time =
-            acc.part_exp_time +. c.c_all_time
-            +. (seats /. nf *. c.c_member_time);
-          part_max_time = acc.part_max_time +. c.c_all_time;
-          part_exp_bytes =
-            acc.part_exp_bytes +. c.c_all_bytes
-            +. (seats /. nf *. c.c_member_bytes);
-          part_max_bytes = acc.part_max_bytes +. c.c_all_bytes;
-        })
-      zero_metrics cs
-  in
+(* A device serves on at most one committee (§5.1), so worst-case costs
+   take the maximum over committee vignettes, while expected costs weight
+   each vignette by the probability of serving in it. The running state is
+   a monoid: sums for the additive components, maxima for the per-member
+   worst case, with seat-weighted member costs kept unnormalized so the
+   value is independent of [n_devices] until {!finalize}. *)
+type partial = {
+  p_agg_time : float;
+  p_agg_bytes : float;
+  p_all_time : float;
+  p_all_bytes : float;
+  p_seat_time : float;  (* sum of instances * members * member_time *)
+  p_seat_bytes : float;
+  p_max_member_time : float;
+  p_max_member_bytes : float;
+}
+
+let empty_partial =
   {
-    acc with
-    part_max_time = acc.part_max_time +. !max_member_time;
-    part_max_bytes = acc.part_max_bytes +. !max_member_bytes;
+    p_agg_time = 0.0;
+    p_agg_bytes = 0.0;
+    p_all_time = 0.0;
+    p_all_bytes = 0.0;
+    p_seat_time = 0.0;
+    p_seat_bytes = 0.0;
+    p_max_member_time = 0.0;
+    p_max_member_bytes = 0.0;
   }
+
+let add_contribution p c =
+  let seats = float_of_int (c.c_instances * c.c_members) in
+  {
+    p_agg_time = p.p_agg_time +. c.c_agg_time;
+    p_agg_bytes = p.p_agg_bytes +. c.c_agg_bytes;
+    p_all_time = p.p_all_time +. c.c_all_time;
+    p_all_bytes = p.p_all_bytes +. c.c_all_bytes;
+    p_seat_time = p.p_seat_time +. (seats *. c.c_member_time);
+    p_seat_bytes = p.p_seat_bytes +. (seats *. c.c_member_bytes);
+    p_max_member_time = Float.max p.p_max_member_time c.c_member_time;
+    p_max_member_bytes = Float.max p.p_max_member_bytes c.c_member_bytes;
+  }
+
+let combine_partial a b =
+  {
+    p_agg_time = a.p_agg_time +. b.p_agg_time;
+    p_agg_bytes = a.p_agg_bytes +. b.p_agg_bytes;
+    p_all_time = a.p_all_time +. b.p_all_time;
+    p_all_bytes = a.p_all_bytes +. b.p_all_bytes;
+    p_seat_time = a.p_seat_time +. b.p_seat_time;
+    p_seat_bytes = a.p_seat_bytes +. b.p_seat_bytes;
+    p_max_member_time = Float.max a.p_max_member_time b.p_max_member_time;
+    p_max_member_bytes = Float.max a.p_max_member_bytes b.p_max_member_bytes;
+  }
+
+let partial_of_contributions cs = List.fold_left add_contribution empty_partial cs
+
+let finalize ~n_devices p =
+  let nf = float_of_int n_devices in
+  {
+    agg_time = p.p_agg_time;
+    agg_bytes = p.p_agg_bytes;
+    part_exp_time = p.p_all_time +. (p.p_seat_time /. nf);
+    part_max_time = p.p_all_time +. p.p_max_member_time;
+    part_exp_bytes = p.p_all_bytes +. (p.p_seat_bytes /. nf);
+    part_max_bytes = p.p_all_bytes +. p.p_max_member_bytes;
+  }
+
+let combine ~n_devices cs = finalize ~n_devices (partial_of_contributions cs)
 
 let member_cost_by_kind t ~n_devices ~m ~cols vignettes =
   List.filter_map

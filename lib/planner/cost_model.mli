@@ -74,7 +74,29 @@ val price :
 (** Price one vignette for a deployment of [n_devices], committee size [m]
     and a query over [cols] categories. *)
 
+type partial
+(** Running aggregate of {!contribution}s — a commutative monoid (sums for
+    the additive components, maxima for the per-member worst case). Seat
+    weighting is kept unnormalized so a partial is independent of the
+    deployment size until {!finalize}. The search prices each DFS node
+    incrementally: it folds only the node's delta vignettes into the
+    parent's partial instead of re-pricing the whole prefix. Every metric
+    component is monotone under {!add_contribution} and in the committee
+    size [m] used to price, so a partial priced at a lower-bound [m] over a
+    plan prefix finalizes to a componentwise lower bound for every
+    completion of that prefix. *)
+
+val empty_partial : partial
+val add_contribution : partial -> contribution -> partial
+val combine_partial : partial -> partial -> partial
+val partial_of_contributions : contribution list -> partial
+
+val finalize : n_devices:int -> partial -> metrics
+(** Normalize the seat-weighted expected costs by the deployment size and
+    add the member maxima to the worst-case components. *)
+
 val combine : n_devices:int -> contribution list -> metrics
+(** [combine ~n_devices cs = finalize ~n_devices (partial_of_contributions cs)]. *)
 
 val member_cost_by_kind :
   t ->

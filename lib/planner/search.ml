@@ -21,16 +21,27 @@ let default_f = 0.03
 let default_g = 0.15
 let default_p1 () = Arb_dp.Committee.p1_of_round ~p:1e-8 ~rounds:1000
 
+(* Memoized committee sizing, shared by every searcher. The table is
+   consulted from worker domains, so all access goes through a mutex (the
+   solve itself runs outside the lock; racing duplicates are idempotent). *)
 let size_cache : (float * float * float * int, int) Hashtbl.t = Hashtbl.create 64
+let size_cache_lock = Mutex.create ()
 
-let committee_size_for ?(f = default_f) ?(g = default_g) ?p1 c =
+let rec committee_size_for ?(f = default_f) ?(g = default_g) ?p1 c =
   let p1 = match p1 with Some p -> p | None -> default_p1 () in
   let key = (f, g, p1, c) in
-  match Hashtbl.find_opt size_cache key with
+  match
+    Mutex.protect size_cache_lock (fun () -> Hashtbl.find_opt size_cache key)
+  with
   | Some m -> m
   | None ->
-      let m = Arb_dp.Committee.min_size ~f ~g ~committees:(max 1 c) ~p1 in
-      Hashtbl.replace size_cache key m;
+      (* Safety at fixed m is antitone in the committee count, so the c = 1
+         solution is a sound scan start for every larger c. *)
+      let start = if c <= 1 then 1 else committee_size_for ~f ~g ~p1 1 in
+      let m =
+        Arb_dp.Committee.min_size_from ~start ~f ~g ~committees:(max 1 c) ~p1
+      in
+      Mutex.protect size_cache_lock (fun () -> Hashtbl.replace size_cache key m);
       m
 
 let is_mpc_vignette (v : Plan.vignette) =
@@ -52,19 +63,26 @@ let mpc_committee_count vs =
       | _ -> acc)
     0 vs
 
+(* One searcher per (crypto, sampled-bins) task; only [shared_best] is
+   shared across tasks (and domains). *)
 type searcher = {
   cm : Cost_model.t;
-  mutable cur_bins : int option;
+  crypto : Plan.crypto;
+  bins : int option;
   limits : Constraints.limits;
   goal : Constraints.goal;
   heuristics : bool;
+  incremental : bool;
   max_prefixes : int;
   f : float;
   g : float;
   p1 : float;
   n : int;
   cols : int;
-  m_est : int;
+  m_lb : int;
+      (* committee size at c = 1: a lower bound on the size any completed
+         plan will be priced with, making prefix bounds admissible *)
+  shared_best : float Atomic.t;  (* cross-task/-domain incumbent *)
   mutable best_value : float;
   mutable best : (Plan.t * Cost_model.metrics) option;
   mutable top : (float * Plan.t * Cost_model.metrics) list; (* ranked, capped *)
@@ -79,69 +97,116 @@ exception Abort
 let price_all s ~m vs =
   List.map (fun v -> Cost_model.price s.cm ~n_devices:s.n ~m ~cols:s.cols v) vs
 
-let score_full s ~em_variant ~crypto vs query_name =
+(* Monotone-min publication of the incumbent for cross-domain pruning. *)
+let rec publish_best shared v =
+  let cur = Atomic.get shared in
+  if v < cur && not (Atomic.compare_and_set shared cur v) then
+    publish_best shared v
+
+let top_cap = 5
+
+(* Bounded ranked insert; equal goal values keep their insertion order, so
+   the list depends only on the deterministic exploration order. *)
+let rec insert_top cap ((v, _, _) as entry) tops =
+  if cap = 0 then []
+  else
+    match tops with
+    | [] -> [ entry ]
+    | ((v', _, _) as e) :: rest ->
+        if v < v' then entry :: insert_top (cap - 1) e rest
+        else e :: insert_top (cap - 1) entry rest
+
+let score_full s ~em_variant acc query_name =
   s.full_plans <- s.full_plans + 1;
-  let c = mpc_committee_count vs in
+  let c = mpc_committee_count acc in
   let m = committee_size_for ~f:s.f ~g:s.g ~p1:s.p1 (max 1 c) in
-  let metrics =
-    Cost_model.combine ~n_devices:s.n (price_all s ~m vs)
-  in
+  (* The one full re-pricing pass: the true committee size m is only known
+     now that the plan's total committee count is. *)
+  let metrics = Cost_model.combine ~n_devices:s.n (price_all s ~m acc) in
   if Constraints.satisfies s.limits metrics then begin
     let v = Constraints.goal_value s.goal metrics in
     let plan =
       {
         Plan.query = query_name;
-        crypto;
-        vignettes = vs;
-        sample_bins = s.cur_bins;
+        crypto = s.crypto;
+        vignettes = acc;
+        sample_bins = s.bins;
         committee_count = c;
         committee_size = m;
         em_variant;
       }
     in
     (* Keep a small ranked sample of the feasible design space: the best
-       plan plus up to four runners-up with distinct goal values, so
-       explain-style tooling can show what the planner weighed. *)
-    let rec insert = function
-      | [] -> [ (v, plan, metrics) ]
-      | (v', _, _) :: _ as rest when v < v' -> (v, plan, metrics) :: rest
-      | entry :: rest -> entry :: insert rest
-    in
-    if not (List.exists (fun (v', _, _) -> v' = v) s.top) then begin
-      let inserted = insert s.top in
-      s.top <-
-        (if List.length inserted > 5 then List.filteri (fun i _ -> i < 5) inserted
-         else inserted)
-    end;
+       plan plus runners-up, deduplicated on plan identity so a distinct
+       plan that ties an existing goal value is still reported. *)
+    if not (List.exists (fun (_, p', _) -> p' = plan) s.top) then
+      s.top <- insert_top top_cap (v, plan, metrics) s.top;
     if v < s.best_value then begin
       s.best_value <- v;
-      s.best <- Some (plan, metrics)
+      s.best <- Some (plan, metrics);
+      publish_best s.shared_best v
     end
   end
 
 let search_one s ~(ctx : Expand.ctx) ~prefix_vs ~ops ~query_name =
-  let crypto = ctx.Expand.crypto in
-  (* DFS over operators. [acc] holds vignettes in order. *)
-  let rec go domain acc em_variant = function
-    | [] -> score_full s ~em_variant ~crypto acc query_name
+  let price_lb v =
+    Cost_model.price s.cm ~n_devices:s.n ~m:s.m_lb ~cols:s.cols v
+  in
+  let partial_lb vs =
+    Cost_model.partial_of_contributions (List.map price_lb vs)
+  in
+  (* The choices at a DFS node — and their delta partials at m_lb — depend
+     only on (abstract domain, operator position), not on the prefix that
+     led there, so the DFS revisits the same few expansions thousands of
+     times. Memoize them per task; this, not the per-node delta fold, is
+     where incremental pricing earns its keep. *)
+  let choice_memo : (Expand.domain * int, (Expand.choice * Cost_model.partial) list) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let priced_choices domain depth op =
+    match Hashtbl.find_opt choice_memo (domain, depth) with
+    | Some cs -> cs
+    | None ->
+        let cs =
+          List.map
+            (fun (c : Expand.choice) -> (c, partial_lb c.Expand.vignettes))
+            (Expand.choices ctx domain op)
+        in
+        Hashtbl.replace choice_memo (domain, depth) cs;
+        cs
+  in
+  (* DFS over operators. [acc] holds vignettes in order; [acc_partial] is
+     its running lower-bound partial, priced at m_lb. *)
+  let rec go domain depth acc acc_partial em_variant = function
+    | [] -> score_full s ~em_variant acc query_name
     | op :: rest ->
-        let choices = Expand.choices ctx domain op in
+        (* [vs] caches the extended prefix when the pricing mode had to
+           build it anyway, so neither mode pays the append twice. *)
+        let priced =
+          if s.incremental then
+            List.map
+              (fun ((c : Expand.choice), delta) ->
+                (* Fold only the delta vignettes into the running prefix
+                   partial; the delta itself comes priced from the memo. *)
+                let partial = Cost_model.combine_partial acc_partial delta in
+                (c, None, partial, Cost_model.finalize ~n_devices:s.n partial))
+              (priced_choices domain depth op)
+          else
+            (* The pre-optimization behavior: re-expand and re-price the
+               whole prefix at every node. *)
+            List.map
+              (fun (c : Expand.choice) ->
+                let vs = acc @ c.Expand.vignettes in
+                let partial = partial_lb vs in
+                (c, Some vs, partial, Cost_model.finalize ~n_devices:s.n partial))
+              (Expand.choices ctx domain op)
+        in
         (* Explore cheap choices first so branch-and-bound gets a good
            incumbent early. *)
         let priced =
-          List.map
-            (fun (c : Expand.choice) ->
-              let vs = acc @ c.Expand.vignettes in
-              let metrics =
-                Cost_model.combine ~n_devices:s.n (price_all s ~m:s.m_est vs)
-              in
-              (c, vs, metrics))
-            choices
-        in
-        let priced =
           if s.heuristics then
             List.sort
-              (fun (_, _, m1) (_, _, m2) ->
+              (fun (_, _, _, m1) (_, _, _, m2) ->
                 Float.compare
                   (Constraints.goal_value s.goal m1)
                   (Constraints.goal_value s.goal m2))
@@ -149,85 +214,180 @@ let search_one s ~(ctx : Expand.ctx) ~prefix_vs ~ops ~query_name =
           else priced
         in
         List.iter
-          (fun ((c : Expand.choice), vs, metrics) ->
+          (fun ((c : Expand.choice), vs_cached, partial, bound) ->
             s.prefixes <- s.prefixes + 1;
             if s.prefixes > s.max_prefixes then begin
               s.aborted <- true;
               raise Abort
             end;
-            let fhe_ok = (not c.Expand.needs_fhe) || crypto = Plan.Fhe in
+            let fhe_ok = (not c.Expand.needs_fhe) || s.crypto = Plan.Fhe in
             if not fhe_ok then s.pruned <- s.pruned + 1
             else if
+              (* [bound] is a true lower bound for every completion (m_lb
+                 pricing), so both prunes are admissible. The incumbent
+                 comparison is strict: a branch whose bound ties the
+                 incumbent may still hold a plan tying the optimum, and
+                 exploring it keeps the winner independent of domain
+                 scheduling. *)
               s.heuristics
-              && (not (Constraints.satisfies s.limits metrics)
-                 || Constraints.goal_value s.goal metrics >= s.best_value)
+              && (Constraints.lower_bound_infeasible s.limits bound
+                 || Constraints.goal_value s.goal bound
+                    > Float.min s.best_value (Atomic.get s.shared_best))
             then s.pruned <- s.pruned + 1
             else
               let em_variant' =
                 match c.Expand.em_variant with `None -> em_variant | v -> v
               in
-              go c.Expand.domain_after vs em_variant' rest)
+              let vs =
+                match vs_cached with
+                | Some vs -> vs
+                | None -> acc @ c.Expand.vignettes
+              in
+              go c.Expand.domain_after (depth + 1) vs partial em_variant' rest)
           priced
   in
-  (try go Expand.D_enc prefix_vs `None ops with Abort -> ())
+  (try go Expand.D_enc 0 prefix_vs (partial_lb prefix_vs) `None ops
+   with Abort -> ())
+
+type task_result = {
+  t_best : (Plan.t * Cost_model.metrics) option;
+  t_best_value : float;
+  t_top : (float * Plan.t * Cost_model.metrics) list;
+  t_prefixes : int;
+  t_full_plans : int;
+  t_pruned : int;
+  t_aborted : bool;
+}
+
+(* Run [work.(i)] for every i across [workers] domains (the calling domain
+   included), dealing indices through a shared counter. *)
+let parallel_map ~workers work =
+  let n_tasks = Array.length work in
+  let out = Array.make n_tasks None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n_tasks then begin
+        out.(i) <- Some (work.(i) ());
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join spawned;
+  Array.map (function Some r -> r | None -> assert false) out
 
 let plan ?(cm = Cost_model.default) ?(limits = Constraints.evaluation_limits)
     ?(goal = Constraints.Min_part_exp_time) ?(heuristics = true)
-    ?(max_prefixes = 5_000_000) ?(f = default_f) ?(g = default_g) ?p1
+    ?(max_prefixes = 5_000_000) ?(domains = 1) ?(incremental = true)
+    ?(f = default_f) ?(g = default_g) ?p1
     ~(query : Arb_queries.Registry.query) ~n () =
   let p1 = match p1 with Some p -> p | None -> default_p1 () in
   let t0 = Unix.gettimeofday () in
   let ops = Extract.ops query.Arb_queries.Registry.program ~n in
   let cols = query.Arb_queries.Registry.categories in
-  let s =
+  let m_lb = committee_size_for ~f ~g ~p1 1 in
+  let shared_best = Atomic.make infinity in
+  (* Canonical task order: crypto profile major, sampled-bins minor. The
+     merge below folds results in this order, so ties resolve identically
+     however the tasks were scheduled. *)
+  let tasks =
+    List.concat_map
+      (fun crypto ->
+        List.map (fun bins -> (crypto, bins)) (Expand.sampled_bins_options ops))
+      [ Plan.Ahe; Plan.Fhe ]
+  in
+  let run_task (crypto, bins) () =
+    let s =
+      {
+        cm;
+        crypto;
+        bins;
+        limits;
+        goal;
+        heuristics;
+        incremental;
+        max_prefixes;
+        f;
+        g;
+        p1;
+        n;
+        cols;
+        m_lb;
+        shared_best;
+        best_value = infinity;
+        best = None;
+        top = [];
+        prefixes = 0;
+        full_plans = 0;
+        pruned = 0;
+        aborted = false;
+      }
+    in
+    let ctx =
+      {
+        Expand.n_devices = n;
+        cols;
+        crypto;
+        bins;
+        cm;
+        redundant_boundaries = not heuristics;
+      }
+    in
+    let prefix_vs = Expand.prefix ctx ~sampled_bins:bins in
+    search_one s ~ctx ~prefix_vs ~ops
+      ~query_name:query.Arb_queries.Registry.name;
     {
-      cm;
-      limits;
-      goal;
-      heuristics;
-      max_prefixes;
-      f;
-      g;
-      p1;
-      n;
-      cols;
-      cur_bins = None;
-      m_est = committee_size_for ~f ~g ~p1 1024;
-      best_value = infinity;
-      best = None;
-      top = [];
-      prefixes = 0;
-      full_plans = 0;
-      pruned = 0;
-      aborted = false;
+      t_best = s.best;
+      t_best_value = s.best_value;
+      t_top = s.top;
+      t_prefixes = s.prefixes;
+      t_full_plans = s.full_plans;
+      t_pruned = s.pruned;
+      t_aborted = s.aborted;
     }
   in
-  List.iter
-    (fun crypto ->
-      List.iter
-        (fun bins ->
-          let ctx =
-            {
-              Expand.n_devices = n;
-              cols;
-              crypto;
-              bins;
-              cm;
-              redundant_boundaries = not heuristics;
-            }
-          in
-          let prefix_vs = Expand.prefix ctx ~sampled_bins:bins in
-          s.cur_bins <- bins;
-          search_one s ~ctx ~prefix_vs ~ops
-            ~query_name:query.Arb_queries.Registry.name)
-        (Expand.sampled_bins_options ops))
-    [ Plan.Ahe; Plan.Fhe ];
+  let results =
+    let work = Array.of_list (List.map run_task tasks) in
+    let workers = max 1 (min domains (Array.length work)) in
+    if workers <= 1 then Array.map (fun f -> f ()) work
+    else parallel_map ~workers work
+  in
+  (* Deterministic merge: fold per-task results in canonical order with a
+     strict comparison, so an earlier task keeps ties — byte-identical to
+     threading one searcher through the tasks sequentially. *)
+  let _best_value, best, top, prefixes, full_plans, pruned, aborted =
+    Array.fold_left
+      (fun (bv, best, top, pf, fl, pr, ab) r ->
+        let bv, best =
+          if r.t_best_value < bv then (r.t_best_value, r.t_best) else (bv, best)
+        in
+        let top =
+          List.fold_left
+            (fun top ((_, p, _) as entry) ->
+              if List.exists (fun (_, p', _) -> p' = p) top then top
+              else insert_top top_cap entry top)
+            top r.t_top
+        in
+        ( bv,
+          best,
+          top,
+          pf + r.t_prefixes,
+          fl + r.t_full_plans,
+          pr + r.t_pruned,
+          ab || r.t_aborted ))
+      (infinity, None, [], 0, 0, 0, false)
+      results
+  in
   let elapsed = Unix.gettimeofday () -. t0 in
   Log.info (fun m ->
       m "planned %s (N=%d): %d prefixes, %d candidates, %d pruned in %.3fs%s"
-        query.Arb_queries.Registry.name n s.prefixes s.full_plans s.pruned elapsed
-        (if s.aborted then " [aborted at cap]" else ""));
-  (match s.best with
+        query.Arb_queries.Registry.name n prefixes full_plans pruned elapsed
+        (if aborted then " [aborted at cap]" else ""));
+  (match best with
   | Some (p, _) ->
       Log.debug (fun m ->
           m "winner: %s, %d committees of %d, em=%s"
@@ -239,15 +399,8 @@ let plan ?(cm = Cost_model.default) ?(limits = Constraints.evaluation_limits)
             | `None -> "-"))
   | None -> Log.debug (fun m -> m "no feasible plan"));
   {
-    plan = Option.map fst s.best;
-    metrics = Option.map snd s.best;
-    alternatives = List.map (fun (_, p, m) -> (p, m)) s.top;
-    stats =
-      {
-        prefixes = s.prefixes;
-        full_plans = s.full_plans;
-        pruned = s.pruned;
-        elapsed;
-        aborted = s.aborted;
-      };
+    plan = Option.map fst best;
+    metrics = Option.map snd best;
+    alternatives = List.map (fun (_, p, m) -> (p, m)) top;
+    stats = { prefixes; full_plans; pruned; elapsed; aborted };
   }

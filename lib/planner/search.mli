@@ -3,19 +3,34 @@
     committee size for each complete candidate, and keep the best plan that
     satisfies the analyst's limits.
 
-    Pruning follows §4.4/§7.3: partial candidates are discarded as soon as
-    their accumulated cost exceeds a limit or the best known full plan
-    (scored with an optimistic committee-size estimate, since the true m is
-    only known once the total committee count is). Disabling [heuristics]
-    removes both pruning rules and enumerates redundant re-segmentations,
-    reproducing the §7.3 ablation blowup. *)
+    Pricing is incremental: each DFS node folds only its delta vignettes
+    into the running {!Cost_model.partial} for the prefix, so root→leaf
+    work is linear in depth rather than quadratic; complete candidates get
+    one full re-pricing pass at the true committee size m (only known once
+    the plan's total committee count is).
+
+    Pruning follows §4.4/§7.3 and is admissible: prefix bounds are priced
+    with the c = 1 committee size — a lower bound on the size any completed
+    plan is priced with, since the minimal safe m is monotone in the
+    committee count — so a prefix is discarded only when no completion can
+    beat the incumbent or satisfy a limit. Disabling [heuristics] removes
+    both pruning rules and enumerates redundant re-segmentations,
+    reproducing the §7.3 ablation blowup; because the bound is admissible,
+    both settings find the same optimum.
+
+    The outer (crypto × sampled-bins) tasks are independent and can be
+    fanned out across OCaml domains with [~domains]. Tasks share only a
+    monotone atomic incumbent (cross-domain pruning); results are merged in
+    canonical task order with strict comparisons, so the winning plan and
+    its metrics are byte-identical to the sequential search regardless of
+    domain scheduling (DESIGN.md §7). *)
 
 type stats = {
-  prefixes : int;  (** plan prefixes considered (§7.3) *)
+  prefixes : int;  (** plan prefixes considered (§7.3), summed over tasks *)
   full_plans : int;  (** complete candidates scored *)
   pruned : int;
   elapsed : float;  (** seconds spent planning *)
-  aborted : bool;  (** hit the exploration cap before finishing *)
+  aborted : bool;  (** some task hit the exploration cap before finishing *)
 }
 
 type result = {
@@ -23,7 +38,12 @@ type result = {
   metrics : Cost_model.metrics option;
   alternatives : (Plan.t * Cost_model.metrics) list;
       (** a ranked sample of the feasible design space: the winner plus up
-          to four runners-up with distinct goal values *)
+          to four runners-up, deduplicated on plan identity. Under pruning
+          the runners-up are best-effort — which non-winning candidates get
+          fully scored depends on when the shared incumbent arrives, so
+          with [domains > 1] they may vary between runs; they are exact and
+          deterministic with [heuristics:false] (no pruning) or
+          [domains:1]. The winner itself is always deterministic. *)
   stats : stats;
 }
 
@@ -33,6 +53,8 @@ val plan :
   ?goal:Constraints.goal ->
   ?heuristics:bool ->
   ?max_prefixes:int ->
+  ?domains:int ->
+  ?incremental:bool ->
   ?f:float ->
   ?g:float ->
   ?p1:float ->
@@ -42,7 +64,14 @@ val plan :
   result
 (** Defaults: the §7 setting — [limits] = {!Constraints.evaluation_limits},
     [goal] = minimize expected participant time, f = 3%, g = 0.15,
-    p1 from 1e-8 over 1000 queries, heuristics on, 5M-prefix cap. *)
+    p1 from 1e-8 over 1000 queries, heuristics on, 5M-prefix cap (per
+    task). [domains] (default 1) is the number of OCaml domains searching
+    (crypto × sampled-bins) tasks concurrently; the winning plan and
+    metrics are identical for every value. [incremental] (default true)
+    selects delta pricing; [false] re-prices the whole prefix at every
+    node — the pre-optimization behavior, kept for the planner_scaling
+    benchmark. *)
 
 val committee_size_for : ?f:float -> ?g:float -> ?p1:float -> int -> int
-(** Memoized {!Arb_dp.Committee.min_size} keyed by committee count. *)
+(** Memoized {!Arb_dp.Committee.min_size} keyed by committee count.
+    Domain-safe: the cache is mutex-protected. *)

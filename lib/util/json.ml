@@ -26,7 +26,12 @@ let escape s =
   Buffer.contents buf
 
 let float_to_string f =
-  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  (* %.17g would render inf/nan as "inf"/"nan", which no JSON parser (ours
+     included) accepts back; fail at serialization time instead of emitting
+     an unreadable document. *)
+  if not (Float.is_finite f) then
+    invalid_arg "Json.float_to_string: non-finite floats have no JSON encoding"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
   else Printf.sprintf "%.17g" f
 
 let to_string ?(pretty = false) v =

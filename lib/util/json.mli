@@ -16,7 +16,8 @@ exception Parse_error of string
 val to_string : ?pretty:bool -> t -> string
 (** Render; [pretty] indents with two spaces. Strings are escaped per
     RFC 8259 (control characters, quotes, backslashes; non-ASCII bytes are
-    passed through as UTF-8). *)
+    passed through as UTF-8). Raises [Invalid_argument] on a non-finite
+    [Float]: inf/nan have no JSON encoding and would not re-parse. *)
 
 val of_string : string -> t
 (** Parse. Numbers with a '.', 'e' or 'E' become [Float], others [Int].

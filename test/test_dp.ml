@@ -299,6 +299,27 @@ let prop_failure_prob_decreases_with_even_m =
       Cm.log_failure_prob ~m:(m + 20) ~f:0.03 ~g:0.15 ~committees:5
       <= Cm.log_failure_prob ~m ~f:0.03 ~g:0.15 ~committees:5 +. 1e-9)
 
+let prop_min_size_sound =
+  (* Guards the planner's committee-size cache: min_size must return a safe
+     and tight m, be monotone in the committee count, and min_size_from
+     seeded with the single-committee size (exactly what the cache does)
+     must find the same answer as a scan from 1. *)
+  QCheck.Test.make ~name:"min_size safe, tight, monotone; min_size_from agrees"
+    ~count:60
+    QCheck.(
+      quad (float_range 0.005 0.2) (float_range 0.0 0.3) (int_range 1 2000)
+        (int_range 1 2000))
+    (fun (f, g, c1, c2) ->
+      QCheck.assume (f < ((1.0 -. g) /. 2.0) -. 0.01);
+      let p1 = 1e-9 in
+      let lo = min c1 c2 and hi = max c1 c2 in
+      let m_lo = Cm.min_size ~f ~g ~committees:lo ~p1 in
+      let m_hi = Cm.min_size ~f ~g ~committees:hi ~p1 in
+      Cm.is_safe ~m:m_lo ~f ~g ~committees:lo ~p1
+      && (m_lo = 1 || not (Cm.is_safe ~m:(m_lo - 1) ~f ~g ~committees:lo ~p1))
+      && m_lo <= m_hi
+      && Cm.min_size_from ~start:m_lo ~f ~g ~committees:hi ~p1 = m_hi)
+
 let () =
   Alcotest.run "arb_dp"
     [
@@ -344,5 +365,6 @@ let () =
           Alcotest.test_case "rejects" `Quick test_committee_rejects;
           Alcotest.test_case "p1 roundtrip" `Quick test_p1_roundtrip;
           qtest prop_failure_prob_decreases_with_even_m;
+          qtest prop_min_size_sound;
         ] );
     ]

@@ -313,6 +313,94 @@ let test_search_heuristics_find_same_best_when_both_finish () =
         (Float.abs (m1.Cm.part_exp_time -. m2.Cm.part_exp_time) < 1e-9)
   | _ -> Alcotest.fail "plans missing"
 
+let test_search_pruning_admissible_all_queries () =
+  (* Regression for the unsound bound: prefixes used to be priced at the
+     committee size for 1024 committees — an overestimate, so the "lower
+     bound" could exceed a completion's true cost and prune the branch
+     holding the optimum. Prefixes are now priced at the single-committee
+     size. Heuristic and exhaustive search must agree on the winner for
+     every registry query (on a space small enough to exhaust). *)
+  List.iter
+    (fun name ->
+      let q = Q.test_instance name in
+      let pruned = P.Search.plan ~query:q ~n:100_000 () in
+      let exhaustive =
+        P.Search.plan ~heuristics:false ~max_prefixes:3_000_000 ~query:q
+          ~n:100_000 ()
+      in
+      checkb (name ^ ": neither run hit the prefix cap") true
+        ((not pruned.P.Search.stats.P.Search.aborted)
+        && not exhaustive.P.Search.stats.P.Search.aborted);
+      match (pruned.P.Search.metrics, exhaustive.P.Search.metrics) with
+      | Some m1, Some m2 ->
+          (* Both minimize over the same finite plan set and score full
+             plans with the same canonical combine, so the optimum matches
+             exactly — no tolerance. *)
+          checkb (name ^ ": pruned search finds the exhaustive optimum") true
+            (P.Constraints.goal_value P.Constraints.Min_part_exp_time m1
+            = P.Constraints.goal_value P.Constraints.Min_part_exp_time m2)
+      | None, None -> ()
+      | _ -> Alcotest.failf "%s: one mode found a plan, the other none" name)
+    Q.names
+
+let render_winner r =
+  match (r.P.Search.plan, r.P.Search.metrics) with
+  | Some p, Some m ->
+      P.Plan_io.plan_to_string p ^ "\n"
+      ^ Arb_util.Json.to_string (P.Plan_io.metrics_to_json m)
+  | _ -> "none"
+
+let test_search_parallel_matches_sequential () =
+  (* The multicore fan-out must be invisible in the winner: admissible
+     bounds, strict incumbent pruning and the canonical-order merge make
+     the winning plan and its metrics byte-identical whatever the domain
+     count. (The ranked runner-ups are best-effort under pruning — which
+     non-winning plans get fully scored depends on when the shared
+     incumbent arrives — so they are checked separately, without
+     pruning, below.) *)
+  List.iter
+    (fun name ->
+      let q = Q.test_instance name in
+      let seq = P.Search.plan ~domains:1 ~query:q ~n:1_000_000 () in
+      let par = P.Search.plan ~domains:4 ~query:q ~n:1_000_000 () in
+      Alcotest.check Alcotest.string
+        (name ^ ": 4-domain winner identical to sequential")
+        (render_winner seq) (render_winner par))
+    Q.names
+
+let test_search_parallel_exhaustive_fully_deterministic () =
+  (* Without pruning nothing depends on incumbent timing, so the whole
+     result — winner, metrics AND ranked alternatives — must be
+     byte-identical across domain counts. *)
+  let q = Q.test_instance "cms" in
+  let render r =
+    String.concat "\n"
+      (render_winner r
+      :: List.map (fun (p, _) -> P.Plan_io.plan_to_string p) r.P.Search.alternatives)
+  in
+  let seq = P.Search.plan ~heuristics:false ~domains:1 ~query:q ~n:1_000_000 () in
+  let par = P.Search.plan ~heuristics:false ~domains:4 ~query:q ~n:1_000_000 () in
+  Alcotest.check Alcotest.string "exhaustive result identical incl. alternatives"
+    (render seq) (render par)
+
+let test_search_incremental_matches_full_repricing () =
+  (* The partial-metrics monoid prices only delta vignettes per node; the
+     winner must match the naive re-price-the-whole-prefix mode. *)
+  List.iter
+    (fun name ->
+      let q = Q.test_instance name in
+      let inc = P.Search.plan ~incremental:true ~query:q ~n:1_000_000 () in
+      let full = P.Search.plan ~incremental:false ~query:q ~n:1_000_000 () in
+      match (inc.P.Search.plan, full.P.Search.plan) with
+      | Some p1, Some p2 ->
+          Alcotest.check Alcotest.string
+            (name ^ ": incremental pricing preserves the winner")
+            (P.Plan_io.plan_to_string p2)
+            (P.Plan_io.plan_to_string p1)
+      | None, None -> ()
+      | _ -> Alcotest.failf "%s: pricing modes disagree on feasibility" name)
+    Q.names
+
 let test_search_ablation_blowup () =
   (* §7.3: disabling the heuristics inflates the explored space by orders
      of magnitude. *)
@@ -441,6 +529,126 @@ let test_metrics_json_roundtrip () =
   in
   checkb "metrics roundtrip" true (back = m)
 
+(* Random plans, covering every [work] constructor — not just the shapes
+   the search happens to emit today. *)
+let gen_plan =
+  let open QCheck.Gen in
+  let crypto = oneofl [ P.Plan.Ahe; P.Plan.Fhe ] in
+  let kind = oneofl [ `Gumbel; `Laplace ] in
+  let small = 1 -- 4096 in
+  let work =
+    oneof
+      [
+        map (fun c -> P.Plan.W_keygen c) crypto;
+        map (fun n -> P.Plan.W_zk_setup { constraints = n }) small;
+        map3
+          (fun crypto cts_per_device zk_constraints ->
+            P.Plan.W_encrypt_input { crypto; cts_per_device; zk_constraints })
+          crypto small small;
+        map (fun devices -> P.Plan.W_verify_inputs { devices }) small;
+        map3
+          (fun crypto cts inputs -> P.Plan.W_he_sum { crypto; cts; inputs })
+          crypto small small;
+        map3
+          (fun crypto cts (muls, adds) ->
+            P.Plan.W_he_affine { crypto; cts; muls; adds })
+          crypto small (pair small small);
+        map3
+          (fun crypto cts rotations ->
+            P.Plan.W_he_rotate_sum { crypto; cts; rotations })
+          crypto small small;
+        map2 (fun crypto cts -> P.Plan.W_mpc_decrypt { crypto; cts }) crypto small;
+        map3
+          (fun crypto cts (kind, count) ->
+            P.Plan.W_mpc_decrypt_noise { crypto; cts; kind; count })
+          crypto small (pair kind small);
+        map (fun elements -> P.Plan.W_mpc_affine { elements }) small;
+        map (fun elements -> P.Plan.W_mpc_scan { elements }) small;
+        map (fun elements -> P.Plan.W_mpc_nonlinear { elements }) small;
+        map2 (fun kind count -> P.Plan.W_mpc_noise { kind; count }) kind small;
+        map (fun inputs -> P.Plan.W_mpc_argmax { inputs }) small;
+        map (fun count -> P.Plan.W_mpc_exp { count }) small;
+        map (fun inputs -> P.Plan.W_mpc_sample_index { inputs }) small;
+        map (fun values -> P.Plan.W_mpc_output { values }) small;
+        map (fun flops -> P.Plan.W_post { flops }) small;
+      ]
+  in
+  let location =
+    oneof
+      [
+        return P.Plan.Aggregator;
+        map (fun c -> P.Plan.Committees c) (1 -- 64);
+        return P.Plan.Participants;
+      ]
+  in
+  let vignette = map2 (fun location work -> { P.Plan.location; work }) location work in
+  let plan =
+    let* query = oneofl Q.names in
+    let* crypto = crypto in
+    let* vignettes = list_size (1 -- 12) vignette in
+    let* sample_bins = opt (1 -- 1024) in
+    let* committee_count = 0 -- 4096 in
+    let* committee_size = 1 -- 80 in
+    let* em_variant = oneofl [ `Gumbel; `Exponentiate; `None ] in
+    return
+      {
+        P.Plan.query;
+        crypto;
+        vignettes;
+        sample_bins;
+        committee_count;
+        committee_size;
+        em_variant;
+      }
+  in
+  QCheck.make ~print:(Format.asprintf "%a" P.Plan.pp) plan
+
+let prop_plan_json_roundtrip =
+  QCheck.Test.make ~name:"plan JSON roundtrip (random plans)" ~count:500 gen_plan
+    (fun plan -> P.Plan_io.plan_of_string (P.Plan_io.plan_to_string plan) = plan)
+
+let gen_metrics =
+  let open QCheck.Gen in
+  let finite = map (fun f -> if Float.is_finite f then f else 0.0) float in
+  let metrics =
+    map
+      (fun (agg_time, agg_bytes, part_exp_time, part_max_time,
+            part_exp_bytes, part_max_bytes) ->
+        {
+          Cm.agg_time;
+          agg_bytes;
+          part_exp_time;
+          part_max_time;
+          part_exp_bytes;
+          part_max_bytes;
+        })
+      (tup6 finite finite finite finite finite finite)
+  in
+  QCheck.make ~print:(Format.asprintf "%a" Cm.pp_metrics) metrics
+
+let prop_metrics_json_roundtrip =
+  QCheck.Test.make ~name:"metrics JSON roundtrip (random finite metrics)"
+    ~count:1000 gen_metrics (fun m ->
+      P.Plan_io.metrics_of_json
+        (Arb_util.Json.of_string
+           (Arb_util.Json.to_string (P.Plan_io.metrics_to_json m)))
+      = m)
+
+let test_metrics_json_rejects_nonfinite () =
+  (* The old %.17g encoder emitted "inf"/"nan", which no parser takes back.
+     Serialization must fail loudly instead. *)
+  List.iter
+    (fun bad ->
+      let m = { Cm.zero_metrics with Cm.part_exp_time = bad } in
+      checkb
+        (Printf.sprintf "raises on %h" bad)
+        true
+        (try
+           ignore (Arb_util.Json.to_string (P.Plan_io.metrics_to_json m));
+           false
+         with Invalid_argument _ -> true))
+    [ Float.infinity; Float.neg_infinity; Float.nan ]
+
 let test_plan_json_rejects_garbage () =
   checkb "garbage rejected" true
     (try
@@ -539,6 +747,14 @@ let () =
             test_search_em_variant_matches_plan;
           Alcotest.test_case "heuristics preserve the optimum" `Quick
             test_search_heuristics_find_same_best_when_both_finish;
+          Alcotest.test_case "pruning admissible on every query" `Slow
+            test_search_pruning_admissible_all_queries;
+          Alcotest.test_case "parallel matches sequential" `Slow
+            test_search_parallel_matches_sequential;
+          Alcotest.test_case "exhaustive parallel fully deterministic" `Slow
+            test_search_parallel_exhaustive_fully_deterministic;
+          Alcotest.test_case "incremental pricing matches full" `Slow
+            test_search_incremental_matches_full_repricing;
           Alcotest.test_case "ablation blowup" `Slow test_search_ablation_blowup;
           Alcotest.test_case "committee sizing consistent" `Quick
             test_search_committee_sizing_consistent;
@@ -556,6 +772,10 @@ let () =
           Alcotest.test_case "plan JSON roundtrip (all queries)" `Slow
             test_plan_json_roundtrip_all_queries;
           Alcotest.test_case "metrics roundtrip" `Quick test_metrics_json_roundtrip;
+          qtest prop_plan_json_roundtrip;
+          qtest prop_metrics_json_roundtrip;
+          Alcotest.test_case "non-finite metrics rejected" `Quick
+            test_metrics_json_rejects_nonfinite;
           Alcotest.test_case "garbage rejected" `Quick test_plan_json_rejects_garbage;
         ] );
       ( "explain",

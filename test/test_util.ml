@@ -349,6 +349,18 @@ let test_json_escapes () =
   check Alcotest.bool "control chars roundtrip" true
     (J.of_string (J.to_string ctrl) = ctrl)
 
+let test_json_rejects_nonfinite () =
+  (* inf/nan have no JSON encoding; rendering them used to emit "inf",
+     which of_string (rightly) refuses. *)
+  List.iter
+    (fun f ->
+      check Alcotest.bool (Printf.sprintf "%h raises" f) true
+        (try
+           ignore (J.to_string (J.Float f));
+           false
+         with Invalid_argument _ -> true))
+    [ Float.infinity; Float.neg_infinity; Float.nan ]
+
 let test_json_parse_errors () =
   List.iter
     (fun src ->
@@ -444,6 +456,8 @@ let () =
         [
           qtest prop_json_roundtrip;
           Alcotest.test_case "escapes" `Quick test_json_escapes;
+          Alcotest.test_case "non-finite floats rejected" `Quick
+            test_json_rejects_nonfinite;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
           Alcotest.test_case "accessors" `Quick test_json_accessors;
         ] );
