@@ -768,9 +768,141 @@ let planner_scaling () =
         "par speedup"; "naive p/p"; "inc p/p"; "par p/p" ]
     rows
 
+(* ------------------------------------------------------------------ *)
+(* service_throughput: the multi-tenant service layer — plan-cache      *)
+(* speedup and worker-pool determinism (beyond the paper: the PAPAYA-   *)
+(* style deployment model, a stream of queries against one budget).     *)
+
+let service_throughput () =
+  let module S = Arb_service in
+  section "service_throughput: plan cache + multicore planning service";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* Part A: per-submission planning latency, cold search vs cache hit,
+     at paper scale (what a long-lived service skips on a repeat
+     submission). *)
+  let n = paper_n () in
+  let cache_queries = if !smoke then [ "top1"; "hypotest" ] else
+      [ "top1"; "gap"; "hypotest"; "median"; "auction" ]
+  in
+  let goal = P.Constraints.Min_part_exp_time in
+  let cache = S.Cache.create () in
+  let best_speedup = ref 0.0 in
+  let rows =
+    List.map
+      (fun name ->
+        let q = Q.paper_instance name in
+        let r, t_cold = time (fun () -> P.Search.plan ~query:q ~n ()) in
+        (match (r.P.Search.plan, r.P.Search.metrics) with
+        | Some plan, Some metrics ->
+            S.Cache.add cache
+              (S.Cache.key ~goal ~query:q ~n ())
+              ~query_name:name { S.Cache.plan; metrics }
+        | _ -> failwith ("service_throughput: no plan for " ^ name));
+        (* A hit submission still canonicalizes its key; average the
+           key+lookup over many repetitions for a stable figure. *)
+        let reps = 100 in
+        let (), t_hits =
+          time (fun () ->
+              for _ = 1 to reps do
+                if S.Cache.find cache (S.Cache.key ~goal ~query:q ~n ()) = None
+                then failwith "service_throughput: cache lost an entry"
+              done)
+        in
+        let t_hit = t_hits /. float_of_int reps in
+        let speedup = t_cold /. Float.max 1e-9 t_hit in
+        best_speedup := Float.max !best_speedup speedup;
+        [ name; U.seconds_to_string t_cold; U.seconds_to_string t_hit;
+          Printf.sprintf "%.0fx" speedup ])
+      cache_queries
+  in
+  if !best_speedup < 10.0 then
+    failwith
+      (Printf.sprintf
+         "service_throughput: cache hits are only %.1fx faster than cold plans"
+         !best_speedup);
+  Printf.printf "  (cold = full search at N=%s; hit = key + cache lookup)\n"
+    (U.si (float_of_int n));
+  T.print ~header:[ "Query"; "cold plan"; "cache hit"; "speedup" ] rows;
+  (* Part B: the service end to end — one workload, increasing worker
+     counts. The canonical lifecycle records must be byte-identical to the
+     single-worker run; only the planning stage parallelizes (execution is
+     serialized on the certificate chain). *)
+  let devices = if !smoke then 24 else 64 in
+  let exec_queries =
+    if !smoke then [ "top1"; "hypotest" ]
+    else [ "top1"; "gap"; "hypotest"; "median"; "auction" ]
+  in
+  let workload =
+    List.concat_map
+      (fun name ->
+        [
+          {
+            S.Workload.query = name;
+            epsilon = 0.5;
+            categories = None;
+            goal;
+            repeat = 2;
+          };
+        ])
+      exec_queries
+  in
+  let run_at workers =
+    let t =
+      S.Service.create
+        ~budget:(Arb_dp.Budget.create ~epsilon:1.0e6 ~delta:0.5)
+        ~devices ~seed:11 ()
+    in
+    List.iter (fun s -> ignore (S.Service.submit t s)) workload;
+    let records, wall = time (fun () -> S.Service.drain ~workers t) in
+    let c = S.Service.counters t in
+    if not (S.Service.chain_verifies t) then
+      failwith "service_throughput: certificate chain broke";
+    (S.Lifecycle.records_to_string records, wall, c)
+  in
+  let base_records, _, _ = run_at 1 in
+  let worker_counts =
+    [ 1; 2; max 2 (Domain.recommended_domain_count ()) ]
+    |> List.sort_uniq compare
+  in
+  let rows =
+    List.map
+      (fun workers ->
+        let records, wall, c = run_at workers in
+        if not (String.equal records base_records) then
+          failwith
+            (Printf.sprintf
+               "service_throughput: %d-worker lifecycle records differ from \
+                the single-worker run"
+               workers);
+        [
+          string_of_int workers;
+          string_of_int c.S.Lifecycle.submitted;
+          string_of_int c.S.Lifecycle.planned;
+          string_of_int c.S.Lifecycle.cache_hits;
+          U.seconds_to_string c.S.Lifecycle.plan_seconds;
+          U.seconds_to_string c.S.Lifecycle.exec_seconds;
+          U.seconds_to_string wall;
+          "identical";
+        ])
+      worker_counts
+  in
+  Printf.printf
+    "  (%d submissions over %d devices; execution serialized on the chain)\n"
+    (List.length workload * 2) devices;
+  T.print
+    ~header:
+      [ "workers"; "submitted"; "planned"; "hits"; "plan s"; "exec s";
+        "drain wall"; "records vs 1 worker" ]
+    rows
+
 let all =
   [ ("table1", table1); ("table2", table2); ("fig6", fig6); ("fig7", fig7);
     ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("fig11", fig11);
     ("fig12", fig12); ("ablations", ablations); ("accuracy", accuracy);
     ("validation", validation); ("e2e", e2e); ("chaos", chaos);
-    ("planner_scaling", planner_scaling) ]
+    ("planner_scaling", planner_scaling);
+    ("service_throughput", service_throughput) ]

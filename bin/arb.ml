@@ -4,7 +4,11 @@
      arb plan   --query top1 --n 1000000000        plan and explain
      arb run    --query top1 --devices 256         plan + execute at sim scale
      arb certify --query median                    certification report
-     arb list                                      the built-in queries       *)
+     arb serve  --workload file.json --workers 4   multi-query service
+     arb list                                      the built-in queries
+
+   `arb plan --json`, `arb list --json` and `arb serve --json` emit
+   machine-readable output for workload tooling. *)
 
 open Cmdliner
 
@@ -194,26 +198,175 @@ let verify_cmd =
     term
 
 let list_cmd =
-  let run () =
-    List.iter
-      (fun name ->
-        let q = Arb_queries.Registry.paper_instance name in
-        Printf.printf "%-9s %-28s (C=%d, %s, %d lines)\n" name
-          q.Arb_queries.Registry.action q.Arb_queries.Registry.categories
-          (if q.Arb_queries.Registry.uses_em then "exponential mech."
-           else "Laplace mech.")
-          (Arb_lang.Ast.count_lines q.Arb_queries.Registry.program))
-      Arb_queries.Registry.names;
+  let run json =
+    if json then
+      print_endline
+        (Arb_util.Json.to_string ~pretty:true
+           (Arb_util.Json.List
+              (List.map
+                 (fun name ->
+                   let q = Arb_queries.Registry.paper_instance name in
+                   Arb_util.Json.Obj
+                     [
+                       ("name", Arb_util.Json.String name);
+                       ("action", Arb_util.Json.String q.Arb_queries.Registry.action);
+                       ("source", Arb_util.Json.String q.Arb_queries.Registry.source);
+                       ("categories", Arb_util.Json.Int q.Arb_queries.Registry.categories);
+                       ( "mechanism",
+                         Arb_util.Json.String
+                           (if q.Arb_queries.Registry.uses_em then "exponential"
+                            else "laplace") );
+                       ( "lines",
+                         Arb_util.Json.Int
+                           (Arb_lang.Ast.count_lines q.Arb_queries.Registry.program) );
+                     ])
+                 Arb_queries.Registry.names)))
+    else
+      List.iter
+        (fun name ->
+          let q = Arb_queries.Registry.paper_instance name in
+          Printf.printf "%-9s %-28s (C=%d, %s, %d lines)\n" name
+            q.Arb_queries.Registry.action q.Arb_queries.Registry.categories
+            (if q.Arb_queries.Registry.uses_em then "exponential mech."
+             else "Laplace mech.")
+            (Arb_lang.Ast.count_lines q.Arb_queries.Registry.program))
+        Arb_queries.Registry.names;
     0
   in
+  let json_arg =
+    let doc = "Emit the query list as JSON (for workload tooling)." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
   Cmd.v (Cmd.info "list" ~doc:"List the built-in evaluation queries (Table 2).")
-    Term.(const run $ const ())
+    Term.(const run $ json_arg)
+
+let serve_cmd =
+  let run verbose workload_path devices seed workers cache_dir json =
+    setup_logs verbose;
+    match Arb_service.Workload.load workload_path with
+    | Error m ->
+        Printf.eprintf "cannot load workload: %s\n" m;
+        1
+    | Ok workload ->
+        let budget =
+          match workload.Arb_service.Workload.budget with
+          | Some b -> b
+          | None -> Arb_dp.Budget.create ~epsilon:10.0 ~delta:1e-6
+        in
+        let devices =
+          match devices with
+          | Some d -> d
+          | None -> Option.value workload.Arb_service.Workload.devices ~default:64
+        in
+        let seed =
+          match seed with
+          | Some s -> s
+          | None -> Option.value workload.Arb_service.Workload.seed ~default:7
+        in
+        let cache = Arb_service.Cache.create ?dir:cache_dir () in
+        let service =
+          Arb_service.Service.create ~cache ~budget ~devices ~seed ()
+        in
+        let records =
+          Arb_service.Service.run_workload ~workers service workload
+        in
+        let counters = Arb_service.Service.counters service in
+        if json then
+          print_endline
+            (Arb_util.Json.to_string ~pretty:true
+               (Arb_util.Json.Obj
+                  [
+                    ( "records",
+                      Arb_util.Json.List
+                        (List.map
+                           (Arb_service.Lifecycle.to_json ~timings:true)
+                           records) );
+                    ( "counters",
+                      Arb_service.Lifecycle.counters_to_json counters );
+                    ( "budgetLeft",
+                      Arb_util.Json.Obj
+                        [
+                          ( "epsilon",
+                            Arb_util.Json.Float
+                              (Arb_service.Service.budget_left service)
+                                .Arb_dp.Budget.epsilon );
+                          ( "delta",
+                            Arb_util.Json.Float
+                              (Arb_service.Service.budget_left service)
+                                .Arb_dp.Budget.delta );
+                        ] );
+                    ( "chainVerifies",
+                      Arb_util.Json.Bool
+                        (Arb_service.Service.chain_verifies service) );
+                  ]))
+        else begin
+          List.iter
+            (fun r -> Format.printf "%a@." Arb_service.Lifecycle.pp r)
+            records;
+          Format.printf
+            "---@.%d submitted: %d executed (%d cache hits, %d planned), %d \
+             refused, %d failed@."
+            counters.Arb_service.Lifecycle.submitted
+            counters.Arb_service.Lifecycle.executed
+            counters.Arb_service.Lifecycle.cache_hits
+            counters.Arb_service.Lifecycle.planned
+            counters.Arb_service.Lifecycle.refused
+            counters.Arb_service.Lifecycle.failed;
+          Format.printf "budget left %a; certificate chain verifies: %b@."
+            Arb_dp.Budget.pp
+            (Arb_service.Service.budget_left service)
+            (Arb_service.Service.chain_verifies service)
+        end;
+        0
+  in
+  let workload_arg =
+    let doc = "Workload file (JSON; see DESIGN.md \xC2\xA78)." in
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "workload"; "w" ] ~docv:"FILE" ~doc)
+  in
+  let devices_opt =
+    let doc = "Device population size (overrides the workload file)." in
+    Arg.(value & opt (some int) None & info [ "devices"; "d" ] ~docv:"D" ~doc)
+  in
+  let seed_opt =
+    let doc = "Service seed (overrides the workload file)." in
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let workers_arg =
+    let doc = "Planner worker domains." in
+    Arg.(value & opt int 1 & info [ "workers" ] ~docv:"K" ~doc)
+  in
+  let cache_dir_arg =
+    let doc = "Persist the plan cache in this directory." in
+    Arg.(
+      value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit lifecycle records and counters as JSON." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let term =
+    Term.(
+      const run $ verbose_arg $ workload_arg $ devices_opt $ seed_opt
+      $ workers_arg $ cache_dir_arg $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a workload of queries through the multi-tenant service: \
+          admission control against the shared privacy budget, cached and \
+          concurrent planning, serialized execution on the certificate \
+          chain.")
+    term
 
 let main =
   let info =
     Cmd.info "arb" ~version:"1.0.0"
       ~doc:"Arboretum: a planner for large-scale federated analytics with differential privacy"
   in
-  Cmd.group info [ plan_cmd; certify_cmd; run_cmd; verify_cmd; list_cmd ]
+  Cmd.group info
+    [ plan_cmd; certify_cmd; run_cmd; verify_cmd; serve_cmd; list_cmd ]
 
 let () = exit (Cmd.eval' main)

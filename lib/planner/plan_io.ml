@@ -187,3 +187,48 @@ let metrics_of_json j =
 
 let plan_to_string ?pretty p = J.to_string ?pretty (plan_to_json p)
 let plan_of_string s = plan_of_json (J.of_string s)
+
+(* ---------------- versioned file persistence ---------------- *)
+
+let format_version = 1
+
+let save_versioned path fields =
+  let doc = J.Obj (("formatVersion", J.Int format_version) :: fields) in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.to_string ~pretty:true doc);
+      output_char oc '\n')
+
+let load_versioned path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error m -> Error m
+  | text -> (
+      match J.of_string text with
+      | exception J.Parse_error m ->
+          Error (Printf.sprintf "%s: malformed JSON: %s" path m)
+      | json -> (
+          match J.member "formatVersion" json with
+          | exception J.Parse_error _ ->
+              Error (path ^ ": missing formatVersion field")
+          | J.Int v when v = format_version -> Ok json
+          | J.Int v ->
+              Error
+                (Printf.sprintf "%s: format version %d, expected %d" path v
+                   format_version)
+          | _ -> Error (path ^ ": formatVersion must be an integer")))
+
+let save_plan path plan = save_versioned path [ ("plan", plan_to_json plan) ]
+
+let load_plan path =
+  Result.bind (load_versioned path) (fun json ->
+      match plan_of_json (J.member "plan" json) with
+      | plan -> Ok plan
+      | exception J.Parse_error m ->
+          Error (Printf.sprintf "%s: bad plan: %s" path m))

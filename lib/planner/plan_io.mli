@@ -13,3 +13,28 @@ val metrics_of_json : Arb_util.Json.t -> Cost_model.metrics
 
 val plan_to_string : ?pretty:bool -> Plan.t -> string
 val plan_of_string : string -> Plan.t
+
+(** {2 Versioned file persistence}
+
+    Plans written to disk carry a [formatVersion] field so stale or foreign
+    files are rejected with a reason instead of a crash — the service's
+    on-disk plan cache (and any external tooling) must survive format
+    evolution. *)
+
+val format_version : int
+(** The version stamped into every file this build writes. *)
+
+val save_versioned : string -> (string * Arb_util.Json.t) list -> unit
+(** Write a JSON object with [formatVersion] prepended to the given fields.
+    Raises [Sys_error] when the path is not writable. *)
+
+val load_versioned : string -> (Arb_util.Json.t, string) result
+(** Read a file written by {!save_versioned}: [Error] (never an exception)
+    on an unreadable path, malformed JSON, or a version mismatch. *)
+
+val save_plan : string -> Plan.t -> unit
+(** Persist one plan. Raises [Sys_error] when the path is not writable. *)
+
+val load_plan : string -> (Plan.t, string) result
+(** Load a plan persisted by {!save_plan}; [Error] on unreadable, malformed
+    or version-mismatched files. *)

@@ -28,12 +28,18 @@ let create ?(config = Exec.default_config) ?(max_rounds = 1000) ~budget ~db () =
 let budget_left t = t.budget
 let queries_run t = t.index
 
-let run t query =
+let run_with_plan t ?db ~plan query =
+  let db = Option.value db ~default:t.db in
   if t.index >= t.max_rounds then
     Error
       (Printf.sprintf
          "round limit R = %d reached; the per-round failure bound p1 no longer covers further queries"
          t.max_rounds)
+  else if Array.length db <> Array.length t.db then
+    Error
+      (Printf.sprintf
+         "database override has %d rows but the session's device population is %d"
+         (Array.length db) (Array.length t.db))
   else
     let n = Array.length t.db in
     let cert = Arb_lang.Certify.certify query.Arb_queries.Registry.program ~n in
@@ -59,30 +65,36 @@ let run t query =
         { t.config with Exec.seed; budget = t.budget; block = block_used;
           query_id = t.index + 1 }
       in
-      let planned =
-        Arb_planner.Search.plan ~limits:Arb_planner.Constraints.no_limits ~query
-          ~n ()
-      in
-      match planned.Arb_planner.Search.plan with
-      | None -> Error "planner found no plan for this query"
-      | Some plan -> (
-          (* Exec.run fails closed: any fault the runtime could not absorb
-             (and any certificate/audit failure) comes back as a typed
-             error. The session commits the budget and advances the chain
-             only on Ok, so a failed query leaves everything intact. *)
-          match Exec.run config ~query ~plan ~db:t.db with
-          | Ok report ->
-              t.budget <- report.Exec.budget_left;
-              t.block <- report.Exec.certificate.Setup.next_block;
-              t.index <- t.index + 1;
-              let qr = { report; query_index = t.index; block_used } in
-              t.chain <- qr :: t.chain;
-              Ok qr
-          | Error f ->
-              Error
-                (Format.asprintf "%a (session unchanged, budget intact)"
-                   Exec.pp_failure f))
+      (* Exec.run fails closed: any fault the runtime could not absorb
+         (and any certificate/audit failure) comes back as a typed
+         error. The session commits the budget and advances the chain
+         only on Ok, so a failed query leaves everything intact. *)
+      match Exec.run config ~query ~plan ~db with
+      | Ok report ->
+          t.budget <- report.Exec.budget_left;
+          t.block <- report.Exec.certificate.Setup.next_block;
+          t.index <- t.index + 1;
+          let qr = { report; query_index = t.index; block_used } in
+          t.chain <- qr :: t.chain;
+          Ok qr
+      | Error f ->
+          Error
+            (Format.asprintf "%a (session unchanged, budget intact)"
+               Exec.pp_failure f)
     end
+
+let run t query =
+  let n = Array.length t.db in
+  (* Certification is re-checked by [run_with_plan]; planning is skipped
+     entirely when the caller (e.g. the service's plan cache) already holds
+     a plan for this query at this deployment size. *)
+  let planned =
+    Arb_planner.Search.plan ~limits:Arb_planner.Constraints.no_limits ~query ~n
+      ()
+  in
+  match planned.Arb_planner.Search.plan with
+  | None -> Error "planner found no plan for this query"
+  | Some plan -> run_with_plan t ~plan query
 
 let chain_verifies t =
   let rec check prev_next = function

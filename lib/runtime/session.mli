@@ -41,6 +41,20 @@ val run : t -> Arb_queries.Registry.query -> (query_result, string) result
     ({!Exec.run}: unabsorbed faults, detected cheating, failed audit or
     certificate). *)
 
+val run_with_plan :
+  t ->
+  ?db:int array array ->
+  plan:Arb_planner.Plan.t ->
+  Arb_queries.Registry.query ->
+  (query_result, string) result
+(** {!run} with the planning step skipped: execute a plan the caller
+    already holds (e.g. from the service's plan cache). Certification, the
+    budget check, the round limit and the fail-closed semantics are
+    identical to {!run}. [db] substitutes this query's device inputs — the
+    same population answering a different question — and must have exactly
+    the session's row count; the plan must have been chosen for this query
+    at the session's deployment size. *)
+
 val chain_verifies : t -> bool
 (** Every certificate in the chain verifies, and each query's sortition
     block equals the previous certificate's [next_block]. *)

@@ -1,0 +1,132 @@
+module P = Arb_planner
+module J = Arb_util.Json
+
+let src = Logs.Src.create "arb.service.cache" ~doc:"Plan cache"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type key = string
+
+type entry = { plan : P.Plan.t; metrics : P.Cost_model.metrics }
+
+type t = {
+  table : (key, entry) Hashtbl.t;
+  lock : Mutex.t;
+  dir : string option;
+  mutable revived : int;
+}
+
+let create ?dir () =
+  (match dir with
+  | Some d when not (Sys.file_exists d) -> Sys.mkdir d 0o755
+  | _ -> ());
+  { table = Hashtbl.create 64; lock = Mutex.create (); dir; revived = 0 }
+
+(* ---------------- canonical key ---------------- *)
+
+let float_repr f = Printf.sprintf "%.17g" f
+
+let row_repr = function
+  | Arb_lang.Ast.One_hot k -> Printf.sprintf "oneHot:%d" k
+  | Arb_lang.Ast.Bounded { width; lo; hi } ->
+      Printf.sprintf "bounded:%d:%d:%d" width lo hi
+
+let limits_repr (l : P.Constraints.limits) =
+  let opt = function None -> "-" | Some f -> float_repr f in
+  String.concat ","
+    [
+      opt l.P.Constraints.max_agg_time;
+      opt l.max_agg_bytes;
+      opt l.max_part_exp_time;
+      opt l.max_part_max_time;
+      opt l.max_part_exp_bytes;
+      opt l.max_part_max_bytes;
+    ]
+
+let key ?(limits = P.Constraints.no_limits) ~goal
+    ~(query : Arb_queries.Registry.query) ~n () =
+  (* The program's canonical pretty-printed form — not the registry name —
+     identifies the query, together with every other search input. The
+     leading tag versions the canonicalization itself. *)
+  let canonical =
+    String.concat "\n"
+      [
+        "arb-plan-cache-key-v1";
+        Arb_lang.Pretty.stmt query.Arb_queries.Registry.program.Arb_lang.Ast.body;
+        row_repr query.Arb_queries.Registry.program.Arb_lang.Ast.row;
+        float_repr query.Arb_queries.Registry.program.Arb_lang.Ast.epsilon;
+        string_of_int n;
+        string_of_int query.Arb_queries.Registry.categories;
+        limits_repr limits;
+        P.Constraints.goal_name goal;
+      ]
+  in
+  Arb_crypto.Sha256.to_hex (Arb_crypto.Sha256.digest canonical)
+
+(* ---------------- disk persistence ---------------- *)
+
+let path_of dir k = Filename.concat dir (k ^ ".json")
+
+let load_from_disk dir k =
+  let path = path_of dir k in
+  if not (Sys.file_exists path) then None
+  else
+    match
+      Result.bind (P.Plan_io.load_versioned path) (fun json ->
+          match
+            ( J.to_str (J.member "key" json),
+              P.Plan_io.plan_of_json (J.member "plan" json),
+              P.Plan_io.metrics_of_json (J.member "metrics" json) )
+          with
+          | k', plan, metrics ->
+              if String.equal k' k then Ok { plan; metrics }
+              else Error (path ^ ": key field does not match file name")
+          | exception J.Parse_error m -> Error (path ^ ": " ^ m))
+    with
+    | Ok entry -> Some entry
+    | Error m ->
+        Log.warn (fun f -> f "ignoring cache file: %s" m);
+        None
+
+let write_to_disk dir k ~query_name entry =
+  let path = path_of dir k in
+  let tmp = path ^ ".tmp" in
+  P.Plan_io.save_versioned tmp
+    [
+      ("key", J.String k);
+      ("query", J.String query_name);
+      ("plan", P.Plan_io.plan_to_json entry.plan);
+      ("metrics", P.Plan_io.metrics_to_json entry.metrics);
+    ];
+  Sys.rename tmp path
+
+(* ---------------- lookup / insert ---------------- *)
+
+let find t k =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | Some _ as hit -> hit
+      | None -> (
+          match t.dir with
+          | None -> None
+          | Some dir -> (
+              match load_from_disk dir k with
+              | Some entry ->
+                  Hashtbl.replace t.table k entry;
+                  t.revived <- t.revived + 1;
+                  Some entry
+              | None -> None)))
+
+let add t k ~query_name entry =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.replace t.table k entry;
+      match t.dir with
+      | None -> ()
+      | Some dir -> (
+          try write_to_disk dir k ~query_name entry
+          with Sys_error m ->
+            Log.warn (fun f -> f "could not persist cache entry %s: %s" k m)))
+
+let mem t k = find t k <> None
+let size t = Mutex.protect t.lock (fun () -> Hashtbl.length t.table)
+let revived t = Mutex.protect t.lock (fun () -> t.revived)

@@ -1,0 +1,57 @@
+(** Plan cache: memoized {!Arb_planner.Search.plan} results keyed by a
+    canonical hash of everything the search's outcome depends on.
+
+    The planner is deterministic: the winning plan and its metrics are a
+    pure function of (query AST, deployment size N, category count,
+    analyst limits, optimization goal). The cache key is the SHA-256 of a
+    canonical rendering of exactly that tuple — the query's *program text*
+    (pretty-printed canonical form), not its registry name, so two
+    differently-named submissions of the same program share an entry while
+    any change to the AST, epsilon, row shape, N, C, limits or goal misses.
+
+    Entries optionally persist to a directory as versioned
+    {!Arb_planner.Plan_io} JSON files ([<key>.json]) so the cache survives
+    restarts; unreadable, malformed or version-mismatched files are
+    treated as misses (logged, never fatal). All access is
+    mutex-protected, so worker domains may consult the cache freely. *)
+
+type key = string
+(** 64-char lowercase hex. *)
+
+type entry = {
+  plan : Arb_planner.Plan.t;
+  metrics : Arb_planner.Cost_model.metrics;
+}
+
+type t
+
+val create : ?dir:string -> unit -> t
+(** [dir] enables disk persistence; it is created if missing. *)
+
+val key :
+  ?limits:Arb_planner.Constraints.limits ->
+  goal:Arb_planner.Constraints.goal ->
+  query:Arb_queries.Registry.query ->
+  n:int ->
+  unit ->
+  key
+(** Canonical cache key ([limits] defaults to
+    {!Arb_planner.Constraints.no_limits}, the setting execution planning
+    uses). *)
+
+val find : t -> key -> entry option
+(** Memory first, then (when persisting) the entry's file on disk —
+    loaded entries are promoted into memory. *)
+
+val add : t -> key -> query_name:string -> entry -> unit
+(** Insert and, when persisting, write the entry's file (atomically via a
+    temp file + rename). [query_name] is stored as informational metadata
+    only; it is not part of the key. *)
+
+val mem : t -> key -> bool
+
+val size : t -> int
+(** In-memory entry count. *)
+
+val revived : t -> int
+(** How many entries were promoted from disk over this cache's lifetime. *)

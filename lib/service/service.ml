@@ -1,0 +1,285 @@
+module B = Arb_dp.Budget
+module Q = Arb_queries.Registry
+module P = Arb_planner
+module R = Arb_runtime
+
+let src = Logs.Src.create "arb.service" ~doc:"Multi-tenant analytics service"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type t = {
+  session : R.Session.t;
+  cache : Cache.t;
+  devices : int;
+  seed : int;
+  mutable queue : (int * Workload.submission) list;  (* newest first *)
+  mutable next_index : int;
+  mutable history : Lifecycle.record list;  (* newest first *)
+}
+
+let create ?exec_config ?max_rounds ?cache ~budget ~devices ~seed () =
+  (* The session's creation-time database is a placeholder: every query
+     brings its own synthesized inputs (same population, different
+     question) through [run_with_plan]'s [?db]. *)
+  let db = Array.make devices [||] in
+  {
+    session = R.Session.create ?config:exec_config ?max_rounds ~budget ~db ();
+    cache = (match cache with Some c -> c | None -> Cache.create ());
+    devices;
+    seed;
+    queue = [];
+    next_index = 0;
+    history = [];
+  }
+
+let submit t (s : Workload.submission) =
+  let first = t.next_index in
+  for _ = 1 to s.Workload.repeat do
+    t.queue <- (t.next_index, { s with Workload.repeat = 1 }) :: t.queue;
+    t.next_index <- t.next_index + 1
+  done;
+  first
+
+let pending t = List.length t.queue
+
+(* A per-submission RNG for database synthesis, chained off the service
+   seed the same way the session derives execution seeds off the block
+   chain: hash, then fold into an int64. *)
+let db_seed ~seed ~index =
+  let h =
+    Arb_crypto.Sha256.digest (Printf.sprintf "arb-serve-db:%d:%d" seed index)
+  in
+  String.fold_left
+    (fun acc c -> Int64.add (Int64.mul acc 131L) (Int64.of_int (Char.code c)))
+    7L (String.sub h 0 8)
+
+let now () = Unix.gettimeofday ()
+
+(* One submission's progress through the pipeline. *)
+type pending_query = {
+  p_index : int;
+  p_sub : Workload.submission;
+  p_query : Q.query;
+  p_key : Cache.key;
+  p_cost : B.t;
+  p_hit : bool;
+  p_admit_s : float;
+  mutable p_plan_s : float;
+}
+
+let refusal_record ~index ~(sub : Workload.submission) ~categories ~key ~cost
+    ~balance ~admit_s reason =
+  {
+    Lifecycle.index;
+    query = sub.Workload.query;
+    categories;
+    epsilon = sub.Workload.epsilon;
+    cache_key = key;
+    cache_hit = false;
+    cost;
+    budget_before = balance;
+    budget_after = balance;
+    status = Lifecycle.Refused reason;
+    timings = { Lifecycle.admit_s; plan_s = 0.0; exec_s = 0.0 };
+  }
+
+let drain ?(workers = 1) t =
+  let batch = List.rev t.queue in
+  t.queue <- [];
+  let n = t.devices in
+  (* ---- stage 1+2: admission and cache labeling, in submission order ---- *)
+  let projected = ref (R.Session.budget_left t.session) in
+  let cold = ref [] (* (key, query, goal) newest first *)
+  and cold_count = ref 0 in
+  let cold_keys : (Cache.key, unit) Hashtbl.t = Hashtbl.create 16 in
+  let refused = ref [] (* Lifecycle.record, newest first *)
+  and admitted = ref [] (* pending_query, newest first *) in
+  List.iter
+    (fun (index, (sub : Workload.submission)) ->
+      let t0 = now () in
+      let refuse ?(categories = 0) ?(key = "") ?(cost = B.zero) reason =
+        refused :=
+          refusal_record ~index ~sub ~categories ~key ~cost ~balance:!projected
+            ~admit_s:(now () -. t0) reason
+          :: !refused
+      in
+      match
+        match sub.Workload.categories with
+        | Some c ->
+            Q.make ~epsilon:sub.Workload.epsilon ~name:sub.Workload.query ~c ()
+        | None -> Q.test_instance ~epsilon:sub.Workload.epsilon sub.Workload.query
+      with
+      | exception Not_found ->
+          refuse
+            (Printf.sprintf "unknown query %S (see `arb list`)"
+               sub.Workload.query)
+      | query -> (
+          let categories = query.Q.categories in
+          let cert = Arb_lang.Certify.certify query.Q.program ~n in
+          if not cert.Arb_lang.Certify.certified then
+            refuse ~categories
+              ("certification failed: "
+              ^ Option.value cert.Arb_lang.Certify.reason ~default:"?")
+          else
+            let cost = cert.Arb_lang.Certify.cost in
+            let key = Cache.key ~goal:sub.Workload.goal ~query ~n () in
+            match B.charge !projected ~cost with
+            | None ->
+                refuse ~categories ~key ~cost
+                  (Format.asprintf
+                     "admission: privacy budget exhausted (need %a, have %a)"
+                     B.pp cost B.pp !projected)
+            | Some balance ->
+                projected := balance;
+                let hit =
+                  match Cache.find t.cache key with
+                  | Some _ -> true
+                  | None ->
+                      if Hashtbl.mem cold_keys key then true
+                      else begin
+                        Hashtbl.add cold_keys key ();
+                        cold := (key, query, sub.Workload.goal) :: !cold;
+                        incr cold_count;
+                        false
+                      end
+                in
+                admitted :=
+                  {
+                    p_index = index;
+                    p_sub = sub;
+                    p_query = query;
+                    p_key = key;
+                    p_cost = cost;
+                    p_hit = hit;
+                    p_admit_s = now () -. t0;
+                    p_plan_s = 0.0;
+                  }
+                  :: !admitted))
+    batch;
+  let admitted = List.rev !admitted and refused = List.rev !refused in
+  (* ---- stage 3: plan the distinct misses across the worker pool ---- *)
+  let tasks = Array.of_list (List.rev !cold) in
+  let slots = Array.make (Array.length tasks) None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < Array.length tasks then begin
+        let _, query, goal = tasks.(i) in
+        slots.(i) <-
+          Some (P.Search.plan ~goal ~limits:P.Constraints.no_limits ~query ~n ());
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let pool = max 1 (min workers (Array.length tasks)) in
+  let spawned = List.init (pool - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join spawned;
+  Log.info (fun f ->
+      f "planned %d cold quer%s on %d worker%s (%d submissions, %d cache hits)"
+        (Array.length tasks)
+        (if Array.length tasks = 1 then "y" else "ies")
+        pool
+        (if pool = 1 then "" else "s")
+        (List.length batch)
+        (List.length (List.filter (fun p -> p.p_hit) admitted)));
+  (* Commit results in canonical task order so the cache (and its on-disk
+     form) is independent of domain scheduling. *)
+  let plan_failed : (Cache.key, string) Hashtbl.t = Hashtbl.create 4 in
+  let plan_elapsed : (Cache.key, float) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (key, query, _) ->
+      match slots.(i) with
+      | None -> assert false
+      | Some r -> (
+          Hashtbl.replace plan_elapsed key
+            r.P.Search.stats.P.Search.elapsed;
+          match (r.P.Search.plan, r.P.Search.metrics) with
+          | Some plan, Some metrics ->
+              Cache.add t.cache key ~query_name:query.Q.name
+                { Cache.plan; metrics }
+          | _ ->
+              Hashtbl.replace plan_failed key
+                "planner found no plan for this query"))
+    tasks;
+  (* ---- stage 4: execute serially, in submission order ---- *)
+  let executed =
+    List.map
+      (fun p ->
+        let sub = p.p_sub in
+        p.p_plan_s <-
+          (if p.p_hit then 0.0
+           else Option.value ~default:0.0 (Hashtbl.find_opt plan_elapsed p.p_key));
+        let balance = R.Session.budget_left t.session in
+        let finish ?(cache_hit = p.p_hit) ?(exec_s = 0.0) ~budget_after status =
+          {
+            Lifecycle.index = p.p_index;
+            query = sub.Workload.query;
+            categories = p.p_query.Q.categories;
+            epsilon = sub.Workload.epsilon;
+            cache_key = p.p_key;
+            cache_hit;
+            cost = p.p_cost;
+            budget_before = balance;
+            budget_after;
+            status;
+            timings =
+              {
+                Lifecycle.admit_s = p.p_admit_s;
+                plan_s = p.p_plan_s;
+                exec_s;
+              };
+          }
+        in
+        match Hashtbl.find_opt plan_failed p.p_key with
+        | Some reason ->
+            finish ~cache_hit:false ~budget_after:balance
+              (Lifecycle.Plan_failed reason)
+        | None -> (
+            let entry =
+              match Cache.find t.cache p.p_key with
+              | Some e -> e
+              | None -> assert false
+            in
+            let rng = Arb_util.Rng.create (db_seed ~seed:t.seed ~index:p.p_index) in
+            let db = Q.random_database rng p.p_query ~n () in
+            let t0 = now () in
+            match
+              R.Session.run_with_plan t.session ~db ~plan:entry.Cache.plan
+                p.p_query
+            with
+            | Ok qr ->
+                finish
+                  ~exec_s:(now () -. t0)
+                  ~budget_after:(R.Session.budget_left t.session)
+                  (Lifecycle.Executed
+                     {
+                       outputs =
+                         List.map Arb_lang.Interp.value_to_string
+                           qr.R.Session.report.R.Exec.outputs;
+                     })
+            | Error reason ->
+                finish ~exec_s:(now () -. t0) ~budget_after:balance
+                  (Lifecycle.Exec_failed reason)))
+      admitted
+  in
+  let records =
+    List.sort
+      (fun (a : Lifecycle.record) b -> compare a.Lifecycle.index b.Lifecycle.index)
+      (refused @ executed)
+  in
+  t.history <- List.rev_append records t.history;
+  records
+
+let run_workload ?workers t workload =
+  List.iter (fun s -> ignore (submit t s)) (Workload.expand workload);
+  drain ?workers t
+
+let history t = List.rev t.history
+let counters t = Lifecycle.counters_of (history t)
+let budget_left t = R.Session.budget_left t.session
+let queries_executed t = R.Session.queries_run t.session
+let chain_verifies t = R.Session.chain_verifies t.session
+let cache t = t.cache

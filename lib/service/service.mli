@@ -1,0 +1,72 @@
+(** The multi-tenant analytics service: a long-lived deployment fielding a
+    stream of analyst submissions against one device population and one
+    shared privacy budget.
+
+    Submissions queue up ({!submit}) and are processed in batches
+    ({!drain}) through a fixed pipeline:
+
+    + {b admit} — sequential, in submission order: resolve the registry
+      query, certify it, and check its certified cost against the
+      *projected* remaining budget (the session balance minus the certified
+      costs of everything admitted earlier in the batch). Queries that
+      cannot fit are refused before any planning happens, with the session
+      budget and certificate chain untouched — the same
+      refuse-with-budget-intact semantics as {!Arb_runtime.Session.run}.
+    + {b plan / cache} — admitted submissions are labeled against the plan
+      cache in submission order (an earlier identical submission makes a
+      later one a hit, deterministically), and the distinct cache misses
+      are planned concurrently by a pool of OCaml domains. Each worker
+      runs a private single-domain search; results land in per-task slots
+      and are committed to the cache in canonical task order, so the cache
+      contents and every lifecycle record are independent of the worker
+      count and of domain scheduling.
+    + {b execute} — sequential, in submission order, against the shared
+      {!Arb_runtime.Session}: execution must stay serialized because each
+      query's sortition consumes the randomness block minted by the
+      previous certificate (§5.1–5.2) — the chain is inherently ordered.
+      Per-query device inputs are synthesized deterministically from the
+      service seed and the submission index.
+
+    Only planning parallelizes; that is where the service's latency goes
+    once results are streaming (and cached plans skip it entirely). *)
+
+type t
+
+val create :
+  ?exec_config:Arb_runtime.Exec.config ->
+  ?max_rounds:int ->
+  ?cache:Cache.t ->
+  budget:Arb_dp.Budget.t ->
+  devices:int ->
+  seed:int ->
+  unit ->
+  t
+(** A service over [devices] simulated participants. [cache] defaults to a
+    fresh in-memory cache (pass one built with [Cache.create ~dir] for
+    persistence); [seed] drives per-query database synthesis. *)
+
+val submit : t -> Workload.submission -> int
+(** Enqueue ([repeat] is honored); returns the submission index of the
+    first copy. Indices are global to the service, 0-based. *)
+
+val pending : t -> int
+
+val drain : ?workers:int -> t -> Lifecycle.record list
+(** Process the whole queue; returns this batch's records in submission
+    order. [workers] (default 1) sizes the planning pool; every value
+    yields byte-identical canonical records ({!Lifecycle.records_to_string}). *)
+
+val run_workload :
+  ?workers:int -> t -> Workload.t -> Lifecycle.record list
+(** [submit] every expanded entry, then [drain]. *)
+
+val history : t -> Lifecycle.record list
+(** All records since creation, in submission order. *)
+
+val counters : t -> Lifecycle.counters
+val budget_left : t -> Arb_dp.Budget.t
+val queries_executed : t -> int
+val chain_verifies : t -> bool
+(** The underlying session's certificate chain verifies end to end. *)
+
+val cache : t -> Cache.t

@@ -1,0 +1,134 @@
+module J = Arb_util.Json
+module C = Arb_planner.Constraints
+
+type submission = {
+  query : string;
+  epsilon : float;
+  categories : int option;
+  goal : C.goal;
+  repeat : int;
+}
+
+type t = {
+  budget : Arb_dp.Budget.t option;
+  devices : int option;
+  seed : int option;
+  submissions : submission list;
+}
+
+let expand t =
+  List.concat_map
+    (fun s -> List.init s.repeat (fun _ -> { s with repeat = 1 }))
+    t.submissions
+
+let goal_names =
+  [
+    ("part-exp-time", C.Min_part_exp_time);
+    ("part-max-time", C.Min_part_max_time);
+    ("part-exp-bytes", C.Min_part_exp_bytes);
+    ("part-max-bytes", C.Min_part_max_bytes);
+    ("agg-time", C.Min_agg_time);
+    ("agg-bytes", C.Min_agg_bytes);
+  ]
+
+let goal_to_name g =
+  fst (List.find (fun (_, g') -> g' = g) goal_names)
+
+let submission_to_json s =
+  J.Obj
+    (("query", J.String s.query)
+     :: ("epsilon", J.Float s.epsilon)
+     :: ("goal", J.String (goal_to_name s.goal))
+     :: ("repeat", J.Int s.repeat)
+     ::
+     (match s.categories with
+     | None -> []
+     | Some c -> [ ("categories", J.Int c) ]))
+
+let to_json t =
+  J.Obj
+    (List.concat
+       [
+         (match t.budget with
+         | None -> []
+         | Some b ->
+             [
+               ( "budget",
+                 J.Obj
+                   [
+                     ("epsilon", J.Float b.Arb_dp.Budget.epsilon);
+                     ("delta", J.Float b.Arb_dp.Budget.delta);
+                   ] );
+             ]);
+         (match t.devices with None -> [] | Some d -> [ ("devices", J.Int d) ]);
+         (match t.seed with None -> [] | Some s -> [ ("seed", J.Int s) ]);
+         [ ("queries", J.List (List.map submission_to_json t.submissions)) ];
+       ])
+
+(* Optional field access: [J.member] raises on absence, which here means
+   "use the default", not an error. *)
+let opt_member name json =
+  match J.member name json with j -> Some j | exception J.Parse_error _ -> None
+
+let submission_of_json j =
+  match J.to_str (J.member "query" j) with
+  | exception J.Parse_error m -> Error ("query entry: " ^ m)
+  | query -> (
+      let epsilon =
+        match opt_member "epsilon" j with Some e -> J.to_float e | None -> 0.1
+      in
+      let categories = Option.map J.to_int (opt_member "categories" j) in
+      let repeat =
+        match opt_member "repeat" j with Some r -> J.to_int r | None -> 1
+      in
+      let goal_spelling =
+        match opt_member "goal" j with
+        | Some g -> J.to_str g
+        | None -> "part-exp-time"
+      in
+      match List.assoc_opt goal_spelling goal_names with
+      | None ->
+          Error
+            (Printf.sprintf "query %s: unknown goal %S (expected one of %s)"
+               query goal_spelling
+               (String.concat ", " (List.map fst goal_names)))
+      | Some goal ->
+          if repeat <= 0 then
+            Error (Printf.sprintf "query %s: repeat must be positive" query)
+          else Ok { query; epsilon; categories; goal; repeat })
+
+let of_json json =
+  match
+    let budget =
+      Option.map
+        (fun b ->
+          Arb_dp.Budget.create
+            ~epsilon:(J.to_float (J.member "epsilon" b))
+            ~delta:(J.to_float (J.member "delta" b)))
+        (opt_member "budget" json)
+    in
+    let devices = Option.map J.to_int (opt_member "devices" json) in
+    let seed = Option.map J.to_int (opt_member "seed" json) in
+    let entries = J.to_list (J.member "queries" json) in
+    let submissions =
+      List.map
+        (fun j ->
+          match submission_of_json j with
+          | Ok s -> s
+          | Error m -> raise (J.Parse_error m))
+        entries
+    in
+    { budget; devices; seed; submissions }
+  with
+  | t -> Ok t
+  | exception J.Parse_error m -> Error m
+  | exception Invalid_argument m -> Error m
+
+let load path =
+  Result.bind (Arb_planner.Plan_io.load_versioned path) (fun json ->
+      Result.map_error (fun m -> path ^ ": " ^ m) (of_json json))
+
+let save path t =
+  match to_json t with
+  | J.Obj fields -> Arb_planner.Plan_io.save_versioned path fields
+  | _ -> assert false

@@ -1,0 +1,57 @@
+(** Workload files: a scripted stream of analyst submissions for
+    [arb serve] and the throughput bench.
+
+    A workload is versioned JSON ({!Arb_planner.Plan_io.format_version}):
+
+    {v
+    { "formatVersion": 1,
+      "budget":  { "epsilon": 3.0, "delta": 1e-6 },
+      "devices": 64,
+      "seed":    7,
+      "queries": [
+        { "query": "top1", "epsilon": 0.5 },
+        { "query": "median", "epsilon": 0.4, "categories": 16,
+          "goal": "part-exp-time", "repeat": 3 }
+      ] }
+    v}
+
+    [budget], [devices] and [seed] are defaults the CLI may override;
+    per-query [categories] defaults to the registry's small test instance
+    (execution runs in-process), [goal] to minimizing expected participant
+    time, [repeat] to 1. *)
+
+type submission = {
+  query : string;  (** registry name (see [arb list]) *)
+  epsilon : float;
+  categories : int option;
+  goal : Arb_planner.Constraints.goal;
+  repeat : int;  (** submit this many consecutive copies *)
+}
+
+type t = {
+  budget : Arb_dp.Budget.t option;
+  devices : int option;
+  seed : int option;
+  submissions : submission list;  (** in file order, [repeat] not expanded *)
+}
+
+val expand : t -> submission list
+(** File order with [repeat] expanded into consecutive copies
+    ([repeat = 1] each). *)
+
+val goal_names : (string * Arb_planner.Constraints.goal) list
+(** CLI-facing goal spellings: part-exp-time, part-max-time,
+    part-exp-bytes, part-max-bytes, agg-time, agg-bytes. *)
+
+val goal_to_name : Arb_planner.Constraints.goal -> string
+
+val of_json : Arb_util.Json.t -> (t, string) result
+val to_json : t -> Arb_util.Json.t
+(** [to_json] emits the fields without the [formatVersion] envelope
+    (callers wrap with {!Arb_planner.Plan_io.save_versioned}). *)
+
+val load : string -> (t, string) result
+(** Read a workload file; [Error] on unreadable paths, malformed JSON,
+    version mismatches, unknown goals, or non-positive repeat counts. *)
+
+val save : string -> t -> unit

@@ -1,0 +1,391 @@
+(* Tests for the multi-tenant analytics service: plan-cache keying and
+   persistence, admission control against the shared budget, worker-pool
+   determinism, and Plan_io's versioned file persistence. *)
+
+module S = Arb_service
+module B = Arb_dp.Budget
+module P = Arb_planner
+module Q = Arb_queries.Registry
+
+let qtest = QCheck_alcotest.to_alcotest
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let contains s needle =
+  let n = String.length needle and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let tmp_path name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "arb-test-%d-%s" (Unix.getpid ()) name)
+
+let tmp_dir name =
+  let d = tmp_path name in
+  if not (Sys.file_exists d) then Sys.mkdir d 0o755;
+  d
+
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+let sub ?categories ?(repeat = 1) ?(goal = P.Constraints.Min_part_exp_time)
+    ~epsilon query =
+  { S.Workload.query; epsilon; categories; goal; repeat }
+
+let service ?cache ?(epsilon = 100.0) ?(delta = 0.01) ?(devices = 32) ?(seed = 5)
+    () =
+  S.Service.create ?cache
+    ~budget:(B.create ~epsilon ~delta)
+    ~devices ~seed ()
+
+(* ---------------- Plan_io file persistence ---------------- *)
+
+let plan_of name =
+  let q = Q.test_instance name in
+  match (P.Search.plan ~query:q ~n:100_000 ()).P.Search.plan with
+  | Some p -> p
+  | None -> Alcotest.fail ("no plan for " ^ name)
+
+let test_plan_io_roundtrip () =
+  let plan = plan_of "top1" in
+  let path = tmp_path "roundtrip.json" in
+  P.Plan_io.save_plan path plan;
+  (match P.Plan_io.load_plan path with
+  | Ok plan' -> checkb "same plan back" true (plan = plan')
+  | Error m -> Alcotest.fail m);
+  Sys.remove path
+
+let test_plan_io_rejects_malformed () =
+  (match P.Plan_io.load_plan (tmp_path "does-not-exist.json") with
+  | Ok _ -> Alcotest.fail "loaded a missing file"
+  | Error _ -> ());
+  let garbage = tmp_path "garbage.json" in
+  write_file garbage "this is { not json";
+  (match P.Plan_io.load_plan garbage with
+  | Ok _ -> Alcotest.fail "loaded garbage"
+  | Error m -> checkb "mentions malformed JSON" true (contains m "malformed"));
+  Sys.remove garbage;
+  let unversioned = tmp_path "unversioned.json" in
+  write_file unversioned "{\"plan\": {}}";
+  (match P.Plan_io.load_plan unversioned with
+  | Ok _ -> Alcotest.fail "loaded a file without formatVersion"
+  | Error m -> checkb "mentions formatVersion" true (contains m "formatVersion"));
+  Sys.remove unversioned;
+  let stale = tmp_path "stale.json" in
+  write_file stale "{\"formatVersion\": 999, \"plan\": {}}";
+  (match P.Plan_io.load_plan stale with
+  | Ok _ -> Alcotest.fail "loaded a version-mismatched file"
+  | Error m -> checkb "mentions the version" true (contains m "999"));
+  Sys.remove stale;
+  let truncated = tmp_path "truncated.json" in
+  write_file truncated "{\"formatVersion\": 1, \"plan\": {\"query\": \"x\"}}";
+  match P.Plan_io.load_plan truncated with
+  | Ok _ -> Alcotest.fail "loaded a plan missing fields"
+  | Error m ->
+      checkb "mentions the bad plan" true (contains m "bad plan");
+      Sys.remove truncated
+
+(* ---------------- cache keying ---------------- *)
+
+let test_cache_key_canonicalization () =
+  let goal = P.Constraints.Min_part_exp_time in
+  let q = Q.test_instance "top1" in
+  let key1 = S.Cache.key ~goal ~query:q ~n:1000 () in
+  let key2 = S.Cache.key ~goal ~query:(Q.test_instance "top1") ~n:1000 () in
+  checks "same inputs, same key" key1 key2;
+  (* The registry name is metadata, not part of the key: a renamed query
+     with the same program shares the entry. *)
+  let renamed = { q with Q.name = "renamed"; action = "other action" } in
+  checks "name is not part of the key" key1
+    (S.Cache.key ~goal ~query:renamed ~n:1000 ());
+  let different =
+    [
+      S.Cache.key ~goal ~query:q ~n:1001 ();
+      S.Cache.key ~goal:P.Constraints.Min_agg_bytes ~query:q ~n:1000 ();
+      S.Cache.key ~goal ~query:(Q.test_instance ~epsilon:0.7 "top1") ~n:1000 ();
+      S.Cache.key ~goal ~query:(Q.make ~name:"top1" ~c:8 ()) ~n:1000 ();
+      S.Cache.key ~goal ~query:(Q.test_instance "median") ~n:1000 ();
+      S.Cache.key ~limits:P.Constraints.evaluation_limits ~goal ~query:q
+        ~n:1000 ();
+    ]
+  in
+  List.iteri
+    (fun i k ->
+      checkb (Printf.sprintf "variant %d differs" i) false (String.equal key1 k))
+    different;
+  (* Distinct variants are also pairwise distinct. *)
+  let uniq = List.sort_uniq compare different in
+  checki "no collisions among variants" (List.length different)
+    (List.length uniq)
+
+let test_cache_disk_persistence () =
+  let dir = tmp_dir "cache-persist" in
+  Array.iter
+    (fun f -> Sys.remove (Filename.concat dir f))
+    (Sys.readdir dir);
+  let q = Q.test_instance "top1" in
+  let goal = P.Constraints.Min_part_exp_time in
+  let key = S.Cache.key ~goal ~query:q ~n:100_000 () in
+  let r = P.Search.plan ~query:q ~n:100_000 () in
+  let entry =
+    match (r.P.Search.plan, r.P.Search.metrics) with
+    | Some plan, Some metrics -> { S.Cache.plan; metrics }
+    | _ -> Alcotest.fail "no plan"
+  in
+  let c1 = S.Cache.create ~dir () in
+  S.Cache.add c1 key ~query_name:"top1" entry;
+  checkb "hit in the writing cache" true (S.Cache.mem c1 key);
+  (* A fresh cache over the same directory revives the entry. *)
+  let c2 = S.Cache.create ~dir () in
+  (match S.Cache.find c2 key with
+  | Some e -> checkb "revived plan equals original" true (e.S.Cache.plan = entry.S.Cache.plan)
+  | None -> Alcotest.fail "persisted entry not found");
+  checki "revival counted" 1 (S.Cache.revived c2);
+  (* Corrupt the file: the entry becomes a miss, never an exception. *)
+  write_file (Filename.concat dir (key ^ ".json")) "{corrupt";
+  let c3 = S.Cache.create ~dir () in
+  checkb "corrupt file is a miss" true (S.Cache.find c3 key = None)
+
+(* ---------------- service lifecycle ---------------- *)
+
+let test_service_cache_hits () =
+  let t = service () in
+  let records =
+    S.Service.run_workload t
+      {
+        S.Workload.budget = None;
+        devices = None;
+        seed = None;
+        submissions = [ sub ~epsilon:0.5 ~repeat:3 "top1" ];
+      }
+  in
+  checki "three records" 3 (List.length records);
+  List.iteri
+    (fun i r ->
+      checki "indices in submission order" i r.S.Lifecycle.index;
+      checks "all executed" "executed" (S.Lifecycle.status_name r.S.Lifecycle.status);
+      checkb
+        (Printf.sprintf "submission %d cache label" i)
+        (i > 0) r.S.Lifecycle.cache_hit)
+    records;
+  let c = S.Service.counters t in
+  checki "one cold search" 1 c.S.Lifecycle.planned;
+  checki "two hits" 2 c.S.Lifecycle.cache_hits;
+  checki "session advanced" 3 (S.Service.queries_executed t);
+  checkb "chain verifies" true (S.Service.chain_verifies t)
+
+let test_admission_refuses_midworkload () =
+  (* Budget covers exactly two queries at eps 0.5; the third (and a later
+     affordable-looking retry) must be refused before planning, leaving
+     the balance and the chain exactly as after the second execution. *)
+  let t = service ~epsilon:1.0 ~delta:0.01 () in
+  let records =
+    S.Service.run_workload t
+      {
+        S.Workload.budget = None;
+        devices = None;
+        seed = None;
+        submissions = [ sub ~epsilon:0.5 ~repeat:4 "top1" ];
+      }
+  in
+  let statuses =
+    List.map (fun r -> S.Lifecycle.status_name r.S.Lifecycle.status) records
+  in
+  Alcotest.(check (list string))
+    "two executed, two refused"
+    [ "executed"; "executed"; "refused"; "refused" ]
+    statuses;
+  checki "only two queries on the chain" 2 (S.Service.queries_executed t);
+  checkb "chain verifies" true (S.Service.chain_verifies t);
+  let balance = S.Service.budget_left t in
+  checkb "epsilon fully spent" true (Float.abs balance.B.epsilon < 1e-9);
+  List.iter
+    (fun r ->
+      match r.S.Lifecycle.status with
+      | S.Lifecycle.Refused reason ->
+          checkb "reason names the budget" true (contains reason "budget");
+          checkb "refusal leaves balance untouched" true
+            (B.equal r.S.Lifecycle.budget_before r.S.Lifecycle.budget_after);
+          checkb "refused before planning" true
+            (r.S.Lifecycle.timings.S.Lifecycle.plan_s = 0.0)
+      | _ -> ())
+    records
+
+let test_admission_refuses_before_any_execution () =
+  let budget = B.create ~epsilon:0.1 ~delta:0.01 in
+  let t = S.Service.create ~budget ~devices:32 ~seed:5 () in
+  ignore (S.Service.submit t (sub ~epsilon:0.5 "top1"));
+  let records = S.Service.drain t in
+  checki "one record" 1 (List.length records);
+  (match records with
+  | [ r ] ->
+      checks "refused" "refused" (S.Lifecycle.status_name r.S.Lifecycle.status)
+  | _ -> assert false);
+  checkb "budget byte-identical" true (B.equal budget (S.Service.budget_left t));
+  checki "nothing executed" 0 (S.Service.queries_executed t);
+  checkb "empty chain verifies" true (S.Service.chain_verifies t)
+
+let test_unknown_query_refused () =
+  let t = service () in
+  ignore (S.Service.submit t (sub ~epsilon:0.5 "no-such-query"));
+  match S.Service.drain t with
+  | [ r ] -> (
+      match r.S.Lifecycle.status with
+      | S.Lifecycle.Refused reason ->
+          checkb "reason names the query" true (contains reason "no-such-query")
+      | _ -> Alcotest.fail "expected a refusal")
+  | rs -> Alcotest.fail (Printf.sprintf "expected 1 record, got %d" (List.length rs))
+
+let test_empty_drain () =
+  let t = service () in
+  checki "no records" 0 (List.length (S.Service.drain t));
+  checki "no pending" 0 (S.Service.pending t)
+
+let test_incremental_batches_share_cache () =
+  let t = service () in
+  ignore (S.Service.submit t (sub ~epsilon:0.5 "top1"));
+  let b1 = S.Service.drain t in
+  ignore (S.Service.submit t (sub ~epsilon:0.5 "top1"));
+  let b2 = S.Service.drain t in
+  (match (b1, b2) with
+  | [ r1 ], [ r2 ] ->
+      checkb "first is cold" false r1.S.Lifecycle.cache_hit;
+      checkb "second batch hits the first's plan" true r2.S.Lifecycle.cache_hit;
+      checki "indices are service-global" 1 r2.S.Lifecycle.index
+  | _ -> Alcotest.fail "expected singleton batches");
+  checki "history holds both" 2 (List.length (S.Service.history t))
+
+(* ---------------- determinism across worker counts ---------------- *)
+
+(* A small pool of cheap executable queries the generator draws from. *)
+let workload_pool = [| "top1"; "hypotest"; "median"; "gap" |]
+
+let gen_workload =
+  QCheck.Gen.(
+    let gen_sub =
+      map3
+        (fun qi eps repeat ->
+          sub ~epsilon:(0.2 +. (0.1 *. float_of_int eps)) ~repeat
+            workload_pool.(qi))
+        (int_bound (Array.length workload_pool - 1))
+        (int_bound 3) (int_range 1 2)
+    in
+    map2
+      (fun seed subs -> (seed, subs))
+      (int_range 1 10_000)
+      (list_size (int_range 1 4) gen_sub))
+
+let arb_workload =
+  QCheck.make gen_workload ~print:(fun (seed, subs) ->
+      Printf.sprintf "seed=%d workload=[%s]" seed
+        (String.concat "; "
+           (List.map
+              (fun s ->
+                Printf.sprintf "%s eps=%g x%d" s.S.Workload.query
+                  s.S.Workload.epsilon s.S.Workload.repeat)
+              subs)))
+
+let run_at ~workers ~seed subs =
+  (* A budget that admits some but usually not all submissions, so the
+     property also covers mid-workload refusals. *)
+  let t = service ~epsilon:1.5 ~delta:0.01 ~devices:24 ~seed () in
+  List.iter (fun s -> ignore (S.Service.submit t s)) subs;
+  let records = S.Service.drain ~workers t in
+  (S.Lifecycle.records_to_string records, S.Service.budget_left t)
+
+let prop_worker_count_invisible =
+  QCheck.Test.make
+    ~name:"same workload + seed => identical lifecycle records at any worker count"
+    ~count:6 arb_workload
+    (fun (seed, subs) ->
+      let base, budget1 = run_at ~workers:1 ~seed subs in
+      List.for_all
+        (fun workers ->
+          let records, budget = run_at ~workers ~seed subs in
+          String.equal base records && B.equal budget1 budget)
+        [ 2; 4 ])
+
+(* ---------------- workload files ---------------- *)
+
+let test_workload_file_roundtrip () =
+  let w =
+    {
+      S.Workload.budget = Some (B.create ~epsilon:3.0 ~delta:1e-6);
+      devices = Some 48;
+      seed = Some 7;
+      submissions =
+        [ sub ~epsilon:0.5 ~repeat:2 "top1"; sub ~epsilon:0.4 "median" ];
+    }
+  in
+  let path = tmp_path "workload.json" in
+  S.Workload.save path w;
+  (match S.Workload.load path with
+  | Error m -> Alcotest.fail m
+  | Ok w' ->
+      checkb "same workload back" true (w = w');
+      checki "expansion honors repeat" 3 (List.length (S.Workload.expand w')));
+  Sys.remove path
+
+let test_workload_file_rejects () =
+  let path = tmp_path "bad-workload.json" in
+  write_file path "{\"formatVersion\": 1, \"queries\": [{\"epsilon\": 1}]}";
+  (match S.Workload.load path with
+  | Ok _ -> Alcotest.fail "loaded a workload entry without a query name"
+  | Error m -> checkb "mentions the query field" true (contains m "query"));
+  write_file path
+    "{\"formatVersion\": 1, \"queries\": [{\"query\": \"top1\", \"goal\": \
+     \"warp-speed\"}]}";
+  (match S.Workload.load path with
+  | Ok _ -> Alcotest.fail "loaded a workload with an unknown goal"
+  | Error m -> checkb "mentions the goal" true (contains m "warp-speed"));
+  write_file path
+    "{\"formatVersion\": 1, \"queries\": [{\"query\": \"top1\", \"repeat\": 0}]}";
+  (match S.Workload.load path with
+  | Ok _ -> Alcotest.fail "loaded a workload with repeat 0"
+  | Error m -> checkb "mentions repeat" true (contains m "repeat"));
+  Sys.remove path
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "plan-io",
+        [
+          Alcotest.test_case "save/load roundtrip" `Quick test_plan_io_roundtrip;
+          Alcotest.test_case "malformed files are rejected with Error" `Quick
+            test_plan_io_rejects_malformed;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "key canonicalization" `Quick
+            test_cache_key_canonicalization;
+          Alcotest.test_case "disk persistence + corrupt-file tolerance" `Quick
+            test_cache_disk_persistence;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "budget exhaustion refuses mid-workload" `Quick
+            test_admission_refuses_midworkload;
+          Alcotest.test_case "refusal before any execution" `Quick
+            test_admission_refuses_before_any_execution;
+          Alcotest.test_case "unknown query refused" `Quick
+            test_unknown_query_refused;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "repeat submissions hit the cache" `Quick
+            test_service_cache_hits;
+          Alcotest.test_case "empty drain" `Quick test_empty_drain;
+          Alcotest.test_case "batches share cache, indices global" `Quick
+            test_incremental_batches_share_cache;
+        ] );
+      ("determinism", [ qtest prop_worker_count_invisible ]);
+      ( "workload",
+        [
+          Alcotest.test_case "file roundtrip" `Quick test_workload_file_roundtrip;
+          Alcotest.test_case "malformed workloads rejected" `Quick
+            test_workload_file_rejects;
+        ] );
+    ]
