@@ -899,10 +899,180 @@ let service_throughput () =
         "drain wall"; "records vs 1 worker" ]
     rows
 
+(* ------------------------------------------------------------------ *)
+(* Profiling: the observability layer (lib/obs) end to end — spans,    *)
+(* metrics, trace validity, deterministic byte-identity, top-k table.  *)
+
+(* Structural validator for Chrome trace_event JSON: every event carries
+   the required fields, and per (pid, tid) the complete events form a
+   well-nested span tree. Returns the event count. *)
+let validate_trace_json s =
+  let module J = Arb_util.Json in
+  let events =
+    match J.of_string s with
+    | J.List evs -> evs
+    | _ -> failwith "profiling: trace is not a JSON array"
+    | exception J.Parse_error m -> failwith ("profiling: trace JSON: " ^ m)
+  in
+  let field name ev =
+    match ev with
+    | J.Obj kvs -> (
+        match List.assoc_opt name kvs with
+        | Some v -> v
+        | None -> failwith ("profiling: event missing \"" ^ name ^ "\""))
+    | _ -> failwith "profiling: trace event is not an object"
+  in
+  let spans = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      (match field "name" ev with
+      | J.String "" -> failwith "profiling: empty event name"
+      | J.String _ -> ()
+      | _ -> failwith "profiling: event name is not a string");
+      ignore (J.to_str (field "cat" ev));
+      let ts = J.to_int (field "ts" ev) in
+      let pid = J.to_int (field "pid" ev) in
+      let tid = J.to_int (field "tid" ev) in
+      match J.to_str (field "ph" ev) with
+      | "X" ->
+          let dur = J.to_int (field "dur" ev) in
+          if ts < 0 || dur < 0 then failwith "profiling: negative ts/dur";
+          let key = (pid, tid) in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt spans key) in
+          Hashtbl.replace spans key ((ts, ts + dur) :: prev)
+      | "i" -> ignore (J.to_str (field "s" ev))
+      | ph -> failwith ("profiling: unexpected phase " ^ ph))
+    events;
+  Hashtbl.iter
+    (fun (_pid, tid) sps ->
+      (* Sorted by (start asc, end desc) — i.e. parents before children —
+         any two spans must be disjoint or contained. *)
+      let sps =
+        List.sort
+          (fun (s1, e1) (s2, e2) -> compare (s1, -e1) (s2, -e2))
+          sps
+      in
+      let stack = ref [] in
+      List.iter
+        (fun (s, e) ->
+          let rec pop () =
+            match !stack with
+            | (_, pe) :: rest when pe <= s ->
+                stack := rest;
+                pop ()
+            | _ -> ()
+          in
+          pop ();
+          (match !stack with
+          | (ps, pe) :: _ when not (ps <= s && e <= pe) ->
+              failwith
+                (Printf.sprintf
+                   "profiling: spans overlap without nesting on tid %d \
+                    ([%d,%d] vs [%d,%d])"
+                   tid ps pe s e)
+          | _ -> ());
+          stack := (s, e) :: !stack)
+        sps)
+    spans;
+  List.length events
+
+let profiling () =
+  section "Profiling: span tracer + metrics registry (lib/obs)";
+  let module Obs = Arb_obs in
+  let n = if !smoke then 1_000_000 else 1_000_000_000 in
+  let devices = if !smoke then 32 else 64 in
+  (* A: profiled planner search (wall clock) — validate the trace and
+     print the top-k hottest phases. *)
+  let tracer = Obs.Tracer.create () in
+  let reg = Obs.Metrics.create () in
+  let q = Q.paper_instance "top1" in
+  ignore (P.Search.plan ~tracer ~metrics:reg ~query:q ~n ());
+  let events = validate_trace_json (Obs.Tracer.to_string tracer) in
+  Printf.printf "  planner trace: %d events, well-nested; top phases:\n"
+    events;
+  let top =
+    let rec take k = function
+      | x :: rest when k > 0 -> x :: take (k - 1) rest
+      | _ -> []
+    in
+    take 5 (Obs.Tracer.totals tracer)
+  in
+  T.print
+    ~header:[ "span"; "count"; "total" ]
+    (List.map
+       (fun (name, count, secs) ->
+         [ name; string_of_int count; U.seconds_to_string secs ])
+       top);
+  (* B: profiled runtime execution on the simulated protocol clock. *)
+  let sim = Obs.Clock.sim () in
+  let rt_tracer = Obs.Tracer.create ~clock:(Obs.Clock.Simulated sim) () in
+  let qx = Q.test_instance ~epsilon:2.0 "top1" in
+  let db = Q.random_database (Arb_util.Rng.create 17L) qx ~n:devices () in
+  let config =
+    { Arb_runtime.Exec.default_config with
+      Arb_runtime.Exec.budget = Arb_dp.Budget.create ~epsilon:100.0 ~delta:1e-3;
+      tracer = Some rt_tracer }
+  in
+  let rep = Arb_runtime.Exec.plan_and_execute config ~query:qx ~db in
+  ignore (validate_trace_json (Obs.Tracer.to_string rt_tracer));
+  Printf.printf
+    "  runtime trace: %d events on the simulated clock (%.3f protocol s); \
+     cert ok: %b\n"
+    (Obs.Tracer.event_count rt_tracer)
+    sim.Obs.Clock.sim_now rep.Arb_runtime.Exec.certificate_ok;
+  (* C: deterministic mode — trace and metrics bytes must be identical
+     across runs and across worker counts. *)
+  let module S = Arb_service in
+  let goal = P.Constraints.Min_part_exp_time in
+  let workload =
+    List.map
+      (fun name ->
+        { S.Workload.query = name; epsilon = 0.4; categories = None;
+          goal; repeat = 2 })
+      [ "top1"; "hypotest" ]
+  in
+  let det_run workers =
+    let tr = Obs.Tracer.create ~clock:Obs.Clock.Deterministic () in
+    let reg = Obs.Metrics.create () in
+    let t =
+      S.Service.create
+        ~budget:(Arb_dp.Budget.create ~epsilon:1.0e6 ~delta:0.5)
+        ~metrics:reg ~devices:(if !smoke then 24 else 48) ~seed:11 ()
+    in
+    List.iter (fun s -> ignore (S.Service.submit t s)) workload;
+    ignore (S.Service.drain ~tracer:tr ~workers t);
+    (Obs.Tracer.to_string tr, Obs.Metrics.to_prometheus reg)
+  in
+  let t1, m1 = det_run 1 in
+  let t1', m1' = det_run 1 in
+  let t2, m2 = det_run 2 in
+  ignore (validate_trace_json t1);
+  if not (String.equal t1 t1' && String.equal m1 m1') then
+    failwith "profiling: deterministic trace/metrics differ across runs";
+  (* arb_service_pool_workers reports the configured pool size, so it is
+     the one series allowed to differ between worker counts. *)
+  let drop_pool_gauge m =
+    String.split_on_char '\n' m
+    |> List.filter (fun l ->
+           not (String.starts_with ~prefix:"arb_service_pool_workers" l))
+    |> String.concat "\n"
+  in
+  if
+    not
+      (String.equal t1 t2
+      && String.equal (drop_pool_gauge m1) (drop_pool_gauge m2))
+  then
+    failwith
+      "profiling: deterministic trace/metrics differ across worker counts";
+  Printf.printf
+    "  deterministic service trace: %d bytes, identical across runs and \
+     workers 1/2; metrics: %d bytes, identical\n"
+    (String.length t1) (String.length m1)
+
 let all =
   [ ("table1", table1); ("table2", table2); ("fig6", fig6); ("fig7", fig7);
     ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("fig11", fig11);
     ("fig12", fig12); ("ablations", ablations); ("accuracy", accuracy);
     ("validation", validation); ("e2e", e2e); ("chaos", chaos);
     ("planner_scaling", planner_scaling);
-    ("service_throughput", service_throughput) ]
+    ("service_throughput", service_throughput); ("profiling", profiling) ]

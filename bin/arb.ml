@@ -69,32 +69,93 @@ let json_arg =
   let doc = "Emit the chosen plan and its cost metrics as JSON." in
   Arg.(value & flag & info [ "json" ] ~doc)
 
+(* --- observability flags shared by plan/run/serve --- *)
+
+let trace_out_arg =
+  let doc =
+    "Write a Chrome trace_event JSON file of the command's span tree \
+     (load it in chrome://tracing or https://ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let metrics_out_arg =
+  let doc = "Write a Prometheus-style text snapshot of the metrics registry." in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let trace_det_arg =
+  let doc =
+    "Deterministic observability: spans carry logical ticks instead of wall \
+     timestamps and wall-clock instruments are suppressed, so the trace and \
+     metrics bytes are identical across runs (and across --workers values)."
+  in
+  Arg.(value & flag & info [ "trace-deterministic" ] ~doc)
+
+(* A tracer exists when a trace file was requested or deterministic mode is
+   on (the flag also gates the registry's wall-clock instruments). *)
+let obs_tracer ~clock ~trace_out ~deterministic =
+  if trace_out <> None || deterministic then
+    Some
+      (Arb_obs.Tracer.create
+         ~clock:(if deterministic then Arb_obs.Clock.Deterministic else clock)
+         ())
+  else None
+
+(* Notes go to stderr so --json stdout stays machine-readable. *)
+let obs_save ~trace_out ~metrics_out tracer metrics =
+  (match (tracer, trace_out) with
+  | Some tr, Some path ->
+      Arb_obs.Tracer.save tr path;
+      Printf.eprintf "trace: %d events written to %s\n%!"
+        (Arb_obs.Tracer.event_count tr)
+        path
+  | _ -> ());
+  match (metrics, metrics_out) with
+  | Some reg, Some path -> Arb_obs.Metrics.save reg path
+  | _ -> ()
+
+let metrics_series reg =
+  List.length
+    (List.filter
+       (fun l -> l <> "" && l.[0] <> '#')
+       (String.split_on_char '\n' (Arb_obs.Metrics.to_prometheus reg)))
+
 let plan_cmd =
-  let run verbose name n categories epsilon goal json =
+  let run verbose name n categories epsilon goal json trace_out metrics_out det =
     setup_logs verbose;
     match build_query name categories epsilon with
     | Error (`Msg m) -> prerr_endline m; 1
-    | Ok q -> (
-        match Arboretum.plan ~goal ~n q with
-        | p ->
-            if json then
-              print_endline
-                (Arb_util.Json.to_string ~pretty:true
-                   (Arb_util.Json.Obj
-                      [
-                        ("plan", Arb_planner.Plan_io.plan_to_json p.Arboretum.plan);
-                        ("metrics", Arb_planner.Plan_io.metrics_to_json p.Arboretum.metrics);
-                      ]))
-            else print_string (Arboretum.explain p);
-            0
-        | exception Arboretum.Rejected m ->
-            Printf.eprintf "rejected: %s\n" m;
-            1)
+    | Ok q ->
+        let tracer =
+          obs_tracer ~clock:Arb_obs.Clock.Monotonic ~trace_out ~deterministic:det
+        in
+        let metrics =
+          if metrics_out <> None then Some (Arb_obs.Metrics.create ()) else None
+        in
+        let code =
+          match Arboretum.plan ~goal ?tracer ?metrics ~n q with
+          | p ->
+              if json then
+                print_endline
+                  (Arb_util.Json.to_string ~pretty:true
+                     (Arb_util.Json.Obj
+                        [
+                          ("plan", Arb_planner.Plan_io.plan_to_json p.Arboretum.plan);
+                          ("metrics", Arb_planner.Plan_io.metrics_to_json p.Arboretum.metrics);
+                        ]))
+              else print_string (Arboretum.explain p);
+              0
+          | exception Arboretum.Rejected m ->
+              Printf.eprintf "rejected: %s\n" m;
+              1
+        in
+        (* The search spans exist even when the plan was rejected. *)
+        obs_save ~trace_out ~metrics_out tracer metrics;
+        code
   in
   let term =
     Term.(
       const run $ verbose_arg $ query_arg $ n_arg $ categories_arg $ epsilon_arg
-      $ goal_arg $ json_arg)
+      $ goal_arg $ json_arg $ trace_out_arg $ metrics_out_arg $ trace_det_arg)
   in
   Cmd.v (Cmd.info "plan" ~doc:"Certify a query and print the chosen plan with its costs.") term
 
@@ -121,7 +182,7 @@ let certify_cmd =
   Cmd.v (Cmd.info "certify" ~doc:"Run differential-privacy certification only.") term
 
 let run_cmd =
-  let run verbose name devices epsilon seed =
+  let run verbose name devices epsilon seed trace_out metrics_out det =
     setup_logs verbose;
     (* Execution uses a small category count so the whole protocol fits in
        one process with real ciphertexts. *)
@@ -131,29 +192,50 @@ let run_cmd =
         prerr_endline ("unknown query " ^ name);
         exit 1
     in
+    (* Execution spans sit on the protocol's simulated timeline: the
+       runtime advances this clock by its MPC and upload estimates. *)
+    let tracer =
+      obs_tracer
+        ~clock:(Arb_obs.Clock.Simulated (Arb_obs.Clock.sim ()))
+        ~trace_out ~deterministic:det
+    in
+    let metrics =
+      if metrics_out <> None then Some (Arb_obs.Metrics.create ()) else None
+    in
     let db = Arboretum.synthesize_database ~seed:(Int64.of_int seed) q ~n:devices in
-    match
-      let p =
-        Arboretum.plan ~limits:Arb_planner.Constraints.no_limits ~n:devices q
-      in
-      (p, Arboretum.run ~db p)
-    with
-    | _, report ->
-        Printf.printf "outputs: %s\n"
-          (String.concat "; " (Arboretum.outputs_to_strings report));
-        Printf.printf
-          "inputs accepted/rejected: %d/%d; certificate ok: %b; audit ok: %b\n"
-          report.Arb_runtime.Exec.accepted_inputs
-          report.Arb_runtime.Exec.rejected_inputs
-          report.Arb_runtime.Exec.certificate_ok report.Arb_runtime.Exec.audit_ok;
-        Format.printf "trace: %a@." Arb_runtime.Trace.pp report.Arb_runtime.Exec.trace;
-        0
-    | exception Arboretum.Rejected m ->
-        Printf.eprintf "rejected: %s\n" m;
-        1
+    let code =
+      match
+        let p =
+          Arboretum.plan ~limits:Arb_planner.Constraints.no_limits ?tracer
+            ?metrics ~n:devices q
+        in
+        let config = { Arb_runtime.Exec.default_config with tracer } in
+        (p, Arboretum.run ~config ~db p)
+      with
+      | _, report ->
+          Printf.printf "outputs: %s\n"
+            (String.concat "; " (Arboretum.outputs_to_strings report));
+          Printf.printf
+            "inputs accepted/rejected: %d/%d; certificate ok: %b; audit ok: %b\n"
+            report.Arb_runtime.Exec.accepted_inputs
+            report.Arb_runtime.Exec.rejected_inputs
+            report.Arb_runtime.Exec.certificate_ok report.Arb_runtime.Exec.audit_ok;
+          Format.printf "trace: %a@." Arb_runtime.Trace.pp report.Arb_runtime.Exec.trace;
+          (match metrics with
+          | Some reg -> Arb_runtime.Trace.export report.Arb_runtime.Exec.trace reg
+          | None -> ());
+          0
+      | exception Arboretum.Rejected m ->
+          Printf.eprintf "rejected: %s\n" m;
+          1
+    in
+    obs_save ~trace_out ~metrics_out tracer metrics;
+    code
   in
   let term =
-    Term.(const run $ verbose_arg $ query_arg $ devices_arg $ epsilon_arg $ seed_arg)
+    Term.(
+      const run $ verbose_arg $ query_arg $ devices_arg $ epsilon_arg $ seed_arg
+      $ trace_out_arg $ metrics_out_arg $ trace_det_arg)
   in
   Cmd.v
     (Cmd.info "run"
@@ -241,11 +323,24 @@ let list_cmd =
     Term.(const run $ json_arg)
 
 let serve_cmd =
-  let run verbose workload_path devices seed workers cache_dir json =
+  let run verbose workload_path devices seed workers cache_dir json trace_out
+      metrics_out det =
     setup_logs verbose;
+    (* serve always keeps a registry so every exit path can report a
+       metrics summary; --metrics-out additionally persists it. *)
+    let reg = Arb_obs.Metrics.create () in
+    let tracer =
+      obs_tracer ~clock:Arb_obs.Clock.Monotonic ~trace_out ~deterministic:det
+    in
     match Arb_service.Workload.load workload_path with
     | Error m ->
         Printf.eprintf "cannot load workload: %s\n" m;
+        Arb_obs.Metrics.add reg
+          ~help:"Workload files that failed to load or parse"
+          "arb_service_workload_errors_total" 1.0;
+        obs_save ~trace_out ~metrics_out tracer (Some reg);
+        Printf.eprintf "metrics: %d series (workload error)\n%!"
+          (metrics_series reg);
         1
     | Ok workload ->
         let budget =
@@ -265,10 +360,10 @@ let serve_cmd =
         in
         let cache = Arb_service.Cache.create ?dir:cache_dir () in
         let service =
-          Arb_service.Service.create ~cache ~budget ~devices ~seed ()
+          Arb_service.Service.create ~cache ~metrics:reg ~budget ~devices ~seed ()
         in
         let records =
-          Arb_service.Service.run_workload ~workers service workload
+          Arb_service.Service.run_workload ?tracer ~workers service workload
         in
         let counters = Arb_service.Service.counters service in
         if json then
@@ -298,6 +393,7 @@ let serve_cmd =
                     ( "chainVerifies",
                       Arb_util.Json.Bool
                         (Arb_service.Service.chain_verifies service) );
+                    ("metrics", Arb_obs.Metrics.to_json reg);
                   ]))
         else begin
           List.iter
@@ -317,6 +413,13 @@ let serve_cmd =
             (Arb_service.Service.budget_left service)
             (Arb_service.Service.chain_verifies service)
         end;
+        obs_save ~trace_out ~metrics_out tracer (Some reg);
+        (* The final metrics summary line (also emitted on workload-file
+           errors above); stderr, so --json stdout stays parseable. *)
+        Printf.eprintf "metrics: %d series%s\n%!" (metrics_series reg)
+          (match metrics_out with
+          | Some path -> " written to " ^ path
+          | None -> "");
         0
   in
   let workload_arg =
@@ -350,7 +453,8 @@ let serve_cmd =
   let term =
     Term.(
       const run $ verbose_arg $ workload_arg $ devices_opt $ seed_opt
-      $ workers_arg $ cache_dir_arg $ json_arg)
+      $ workers_arg $ cache_dir_arg $ json_arg $ trace_out_arg
+      $ metrics_out_arg $ trace_det_arg)
   in
   Cmd.v
     (Cmd.info "serve"

@@ -60,11 +60,15 @@ val certify : query -> n:int -> Arb_lang.Certify.report
 val plan :
   ?goal:Arb_planner.Constraints.goal ->
   ?limits:Arb_planner.Constraints.limits ->
+  ?tracer:Arb_obs.Tracer.t ->
+  ?metrics:Arb_obs.Metrics.t ->
   n:int ->
   query ->
   planned
 (** Certify then search for the best plan (§4). Raises {!Rejected} when
-    certification fails or no plan satisfies the limits. *)
+    certification fails or no plan satisfies the limits. [tracer] and
+    [metrics] are handed to {!Arb_planner.Search.plan} for span-level
+    profiling and [arb_planner_*] counters. *)
 
 val explain : planned -> string
 (** Human-readable plan: vignettes, placements, costs, committee sizing. *)

@@ -1,0 +1,19 @@
+(* Explicit clocks for the observability layer.
+
+   Three time sources, chosen by whoever creates the tracer:
+   - [Monotonic]: real wall time, for the planner and the service, whose
+     latencies are genuine.
+   - [Simulated]: an injected clock the runtime advances by its *simulated*
+     latencies (upload transmission, committee MPC wall-clock estimates), so
+     an execution trace shows protocol time rather than simulator time.
+   - [Deterministic]: no time source at all; the tracer substitutes a
+     logical sequence number, making trace bytes a pure function of the
+     recorded structure (the chaos suite's byte-identity properties). *)
+
+type sim = { mutable sim_now : float }
+
+type t = Monotonic | Simulated of sim | Deterministic
+
+let sim ?(start = 0.0) () = { sim_now = start }
+let advance s dt = s.sim_now <- s.sim_now +. dt
+let read s = s.sim_now

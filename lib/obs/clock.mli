@@ -1,0 +1,17 @@
+(** Explicit time sources for tracing.
+
+    A tracer never calls a clock implicitly chosen for it: the creator
+    decides whether spans carry real wall time ([Monotonic]), simulated
+    protocol time advanced by the runtime ([Simulated]), or no time at all
+    ([Deterministic], where the tracer falls back to a logical sequence
+    counter so trace bytes depend only on structure). *)
+
+type sim = { mutable sim_now : float }
+(** A simulated clock: seconds since the start of the run, advanced
+    explicitly by the instrumented code. *)
+
+type t = Monotonic | Simulated of sim | Deterministic
+
+val sim : ?start:float -> unit -> sim
+val advance : sim -> float -> unit
+val read : sim -> float

@@ -1,0 +1,218 @@
+(* Span-based structured tracer emitting Chrome trace_event JSON.
+
+   Spans nest: [with_span] pushes an open span, runs the thunk, and records
+   a complete ("X") event on the way out — including when the thunk raises,
+   so a failed run still produces a well-nested trace. Timestamps come from
+   the injected {!Clock.t}; in [Deterministic] mode a logical sequence
+   counter stands in for the clock, making the serialized trace a pure
+   function of the recorded structure.
+
+   A tracer is single-domain: parallel stages make one [child] per task and
+   the coordinator [graft]s them back in canonical task order, so the
+   merged trace is independent of worker scheduling. *)
+
+module J = Arb_util.Json
+
+type event = {
+  e_name : string;
+  e_cat : string;
+  e_instant : bool;
+  e_ts : int;  (* µs, or the logical sequence number in deterministic mode *)
+  e_dur : int;  (* µs (0 for instants) *)
+  e_tid : int;
+  e_args : (string * J.t) list;
+}
+
+type open_span = {
+  s_name : string;
+  s_cat : string;
+  s_ts : int;
+  mutable s_args : (string * J.t) list;
+}
+
+type t = {
+  clock : Clock.t;
+  t0 : float;
+  pid : int;
+  tid : int;
+  lock : Mutex.t;
+  mutable seq : int;  (* logical clock for deterministic mode *)
+  mutable events : event list;  (* newest first *)
+  mutable stack : open_span list;  (* innermost first *)
+}
+
+let create ?(clock = Clock.Monotonic) ?(pid = 1) ?(tid = 0) () =
+  {
+    clock;
+    t0 = (match clock with Clock.Monotonic -> Unix.gettimeofday () | _ -> 0.0);
+    pid;
+    tid;
+    lock = Mutex.create ();
+    seq = 0;
+    events = [];
+    stack = [];
+  }
+
+let deterministic t = t.clock = Clock.Deterministic
+let clock t = t.clock
+let tid t = t.tid
+
+(* Every begin/end/instant consumes one logical tick in deterministic mode,
+   so a span strictly contains its children ([dur >= 1]). *)
+let now_ticks t =
+  match t.clock with
+  | Clock.Monotonic -> int_of_float ((Unix.gettimeofday () -. t.t0) *. 1e6)
+  | Clock.Simulated s -> int_of_float (Clock.read s *. 1e6)
+  | Clock.Deterministic ->
+      let n = t.seq in
+      t.seq <- n + 1;
+      n
+
+let advance t dt =
+  match t.clock with Clock.Simulated s -> Clock.advance s dt | _ -> ()
+
+let child t ~tid =
+  {
+    clock = t.clock;
+    t0 = t.t0;
+    pid = t.pid;
+    tid;
+    lock = Mutex.create ();
+    seq = 0;
+    events = [];
+    stack = [];
+  }
+
+let graft t c =
+  if c.stack <> [] then invalid_arg "Tracer.graft: child has open spans";
+  Mutex.protect t.lock (fun () ->
+      let shift =
+        (* Deterministic children number their own ticks from 0; splice them
+           into the parent's logical timeline at the graft point so the
+           merged sequence is total and depends only on graft order. *)
+        if deterministic t then begin
+          let s = t.seq in
+          t.seq <- t.seq + c.seq;
+          s
+        end
+        else 0
+      in
+      t.events <-
+        List.fold_left
+          (fun acc e -> { e with e_ts = e.e_ts + shift } :: acc)
+          t.events (List.rev c.events))
+
+let span_begin t ?(cat = "") ?(args = []) name =
+  Mutex.protect t.lock (fun () ->
+      t.stack <- { s_name = name; s_cat = cat; s_ts = now_ticks t; s_args = args } :: t.stack)
+
+let add_args t args =
+  Mutex.protect t.lock (fun () ->
+      match t.stack with
+      | [] -> ()
+      | s :: _ -> s.s_args <- s.s_args @ args)
+
+let span_end t =
+  Mutex.protect t.lock (fun () ->
+      match t.stack with
+      | [] -> invalid_arg "Tracer.span_end: no open span"
+      | s :: rest ->
+          t.stack <- rest;
+          let ts_end = now_ticks t in
+          t.events <-
+            {
+              e_name = s.s_name;
+              e_cat = s.s_cat;
+              e_instant = false;
+              e_ts = s.s_ts;
+              e_dur = max 0 (ts_end - s.s_ts);
+              e_tid = t.tid;
+              e_args = s.s_args;
+            }
+            :: t.events)
+
+let with_span t ?cat ?args name f =
+  span_begin t ?cat ?args name;
+  Fun.protect ~finally:(fun () -> span_end t) f
+
+let instant t ?(cat = "") ?(args = []) name =
+  Mutex.protect t.lock (fun () ->
+      t.events <-
+        {
+          e_name = name;
+          e_cat = cat;
+          e_instant = true;
+          e_ts = now_ticks t;
+          e_dur = 0;
+          e_tid = t.tid;
+          e_args = args;
+        }
+        :: t.events)
+
+let event_count t = Mutex.protect t.lock (fun () -> List.length t.events)
+
+(* Chronological order with parents before their children: sort by start
+   time, longest span first on ties, insertion order as the final tie
+   break. Deterministic inputs give deterministic bytes. *)
+let ordered_events t =
+  let evs =
+    Mutex.protect t.lock (fun () -> Array.of_list (List.rev t.events))
+  in
+  let indexed = Array.mapi (fun i e -> (i, e)) evs in
+  Array.sort
+    (fun (i1, e1) (i2, e2) ->
+      match compare e1.e_ts e2.e_ts with
+      | 0 -> ( match compare e2.e_dur e1.e_dur with 0 -> compare i1 i2 | c -> c)
+      | c -> c)
+    indexed;
+  Array.to_list (Array.map snd indexed)
+
+let to_json t =
+  J.List
+    (List.map
+       (fun e ->
+         let base =
+           [
+             ("name", J.String e.e_name);
+             ("cat", J.String (if e.e_cat = "" then "arb" else e.e_cat));
+             ("ph", J.String (if e.e_instant then "i" else "X"));
+             ("ts", J.Int e.e_ts);
+           ]
+         in
+         let dur = if e.e_instant then [ ("s", J.String "t") ] else [ ("dur", J.Int e.e_dur) ] in
+         let ids = [ ("pid", J.Int t.pid); ("tid", J.Int e.e_tid) ] in
+         let args =
+           if e.e_args = [] then [] else [ ("args", J.Obj e.e_args) ]
+         in
+         J.Obj (base @ dur @ ids @ args))
+       (ordered_events t))
+
+let to_string t = J.to_string (to_json t)
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string t);
+      output_char oc '\n')
+
+let totals t =
+  let tbl : (string, int * int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      if not e.e_instant then
+        let count, dur =
+          Option.value (Hashtbl.find_opt tbl e.e_name) ~default:(0, 0)
+        in
+        Hashtbl.replace tbl e.e_name (count + 1, dur + e.e_dur))
+    (ordered_events t);
+  let rows =
+    Hashtbl.fold
+      (fun name (count, dur) acc -> (name, count, float_of_int dur /. 1e6) :: acc)
+      tbl []
+  in
+  List.sort
+    (fun (n1, _, d1) (n2, _, d2) ->
+      match compare d2 d1 with 0 -> String.compare n1 n2 | c -> c)
+    rows

@@ -167,7 +167,14 @@ let base_contribution =
 
 let m_scale ~m = float_of_int m /. 42.0
 
+(* Process-wide pricing-call odometer. Monotone and racy-read-safe (atomic),
+   so observability snapshots can meter planner work without threading a
+   registry through the pure pricing path. *)
+let pricing_odometer = Atomic.make 0
+let pricing_calls () = Atomic.get pricing_odometer
+
 let price t ~n_devices ~m ~cols (v : Plan.vignette) : contribution =
+  Atomic.incr pricing_odometer;
   let crypto_of = function
     | Plan.W_keygen c | W_encrypt_input { crypto = c; _ }
     | W_he_sum { crypto = c; _ } | W_he_affine { crypto = c; _ }

@@ -74,6 +74,10 @@ val price :
 (** Price one vignette for a deployment of [n_devices], committee size [m]
     and a query over [cols] categories. *)
 
+val pricing_calls : unit -> int
+(** Process-wide count of {!price} invocations (atomic, monotone). The
+    observability layer meters planner work as deltas of this odometer. *)
+
 type partial
 (** Running aggregate of {!contribution}s — a commutative monoid (sums for
     the additive components, maxima for the per-member worst case). Seat

@@ -90,11 +90,42 @@ type searcher = {
   mutable full_plans : int;
   mutable pruned : int;
   mutable aborted : bool;
+  (* --- observability (all per-task, merged in canonical order) --- *)
+  tr : Arb_obs.Tracer.t option;  (* per-task child tracer *)
+  obs_on : bool;  (* any tracer or registry attached: count depth/memo work *)
+  timed : bool;  (* wall-clock readings allowed (false in deterministic mode) *)
+  mutable memo_hits : int;
+  mutable memo_misses : int;
+  mutable price_calls : int;
+  mutable score_seconds : float;
+  mutable depth_nodes : int array;  (* grown on demand *)
+  mutable depth_seconds : float array;
 }
 
 exception Abort
 
+let grow_to a len zero =
+  if Array.length a >= len then a
+  else begin
+    let b = Array.make (max len ((2 * Array.length a) + 1)) zero in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+  end
+
+let bump_depth_nodes s depth =
+  s.depth_nodes <- grow_to s.depth_nodes (depth + 1) 0;
+  s.depth_nodes.(depth) <- s.depth_nodes.(depth) + 1
+
+let add_depth_seconds s depth dt =
+  s.depth_seconds <- grow_to s.depth_seconds (depth + 1) 0.0;
+  s.depth_seconds.(depth) <- s.depth_seconds.(depth) +. dt
+
+let domain_label = function
+  | Expand.D_enc -> "enc"
+  | Expand.D_shares k -> "shares:" ^ string_of_int k
+
 let price_all s ~m vs =
+  s.price_calls <- s.price_calls + List.length vs;
   List.map (fun v -> Cost_model.price s.cm ~n_devices:s.n ~m ~cols:s.cols v) vs
 
 (* Monotone-min publication of the incumbent for cross-domain pruning. *)
@@ -118,11 +149,14 @@ let rec insert_top cap ((v, _, _) as entry) tops =
 
 let score_full s ~em_variant acc query_name =
   s.full_plans <- s.full_plans + 1;
+  let t_start = if s.timed then Unix.gettimeofday () else 0.0 in
   let c = mpc_committee_count acc in
   let m = committee_size_for ~f:s.f ~g:s.g ~p1:s.p1 (max 1 c) in
   (* The one full re-pricing pass: the true committee size m is only known
      now that the plan's total committee count is. *)
   let metrics = Cost_model.combine ~n_devices:s.n (price_all s ~m acc) in
+  if s.timed then
+    s.score_seconds <- s.score_seconds +. (Unix.gettimeofday () -. t_start);
   if Constraints.satisfies s.limits metrics then begin
     let v = Constraints.goal_value s.goal metrics in
     let plan =
@@ -153,6 +187,7 @@ let search_one s ~(ctx : Expand.ctx) ~prefix_vs ~ops ~query_name =
     Cost_model.price s.cm ~n_devices:s.n ~m:s.m_lb ~cols:s.cols v
   in
   let partial_lb vs =
+    s.price_calls <- s.price_calls + List.length vs;
     Cost_model.partial_of_contributions (List.map price_lb vs)
   in
   (* The choices at a DFS node — and their delta partials at m_lb — depend
@@ -165,13 +200,36 @@ let search_one s ~(ctx : Expand.ctx) ~prefix_vs ~ops ~query_name =
   in
   let priced_choices domain depth op =
     match Hashtbl.find_opt choice_memo (domain, depth) with
-    | Some cs -> cs
+    | Some cs ->
+        s.memo_hits <- s.memo_hits + 1;
+        cs
     | None ->
-        let cs =
-          List.map
-            (fun (c : Expand.choice) -> (c, partial_lb c.Expand.vignettes))
-            (Expand.choices ctx domain op)
+        s.memo_misses <- s.memo_misses + 1;
+        let t_start = if s.timed then Unix.gettimeofday () else 0.0 in
+        let compute () =
+          let choices = Expand.choices ctx domain op in
+          let price () =
+            List.map
+              (fun (c : Expand.choice) -> (c, partial_lb c.Expand.vignettes))
+              choices
+          in
+          match s.tr with
+          | None -> price ()
+          | Some tr -> Arb_obs.Tracer.with_span tr ~cat:"planner" "price" price
         in
+        let cs =
+          match s.tr with
+          | None -> compute ()
+          | Some tr ->
+              Arb_obs.Tracer.with_span tr ~cat:"planner"
+                ~args:
+                  [
+                    ("domain", Arb_util.Json.String (domain_label domain));
+                    ("depth", Arb_util.Json.Int depth);
+                  ]
+                "expand" compute
+        in
+        if s.timed then add_depth_seconds s depth (Unix.gettimeofday () -. t_start);
         Hashtbl.replace choice_memo (domain, depth) cs;
         cs
   in
@@ -216,6 +274,7 @@ let search_one s ~(ctx : Expand.ctx) ~prefix_vs ~ops ~query_name =
         List.iter
           (fun ((c : Expand.choice), vs_cached, partial, bound) ->
             s.prefixes <- s.prefixes + 1;
+            if s.obs_on then bump_depth_nodes s depth;
             if s.prefixes > s.max_prefixes then begin
               s.aborted <- true;
               raise Abort
@@ -257,35 +316,59 @@ type task_result = {
   t_full_plans : int;
   t_pruned : int;
   t_aborted : bool;
+  t_tracer : Arb_obs.Tracer.t option;  (* grafted in canonical task order *)
+  t_memo_hits : int;
+  t_memo_misses : int;
+  t_price_calls : int;
+  t_score_seconds : float;
+  t_depth_nodes : int array;
+  t_depth_seconds : float array;
 }
 
 (* Run [work.(i)] for every i across [workers] domains (the calling domain
-   included), dealing indices through a shared counter. *)
-let parallel_map ~workers work =
+   included), dealing indices through a shared counter. [on_worker], when
+   given, receives each worker's (index, tasks run, busy seconds) after it
+   drains — per-domain utilization for the metrics registry. *)
+let parallel_map ~workers ?on_worker work =
   let n_tasks = Array.length work in
   let out = Array.make n_tasks None in
   let next = Atomic.make 0 in
-  let worker () =
+  let worker w () =
+    let busy = ref 0.0 and ran = ref 0 in
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n_tasks then begin
-        out.(i) <- Some (work.(i) ());
+        (match on_worker with
+        | None -> out.(i) <- Some (work.(i) ())
+        | Some _ ->
+            let t0 = Unix.gettimeofday () in
+            out.(i) <- Some (work.(i) ());
+            busy := !busy +. (Unix.gettimeofday () -. t0);
+            incr ran);
         loop ()
       end
     in
-    loop ()
+    loop ();
+    match on_worker with Some f -> f w !ran !busy | None -> ()
   in
-  let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
-  worker ();
+  let spawned = List.init (workers - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+  worker 0 ();
   List.iter Domain.join spawned;
   Array.map (function Some r -> r | None -> assert false) out
 
 let plan ?(cm = Cost_model.default) ?(limits = Constraints.evaluation_limits)
     ?(goal = Constraints.Min_part_exp_time) ?(heuristics = true)
     ?(max_prefixes = 5_000_000) ?(domains = 1) ?(incremental = true)
-    ?(f = default_f) ?(g = default_g) ?p1
+    ?(f = default_f) ?(g = default_g) ?p1 ?tracer ?metrics
     ~(query : Arb_queries.Registry.query) ~n () =
   let p1 = match p1 with Some p -> p | None -> default_p1 () in
+  let deterministic =
+    match tracer with Some tr -> Arb_obs.Tracer.deterministic tr | None -> false
+  in
+  (* Wall-clock readings are skipped in deterministic mode so trace AND
+     metrics bytes are pure functions of the search structure. *)
+  let timed = not deterministic in
+  let obs_on = Option.is_some tracer || Option.is_some metrics in
   let t0 = Unix.gettimeofday () in
   let ops = Extract.ops query.Arb_queries.Registry.program ~n in
   let cols = query.Arb_queries.Registry.categories in
@@ -300,7 +383,16 @@ let plan ?(cm = Cost_model.default) ?(limits = Constraints.evaluation_limits)
         List.map (fun bins -> (crypto, bins)) (Expand.sampled_bins_options ops))
       [ Plan.Ahe; Plan.Fhe ]
   in
-  let run_task (crypto, bins) () =
+  let run_task idx (crypto, bins) () =
+    (* Each task writes to its own child tracer (its own tid); the parent
+       grafts them back in canonical task order below, so the merged trace
+       does not depend on worker scheduling. *)
+    let tr =
+      Option.map
+        (fun t ->
+          Arb_obs.Tracer.child t ~tid:((Arb_obs.Tracer.tid t * 100) + idx + 1))
+        tracer
+    in
     let s =
       {
         cm;
@@ -325,6 +417,15 @@ let plan ?(cm = Cost_model.default) ?(limits = Constraints.evaluation_limits)
         full_plans = 0;
         pruned = 0;
         aborted = false;
+        tr;
+        obs_on;
+        timed;
+        memo_hits = 0;
+        memo_misses = 0;
+        price_calls = 0;
+        score_seconds = 0.0;
+        depth_nodes = [||];
+        depth_seconds = [||];
       }
     in
     let ctx =
@@ -338,8 +439,35 @@ let plan ?(cm = Cost_model.default) ?(limits = Constraints.evaluation_limits)
       }
     in
     let prefix_vs = Expand.prefix ctx ~sampled_bins:bins in
-    search_one s ~ctx ~prefix_vs ~ops
-      ~query_name:query.Arb_queries.Registry.name;
+    let search () =
+      search_one s ~ctx ~prefix_vs ~ops
+        ~query_name:query.Arb_queries.Registry.name
+    in
+    (match tr with
+    | None -> search ()
+    | Some tr ->
+        Arb_obs.Tracer.with_span tr ~cat:"planner"
+          ~args:
+            [
+              ("crypto", Arb_util.Json.String (Plan.crypto_name crypto));
+              ( "bins",
+                match bins with
+                | Some b -> Arb_util.Json.Int b
+                | None -> Arb_util.Json.Null );
+            ]
+          "search"
+          (fun () ->
+            search ();
+            Arb_obs.Tracer.add_args tr
+              [
+                ("prefixes", Arb_util.Json.Int s.prefixes);
+                ("full_plans", Arb_util.Json.Int s.full_plans);
+                ("pruned", Arb_util.Json.Int s.pruned);
+                ("memo_hits", Arb_util.Json.Int s.memo_hits);
+                ("memo_misses", Arb_util.Json.Int s.memo_misses);
+                ("price_calls", Arb_util.Json.Int s.price_calls);
+                ("aborted", Arb_util.Json.Bool s.aborted);
+              ]));
     {
       t_best = s.best;
       t_best_value = s.best_value;
@@ -348,13 +476,61 @@ let plan ?(cm = Cost_model.default) ?(limits = Constraints.evaluation_limits)
       t_full_plans = s.full_plans;
       t_pruned = s.pruned;
       t_aborted = s.aborted;
+      t_tracer = tr;
+      t_memo_hits = s.memo_hits;
+      t_memo_misses = s.memo_misses;
+      t_price_calls = s.price_calls;
+      t_score_seconds = s.score_seconds;
+      t_depth_nodes = s.depth_nodes;
+      t_depth_seconds = s.depth_seconds;
     }
   in
-  let results =
-    let work = Array.of_list (List.map run_task tasks) in
+  let run_all () =
+    let work = Array.of_list (List.mapi run_task tasks) in
     let workers = max 1 (min domains (Array.length work)) in
-    if workers <= 1 then Array.map (fun f -> f ()) work
-    else parallel_map ~workers work
+    let results =
+      if workers <= 1 then Array.map (fun f -> f ()) work
+      else
+        let on_worker =
+          match metrics with
+          | Some reg when timed ->
+              Some
+                (fun w ran busy ->
+                  let labels = [ ("worker", string_of_int w) ] in
+                  Arb_obs.Metrics.add reg ~labels
+                    ~help:"Search tasks run per worker domain"
+                    "arb_planner_domain_tasks_total" (float_of_int ran);
+                  Arb_obs.Metrics.add reg ~labels
+                    ~help:"Seconds each worker domain spent searching"
+                    "arb_planner_domain_busy_seconds_total" busy)
+          | _ -> None
+        in
+        parallel_map ~workers ?on_worker work
+    in
+    (match tracer with
+    | Some tr ->
+        Array.iter
+          (fun r ->
+            match r.t_tracer with
+            | Some c -> Arb_obs.Tracer.graft tr c
+            | None -> ())
+          results
+    | None -> ());
+    results
+  in
+  let results =
+    match tracer with
+    | None -> run_all ()
+    | Some tr ->
+        Arb_obs.Tracer.with_span tr ~cat:"planner"
+          ~args:
+            [
+              ("query", Arb_util.Json.String query.Arb_queries.Registry.name);
+              ("n", Arb_util.Json.Int n);
+              ("tasks", Arb_util.Json.Int (List.length tasks));
+              ("domains", Arb_util.Json.Int domains);
+            ]
+          "plan" run_all
   in
   (* Deterministic merge: fold per-task results in canonical order with a
      strict comparison, so an earlier task keeps ties — byte-identical to
@@ -383,6 +559,58 @@ let plan ?(cm = Cost_model.default) ?(limits = Constraints.evaluation_limits)
       results
   in
   let elapsed = Unix.gettimeofday () -. t0 in
+  (match metrics with
+  | None -> ()
+  | Some reg ->
+      let sum_i f = Array.fold_left (fun acc r -> acc + f r) 0 results in
+      let sum_f f = Array.fold_left (fun acc r -> acc +. f r) 0.0 results in
+      let merge_depth zero add proj =
+        Array.fold_left
+          (fun acc r ->
+            let a = proj r in
+            let acc = grow_to acc (Array.length a) zero in
+            Array.iteri (fun i v -> acc.(i) <- add acc.(i) v) a;
+            acc)
+          [||] results
+      in
+      let c name help v = Arb_obs.Metrics.add reg ~help name (float_of_int v) in
+      c "arb_planner_nodes_total" "Search nodes (prefixes) expanded" prefixes;
+      c "arb_planner_pruned_total" "Branch-and-bound prunes" pruned;
+      c "arb_planner_plans_total" "Complete plans scored" full_plans;
+      c "arb_planner_memo_hits_total" "Choice-memo hits"
+        (sum_i (fun r -> r.t_memo_hits));
+      c "arb_planner_memo_misses_total" "Choice-memo misses"
+        (sum_i (fun r -> r.t_memo_misses));
+      c "arb_planner_price_calls_total" "Cost-model pricing calls"
+        (sum_i (fun r -> r.t_price_calls));
+      c "arb_planner_searches_total" "Planner invocations" 1;
+      c "arb_planner_aborted_total" "Searches aborted at the prefix cap"
+        (if aborted then 1 else 0);
+      Array.iteri
+        (fun d v ->
+          if v > 0 then
+            Arb_obs.Metrics.add reg
+              ~labels:[ ("depth", string_of_int d) ]
+              ~help:"Nodes expanded per search depth"
+              "arb_planner_depth_nodes_total" (float_of_int v))
+        (merge_depth 0 ( + ) (fun r -> r.t_depth_nodes));
+      if timed then begin
+        Array.iteri
+          (fun d sec ->
+            if sec > 0.0 then
+              Arb_obs.Metrics.add reg
+                ~labels:[ ("depth", string_of_int d) ]
+                ~help:"Expand+price seconds per depth (choice-memo misses)"
+                "arb_planner_depth_seconds_total" sec)
+          (merge_depth 0.0 ( +. ) (fun r -> r.t_depth_seconds));
+        Arb_obs.Metrics.add reg ~help:"Full-plan scoring seconds"
+          "arb_planner_score_seconds_total"
+          (sum_f (fun r -> r.t_score_seconds));
+        Arb_obs.Metrics.observe_in reg
+          ~help:"End-to-end planning latency (seconds)"
+          ~buckets:Arb_obs.Metrics.latency_buckets "arb_planner_plan_seconds"
+          elapsed
+      end);
   Log.info (fun m ->
       m "planned %s (N=%d): %d prefixes, %d candidates, %d pruned in %.3fs%s"
         query.Arb_queries.Registry.name n prefixes full_plans pruned elapsed

@@ -58,6 +58,8 @@ val plan :
   ?f:float ->
   ?g:float ->
   ?p1:float ->
+  ?tracer:Arb_obs.Tracer.t ->
+  ?metrics:Arb_obs.Metrics.t ->
   query:Arb_queries.Registry.query ->
   n:int ->
   unit ->
@@ -70,7 +72,22 @@ val plan :
     metrics are identical for every value. [incremental] (default true)
     selects delta pricing; [false] re-prices the whole prefix at every
     node — the pre-optimization behavior, kept for the planner_scaling
-    benchmark. *)
+    benchmark.
+
+    [tracer] records a plan → search → expand → price span tree: one
+    "search" span per (crypto × bins) task carrying its node/prune/memo
+    counters as args, one "expand"/"price" span pair per choice-memo miss
+    (so span count is bounded by the memo, not the node count). Each task
+    writes to a {!Arb_obs.Tracer.child} grafted back in canonical task
+    order, so the trace does not depend on worker scheduling. [metrics]
+    receives [arb_planner_*] counters (nodes, pruned, plans, memo hit/miss,
+    pricing calls, per-depth nodes) plus — unless the tracer is
+    deterministic, which suppresses all wall-clock readings — per-depth and
+    scoring seconds, per-worker utilization, and a planning-latency
+    histogram. Note that with [domains > 1] the node/prune/memo counts
+    themselves can vary slightly between runs (the shared incumbent's
+    arrival order affects pruning); they are exactly reproducible at
+    [domains:1]. *)
 
 val committee_size_for : ?f:float -> ?g:float -> ?p1:float -> int -> int
 (** Memoized {!Arb_dp.Committee.min_size} keyed by committee count.

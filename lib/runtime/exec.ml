@@ -24,6 +24,9 @@ type config = {
   block : string; (* sortition randomness block B_i (§5.1) *)
   query_id : int;
   faults : Fault.spec; (* deterministic fault plan (Fault.no_faults = clean) *)
+  tracer : Arb_obs.Tracer.t option;
+      (* span tracer for the execution pipeline; drive it with a Simulated
+         clock and the spans advance along the protocol's simulated time *)
 }
 
 let default_config =
@@ -41,6 +44,7 @@ let default_config =
     block = "B0";
     query_id = 1;
     faults = Fault.no_faults;
+    tracer = None;
   }
 
 type report = {
@@ -83,6 +87,17 @@ type state = {
   shared_db_sums : E.sec array; (* result of sum(db), prepared by the pipeline *)
   sampled_var : string option; (* variable bound by sampleUniform, if any *)
 }
+
+(* --- observability helpers: no-ops when no tracer is configured --- *)
+
+let spn cfg ?args name f =
+  match cfg.tracer with
+  | None -> f ()
+  | Some t -> Arb_obs.Tracer.with_span t ~cat:"runtime" ?args name f
+
+(* Advance the tracer's simulated clock (no-op for other clocks), so span
+   boundaries line up with the protocol's estimated wall time. *)
+let adv cfg dt = match cfg.tracer with None -> () | Some t -> Arb_obs.Tracer.advance t dt
 
 (* --- helpers over the engine: values are fixpoint-raw integers --- *)
 
@@ -295,6 +310,7 @@ and eval_call st f (args : L.Ast.expr list) : rvalue =
   | _ -> err "unsupported builtin %s/%d" f (List.length args)
 
 and laplace_mechanism st v : rvalue =
+  spn st.cfg "laplace" @@ fun () ->
   let eng = st.eng_ops in
   let scale = Fx.of_float (st.sensitivity /. st.epsilon) in
   let noise_one s =
@@ -312,6 +328,7 @@ and laplace_mechanism st v : rvalue =
   result
 
 and em_mechanism st ~gap v : rvalue =
+  spn st.cfg ~args:[ ("gap", Arb_util.Json.Bool gap) ] "em" @@ fun () ->
   let eng = st.eng_ops in
   let scores =
     match v with
@@ -350,33 +367,42 @@ and em_mechanism st ~gap v : rvalue =
               let pos = ref 0 in
               while !pos < n do
                 let len = min chunk (n - !pos) in
-                (* A noising committee may lose its quorum before starting;
-                   reassignment picks a replacement, charged against the
-                   backoff budget like any other retry. *)
-                let rec fresh_committee attempt =
-                  let committee = E.create ~parties:(E.parties eng) st.rng () in
-                  if Fault.fires st.inj Fault.Committee_dropout then begin
-                    st.trace.Trace.committees_reassigned <-
-                      st.trace.Trace.committees_reassigned + 1;
-                    match Fault.backoff st.inj ~attempt with
-                    | None -> err "noise-committee reassignment budget exhausted"
-                    | Some _ ->
-                        Fault.record_recovery st.inj Fault.Committee_dropout;
-                        fresh_committee (attempt + 1)
-                  end
-                  else committee
-                in
-                let committee = fresh_committee 0 in
-                for k = !pos to !pos + len - 1 do
-                  (* The committee holds the score via a VSR hand-off, adds
-                     its Gumbel draw, and hands the noised value onward. *)
-                  let local =
-                    E.reshare_in committee (E.mirror eng scores.(k))
-                  in
-                  let noisy = Fm.add committee local (Fm.gumbel committee ~scale) in
-                  noised.(k) <- E.reshare_in eng (E.mirror committee noisy)
-                done;
-                Trace.record_committee st.trace Trace.Operations (E.cost committee);
+                spn st.cfg
+                  ~args:[ ("chunk", Arb_util.Json.Int len) ]
+                  "noise-committee"
+                  (fun () ->
+                    (* A noising committee may lose its quorum before
+                       starting; reassignment picks a replacement, charged
+                       against the backoff budget like any other retry. *)
+                    let rec fresh_committee attempt =
+                      let committee = E.create ~parties:(E.parties eng) st.rng () in
+                      if Fault.fires st.inj Fault.Committee_dropout then begin
+                        st.trace.Trace.committees_reassigned <-
+                          st.trace.Trace.committees_reassigned + 1;
+                        match Fault.backoff st.inj ~attempt with
+                        | None ->
+                            err "noise-committee reassignment budget exhausted"
+                        | Some _ ->
+                            Fault.record_recovery st.inj Fault.Committee_dropout;
+                            fresh_committee (attempt + 1)
+                      end
+                      else committee
+                    in
+                    let committee = fresh_committee 0 in
+                    for k = !pos to !pos + len - 1 do
+                      (* The committee holds the score via a VSR hand-off,
+                         adds its Gumbel draw, and hands the noised value
+                         onward. *)
+                      let local =
+                        E.reshare_in committee (E.mirror eng scores.(k))
+                      in
+                      let noisy =
+                        Fm.add committee local (Fm.gumbel committee ~scale)
+                      in
+                      noised.(k) <- E.reshare_in eng (E.mirror committee noisy)
+                    done;
+                    Trace.record_committee st.trace Trace.Operations
+                      (E.cost committee));
                 pos := !pos + len
               done;
               E.open_value eng (Pr.argmax eng noised)
@@ -415,7 +441,10 @@ and record_ops_cost st before =
     }
   in
   Trace.record_committee st.trace Trace.Operations delta;
-  st.trace.Trace.vignettes_executed <- st.trace.Trace.vignettes_executed + 1
+  st.trace.Trace.vignettes_executed <- st.trace.Trace.vignettes_executed + 1;
+  adv st.cfg
+    (Net.mpc_wall_clock st.cfg.latency ~rounds:delta.Arb_mpc.Cost.rounds
+       ~compute:(0.002 *. float_of_int delta.Arb_mpc.Cost.rounds))
 
 (* --- statements --- *)
 
@@ -509,7 +538,7 @@ let find_sampled_binding (p : L.Ast.program) =
       | _ -> acc)
     None p.L.Ast.body
 
-let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
+let execute_inner cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
   let rng = Arb_util.Rng.create cfg.seed in
   let trace = Trace.create () in
   (* The fault plan draws from its own per-kind streams (same seed), so a
@@ -548,8 +577,9 @@ let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
   let devices = Setup.make_devices rng ~db ~byzantine_fraction:cfg.byzantine_fraction in
   let n_committees = 4 in
   let assignment =
-    Setup.run_sortition ~devices ~block:cfg.block ~query_id:cfg.query_id
-      ~committees:n_committees ~size:cfg.committee_size
+    spn cfg "sortition" (fun () ->
+        Setup.run_sortition ~devices ~block:cfg.block ~query_id:cfg.query_id
+          ~committees:n_committees ~size:cfg.committee_size)
   in
   (* Churn (§5.1): members may be offline when their committee's vignette
      starts. A committee that loses its honest-majority quorum hands its
@@ -589,7 +619,7 @@ let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
           pick (attempts + 1) ((idx + 1) mod n_committees)
         end
     in
-    pick 0 0
+    spn cfg "committee-select" (fun () -> pick 0 0)
   in
   let assignment = !assignment in
   ignore assignment;
@@ -597,13 +627,22 @@ let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
   let eng_keygen = E.create ~parties:cfg.committee_size rng () in
   let plan_digest = C.Sha256.digest (Format.asprintf "%a" Plan.pp plan) in
   let sk, pk, certificate =
-    Setup.keygen_ceremony rng ~devices ~committee:kg_committee ~params
-      ~query_id:cfg.query_id ~plan_digest ~budget:cfg.budget
-      ~cost:cert_report.L.Certify.cost
-      ~registry_root:assignment.C.Sortition.registry_root ~engine:eng_keygen
+    spn cfg "keygen" (fun () ->
+        let r =
+          Setup.keygen_ceremony rng ~devices ~committee:kg_committee ~params
+            ~query_id:cfg.query_id ~plan_digest ~budget:cfg.budget
+            ~cost:cert_report.L.Certify.cost
+            ~registry_root:assignment.C.Sortition.registry_root
+            ~engine:eng_keygen
+        in
+        Arb_mpc.Protocols.charge_zk_setup eng_keygen
+          ~constraints:(3 * slots_needed);
+        Trace.record_committee trace Trace.Keygen (E.cost eng_keygen);
+        adv cfg
+          (Trace.committee_wall_clock trace cfg.latency Trace.Keygen
+             ~compute_per_round:0.002);
+        r)
   in
-  Arb_mpc.Protocols.charge_zk_setup eng_keygen ~constraints:(3 * slots_needed);
-  Trace.record_committee trace Trace.Keygen (E.cost eng_keygen);
   let certificate_ok = Setup.verify_certificate certificate in
   Log.info (fun m ->
       m "query %d: keygen done (ring %d, t=%d, %d ct/device), certificate %s"
@@ -649,6 +688,7 @@ let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
         else 0.0)
   in
   let lost = ref 0 in
+  spn cfg "inputs" (fun () ->
   Array.iteri
     (fun i (d : Setup.device) ->
       let bin = if bins > 1 then Arb_util.Rng.int rng bins else 0 in
@@ -708,6 +748,7 @@ let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
           end;
           trace.Trace.upload_latency_s <-
             trace.Trace.upload_latency_s +. del.Net.latency;
+          adv cfg del.Net.latency;
           (* Aggregator verifies and aggregates. *)
           trace.Trace.agg_proofs_verified <- trace.Trace.agg_proofs_verified + 1;
           if C.Zkp.verify statement proof ~prover ~nonce then begin
@@ -728,6 +769,15 @@ let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
             trace.Trace.agg_proofs_rejected <- trace.Trace.agg_proofs_rejected + 1
           end)
     devices;
+  match cfg.tracer with
+  | Some t ->
+      Arb_obs.Tracer.add_args t
+        [
+          ("accepted", Arb_util.Json.Int !accepted);
+          ("rejected", Arb_util.Json.Int !rejected);
+          ("lost", Arb_util.Json.Int !lost);
+        ]
+  | None -> ());
   (* Fail closed rather than silently answer over a partial database: a
      lost input would change the query's true answer. *)
   if !lost > 0 then
@@ -737,7 +787,7 @@ let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
   (* Device sum-tree: fold the uploads level by level in fanout-sized
      groups, each group summed by a participant device (attributed to
      device_tree_adds); the aggregator audits every vertex. *)
-  if sum_outsourced then begin
+  if sum_outsourced then spn cfg "sum-tree" (fun () ->
     let fanout = 8 in
     let rec reduce level cts =
       match cts with
@@ -768,8 +818,7 @@ let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
             (Printf.sprintf "tree-level|%d|%d" level (List.length nodes));
           reduce (level + 1) nodes
     in
-    acc_ct := Some (reduce 0 (List.rev !pending_cts))
-  end;
+    acc_ct := Some (reduce 0 (List.rev !pending_cts)));
   let sum_cts =
     match !acc_ct with Some cts -> cts | None -> err "no valid inputs"
   in
@@ -783,6 +832,7 @@ let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
   (* Devices spot-check the sortition: recompute a few members' committee
      assignments from the public block and registry (§5.1). *)
   let checks = min 8 (Array.length kg_committee) in
+  spn cfg "sortition-check" (fun () ->
   for c = 0 to checks - 1 do
     let member = kg_committee.(c) in
     (match
@@ -794,7 +844,7 @@ let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
      with
     | Some _ -> trace.Trace.sortition_checks <- trace.Trace.sortition_checks + 1
     | None -> err "sortition verification failed for committee member %d" member)
-  done;
+  done);
   (* 4. Optional secrecy-of-the-sample masking. *)
   let eng_decrypt = E.create ~parties:cfg.committee_size rng () in
   let eng_ops = E.create ~parties:cfg.committee_size rng () in
@@ -808,6 +858,7 @@ let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
   let sum_cts =
     match (sampled, plan.Plan.crypto) with
     | Some _, Plan.Fhe ->
+        spn cfg "mask" @@ fun () ->
         (* The committee's secret window mask is applied under encryption:
            a real ciphertext-by-ciphertext multiply plus relinearization,
            per ciphertext chunk. *)
@@ -833,22 +884,29 @@ let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
   (* Each ciphertext chunk is threshold-decrypted; the slot views are
      concatenated back into the full layout. *)
   let decrypted =
-    Array.concat
-      (Array.to_list
-         (Array.map
-            (fun ct ->
-              let partials =
-                Array.to_list
-                  (Array.map
-                     (fun sh -> C.Bgv.partial_decrypt params rng sh ct)
-                     key_shares)
-              in
-              C.Bgv.combine_partials params ct partials)
-            sum_cts))
+    spn cfg "decrypt" (fun () ->
+        let decrypted =
+          Array.concat
+            (Array.to_list
+               (Array.map
+                  (fun ct ->
+                    let partials =
+                      Array.to_list
+                        (Array.map
+                           (fun sh -> C.Bgv.partial_decrypt params rng sh ct)
+                           key_shares)
+                    in
+                    C.Bgv.combine_partials params ct partials)
+                  sum_cts))
+        in
+        Arb_mpc.Protocols.charge_bgv_decrypt eng_decrypt ~n:params.C.Bgv.n
+          ~rns_primes:(List.length params.C.Bgv.q_primes) ~ciphertexts:ct_count;
+        Trace.record_committee trace Trace.Decryption (E.cost eng_decrypt);
+        adv cfg
+          (Trace.committee_wall_clock trace cfg.latency Trace.Decryption
+             ~compute_per_round:0.002);
+        decrypted)
   in
-  Arb_mpc.Protocols.charge_bgv_decrypt eng_decrypt ~n:params.C.Bgv.n
-    ~rns_primes:(List.length params.C.Bgv.q_primes) ~ciphertexts:ct_count;
-  Trace.record_committee trace Trace.Decryption (E.cost eng_decrypt);
   Audit.record_step audit "decrypt";
   (* Centered plaintext values (sums can be masked with negatives). *)
   let t_mod = params.C.Bgv.t in
@@ -937,7 +995,7 @@ let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
     if recombined <> v then err "VSR hand-off corrupted a value";
     E.reshare_in eng_ops (v * fx_scale)
   in
-  let shared_db_sums = Array.map vsr_handoff sums in
+  let shared_db_sums = spn cfg "vsr-handoff" (fun () -> Array.map vsr_handoff sums) in
   (* Byzantine minority inside the operations committee: before each share
      opening the saboteur corrupts [corrupt_parties] shares. Within the
      decoding radius the opening self-heals (robust Reed–Solomon);
@@ -974,7 +1032,7 @@ let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
   (match sampled with
   | Some (v, _) -> Hashtbl.replace st.vars v (R_clean (V_int 0)) (* placeholder *)
   | None -> ());
-  exec st program.L.Ast.body;
+  spn cfg "interpret" (fun () -> exec st program.L.Ast.body);
   (* Reaching here means every corrupted opening was corrected. *)
   E.set_saboteur eng_ops None;
   for _ = 1 to !sab_hits do
@@ -1005,15 +1063,23 @@ let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
   done;
   let k = Audit.challenges_per_device ~steps ~devices:auditors ~p_max:cfg.audit_p_max in
   let audit_ok = ref true in
-  for _ = 1 to auditors * k do
-    let i = Arb_util.Rng.int rng steps in
-    let leaf, proof = Audit.respond audit i in
-    trace.Trace.audits_performed <- trace.Trace.audits_performed + 1;
-    if not (Audit.check ~root:audit_root ~leaf proof) then begin
-      audit_ok := false;
-      trace.Trace.audits_failed <- trace.Trace.audits_failed + 1
-    end
-  done;
+  spn cfg
+    ~args:
+      [
+        ("auditors", Arb_util.Json.Int auditors);
+        ("challenges", Arb_util.Json.Int (auditors * k));
+      ]
+    "audit"
+    (fun () ->
+      for _ = 1 to auditors * k do
+        let i = Arb_util.Rng.int rng steps in
+        let leaf, proof = Audit.respond audit i in
+        trace.Trace.audits_performed <- trace.Trace.audits_performed + 1;
+        if not (Audit.check ~root:audit_root ~leaf proof) then begin
+          audit_ok := false;
+          trace.Trace.audits_failed <- trace.Trace.audits_failed + 1
+        end
+      done);
   (* Wall-clock estimates for the committee MPCs under the configured
      network profile: rounds measured from the real share-level execution,
      per-round compute from the simulated ops (§7.5 methodology). *)
@@ -1044,6 +1110,23 @@ let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
     budget_left = certificate.Setup.budget_left;
     committee_wall_clock;
   }
+
+let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
+  match cfg.tracer with
+  | None -> execute_inner cfg ~query ~plan ~db
+  | Some t ->
+      (* with_span closes the root span even when the run fails closed, so
+         aborted executions still serialize as well-nested traces. *)
+      Arb_obs.Tracer.with_span t ~cat:"runtime"
+        ~args:
+          [
+            ("query", Arb_util.Json.String query.Arb_queries.Registry.name);
+            ("n", Arb_util.Json.Int (Array.length db));
+            ("crypto", Arb_util.Json.String (Plan.crypto_name plan.Plan.crypto));
+            ("seed", Arb_util.Json.String (Int64.to_string cfg.seed));
+          ]
+        "exec"
+        (fun () -> execute_inner cfg ~query ~plan ~db)
 
 type failure = { stage : string; reason : string }
 

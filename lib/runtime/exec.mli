@@ -38,6 +38,15 @@ type config = {
   faults : Fault.spec;
       (** deterministic fault plan, driven by [seed]; {!Fault.no_faults}
           (the default) injects nothing *)
+  tracer : Arb_obs.Tracer.t option;
+      (** when set, the pipeline emits a span tree (exec → sortition /
+          keygen / inputs / decrypt / vsr-handoff / interpret / audit, with
+          per-mechanism and per-noise-committee spans inside [interpret]).
+          Drive it with an {!Arb_obs.Clock.Simulated} clock and the spans
+          sit on the protocol's simulated timeline (keygen/decrypt MPC
+          estimates, upload latencies, per-vignette round costs); a
+          [Deterministic] clock yields byte-identical traces across runs.
+          [None] (the default) adds no work. *)
 }
 
 val default_config : config

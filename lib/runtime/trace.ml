@@ -80,79 +80,163 @@ let committee_wall_clock t profile kind ~compute_per_round =
 
 let faults_total t = List.fold_left (fun acc (_, n) -> acc + n) 0 t.faults_injected
 
+(* The single field list every rendering derives from. The record pattern
+   binds each field by name with no wildcard, so adding a counter to [t]
+   without listing it here is a compile error (warning 9 is fatal) — the
+   pp/to_json drift this replaces cannot reappear. *)
+type field_value =
+  | F_int of int
+  | F_float of float
+  | F_counts of (string * int) list
+  | F_costs of (committee_kind * Arb_mpc.Cost.t) list
+
+let fields t =
+  let {
+    device_upload_bytes;
+    device_encrypt_ops;
+    device_proof_constraints;
+    agg_bytes_sent;
+    agg_he_adds;
+    agg_he_muls;
+    agg_proofs_verified;
+    agg_proofs_rejected;
+    committee_costs;
+    audits_performed;
+    audits_failed;
+    vignettes_executed;
+    committees_reassigned;
+    device_tree_adds;
+    sortition_checks;
+    faults_injected;
+    fault_recoveries;
+    fault_retries;
+    fault_backoff_s;
+    upload_retries;
+    lost_uploads;
+    upload_latency_s;
+    audit_devices_failed;
+    shares_corrected;
+  } =
+    t
+  in
+  [
+    ("device_upload_bytes", F_float device_upload_bytes);
+    ("device_encrypt_ops", F_int device_encrypt_ops);
+    ("device_proof_constraints", F_int device_proof_constraints);
+    ("agg_bytes_sent", F_float agg_bytes_sent);
+    ("agg_he_adds", F_int agg_he_adds);
+    ("agg_he_muls", F_int agg_he_muls);
+    ("agg_proofs_verified", F_int agg_proofs_verified);
+    ("agg_proofs_rejected", F_int agg_proofs_rejected);
+    ("committee_costs", F_costs committee_costs);
+    ("audits_performed", F_int audits_performed);
+    ("audits_failed", F_int audits_failed);
+    ("vignettes_executed", F_int vignettes_executed);
+    ("committees_reassigned", F_int committees_reassigned);
+    ("device_tree_adds", F_int device_tree_adds);
+    ("sortition_checks", F_int sortition_checks);
+    ("faults_injected", F_counts faults_injected);
+    ("fault_recoveries", F_counts fault_recoveries);
+    ("fault_retries", F_int fault_retries);
+    ("fault_backoff_s", F_float fault_backoff_s);
+    ("upload_retries", F_int upload_retries);
+    ("lost_uploads", F_int lost_uploads);
+    ("upload_latency_s", F_float upload_latency_s);
+    ("audit_devices_failed", F_int audit_devices_failed);
+    ("shares_corrected", F_int shares_corrected);
+  ]
+
+let field_names t = List.map fst (fields t)
+
 let pp fmt t =
-  Format.fprintf fmt
-    "device: %.0f B up, %d encs, %d constraints; agg: %.0f B, %d adds, %d muls, %d/%d proofs ok; %d committees traced; %d audits (%d failed); %d vignettes; %d reassigned; %d tree adds; %d sortition checks"
-    t.device_upload_bytes t.device_encrypt_ops t.device_proof_constraints
-    t.agg_bytes_sent t.agg_he_adds t.agg_he_muls
-    (t.agg_proofs_verified - t.agg_proofs_rejected)
-    t.agg_proofs_verified
-    (List.length t.committee_costs)
-    t.audits_performed t.audits_failed t.vignettes_executed
-    t.committees_reassigned t.device_tree_adds t.sortition_checks;
-  if faults_total t > 0 || t.fault_retries > 0 then begin
-    Format.fprintf fmt "; faults:";
-    List.iter
-      (fun (k, n) -> if n > 0 then Format.fprintf fmt " %s=%d" k n)
-      t.faults_injected;
-    Format.fprintf fmt
-      " (retries=%d backoff=%.2fs lost=%d corrected=%d auditors_down=%d)"
-      t.fault_retries t.fault_backoff_s t.lost_uploads t.shares_corrected
-      t.audit_devices_failed
-  end
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Format.fprintf fmt " ";
+      match v with
+      | F_int n -> Format.fprintf fmt "%s=%d" name n
+      | F_float x ->
+          if Float.is_integer x && Float.abs x < 1e15 then
+            Format.fprintf fmt "%s=%.0f" name x
+          else Format.fprintf fmt "%s=%.3f" name x
+      | F_costs cs -> Format.fprintf fmt "%s=%d" name (List.length cs)
+      | F_counts kvs ->
+          let total = List.fold_left (fun acc (_, n) -> acc + n) 0 kvs in
+          Format.fprintf fmt "%s=%d" name total;
+          if total > 0 then begin
+            Format.fprintf fmt "[";
+            let first = ref true in
+            List.iter
+              (fun (k, n) ->
+                if n > 0 then begin
+                  if not !first then Format.fprintf fmt ",";
+                  first := false;
+                  Format.fprintf fmt "%s:%d" k n
+                end)
+              kvs;
+            Format.fprintf fmt "]"
+          end)
+    (fields t)
+
+let cost_json (c : Arb_mpc.Cost.t) =
+  let module J = Arb_util.Json in
+  J.Obj
+    [
+      ("rounds", J.Int c.Arb_mpc.Cost.rounds);
+      ("bytes_per_party", J.Int c.Arb_mpc.Cost.bytes_per_party);
+      ("triples", J.Int c.Arb_mpc.Cost.triples);
+      ("mults", J.Int c.Arb_mpc.Cost.mults);
+      ("opens", J.Int c.Arb_mpc.Cost.opens);
+      ("comparisons", J.Int c.Arb_mpc.Cost.comparisons);
+      ("truncations", J.Int c.Arb_mpc.Cost.truncations);
+      ("inputs", J.Int c.Arb_mpc.Cost.inputs);
+      ("field_ops", J.Int c.Arb_mpc.Cost.field_ops);
+    ]
 
 let to_json t =
   let module J = Arb_util.Json in
-  let cost_json (c : Arb_mpc.Cost.t) =
-    J.Obj
-      [
-        ("rounds", J.Int c.Arb_mpc.Cost.rounds);
-        ("bytes_per_party", J.Int c.Arb_mpc.Cost.bytes_per_party);
-        ("triples", J.Int c.Arb_mpc.Cost.triples);
-        ("mults", J.Int c.Arb_mpc.Cost.mults);
-        ("opens", J.Int c.Arb_mpc.Cost.opens);
-        ("comparisons", J.Int c.Arb_mpc.Cost.comparisons);
-        ("truncations", J.Int c.Arb_mpc.Cost.truncations);
-        ("inputs", J.Int c.Arb_mpc.Cost.inputs);
-        ("field_ops", J.Int c.Arb_mpc.Cost.field_ops);
-      ]
-  in
-  let counts pairs = J.Obj (List.map (fun (k, n) -> (k, J.Int n)) pairs) in
   J.Obj
-    [
-      ("device_upload_bytes", J.Float t.device_upload_bytes);
-      ("device_encrypt_ops", J.Int t.device_encrypt_ops);
-      ("device_proof_constraints", J.Int t.device_proof_constraints);
-      ("agg_bytes_sent", J.Float t.agg_bytes_sent);
-      ("agg_he_adds", J.Int t.agg_he_adds);
-      ("agg_he_muls", J.Int t.agg_he_muls);
-      ("agg_proofs_verified", J.Int t.agg_proofs_verified);
-      ("agg_proofs_rejected", J.Int t.agg_proofs_rejected);
-      ( "committee_costs",
-        (* Stored newest-first; emit oldest-first so the JSON reads in
-           execution order and is stable for byte-identity checks. *)
-        J.List
-          (List.rev_map
-             (fun (k, c) ->
-               J.Obj
-                 [
-                   ("kind", J.String (committee_kind_name k));
-                   ("cost", cost_json c);
-                 ])
-             t.committee_costs) );
-      ("audits_performed", J.Int t.audits_performed);
-      ("audits_failed", J.Int t.audits_failed);
-      ("vignettes_executed", J.Int t.vignettes_executed);
-      ("committees_reassigned", J.Int t.committees_reassigned);
-      ("device_tree_adds", J.Int t.device_tree_adds);
-      ("sortition_checks", J.Int t.sortition_checks);
-      ("faults_injected", counts t.faults_injected);
-      ("fault_recoveries", counts t.fault_recoveries);
-      ("fault_retries", J.Int t.fault_retries);
-      ("fault_backoff_s", J.Float t.fault_backoff_s);
-      ("upload_retries", J.Int t.upload_retries);
-      ("lost_uploads", J.Int t.lost_uploads);
-      ("upload_latency_s", J.Float t.upload_latency_s);
-      ("audit_devices_failed", J.Int t.audit_devices_failed);
-      ("shares_corrected", J.Int t.shares_corrected);
-    ]
+    (List.map
+       (fun (name, v) ->
+         ( name,
+           match v with
+           | F_int n -> J.Int n
+           | F_float x -> J.Float x
+           | F_counts pairs -> J.Obj (List.map (fun (k, n) -> (k, J.Int n)) pairs)
+           | F_costs cs ->
+               (* Stored newest-first; emit oldest-first so the JSON reads in
+                  execution order and is stable for byte-identity checks. *)
+               J.List
+                 (List.rev_map
+                    (fun (k, c) ->
+                      J.Obj
+                        [
+                          ("kind", J.String (committee_kind_name k));
+                          ("cost", cost_json c);
+                        ])
+                    cs) ))
+       (fields t))
+
+let export t metrics =
+  let module M = Arb_obs.Metrics in
+  List.iter
+    (fun (name, v) ->
+      let cname = "arb_runtime_" ^ name in
+      match v with
+      | F_int n -> M.add metrics cname (float_of_int n)
+      | F_float x -> M.add metrics cname x
+      | F_counts kvs ->
+          List.iter
+            (fun (k, n) ->
+              M.add metrics cname ~labels:[ ("kind", k) ] (float_of_int n))
+            kvs
+      | F_costs cs ->
+          List.iter
+            (fun (k, (c : Arb_mpc.Cost.t)) ->
+              let labels = [ ("committee", committee_kind_name k) ] in
+              M.add metrics "arb_runtime_mpc_rounds" ~labels
+                (float_of_int c.Arb_mpc.Cost.rounds);
+              M.add metrics "arb_runtime_mpc_bytes_per_party" ~labels
+                (float_of_int c.Arb_mpc.Cost.bytes_per_party);
+              M.add metrics "arb_runtime_committees" ~labels 1.0)
+            cs)
+    (fields t)

@@ -59,11 +59,31 @@ val committee_wall_clock :
 val faults_total : t -> int
 (** Sum of all injected-fault counts. *)
 
+type field_value =
+  | F_int of int
+  | F_float of float
+  | F_counts of (string * int) list
+  | F_costs of (committee_kind * Arb_mpc.Cost.t) list
+
+val fields : t -> (string * field_value) list
+(** The single field list that {!pp}, {!to_json}, and {!export} all derive
+    from. Its implementation destructures the record with no wildcard, so a
+    counter added to [t] but missing here fails to compile — the drift
+    where [pp] and [to_json] disagreed on coverage cannot reappear. *)
+
+val field_names : t -> string list
+
 val pp : Format.formatter -> t -> unit
-(** One-line summary including every counter; fault counters are appended
-    only when at least one fault or retry occurred. *)
+(** One-line [name=value] summary covering every field in {!fields};
+    count-map fields render their total with a [k:v] breakdown of the
+    non-zero entries. *)
 
 val to_json : t -> Arb_util.Json.t
 (** Canonical JSON rendering of every field (committee costs in execution
     order). Two runs with identical traces serialize to identical strings,
     which is what the chaos suite's determinism property checks. *)
+
+val export : t -> Arb_obs.Metrics.t -> unit
+(** Feed every counter into a metrics registry as [arb_runtime_*] counters
+    (count-maps become labeled counters, committee costs per-kind
+    rounds/bytes). Adding a run's trace accumulates across runs. *)

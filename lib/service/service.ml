@@ -12,12 +12,14 @@ type t = {
   cache : Cache.t;
   devices : int;
   seed : int;
-  mutable queue : (int * Workload.submission) list;  (* newest first *)
+  metrics : Arb_obs.Metrics.t option;
+  mutable queue : (int * float * Workload.submission) list;
+      (* newest first; the float is the enqueue time (queue-wait metric) *)
   mutable next_index : int;
   mutable history : Lifecycle.record list;  (* newest first *)
 }
 
-let create ?exec_config ?max_rounds ?cache ~budget ~devices ~seed () =
+let create ?exec_config ?max_rounds ?cache ?metrics ~budget ~devices ~seed () =
   (* The session's creation-time database is a placeholder: every query
      brings its own synthesized inputs (same population, different
      question) through [run_with_plan]'s [?db]. *)
@@ -27,6 +29,7 @@ let create ?exec_config ?max_rounds ?cache ~budget ~devices ~seed () =
     cache = (match cache with Some c -> c | None -> Cache.create ());
     devices;
     seed;
+    metrics;
     queue = [];
     next_index = 0;
     history = [];
@@ -34,8 +37,9 @@ let create ?exec_config ?max_rounds ?cache ~budget ~devices ~seed () =
 
 let submit t (s : Workload.submission) =
   let first = t.next_index in
+  let enq = Unix.gettimeofday () in
   for _ = 1 to s.Workload.repeat do
-    t.queue <- (t.next_index, { s with Workload.repeat = 1 }) :: t.queue;
+    t.queue <- (t.next_index, enq, { s with Workload.repeat = 1 }) :: t.queue;
     t.next_index <- t.next_index + 1
   done;
   first
@@ -83,9 +87,37 @@ let refusal_record ~index ~(sub : Workload.submission) ~categories ~key ~cost
     timings = { Lifecycle.admit_s; plan_s = 0.0; exec_s = 0.0 };
   }
 
-let drain ?(workers = 1) t =
+let drain ?tracer ?(workers = 1) t =
   let batch = List.rev t.queue in
   t.queue <- [];
+  (* Wall-clock metrics (queue wait, latency histograms) are suppressed
+     when tracing deterministically, so the metrics bytes reproduce too. *)
+  let timed =
+    match tracer with
+    | Some tr -> not (Arb_obs.Tracer.deterministic tr)
+    | None -> true
+  in
+  let spn ?args name f =
+    match tracer with
+    | None -> f ()
+    | Some tr -> Arb_obs.Tracer.with_span tr ~cat:"service" ?args name f
+  in
+  spn
+    ~args:[ ("submissions", Arb_util.Json.Int (List.length batch)) ]
+    "drain"
+  @@ fun () ->
+  (match t.metrics with
+  | Some reg when timed ->
+      let drain_t0 = now () in
+      List.iter
+        (fun (_, enq, _) ->
+          Arb_obs.Metrics.observe_in reg
+            ~help:"Seconds submissions waited in the queue before draining"
+            ~buckets:Arb_obs.Metrics.latency_buckets
+            "arb_service_queue_wait_seconds"
+            (Float.max 0.0 (drain_t0 -. enq)))
+        batch
+  | _ -> ());
   let n = t.devices in
   (* ---- stage 1+2: admission and cache labeling, in submission order ---- *)
   let projected = ref (R.Session.budget_left t.session) in
@@ -94,8 +126,9 @@ let drain ?(workers = 1) t =
   let cold_keys : (Cache.key, unit) Hashtbl.t = Hashtbl.create 16 in
   let refused = ref [] (* Lifecycle.record, newest first *)
   and admitted = ref [] (* pending_query, newest first *) in
+  spn "admit" (fun () ->
   List.iter
-    (fun (index, (sub : Workload.submission)) ->
+    (fun (index, _enq, (sub : Workload.submission)) ->
       let t0 = now () in
       let refuse ?(categories = 0) ?(key = "") ?(cost = B.zero) reason =
         refused :=
@@ -155,11 +188,26 @@ let drain ?(workers = 1) t =
                     p_plan_s = 0.0;
                   }
                   :: !admitted))
-    batch;
+    batch);
   let admitted = List.rev !admitted and refused = List.rev !refused in
   (* ---- stage 3: plan the distinct misses across the worker pool ---- *)
   let tasks = Array.of_list (List.rev !cold) in
   let slots = Array.make (Array.length tasks) None in
+  (* Each cold plan searches under its own child tracer, grafted back in
+     canonical task order after the pool drains — trace bytes independent
+     of the worker count. Child tids are spaced so the search's own
+     per-(crypto × bins) children cannot collide across tasks. *)
+  let children =
+    match tracer with
+    | None -> Array.map (fun _ -> None) tasks
+    | Some tr ->
+        Array.mapi
+          (fun i _ ->
+            Some
+              (Arb_obs.Tracer.child tr
+                 ~tid:((Arb_obs.Tracer.tid tr * 100) + i + 1)))
+          tasks
+  in
   let next = Atomic.make 0 in
   let worker () =
     let rec loop () =
@@ -167,7 +215,9 @@ let drain ?(workers = 1) t =
       if i < Array.length tasks then begin
         let _, query, goal = tasks.(i) in
         slots.(i) <-
-          Some (P.Search.plan ~goal ~limits:P.Constraints.no_limits ~query ~n ());
+          Some
+            (P.Search.plan ~goal ~limits:P.Constraints.no_limits
+               ?tracer:children.(i) ?metrics:t.metrics ~query ~n ());
         loop ()
       end
     in
@@ -177,6 +227,9 @@ let drain ?(workers = 1) t =
   let spawned = List.init (pool - 1) (fun _ -> Domain.spawn worker) in
   worker ();
   List.iter Domain.join spawned;
+  (match tracer with
+  | Some tr -> Array.iter (Option.iter (Arb_obs.Tracer.graft tr)) children
+  | None -> ());
   Log.info (fun f ->
       f "planned %d cold quer%s on %d worker%s (%d submissions, %d cache hits)"
         (Array.length tasks)
@@ -208,6 +261,16 @@ let drain ?(workers = 1) t =
   let executed =
     List.map
       (fun p ->
+        spn
+          ~args:
+            [
+              ("index", Arb_util.Json.Int p.p_index);
+              ("query", Arb_util.Json.String p.p_sub.Workload.query);
+              ( "path",
+                Arb_util.Json.String (if p.p_hit then "hit" else "cold") );
+            ]
+          "execute"
+        @@ fun () ->
         let sub = p.p_sub in
         p.p_plan_s <-
           (if p.p_hit then 0.0
@@ -251,6 +314,10 @@ let drain ?(workers = 1) t =
                 p.p_query
             with
             | Ok qr ->
+                (match t.metrics with
+                | Some reg ->
+                    R.Trace.export qr.R.Session.report.R.Exec.trace reg
+                | None -> ());
                 finish
                   ~exec_s:(now () -. t0)
                   ~budget_after:(R.Session.budget_left t.session)
@@ -271,11 +338,53 @@ let drain ?(workers = 1) t =
       (refused @ executed)
   in
   t.history <- List.rev_append records t.history;
+  (match t.metrics with
+  | None -> ()
+  | Some reg ->
+      let add ?labels name help v = Arb_obs.Metrics.add reg ?labels ~help name v in
+      List.iter
+        (fun (r : Lifecycle.record) ->
+          add
+            ~labels:[ ("status", Lifecycle.status_name r.Lifecycle.status) ]
+            "arb_service_submissions_total" "Drained submissions by outcome" 1.0;
+          match r.Lifecycle.status with
+          | Lifecycle.Executed _ ->
+              let path = if r.Lifecycle.cache_hit then "hit" else "cold" in
+              add
+                ~labels:[ ("path", path) ]
+                "arb_service_plans_total" "Executed submissions by plan origin"
+                1.0;
+              if timed then
+                Arb_obs.Metrics.observe_in reg
+                  ~labels:[ ("path", path) ]
+                  ~buckets:Arb_obs.Metrics.latency_buckets
+                  ~help:
+                    "Admit+plan+execute latency by plan origin (cache hits \
+                     skip planning)"
+                  "arb_service_latency_seconds"
+                  (r.Lifecycle.timings.Lifecycle.admit_s
+                  +. r.Lifecycle.timings.Lifecycle.plan_s
+                  +. r.Lifecycle.timings.Lifecycle.exec_s)
+          | Lifecycle.Refused _ ->
+              add "arb_service_refusals_total"
+                "Submissions refused at admission" 1.0
+          | Lifecycle.Plan_failed _ | Lifecycle.Exec_failed _ -> ())
+        records;
+      add "arb_service_cold_plans_total" "Distinct cold plans searched"
+        (float_of_int (Array.length tasks));
+      Arb_obs.Metrics.set_gauge reg
+        ~help:"Planner pool size used by the last drain"
+        "arb_service_pool_workers" (float_of_int pool);
+      Arb_obs.Metrics.set_gauge reg ~help:"Plan-cache entries"
+        "arb_service_cache_entries"
+        (float_of_int (Cache.size t.cache)));
   records
 
-let run_workload ?workers t workload =
+let run_workload ?tracer ?workers t workload =
   List.iter (fun s -> ignore (submit t s)) (Workload.expand workload);
-  drain ?workers t
+  drain ?tracer ?workers t
+
+let metrics t = t.metrics
 
 let history t = List.rev t.history
 let counters t = Lifecycle.counters_of (history t)

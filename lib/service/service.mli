@@ -36,6 +36,7 @@ val create :
   ?exec_config:Arb_runtime.Exec.config ->
   ?max_rounds:int ->
   ?cache:Cache.t ->
+  ?metrics:Arb_obs.Metrics.t ->
   budget:Arb_dp.Budget.t ->
   devices:int ->
   seed:int ->
@@ -43,7 +44,14 @@ val create :
   t
 (** A service over [devices] simulated participants. [cache] defaults to a
     fresh in-memory cache (pass one built with [Cache.create ~dir] for
-    persistence); [seed] drives per-query database synthesis. *)
+    persistence); [seed] drives per-query database synthesis.
+
+    [metrics] attaches a registry: every {!drain} feeds it
+    [arb_service_*] instruments (queue wait, per-outcome submission
+    counts, hit/cold latency histograms, refusals, pool occupancy,
+    cache size), the planner adds [arb_planner_*] for each cold search,
+    and each executed query's runtime trace is accumulated as
+    [arb_runtime_*] counters. *)
 
 val submit : t -> Workload.submission -> int
 (** Enqueue ([repeat] is honored); returns the submission index of the
@@ -51,13 +59,19 @@ val submit : t -> Workload.submission -> int
 
 val pending : t -> int
 
-val drain : ?workers:int -> t -> Lifecycle.record list
+val drain : ?tracer:Arb_obs.Tracer.t -> ?workers:int -> t -> Lifecycle.record list
 (** Process the whole queue; returns this batch's records in submission
     order. [workers] (default 1) sizes the planning pool; every value
-    yields byte-identical canonical records ({!Lifecycle.records_to_string}). *)
+    yields byte-identical canonical records ({!Lifecycle.records_to_string}).
+
+    [tracer] records drain → admit / per-cold-plan search / per-submission
+    execute spans. Cold plans search under per-task child tracers grafted
+    back in canonical task order, so — with a [Deterministic] clock, which
+    also suppresses the registry's wall-clock instruments — trace bytes are
+    identical across runs and across [workers] values. *)
 
 val run_workload :
-  ?workers:int -> t -> Workload.t -> Lifecycle.record list
+  ?tracer:Arb_obs.Tracer.t -> ?workers:int -> t -> Workload.t -> Lifecycle.record list
 (** [submit] every expanded entry, then [drain]. *)
 
 val history : t -> Lifecycle.record list
@@ -70,3 +84,6 @@ val chain_verifies : t -> bool
 (** The underlying session's certificate chain verifies end to end. *)
 
 val cache : t -> Cache.t
+
+val metrics : t -> Arb_obs.Metrics.t option
+(** The registry passed at {!create} time, if any. *)

@@ -387,11 +387,23 @@ let test_session_zero_rounds_refuses_immediately () =
 
 let test_trace_pp_shows_all_counters () =
   let r = clean_report ~seed:1L "top1" in
-  let s = Format.asprintf "%a" R.Trace.pp r.R.Exec.trace in
+  let trace = r.R.Exec.trace in
+  let s = Format.asprintf "%a" R.Trace.pp trace in
+  let j =
+    match R.Trace.to_json trace with
+    | Arb_util.Json.Obj fields -> List.map fst fields
+    | _ -> Alcotest.fail "trace JSON is not an object"
+  in
+  (* pp and to_json both derive from Trace.fields, whose record pattern is
+     exhaustive — so checking every declared field appears in both outputs
+     pins the whole chain: a counter can't reach the record without reaching
+     both renderings. *)
   List.iter
-    (fun needle ->
-      checkb (Printf.sprintf "pp mentions %S" needle) true (contains s needle))
-    [ "reassigned"; "tree adds"; "sortition checks" ]
+    (fun name ->
+      checkb (Printf.sprintf "pp mentions %S" name) true
+        (contains s (name ^ "="));
+      checkb (Printf.sprintf "to_json has %S" name) true (List.mem name j))
+    (R.Trace.field_names trace)
 
 let test_trace_json_roundtrips () =
   let spec = { Fault.no_faults with Fault.dropout_at = Some 0 } in
