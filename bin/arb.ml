@@ -182,7 +182,7 @@ let certify_cmd =
   Cmd.v (Cmd.info "certify" ~doc:"Run differential-privacy certification only.") term
 
 let run_cmd =
-  let run verbose name devices epsilon seed trace_out metrics_out det =
+  let run verbose name devices epsilon seed workers trace_out metrics_out det =
     setup_logs verbose;
     (* Execution uses a small category count so the whole protocol fits in
        one process with real ciphertexts. *)
@@ -209,7 +209,7 @@ let run_cmd =
           Arboretum.plan ~limits:Arb_planner.Constraints.no_limits ?tracer
             ?metrics ~n:devices q
         in
-        let config = { Arb_runtime.Exec.default_config with tracer } in
+        let config = { Arb_runtime.Exec.default_config with tracer; workers } in
         (p, Arboretum.run ~config ~db p)
       with
       | _, report ->
@@ -232,10 +232,17 @@ let run_cmd =
     obs_save ~trace_out ~metrics_out tracer metrics;
     code
   in
+  let workers_arg =
+    let doc =
+      "OCaml domains for the parallel encrypt/aggregate stages. Reports and \
+       traces are byte-identical at any worker count."
+    in
+    Arg.(value & opt int 1 & info [ "workers" ] ~docv:"K" ~doc)
+  in
   let term =
     Term.(
       const run $ verbose_arg $ query_arg $ devices_arg $ epsilon_arg $ seed_arg
-      $ trace_out_arg $ metrics_out_arg $ trace_det_arg)
+      $ workers_arg $ trace_out_arg $ metrics_out_arg $ trace_det_arg)
   in
   Cmd.v
     (Cmd.info "run"

@@ -18,7 +18,14 @@
     NTT over Z_t (t is chosen with 2n | t-1 so the plaintext ring splits
     completely); slot-wise addition and multiplication are then the
     homomorphic operations, exactly what the paper's one-hot-encoded
-    aggregation needs. *)
+    aggregation needs.
+
+    Representation (DESIGN.md §10): ciphertexts, public keys and key-switch
+    keys are held in NTT (evaluation) form end-to-end — homomorphic add is
+    a coefficient-wise map, mul/relinearize are pointwise products with no
+    redundant transforms — with conversion to coefficient form only at the
+    encode/decode, serialize and relin-digit/galois boundaries. The wire
+    format is coefficient-form and byte-identical to the seed's. *)
 
 type params = {
   n : int;  (** ring dimension, a power of two *)
@@ -57,7 +64,24 @@ val relin_keygen : params -> Arb_util.Rng.t -> secret_key -> relin_key
 
 val encrypt : public_key -> Arb_util.Rng.t -> int array -> ciphertext
 (** Encrypt a slot vector (length <= n; padded with zeros). Values are
-    reduced mod t. *)
+    reduced mod t. Equivalent to {!sample_encrypt_randomness} followed by
+    {!encrypt_with_randomness}. *)
+
+type encrypt_randomness
+(** The random tape one encryption consumes: ternary u, Gaussian e1, e2. *)
+
+val sample_encrypt_randomness :
+  public_key -> Arb_util.Rng.t -> encrypt_randomness
+(** Draw an encryption's randomness from [rng] (in the exact order
+    {!encrypt} would), so callers can sample sequentially in canonical
+    order and run the deterministic arithmetic half in parallel. *)
+
+val encrypt_with_randomness :
+  public_key -> encrypt_randomness -> int array -> ciphertext
+(** Deterministic compute half of {!encrypt}: no RNG access, safe to fan
+    out over domains. [encrypt pk rng slots] and
+    [encrypt_with_randomness pk (sample_encrypt_randomness pk rng) slots]
+    produce identical ciphertexts. *)
 
 val encrypt_with_sk : secret_key -> Arb_util.Rng.t -> int array -> ciphertext
 (** Symmetric-key encryption (slightly less noise); used in tests. *)
@@ -67,6 +91,13 @@ val decrypt : secret_key -> ciphertext -> int array
 
 val add : ciphertext -> ciphertext -> ciphertext
 val sub : ciphertext -> ciphertext -> ciphertext
+
+val accumulate : ciphertext -> ciphertext -> ciphertext
+(** [accumulate acc ct] is {!add} but reuses [acc]'s coefficient storage
+    in place (allocation-free steady state for long aggregation folds);
+    [acc] must not be used by the caller afterwards. Result values and
+    noise bookkeeping are identical to [add acc ct]. *)
+
 val add_plain : ciphertext -> int array -> ciphertext
 val mul_plain : ciphertext -> int array -> ciphertext
 (** Slot-wise product with a cleartext vector. *)
@@ -131,10 +162,24 @@ val slot_rotation_of_galois : params -> k:int -> int array
     tests). *)
 
 val serialize_ciphertext : ciphertext -> string
+
+val serialize_public_key : public_key -> string
+(** Canonical coefficient-form bytes of (a, b) with a small parameter
+    header; representation-independent, suitable for certificate
+    digests. *)
+
 val deserialize_ciphertext : params -> string -> ciphertext
 (** Raises [Invalid_argument] on parameter mismatch, truncation, or
     non-canonical coefficients (a malformed upload). *)
 
 val serialized_bytes : params -> int -> int
 (** Exact wire size for a given degree: a 14-byte header plus
-    [ciphertext_bytes]. *)
+    [ciphertext_bytes]. Use this (not [String.length] of
+    {!serialize_ciphertext}) when only the byte count is needed — e.g. the
+    runtime's upload accounting. *)
+
+val scratch_words_allocated : unit -> int
+(** Words of scratch workspace per parameter context created so far (the
+    allocation gauge exported as [arb_crypto_scratch_words] by the
+    runtime). Counted once per context rather than per worker domain, so
+    the value is independent of how many domains fan out. *)

@@ -1,7 +1,28 @@
-type t = { p : int }
+type t = { p : int; inv_p : float }
 
 let mulmod p a b = a * b mod p
 (* Safe because p < 2^31 keeps a*b < 2^62 < max_int. *)
+
+(* Barrett-style reduction via a precomputed floating-point reciprocal.
+
+   For canonical a, b in [0, p) with p < 2^31 the product x = a*b fits in
+   62 bits exactly, and the quotient estimate
+
+     q = int_of_float (float a *. float b *. inv_p)
+
+   carries at most three rounding errors (inv_p, the a*b product, the
+   final multiply), each bounded by 2^-53 relative — an absolute error
+   below 2^31 * 2^-51 << 1 on a true quotient x/p < 2^31.  Truncation can
+   therefore land on floor(x/p) - 1, floor(x/p) or floor(x/p) + 1, so
+   r = x - q*p lies in (-p, 2p) and two conditional corrections recover
+   the exact canonical residue: the result is bit-identical to
+   [a * b mod p] while the hot path issues no hardware division
+   (qcheck props in test_crypto enforce the equivalence). *)
+let[@inline] barrett_mul p inv_p a b =
+  let q = int_of_float (float_of_int a *. float_of_int b *. inv_p) in
+  let r = (a * b) - (q * p) in
+  let r = if r < 0 then r + p else r in
+  if r >= p then r - p else r
 
 let powmod p x e =
   let rec go acc base e =
@@ -44,10 +65,16 @@ let is_prime n =
 
 let create p =
   if p < 2 || p >= 1 lsl 31 then invalid_arg "Field.create: modulus out of range";
+  (* Overflow guard, stated explicitly so the bound survives any future
+     relaxation of the range check above: products of two reduced elements
+     must fit in a 62-bit native int. Written division-style to avoid
+     overflowing inside the check itself. *)
+  if p > 2 && p - 1 > max_int / (p - 1) then
+    invalid_arg "Field.create: (p-1)^2 overflows 62 bits";
   if not (is_prime p) then invalid_arg "Field.create: modulus not prime";
-  { p }
+  { p; inv_p = 1.0 /. float_of_int p }
 
-let create_unchecked p = { p }
+let create_unchecked p = { p; inv_p = 1.0 /. float_of_int p }
 
 let add f a b =
   let s = a + b in
@@ -58,15 +85,23 @@ let sub f a b =
   if d < 0 then d + f.p else d
 
 let neg f a = if a = 0 then 0 else f.p - a
-let mul f a b = mulmod f.p a b
+let mul f a b = barrett_mul f.p f.inv_p a b
+
 let pow f x e =
   if e < 0 then invalid_arg "Field.pow: negative exponent";
-  powmod f.p x e
+  let p = f.p and ip = f.inv_p in
+  let rec go acc base e =
+    if e = 0 then acc
+    else
+      let acc = if e land 1 = 1 then barrett_mul p ip acc base else acc in
+      go acc (barrett_mul p ip base base) (e lsr 1)
+  in
+  go 1 (let r = x mod p in if r < 0 then r + p else r) e
 
 let inv f a =
   if a mod f.p = 0 then raise Division_by_zero;
   (* Fermat: a^(p-2). *)
-  powmod f.p a (f.p - 2)
+  pow f a (f.p - 2)
 
 let div f a b = mul f a (inv f b)
 

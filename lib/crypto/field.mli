@@ -3,14 +3,25 @@
     All moduli in this repository are primes below 2^31 so that products of
     two reduced elements fit exactly in OCaml's 63-bit native ints — the
     trick that lets us do RLWE and Shamir arithmetic without a bignum
-    library (see DESIGN.md §1). Elements are plain ints in \[0, p). *)
+    library (see DESIGN.md §1). Elements are plain ints in \[0, p).
 
-type t = { p : int }
-(** A field description. *)
+    Multiplication uses Barrett-style reduction with a precomputed
+    floating-point reciprocal (DESIGN.md §10): the quotient estimate
+    [int_of_float (float a *. float b *. inv_p)] is off by at most one, so
+    two conditional corrections recover the exact canonical residue with no
+    hardware division. Results are bit-identical to [a * b mod p]. *)
+
+type t = {
+  p : int;  (** the prime modulus *)
+  inv_p : float;  (** precomputed [1.0 /. float p] Barrett magic constant *)
+}
+(** A field description. Construct via {!create}/{!create_unchecked} so the
+    magic constant is consistent with [p]. *)
 
 val create : int -> t
-(** [create p] checks [2 <= p < 2^31] and that [p] is prime
-    (deterministic Miller–Rabin). *)
+(** [create p] checks [2 <= p < 2^31], that [(p-1)^2] fits in a 62-bit
+    native int (overflow guard for the product trick), and that [p] is
+    prime (deterministic Miller–Rabin). *)
 
 val create_unchecked : int -> t
 (** Skip the primality check (for hot paths constructing known fields). *)
@@ -18,7 +29,11 @@ val create_unchecked : int -> t
 val add : t -> int -> int -> int
 val sub : t -> int -> int -> int
 val neg : t -> int -> int
+
 val mul : t -> int -> int -> int
+(** Division-free Barrett product; bit-identical to [a * b mod p] for
+    canonical inputs. *)
+
 val pow : t -> int -> int -> int
 (** [pow f x e] with [e >= 0]. *)
 

@@ -1,11 +1,62 @@
-let map2 f a b =
-  if Array.length a <> Array.length b then invalid_arg "Poly: length mismatch";
-  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+let check_len a b =
+  if Array.length a <> Array.length b then invalid_arg "Poly: length mismatch"
 
-let add fld = map2 (Field.add fld)
-let sub fld = map2 (Field.sub fld)
-let neg fld a = Array.map (Field.neg fld) a
-let scale fld k a = Array.map (Field.mul fld (Field.of_int fld k)) a
+(* In-place variants write into [dst] (which may alias an input) so the
+   BGV kernels' steady state allocates nothing; the allocating wrappers
+   below stay for callers that want fresh arrays. *)
+
+let add_into fld ~dst a b =
+  check_len a b;
+  check_len dst a;
+  let p = fld.Field.p in
+  for i = 0 to Array.length a - 1 do
+    let s = Array.unsafe_get a i + Array.unsafe_get b i in
+    Array.unsafe_set dst i (if s >= p then s - p else s)
+  done
+
+let sub_into fld ~dst a b =
+  check_len a b;
+  check_len dst a;
+  let p = fld.Field.p in
+  for i = 0 to Array.length a - 1 do
+    let d = Array.unsafe_get a i - Array.unsafe_get b i in
+    Array.unsafe_set dst i (if d < 0 then d + p else d)
+  done
+
+let neg_into fld ~dst a =
+  check_len dst a;
+  let p = fld.Field.p in
+  for i = 0 to Array.length a - 1 do
+    let x = Array.unsafe_get a i in
+    Array.unsafe_set dst i (if x = 0 then 0 else p - x)
+  done
+
+let scale_into fld ~dst k a =
+  check_len dst a;
+  let k = Field.of_int fld k in
+  for i = 0 to Array.length a - 1 do
+    Array.unsafe_set dst i (Field.mul fld k (Array.unsafe_get a i))
+  done
+
+let add fld a b =
+  let dst = Array.make (Array.length a) 0 in
+  add_into fld ~dst a b;
+  dst
+
+let sub fld a b =
+  let dst = Array.make (Array.length a) 0 in
+  sub_into fld ~dst a b;
+  dst
+
+let neg fld a =
+  let dst = Array.make (Array.length a) 0 in
+  neg_into fld ~dst a;
+  dst
+
+let scale fld k a =
+  let dst = Array.make (Array.length a) 0 in
+  scale_into fld ~dst k a;
+  dst
 
 let mul_naive fld a b =
   let n = Array.length a in
@@ -39,4 +90,13 @@ let random_error fld rng ~sigma n =
 let inf_norm fld a =
   Array.fold_left (fun acc x -> max acc (abs (Field.center fld x))) 0 a
 
-let equal a b = a = b
+(* Explicit structural equality on int arrays: immune to polymorphic-
+   compare surprises if a caller's representation ever grows variants or
+   records around these coefficient vectors. *)
+let equal (a : int array) (b : int array) =
+  Array.length a = Array.length b
+  &&
+  let rec go i =
+    i >= Array.length a || (Array.unsafe_get a i = Array.unsafe_get b i && go (i + 1))
+  in
+  go 0

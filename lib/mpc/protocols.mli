@@ -44,7 +44,11 @@ val rank_select :
 (** {2 Cost charging for the BGV ceremonies} — the key-generation and
     threshold-decryption committees run their polynomial arithmetic inside
     the MPC; the real math happens in {!Arb_crypto.Bgv}, and these charge
-    the corresponding per-member costs to the engine. *)
+    the corresponding per-member costs to the engine. Charges are counted
+    in logical ring operations (n log n butterfly field-ops per RNS prime):
+    in evaluation form the butterflies sit at the forward/inverse transform
+    boundaries while the homomorphic middle is pointwise, but the per-op
+    envelope — and hence every charged total — is unchanged. *)
 
 val charge_bgv_keygen : Engine.t -> n:int -> rns_primes:int -> unit
 val charge_bgv_decrypt : Engine.t -> n:int -> rns_primes:int -> ciphertexts:int -> unit

@@ -27,6 +27,11 @@ type config = {
   tracer : Arb_obs.Tracer.t option;
       (* span tracer for the execution pipeline; drive it with a Simulated
          clock and the spans advance along the protocol's simulated time *)
+  workers : int;
+      (* OCaml domains for the embarrassingly-parallel stages (per-device
+         encryption, sum-tree groups). Reports and traces are byte-
+         identical at any worker count: RNG draws happen in a sequential
+         canonical-order pass, only deterministic arithmetic fans out. *)
 }
 
 let default_config =
@@ -45,7 +50,34 @@ let default_config =
     query_id = 1;
     faults = Fault.no_faults;
     tracer = None;
+    workers = 1;
   }
+
+(* Deal indices to [workers] domains via a shared atomic counter; results
+   land at their own index, so the output order is canonical regardless of
+   scheduling (the same pattern as the planner's search fan-out). [f] must
+   be safe to run concurrently (no shared mutable state, no RNG). *)
+let parallel_map ~workers n f =
+  if workers <= 1 || n <= 1 then Array.init n f
+  else begin
+    let out = Array.make n None in
+    let idx = Atomic.make 0 in
+    let work () =
+      let rec go () =
+        let i = Atomic.fetch_and_add idx 1 in
+        if i < n then begin
+          out.(i) <- Some (f i);
+          go ()
+        end
+      in
+      go ()
+    in
+    let spawned = min workers n - 1 in
+    let doms = Array.init spawned (fun _ -> Domain.spawn work) in
+    work ();
+    Array.iter Domain.join doms;
+    Array.map (function Some v -> v | None -> assert false) out
+  end
 
 type report = {
   outputs : L.Interp.value list;
@@ -689,44 +721,67 @@ let execute_inner cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db
   in
   let lost = ref 0 in
   spn cfg "inputs" (fun () ->
+  (* Pass 1 (sequential): everything that draws from the session RNG —
+     bin choice and encryption randomness — in canonical device order, so
+     the draw sequence is identical at any worker count. *)
+  let prepared =
+    Array.map
+      (fun (d : Setup.device) ->
+        let bin = if bins > 1 then Arb_util.Rng.int rng bins else 0 in
+        let slots = Array.make slots_needed 0 in
+        let row =
+          if d.Setup.byzantine then Array.map (fun _ -> 1) d.Setup.row
+          else d.Setup.row
+        in
+        Array.iteri
+          (fun j v -> if j < cols then slots.((bin * cols) + j) <- v)
+          row;
+        let rand =
+          Array.init ct_count (fun _ -> C.Bgv.sample_encrypt_randomness pk rng)
+        in
+        (d, slots, row, rand))
+      devices
+  in
+  (* Pass 2 (parallel fan-out): the deterministic per-device compute —
+     proof construction and the encryption arithmetic (no RNG access in
+     Bgv.encrypt_with_randomness). *)
+  let computed =
+    parallel_map ~workers:cfg.workers (Array.length prepared) (fun i ->
+        let d, slots, row, rand = prepared.(i) in
+        (* The proof statement covers the full slot layout for one-hot rows
+           (so a device cannot claim several bins); range statements cover
+           the raw row. *)
+        let witness =
+          match statement with
+          | C.Zkp.One_hot _ | C.Zkp.One_hot_binned _ | C.Zkp.Bits _ -> slots
+          | C.Zkp.Range _ -> row
+        in
+        let prover = string_of_int i in
+        let proof =
+          if d.Setup.byzantine then C.Zkp.forge statement ~prover ~nonce
+          else C.Zkp.prove statement ~witness ~prover ~nonce
+        in
+        let cts =
+          Array.init ct_count (fun k ->
+              let lo = k * ring_n in
+              let len = min ring_n (slots_needed - lo) in
+              C.Bgv.encrypt_with_randomness pk rand.(k) (Array.sub slots lo len))
+        in
+        (proof, cts))
+  in
+  (* Pass 3 (sequential, canonical order): trace accounting, the lossy
+     uplink (per-kind fault streams fire in device order), verification
+     and aggregation. *)
   Array.iteri
-    (fun i (d : Setup.device) ->
-      let bin = if bins > 1 then Arb_util.Rng.int rng bins else 0 in
-      let slots = Array.make slots_needed 0 in
-      let row =
-        if d.Setup.byzantine then Array.map (fun _ -> 1) d.Setup.row
-        else d.Setup.row
-      in
-      Array.iteri
-        (fun j v -> if j < cols then slots.((bin * cols) + j) <- v)
-        row;
-      (* The proof statement covers the full slot layout for one-hot rows
-         (so a device cannot claim several bins); range statements cover the
-         raw row. *)
-      let witness =
-        match statement with
-        | C.Zkp.One_hot _ | C.Zkp.One_hot_binned _ | C.Zkp.Bits _ -> slots
-        | C.Zkp.Range _ -> row
-      in
+    (fun i (proof, cts) ->
       let prover = string_of_int i in
-      let proof =
-        if d.Setup.byzantine then C.Zkp.forge statement ~prover ~nonce
-        else C.Zkp.prove statement ~witness ~prover ~nonce
-      in
-      let cts =
-        Array.init ct_count (fun k ->
-            let lo = k * ring_n in
-            let len = min ring_n (slots_needed - lo) in
-            C.Bgv.encrypt pk rng (Array.sub slots lo len))
-      in
       trace.Trace.device_encrypt_ops <- trace.Trace.device_encrypt_ops + ct_count;
       trace.Trace.device_proof_constraints <-
         trace.Trace.device_proof_constraints + C.Zkp.statement_constraints statement;
-      (* Byte accounting uses the real wire format's length. *)
+      (* Byte accounting uses the real wire format's length — computed,
+         not materialized: fresh ciphertexts are degree 1. *)
       let upload =
-        Array.fold_left
-          (fun acc ct -> acc + String.length (C.Bgv.serialize_ciphertext ct))
-          C.Zkp.proof_bytes cts
+        C.Zkp.proof_bytes + (ct_count * C.Bgv.serialized_bytes params 1)
       in
       trace.Trace.device_upload_bytes <-
         trace.Trace.device_upload_bytes +. float_of_int upload;
@@ -760,7 +815,8 @@ let execute_inner cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db
                  | None -> Some cts
                  | Some acc ->
                      trace.Trace.agg_he_adds <- trace.Trace.agg_he_adds + ct_count;
-                     Some (Array.map2 C.Bgv.add acc cts));
+                     (* In-place accumulation: the fold owns [acc]. *)
+                     Some (Array.map2 C.Bgv.accumulate acc cts));
             if i mod 64 = 0 then
               Audit.record_step audit (Printf.sprintf "sum-step|%d|%d" i ct_count)
           end
@@ -768,7 +824,7 @@ let execute_inner cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db
             incr rejected;
             trace.Trace.agg_proofs_rejected <- trace.Trace.agg_proofs_rejected + 1
           end)
-    devices;
+    computed;
   match cfg.tracer with
   | Some t ->
       Arb_obs.Tracer.add_args t
@@ -800,20 +856,27 @@ let execute_inner cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db
                 if k = fanout then groups (List.rev cur :: acc) [ ct ] 1 rest
                 else groups acc (ct :: cur) (k + 1) rest
           in
-          let nodes =
-            List.map
-              (fun group ->
-                match group with
+          let gs = Array.of_list (groups [] [] 0 cts) in
+          (* Groups are disjoint, so their folds fan out over domains; the
+             within-group fold stays sequential (the noise bookkeeping's
+             log-sum-exp is float, hence order-sensitive) and the merge
+             keeps canonical group order. Counters move out of the fold so
+             the parallel path stays race-free — same totals. *)
+          let folded =
+            parallel_map ~workers:cfg.workers (Array.length gs) (fun gi ->
+                match gs.(gi) with
                 | [] -> assert false
                 | first :: rest ->
                     List.fold_left
-                      (fun acc cts ->
-                        trace.Trace.device_tree_adds <-
-                          trace.Trace.device_tree_adds + ct_count;
-                        Array.map2 C.Bgv.add acc cts)
+                      (fun acc cts -> Array.map2 C.Bgv.accumulate acc cts)
                       first rest)
-              (groups [] [] 0 cts)
           in
+          Array.iter
+            (fun g ->
+              trace.Trace.device_tree_adds <-
+                trace.Trace.device_tree_adds + ((List.length g - 1) * ct_count))
+            gs;
+          let nodes = Array.to_list folded in
           Audit.record_step audit
             (Printf.sprintf "tree-level|%d|%d" level (List.length nodes));
           reduce (level + 1) nodes

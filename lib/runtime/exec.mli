@@ -47,6 +47,13 @@ type config = {
           estimates, upload latencies, per-vignette round costs); a
           [Deterministic] clock yields byte-identical traces across runs.
           [None] (the default) adds no work. *)
+  workers : int;
+      (** OCaml domains for the embarrassingly-parallel stages: per-device
+          proof + encryption and sum-tree group folds. All RNG draws happen
+          in a sequential canonical-order pass before the fan-out and
+          results merge in canonical order, so reports, traces and
+          decrypted outputs are byte-identical at any worker count
+          (regression-tested). Default 1. *)
 }
 
 val default_config : config

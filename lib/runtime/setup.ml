@@ -48,9 +48,10 @@ let certificate_payload cert =
     cert.next_block
 
 let pk_digest_of pk =
-  (* Hash a deterministic rendering of the public key; the simulation
-     serializes via Marshal, which is stable within a run. *)
-  C.Sha256.digest (Marshal.to_string pk [])
+  (* Hash the canonical coefficient-form rendering of the public key —
+     stable across runs and independent of Bgv's in-memory
+     representation. *)
+  C.Sha256.digest (C.Bgv.serialize_public_key pk)
 
 let keygen_ceremony rng ~devices ~committee ~params ~query_id ~plan_digest
     ~budget ~cost ~registry_root ~engine =

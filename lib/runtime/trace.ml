@@ -30,10 +30,20 @@ type t = {
   mutable upload_latency_s : float;
   mutable audit_devices_failed : int;
   mutable shares_corrected : int;
+  crypto_baseline : int * int * int * int;
+      (* Snapshot of Ntt.Stats plus Bgv scratch words at creation: the
+         process-lifetime kernel counters minus this baseline give the ops
+         attributable to this run, which is what export emits (and what
+         stays byte-identical across deterministic re-runs). *)
 }
+
+let crypto_snapshot () =
+  let transforms, pointwise, saved = Arb_crypto.Ntt.Stats.get () in
+  (transforms, pointwise, saved, Arb_crypto.Bgv.scratch_words_allocated ())
 
 let create () =
   {
+    crypto_baseline = crypto_snapshot ();
     device_upload_bytes = 0.0;
     device_encrypt_ops = 0;
     device_proof_constraints = 0;
@@ -116,6 +126,7 @@ let fields t =
     upload_latency_s;
     audit_devices_failed;
     shares_corrected;
+    crypto_baseline = _;
   } =
     t
   in
@@ -239,4 +250,16 @@ let export t metrics =
                 (float_of_int c.Arb_mpc.Cost.bytes_per_party);
               M.add metrics "arb_runtime_committees" ~labels 1.0)
             cs)
-    (fields t)
+    (fields t);
+  (* Crypto kernel counters for this run: current process-lifetime totals
+     minus the snapshot taken at [create]. Gauges rather than counter adds
+     so exporting twice does not double-count, and the values are
+     byte-identical across deterministic re-runs. *)
+  let transforms, pointwise, saved, scratch = crypto_snapshot () in
+  let t0, pw0, sv0, sc0 = t.crypto_baseline in
+  M.set_gauge metrics "arb_crypto_ntt_total" (float_of_int (transforms - t0));
+  M.set_gauge metrics "arb_crypto_pointwise_total"
+    (float_of_int (pointwise - pw0));
+  M.set_gauge metrics "arb_crypto_reductions_saved_total"
+    (float_of_int (saved - sv0));
+  M.set_gauge metrics "arb_crypto_scratch_words" (float_of_int (scratch - sc0))

@@ -42,6 +42,12 @@ type t = {
       (** auditing devices that went offline; survivors take over their share *)
   mutable shares_corrected : int;
       (** corrupted Shamir shares repaired by robust (Berlekamp–Welch) decoding *)
+  crypto_baseline : int * int * int * int;
+      (** snapshot of the process-lifetime crypto kernel counters
+          ({!Arb_crypto.Ntt.Stats} transforms / pointwise ops / reductions
+          saved, plus {!Arb_crypto.Bgv.scratch_words_allocated}) taken at
+          {!create}; {!export} emits the per-run deltas as
+          [arb_crypto_*] gauges *)
 }
 
 val create : unit -> t

@@ -223,7 +223,100 @@ let test_ntt_negacyclic_wraparound () =
 let test_ntt_rejects () =
   Alcotest.check_raises "n not power of two"
     (Invalid_argument "Ntt.plan: n not a power of two") (fun () ->
-      ignore (C.Ntt.plan ~n:12 ~p:p_test))
+      ignore (C.Ntt.plan ~n:12 ~p:p_test));
+  (* 2013265921 = 15*2^27 + 1 is a classic NTT prime but sits above 2^30,
+     so the lazy butterflies' 4p(p-1) headroom would overflow. *)
+  Alcotest.check_raises "p above lazy-reduction headroom"
+    (Invalid_argument "Ntt.plan: p > 2^30 breaks lazy-reduction headroom")
+    (fun () -> ignore (C.Ntt.plan ~n:64 ~p:2013265921));
+  Alcotest.check_raises "(p-1)^2 overflows"
+    (Invalid_argument "Ntt.plan: (p-1)^2 overflows 62 bits") (fun () ->
+      ignore (C.Ntt.plan ~n:64 ~p:((1 lsl 31) + 1)))
+
+(* ---- Differential properties: the Barrett / lazy-reduction kernels must
+   be bit-identical to the seed's `mod`-based arithmetic. ---- *)
+
+(* Every RNS prime and plaintext modulus the BGV parameter presets use,
+   deduplicated. All are NTT-friendly for the ring sizes below. *)
+let bgv_rns_primes =
+  let moduli (params : C.Bgv.params) = params.C.Bgv.t :: params.C.Bgv.q_primes in
+  List.sort_uniq compare
+    (moduli (C.Bgv.ahe_params ~n:128 ()) @ moduli (C.Bgv.fhe_params ~n:128 ()))
+
+let barrett_fields =
+  (* The RNS set plus a tiny prime and the largest 31-bit prime, to probe
+     the float-reciprocal quotient estimate at both ends of the range. *)
+  List.map C.Field.create (12289 :: ((1 lsl 31) - 1) :: bgv_rns_primes)
+
+let prop_field_barrett_vs_mod =
+  QCheck.Test.make ~name:"Field Barrett mul/add bit-identical to mod" ~count:300
+    QCheck.(pair (int_bound ((1 lsl 31) - 2)) (int_bound ((1 lsl 31) - 2)))
+    (fun (x, y) ->
+      List.for_all
+        (fun f ->
+          let p = f.C.Field.p in
+          let a = x mod p and b = y mod p in
+          C.Field.mul f a b = a * b mod p && C.Field.add f a b = (a + b) mod p)
+        barrett_fields)
+
+let prop_ntt_lazy_vs_reference =
+  QCheck.Test.make
+    ~name:"lazy NTT bit-identical to reference (both butterfly directions)"
+    ~count:25
+    QCheck.(pair (int_range 0 4) (int_range 0 1000))
+    (fun (logn_off, salt) ->
+      let n = 8 lsl logn_off in
+      List.for_all
+        (fun p ->
+          let plan = C.Ntt.plan ~n ~p in
+          let f = C.Field.create p in
+          let rng = Rng.create (Int64.of_int ((n * 7919) + salt)) in
+          let a = C.Poly.random_uniform f rng n in
+          let fwd_lazy = Array.copy a and fwd_ref = Array.copy a in
+          C.Ntt.forward plan fwd_lazy;
+          C.Ntt.forward_reference plan fwd_ref;
+          let inv_lazy = Array.copy fwd_lazy and inv_ref = Array.copy fwd_ref in
+          C.Ntt.inverse plan inv_lazy;
+          C.Ntt.inverse_reference plan inv_ref;
+          C.Poly.equal fwd_lazy fwd_ref
+          && C.Poly.equal inv_lazy inv_ref
+          && C.Poly.equal inv_lazy a)
+        bgv_rns_primes)
+
+let prop_ntt_multiply_vs_naive_all_rns =
+  QCheck.Test.make ~name:"NTT multiply = naive for every RNS prime" ~count:15
+    QCheck.(pair (int_range 0 3) (int_range 0 1000))
+    (fun (logn_off, salt) ->
+      let n = 8 lsl logn_off in
+      List.for_all
+        (fun p ->
+          let plan = C.Ntt.plan ~n ~p in
+          let f = C.Field.create p in
+          let rng = Rng.create (Int64.of_int ((n * 31) + salt + 1)) in
+          let a = C.Poly.random_uniform f rng n in
+          let b = C.Poly.random_uniform f rng n in
+          let fast = C.Ntt.multiply plan a b in
+          C.Poly.equal fast (C.Poly.mul_naive f a b)
+          && C.Poly.equal fast (C.Ntt.multiply_reference plan a b))
+        bgv_rns_primes)
+
+let prop_poly_into_matches_allocating =
+  QCheck.Test.make ~name:"Poly in-place ops match allocating ops" ~count:50
+    QCheck.(int_range 1 64)
+    (fun n ->
+      let rng = Rng.create (Int64.of_int (n + 77)) in
+      let a = C.Poly.random_uniform fld rng n in
+      let b = C.Poly.random_uniform fld rng n in
+      let dst = Array.make n 0 in
+      C.Poly.add_into fld ~dst a b;
+      let ok_add = C.Poly.equal dst (C.Poly.add fld a b) in
+      C.Poly.sub_into fld ~dst a b;
+      let ok_sub = C.Poly.equal dst (C.Poly.sub fld a b) in
+      C.Poly.neg_into fld ~dst a;
+      let ok_neg = C.Poly.equal dst (C.Poly.neg fld a) in
+      C.Poly.scale_into fld ~dst 7 a;
+      let ok_scale = C.Poly.equal dst (C.Poly.scale fld 7 a) in
+      ok_add && ok_sub && ok_neg && ok_scale)
 
 (* ---------------- BGV ---------------- *)
 
@@ -906,6 +999,10 @@ let () =
             test_ntt_negacyclic_wraparound;
           Alcotest.test_case "rejects" `Quick test_ntt_rejects;
           Alcotest.test_case "n=1024 vs naive" `Slow test_ntt_large_vs_naive;
+          qtest prop_field_barrett_vs_mod;
+          qtest prop_ntt_lazy_vs_reference;
+          qtest prop_ntt_multiply_vs_naive_all_rns;
+          qtest prop_poly_into_matches_allocating;
         ] );
       ( "bgv",
         [

@@ -281,6 +281,62 @@ let test_device_sum_tree_execution () =
     (baseline.R.Exec.trace.R.Trace.agg_he_adds >= 90
     && baseline.R.Exec.trace.R.Trace.device_tree_adds = 0)
 
+let test_workers_byte_identical () =
+  (* The multicore fan-out must not change a single byte: same outputs,
+     trace rendering, audit root and certificate at any worker count —
+     including when the plan outsources the sum to a device tree, whose
+     group folds also run on the worker pool. *)
+  let q = Q.test_instance ~epsilon:1000.0 "top1" in
+  let db = Q.random_database (Rng.create 61L) q ~n:96 () in
+  let r = P.Search.plan ~limits:P.Constraints.no_limits ~query:q ~n:96 () in
+  let plan = Option.get r.P.Search.plan in
+  let outsourced =
+    {
+      plan with
+      P.Plan.vignettes =
+        List.map
+          (fun (v : P.Plan.vignette) ->
+            match (v.P.Plan.work, v.P.Plan.location) with
+            | P.Plan.W_he_sum w, P.Plan.Aggregator ->
+                { P.Plan.location = P.Plan.Committees 12; work = P.Plan.W_he_sum w }
+            | _ -> v)
+          plan.P.Plan.vignettes;
+    }
+  in
+  let run_with plan workers =
+    R.Exec.execute
+      { (config ~seed:5L ()) with R.Exec.workers }
+      ~query:q ~plan ~db
+  in
+  List.iter
+    (fun plan ->
+      let base = run_with plan 1 in
+      List.iter
+        (fun workers ->
+          let alt = run_with plan workers in
+          checkb
+            (Printf.sprintf "outputs identical at %d workers" workers)
+            true
+            (base.R.Exec.outputs = alt.R.Exec.outputs);
+          Alcotest.check Alcotest.string
+            (Printf.sprintf "trace pp identical at %d workers" workers)
+            (Format.asprintf "%a" R.Trace.pp base.R.Exec.trace)
+            (Format.asprintf "%a" R.Trace.pp alt.R.Exec.trace);
+          Alcotest.check Alcotest.string
+            (Printf.sprintf "trace json identical at %d workers" workers)
+            (Arb_util.Json.to_string (R.Trace.to_json base.R.Exec.trace))
+            (Arb_util.Json.to_string (R.Trace.to_json alt.R.Exec.trace));
+          checkb
+            (Printf.sprintf "audit root identical at %d workers" workers)
+            true
+            (String.equal base.R.Exec.audit_root alt.R.Exec.audit_root);
+          checkb
+            (Printf.sprintf "certificate identical at %d workers" workers)
+            true
+            (base.R.Exec.certificate = alt.R.Exec.certificate))
+        [ 2; 3 ])
+    [ plan; outsourced ]
+
 let test_sortition_spot_checks () =
   let _, _, report = run "top1" in
   checkb "devices verified committee membership" true
@@ -602,6 +658,8 @@ let () =
             test_deterministic_given_seed;
           Alcotest.test_case "device sum-tree execution" `Slow
             test_device_sum_tree_execution;
+          Alcotest.test_case "byte-identical across worker counts" `Slow
+            test_workers_byte_identical;
           Alcotest.test_case "sortition spot checks" `Slow test_sortition_spot_checks;
           Alcotest.test_case "churn reassignment" `Slow test_churn_reassignment;
           Alcotest.test_case "catastrophic churn aborts" `Quick
