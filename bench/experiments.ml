@@ -1344,6 +1344,156 @@ let crypto_kernels () =
   close_out oc;
   Printf.printf "  wrote BENCH_crypto.json\n"
 
+(* ------------------------------------------------------------------ *)
+(* Device scaling: cohort-sharded execution at population scale.       *)
+(* Gates on the scale-equivalence contract at small N, then streams    *)
+(* populations up to 10^8 devices with real ciphertexts in the sampled *)
+(* cohorts. Writes BENCH_scale.json.                                   *)
+
+let device_scaling () =
+  section "Device scaling: cohort-sharded execution (BENCH_scale.json)";
+  let module R = Arb_runtime in
+  let module J = Arb_util.Json in
+  let q = Q.test_instance ~epsilon:1000.0 "hypotest" in
+  let seed = 7L in
+  let config sharding =
+    {
+      R.Exec.default_config with
+      R.Exec.seed = 3L;
+      budget = Arb_dp.Budget.create ~epsilon:1.0e7 ~delta:0.5;
+      sharding;
+    }
+  in
+  let plan_for n =
+    let r = P.Search.plan ~limits:P.Constraints.no_limits ~query:q ~n () in
+    match r.P.Search.plan with
+    | Some p -> p
+    | None -> failwith "device_scaling: no plan for hypotest"
+  in
+  let source n = { R.Exec.n_devices = n; row = Q.device_source ~seed q } in
+  (* --- gate 1: sharded == full on everything the protocol releases --- *)
+  let n_eq = 512 in
+  let plan_eq = plan_for n_eq in
+  let full =
+    R.Exec.execute_source (config R.Exec.Full) ~query:q ~plan:plan_eq
+      ~src:(source n_eq)
+  in
+  let sharded_eq =
+    R.Exec.execute_source
+      (config (R.Exec.Sharded { cohort_size = 64; sampled_cohorts = 2 }))
+      ~query:q ~plan:plan_eq ~src:(source n_eq)
+  in
+  if
+    full.R.Exec.outputs <> sharded_eq.R.Exec.outputs
+    || (not (Arb_dp.Budget.equal full.R.Exec.budget_left sharded_eq.R.Exec.budget_left))
+    || full.R.Exec.certificate <> sharded_eq.R.Exec.certificate
+  then failwith "device_scaling: sharded run diverged from full run";
+  Printf.printf
+    "  equivalence gate: sharded == full at n=%d (outputs, budget, certificate)\n"
+    n_eq;
+  (* --- gate 2: worker count changes nothing in sharded mode --- *)
+  let sharded_w w =
+    R.Exec.execute_source
+      {
+        (config (R.Exec.Sharded { cohort_size = 64; sampled_cohorts = 2 })) with
+        R.Exec.workers = w;
+      }
+      ~query:q ~plan:plan_eq ~src:(source n_eq)
+  in
+  let w1 = sharded_w 1 and w3 = sharded_w 3 in
+  if
+    w1.R.Exec.outputs <> w3.R.Exec.outputs
+    || not
+         (String.equal
+            (J.to_string (R.Trace.to_json w1.R.Exec.trace))
+            (J.to_string (R.Trace.to_json w3.R.Exec.trace)))
+  then failwith "device_scaling: sharded outputs/trace differ across workers";
+  Printf.printf "  worker gate: byte-identical at 1 and 3 workers\n";
+  (* --- the scaling sweep: O(cohort) memory, every device accounted --- *)
+  let cohort_size = if !smoke then 1_024 else 4_096 in
+  let sizes =
+    if !smoke then [ 100_000; 1_000_000 ]
+    else [ 1_000_000; 10_000_000; 100_000_000 ]
+  in
+  let workers = max 2 (min 4 (Domain.recommended_domain_count ())) in
+  let runs =
+    List.map
+      (fun n ->
+        let plan = plan_for n in
+        Gc.compact ();
+        let t0 = Unix.gettimeofday () in
+        let rep =
+          R.Exec.execute_source
+            {
+              (config (R.Exec.Sharded { cohort_size; sampled_cohorts = 2 })) with
+              R.Exec.workers;
+            }
+            ~query:q ~plan ~src:(source n)
+        in
+        let dt = Unix.gettimeofday () -. t0 in
+        if rep.R.Exec.accepted_inputs + rep.R.Exec.rejected_inputs <> n then
+          failwith "device_scaling: accounting does not cover the population";
+        if not (rep.R.Exec.certificate_ok && rep.R.Exec.audit_ok) then
+          failwith "device_scaling: certificate/audit failed at scale";
+        (* Peak-memory proxy: the major heap's high-water mark (words) after
+           the run — O(cohort), not O(N), is the claim under test. *)
+        let heap_mb =
+          float_of_int (Gc.quick_stat ()).Gc.top_heap_words *. 8.0 /. 1e6
+        in
+        (n, rep, dt, heap_mb))
+      sizes
+  in
+  T.print
+    ~header:
+      [ "Devices"; "Materialized"; "Seconds"; "Devices/sec"; "Heap MB (peak)" ]
+    (List.map
+       (fun (n, rep, dt, heap_mb) ->
+         let t = rep.R.Exec.trace in
+         [ U.si (float_of_int n);
+           string_of_int t.R.Trace.devices_materialized;
+           Printf.sprintf "%.2f" dt;
+           Printf.sprintf "%.0f" (float_of_int n /. Float.max 1e-9 dt);
+           Printf.sprintf "%.1f" heap_mb ])
+       runs);
+  let json =
+    J.Obj
+      [
+        ("schema", J.String "arb-bench-scale/1");
+        ("smoke", J.Bool !smoke);
+        ("query", J.String "hypotest");
+        ("cohort_size", J.Int cohort_size);
+        ("sampled_cohorts", J.Int 2);
+        ("workers", J.Int workers);
+        ("equivalence_gate_n", J.Int n_eq);
+        ("equivalence_ok", J.Bool true);
+        ("workers_byte_identical", J.Bool true);
+        ( "runs",
+          J.List
+            (List.map
+               (fun (n, rep, dt, heap_mb) ->
+                 let t = rep.R.Exec.trace in
+                 J.Obj
+                   [
+                     ("devices", J.Int n);
+                     ("devices_materialized", J.Int t.R.Trace.devices_materialized);
+                     ("cohorts_total", J.Int t.R.Trace.cohorts_total);
+                     ("cohorts_sampled", J.Int t.R.Trace.cohorts_sampled);
+                     ("seconds", J.Float dt);
+                     ( "devices_per_sec",
+                       J.Float (float_of_int n /. Float.max 1e-9 dt) );
+                     ("peak_heap_mb", J.Float heap_mb);
+                     ("accepted", J.Int rep.R.Exec.accepted_inputs);
+                     ("rejected", J.Int rep.R.Exec.rejected_inputs);
+                   ])
+               runs) );
+      ]
+  in
+  let oc = open_out "BENCH_scale.json" in
+  output_string oc (J.to_string ~pretty:true json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_scale.json\n"
+
 let all =
   [ ("table1", table1); ("table2", table2); ("fig6", fig6); ("fig7", fig7);
     ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("fig11", fig11);
@@ -1351,4 +1501,4 @@ let all =
     ("validation", validation); ("e2e", e2e); ("chaos", chaos);
     ("planner_scaling", planner_scaling);
     ("service_throughput", service_throughput); ("profiling", profiling);
-    ("crypto_kernels", crypto_kernels) ]
+    ("crypto_kernels", crypto_kernels); ("device_scaling", device_scaling) ]

@@ -182,7 +182,8 @@ let certify_cmd =
   Cmd.v (Cmd.info "certify" ~doc:"Run differential-privacy certification only.") term
 
 let run_cmd =
-  let run verbose name devices epsilon seed workers trace_out metrics_out det =
+  let run verbose name devices epsilon seed workers cohort_size sampled_cohorts
+      trace_out metrics_out det =
     setup_logs verbose;
     (* Execution uses a small category count so the whole protocol fits in
        one process with real ciphertexts. *)
@@ -202,15 +203,41 @@ let run_cmd =
     let metrics =
       if metrics_out <> None then Some (Arb_obs.Metrics.create ()) else None
     in
-    let db = Arboretum.synthesize_database ~seed:(Int64.of_int seed) q ~n:devices in
     let code =
       match
         let p =
           Arboretum.plan ~limits:Arb_planner.Constraints.no_limits ?tracer
             ?metrics ~n:devices q
         in
-        let config = { Arb_runtime.Exec.default_config with tracer; workers } in
-        (p, Arboretum.run ~config ~db p)
+        match cohort_size with
+        | None ->
+            let db =
+              Arboretum.synthesize_database ~seed:(Int64.of_int seed) q ~n:devices
+            in
+            let config =
+              { Arb_runtime.Exec.default_config with tracer; workers }
+            in
+            (p, Arboretum.run ~config ~db p)
+        | Some cohort_size ->
+            (* Sharded: never materialize the database — stream rows from an
+               indexed source, real crypto for the sampled cohorts only. *)
+            let src =
+              {
+                Arb_runtime.Exec.n_devices = devices;
+                row =
+                  Arb_queries.Registry.device_source ~seed:(Int64.of_int seed) q;
+              }
+            in
+            let config =
+              {
+                Arb_runtime.Exec.default_config with
+                tracer;
+                workers;
+                sharding =
+                  Arb_runtime.Exec.Sharded { cohort_size; sampled_cohorts };
+              }
+            in
+            (p, Arboretum.run_source ~config ~src p)
       with
       | _, report ->
           Printf.printf "outputs: %s\n"
@@ -239,10 +266,25 @@ let run_cmd =
     in
     Arg.(value & opt int 1 & info [ "workers" ] ~docv:"K" ~doc)
   in
+  let cohort_size_arg =
+    let doc =
+      "Shard the population into cohorts of $(docv) devices and run real \
+       cryptography for a sample of them, extrapolating the rest from exact \
+       per-cohort plaintext sums — outputs, budget and certificate are \
+       bit-identical to the full run, but memory stays O(cohort) so \
+       --devices can be 10^8+. Omit to materialize every device."
+    in
+    Arg.(value & opt (some int) None & info [ "cohort-size" ] ~docv:"C" ~doc)
+  in
+  let sampled_cohorts_arg =
+    let doc = "How many cohorts run with real ciphertexts (with --cohort-size)." in
+    Arg.(value & opt int 2 & info [ "sampled-cohorts" ] ~docv:"K" ~doc)
+  in
   let term =
     Term.(
       const run $ verbose_arg $ query_arg $ devices_arg $ epsilon_arg $ seed_arg
-      $ workers_arg $ trace_out_arg $ metrics_out_arg $ trace_det_arg)
+      $ workers_arg $ cohort_size_arg $ sampled_cohorts_arg $ trace_out_arg
+      $ metrics_out_arg $ trace_det_arg)
   in
   Cmd.v
     (Cmd.info "run"

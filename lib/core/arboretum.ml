@@ -99,6 +99,9 @@ let synthesize_database ?(seed = 7L) ?skew (q : query) ~n =
 let run ?(config = Arb_runtime.Exec.default_config) ~db p =
   Arb_runtime.Exec.execute config ~query:p.query ~plan:p.plan ~db
 
+let run_source ?(config = Arb_runtime.Exec.default_config) ~src p =
+  Arb_runtime.Exec.execute_source config ~query:p.query ~plan:p.plan ~src
+
 let reference_outputs ?(seed = 7L) ~db (q : query) =
   Arb_lang.Interp.run q.Arb_queries.Registry.program ~db (Arb_util.Rng.create seed)
 

@@ -85,6 +85,16 @@ val run :
 (** Execute the plan end to end over a concrete database (§5), with real
     BGV/Shamir/ZKP machinery at simulation scale. *)
 
+val run_source :
+  ?config:Arb_runtime.Exec.config ->
+  src:Arb_runtime.Exec.source ->
+  planned ->
+  Arb_runtime.Exec.report
+(** {!run} over an indexed row source instead of a materialized database —
+    combined with a [Sharded] {!Arb_runtime.Exec.config} this executes
+    populations far larger than memory (see
+    {!Arb_queries.Registry.device_source} for a ready-made source). *)
+
 val reference_outputs :
   ?seed:int64 -> db:int array array -> query -> Arb_lang.Interp.value list
 (** The single-machine cleartext semantics (what the distributed run must

@@ -52,6 +52,148 @@ let verify_member ~devices ~block ~query_id ~committees ~size ~device =
   | Some r when r < committees * size -> Some (r / size)
   | _ -> None
 
+(* --- hierarchical registry (billion-device sortition) ---
+
+   The flat [select]/[verify_member] above rank every registered device,
+   which is O(N) hashing — fine for the simulation sizes the tests use,
+   hopeless at the paper's 10^8-10^9 devices. [Registry] derives the whole
+   population from a seed and runs sortition in two levels: registry
+   blocks of a fixed canonical size are ranked first (one PRF evaluation
+   per block), then only the winning blocks expand their members. The
+   committee assignment and the Merkle root are functions of (seed, N,
+   block, query) alone — independent of how the runtime chooses to shard
+   cohorts — so a sharded execution produces byte-identical certificates
+   to a fully materialized one. *)
+
+module Registry = struct
+  type t = {
+    n : int;
+    block_seeds : string array; (* keyed PRF seed per registry block *)
+    root : Sha256.digest;
+  }
+
+  (* Canonical block size: a protocol constant, NOT a runtime tuning knob.
+     Certificates commit to the block-level tree, so this value changing
+     would change every registry root. *)
+  let block_size = 4096
+
+  let create ~seed ~n =
+    if n <= 0 then invalid_arg "Sortition.Registry.create: n <= 0";
+    let n_blocks = (n + block_size - 1) / block_size in
+    let master = Printf.sprintf "reg|%Ld|%d" seed n in
+    let block_seeds =
+      Array.init n_blocks (fun b -> Sha256.hmac ~key:master (Printf.sprintf "blk|%d" b))
+    in
+    (* Leaf = (block index, population, commitment to the block seed):
+       enough for any third party holding the block seeds to recompute the
+       root, without the tree ever being O(N). *)
+    let leaves =
+      Array.init n_blocks (fun b ->
+          let size = min block_size (n - (b * block_size)) in
+          Printf.sprintf "%d|%d|%s" b size
+            (Sha256.to_hex (Sha256.digest block_seeds.(b))))
+    in
+    { n; block_seeds; root = Merkle.root (Merkle.build leaves) }
+
+  let size t = t.n
+  let n_blocks t = Array.length t.block_seeds
+  let root t = t.root
+
+  let device_seed t id =
+    if id < 0 || id >= t.n then invalid_arg "Sortition.Registry.device_seed";
+    Sha256.hmac ~key:t.block_seeds.(id / block_size)
+      (string_of_int (id mod block_size))
+
+  let device t id = { id; seed = device_seed t id }
+
+  let block_population t b = min block_size (t.n - (b * block_size))
+
+  let block_ticket t b ~block ~query_id =
+    Sha256.digest
+      (Sha256.hmac ~key:t.block_seeds.(b) (message ~block ~query_id ^ "|blk"))
+
+  let ranked_blocks t ~block ~query_id =
+    let a =
+      Array.init (n_blocks t) (fun b -> (block_ticket t b ~block ~query_id, b))
+    in
+    Array.sort
+      (fun (h1, b1) (h2, b2) ->
+        let c = Sha256.compare_le h1 h2 in
+        if c <> 0 then c else compare b1 b2)
+      a;
+    a
+
+  (* Members of block [b] in their within-block ticket order. *)
+  let ranked_in_block t b ~block ~query_id =
+    let lo = b * block_size in
+    let tickets =
+      Array.init (block_population t b) (fun j ->
+          let id = lo + j in
+          (ticket (device t id) ~block ~query_id, id))
+    in
+    Array.sort
+      (fun (h1, i1) (h2, i2) ->
+        let c = Sha256.compare_le h1 h2 in
+        if c <> 0 then c else compare i1 i2)
+      tickets;
+    Array.map snd tickets
+
+  let select t ~block ~query_id ~committees ~size =
+    if committees <= 0 || size <= 0 then invalid_arg "Sortition.select: bad shape";
+    let seats = committees * size in
+    if seats > t.n then invalid_arg "Sortition.select: not enough devices";
+    let rb = ranked_blocks t ~block ~query_id in
+    let winners = Array.make seats (-1) in
+    let filled = ref 0 and bi = ref 0 in
+    while !filled < seats do
+      let _, b = rb.(!bi) in
+      incr bi;
+      Array.iter
+        (fun id ->
+          if !filled < seats then begin
+            winners.(!filled) <- id;
+            incr filled
+          end)
+        (ranked_in_block t b ~block ~query_id)
+    done;
+    let cs =
+      Array.init committees (fun c ->
+          Array.init size (fun j -> winners.((c * size) + j)))
+    in
+    { committees = cs; registry_root = t.root }
+
+  (* Agrees with [select] because select consumes whole blocks in ranked
+     order and truncates: the device's global rank is the population of
+     every block ranked before its own plus its within-block rank. *)
+  let verify_member t ~block ~query_id ~committees ~size ~id =
+    if id < 0 || id >= t.n then None
+    else begin
+      let seats = committees * size in
+      let my_block = id / block_size in
+      let rb = ranked_blocks t ~block ~query_id in
+      let consumed = ref 0 and start = ref None in
+      (try
+         Array.iter
+           (fun (_, b) ->
+             if b = my_block then begin
+               start := Some !consumed;
+               raise Exit
+             end
+             else consumed := !consumed + block_population t b)
+           rb
+       with Exit -> ());
+      match !start with
+      | Some s when s < seats -> (
+          let members = ranked_in_block t my_block ~block ~query_id in
+          let pos = ref None in
+          Array.iteri (fun j id' -> if id' = id then pos := Some j) members;
+          match !pos with
+          | Some p when s + p < seats -> Some ((s + p) / size)
+          | _ -> None)
+      | _ -> None
+    end
+end
+
 let reassign_failed asg ~failed =
   let c = Array.length asg.committees in
   if failed < 0 || failed >= c then invalid_arg "Sortition.reassign_failed";

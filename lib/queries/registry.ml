@@ -240,3 +240,49 @@ let random_database rng query ~n ?(skew = 1.1) () =
         db
       end
       else db
+
+(* Indexed variant of the same synthesis: row [i] is a pure function of
+   (seed, i) via Rng.derive, so any subset of a billion-device population
+   can be materialized independently and in any order — which is what the
+   sharded runtime needs to stream cohorts without building the database.
+   The draw distributions match [random_database]; the draw *sequence*
+   necessarily differs (one derived stream per device instead of one
+   shared stream), so the two constructions give different but equally
+   plausible databases for the same seed. *)
+let device_source ~seed ?(skew = 1.1) query =
+  match query.program.Arb_lang.Ast.row with
+  | Arb_lang.Ast.One_hot width ->
+      let weights =
+        Array.init width (fun k -> 1.0 /. Float.pow (float_of_int (k + 1)) skew)
+      in
+      let total = Array.fold_left ( +. ) 0.0 weights in
+      fun i ->
+        let rng = Arb_util.Rng.derive seed i in
+        let r = Arb_util.Rng.float rng total in
+        let rec go k acc =
+          if k = width - 1 then k
+          else
+            let acc = acc +. weights.(k) in
+            if r < acc then k else go (k + 1) acc
+        in
+        let row = Array.make width 0 in
+        row.(go 0 0.0) <- 1;
+        row
+  | Arb_lang.Ast.Bounded { width; lo; hi } ->
+      if query.name = "kmedians" then
+        let clusters = width / 2 in
+        fun i ->
+          let rng = Arb_util.Rng.derive seed i in
+          let row = Array.make width 0 in
+          let c = Arb_util.Rng.int rng clusters in
+          let v = Arb_util.Rng.int_in rng lo hi in
+          row.(2 * c) <- 1;
+          row.((2 * c) + 1) <- v;
+          row
+      else
+        fun i ->
+          let rng = Arb_util.Rng.derive seed i in
+          Array.init width (fun _ -> Arb_util.Rng.int_in rng lo hi)
+
+let indexed_database ~seed ?skew query ~n =
+  Array.init n (device_source ~seed ?skew query)

@@ -37,3 +37,18 @@ val random_database :
 (** Synthesize a plausible database for a query: [n] rows matching its row
     shape, with a Zipf-like skew over categories (default 1.1) so argmax
     queries have a meaningful winner. *)
+
+val device_source : seed:int64 -> ?skew:float -> query -> int -> int array
+(** [device_source ~seed query] is an indexed row generator: applying it to
+    [i] yields device [i]'s row as a pure function of [(seed, i)] (via
+    {!Arb_util.Rng.derive}), so any subset of an arbitrarily large
+    population can be materialized independently and in any order. Same
+    per-row distributions as {!random_database}, different draw sequence.
+    Feed it to {!Arb_runtime.Exec.execute_source} to run sharded queries
+    over populations too large to hold in memory. *)
+
+val indexed_database :
+  seed:int64 -> ?skew:float -> query -> n:int -> int array array
+(** [Array.init n (device_source ~seed query)] — the materialized prefix of
+    the indexed population, for tests comparing sharded and full runs over
+    the same rows. *)

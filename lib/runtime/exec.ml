@@ -10,6 +10,17 @@ let log_src = Logs.Src.create "arb.runtime" ~doc:"Arboretum execution runtime"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+(* How much of the device population runs the real crypto path. [Full]
+   materializes every device. [Sharded] splits the population into
+   cohorts of [cohort_size] consecutive device ids, runs [sampled_cohorts]
+   of them for real (encrypt, prove, verify, audit), and extrapolates the
+   rest analytically from exact per-device cost formulas — while their
+   exact honest plaintext contribution is carried into the aggregate as a
+   single "residual" ciphertext, so decrypted outputs (and hence DP noise,
+   budget deductions and certificates) are bit-identical to a Full run at
+   the same seed. Peak memory is O(cohort), not O(population). *)
+type sharding = Full | Sharded of { cohort_size : int; sampled_cohorts : int }
+
 type config = {
   committee_size : int;
   byzantine_fraction : float;
@@ -32,6 +43,7 @@ type config = {
          encryption, sum-tree groups). Reports and traces are byte-
          identical at any worker count: RNG draws happen in a sequential
          canonical-order pass, only deterministic arithmetic fans out. *)
+  sharding : sharding;
 }
 
 let default_config =
@@ -51,6 +63,7 @@ let default_config =
     faults = Fault.no_faults;
     tracer = None;
     workers = 1;
+    sharding = Full;
   }
 
 (* Deal indices to [workers] domains via a shared atomic counter; results
@@ -78,6 +91,15 @@ let parallel_map ~workers n f =
     Array.iter Domain.join doms;
     Array.map (function Some v -> v | None -> assert false) out
   end
+
+(* A device database that is addressed, not materialized: [row i] is
+   device [i]'s input, computed on demand. A sharded run over 10^8 devices
+   only ever calls [row] streaming through one cohort at a time, so the
+   database never has to exist as an array. [row] must be pure (safe to
+   call from any domain, no shared mutable state). *)
+type source = { n_devices : int; row : int -> int array }
+
+let source_of_db db = { n_devices = Array.length db; row = (fun i -> db.(i)) }
 
 type report = {
   outputs : L.Interp.value list;
@@ -570,17 +592,37 @@ let find_sampled_binding (p : L.Ast.program) =
       | _ -> acc)
     None p.L.Ast.body
 
-let execute_inner cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
+let execute_inner cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~src =
   let rng = Arb_util.Rng.create cfg.seed in
   let trace = Trace.create () in
   (* The fault plan draws from its own per-kind streams (same seed), so a
      clean run and a faulted run make identical session-RNG draws up to the
      first recovery action. *)
   let inj = Fault.create ~seed:cfg.seed cfg.faults in
-  let n_devices = Array.length db in
+  let n_devices = src.n_devices in
   if n_devices < 4 * cfg.committee_size then
     err "need at least %d devices for %d-member committees" (4 * cfg.committee_size)
       cfg.committee_size;
+  (* Cohort structure. Full is the degenerate single materialized cohort,
+     so both modes run the same input loop below. Sampled cohorts are
+     spread evenly across the id space (deterministic, distinct). *)
+  let cohort_size, n_cohorts, sampled_idx =
+    match cfg.sharding with
+    | Full -> (n_devices, 1, [| 0 |])
+    | Sharded { cohort_size; sampled_cohorts } ->
+        if cohort_size < 1 then err "sharding: cohort_size must be >= 1";
+        if sampled_cohorts < 1 then err "sharding: sampled_cohorts must be >= 1";
+        let nc = (n_devices + cohort_size - 1) / cohort_size in
+        let k = min sampled_cohorts nc in
+        (cohort_size, nc, Array.init k (fun j -> j * nc / k))
+  in
+  let is_sampled c = Array.exists (fun s -> s = c) sampled_idx in
+  let cohort_population c = min cohort_size (n_devices - (c * cohort_size)) in
+  trace.Trace.devices_total <- n_devices;
+  trace.Trace.cohorts_total <- n_cohorts;
+  trace.Trace.cohorts_sampled <- Array.length sampled_idx;
+  trace.Trace.devices_materialized <-
+    Array.fold_left (fun acc c -> acc + cohort_population c) 0 sampled_idx;
   let program = query.Arb_queries.Registry.program in
   let cert_report = L.Certify.certify program ~n:n_devices in
   if not cert_report.L.Certify.certified then
@@ -600,17 +642,28 @@ let execute_inner cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db
   let ring_n = max 16 (next_pow2 cfg.bgv_n) in
   let ct_count = (slots_needed + ring_n - 1) / ring_n in
   let min_t = max 12289 (next_pow2 (4 * n_devices)) in
+  (* The plaintext modulus grows with the population (sums up to N must
+     stay exact), which shrinks the noise margin q/(2t). Past t = 16384
+     the single-prime AHE modulus no longer leaves room to accumulate
+     millions of fresh ciphertexts, so large populations take the wider
+     two-prime basis even for addition-only plans. *)
   let params =
     match plan.Plan.crypto with
-    | Plan.Ahe -> C.Bgv.ahe_params ~n:ring_n ~min_t ()
-    | Plan.Fhe -> C.Bgv.fhe_params ~n:ring_n ~min_t ()
+    | Plan.Ahe when min_t <= 16384 -> C.Bgv.ahe_params ~n:ring_n ~min_t ()
+    | Plan.Ahe | Plan.Fhe -> C.Bgv.fhe_params ~n:ring_n ~min_t ()
   in
-  (* 1. Registry + sortition: one committee per logical role. *)
-  let devices = Setup.make_devices rng ~db ~byzantine_fraction:cfg.byzantine_fraction in
+  (* 1. Registry + sortition: one committee per logical role. The
+     population is derived, not materialized — sortition ranks registry
+     blocks, and committee members may live in cohorts the input stage
+     never executes (their seeds derive on demand). *)
+  let pop =
+    Setup.population ~seed:cfg.seed ~n:n_devices
+      ~byzantine_fraction:cfg.byzantine_fraction
+  in
   let n_committees = 4 in
   let assignment =
     spn cfg "sortition" (fun () ->
-        Setup.run_sortition ~devices ~block:cfg.block ~query_id:cfg.query_id
+        Setup.run_sortition pop ~block:cfg.block ~query_id:cfg.query_id
           ~committees:n_committees ~size:cfg.committee_size)
   in
   (* Churn (§5.1): members may be offline when their committee's vignette
@@ -661,7 +714,8 @@ let execute_inner cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db
   let sk, pk, certificate =
     spn cfg "keygen" (fun () ->
         let r =
-          Setup.keygen_ceremony rng ~devices ~committee:kg_committee ~params
+          Setup.keygen_ceremony rng ~device_seed:(Setup.device_seed pop)
+            ~committee:kg_committee ~params
             ~query_id:cfg.query_id ~plan_digest ~budget:cfg.budget
             ~cost:cert_report.L.Certify.cost
             ~registry_root:assignment.C.Sortition.registry_root
@@ -703,11 +757,14 @@ let execute_inner cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db
         | _ -> false)
       plan.Plan.vignettes
   in
-  let pending_cts = ref [] in
+  let pending_roots = ref [] in
   let acc_ct = ref None in
   let accepted = ref 0 and rejected = ref 0 in
   (* Uploads travel over a link whose drops and delays come from the fault
-     plan; a delay is absorbed as latency, a drop costs a retry. *)
+     plan; a delay is absorbed as latency, a drop costs a retry. The
+     per-kind fault streams are only consulted for materialized devices —
+     the sharding fidelity contract pins injected faults inside sampled
+     cohorts (DESIGN.md §11). *)
   let fspec = Fault.spec inj in
   let link =
     Net.lossy cfg.latency
@@ -720,111 +777,235 @@ let execute_inner cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db
         else 0.0)
   in
   let lost = ref 0 in
+  let clean_latency = cfg.latency.Net.rtt /. 2.0 in
+  let constraints = C.Zkp.statement_constraints statement in
+  (* Byte accounting uses the real wire format's length — computed, not
+     materialized: fresh ciphertexts are degree 1. *)
+  let upload_bytes =
+    C.Zkp.proof_bytes + (ct_count * C.Bgv.serialized_bytes params 1)
+  in
+  (* Exact honest plaintext contribution of the extrapolated cohorts,
+     accumulated slot-wise and injected as one ciphertext after the input
+     loop. *)
+  let residual = Array.make slots_needed 0 in
+  let residual_devices = ref 0 in
+  (* Device sum-tree (§4.3): fold ciphertext uploads level by level in
+     fanout-sized groups, each group summed by a participant device
+     (attributed to device_tree_adds); the aggregator audits every vertex.
+     Runs once per materialized cohort (bounding peak memory at O(cohort))
+     and once more over the cohort roots. *)
+  let fanout = 8 in
+  let rec tree_reduce ~label level cts =
+    match cts with
+    | [] -> err "no valid inputs"
+    | [ only ] -> only
+    | _ ->
+        let rec groups acc cur k = function
+          | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+          | ct :: rest ->
+              if k = fanout then groups (List.rev cur :: acc) [ ct ] 1 rest
+              else groups acc (ct :: cur) (k + 1) rest
+        in
+        let gs = Array.of_list (groups [] [] 0 cts) in
+        (* Groups are disjoint, so their folds fan out over domains; the
+           within-group fold stays sequential (the noise bookkeeping's
+           log-sum-exp is float, hence order-sensitive) and the merge
+           keeps canonical group order. Counters move out of the fold so
+           the parallel path stays race-free — same totals. *)
+        let folded =
+          parallel_map ~workers:cfg.workers (Array.length gs) (fun gi ->
+              match gs.(gi) with
+              | [] -> assert false
+              | first :: rest ->
+                  List.fold_left
+                    (fun acc cts -> Array.map2 C.Bgv.accumulate acc cts)
+                    first rest)
+        in
+        Array.iter
+          (fun g ->
+            trace.Trace.device_tree_adds <-
+              trace.Trace.device_tree_adds + ((List.length g - 1) * ct_count))
+          gs;
+        let nodes = Array.to_list folded in
+        Audit.record_step audit
+          (Printf.sprintf "%s|%d|%d" label level (List.length nodes));
+        tree_reduce ~label (level + 1) nodes
+  in
+  (* A device's private draws come from its own per-index stream, in the
+     protocol order Byzantine-flag, bin, encryption randomness — a pure
+     function of (seed, id), identical whether its cohort is materialized
+     or streamed, untouched by worker count or by any other device. *)
+  let device_byz drng = Arb_util.Rng.uniform01 drng < cfg.byzantine_fraction in
+  let device_bin drng = if bins > 1 then Arb_util.Rng.int drng bins else 0 in
   spn cfg "inputs" (fun () ->
-  (* Pass 1 (sequential): everything that draws from the session RNG —
-     bin choice and encryption randomness — in canonical device order, so
-     the draw sequence is identical at any worker count. *)
-  let prepared =
-    Array.map
-      (fun (d : Setup.device) ->
-        let bin = if bins > 1 then Arb_util.Rng.int rng bins else 0 in
-        let slots = Array.make slots_needed 0 in
-        let row =
-          if d.Setup.byzantine then Array.map (fun _ -> 1) d.Setup.row
-          else d.Setup.row
-        in
-        Array.iteri
-          (fun j v -> if j < cols then slots.((bin * cols) + j) <- v)
-          row;
-        let rand =
-          Array.init ct_count (fun _ -> C.Bgv.sample_encrypt_randomness pk rng)
-        in
-        (d, slots, row, rand))
-      devices
-  in
-  (* Pass 2 (parallel fan-out): the deterministic per-device compute —
-     proof construction and the encryption arithmetic (no RNG access in
-     Bgv.encrypt_with_randomness). *)
-  let computed =
-    parallel_map ~workers:cfg.workers (Array.length prepared) (fun i ->
-        let d, slots, row, rand = prepared.(i) in
-        (* The proof statement covers the full slot layout for one-hot rows
-           (so a device cannot claim several bins); range statements cover
-           the raw row. *)
-        let witness =
-          match statement with
-          | C.Zkp.One_hot _ | C.Zkp.One_hot_binned _ | C.Zkp.Bits _ -> slots
-          | C.Zkp.Range _ -> row
-        in
-        let prover = string_of_int i in
-        let proof =
-          if d.Setup.byzantine then C.Zkp.forge statement ~prover ~nonce
-          else C.Zkp.prove statement ~witness ~prover ~nonce
-        in
-        let cts =
-          Array.init ct_count (fun k ->
-              let lo = k * ring_n in
-              let len = min ring_n (slots_needed - lo) in
-              C.Bgv.encrypt_with_randomness pk rand.(k) (Array.sub slots lo len))
-        in
-        (proof, cts))
-  in
-  (* Pass 3 (sequential, canonical order): trace accounting, the lossy
-     uplink (per-kind fault streams fire in device order), verification
-     and aggregation. *)
-  Array.iteri
-    (fun i (proof, cts) ->
-      let prover = string_of_int i in
-      trace.Trace.device_encrypt_ops <- trace.Trace.device_encrypt_ops + ct_count;
-      trace.Trace.device_proof_constraints <-
-        trace.Trace.device_proof_constraints + C.Zkp.statement_constraints statement;
-      (* Byte accounting uses the real wire format's length — computed,
-         not materialized: fresh ciphertexts are degree 1. *)
-      let upload =
-        C.Zkp.proof_bytes + (ct_count * C.Bgv.serialized_bytes params 1)
+  for c = 0 to n_cohorts - 1 do
+    let lo = c * cohort_size in
+    let size = cohort_population c in
+    if is_sampled c then begin
+      (* Materialized cohort: the real crypto path.
+         Pass 1 (sequential, canonical order): per-device stream draws and
+         row materialization. *)
+      let prepared =
+        Array.init size (fun k ->
+            let gi = lo + k in
+            let drng = Setup.device_input_rng pop gi in
+            let byz = device_byz drng in
+            let bin = device_bin drng in
+            let row = src.row gi in
+            let row = if byz then Array.map (fun _ -> 1) row else row in
+            let slots = Array.make slots_needed 0 in
+            Array.iteri
+              (fun j v -> if j < cols then slots.((bin * cols) + j) <- v)
+              row;
+            let rand =
+              Array.init ct_count (fun _ ->
+                  C.Bgv.sample_encrypt_randomness pk drng)
+            in
+            (byz, slots, row, rand))
       in
+      (* Pass 2 (parallel fan-out): the deterministic per-device compute —
+         proof construction and the encryption arithmetic (no RNG access in
+         Bgv.encrypt_with_randomness). *)
+      let computed =
+        parallel_map ~workers:cfg.workers size (fun k ->
+            let byz, slots, row, rand = prepared.(k) in
+            (* The proof statement covers the full slot layout for one-hot
+               rows (so a device cannot claim several bins); range
+               statements cover the raw row. *)
+            let witness =
+              match statement with
+              | C.Zkp.One_hot _ | C.Zkp.One_hot_binned _ | C.Zkp.Bits _ ->
+                  slots
+              | C.Zkp.Range _ -> row
+            in
+            let prover = string_of_int (lo + k) in
+            let proof =
+              if byz then C.Zkp.forge statement ~prover ~nonce
+              else C.Zkp.prove statement ~witness ~prover ~nonce
+            in
+            let cts =
+              Array.init ct_count (fun kk ->
+                  let slo = kk * ring_n in
+                  let len = min ring_n (slots_needed - slo) in
+                  C.Bgv.encrypt_with_randomness pk rand.(kk)
+                    (Array.sub slots slo len))
+            in
+            (proof, cts))
+      in
+      (* Pass 3 (sequential, canonical order): trace accounting, the lossy
+         uplink (per-kind fault streams fire in device order), verification
+         and aggregation. *)
+      let cohort_cts = ref [] in
+      Array.iteri
+        (fun k (proof, cts) ->
+          let gi = lo + k in
+          let prover = string_of_int gi in
+          trace.Trace.device_encrypt_ops <-
+            trace.Trace.device_encrypt_ops + ct_count;
+          trace.Trace.device_proof_constraints <-
+            trace.Trace.device_proof_constraints + constraints;
+          trace.Trace.device_upload_bytes <-
+            trace.Trace.device_upload_bytes +. float_of_int upload_bytes;
+          (* The device did its work either way; the transmit decides
+             whether the aggregator ever sees it. *)
+          match
+            Net.transmit link
+              ~max_attempts:(fspec.Fault.max_retries + 1)
+              ~backoff:(fun a -> Fault.backoff inj ~attempt:a)
+          with
+          | None ->
+              incr lost;
+              trace.Trace.lost_uploads <- trace.Trace.lost_uploads + 1
+          | Some del ->
+              if del.Net.attempts > 1 then begin
+                trace.Trace.upload_retries <-
+                  trace.Trace.upload_retries + (del.Net.attempts - 1);
+                Fault.record_recovery inj Fault.Message_drop
+              end;
+              trace.Trace.upload_latency_s <-
+                trace.Trace.upload_latency_s +. del.Net.latency;
+              adv cfg del.Net.latency;
+              (* Aggregator verifies and aggregates. *)
+              trace.Trace.agg_proofs_verified <-
+                trace.Trace.agg_proofs_verified + 1;
+              if C.Zkp.verify statement proof ~prover ~nonce then begin
+                incr accepted;
+                if sum_outsourced then cohort_cts := cts :: !cohort_cts
+                else
+                  (acc_ct :=
+                     match !acc_ct with
+                     | None -> Some cts
+                     | Some acc ->
+                         trace.Trace.agg_he_adds <-
+                           trace.Trace.agg_he_adds + ct_count;
+                         (* In-place accumulation: the fold owns [acc]. *)
+                         Some (Array.map2 C.Bgv.accumulate acc cts));
+                if gi mod 64 = 0 then
+                  Audit.record_step audit
+                    (Printf.sprintf "sum-step|%d|%d" gi ct_count)
+              end
+              else begin
+                incr rejected;
+                trace.Trace.agg_proofs_rejected <-
+                  trace.Trace.agg_proofs_rejected + 1
+              end)
+        computed;
+      if sum_outsourced then
+        match List.rev !cohort_cts with
+        | [] -> ()
+        | cts ->
+            pending_roots :=
+              tree_reduce ~label:(Printf.sprintf "cohort-tree|%d" c) 0 cts
+              :: !pending_roots
+    end
+    else begin
+      (* Extrapolated cohort: stream the devices without crypto. Honest
+         rows fold into the exact residual slot sums (same bin layout and
+         the same mod-t wrap as homomorphic accumulation); Byzantine
+         devices contribute nothing, exactly as their forged proofs would
+         be rejected in a materialized pass. Cost counters extrapolate
+         from the same closed-form per-device costs the materialized path
+         charges, so report accounting stays Full-comparable. *)
+      let byz_count = ref 0 in
+      for k = 0 to size - 1 do
+        let gi = lo + k in
+        let drng = Setup.device_input_rng pop gi in
+        if device_byz drng then incr byz_count
+        else begin
+          let bin = device_bin drng in
+          let row = src.row gi in
+          Array.iteri
+            (fun j v ->
+              if j < cols then
+                residual.((bin * cols) + j) <- residual.((bin * cols) + j) + v)
+            row
+        end
+      done;
+      let honest = size - !byz_count in
+      residual_devices := !residual_devices + honest;
+      accepted := !accepted + honest;
+      rejected := !rejected + !byz_count;
+      trace.Trace.device_encrypt_ops <-
+        trace.Trace.device_encrypt_ops + (size * ct_count);
+      trace.Trace.device_proof_constraints <-
+        trace.Trace.device_proof_constraints + (size * constraints);
       trace.Trace.device_upload_bytes <-
-        trace.Trace.device_upload_bytes +. float_of_int upload;
-      (* The device did its work either way; the transmit decides whether
-         the aggregator ever sees it. *)
-      match
-        Net.transmit link
-          ~max_attempts:(fspec.Fault.max_retries + 1)
-          ~backoff:(fun a -> Fault.backoff inj ~attempt:a)
-      with
-      | None ->
-          incr lost;
-          trace.Trace.lost_uploads <- trace.Trace.lost_uploads + 1
-      | Some del ->
-          if del.Net.attempts > 1 then begin
-            trace.Trace.upload_retries <-
-              trace.Trace.upload_retries + (del.Net.attempts - 1);
-            Fault.record_recovery inj Fault.Message_drop
-          end;
-          trace.Trace.upload_latency_s <-
-            trace.Trace.upload_latency_s +. del.Net.latency;
-          adv cfg del.Net.latency;
-          (* Aggregator verifies and aggregates. *)
-          trace.Trace.agg_proofs_verified <- trace.Trace.agg_proofs_verified + 1;
-          if C.Zkp.verify statement proof ~prover ~nonce then begin
-            incr accepted;
-            if sum_outsourced then pending_cts := cts :: !pending_cts
-            else
-              (acc_ct :=
-                 match !acc_ct with
-                 | None -> Some cts
-                 | Some acc ->
-                     trace.Trace.agg_he_adds <- trace.Trace.agg_he_adds + ct_count;
-                     (* In-place accumulation: the fold owns [acc]. *)
-                     Some (Array.map2 C.Bgv.accumulate acc cts));
-            if i mod 64 = 0 then
-              Audit.record_step audit (Printf.sprintf "sum-step|%d|%d" i ct_count)
-          end
-          else begin
-            incr rejected;
-            trace.Trace.agg_proofs_rejected <- trace.Trace.agg_proofs_rejected + 1
-          end)
-    computed;
+        trace.Trace.device_upload_bytes +. float_of_int (size * upload_bytes);
+      trace.Trace.agg_proofs_verified <- trace.Trace.agg_proofs_verified + size;
+      trace.Trace.agg_proofs_rejected <-
+        trace.Trace.agg_proofs_rejected + !byz_count;
+      trace.Trace.upload_latency_s <-
+        trace.Trace.upload_latency_s +. (float_of_int size *. clean_latency);
+      adv cfg (float_of_int size *. clean_latency);
+      if sum_outsourced then
+        trace.Trace.device_tree_adds <-
+          trace.Trace.device_tree_adds + (max 0 (honest - 1) * ct_count)
+      else
+        trace.Trace.agg_he_adds <- trace.Trace.agg_he_adds + (honest * ct_count);
+      Audit.record_step audit
+        (Printf.sprintf "cohort-extrapolate|%d|%d|%d" c size !byz_count)
+    end
+  done;
   match cfg.tracer with
   | Some t ->
       Arb_obs.Tracer.add_args t
@@ -840,48 +1021,41 @@ let execute_inner cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db
     degraded "%d device upload%s lost despite %d retries" !lost
       (if !lost = 1 then "" else "s")
       fspec.Fault.max_retries;
-  (* Device sum-tree: fold the uploads level by level in fanout-sized
-     groups, each group summed by a participant device (attributed to
-     device_tree_adds); the aggregator audits every vertex. *)
-  if sum_outsourced then spn cfg "sum-tree" (fun () ->
-    let fanout = 8 in
-    let rec reduce level cts =
-      match cts with
-      | [] -> err "no valid inputs"
-      | [ only ] -> only
-      | _ ->
-          let rec groups acc cur k = function
-            | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
-            | ct :: rest ->
-                if k = fanout then groups (List.rev cur :: acc) [ ct ] 1 rest
-                else groups acc (ct :: cur) (k + 1) rest
-          in
-          let gs = Array.of_list (groups [] [] 0 cts) in
-          (* Groups are disjoint, so their folds fan out over domains; the
-             within-group fold stays sequential (the noise bookkeeping's
-             log-sum-exp is float, hence order-sensitive) and the merge
-             keeps canonical group order. Counters move out of the fold so
-             the parallel path stays race-free — same totals. *)
-          let folded =
-            parallel_map ~workers:cfg.workers (Array.length gs) (fun gi ->
-                match gs.(gi) with
-                | [] -> assert false
-                | first :: rest ->
-                    List.fold_left
-                      (fun acc cts -> Array.map2 C.Bgv.accumulate acc cts)
-                      first rest)
-          in
-          Array.iter
-            (fun g ->
-              trace.Trace.device_tree_adds <-
-                trace.Trace.device_tree_adds + ((List.length g - 1) * ct_count))
-            gs;
-          let nodes = Array.to_list folded in
-          Audit.record_step audit
-            (Printf.sprintf "tree-level|%d|%d" level (List.length nodes));
-          reduce (level + 1) nodes
-    in
-    acc_ct := Some (reduce 0 (List.rev !pending_cts)));
+  (* Residual injection: the extrapolated cohorts' exact honest sums,
+     reduced mod t (matching the wrap semantics of mod-t homomorphic
+     accumulation, which matters when per-slot sums exceed t) and
+     encrypted once under a dedicated derived stream. After the
+     homomorphic add, the aggregate decrypts to exactly what a Full run
+     at the same seed produces. *)
+  (if n_cohorts > Array.length sampled_idx then
+     spn cfg "residual-inject" (fun () ->
+         let t_plain = params.C.Bgv.t in
+         let reduced =
+           Array.map (fun v -> ((v mod t_plain) + t_plain) mod t_plain) residual
+         in
+         let rrng = Setup.residual_rng pop in
+         let cts =
+           Array.init ct_count (fun k ->
+               let slo = k * ring_n in
+               let len = min ring_n (slots_needed - slo) in
+               C.Bgv.encrypt pk rrng (Array.sub reduced slo len))
+         in
+         trace.Trace.agg_he_adds <- trace.Trace.agg_he_adds + ct_count;
+         Audit.record_step audit
+           (Printf.sprintf "residual-inject|%d" !residual_devices);
+         if sum_outsourced then pending_roots := cts :: !pending_roots
+         else
+           acc_ct :=
+             (match !acc_ct with
+             | None -> Some cts
+             | Some acc -> Some (Array.map2 C.Bgv.accumulate acc cts))));
+  (* Final combine of the per-cohort partial-sum roots (outsourced plans);
+     in Full mode this is the single cohort's root passing straight
+     through. *)
+  if sum_outsourced then
+    spn cfg "sum-tree" (fun () ->
+        acc_ct :=
+          Some (tree_reduce ~label:"tree-level" 0 (List.rev !pending_roots)));
   let sum_cts =
     match !acc_ct with Some cts -> cts | None -> err "no valid inputs"
   in
@@ -899,11 +1073,8 @@ let execute_inner cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db
   for c = 0 to checks - 1 do
     let member = kg_committee.(c) in
     (match
-       C.Sortition.verify_member
-         ~devices:(Array.map (fun (d : Setup.device) -> d.Setup.sortition) devices)
-         ~block:cfg.block ~query_id:cfg.query_id ~committees:n_committees
-         ~size:cfg.committee_size
-         ~device:devices.(member).Setup.sortition
+       Setup.verify_member pop ~block:cfg.block ~query_id:cfg.query_id
+         ~committees:n_committees ~size:cfg.committee_size ~id:member
      with
     | Some _ -> trace.Trace.sortition_checks <- trace.Trace.sortition_checks + 1
     | None -> err "sortition verification failed for committee member %d" member)
@@ -1174,9 +1345,10 @@ let execute_inner cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db
     committee_wall_clock;
   }
 
-let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
+let execute_source cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t)
+    ~src =
   match cfg.tracer with
-  | None -> execute_inner cfg ~query ~plan ~db
+  | None -> execute_inner cfg ~query ~plan ~src
   | Some t ->
       (* with_span closes the root span even when the run fails closed, so
          aborted executions still serialize as well-nested traces. *)
@@ -1184,19 +1356,22 @@ let execute cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~db =
         ~args:
           [
             ("query", Arb_util.Json.String query.Arb_queries.Registry.name);
-            ("n", Arb_util.Json.Int (Array.length db));
+            ("n", Arb_util.Json.Int src.n_devices);
             ("crypto", Arb_util.Json.String (Plan.crypto_name plan.Plan.crypto));
             ("seed", Arb_util.Json.String (Int64.to_string cfg.seed));
           ]
         "exec"
-        (fun () -> execute_inner cfg ~query ~plan ~db)
+        (fun () -> execute_inner cfg ~query ~plan ~src)
+
+let execute cfg ~query ~plan ~db =
+  execute_source cfg ~query ~plan ~src:(source_of_db db)
 
 type failure = { stage : string; reason : string }
 
 let pp_failure fmt f = Format.fprintf fmt "[%s] %s" f.stage f.reason
 
-let run cfg ~query ~plan ~db =
-  match execute cfg ~query ~plan ~db with
+let run_source cfg ~query ~plan ~src =
+  match execute_source cfg ~query ~plan ~src with
   | report ->
       (* Fail closed: outputs are released only when both the budget
          certificate and the audit spot-checks verified. *)
@@ -1216,11 +1391,16 @@ let run cfg ~query ~plan ~db =
   | exception Setup.Budget_exhausted ->
       Error { stage = "budget"; reason = "privacy budget exhausted" }
 
-let plan_and_execute cfg ~query ~db =
-  let n = Array.length db in
+let run cfg ~query ~plan ~db = run_source cfg ~query ~plan ~src:(source_of_db db)
+
+let plan_and_execute_source cfg ~query ~src =
+  let n = src.n_devices in
   let result =
     Arb_planner.Search.plan ~limits:Arb_planner.Constraints.no_limits ~query ~n ()
   in
   match result.Arb_planner.Search.plan with
   | None -> err "planner found no plan"
-  | Some plan -> execute cfg ~query ~plan ~db
+  | Some plan -> execute_source cfg ~query ~plan ~src
+
+let plan_and_execute cfg ~query ~db =
+  plan_and_execute_source cfg ~query ~src:(source_of_db db)

@@ -17,7 +17,39 @@
     affect cost (sum-tree fanout, committee chunking) are executed in their
     canonical form — the planner's metrics already capture their cost — and
     hand-offs between logical committees are charged VSR costs on one
-    engine per committee type rather than thousands of real committees. *)
+    engine per committee type rather than thousands of real committees.
+
+    {2 Cohort sharding}
+
+    At the paper's 10^8–10^9 device scale, materializing every device is
+    neither possible nor informative. [Sharded] execution splits the
+    population into cohorts of consecutive device ids, runs a configured
+    number of sampled cohorts through the full crypto path (encrypt, prove,
+    verify, aggregate, audit), and streams the remaining cohorts without
+    crypto: their exact honest plaintext sums are carried into the
+    aggregate as one "residual" ciphertext, and their costs are
+    extrapolated from the same closed-form per-device formulas the
+    materialized path charges.
+
+    The fidelity contract (DESIGN.md §11): decrypted outputs, DP noise,
+    budget deductions and certificates are {e bit-identical} to a [Full]
+    run at the same seed — only trace cost counters are (exact-formula)
+    extrapolations, and injected faults land only inside sampled cohorts.
+    This holds because (a) every device's private draws come from its own
+    PRF stream ({!Arb_util.Rng.derive}), a pure function of (seed, id);
+    (b) committee sortition is hierarchical over registry blocks
+    ({!Arb_crypto.Sortition.Registry}), a function of (seed, N) alone; and
+    (c) BGV addition is exact, so one ciphertext encrypting the residual
+    sums (mod t) is algebraically indistinguishable from the per-device
+    accumulation it replaces. Peak memory is O(cohort), not O(N). *)
+
+(** How much of the population runs the real crypto path. [Full] (the
+    default) materializes every device. [Sharded] materializes
+    [sampled_cohorts] cohorts of [cohort_size] devices, spread evenly
+    across the id space, and extrapolates the rest under the fidelity
+    contract above. [Full] at population [n] behaves exactly like
+    [Sharded] with [cohort_size >= n]: a single materialized cohort. *)
+type sharding = Full | Sharded of { cohort_size : int; sampled_cohorts : int }
 
 type config = {
   committee_size : int;  (** simulated committee size (small, e.g. 5) *)
@@ -54,9 +86,25 @@ type config = {
           results merge in canonical order, so reports, traces and
           decrypted outputs are byte-identical at any worker count
           (regression-tested). Default 1. *)
+  sharding : sharding;
+      (** cohort structure of the input stage; [Full] by default. Does not
+          affect decrypted outputs, budget deductions or certificates (see
+          the fidelity contract above), and is invisible to committee
+          selection — the registry's block structure is a protocol
+          constant, so certificates carry the same root either way. *)
 }
 
 val default_config : config
+
+type source = { n_devices : int; row : int -> int array }
+(** A device database addressed by index instead of materialized as an
+    array: [row i] computes device [i]'s input on demand. [row] must be
+    pure — it is called from worker domains and its result must depend
+    only on [i]. This is what lets a sharded run address 10^8+ devices
+    while holding one cohort in memory. *)
+
+val source_of_db : int array array -> source
+(** Wrap a concrete database (one row per device). *)
 
 type report = {
   outputs : Arb_lang.Interp.value list;
@@ -93,6 +141,15 @@ val execute :
     {!Arb_mpc.Engine.Cheating_detected} when share corruption exceeded the
     robust-decoding radius. *)
 
+val execute_source :
+  config ->
+  query:Arb_queries.Registry.query ->
+  plan:Arb_planner.Plan.t ->
+  src:source ->
+  report
+(** {!execute} over an on-demand {!source} — the entry point for
+    population sizes that cannot be materialized. Same exceptions. *)
+
 type failure = { stage : string; reason : string }
 (** Where a run failed closed ("certificate", "audit", "degraded",
     "execute", "mpc", "budget") and why. *)
@@ -111,6 +168,14 @@ val run :
     "outputs were legitimately released". The DP budget is only committed
     by callers on [Ok] (see {!Session.run}). *)
 
+val run_source :
+  config ->
+  query:Arb_queries.Registry.query ->
+  plan:Arb_planner.Plan.t ->
+  src:source ->
+  (report, failure) result
+(** {!run} over an on-demand {!source}. *)
+
 val plan_and_execute :
   config ->
   query:Arb_queries.Registry.query ->
@@ -118,3 +183,10 @@ val plan_and_execute :
   report
 (** Convenience: plan at the database's scale (no cost limits), then
     execute. *)
+
+val plan_and_execute_source :
+  config ->
+  query:Arb_queries.Registry.query ->
+  src:source ->
+  report
+(** {!plan_and_execute} over an on-demand {!source}. *)

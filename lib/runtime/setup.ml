@@ -1,11 +1,5 @@
 module C = Arb_crypto
 
-type device = {
-  sortition : C.Sortition.device;
-  row : int array;
-  byzantine : bool;
-}
-
 type certificate = {
   query_id : int;
   pk_digest : C.Sha256.digest;
@@ -18,26 +12,48 @@ type certificate = {
 
 exception Budget_exhausted
 
-let make_devices rng ~db ~byzantine_fraction =
-  Array.mapi
-    (fun i row ->
-      let seed =
-        let b = Bytes.create 16 in
-        Bytes.set_int64_le b 0 (Arb_util.Rng.next_int64 rng);
-        Bytes.set_int64_le b 8 (Int64.of_int i);
-        Bytes.to_string b
-      in
-      {
-        sortition = { C.Sortition.id = i; seed };
-        row;
-        byzantine = Arb_util.Rng.uniform01 rng < byzantine_fraction;
-      })
-    db
+(* The device population, derived entirely from (seed, n): sortition
+   secrets come from the hierarchical registry's block PRF seeds, and each
+   device's protocol randomness (Byzantine flag, bin choice, encryption
+   randomness) is its own splitmix stream keyed by (input_seed, id). No
+   per-device state is materialized up front, so the same population
+   addresses 10^8 devices in O(n / block_size) memory — and a cohort-
+   sharded execution sees byte-identical per-device draws to a fully
+   materialized one, because neither depends on a shared draw order. *)
+type population = {
+  registry : C.Sortition.Registry.t;
+  byzantine_fraction : float;
+  input_seed : int64;
+  residual_seed : int64;
+}
 
-let run_sortition ~devices ~block ~query_id ~committees ~size =
-  C.Sortition.select
-    ~devices:(Array.map (fun d -> d.sortition) devices)
-    ~block ~query_id ~committees ~size
+let population ~seed ~n ~byzantine_fraction =
+  let sub k = Arb_util.Rng.next_int64 (Arb_util.Rng.derive seed k) in
+  {
+    registry = C.Sortition.Registry.create ~seed ~n;
+    byzantine_fraction;
+    input_seed = sub 0x1A51;
+    residual_seed = sub 0x1A52;
+  }
+
+let population_size pop = C.Sortition.Registry.size pop.registry
+let device_seed pop id = C.Sortition.Registry.device_seed pop.registry id
+let registry_root pop = C.Sortition.Registry.root pop.registry
+
+(* Per-device stream. Draw order is part of the protocol contract (see
+   Exec): Byzantine flag first, then bin choice, then encryption
+   randomness — so a streamed (extrapolated) pass that stops after the bin
+   draw perturbs nothing. *)
+let device_input_rng pop id = Arb_util.Rng.derive pop.input_seed id
+
+let residual_rng pop = Arb_util.Rng.create pop.residual_seed
+
+let run_sortition pop ~block ~query_id ~committees ~size =
+  C.Sortition.Registry.select pop.registry ~block ~query_id ~committees ~size
+
+let verify_member pop ~block ~query_id ~committees ~size ~id =
+  C.Sortition.Registry.verify_member pop.registry ~block ~query_id ~committees
+    ~size ~id
 
 let certificate_payload cert =
   Printf.sprintf "cert|%d|%s|%s|%f|%f|%s|%s" cert.query_id
@@ -53,7 +69,7 @@ let pk_digest_of pk =
      representation. *)
   C.Sha256.digest (C.Bgv.serialize_public_key pk)
 
-let keygen_ceremony rng ~devices ~committee ~params ~query_id ~plan_digest
+let keygen_ceremony rng ~device_seed ~committee ~params ~query_id ~plan_digest
     ~budget ~cost ~registry_root ~engine =
   (* 1. Budget check (§5.2): refuse the query if the balance is short. *)
   let budget_left =
@@ -99,8 +115,7 @@ let keygen_ceremony rng ~devices ~committee ~params ~query_id ~plan_digest
     Array.to_list committee
     |> List.map (fun member ->
            let seed =
-             devices.(member).sortition.C.Sortition.seed
-             ^ Printf.sprintf "|cert%d" query_id
+             device_seed member ^ Printf.sprintf "|cert%d" query_id
            in
            let kp = C.Sig_scheme.keygen ~seed in
            (kp.C.Sig_scheme.public, C.Sig_scheme.sign ~secret:kp.C.Sig_scheme.secret payload))

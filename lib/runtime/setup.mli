@@ -1,17 +1,20 @@
-(** Execution setup: device registry, sortition, and the key-generation
+(** Execution setup: device population, sortition, and the key-generation
     ceremony (§5.1–§5.2).
+
+    The population is derived entirely from [(seed, n)] — sortition
+    secrets come from the hierarchical registry's block PRF seeds
+    ({!Arb_crypto.Sortition.Registry}), and every device's protocol
+    randomness is its own per-index stream ({!Arb_util.Rng.derive}). No
+    per-device state is materialized up front, which is what lets the
+    runtime address 10^8+ devices while only executing a few sampled
+    cohorts: a device's draws are a pure function of its id, identical
+    whether or not its cohort is ever materialized.
 
     The key-generation committee checks the privacy budget, generates the
     BGV keypair, hands the secret key to the decryption committee as Shamir
     shares via VSR, and signs a query authorization certificate containing
     the public key, query/plan digests, the remaining budget, the device
     registry's Merkle root, and the next sortition block. *)
-
-type device = {
-  sortition : Arb_crypto.Sortition.device;
-  row : int array;  (** this device's database row *)
-  byzantine : bool;  (** submits malformed input + forged proof *)
-}
 
 type certificate = {
   query_id : int;
@@ -26,23 +29,57 @@ type certificate = {
 
 exception Budget_exhausted
 
-val make_devices :
-  Arb_util.Rng.t -> db:int array array -> byzantine_fraction:float -> device array
+type population
+(** The derived device population. O(n / block_size) memory regardless of
+    [n]. *)
+
+val population :
+  seed:int64 -> n:int -> byzantine_fraction:float -> population
+
+val population_size : population -> int
+
+val device_seed : population -> int -> string
+(** Sortition/signing secret of device [id], derived on demand. *)
+
+val registry_root : population -> Arb_crypto.Sha256.digest
+(** Registry commitment for the certificate: a function of (seed, n) only,
+    identical across sharded and fully materialized executions. *)
+
+val device_input_rng : population -> int -> Arb_util.Rng.t
+(** Device [id]'s private randomness stream. Protocol draw order:
+    Byzantine flag, then bin choice, then per-ciphertext encryption
+    randomness — streamed (extrapolated) passes stop after the bin draw
+    without perturbing any other device's stream. *)
+
+val residual_rng : population -> Arb_util.Rng.t
+(** Dedicated stream for encrypting the residual (extrapolated-cohort)
+    aggregate; independent of the session and of every device stream. *)
 
 val run_sortition :
-  devices:device array ->
+  population ->
   block:string ->
   query_id:int ->
   committees:int ->
   size:int ->
   Arb_crypto.Sortition.assignment
 
+val verify_member :
+  population ->
+  block:string ->
+  query_id:int ->
+  committees:int ->
+  size:int ->
+  id:int ->
+  int option
+(** Device-side spot-check of a committee assignment (two-level
+    recomputation; agrees with {!run_sortition}). *)
+
 val certificate_payload : certificate -> string
 (** The signed byte string (everything except the signatures). *)
 
 val keygen_ceremony :
   Arb_util.Rng.t ->
-  devices:device array ->
+  device_seed:(int -> string) ->
   committee:int array ->
   params:Arb_crypto.Bgv.params ->
   query_id:int ->
@@ -55,7 +92,8 @@ val keygen_ceremony :
 (** Raises [Budget_exhausted] if [cost] exceeds [budget]. The returned
     secret key is the ceremony's output held only as shares in a real
     deployment; the simulation hands it to the decryption step directly
-    (which re-shares it). MPC costs are charged to [engine]. *)
+    (which re-shares it). MPC costs are charged to [engine]. Committee
+    members sign with one-time keys derived from [device_seed]. *)
 
 val verify_certificate : certificate -> bool
 (** Every member signature checks out against the payload. *)

@@ -30,6 +30,10 @@ type t = {
   mutable upload_latency_s : float;
   mutable audit_devices_failed : int;
   mutable shares_corrected : int;
+  mutable devices_total : int;
+  mutable devices_materialized : int;
+  mutable cohorts_total : int;
+  mutable cohorts_sampled : int;
   crypto_baseline : int * int * int * int;
       (* Snapshot of Ntt.Stats plus Bgv scratch words at creation: the
          process-lifetime kernel counters minus this baseline give the ops
@@ -68,6 +72,10 @@ let create () =
     upload_latency_s = 0.0;
     audit_devices_failed = 0;
     shares_corrected = 0;
+    devices_total = 0;
+    devices_materialized = 0;
+    cohorts_total = 0;
+    cohorts_sampled = 0;
   }
 
 let record_committee t kind cost =
@@ -126,6 +134,10 @@ let fields t =
     upload_latency_s;
     audit_devices_failed;
     shares_corrected;
+    devices_total;
+    devices_materialized;
+    cohorts_total;
+    cohorts_sampled;
     crypto_baseline = _;
   } =
     t
@@ -155,6 +167,10 @@ let fields t =
     ("upload_latency_s", F_float upload_latency_s);
     ("audit_devices_failed", F_int audit_devices_failed);
     ("shares_corrected", F_int shares_corrected);
+    ("devices_total", F_int devices_total);
+    ("devices_materialized", F_int devices_materialized);
+    ("cohorts_total", F_int cohorts_total);
+    ("cohorts_sampled", F_int cohorts_sampled);
   ]
 
 let field_names t = List.map fst (fields t)
@@ -227,12 +243,20 @@ let to_json t =
                     cs) ))
        (fields t))
 
+(* Population-shape fields describe the run's configuration rather than
+   accumulating work, so they export as gauges: re-exporting (or exporting
+   several runs into one registry) must not sum device counts. *)
+let gauge_fields =
+  [ "devices_total"; "devices_materialized"; "cohorts_total"; "cohorts_sampled" ]
+
 let export t metrics =
   let module M = Arb_obs.Metrics in
   List.iter
     (fun (name, v) ->
       let cname = "arb_runtime_" ^ name in
       match v with
+      | F_int n when List.mem name gauge_fields ->
+          M.set_gauge metrics cname (float_of_int n)
       | F_int n -> M.add metrics cname (float_of_int n)
       | F_float x -> M.add metrics cname x
       | F_counts kvs ->

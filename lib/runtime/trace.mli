@@ -42,6 +42,16 @@ type t = {
       (** auditing devices that went offline; survivors take over their share *)
   mutable shares_corrected : int;
       (** corrupted Shamir shares repaired by robust (Berlekamp–Welch) decoding *)
+  mutable devices_total : int;
+      (** population size the run addressed (exported as the
+          [arb_runtime_devices_total] gauge) *)
+  mutable devices_materialized : int;
+      (** devices that actually ran the crypto path — equal to
+          [devices_total] in [Full] mode, [sampled cohorts * cohort size]
+          when sharded (gauge [arb_runtime_devices_materialized]) *)
+  mutable cohorts_total : int;  (** cohorts the population was split into *)
+  mutable cohorts_sampled : int;
+      (** cohorts executed with real crypto; the rest are extrapolated *)
   crypto_baseline : int * int * int * int;
       (** snapshot of the process-lifetime crypto kernel counters
           ({!Arb_crypto.Ntt.Stats} transforms / pointwise ops / reductions
@@ -92,4 +102,7 @@ val to_json : t -> Arb_util.Json.t
 val export : t -> Arb_obs.Metrics.t -> unit
 (** Feed every counter into a metrics registry as [arb_runtime_*] counters
     (count-maps become labeled counters, committee costs per-kind
-    rounds/bytes). Adding a run's trace accumulates across runs. *)
+    rounds/bytes). Adding a run's trace accumulates across runs — except
+    the population-shape fields ([devices_total], [devices_materialized],
+    [cohorts_total], [cohorts_sampled]), which describe configuration
+    rather than work and export as gauges. *)

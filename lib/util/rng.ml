@@ -18,6 +18,14 @@ let split t =
   let s = next_int64 t in
   create (mix (Int64.add s golden_gamma))
 
+(* Two rounds of the splitmix finalizer over (seed, i) give an independent
+   stream per index without touching any other generator's state — the
+   primitive behind per-device randomness at simulated billion-device
+   scale (each device's draws are a pure function of (seed, i)). *)
+let derive seed i =
+  let z = mix (Int64.add seed (Int64.mul (Int64.of_int (i + 1)) golden_gamma)) in
+  create (mix (Int64.logxor z golden_gamma))
+
 let copy t = { state = t.state }
 
 (* Top 53 bits -> float in [0,1). *)

@@ -15,6 +15,13 @@ val create : int64 -> t
 val split : t -> t
 (** [split t] derives an independent generator and advances [t]. *)
 
+val derive : int64 -> int -> t
+(** [derive seed i] is an independent generator for index [i] of [seed]:
+    a pure function of its arguments that advances no other generator.
+    Unlike {!split}, which consumes state from a parent stream, [derive]
+    lets a simulation address any of billions of per-index streams (one
+    per device) without materializing the draws in between. *)
+
 val copy : t -> t
 (** [copy t] duplicates the current state without advancing it. *)
 

@@ -240,6 +240,131 @@ let test_backoff_exhaustion_fails_closed () =
       checki "no lost uploads if Ok" 0 r.R.Exec.trace.R.Trace.lost_uploads
   | Error f -> checks "degraded stage" "degraded" f.R.Exec.stage
 
+(* ---------------- chaos inside sampled cohorts ---------------- *)
+
+(* Sharded runs confine faults to the materialized (sampled) cohorts — the
+   streamed remainder is exact arithmetic with nothing to drop or tamper.
+   The chaos invariant is unchanged: absorb and release the clean answer,
+   or fail closed with a typed stage; and the extrapolated accounting must
+   still cover every device after recovery. *)
+
+let cohort_sharding = R.Exec.Sharded { cohort_size = 16; sampled_cohorts = 2 }
+
+let exec_run_sharded ?(faults = Fault.no_faults) ?(byz = 0.0) ~seed name =
+  let q, db, plan = context name in
+  R.Exec.run
+    {
+      (config ~seed ~faults ()) with
+      R.Exec.sharding = cohort_sharding;
+      byzantine_fraction = byz;
+    }
+    ~query:q ~plan ~db
+
+let test_cohort_chaos_absorbed_or_typed () =
+  let n = 64 in
+  let perturbed = ref 0 in
+  List.iter
+    (fun (name, spec) ->
+      List.iter
+        (fun seed ->
+          let clean =
+            match exec_run_sharded ~seed "top1" with
+            | Ok r -> r
+            | Error f ->
+                Alcotest.fail
+                  (Format.asprintf "clean sharded run failed: %a"
+                     R.Exec.pp_failure f)
+          in
+          match exec_run_sharded ~faults:spec ~seed "top1" with
+          | Ok r ->
+              checkb
+                (Printf.sprintf "cohort %s seed %Ld: absorbed => clean output"
+                   name seed)
+                true
+                (outputs_close clean.R.Exec.outputs r.R.Exec.outputs);
+              checki
+                (Printf.sprintf
+                   "cohort %s seed %Ld: accounting covers every device after \
+                    recovery"
+                   name seed)
+                n
+                (r.R.Exec.accepted_inputs + r.R.Exec.rejected_inputs);
+              checkb
+                (Printf.sprintf "cohort %s seed %Ld: release implies audit ok"
+                   name seed)
+                true
+                (r.R.Exec.audit_ok && r.R.Exec.certificate_ok);
+              if R.Trace.faults_total r.R.Exec.trace > 0 then incr perturbed
+          | Error f ->
+              checkb
+                (Printf.sprintf "cohort %s seed %Ld: failure is typed (%s)" name
+                   seed f.R.Exec.stage)
+                true
+                (List.mem f.R.Exec.stage
+                   [ "certificate"; "audit"; "degraded"; "execute"; "mpc"; "budget" ]);
+              incr perturbed)
+        [ 2L; 7L; 13L ])
+    single_fault_specs;
+  checkb "cohort chaos actually perturbed runs" true (!perturbed >= 6)
+
+let test_cohort_chaos_byzantine_extrapolation () =
+  (* Byzantine devices live in sampled and unsampled cohorts alike (the
+     flags are per-device PRF draws): under simultaneous upload faults the
+     sharded run must still reject exactly the devices the full run
+     rejects, with the unsampled share coming from extrapolation. *)
+  let spec = { Fault.no_faults with Fault.message_drop_p = 0.2 } in
+  List.iter
+    (fun seed ->
+      let q, db, plan = context "top1" in
+      let full =
+        R.Exec.run
+          { (config ~seed ~faults:spec ()) with R.Exec.byzantine_fraction = 0.25 }
+          ~query:q ~plan ~db
+      in
+      match (full, exec_run_sharded ~faults:spec ~byz:0.25 ~seed "top1") with
+      | Ok f, Ok s ->
+          checkb
+            (Printf.sprintf "seed %Ld: byzantine devices were rejected" seed)
+            true (s.R.Exec.rejected_inputs > 0);
+          checki
+            (Printf.sprintf "seed %Ld: sharded rejects what full rejects" seed)
+            f.R.Exec.rejected_inputs s.R.Exec.rejected_inputs;
+          checki
+            (Printf.sprintf "seed %Ld: sharded accepts what full accepts" seed)
+            f.R.Exec.accepted_inputs s.R.Exec.accepted_inputs
+      | Error ff, Error sf ->
+          checks
+            (Printf.sprintf "seed %Ld: both modes fail at the same stage" seed)
+            ff.R.Exec.stage sf.R.Exec.stage
+      | Ok _, Error f | Error f, Ok _ ->
+          (* Fault schedules legitimately differ between modes (fewer
+             transmits in sharded mode), so one mode may absorb what the
+             other cannot — but a failure must still be typed. *)
+          checkb
+            (Printf.sprintf "seed %Ld: divergent result is typed (%s)" seed
+               f.R.Exec.stage)
+            true
+            (List.mem f.R.Exec.stage
+               [ "certificate"; "audit"; "degraded"; "execute"; "mpc"; "budget" ]))
+    [ 3L; 11L ]
+
+let prop_cohort_chaos_deterministic =
+  QCheck.Test.make ~name:"sharded chaos replays byte-identically" ~count:6
+    QCheck.(int_range 1 10_000)
+    (fun s ->
+      let seed = Int64.of_int s in
+      let go () = exec_run_sharded ~faults:Fault.chaos ~seed "top1" in
+      match (go (), go ()) with
+      | Ok a, Ok b ->
+          a.R.Exec.outputs = b.R.Exec.outputs
+          && String.equal
+               (Arb_util.Json.to_string (R.Trace.to_json a.R.Exec.trace))
+               (Arb_util.Json.to_string (R.Trace.to_json b.R.Exec.trace))
+          && a.R.Exec.audit_root = b.R.Exec.audit_root
+      | Error fa, Error fb ->
+          fa.R.Exec.stage = fb.R.Exec.stage && fa.R.Exec.reason = fb.R.Exec.reason
+      | _ -> false)
+
 (* ---------------- determinism properties ---------------- *)
 
 let trace_string (r : R.Exec.report) =
@@ -445,6 +570,14 @@ let () =
             test_forced_dropout_at_round;
           Alcotest.test_case "backoff exhaustion fails closed" `Quick
             test_backoff_exhaustion_fails_closed;
+        ] );
+      ( "cohort-chaos",
+        [
+          Alcotest.test_case "faults in sampled cohorts absorbed or typed"
+            `Slow test_cohort_chaos_absorbed_or_typed;
+          Alcotest.test_case "byzantine extrapolation under upload faults"
+            `Quick test_cohort_chaos_byzantine_extrapolation;
+          qtest prop_cohort_chaos_deterministic;
         ] );
       ( "determinism",
         [

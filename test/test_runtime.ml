@@ -303,9 +303,9 @@ let test_workers_byte_identical () =
           plan.P.Plan.vignettes;
     }
   in
-  let run_with plan workers =
+  let run_with ?(sharding = R.Exec.Full) plan workers =
     R.Exec.execute
-      { (config ~seed:5L ()) with R.Exec.workers }
+      { (config ~seed:5L ()) with R.Exec.workers; sharding }
       ~query:q ~plan ~db
   in
   List.iter
@@ -334,7 +334,31 @@ let test_workers_byte_identical () =
             (Printf.sprintf "certificate identical at %d workers" workers)
             true
             (base.R.Exec.certificate = alt.R.Exec.certificate))
-        [ 2; 3 ])
+        [ 2; 3 ];
+      (* Sharded mode makes the same promise: worker count and re-runs at a
+         fixed seed change nothing observable. *)
+      let sharding = R.Exec.Sharded { cohort_size = 24; sampled_cohorts = 2 } in
+      let sbase = run_with ~sharding plan 1 in
+      List.iter
+        (fun workers ->
+          let alt = run_with ~sharding plan workers in
+          checkb
+            (Printf.sprintf "sharded outputs identical at %d workers" workers)
+            true
+            (sbase.R.Exec.outputs = alt.R.Exec.outputs);
+          Alcotest.check Alcotest.string
+            (Printf.sprintf "sharded trace json identical at %d workers" workers)
+            (Arb_util.Json.to_string (R.Trace.to_json sbase.R.Exec.trace))
+            (Arb_util.Json.to_string (R.Trace.to_json alt.R.Exec.trace));
+          checkb
+            (Printf.sprintf "sharded audit root identical at %d workers" workers)
+            true
+            (String.equal sbase.R.Exec.audit_root alt.R.Exec.audit_root);
+          checkb
+            (Printf.sprintf "sharded certificate identical at %d workers" workers)
+            true
+            (sbase.R.Exec.certificate = alt.R.Exec.certificate))
+        [ 1; 2; 3 ])
     [ plan; outsourced ]
 
 let test_sortition_spot_checks () =
