@@ -1494,6 +1494,327 @@ let device_scaling () =
   close_out oc;
   Printf.printf "  wrote BENCH_scale.json\n"
 
+(* ------------------------------------------------------------------ *)
+(* service_load: the HTTP front door under concurrent load — path      *)
+(* equivalence (HTTP == in-process, byte-identical records), a         *)
+(* >=500-connection fan-in, keep-alive throughput/latency, and         *)
+(* backpressure that refuses with the budget intact. Writes            *)
+(* BENCH_service.json.                                                 *)
+
+let service_load () =
+  let module S = Arb_service in
+  let module H = S.Http in
+  let module B = Arb_dp.Budget in
+  let module J = Arb_util.Json in
+  section "service_load: HTTP front door under concurrent load";
+  let host = "127.0.0.1" in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let goal = P.Constraints.Min_part_exp_time in
+  let mk_sub ?(repeat = 1) ~epsilon query =
+    { S.Workload.query; epsilon; categories = None; goal; repeat }
+  in
+  let fresh_service () =
+    S.Service.create
+      ~budget:(B.create ~epsilon:100.0 ~delta:0.01)
+      ~devices:(if !smoke then 24 else 48)
+      ~seed:11 ()
+  in
+  let with_front_door ?(server_config = S.Server.default_config) svc f =
+    let api = S.Api.create ~service:svc () in
+    let server =
+      S.Server.start ~config:server_config ~handler:(S.Api.handler api) ()
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        S.Server.stop server;
+        S.Api.join api)
+      (fun () -> f api server (S.Server.port server))
+  in
+  let rec wait_until tries f =
+    f ()
+    || tries > 0
+       && (Unix.sleepf 0.02;
+           wait_until (tries - 1) f)
+  in
+
+  (* Gate 1: path equivalence. The same submissions, once through the
+     socket and once in-process, must produce byte-identical canonical
+     lifecycle records and the same remaining budget — the HTTP edge adds
+     wall-clock I/O but zero accounting divergence. *)
+  let subs =
+    if !smoke then
+      [ mk_sub ~epsilon:0.5 "top1"; mk_sub ~epsilon:0.4 "hypotest";
+        mk_sub ~epsilon:0.5 "top1" ]
+    else
+      List.concat_map
+        (fun q -> [ mk_sub ~epsilon:0.5 ~repeat:2 q ])
+        [ "top1"; "gap"; "hypotest"; "median"; "auction" ]
+  in
+  let reference = fresh_service () in
+  let ref_records =
+    S.Service.run_workload reference
+      { S.Workload.budget = None; devices = None; seed = None;
+        submissions = subs }
+  in
+  let http_svc = fresh_service () in
+  with_front_door http_svc (fun _api _server port ->
+      List.iter
+        (fun s ->
+          match
+            S.Client.post_json ~host ~port
+              ~json:(S.Workload.submission_to_json s) "/v1/queries"
+          with
+          | Ok r when r.H.status = 202 -> ()
+          | Ok r ->
+              failwith
+                (Printf.sprintf "service_load: submission answered %d"
+                   r.H.status)
+          | Error m -> failwith ("service_load: submit failed: " ^ m))
+        subs;
+      let expected = List.length (S.Workload.expand
+        { S.Workload.budget = None; devices = None; seed = None;
+          submissions = subs }) in
+      if
+        not
+          (wait_until 500 (fun () ->
+               S.Service.pending http_svc = 0
+               && List.length (S.Service.history http_svc) = expected))
+      then failwith "service_load: HTTP submissions never drained");
+  let equivalent =
+    String.equal
+      (S.Lifecycle.records_to_string ref_records)
+      (S.Lifecycle.records_to_string (S.Service.history http_svc))
+    && B.equal
+         (S.Service.budget_left reference)
+         (S.Service.budget_left http_svc)
+  in
+  if not equivalent then
+    failwith
+      "service_load: HTTP-path records diverge from the in-process run";
+  Printf.printf
+    "  equivalence: %d submissions over HTTP == in-process (byte-identical \
+     records, equal budget)\n"
+    (List.length ref_records);
+
+  (* Gate 2: fan-in. Hundreds of sockets connect at once, then all send;
+     every one of them must get an answer, and the read-only storm must
+     leave the budget accounting untouched. *)
+  let conns = 520 in
+  let fan_svc = fresh_service () in
+  let budget_before = S.Service.budget_left fan_svc in
+  let acc = ref 0 in
+  let fan_in_s, answered =
+    with_front_door fan_svc (fun _api _server port ->
+        let opened =
+          List.init conns (fun _ ->
+              match S.Client.connect ~timeout_s:30.0 ~host ~port () with
+              | Ok c -> Some c
+              | Error _ -> None)
+        in
+        let live = List.filter_map Fun.id opened in
+        if List.length live < conns then
+          failwith
+            (Printf.sprintf "service_load: only %d/%d connections opened"
+               (List.length live) conns);
+        let (), dt =
+          time (fun () ->
+              List.iter
+                (fun c ->
+                  match
+                    S.Client.send_raw c
+                      "GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n"
+                  with
+                  | Ok () -> ()
+                  | Error m -> failwith ("service_load: send: " ^ m))
+                live;
+              acc :=
+                List.fold_left
+                  (fun n c ->
+                    let n' =
+                      match S.Client.read_response ~deadline_s:60.0 c with
+                      | Ok r when r.H.status = 200 -> n + 1
+                      | Ok _ | Error _ -> n
+                    in
+                    S.Client.close c;
+                    n')
+                  0 live)
+        in
+        (dt, !acc))
+  in
+  if answered < conns then
+    failwith
+      (Printf.sprintf "service_load: only %d/%d connections answered"
+         answered conns);
+  if not (B.equal budget_before (S.Service.budget_left fan_svc)) then
+    failwith "service_load: read-only connection storm moved the budget";
+  Printf.printf
+    "  fan-in: %d concurrent connections all answered in %s (%.0f conns/s), \
+     budget untouched\n"
+    conns
+    (U.seconds_to_string fan_in_s)
+    (float_of_int conns /. Float.max 1e-9 fan_in_s);
+
+  (* Keep-alive throughput/latency: a few client domains hammering
+     persistent connections. *)
+  let domains_n = 4 in
+  let per_domain = if !smoke then 150 else 600 in
+  let tp_svc = fresh_service () in
+  let latencies, tp_wall =
+    with_front_door tp_svc (fun _api _server port ->
+        time (fun () ->
+            let runner () =
+              match S.Client.connect ~host ~port () with
+              | Error m -> failwith ("service_load: connect: " ^ m)
+              | Ok conn ->
+                  let lats =
+                    List.init per_domain (fun _ ->
+                        let (resp, dt) =
+                          time (fun () ->
+                              S.Client.request conn ~meth:"GET"
+                                ~target:"/healthz" ())
+                        in
+                        match resp with
+                        | Ok r when r.H.status = 200 -> dt
+                        | Ok r ->
+                            failwith
+                              (Printf.sprintf "service_load: status %d"
+                                 r.H.status)
+                        | Error m -> failwith ("service_load: " ^ m))
+                  in
+                  S.Client.close conn;
+                  lats
+            in
+            let ds = List.init domains_n (fun _ -> Domain.spawn runner) in
+            List.concat_map Domain.join ds))
+  in
+  let sorted = List.sort compare latencies in
+  let pct p =
+    let n = List.length sorted in
+    List.nth sorted (min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  let total_reqs = domains_n * per_domain in
+  let rps = float_of_int total_reqs /. Float.max 1e-9 tp_wall in
+  Printf.printf
+    "  keep-alive: %d requests over %d connections: %.0f req/s, p50 %s, p95 \
+     %s\n"
+    total_reqs domains_n rps
+    (U.seconds_to_string (pct 0.50))
+    (U.seconds_to_string (pct 0.95));
+
+  (* Gate 3: backpressure. A budget that affords exactly two eps-0.5
+     queries, hammered by concurrent submitters. The prescreen is advisory
+     (a drain racing the submitters can briefly release reservations, so a
+     third 202 is possible); the authoritative invariants are that exactly
+     two queries ever *execute*, everything else is refused — by 429 or by
+     drain's canonical admission — and the final balance is exactly the
+     admitted spend. *)
+  let bp_svc =
+    S.Service.create
+      ~budget:(B.create ~epsilon:1.0 ~delta:0.01)
+      ~devices:(if !smoke then 24 else 48)
+      ~seed:11 ()
+  in
+  let accepted, refused =
+    with_front_door bp_svc (fun _api _server port ->
+        let submitters =
+          List.init 8 (fun _ ->
+              Domain.spawn (fun () ->
+                  match
+                    S.Client.post_json ~host ~port
+                      ~json:
+                        (S.Workload.submission_to_json
+                           (mk_sub ~epsilon:0.5 "top1"))
+                      "/v1/queries"
+                  with
+                  | Ok r -> r.H.status
+                  | Error m -> failwith ("service_load: submit: " ^ m)))
+        in
+        let statuses = List.map Domain.join submitters in
+        let count st = List.length (List.filter (( = ) st) statuses) in
+        if count 202 + count 429 <> 8 then
+          failwith "service_load: unexpected backpressure status mix";
+        if
+          not
+            (wait_until 500 (fun () ->
+                 S.Service.pending bp_svc = 0
+                 && List.length (S.Service.history bp_svc) = count 202))
+        then failwith "service_load: admitted submissions never drained";
+        (count 202, count 429))
+  in
+  if accepted < 2 || refused < 1 then
+    failwith
+      (Printf.sprintf
+         "service_load: reservation accounting admitted %d / refused %d \
+          (expected 2-3 / >=5)"
+         accepted refused);
+  let executed, drain_refused =
+    List.fold_left
+      (fun (e, r) rec_ ->
+        match rec_.S.Lifecycle.status with
+        | S.Lifecycle.Executed _ -> (e + 1, r)
+        | S.Lifecycle.Refused _ -> (e, r + 1)
+        | _ -> (e, r))
+      (0, 0)
+      (S.Service.history bp_svc)
+  in
+  if executed <> 2 then
+    failwith
+      (Printf.sprintf "service_load: %d queries executed (budget affords 2)"
+         executed);
+  if drain_refused <> accepted - 2 then
+    failwith "service_load: optimistically-admitted overflow not refused";
+  let left = S.Service.budget_left bp_svc in
+  if Float.abs left.B.epsilon > 1e-9 then
+    failwith "service_load: drain spent a different amount than admitted";
+  if not (S.Service.chain_verifies bp_svc) then
+    failwith "service_load: chain broke under backpressure";
+  Printf.printf
+    "  backpressure: %d x 202 (%d executed, %d re-refused at drain), %d x \
+     429; every refusal left the budget intact\n"
+    accepted executed drain_refused refused;
+
+  T.print
+    ~header:[ "gate"; "result" ]
+    [
+      [ "HTTP == in-process records"; "byte-identical" ];
+      [ Printf.sprintf "%d-connection fan-in" conns;
+        Printf.sprintf "%d answered" answered ];
+      [ "keep-alive throughput"; Printf.sprintf "%.0f req/s" rps ];
+      [ "backpressure 429s"; "budget intact" ];
+    ];
+  let json =
+    J.Obj
+      [
+        ("schema", J.String "arb-bench-service/1");
+        ("smoke", J.Bool !smoke);
+        ("equivalence_ok", J.Bool true);
+        ("equivalence_submissions", J.Int (List.length ref_records));
+        ("fan_in_connections", J.Int conns);
+        ("fan_in_answered", J.Int answered);
+        ("fan_in_seconds", J.Float fan_in_s);
+        ("keepalive_requests", J.Int total_reqs);
+        ("keepalive_rps", J.Float rps);
+        ("latency_p50_s", J.Float (pct 0.50));
+        ("latency_p95_s", J.Float (pct 0.95));
+        ( "backpressure",
+          J.Obj
+            [
+              ("accepted", J.Int accepted);
+              ("refused", J.Int refused);
+              ("budget_intact", J.Bool true);
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_service.json" in
+  output_string oc (J.to_string ~pretty:true json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_service.json\n"
+
 let all =
   [ ("table1", table1); ("table2", table2); ("fig6", fig6); ("fig7", fig7);
     ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("fig11", fig11);
@@ -1501,4 +1822,5 @@ let all =
     ("validation", validation); ("e2e", e2e); ("chaos", chaos);
     ("planner_scaling", planner_scaling);
     ("service_throughput", service_throughput); ("profiling", profiling);
-    ("crypto_kernels", crypto_kernels); ("device_scaling", device_scaling) ]
+    ("crypto_kernels", crypto_kernels); ("device_scaling", device_scaling);
+    ("service_load", service_load) ]

@@ -371,9 +371,153 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the built-in evaluation queries (Table 2).")
     Term.(const run $ json_arg)
 
+let serve_summary service records ~json reg =
+  let counters = Arb_service.Service.counters service in
+  if json then
+    print_endline
+      (Arb_util.Json.to_string ~pretty:true
+         (Arb_util.Json.Obj
+            [
+              ( "records",
+                Arb_util.Json.List
+                  (List.map
+                     (Arb_service.Lifecycle.to_json ~timings:true)
+                     records) );
+              ("counters", Arb_service.Lifecycle.counters_to_json counters);
+              ( "budgetLeft",
+                Arb_util.Json.Obj
+                  [
+                    ( "epsilon",
+                      Arb_util.Json.Float
+                        (Arb_service.Service.budget_left service)
+                          .Arb_dp.Budget.epsilon );
+                    ( "delta",
+                      Arb_util.Json.Float
+                        (Arb_service.Service.budget_left service)
+                          .Arb_dp.Budget.delta );
+                  ] );
+              ( "chainVerifies",
+                Arb_util.Json.Bool
+                  (Arb_service.Service.chain_verifies service) );
+              ("metrics", Arb_obs.Metrics.to_json reg);
+            ]))
+  else begin
+    List.iter
+      (fun r -> Format.printf "%a@." Arb_service.Lifecycle.pp r)
+      records;
+    Format.printf
+      "---@.%d submitted: %d executed (%d cache hits, %d planned), %d \
+       refused, %d failed@."
+      counters.Arb_service.Lifecycle.submitted
+      counters.Arb_service.Lifecycle.executed
+      counters.Arb_service.Lifecycle.cache_hits
+      counters.Arb_service.Lifecycle.planned
+      counters.Arb_service.Lifecycle.refused
+      counters.Arb_service.Lifecycle.failed;
+    Format.printf "budget left %a; certificate chain verifies: %b@."
+      Arb_dp.Budget.pp
+      (Arb_service.Service.budget_left service)
+      (Arb_service.Service.chain_verifies service)
+  end
+
+(* The network front door: service + API executor + HTTP server, running
+   until SIGINT or POST /v1/stop, then a graceful drain of both the
+   connection queue and the submission queue before the summary prints. *)
+let serve_listen ~host ~port ~max_queue ~http_workers ~workers ~timeout
+    ~workload ~devices ~seed ~cache_dir ~json ~tracer reg =
+  let budget =
+    match Option.bind workload (fun w -> w.Arb_service.Workload.budget) with
+    | Some b -> b
+    | None -> Arb_dp.Budget.create ~epsilon:10.0 ~delta:1e-6
+  in
+  let devices =
+    match devices with
+    | Some d -> d
+    | None ->
+        Option.value ~default:64
+          (Option.bind workload (fun w -> w.Arb_service.Workload.devices))
+  in
+  let seed =
+    match seed with
+    | Some s -> s
+    | None ->
+        Option.value ~default:7
+          (Option.bind workload (fun w -> w.Arb_service.Workload.seed))
+  in
+  let cache = Arb_service.Cache.create ?dir:cache_dir () in
+  let service =
+    Arb_service.Service.create ~cache ~metrics:reg ~budget ~devices ~seed ()
+  in
+  let api =
+    Arb_service.Api.create
+      ~config:
+        {
+          Arb_service.Api.max_queue;
+          drain_workers = workers;
+          check_budget = true;
+        }
+      ?tracer ~service ()
+  in
+  (match workload with
+  | Some w -> Arb_service.Api.preload api (Arb_service.Workload.expand w)
+  | None -> ());
+  match
+    Arb_service.Server.start
+      ~config:
+        {
+          Arb_service.Server.default_config with
+          host;
+          port;
+          workers = http_workers;
+          max_pending = max_queue;
+          request_timeout_s = timeout;
+          metrics = Some reg;
+        }
+      ~handler:(Arb_service.Api.handler api) ()
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+      Arb_service.Api.join api;
+      Printf.eprintf "cannot listen on %s:%d: %s\n" host port
+        (Unix.error_message e);
+      1
+  | server ->
+      Printf.eprintf "listening on %s:%d (POST /v1/stop or Ctrl-C to stop)\n%!"
+        host
+        (Arb_service.Server.port server);
+      (* The handler only flips an atomic: taking the API mutex inside a
+         signal handler could self-deadlock, so the main loop polls. *)
+      let sigint = Atomic.make false in
+      let previous =
+        try
+          Some
+            (Sys.signal Sys.sigint
+               (Sys.Signal_handle (fun _ -> Atomic.set sigint true)))
+        with Invalid_argument _ | Sys_error _ -> None
+      in
+      while
+        (not (Atomic.get sigint)) && not (Arb_service.Api.stop_requested api)
+      do
+        Unix.sleepf 0.2
+      done;
+      (match previous with
+      | Some h -> ( try Sys.set_signal Sys.sigint h with _ -> ())
+      | None -> ());
+      Arb_service.Server.stop server;
+      Arb_service.Api.join api;
+      let st = Arb_service.Server.stats server in
+      Printf.eprintf
+        "http: %d connections, %d requests, %d rejected busy, %d bad, %d \
+         timeouts, %d disconnects\n%!"
+        st.Arb_service.Server.accepted st.Arb_service.Server.served
+        st.Arb_service.Server.rejected_busy st.Arb_service.Server.bad_requests
+        st.Arb_service.Server.timeouts
+        st.Arb_service.Server.client_disconnects;
+      serve_summary service (Arb_service.Service.history service) ~json reg;
+      0
+
 let serve_cmd =
   let run verbose workload_path devices seed workers cache_dir json trace_out
-      metrics_out det =
+      metrics_out det listen host max_queue http_workers timeout =
     setup_logs verbose;
     (* serve always keeps a registry so every exit path can report a
        metrics summary; --metrics-out additionally persists it. *)
@@ -381,17 +525,41 @@ let serve_cmd =
     let tracer =
       obs_tracer ~clock:Arb_obs.Clock.Monotonic ~trace_out ~deterministic:det
     in
-    match Arb_service.Workload.load workload_path with
-    | Error m ->
+    let finish code =
+      obs_save ~trace_out ~metrics_out tracer (Some reg);
+      (* The final metrics summary line (also emitted on workload-file
+         errors above); stderr, so --json stdout stays parseable. *)
+      Printf.eprintf "metrics: %d series%s\n%!" (metrics_series reg)
+        (match metrics_out with
+        | Some path -> " written to " ^ path
+        | None -> "");
+      code
+    in
+    let workload =
+      match workload_path with
+      | None -> Ok None
+      | Some path -> (
+          match Arb_service.Workload.load path with
+          | Ok w -> Ok (Some w)
+          | Error m -> Error m)
+    in
+    match (workload, listen) with
+    | Error m, _ ->
         Printf.eprintf "cannot load workload: %s\n" m;
         Arb_obs.Metrics.add reg
           ~help:"Workload files that failed to load or parse"
           "arb_service_workload_errors_total" 1.0;
-        obs_save ~trace_out ~metrics_out tracer (Some reg);
-        Printf.eprintf "metrics: %d series (workload error)\n%!"
-          (metrics_series reg);
+        ignore (finish 1);
         1
-    | Ok workload ->
+    | Ok None, None ->
+        Printf.eprintf "nothing to do: pass --workload FILE, --listen PORT, \
+                        or both\n";
+        1
+    | Ok workload, Some port ->
+        finish
+          (serve_listen ~host ~port ~max_queue ~http_workers ~workers ~timeout
+             ~workload ~devices ~seed ~cache_dir ~json ~tracer reg)
+    | Ok (Some workload), None ->
         let budget =
           match workload.Arb_service.Workload.budget with
           | Some b -> b
@@ -414,69 +582,48 @@ let serve_cmd =
         let records =
           Arb_service.Service.run_workload ?tracer ~workers service workload
         in
-        let counters = Arb_service.Service.counters service in
-        if json then
-          print_endline
-            (Arb_util.Json.to_string ~pretty:true
-               (Arb_util.Json.Obj
-                  [
-                    ( "records",
-                      Arb_util.Json.List
-                        (List.map
-                           (Arb_service.Lifecycle.to_json ~timings:true)
-                           records) );
-                    ( "counters",
-                      Arb_service.Lifecycle.counters_to_json counters );
-                    ( "budgetLeft",
-                      Arb_util.Json.Obj
-                        [
-                          ( "epsilon",
-                            Arb_util.Json.Float
-                              (Arb_service.Service.budget_left service)
-                                .Arb_dp.Budget.epsilon );
-                          ( "delta",
-                            Arb_util.Json.Float
-                              (Arb_service.Service.budget_left service)
-                                .Arb_dp.Budget.delta );
-                        ] );
-                    ( "chainVerifies",
-                      Arb_util.Json.Bool
-                        (Arb_service.Service.chain_verifies service) );
-                    ("metrics", Arb_obs.Metrics.to_json reg);
-                  ]))
-        else begin
-          List.iter
-            (fun r -> Format.printf "%a@." Arb_service.Lifecycle.pp r)
-            records;
-          Format.printf
-            "---@.%d submitted: %d executed (%d cache hits, %d planned), %d \
-             refused, %d failed@."
-            counters.Arb_service.Lifecycle.submitted
-            counters.Arb_service.Lifecycle.executed
-            counters.Arb_service.Lifecycle.cache_hits
-            counters.Arb_service.Lifecycle.planned
-            counters.Arb_service.Lifecycle.refused
-            counters.Arb_service.Lifecycle.failed;
-          Format.printf "budget left %a; certificate chain verifies: %b@."
-            Arb_dp.Budget.pp
-            (Arb_service.Service.budget_left service)
-            (Arb_service.Service.chain_verifies service)
-        end;
-        obs_save ~trace_out ~metrics_out tracer (Some reg);
-        (* The final metrics summary line (also emitted on workload-file
-           errors above); stderr, so --json stdout stays parseable. *)
-        Printf.eprintf "metrics: %d series%s\n%!" (metrics_series reg)
-          (match metrics_out with
-          | Some path -> " written to " ^ path
-          | None -> "");
-        0
+        serve_summary service records ~json reg;
+        finish 0
   in
   let workload_arg =
-    let doc = "Workload file (JSON; see DESIGN.md \xC2\xA78)." in
+    let doc = "Workload file (JSON; see DESIGN.md \xC2\xA78). Optional with \
+               --listen (queries then arrive over HTTP); required otherwise." in
     Arg.(
-      required
+      value
       & opt (some file) None
       & info [ "workload"; "w" ] ~docv:"FILE" ~doc)
+  in
+  let listen_arg =
+    let doc =
+      "Serve the JSON API over HTTP on this port (0 picks a free one) \
+       instead of exiting after the workload file: POST /v1/queries to \
+       submit, GET /v1/queries/IDX to poll, POST /v1/stop (or Ctrl-C) for a \
+       graceful drain-then-summary shutdown."
+    in
+    Arg.(value & opt (some int) None & info [ "listen" ] ~docv:"PORT" ~doc)
+  in
+  let host_arg =
+    let doc = "Bind address for --listen." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc)
+  in
+  let max_queue_arg =
+    let doc =
+      "Backpressure bound: both the accepted-connection queue and the \
+       submission queue refuse (HTTP 429 / 503, budget untouched) beyond \
+       this depth."
+    in
+    Arg.(value & opt int 1024 & info [ "max-queue" ] ~docv:"N" ~doc)
+  in
+  let http_workers_arg =
+    let doc = "HTTP worker domains (connection handlers)." in
+    Arg.(value & opt int 4 & info [ "http-workers" ] ~docv:"K" ~doc)
+  in
+  let timeout_arg =
+    let doc =
+      "Whole-request deadline in seconds (slowloris guard): all bytes of a \
+       request must arrive within this window."
+    in
+    Arg.(value & opt float 10.0 & info [ "request-timeout" ] ~docv:"S" ~doc)
   in
   let devices_opt =
     let doc = "Device population size (overrides the workload file)." in
@@ -503,15 +650,16 @@ let serve_cmd =
     Term.(
       const run $ verbose_arg $ workload_arg $ devices_opt $ seed_opt
       $ workers_arg $ cache_dir_arg $ json_arg $ trace_out_arg
-      $ metrics_out_arg $ trace_det_arg)
+      $ metrics_out_arg $ trace_det_arg $ listen_arg $ host_arg
+      $ max_queue_arg $ http_workers_arg $ timeout_arg)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run a workload of queries through the multi-tenant service: \
-          admission control against the shared privacy budget, cached and \
+         "Run a workload of queries through the multi-tenant service \
+          (admission control against the shared privacy budget, cached and \
           concurrent planning, serialized execution on the certificate \
-          chain.")
+          chain) — from a workload file, over HTTP with --listen, or both.")
     term
 
 let main =

@@ -133,6 +133,9 @@ let observe_in t ?help ?labels ~buckets name v =
 let latency_buckets =
   [ 0.001; 0.005; 0.01; 0.05; 0.1; 0.5; 1.0; 5.0; 10.0; 60.0 ]
 
+let size_buckets =
+  [ 64.0; 256.0; 1024.0; 4096.0; 16384.0; 65536.0; 262144.0; 1048576.0 ]
+
 (* --- exposition --- *)
 
 let fmt_float v =

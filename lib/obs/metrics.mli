@@ -56,6 +56,11 @@ val observe_in :
 val latency_buckets : float list
 (** Default seconds-scale latency buckets (1 ms … 60 s). *)
 
+val size_buckets : float list
+(** Default bytes-scale buckets (64 B … 1 MiB, powers of four) for
+    message-size histograms such as the HTTP front door's request and
+    response bytes. *)
+
 val to_prometheus : t -> string
 (** Prometheus text exposition format, canonically ordered. *)
 

@@ -5,6 +5,8 @@ type kind =
   | Message_delay
   | Ciphertext_tamper
   | Audit_failure
+  | Accept_drop
+  | Response_truncate
 
 let all_kinds =
   [
@@ -14,6 +16,8 @@ let all_kinds =
     Message_delay;
     Ciphertext_tamper;
     Audit_failure;
+    Accept_drop;
+    Response_truncate;
   ]
 
 let kind_name = function
@@ -23,6 +27,8 @@ let kind_name = function
   | Message_delay -> "message_delay"
   | Ciphertext_tamper -> "ciphertext_tamper"
   | Audit_failure -> "audit_failure"
+  | Accept_drop -> "accept_drop"
+  | Response_truncate -> "response_truncate"
 
 let kind_index = function
   | Committee_dropout -> 0
@@ -31,6 +37,8 @@ let kind_index = function
   | Message_delay -> 3
   | Ciphertext_tamper -> 4
   | Audit_failure -> 5
+  | Accept_drop -> 6
+  | Response_truncate -> 7
 
 type spec = {
   dropout_p : float;
@@ -45,6 +53,8 @@ type spec = {
   max_retries : int;
   backoff_base_s : float;
   backoff_budget_s : float;
+  accept_drop_p : float;
+  response_truncate_p : float;
 }
 
 let no_faults =
@@ -61,6 +71,8 @@ let no_faults =
     max_retries = 4;
     backoff_base_s = 0.05;
     backoff_budget_s = 60.0;
+    accept_drop_p = 0.0;
+    response_truncate_p = 0.0;
   }
 
 let chaos =
@@ -120,6 +132,8 @@ let probability t = function
   | Message_delay -> t.spec.message_delay_p
   | Ciphertext_tamper -> t.spec.tamper_p
   | Audit_failure -> t.spec.audit_fail_p
+  | Accept_drop -> t.spec.accept_drop_p
+  | Response_truncate -> t.spec.response_truncate_p
 
 let fires t kind =
   let k = kind_index kind in

@@ -24,6 +24,12 @@ type kind =
   | Message_delay  (** a device upload is delayed by [delay_s] *)
   | Ciphertext_tamper  (** the aggregator rewrites an aggregated ciphertext *)
   | Audit_failure  (** an auditing device goes offline before its challenges *)
+  | Accept_drop
+      (** network seam: the HTTP front door loses a just-accepted
+          connection before reading a byte (socket churn) *)
+  | Response_truncate
+      (** network seam: the connection dies mid-response write — the
+          client sees a truncated body then EOF *)
 
 val all_kinds : kind list
 val kind_name : kind -> string
@@ -46,6 +52,10 @@ type spec = {
   backoff_base_s : float;  (** first retry waits this long, then doubles *)
   backoff_budget_s : float;
       (** total backoff time allowed before the run fails closed *)
+  accept_drop_p : float;
+      (** per accepted-connection probability the front door drops it *)
+  response_truncate_p : float;
+      (** per-response probability the write is cut short *)
 }
 
 val no_faults : spec

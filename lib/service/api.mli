@@ -1,0 +1,67 @@
+(** The JSON API over {!Service}: routes {!Server} requests to the
+    service core and owns the single executor domain that drains the
+    submission queue.
+
+    Endpoints:
+    - [GET /healthz] — liveness: status (ok|stopping), pending, submitted,
+      drain count.
+    - [POST /v1/queries] — body is one workload query entry
+      ({!Workload.submission_of_json}); 202 with the assigned submission
+      index, or 429 (reason [queueFull] or [budget]) via
+      {!Service.try_submit} with the budget untouched, 400 on malformed
+      bodies, 503 once stopping.
+    - [GET /v1/queries/<index>] — poll one submission: its lifecycle
+      record (wall-clock timings included) once drained, a pending stub
+      before that, 404 for indices never assigned.
+    - [GET /v1/records] — all lifecycle records in canonical form (no
+      timings): byte-identical to {!Lifecycle.records_to_string} over the
+      same submissions on the in-process path.
+    - [GET /v1/counters], [GET /v1/budget] — aggregates.
+    - [GET /v1/metrics] — Prometheus text (404 when the service has no
+      registry).
+    - [POST /v1/stop] — request shutdown; the server's graceful drain
+      then finishes in-flight requests.
+
+    Handlers run on server worker domains concurrently; the service core
+    is mutex-protected, and execution stays serialized on the certificate
+    chain inside the one executor domain. *)
+
+type config = {
+  max_queue : int;  (** {!Service.try_submit} queue bound *)
+  drain_workers : int;  (** planner pool size per drain *)
+  check_budget : bool;  (** budget prescreen at submit time *)
+}
+
+val default_config : config
+(** 1024-deep queue, single-worker drains, prescreen on. *)
+
+type t
+
+val create :
+  ?config:config -> ?tracer:Arb_obs.Tracer.t -> service:Service.t -> unit -> t
+(** Spawns the executor domain immediately; it sleeps until a submission
+    arrives (or {!request_stop}). *)
+
+val handler : t -> Http.request -> Http.response
+(** The route table — pass to {!Server.start}. *)
+
+val preload : t -> Workload.submission list -> unit
+(** Enqueue submissions directly (the [--workload] file on a listening
+    server) and wake the executor. *)
+
+val request_stop : t -> unit
+(** Ask the executor to exit after a final drain of whatever is queued.
+    Idempotent; also woken by [POST /v1/stop]. *)
+
+val stop_requested : t -> bool
+
+val wait_stop : t -> unit
+(** Block until {!request_stop} (e.g. via [POST /v1/stop] or a signal
+    handler) has been called. *)
+
+val join : t -> unit
+(** {!request_stop} then join the executor domain: on return every
+    accepted submission has drained into a lifecycle record. *)
+
+val drains : t -> int
+(** Completed drain batches (for tests and the health endpoint). *)

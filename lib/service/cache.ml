@@ -16,10 +16,37 @@ type t = {
   mutable revived : int;
 }
 
+(* Recursive and EEXIST-tolerant: two processes sharing a --cache-dir may
+   race to create it (and its parents) — losing the race is success, as
+   long as a directory ends up there. *)
+let rec mkdir_p dir =
+  if not (dir = "" || dir = "." || dir = "/" || Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    match Sys.mkdir dir 0o755 with
+    | () -> ()
+    | exception Sys_error _ when try Sys.is_directory dir with Sys_error _ -> false
+      ->
+        () (* another creator won the race *)
+  end
+
+let is_tmp_file name =
+  String.length name > 4 && String.sub name (String.length name - 4) 4 = ".tmp"
+
 let create ?dir () =
   (match dir with
-  | Some d when not (Sys.file_exists d) -> Sys.mkdir d 0o755
-  | _ -> ());
+  | Some d ->
+      mkdir_p d;
+      (* Sweep tmp files stranded by writers that crashed mid-save. A
+         concurrently *live* writer can lose its tmp file here too; its
+         rename then fails and is logged as a non-persisted entry — the
+         entry stays served from memory and is rewritten on the next
+         add, so the sweep is safe, just noisy in that unlikely race. *)
+      Array.iter
+        (fun f ->
+          if is_tmp_file f then
+            try Sys.remove (Filename.concat d f) with Sys_error _ -> ())
+        (try Sys.readdir d with Sys_error _ -> [||])
+  | None -> ());
   { table = Hashtbl.create 64; lock = Mutex.create (); dir; revived = 0 }
 
 (* ---------------- canonical key ---------------- *)
@@ -88,16 +115,29 @@ let load_from_disk dir k =
         Log.warn (fun f -> f "ignoring cache file: %s" m);
         None
 
+(* Tmp names carry the writer's pid and a per-process sequence number so
+   two writers of the same key never clobber each other's half-written
+   file; the final rename is atomic, so readers only ever see complete
+   entries (last writer wins — both wrote the same plan for the key). *)
+let tmp_seq = Atomic.make 0
+
 let write_to_disk dir k ~query_name entry =
   let path = path_of dir k in
-  let tmp = path ^ ".tmp" in
-  P.Plan_io.save_versioned tmp
-    [
-      ("key", J.String k);
-      ("query", J.String query_name);
-      ("plan", P.Plan_io.plan_to_json entry.plan);
-      ("metrics", P.Plan_io.metrics_to_json entry.metrics);
-    ];
+  let tmp =
+    Printf.sprintf "%s.%d.%d.tmp" path (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_seq 1)
+  in
+  (try
+     P.Plan_io.save_versioned tmp
+       [
+         ("key", J.String k);
+         ("query", J.String query_name);
+         ("plan", P.Plan_io.plan_to_json entry.plan);
+         ("metrics", P.Plan_io.metrics_to_json entry.metrics);
+       ]
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
   Sys.rename tmp path
 
 (* ---------------- lookup / insert ---------------- *)

@@ -26,7 +26,10 @@ type entry = {
 type t
 
 val create : ?dir:string -> unit -> t
-(** [dir] enables disk persistence; it is created if missing. *)
+(** [dir] enables disk persistence; it is created if missing (recursively,
+    tolerating concurrent creators — two processes may share a cache
+    directory). Stale [*.tmp] files stranded by writers that crashed
+    mid-save are swept on creation. *)
 
 val key :
   ?limits:Arb_planner.Constraints.limits ->
@@ -44,9 +47,11 @@ val find : t -> key -> entry option
     loaded entries are promoted into memory. *)
 
 val add : t -> key -> query_name:string -> entry -> unit
-(** Insert and, when persisting, write the entry's file (atomically via a
-    temp file + rename). [query_name] is stored as informational metadata
-    only; it is not part of the key. *)
+(** Insert and, when persisting, write the entry's file atomically via a
+    per-writer temp file (pid + sequence number, so concurrent writers of
+    the same key never clobber each other mid-write) + rename.
+    [query_name] is stored as informational metadata only; it is not part
+    of the key. *)
 
 val mem : t -> key -> bool
 

@@ -13,10 +13,19 @@ type t = {
   devices : int;
   seed : int;
   metrics : Arb_obs.Metrics.t option;
+  lock : Mutex.t;
+      (* guards queue / next_index / history / reserved: HTTP handlers
+         submit and poll from worker domains concurrently with drains *)
+  drain_lock : Mutex.t;
+      (* serializes whole drains — execution is inherently ordered on the
+         certificate chain, so two concurrent drains would be a bug *)
   mutable queue : (int * float * Workload.submission) list;
       (* newest first; the float is the enqueue time (queue-wait metric) *)
   mutable next_index : int;
   mutable history : Lifecycle.record list;  (* newest first *)
+  mutable reserved : B.t;
+      (* certified costs of queued submissions that passed the submit-time
+         budget prescreen; advisory (drain re-checks authoritatively) *)
 }
 
 let create ?exec_config ?max_rounds ?cache ?metrics ~budget ~devices ~seed () =
@@ -30,12 +39,15 @@ let create ?exec_config ?max_rounds ?cache ?metrics ~budget ~devices ~seed () =
     devices;
     seed;
     metrics;
+    lock = Mutex.create ();
+    drain_lock = Mutex.create ();
     queue = [];
     next_index = 0;
     history = [];
+    reserved = B.zero;
   }
 
-let submit t (s : Workload.submission) =
+let enqueue_locked t (s : Workload.submission) =
   let first = t.next_index in
   let enq = Unix.gettimeofday () in
   for _ = 1 to s.Workload.repeat do
@@ -44,7 +56,66 @@ let submit t (s : Workload.submission) =
   done;
   first
 
-let pending t = List.length t.queue
+let submit t s = Mutex.protect t.lock (fun () -> enqueue_locked t s)
+
+let pending t = Mutex.protect t.lock (fun () -> List.length t.queue)
+
+type refusal =
+  | Queue_full of int  (** the bound it hit *)
+  | Over_budget of string
+
+(* The certified cost of one copy of a submission, when it resolves and
+   certifies — the same arithmetic drain's admission stage applies.
+   Submissions that fail to resolve or certify cost nothing here: they
+   are enqueued anyway so the drain can refuse them with a canonical
+   lifecycle record (identical to the workload-file path). *)
+let prescreen_cost t (s : Workload.submission) =
+  match
+    match s.Workload.categories with
+    | Some c -> Q.make ~epsilon:s.Workload.epsilon ~name:s.Workload.query ~c ()
+    | None -> Q.test_instance ~epsilon:s.Workload.epsilon s.Workload.query
+  with
+  | exception Not_found -> None
+  | query ->
+      let cert = Arb_lang.Certify.certify query.Q.program ~n:t.devices in
+      if cert.Arb_lang.Certify.certified then Some cert.Arb_lang.Certify.cost
+      else None
+
+let try_submit ?max_queue ?(check_budget = true) t (s : Workload.submission) =
+  (* Certification is pure; run it outside the lock. *)
+  let cost = if check_budget then prescreen_cost t s else None in
+  Mutex.protect t.lock (fun () ->
+      let depth = List.length t.queue in
+      match max_queue with
+      | Some bound when depth + s.Workload.repeat > bound ->
+          Error (Queue_full bound)
+      | _ -> (
+          match cost with
+          | None -> Ok (enqueue_locked t s)
+          | Some cost -> (
+              let total = B.scale cost (float_of_int s.Workload.repeat) in
+              let balance = R.Session.budget_left t.session in
+              let projected =
+                match B.charge balance ~cost:t.reserved with
+                | Some p -> p
+                | None -> B.zero (* over-reserved window; fail the check *)
+              in
+              match B.charge projected ~cost:total with
+              | None ->
+                  Error
+                    (Over_budget
+                       (Format.asprintf
+                          "admission: privacy budget exhausted (need %a, \
+                           have %a)"
+                          B.pp total B.pp projected))
+              | Some _ ->
+                  t.reserved <- B.spend_all t.reserved total;
+                  Ok (enqueue_locked t s))))
+
+let refusal_message = function
+  | Queue_full bound ->
+      Printf.sprintf "submission queue is full (bound %d), retry later" bound
+  | Over_budget m -> m
 
 (* A per-submission RNG for database synthesis, chained off the service
    seed the same way the session derives execution seeds off the block
@@ -88,8 +159,16 @@ let refusal_record ~index ~(sub : Workload.submission) ~categories ~key ~cost
   }
 
 let drain ?tracer ?(workers = 1) t =
-  let batch = List.rev t.queue in
-  t.queue <- [];
+  Mutex.protect t.drain_lock @@ fun () ->
+  let batch =
+    Mutex.protect t.lock (fun () ->
+        let b = List.rev t.queue in
+        t.queue <- [];
+        (* Queued reservations ride along with the batch; the admission
+           stage below re-checks them against the real session balance. *)
+        t.reserved <- B.zero;
+        b)
+  in
   (* Wall-clock metrics (queue wait, latency histograms) are suppressed
      when tracing deterministically, so the metrics bytes reproduce too. *)
   let timed =
@@ -337,7 +416,8 @@ let drain ?tracer ?(workers = 1) t =
       (fun (a : Lifecycle.record) b -> compare a.Lifecycle.index b.Lifecycle.index)
       (refused @ executed)
   in
-  t.history <- List.rev_append records t.history;
+  Mutex.protect t.lock (fun () ->
+      t.history <- List.rev_append records t.history);
   (match t.metrics with
   | None -> ()
   | Some reg ->
@@ -386,7 +466,14 @@ let run_workload ?tracer ?workers t workload =
 
 let metrics t = t.metrics
 
-let history t = List.rev t.history
+let history t = Mutex.protect t.lock (fun () -> List.rev t.history)
+
+let submitted t = Mutex.protect t.lock (fun () -> t.next_index)
+
+let record t index =
+  Mutex.protect t.lock (fun () ->
+      List.find_opt (fun r -> r.Lifecycle.index = index) t.history)
+
 let counters t = Lifecycle.counters_of (history t)
 let budget_left t = R.Session.budget_left t.session
 let queries_executed t = R.Session.queries_run t.session

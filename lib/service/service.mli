@@ -55,9 +55,45 @@ val create :
 
 val submit : t -> Workload.submission -> int
 (** Enqueue ([repeat] is honored); returns the submission index of the
-    first copy. Indices are global to the service, 0-based. *)
+    first copy. Indices are global to the service, 0-based.
+
+    [submit], [pending], [history], [record] and [drain] are safe to call
+    concurrently from any domain (the HTTP front door's handlers do): the
+    queue, index counter and history share one mutex, and whole drains
+    are serialized on a second one because execution is inherently
+    ordered on the certificate chain. *)
 
 val pending : t -> int
+
+type refusal =
+  | Queue_full of int  (** the bound it hit *)
+  | Over_budget of string
+
+val refusal_message : refusal -> string
+
+val try_submit :
+  ?max_queue:int ->
+  ?check_budget:bool ->
+  t ->
+  Workload.submission ->
+  (int, refusal) result
+(** Backpressure-aware {!submit}: refuse — before enqueueing, with the
+    budget untouched — when the queue would exceed [max_queue] or (with
+    [check_budget], the default) when the submission's certified cost
+    cannot fit the projected balance (session balance minus the certified
+    costs of everything already queued). The prescreen mirrors the
+    arithmetic of drain's admission stage but is advisory: drain re-checks
+    authoritatively, so a submission admitted here can still be refused
+    there (e.g. when an earlier batch's execution failed and returned its
+    reservation). Submissions that do not resolve or certify are enqueued
+    anyway, so drain refuses them with the same canonical lifecycle record
+    the workload-file path produces. *)
+
+val submitted : t -> int
+(** Total submissions ever enqueued (the next index to be assigned). *)
+
+val record : t -> int -> Lifecycle.record option
+(** The lifecycle record for a submission index, once its batch drained. *)
 
 val drain : ?tracer:Arb_obs.Tracer.t -> ?workers:int -> t -> Lifecycle.record list
 (** Process the whole queue; returns this batch's records in submission

@@ -45,6 +45,12 @@ val goal_names : (string * Arb_planner.Constraints.goal) list
 
 val goal_to_name : Arb_planner.Constraints.goal -> string
 
+val submission_of_json : Arb_util.Json.t -> (submission, string) result
+(** One query entry (the element shape of ["queries"]) — also the request
+    body of the HTTP front door's [POST /v1/queries]. *)
+
+val submission_to_json : submission -> Arb_util.Json.t
+
 val of_json : Arb_util.Json.t -> (t, string) result
 val to_json : t -> Arb_util.Json.t
 (** [to_json] emits the fields without the [formatVersion] envelope

@@ -549,6 +549,247 @@ let test_trace_json_roundtrips () =
   checkb "committee costs present" true
     (List.length (J.to_list (J.member "committee_costs" parsed)) > 0)
 
+(* ---------------- network seams (HTTP front door) ---------------- *)
+
+(* Chaos at the socket edge, same central invariant as the runtime chaos
+   suite: whatever the network does — half-sent requests, garbage bytes,
+   one-byte-at-a-time stalls, restarts under load, injected accept drops
+   and truncated responses — the service core either answers correctly or
+   the client sees a typed failure, and service state (budget arithmetic,
+   certificate chain, submission accounting) stays consistent. *)
+
+module S = Arb_service
+module H = S.Http
+module DB = Arb_dp.Budget
+
+let net_host = "127.0.0.1"
+
+let net_sub epsilon =
+  {
+    S.Workload.query = "top1";
+    epsilon;
+    categories = None;
+    goal = P.Constraints.Min_part_exp_time;
+    repeat = 1;
+  }
+
+let with_front_door ?(server_config = S.Server.default_config) f =
+  let svc =
+    S.Service.create
+      ~budget:(Arb_dp.Budget.create ~epsilon:100.0 ~delta:0.01)
+      ~devices:32 ~seed:5 ()
+  in
+  let api = S.Api.create ~service:svc () in
+  let server =
+    S.Server.start ~config:server_config ~handler:(S.Api.handler api) ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      S.Server.stop server;
+      S.Api.join api)
+    (fun () -> f svc api server (S.Server.port server))
+
+let healthz_ok port =
+  match S.Client.get ~host:net_host ~port "/healthz" with
+  | Ok r -> r.H.status = 200
+  | Error _ -> false
+
+let test_net_partial_request_disconnect () =
+  with_front_door (fun svc _api server port ->
+      let fragments =
+        [
+          "";
+          "POST";
+          "POST /v1/queries HTTP/1.1\r\n";
+          "POST /v1/queries HTTP/1.1\r\ncontent-length: 500\r\n\r\n{\"query\":";
+          "GET /healthz HTT";
+        ]
+      in
+      List.iter
+        (fun frag ->
+          match S.Client.connect ~host:net_host ~port () with
+          | Error m -> Alcotest.fail m
+          | Ok conn ->
+              (match S.Client.send_raw conn frag with
+              | Ok () -> ()
+              | Error _ -> () (* racing the close is fine *));
+              S.Client.close conn)
+        fragments;
+      (* The server absorbed every mid-request disconnect: it still
+         answers, nothing was submitted, and the budget never moved. *)
+      checkb "server alive after disconnect storm" true
+        (let rec retry n = healthz_ok port || (n > 0 && retry (n - 1)) in
+         retry 20);
+      checki "no partial submission leaked in" 0 (S.Service.submitted svc);
+      checkb "budget untouched" true
+        (DB.equal
+           (Arb_dp.Budget.create ~epsilon:100.0 ~delta:0.01)
+           (S.Service.budget_left svc));
+      ignore server)
+
+let test_net_malformed_requests_fail_closed () =
+  with_front_door (fun svc _api server port ->
+      let attacks =
+        [
+          ("GARBAGE\r\n\r\n", 400);
+          ("GET / SPDY/99\r\n\r\n", 505);
+          ("GET /" ^ String.make 9000 'a' ^ " HTTP/1.1\r\n\r\n", 414);
+          ("POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n", 501);
+          ("POST / HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n", 413);
+          ("GET / HTTP/1.1\r\nbad header no colon\r\n\r\n", 400);
+        ]
+      in
+      List.iter
+        (fun (wire, expect) ->
+          match S.Client.connect ~host:net_host ~port () with
+          | Error m -> Alcotest.fail m
+          | Ok conn ->
+              (match S.Client.send_raw conn wire with
+              | Ok () -> ()
+              | Error m -> Alcotest.fail m);
+              (match S.Client.read_response ~deadline_s:5.0 conn with
+              | Ok r ->
+                  checki (Printf.sprintf "typed rejection for %S"
+                            (String.sub wire 0 (min 20 (String.length wire))))
+                    expect r.H.status
+              | Error m -> Alcotest.fail ("no rejection came back: " ^ m));
+              S.Client.close conn)
+        attacks;
+      let st = S.Server.stats server in
+      checkb "malformed inputs counted" true
+        (st.S.Server.bad_requests >= List.length attacks);
+      checkb "server alive after malformed storm" true (healthz_ok port);
+      checki "nothing submitted" 0 (S.Service.submitted svc))
+
+let test_net_slowloris_stall () =
+  with_front_door
+    ~server_config:
+      { S.Server.default_config with S.Server.request_timeout_s = 0.4 }
+    (fun _svc _api server port ->
+      (match S.Client.connect ~host:net_host ~port () with
+      | Error m -> Alcotest.fail m
+      | Ok conn ->
+          (* Drip a valid request one fragment at a time, slower than the
+             whole-request deadline allows. Per-read timeouts would keep
+             resetting; the deadline must not. *)
+          let fragments = [ "GET /he"; "althz H"; "TTP/1."; "1\r\nhos" ] in
+          List.iter
+            (fun frag ->
+              ignore (S.Client.send_raw conn frag);
+              Unix.sleepf 0.15)
+            fragments;
+          (match S.Client.read_response ~deadline_s:5.0 conn with
+          | Ok r -> checki "stalled request answered 408" 408 r.H.status
+          | Error m -> Alcotest.fail ("expected 408: " ^ m));
+          S.Client.close conn);
+      let st = S.Server.stats server in
+      checkb "timeout counted" true (st.S.Server.timeouts >= 1);
+      checkb "server alive after stall" true (healthz_ok port))
+
+let test_net_stop_start_overlap_under_load () =
+  (* Shutdown races live traffic: every in-flight client must see either a
+     valid response or a clean error (never a hang), the service keeps its
+     invariants, and the same service can come straight back up on a new
+     front door. *)
+  let svc =
+    S.Service.create
+      ~budget:(Arb_dp.Budget.create ~epsilon:100.0 ~delta:0.01)
+      ~devices:32 ~seed:5 ()
+  in
+  let api = S.Api.create ~service:svc () in
+  let server = S.Server.start ~handler:(S.Api.handler api) () in
+  let port = S.Server.port server in
+  let keep_going = Atomic.make true in
+  let clients =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            let answered = ref 0 and failed = ref 0 in
+            while Atomic.get keep_going do
+              match S.Client.get ~timeout_s:5.0 ~host:net_host ~port "/healthz" with
+              | Ok r when r.H.status = 200 -> incr answered
+              | Ok _ | Error _ -> incr failed
+            done;
+            (!answered, !failed)))
+  in
+  (* Let load build, submit real work, then yank the server mid-stream. *)
+  Unix.sleepf 0.2;
+  (match
+     S.Client.post_json ~host:net_host ~port
+       ~json:(S.Workload.submission_to_json (net_sub 0.5))
+       "/v1/queries"
+   with
+  | Ok r -> checki "submission accepted under load" 202 r.H.status
+  | Error m -> Alcotest.fail m);
+  S.Server.stop server;
+  Atomic.set keep_going false;
+  let results = List.map Domain.join clients in
+  checkb "every client made progress before the stop" true
+    (List.for_all (fun (ok, _) -> ok > 0) results);
+  (* Accepted work still drains (graceful): the submission gets its
+     record even though the front door is gone. *)
+  S.Api.join api;
+  checki "accepted submission drained through shutdown" 1
+    (List.length (S.Service.history svc));
+  checkb "chain verifies after overlap" true (S.Service.chain_verifies svc);
+  (* Restart on a fresh port: same service, new front door. *)
+  let api2 = S.Api.create ~service:svc () in
+  let server2 = S.Server.start ~handler:(S.Api.handler api2) () in
+  let port2 = S.Server.port server2 in
+  checkb "restarted front door serves" true (healthz_ok port2);
+  (match
+     S.Client.post_json ~host:net_host ~port:port2
+       ~json:(S.Workload.submission_to_json (net_sub 0.5))
+       "/v1/queries"
+   with
+  | Ok r ->
+      checki "new submissions accepted after restart" 202 r.H.status;
+      checkb "index continues from pre-restart history" true
+        (contains r.H.resp_body "\"index\":1")
+  | Error m -> Alcotest.fail m);
+  S.Server.stop server2;
+  S.Api.join api2;
+  checki "both submissions recorded" 2 (List.length (S.Service.history svc));
+  checkb "chain verifies end to end" true (S.Service.chain_verifies svc)
+
+let test_net_injected_faults_fail_closed () =
+  (* Server-side injection: accept drops lose connections before a byte is
+     read, response truncation cuts answers off mid-write. Clients with
+     retries must converge, the injector must actually fire, and the
+     service must stay consistent. *)
+  let inj =
+    Fault.create ~seed:42L
+      {
+        Fault.no_faults with
+        Fault.accept_drop_p = 0.25;
+        response_truncate_p = 0.25;
+      }
+  in
+  with_front_door
+    ~server_config:{ S.Server.default_config with S.Server.faults = Some inj }
+    (fun svc _api server port ->
+      let attempts = 40 in
+      let answered = ref 0 in
+      for _ = 1 to attempts do
+        (* Up to 8 tries per request: drops and truncations surface as
+           client-side Errors (fail closed), never as garbled successes. *)
+        let rec go tries =
+          if tries = 0 then ()
+          else
+            match S.Client.get ~timeout_s:5.0 ~host:net_host ~port "/healthz" with
+            | Ok r when r.H.status = 200 -> incr answered
+            | Ok _ -> ()
+            | Error _ -> go (tries - 1)
+        in
+        go 8
+      done;
+      checki "every request eventually answered" attempts !answered;
+      let st = S.Server.stats server in
+      checkb "the injector actually fired" true (st.S.Server.faults_injected > 0);
+      checkb "injection counted per kind" true
+        (Fault.total_injected inj = st.S.Server.faults_injected);
+      checki "no submissions invented" 0 (S.Service.submitted svc);
+      checkb "server alive" true (healthz_ok port))
+
 let () =
   Alcotest.run "fault"
     [
@@ -604,5 +845,18 @@ let () =
             test_trace_pp_shows_all_counters;
           Alcotest.test_case "to_json roundtrips" `Quick
             test_trace_json_roundtrips;
+        ] );
+      ( "network-chaos",
+        [
+          Alcotest.test_case "partial-request disconnects absorbed" `Quick
+            test_net_partial_request_disconnect;
+          Alcotest.test_case "malformed requests fail closed" `Quick
+            test_net_malformed_requests_fail_closed;
+          Alcotest.test_case "slowloris stall hits the deadline" `Quick
+            test_net_slowloris_stall;
+          Alcotest.test_case "stop/start overlap under load" `Quick
+            test_net_stop_start_overlap_under_load;
+          Alcotest.test_case "injected accept-drop/truncate fail closed"
+            `Quick test_net_injected_faults_fail_closed;
         ] );
     ]

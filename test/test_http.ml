@@ -1,0 +1,449 @@
+(* HTTP front door tests: the pure parser (every malformed, oversized or
+   partial input maps to the right outcome), response serialization, and
+   end-to-end socket exchanges against a live Server — including the
+   JSON API submitting real queries and the byte-identity of lifecycle
+   records between the HTTP and in-process paths. *)
+
+module S = Arb_service
+module H = S.Http
+module B = Arb_dp.Budget
+module P = Arb_planner
+module J = Arb_util.Json
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let contains s needle =
+  let n = String.length needle and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let sub ?categories ?(repeat = 1) ?(goal = P.Constraints.Min_part_exp_time)
+    ~epsilon query =
+  { S.Workload.query; epsilon; categories; goal; repeat }
+
+let service ?(epsilon = 100.0) ?(delta = 0.01) ?(devices = 32) ?(seed = 5) () =
+  S.Service.create ~budget:(B.create ~epsilon ~delta) ~devices ~seed ()
+
+let rec wait_until ?(tries = 400) f =
+  f ()
+  || tries > 0
+     && (Unix.sleepf 0.025;
+         wait_until ~tries:(tries - 1) f)
+
+(* ---------------- parser ---------------- *)
+
+let get_request =
+  "GET /v1/queries/3?x=a%20b&flag HTTP/1.1\r\nHost: example\r\nX-Thing: v\r\n\r\n"
+
+let test_parse_get () =
+  match H.parse_request get_request with
+  | H.Complete (r, consumed) ->
+      checks "method" "GET" r.H.meth;
+      checks "decoded path" "/v1/queries/3" r.H.path;
+      checkb "query decoded" true
+        (r.H.query = [ ("x", "a b"); ("flag", "") ]);
+      checks "header names lowercased" "example"
+        (Option.get (List.assoc_opt "host" r.H.headers));
+      checks "empty body" "" r.H.body;
+      checki "whole buffer consumed" (String.length get_request) consumed
+  | _ -> Alcotest.fail "valid GET did not parse"
+
+let test_parse_pipelined () =
+  let post = "POST /v1/queries HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd" in
+  let buf = post ^ get_request in
+  match H.parse_request buf with
+  | H.Complete (r, consumed) -> (
+      checks "body" "abcd" r.H.body;
+      checki "consumed just the first request" (String.length post) consumed;
+      let rest = String.sub buf consumed (String.length buf - consumed) in
+      match H.parse_request rest with
+      | H.Complete (r2, _) -> checks "second request" "GET" r2.H.meth
+      | _ -> Alcotest.fail "pipelined second request did not parse")
+  | _ -> Alcotest.fail "valid POST did not parse"
+
+let test_every_prefix_is_partial () =
+  let full = "POST /q HTTP/1.1\r\ncontent-length: 6\r\nhost: x\r\n\r\nabcdef" in
+  for i = 0 to String.length full - 1 do
+    match H.parse_request (String.sub full 0 i) with
+    | H.Partial -> ()
+    | H.Complete _ -> Alcotest.failf "prefix %d parsed as complete" i
+    | H.Reject (st, _) -> Alcotest.failf "prefix %d rejected with %d" i st
+  done;
+  match H.parse_request full with
+  | H.Complete (r, _) -> checks "full buffer parses" "abcdef" r.H.body
+  | _ -> Alcotest.fail "full buffer did not parse"
+
+let reject_status input =
+  match H.parse_request input with
+  | H.Reject (st, _) -> st
+  | H.Complete _ -> Alcotest.fail "malformed input parsed"
+  | H.Partial -> Alcotest.fail "malformed input left partial"
+
+let test_rejects () =
+  checki "garbage request line" 400 (reject_status "GARBAGE\r\n\r\n");
+  checki "double-space request line" 400
+    (reject_status "GET  /x HTTP/1.1\r\n\r\n");
+  checki "unsupported version" 505 (reject_status "GET / HTTP/2.0\r\n\r\n");
+  checki "request line too long" 414
+    (reject_status ("GET /" ^ String.make 9000 'a' ^ " HTTP/1.1\r\n\r\n"));
+  (* ... even before the newline arrives. *)
+  checki "oversized line without newline" 414
+    (reject_status (String.make 9000 'a'));
+  let many_headers =
+    "GET / HTTP/1.1\r\n"
+    ^ String.concat ""
+        (List.init 101 (fun i -> Printf.sprintf "h%d: v\r\n" i))
+    ^ "\r\n"
+  in
+  checki "too many headers" 431 (reject_status many_headers);
+  checki "oversized body" 413
+    (reject_status
+       (Printf.sprintf "POST / HTTP/1.1\r\ncontent-length: %d\r\n\r\n"
+          ((1 lsl 20) + 1)));
+  checki "chunked rejected" 501
+    (reject_status
+       "POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n");
+  checki "malformed content-length" 400
+    (reject_status "POST / HTTP/1.1\r\ncontent-length: abc\r\n\r\n");
+  checki "multiple content-lengths" 400
+    (reject_status
+       "POST / HTTP/1.1\r\ncontent-length: 1\r\ncontent-length: 2\r\n\r\nx");
+  checki "malformed header line" 400
+    (reject_status "GET / HTTP/1.1\r\nnot a header\r\n\r\n");
+  checki "malformed header name" 400
+    (reject_status "GET / HTTP/1.1\r\nbad name: v\r\n\r\n")
+
+let test_header_block_limit () =
+  let limits = { H.default_limits with H.max_header_bytes = 256 } in
+  match
+    H.parse_request ~limits
+      ("GET / HTTP/1.1\r\nbig: " ^ String.make 300 'x' ^ "\r\n\r\n")
+  with
+  | H.Reject (431, _) -> ()
+  | _ -> Alcotest.fail "oversized header block not rejected with 431"
+
+let parse_exn input =
+  match H.parse_request input with
+  | H.Complete (r, _) -> r
+  | _ -> Alcotest.fail "expected a complete request"
+
+let test_keep_alive () =
+  checkb "1.1 defaults on" true
+    (H.keep_alive (parse_exn "GET / HTTP/1.1\r\n\r\n"));
+  checkb "1.1 close wins" false
+    (H.keep_alive (parse_exn "GET / HTTP/1.1\r\nconnection: close\r\n\r\n"));
+  checkb "1.0 defaults off" false
+    (H.keep_alive (parse_exn "GET / HTTP/1.0\r\n\r\n"));
+  checkb "1.0 keep-alive wins" true
+    (H.keep_alive
+       (parse_exn "GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n"))
+
+let test_lenient_line_endings () =
+  let r = parse_exn "\r\n\nGET /x HTTP/1.1\nhost: x\n\n" in
+  checks "bare-LF request parses" "/x" r.H.path
+
+(* ---------------- response serialization ---------------- *)
+
+let test_response_roundtrip () =
+  let resp = H.json_response ~status:202 (J.Obj [ ("ok", J.Bool true) ]) in
+  let wire = H.response_to_string ~close:false resp in
+  checkb "advertises keep-alive" true (contains wire "connection: keep-alive");
+  (match H.parse_response wire with
+  | H.Complete (r, consumed) ->
+      checki "status" 202 r.H.status;
+      checkb "body round-trips" true (contains r.H.resp_body "\"ok\":true");
+      checki "consumed everything" (String.length wire) consumed
+  | _ -> Alcotest.fail "serialized response did not parse");
+  let wire_close = H.response_to_string ~close:true resp in
+  checkb "advertises close" true (contains wire_close "connection: close")
+
+let test_request_roundtrip () =
+  let wire =
+    H.request_to_string ~body:"{\"a\":1}" ~meth:"POST" ~target:"/v1/queries" ()
+  in
+  let r = parse_exn wire in
+  checks "method" "POST" r.H.meth;
+  checks "body" "{\"a\":1}" r.H.body
+
+(* ---------------- end-to-end over sockets ---------------- *)
+
+let host = "127.0.0.1"
+
+let with_server ?(config = S.Server.default_config) handler f =
+  let server = S.Server.start ~config ~handler () in
+  Fun.protect ~finally:(fun () -> S.Server.stop server) (fun () -> f server)
+
+let ok_handler _req = H.json_response ~status:200 (J.Obj [ ("ok", J.Bool true) ])
+
+let test_e2e_get () =
+  with_server ok_handler (fun server ->
+      let port = S.Server.port server in
+      match S.Client.get ~host ~port "/" with
+      | Ok r ->
+          checki "status" 200 r.H.status;
+          checkb "body" true (contains r.H.resp_body "\"ok\":true")
+      | Error m -> Alcotest.fail m)
+
+let test_e2e_keep_alive () =
+  with_server
+    (fun req -> H.json_response ~status:200 (J.Obj [ ("path", J.String req.H.path) ]))
+    (fun server ->
+      let port = S.Server.port server in
+      match S.Client.connect ~host ~port () with
+      | Error m -> Alcotest.fail m
+      | Ok conn ->
+          List.iter
+            (fun path ->
+              match S.Client.request conn ~meth:"GET" ~target:path () with
+              | Ok r -> checkb ("echoed " ^ path) true (contains r.H.resp_body path)
+              | Error m -> Alcotest.fail m)
+            [ "/one"; "/two"; "/three" ];
+          S.Client.close conn)
+
+let test_e2e_accept_edge_busy () =
+  (* max_pending = 0 makes the accept edge refuse every connection inline:
+     the deterministic way to observe the 429 path. *)
+  with_server
+    ~config:{ S.Server.default_config with S.Server.max_pending = 0 }
+    ok_handler
+    (fun server ->
+      let port = S.Server.port server in
+      (match S.Client.get ~host ~port "/" with
+      | Ok r ->
+          checki "accept-edge busy" 429 r.H.status;
+          checkb "names the reason" true (contains r.H.resp_body "queueFull")
+      | Error m -> Alcotest.fail m);
+      let st = S.Server.stats server in
+      checkb "counted as rejected_busy" true (st.S.Server.rejected_busy >= 1))
+
+let test_e2e_request_deadline () =
+  with_server
+    ~config:{ S.Server.default_config with S.Server.request_timeout_s = 0.3 }
+    ok_handler
+    (fun server ->
+      let port = S.Server.port server in
+      match S.Client.connect ~host ~port () with
+      | Error m -> Alcotest.fail m
+      | Ok conn ->
+          (match S.Client.send_raw conn "GET / HT" with
+          | Ok () -> ()
+          | Error m -> Alcotest.fail m);
+          (match S.Client.read_response ~deadline_s:5.0 conn with
+          | Ok r -> checki "slowloris answered 408" 408 r.H.status
+          | Error m -> Alcotest.fail ("expected 408, got error: " ^ m));
+          S.Client.close conn)
+
+let test_e2e_concurrent_clients () =
+  with_server ok_handler (fun server ->
+      let port = S.Server.port server in
+      let per_domain = 20 in
+      let runner () =
+        match S.Client.connect ~host ~port () with
+        | Error _ -> 0
+        | Ok conn ->
+            let ok = ref 0 in
+            for _ = 1 to per_domain do
+              match S.Client.request conn ~meth:"GET" ~target:"/" () with
+              | Ok r when r.H.status = 200 -> incr ok
+              | _ -> ()
+            done;
+            S.Client.close conn;
+            !ok
+      in
+      let domains = List.init 6 (fun _ -> Domain.spawn runner) in
+      let total = List.fold_left (fun acc d -> acc + Domain.join d) 0 domains in
+      checki "every request answered" (6 * per_domain) total)
+
+(* ---------------- the JSON API over sockets ---------------- *)
+
+let with_api ?(epsilon = 100.0) ?(api_config = S.Api.default_config) f =
+  let svc = service ~epsilon () in
+  let api = S.Api.create ~config:api_config ~service:svc () in
+  let server = S.Server.start ~handler:(S.Api.handler api) () in
+  Fun.protect
+    ~finally:(fun () ->
+      S.Server.stop server;
+      S.Api.join api)
+    (fun () -> f svc api (S.Server.port server))
+
+let submit_json s = S.Workload.submission_to_json s
+
+let test_api_submit_and_poll () =
+  with_api (fun svc api port ->
+      (match S.Client.post_json ~host ~port ~json:(submit_json (sub ~epsilon:0.5 "top1")) "/v1/queries" with
+      | Ok r ->
+          checki "accepted" 202 r.H.status;
+          checkb "index assigned" true (contains r.H.resp_body "\"index\":0")
+      | Error m -> Alcotest.fail m);
+      let drained () =
+        match S.Client.get ~host ~port "/v1/queries/0" with
+        | Ok r -> contains r.H.resp_body "\"status\":\"executed\""
+        | Error _ -> false
+      in
+      checkb "poll reaches executed" true (wait_until drained);
+      (match S.Client.get ~host ~port "/healthz" with
+      | Ok r ->
+          checki "healthy" 200 r.H.status;
+          checkb "nothing pending" true (contains r.H.resp_body "\"pending\":0")
+      | Error m -> Alcotest.fail m);
+      (match S.Client.get ~host ~port "/v1/queries/7" with
+      | Ok r -> checki "unknown index" 404 r.H.status
+      | Error m -> Alcotest.fail m);
+      (match S.Client.get ~host ~port "/nope" with
+      | Ok r -> checki "unknown endpoint" 404 r.H.status
+      | Error m -> Alcotest.fail m);
+      (match S.Client.post ~host ~port ~body:"" "/healthz" with
+      | Ok r -> checki "wrong method" 405 r.H.status
+      | Error m -> Alcotest.fail m);
+      (match S.Client.post ~host ~port ~body:"{not json" "/v1/queries" with
+      | Ok r -> checki "malformed body" 400 r.H.status
+      | Error m -> Alcotest.fail m);
+      (match S.Client.post ~host ~port ~body:"" "/v1/stop" with
+      | Ok r -> checkb "stop acknowledged" true (contains r.H.resp_body "true")
+      | Error m -> Alcotest.fail m);
+      checkb "stop requested" true (S.Api.stop_requested api);
+      checkb "chain verifies" true (S.Service.chain_verifies svc))
+
+let test_api_budget_429 () =
+  with_api ~epsilon:0.3 (fun svc _api port ->
+      let before = S.Service.budget_left svc in
+      (match
+         S.Client.post_json ~host ~port
+           ~json:(submit_json (sub ~epsilon:0.5 "top1"))
+           "/v1/queries"
+       with
+      | Ok r ->
+          checki "over-budget refused" 429 r.H.status;
+          checkb "names budget" true (contains r.H.resp_body "budget")
+      | Error m -> Alcotest.fail m);
+      checkb "429 left the budget untouched" true
+        (B.equal before (S.Service.budget_left svc));
+      checki "nothing was enqueued" 0 (S.Service.submitted svc);
+      (match
+         S.Client.post_json ~host ~port
+           ~json:(submit_json (sub ~epsilon:0.1 "top1"))
+           "/v1/queries"
+       with
+      | Ok r -> checki "affordable query accepted" 202 r.H.status
+      | Error m -> Alcotest.fail m);
+      checkb "affordable query executes" true
+        (wait_until (fun () ->
+             match S.Service.record svc 0 with
+             | Some { S.Lifecycle.status = S.Lifecycle.Executed _; _ } -> true
+             | _ -> false)))
+
+let test_api_equivalence () =
+  (* The determinism boundary: the same submissions produce byte-identical
+     canonical lifecycle records whether they arrive over a socket or are
+     run in-process — however the executor happened to batch them. *)
+  let subs =
+    [
+      sub ~epsilon:0.5 "top1";
+      sub ~epsilon:0.4 "median";
+      sub ~epsilon:0.5 "top1";
+      (* identical: must be a cache hit on both paths *)
+    ]
+  in
+  let reference = service () in
+  let ref_records =
+    S.Service.run_workload reference
+      {
+        S.Workload.budget = None;
+        devices = None;
+        seed = None;
+        submissions = subs;
+      }
+  in
+  with_api (fun svc _api port ->
+      List.iter
+        (fun s ->
+          match
+            S.Client.post_json ~host ~port ~json:(submit_json s) "/v1/queries"
+          with
+          | Ok r -> checki "accepted" 202 r.H.status
+          | Error m -> Alcotest.fail m)
+        subs;
+      checkb "all drained" true
+        (wait_until (fun () ->
+             S.Service.pending svc = 0
+             && List.length (S.Service.history svc) = List.length subs));
+      checks "byte-identical lifecycle records"
+        (S.Lifecycle.records_to_string ref_records)
+        (S.Lifecycle.records_to_string (S.Service.history svc));
+      checkb "identical remaining budget" true
+        (B.equal
+           (S.Service.budget_left reference)
+           (S.Service.budget_left svc));
+      (* And the wire form agrees with a locally-serialized canonical list. *)
+      match S.Client.get ~host ~port "/v1/records" with
+      | Ok r ->
+          checks "records endpoint serves the canonical form"
+            (J.to_string
+               (J.List
+                  (List.map (S.Lifecycle.to_json ~timings:false) ref_records))
+            ^ "\n")
+            r.H.resp_body
+      | Error m -> Alcotest.fail m)
+
+let test_api_graceful_stop_drains () =
+  with_api (fun svc api port ->
+      List.iter
+        (fun s ->
+          match
+            S.Client.post_json ~host ~port ~json:(submit_json s) "/v1/queries"
+          with
+          | Ok r -> checki "accepted" 202 r.H.status
+          | Error m -> Alcotest.fail m)
+        [ sub ~epsilon:0.5 "top1"; sub ~epsilon:0.4 "median" ];
+      (* join = request_stop + final drain: every accepted submission must
+         have a record afterwards even if the executor never woke yet. *)
+      S.Api.join api;
+      checki "every accepted submission drained" 2
+        (List.length (S.Service.history svc));
+      checkb "chain verifies" true (S.Service.chain_verifies svc))
+
+let () =
+  Alcotest.run "http"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "valid GET" `Quick test_parse_get;
+          Alcotest.test_case "pipelined requests" `Quick test_parse_pipelined;
+          Alcotest.test_case "every prefix is partial" `Quick
+            test_every_prefix_is_partial;
+          Alcotest.test_case "malformed and oversized inputs rejected" `Quick
+            test_rejects;
+          Alcotest.test_case "header block limit" `Quick test_header_block_limit;
+          Alcotest.test_case "keep-alive semantics" `Quick test_keep_alive;
+          Alcotest.test_case "lenient line endings" `Quick
+            test_lenient_line_endings;
+        ] );
+      ( "serialization",
+        [
+          Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
+          Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+        ] );
+      ( "e2e",
+        [
+          Alcotest.test_case "basic GET over a socket" `Quick test_e2e_get;
+          Alcotest.test_case "keep-alive connection" `Quick test_e2e_keep_alive;
+          Alcotest.test_case "accept-edge 429" `Quick test_e2e_accept_edge_busy;
+          Alcotest.test_case "whole-request deadline (slowloris)" `Quick
+            test_e2e_request_deadline;
+          Alcotest.test_case "concurrent clients" `Quick
+            test_e2e_concurrent_clients;
+        ] );
+      ( "api",
+        [
+          Alcotest.test_case "submit, poll to completion, stop" `Quick
+            test_api_submit_and_poll;
+          Alcotest.test_case "429 keeps the budget intact" `Quick
+            test_api_budget_429;
+          Alcotest.test_case "HTTP path == in-process path (byte-identical)"
+            `Quick test_api_equivalence;
+          Alcotest.test_case "graceful stop drains accepted work" `Quick
+            test_api_graceful_stop_drains;
+        ] );
+    ]

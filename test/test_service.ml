@@ -308,6 +308,161 @@ let prop_worker_count_invisible =
           String.equal base records && B.equal budget1 budget)
         [ 2; 4 ])
 
+(* ---------------- cross-domain safety ---------------- *)
+
+let test_concurrent_submit_stress () =
+  (* 4 domains hammer submit concurrently. Unsynchronized, the queue /
+     next_index updates interleave and lose submissions or duplicate
+     indices; under the service lock every submission gets a distinct
+     index and all of them land. *)
+  let t = service () in
+  let domains_n = 4 and per_domain = 250 in
+  let submitter _ =
+    Domain.spawn (fun () ->
+        List.init per_domain (fun _ ->
+            S.Service.submit t (sub ~epsilon:0.5 "top1")))
+  in
+  let indices =
+    List.concat_map Domain.join (List.init domains_n submitter)
+  in
+  let total = domains_n * per_domain in
+  checki "every submission landed" total (S.Service.pending t);
+  checki "next index advanced exactly once each" total (S.Service.submitted t);
+  let sorted = List.sort_uniq compare indices in
+  checki "indices are distinct" total (List.length sorted);
+  checki "indices are dense from zero" (total - 1)
+    (List.fold_left max (-1) sorted)
+
+let test_try_submit_queue_full () =
+  let t = service () in
+  (match S.Service.try_submit ~max_queue:2 t (sub ~epsilon:0.5 "top1") with
+  | Ok 0 -> ()
+  | _ -> Alcotest.fail "first submission should be index 0");
+  (match S.Service.try_submit ~max_queue:2 t (sub ~epsilon:0.5 "top1") with
+  | Ok 1 -> ()
+  | _ -> Alcotest.fail "second submission should be index 1");
+  (match S.Service.try_submit ~max_queue:2 t (sub ~epsilon:0.5 "top1") with
+  | Error (S.Service.Queue_full 2 as r) ->
+      checkb "message names the bound" true
+        (contains (S.Service.refusal_message r) "full")
+  | _ -> Alcotest.fail "third submission should hit the queue bound");
+  checki "refused submission not enqueued" 2 (S.Service.pending t);
+  (* repeat counts toward the bound as a whole *)
+  match S.Service.try_submit ~max_queue:4 t (sub ~epsilon:0.5 ~repeat:3 "top1") with
+  | Error (S.Service.Queue_full _) -> ()
+  | _ -> Alcotest.fail "repeat must count toward the queue bound"
+
+let test_try_submit_over_budget () =
+  (* Budget affords two eps-0.5 queries. The prescreen must account for
+     what is already queued (reservations), not just the session balance,
+     and a refusal must leave both untouched. *)
+  let budget = B.create ~epsilon:1.0 ~delta:0.01 in
+  let t = S.Service.create ~budget ~devices:32 ~seed:5 () in
+  (match S.Service.try_submit t (sub ~epsilon:0.5 "top1") with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "first affordable submission refused");
+  (match S.Service.try_submit t (sub ~epsilon:0.5 "top1") with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "second affordable submission refused");
+  (match S.Service.try_submit t (sub ~epsilon:0.5 "top1") with
+  | Error (S.Service.Over_budget _) -> ()
+  | Ok _ -> Alcotest.fail "queued reservations must count against the budget"
+  | Error _ -> Alcotest.fail "wrong refusal kind");
+  checkb "refusals left the balance untouched" true
+    (B.equal budget (S.Service.budget_left t));
+  checki "only the admitted two are queued" 2 (S.Service.pending t);
+  let records = S.Service.drain t in
+  checki "both admitted submissions executed" 2
+    (List.length
+       (List.filter
+          (fun r ->
+            S.Lifecycle.status_name r.S.Lifecycle.status = "executed")
+          records));
+  checkb "chain verifies" true (S.Service.chain_verifies t);
+  (* After the drain reset the reservations, the balance is authoritative
+     again: a third query is now refused on the real balance. *)
+  match S.Service.try_submit t (sub ~epsilon:0.5 "top1") with
+  | Error (S.Service.Over_budget _) -> ()
+  | _ -> Alcotest.fail "spent balance must refuse the next submission"
+
+let test_try_submit_unknown_query_enqueues () =
+  (* Unresolvable submissions pass the prescreen so drain can refuse them
+     with the same canonical record the workload path produces. *)
+  let t = service () in
+  (match S.Service.try_submit t (sub ~epsilon:0.5 "no-such-query") with
+  | Ok 0 -> ()
+  | _ -> Alcotest.fail "unknown query should enqueue for a canonical refusal");
+  match S.Service.drain t with
+  | [ { S.Lifecycle.status = S.Lifecycle.Refused reason; _ } ] ->
+      checkb "drain refused it canonically" true (contains reason "no-such-query")
+  | _ -> Alcotest.fail "expected one refusal record"
+
+let test_cache_concurrent_writers () =
+  (* Several domains persist entries for the same key at once: per-writer
+     tmp names mean no torn files — afterwards the entry file is valid
+     JSON a fresh cache revives, and no *.tmp strays remain. *)
+  let dir = tmp_dir "cache-races" in
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  let q = Q.test_instance "top1" in
+  let goal = P.Constraints.Min_part_exp_time in
+  let key = S.Cache.key ~goal ~query:q ~n:100_000 () in
+  let r = P.Search.plan ~query:q ~n:100_000 () in
+  let entry =
+    match (r.P.Search.plan, r.P.Search.metrics) with
+    | Some plan, Some metrics -> { S.Cache.plan; metrics }
+    | _ -> Alcotest.fail "no plan"
+  in
+  let cache = S.Cache.create ~dir () in
+  let writers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 25 do
+              S.Cache.add cache key ~query_name:"top1" entry
+            done))
+  in
+  List.iter Domain.join writers;
+  let leftovers =
+    List.filter
+      (fun f -> Filename.check_suffix f ".tmp")
+      (Array.to_list (Sys.readdir dir))
+  in
+  checki "no stranded tmp files" 0 (List.length leftovers);
+  let fresh = S.Cache.create ~dir () in
+  (match S.Cache.find fresh key with
+  | Some e -> checkb "revived entry intact" true (e.S.Cache.plan = entry.S.Cache.plan)
+  | None -> Alcotest.fail "entry file unreadable after concurrent writes")
+
+let test_cache_dir_creation () =
+  let root = tmp_path "cache-mkdirp" in
+  let nested = Filename.concat (Filename.concat root "a") "b" in
+  (* mkdir_p: the whole chain comes into being. *)
+  let _ = S.Cache.create ~dir:nested () in
+  checkb "nested directory created" true (Sys.is_directory nested);
+  (* Concurrent creators of the same fresh directory: the TOCTOU seam —
+     everyone must succeed even when another domain wins the mkdir race. *)
+  let fresh = Filename.concat (Filename.concat root "c") "d" in
+  let creators =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            match S.Cache.create ~dir:fresh () with
+            | _ -> true
+            | exception _ -> false))
+  in
+  checkb "all concurrent creators succeed" true
+    (List.for_all Domain.join creators);
+  checkb "directory exists" true (Sys.is_directory fresh)
+
+let test_cache_tmp_sweep () =
+  let dir = tmp_dir "cache-sweep" in
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  write_file (Filename.concat dir "stale.1234.0.tmp") "half-written";
+  write_file (Filename.concat dir "deadbeef.json.tmp") "also stale";
+  write_file (Filename.concat dir "keep.json") "{}";
+  let _ = S.Cache.create ~dir () in
+  let files = List.sort compare (Array.to_list (Sys.readdir dir)) in
+  Alcotest.(check (list string))
+    "tmp files swept, real entries kept" [ "keep.json" ] files
+
 (* ---------------- workload files ---------------- *)
 
 let test_workload_file_roundtrip () =
@@ -382,6 +537,23 @@ let () =
             test_incremental_batches_share_cache;
         ] );
       ("determinism", [ qtest prop_worker_count_invisible ]);
+      ( "concurrency",
+        [
+          Alcotest.test_case "multi-domain submit stress" `Quick
+            test_concurrent_submit_stress;
+          Alcotest.test_case "try_submit queue bound" `Quick
+            test_try_submit_queue_full;
+          Alcotest.test_case "try_submit budget prescreen + reservations"
+            `Quick test_try_submit_over_budget;
+          Alcotest.test_case "unknown queries enqueue for canonical refusal"
+            `Quick test_try_submit_unknown_query_enqueues;
+          Alcotest.test_case "concurrent cache writers never tear files"
+            `Quick test_cache_concurrent_writers;
+          Alcotest.test_case "cache dir created recursively, race-tolerant"
+            `Quick test_cache_dir_creation;
+          Alcotest.test_case "stale tmp files swept on create" `Quick
+            test_cache_tmp_sweep;
+        ] );
       ( "workload",
         [
           Alcotest.test_case "file roundtrip" `Quick test_workload_file_roundtrip;
