@@ -846,6 +846,8 @@ let service_throughput () =
             categories = None;
             goal;
             repeat = 2;
+            every = None;
+            window = None;
           };
         ])
       exec_queries
@@ -1028,7 +1030,7 @@ let profiling () =
     List.map
       (fun name ->
         { S.Workload.query = name; epsilon = 0.4; categories = None;
-          goal; repeat = 2 })
+          goal; repeat = 2; every = None; window = None })
       [ "top1"; "hypotest" ]
   in
   let det_run workers =
@@ -1515,7 +1517,8 @@ let service_load () =
   in
   let goal = P.Constraints.Min_part_exp_time in
   let mk_sub ?(repeat = 1) ~epsilon query =
-    { S.Workload.query; epsilon; categories = None; goal; repeat }
+    { S.Workload.query; epsilon; categories = None; goal; repeat;
+      every = None; window = None }
   in
   let fresh_service () =
     S.Service.create
@@ -1558,7 +1561,7 @@ let service_load () =
   let ref_records =
     S.Service.run_workload reference
       { S.Workload.budget = None; devices = None; seed = None;
-        submissions = subs }
+        epochs = None; submissions = subs }
   in
   let http_svc = fresh_service () in
   with_front_door http_svc (fun _api _server port ->
@@ -1577,7 +1580,7 @@ let service_load () =
         subs;
       let expected = List.length (S.Workload.expand
         { S.Workload.budget = None; devices = None; seed = None;
-          submissions = subs }) in
+          epochs = None; submissions = subs }) in
       if
         not
           (wait_until 500 (fun () ->
@@ -1599,6 +1602,98 @@ let service_load () =
     "  equivalence: %d submissions over HTTP == in-process (byte-identical \
      records, equal budget)\n"
     (List.length ref_records);
+
+  (* Gate 1b: multi-epoch equivalence. Recurring sessions driven through
+     POST /v1/epoch must yield continual and lifecycle records
+     byte-identical to an in-process engine run — at any --http-workers
+     count. The HTTP edge may reorder socket I/O, never accounting. *)
+  let module C = Arb_continual in
+  let n_epochs = 4 in
+  let rec_subs =
+    [ ( "trend", true,
+        { (mk_sub ~epsilon:0.5 "top1") with
+          S.Workload.every = Some 1;
+          window =
+            Some
+              { S.Workload.w_epochs = 3;
+                w_budget = B.create ~epsilon:2.0 ~delta:1e-4;
+                w_compose = None } } );
+      ( "pulse", false,
+        { (mk_sub ~epsilon:0.4 "median") with S.Workload.every = Some 2 } )
+    ]
+  in
+  let continual_run drive =
+    let svc = fresh_service () in
+    let engine = C.Engine.create ~service:svc () in
+    List.iter
+      (fun (name, carry, s) ->
+        match C.Engine.register engine ~name ~carry_state:carry s with
+        | Ok _ -> ()
+        | Error m -> failwith ("service_load: register: " ^ m))
+      rec_subs;
+    drive svc engine;
+    let continual =
+      String.concat "\n"
+        (List.map
+           (fun v -> C.Engine.records_string v.C.Engine.v_history)
+           (C.Engine.sessions engine))
+    in
+    ( continual,
+      S.Lifecycle.records_to_string ~timings:false (S.Service.history svc),
+      S.Service.budget_left svc )
+  in
+  let ref_cont, ref_life, ref_budget =
+    continual_run (fun _svc engine ->
+        ignore (C.Engine.run_epochs ~workers:2 engine n_epochs))
+  in
+  let http_worker_counts = [ 1; 2; 4 ] in
+  List.iter
+    (fun http_workers ->
+      let cont, life, budget =
+        continual_run (fun svc engine ->
+            let api =
+              S.Api.create
+                ~extra:(C.Routes.handler ~workers:2 engine)
+                ~service:svc ()
+            in
+            let server =
+              S.Server.start
+                ~config:
+                  { S.Server.default_config with workers = http_workers }
+                ~handler:(S.Api.handler api) ()
+            in
+            Fun.protect
+              ~finally:(fun () ->
+                S.Server.stop server;
+                S.Api.join api)
+              (fun () ->
+                let port = S.Server.port server in
+                for _ = 1 to n_epochs do
+                  match S.Client.post ~host ~port ~body:"" "/v1/epoch" with
+                  | Ok r when r.H.status = 200 -> ()
+                  | Ok r ->
+                      failwith
+                        (Printf.sprintf
+                           "service_load: epoch tick answered %d" r.H.status)
+                  | Error m -> failwith ("service_load: epoch tick: " ^ m)
+                done))
+      in
+      if
+        not
+          (String.equal ref_cont cont
+          && String.equal ref_life life
+          && B.equal ref_budget budget)
+      then
+        failwith
+          (Printf.sprintf
+             "service_load: multi-epoch HTTP run diverges at http-workers=%d"
+             http_workers))
+    http_worker_counts;
+  Printf.printf
+    "  multi-epoch equivalence: %d epochs over POST /v1/epoch == in-process \
+     engine (byte-identical continual + lifecycle records) at http-workers \
+     {1,2,4}\n"
+    n_epochs;
 
   (* Gate 2: fan-in. Hundreds of sockets connect at once, then all send;
      every one of them must get an answer, and the read-only storm must
@@ -1781,6 +1876,8 @@ let service_load () =
     ~header:[ "gate"; "result" ]
     [
       [ "HTTP == in-process records"; "byte-identical" ];
+      [ Printf.sprintf "multi-epoch HTTP == engine (%d epochs)" n_epochs;
+        "byte-identical x http-workers {1,2,4}" ];
       [ Printf.sprintf "%d-connection fan-in" conns;
         Printf.sprintf "%d answered" answered ];
       [ "keep-alive throughput"; Printf.sprintf "%.0f req/s" rps ];
@@ -1793,6 +1890,8 @@ let service_load () =
         ("smoke", J.Bool !smoke);
         ("equivalence_ok", J.Bool true);
         ("equivalence_submissions", J.Int (List.length ref_records));
+        ("continual_equivalence_ok", J.Bool true);
+        ("continual_equivalence_epochs", J.Int n_epochs);
         ("fan_in_connections", J.Int conns);
         ("fan_in_answered", J.Int answered);
         ("fan_in_seconds", J.Float fan_in_s);
@@ -1815,6 +1914,340 @@ let service_load () =
   close_out oc;
   Printf.printf "  wrote BENCH_service.json\n"
 
+(* -------------------------------------------------------------------- *)
+(* continual_epochs: the continual engine's plan-reuse economics and    *)
+(* correctness gates — cold-plan-then-revalidate steady state, exactly  *)
+(* one forced re-plan per injected drift, sliding-window refusal with a *)
+(* byte-identical budget and refund-driven recovery, and multi-epoch    *)
+(* byte-identity across worker counts. Writes BENCH_continual.json.     *)
+(* -------------------------------------------------------------------- *)
+
+let continual_epochs () =
+  let module S = Arb_service in
+  let module E = Arb_continual.Engine in
+  let module B = Arb_dp.Budget in
+  let module Obs = Arb_obs in
+  let module J = Arb_util.Json in
+  section "continual_epochs: recurring sessions over sliding-window budgets";
+  let goal = P.Constraints.Min_part_exp_time in
+  let devices = if !smoke then 24 else 48 in
+  let mk_rec ?(every = 1) ?window ~epsilon query =
+    { S.Workload.query; epsilon; categories = None; goal; repeat = 1;
+      every = Some every; window }
+  in
+  let fresh () =
+    let reg = Obs.Metrics.create () in
+    let svc =
+      S.Service.create ~metrics:reg
+        ~budget:(B.create ~epsilon:1.0e6 ~delta:0.5)
+        ~devices ~seed:11 ()
+    in
+    (reg, svc, E.create ~service:svc ())
+  in
+  let register engine ?name sub =
+    match E.register engine ?name ~carry_state:true sub with
+    | Ok n -> n
+    | Error m -> failwith ("continual_epochs: register: " ^ m)
+  in
+  (* Sum a counter's value over series matching [name] and [labels] in the
+     registry's JSON snapshot — the same shape /metrics tooling consumes. *)
+  let counter reg name labels =
+    let rows = match Obs.Metrics.to_json reg with J.List r -> r | _ -> [] in
+    List.fold_left
+      (fun acc row ->
+        let name_ok =
+          try J.to_str (J.member "name" row) = name
+          with J.Parse_error _ -> false
+        in
+        let labels_ok =
+          List.for_all
+            (fun (k, v) ->
+              try J.to_str (J.member k (J.member "labels" row)) = v
+              with J.Parse_error _ -> false)
+            labels
+        in
+        if name_ok && labels_ok then
+          acc +. (try J.to_float (J.member "value" row) with J.Parse_error _ -> 0.0)
+        else acc)
+      0.0 rows
+  in
+  let expect what got want =
+    if got <> want then
+      failwith
+        (Printf.sprintf "continual_epochs: %s: got %d, want %d" what got want)
+  in
+  let view engine name =
+    match E.session engine name with
+    | Some v -> v
+    | None -> failwith ("continual_epochs: no session view for " ^ name)
+  in
+  let planned_of r =
+    match r.E.er_outcome with
+    | E.Ran { planned; _ } -> Some planned
+    | _ -> None
+  in
+
+  (* Gate 1: steady state — one cold plan at the first epoch, cheap
+     re-validations (cache probes, no planner search) ever after. *)
+  let steady_epochs = 6 in
+  let reg_a, _svc_a, eng_a = fresh () in
+  let a = register eng_a (mk_rec ~epsilon:0.5 "top1") in
+  ignore (E.run_epochs eng_a steady_epochs);
+  let va = view eng_a a in
+  expect "steady cold plans" va.E.v_cold 1;
+  expect "steady revalidations" va.E.v_revalidations (steady_epochs - 1);
+  expect "steady replans" va.E.v_replans 0;
+  expect "steady cold counter"
+    (int_of_float (counter reg_a "arb_continual_cold_plans_total" []))
+    1;
+  expect "steady revalidation counter"
+    (int_of_float (counter reg_a "arb_continual_revalidations_total" []))
+    (steady_epochs - 1);
+  expect "steady epoch counter"
+    (int_of_float (counter reg_a "arb_continual_epochs_total" []))
+    steady_epochs;
+  Printf.printf
+    "  steady state: %d epochs = 1 cold plan + %d revalidations (0 re-plans)\n"
+    steady_epochs (steady_epochs - 1);
+
+  (* Gate 2: drift injection — a population estimate past the 20%% relative
+     threshold forces exactly one re-plan, as does a calibration change;
+     the refreshed fingerprint makes the following epoch revalidate. *)
+  let reg_b, _svc_b, eng_b = fresh () in
+  let b = register eng_b (mk_rec ~epsilon:0.5 "top1") in
+  ignore (E.run_epochs eng_b 2);
+  E.observe_population eng_b (devices * 2);
+  let e3 = E.tick eng_b in
+  let e4 = E.tick eng_b in
+  E.set_calibration eng_b "calib-v1";
+  let e5 = E.tick eng_b in
+  let e6 = E.tick eng_b in
+  let replan_reason records =
+    match List.filter_map planned_of records with
+    | [ E.Replanned reason ] -> Some reason
+    | _ -> None
+  in
+  (match replan_reason e3 with
+  | Some r when String.length r >= 16 && String.sub r 0 16 = "population drift"
+    -> ()
+  | _ -> failwith "continual_epochs: population drift did not force a re-plan");
+  (match replan_reason e5 with
+  | Some r when String.length r >= 17 && String.sub r 0 17 = "calibration drift"
+    -> ()
+  | _ -> failwith "continual_epochs: calibration drift did not force a re-plan");
+  (match (List.filter_map planned_of e4, List.filter_map planned_of e6) with
+  | [ E.Revalidated ], [ E.Revalidated ] -> ()
+  | _ -> failwith "continual_epochs: post-drift epochs should revalidate");
+  let vb = view eng_b b in
+  expect "drift replans" vb.E.v_replans 2;
+  expect "population-drift counter"
+    (int_of_float
+       (counter reg_b "arb_continual_replans_total"
+          [ ("reason", "population drift") ]))
+    1;
+  expect "calibration-drift counter"
+    (int_of_float
+       (counter reg_b "arb_continual_replans_total"
+          [ ("reason", "calibration drift") ]))
+    1;
+  Printf.printf
+    "  drift: population +100%% -> 1 re-plan; calibration change -> 1 \
+     re-plan; interleaved epochs revalidated\n";
+
+  (* Gate 3: window exhaustion and recovery. A window affording two 0.5-eps
+     charges over a 3-epoch horizon refuses the third epoch with both the
+     window and the service budget byte-identical, then the epoch-1 charge
+     expires and epoch 4 runs on the refund. *)
+  let reg_c, svc_c, eng_c = fresh () in
+  let c =
+    register eng_c
+      (mk_rec ~epsilon:0.5
+         ~window:
+           {
+             S.Workload.w_epochs = 3;
+             w_budget = B.create ~epsilon:1.0 ~delta:1e-5;
+             w_compose = Some 3;
+           }
+         "top1")
+  in
+  ignore (E.run_epochs eng_c 2);
+  let vc2 = view eng_c c in
+  let budget_bytes () = J.to_string (B.to_json (S.Service.budget_left svc_c)) in
+  let window_spent_bytes v =
+    match v.E.v_window with
+    | Some w -> J.to_string (B.to_json (B.Window.spent w))
+    | None -> failwith "continual_epochs: windowed session lost its window"
+  in
+  let budget_before = budget_bytes () and spent_before = window_spent_bytes vc2 in
+  let e3c = E.tick eng_c in
+  (match e3c with
+  | [ { E.er_outcome = E.Window_refused _; _ } ] -> ()
+  | _ -> failwith "continual_epochs: exhausted window did not refuse epoch 3");
+  if budget_bytes () <> budget_before then
+    failwith "continual_epochs: window refusal moved the service budget";
+  if window_spent_bytes (view eng_c c) <> spent_before then
+    failwith "continual_epochs: window refusal moved the window spend";
+  let e4c = E.tick eng_c in
+  let refund, cost =
+    match (e4c, (view eng_c c).E.v_last_cost) with
+    | [ { E.er_outcome = E.Ran { status = "executed"; _ }; er_refunded; _ } ],
+      Some cost ->
+        (er_refunded, cost)
+    | _ -> failwith "continual_epochs: expired charge did not revive epoch 4"
+  in
+  if not (B.equal refund cost) then
+    failwith "continual_epochs: expiry refund differs from the charged cost";
+  expect "window refusals"
+    (int_of_float (counter reg_c "arb_continual_window_refusals_total" []))
+    1;
+  Printf.printf
+    "  window: refusal at epoch 3 (budget byte-identical), recovery at \
+     epoch 4 on an exact %.3f-eps refund\n"
+    refund.B.epsilon;
+
+  (* Gate 4: determinism — the multi-epoch continual records and the
+     underlying lifecycle records are byte-identical at any worker count. *)
+  let det_epochs = 4 in
+  let det_run workers =
+    let _reg, svc, eng = fresh () in
+    ignore
+      (register eng ~name:"det-top1"
+         (mk_rec ~epsilon:0.5
+            ~window:
+              {
+                S.Workload.w_epochs = 4;
+                w_budget = B.create ~epsilon:4.0 ~delta:1e-4;
+                w_compose = Some 4;
+              }
+            "top1"));
+    ignore (register eng ~name:"det-median" (mk_rec ~every:2 ~epsilon:0.4 "median"));
+    let epochs = E.run_epochs ~workers eng det_epochs in
+    ( String.concat "\n" (List.map E.records_string epochs),
+      S.Lifecycle.records_to_string ~timings:false (S.Service.history svc) )
+  in
+  let workers_list = [ 1; 2; 3 ] in
+  let runs = List.map det_run workers_list in
+  (match runs with
+  | (cont_ref, life_ref) :: rest ->
+      List.iteri
+        (fun i (cont, life) ->
+          if cont <> cont_ref then
+            failwith
+              (Printf.sprintf
+                 "continual_epochs: continual records diverge at workers=%d"
+                 (List.nth workers_list (i + 1)));
+          if life <> life_ref then
+            failwith
+              (Printf.sprintf
+                 "continual_epochs: lifecycle records diverge at workers=%d"
+                 (List.nth workers_list (i + 1))))
+        rest
+  | [] -> ());
+  Printf.printf
+    "  determinism: %d epochs x 2 sessions byte-identical at workers %s\n"
+    det_epochs
+    (String.concat "/" (List.map string_of_int workers_list));
+
+  (* Gate 5: carried-state trajectory and reuse economics. *)
+  let traj_epochs = if !smoke then 6 else 12 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let _reg_e, svc_e, eng_e = fresh () in
+  let m = register eng_e (mk_rec ~epsilon:0.4 "median") in
+  let estimates = ref [] in
+  let (), wall =
+    time (fun () ->
+        for _ = 1 to traj_epochs do
+          ignore (E.tick eng_e);
+          estimates :=
+            String.concat ";" (view eng_e m).E.v_estimate :: !estimates
+        done)
+  in
+  let trajectory = List.rev !estimates in
+  if List.length (List.sort_uniq compare trajectory) < 1 then
+    failwith "continual_epochs: carried state produced no estimates";
+  let cnt = S.Service.counters svc_e in
+  let hit_rate =
+    float_of_int cnt.S.Lifecycle.cache_hits
+    /. float_of_int (max 1 cnt.S.Lifecycle.executed)
+  in
+  let epochs_per_s = float_of_int traj_epochs /. Float.max 1e-9 wall in
+  Printf.printf
+    "  carry: %d epochs in %s (%.1f epochs/s), cache hit rate %.2f, \
+     estimate trajectory %s\n"
+    traj_epochs (U.seconds_to_string wall) epochs_per_s hit_rate
+    (String.concat " -> " trajectory);
+
+  T.print
+    ~header:[ "gate"; "result" ]
+    [
+      [ "steady state";
+        Printf.sprintf "1 cold + %d revalidations" (steady_epochs - 1) ];
+      [ "population drift"; "exactly 1 re-plan" ];
+      [ "calibration drift"; "exactly 1 re-plan" ];
+      [ "window exhaustion"; "refused; budget byte-identical" ];
+      [ "window recovery"; "ran on exact expiry refund" ];
+      [ "worker byte-identity";
+        Printf.sprintf "%d epochs, workers 1/2/3" det_epochs ];
+      [ "carry throughput"; Printf.sprintf "%.1f epochs/s" epochs_per_s ];
+    ];
+  let json =
+    J.Obj
+      [
+        ("schema", J.String "arb-bench-continual/1");
+        ("smoke", J.Bool !smoke);
+        ( "steady",
+          J.Obj
+            [
+              ("epochs", J.Int steady_epochs);
+              ("cold_plans", J.Int va.E.v_cold);
+              ("revalidations", J.Int va.E.v_revalidations);
+              ("replans", J.Int va.E.v_replans);
+            ] );
+        ( "drift",
+          J.Obj
+            [
+              ("population_replans", J.Int 1);
+              ("calibration_replans", J.Int 1);
+              ("total_replans", J.Int vb.E.v_replans);
+            ] );
+        ( "window",
+          J.Obj
+            [
+              ("horizon_epochs", J.Int 3);
+              ("refusal_epoch", J.Int 3);
+              ("recovery_epoch", J.Int 4);
+              ("refund_epsilon", J.Float refund.B.epsilon);
+              ("budget_intact", J.Bool true);
+            ] );
+        ( "determinism",
+          J.Obj
+            [
+              ("epochs", J.Int det_epochs);
+              ( "workers",
+                J.List (List.map (fun w -> J.Int w) workers_list) );
+              ("byte_identical", J.Bool true);
+            ] );
+        ( "carry",
+          J.Obj
+            [
+              ("epochs", J.Int traj_epochs);
+              ("epochs_per_s", J.Float epochs_per_s);
+              ("cache_hit_rate", J.Float hit_rate);
+              ( "estimate_trajectory",
+                J.List (List.map (fun e -> J.String e) trajectory) );
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_continual.json" in
+  output_string oc (J.to_string ~pretty:true json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_continual.json\n"
+
 let all =
   [ ("table1", table1); ("table2", table2); ("fig6", fig6); ("fig7", fig7);
     ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("fig11", fig11);
@@ -1823,4 +2256,4 @@ let all =
     ("planner_scaling", planner_scaling);
     ("service_throughput", service_throughput); ("profiling", profiling);
     ("crypto_kernels", crypto_kernels); ("device_scaling", device_scaling);
-    ("service_load", service_load) ]
+    ("service_load", service_load); ("continual_epochs", continual_epochs) ]

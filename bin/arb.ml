@@ -371,13 +371,33 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the built-in evaluation queries (Table 2).")
     Term.(const run $ json_arg)
 
-let serve_summary service records ~json reg =
+let print_sessions_text engine =
+  List.iter
+    (fun v ->
+      Format.printf
+        "session %s: query %s every %d epoch(s), %d run(s) (%d cold, %d \
+         replanned, %d revalidated), %d window refusal(s)%s@."
+        v.Arb_continual.Engine.v_name v.Arb_continual.Engine.v_query
+        v.Arb_continual.Engine.v_every v.Arb_continual.Engine.v_runs
+        v.Arb_continual.Engine.v_cold v.Arb_continual.Engine.v_replans
+        v.Arb_continual.Engine.v_revalidations
+        v.Arb_continual.Engine.v_window_refusals
+        (match v.Arb_continual.Engine.v_estimate with
+        | [] -> ""
+        | e -> "; estimate " ^ String.concat "; " e);
+      match v.Arb_continual.Engine.v_window with
+      | Some w ->
+          Format.printf "  window %a@." Arb_dp.Budget.Window.pp w
+      | None -> ())
+    (Arb_continual.Engine.sessions engine)
+
+let serve_summary ?engine service records ~json reg =
   let counters = Arb_service.Service.counters service in
   if json then
     print_endline
       (Arb_util.Json.to_string ~pretty:true
          (Arb_util.Json.Obj
-            [
+            ([
               ( "records",
                 Arb_util.Json.List
                   (List.map
@@ -400,7 +420,12 @@ let serve_summary service records ~json reg =
                 Arb_util.Json.Bool
                   (Arb_service.Service.chain_verifies service) );
               ("metrics", Arb_obs.Metrics.to_json reg);
-            ]))
+            ]
+            @
+            (match engine with
+            | Some e when Arb_continual.Engine.sessions e <> [] ->
+                [ ("continual", Arb_continual.Engine.to_json e) ]
+            | _ -> []))))
   else begin
     List.iter
       (fun r -> Format.printf "%a@." Arb_service.Lifecycle.pp r)
@@ -424,7 +449,7 @@ let serve_summary service records ~json reg =
    until SIGINT or POST /v1/stop, then a graceful drain of both the
    connection queue and the submission queue before the summary prints. *)
 let serve_listen ~host ~port ~max_queue ~http_workers ~workers ~timeout
-    ~workload ~devices ~seed ~cache_dir ~json ~tracer reg =
+    ~epoch_interval ~workload ~devices ~seed ~cache_dir ~json ~tracer reg =
   let budget =
     match Option.bind workload (fun w -> w.Arb_service.Workload.budget) with
     | Some b -> b
@@ -448,6 +473,19 @@ let serve_listen ~host ~port ~max_queue ~http_workers ~workers ~timeout
   let service =
     Arb_service.Service.create ~cache ~metrics:reg ~budget ~devices ~seed ()
   in
+  (* Recurring workload entries become continual sessions rather than
+     preloaded one-shots; the engine's routes mount on the API's [extra]
+     hook, so /v1/sessions and /v1/epoch share the same front door. *)
+  let engine = Arb_continual.Engine.create ~service () in
+  (match workload with
+  | Some w ->
+      List.iter
+        (fun sub ->
+          match Arb_continual.Engine.register engine ~carry_state:true sub with
+          | Ok name -> Printf.eprintf "session %s registered\n%!" name
+          | Error m -> Printf.eprintf "cannot register session: %s\n%!" m)
+        (Arb_service.Workload.recurring w)
+  | None -> ());
   let api =
     Arb_service.Api.create
       ~config:
@@ -456,7 +494,9 @@ let serve_listen ~host ~port ~max_queue ~http_workers ~workers ~timeout
           drain_workers = workers;
           check_budget = true;
         }
-      ?tracer ~service ()
+      ?tracer
+      ~extra:(Arb_continual.Routes.handler ?tracer ~workers engine)
+      ~service ()
   in
   (match workload with
   | Some w -> Arb_service.Api.preload api (Arb_service.Workload.expand w)
@@ -484,6 +524,29 @@ let serve_listen ~host ~port ~max_queue ~http_workers ~workers ~timeout
       Printf.eprintf "listening on %s:%d (POST /v1/stop or Ctrl-C to stop)\n%!"
         host
         (Arb_service.Server.port server);
+      (* The wall-clock ticker drives the continual engine; chunked sleeps
+         keep shutdown latency bounded by 0.1 s, not by the interval. *)
+      let stop_tick = Atomic.make false in
+      let ticker =
+        if epoch_interval > 0.0 then
+          Some
+            (Domain.spawn (fun () ->
+                 let rec loop () =
+                   let slept = ref 0.0 in
+                   while
+                     (not (Atomic.get stop_tick)) && !slept < epoch_interval
+                   do
+                     Unix.sleepf 0.1;
+                     slept := !slept +. 0.1
+                   done;
+                   if not (Atomic.get stop_tick) then begin
+                     ignore (Arb_continual.Engine.tick ?tracer ~workers engine);
+                     loop ()
+                   end
+                 in
+                 loop ()))
+        else None
+      in
       (* The handler only flips an atomic: taking the API mutex inside a
          signal handler could self-deadlock, so the main loop polls. *)
       let sigint = Atomic.make false in
@@ -502,6 +565,8 @@ let serve_listen ~host ~port ~max_queue ~http_workers ~workers ~timeout
       (match previous with
       | Some h -> ( try Sys.set_signal Sys.sigint h with _ -> ())
       | None -> ());
+      Atomic.set stop_tick true;
+      Option.iter Domain.join ticker;
       Arb_service.Server.stop server;
       Arb_service.Api.join api;
       let st = Arb_service.Server.stats server in
@@ -512,12 +577,16 @@ let serve_listen ~host ~port ~max_queue ~http_workers ~workers ~timeout
         st.Arb_service.Server.rejected_busy st.Arb_service.Server.bad_requests
         st.Arb_service.Server.timeouts
         st.Arb_service.Server.client_disconnects;
-      serve_summary service (Arb_service.Service.history service) ~json reg;
+      serve_summary ~engine service (Arb_service.Service.history service) ~json
+        reg;
+      if (not json) && Arb_continual.Engine.sessions engine <> [] then
+        print_sessions_text engine;
       0
 
 let serve_cmd =
   let run verbose workload_path devices seed workers cache_dir json trace_out
-      metrics_out det listen host max_queue http_workers timeout =
+      metrics_out det listen host max_queue http_workers timeout epochs
+      epoch_interval =
     setup_logs verbose;
     (* serve always keeps a registry so every exit path can report a
        metrics summary; --metrics-out additionally persists it. *)
@@ -558,7 +627,8 @@ let serve_cmd =
     | Ok workload, Some port ->
         finish
           (serve_listen ~host ~port ~max_queue ~http_workers ~workers ~timeout
-             ~workload ~devices ~seed ~cache_dir ~json ~tracer reg)
+             ~epoch_interval ~workload ~devices ~seed ~cache_dir ~json ~tracer
+             reg)
     | Ok (Some workload), None ->
         let budget =
           match workload.Arb_service.Workload.budget with
@@ -582,7 +652,33 @@ let serve_cmd =
         let records =
           Arb_service.Service.run_workload ?tracer ~workers service workload
         in
-        serve_summary service records ~json reg;
+        (match Arb_service.Workload.recurring workload with
+        | [] -> serve_summary service records ~json reg
+        | recurring ->
+            (* One-shots ran above; recurring entries become sessions and
+               the engine drives the requested number of epochs. *)
+            let engine = Arb_continual.Engine.create ~service () in
+            List.iter
+              (fun sub ->
+                match
+                  Arb_continual.Engine.register engine ~carry_state:true sub
+                with
+                | Ok _ -> ()
+                | Error m -> Printf.eprintf "cannot register session: %s\n" m)
+              recurring;
+            let n_epochs =
+              match epochs with
+              | Some n -> n
+              | None ->
+                  Option.value workload.Arb_service.Workload.epochs ~default:5
+            in
+            ignore
+              (Arb_continual.Engine.run_epochs ?tracer ~workers engine
+                 n_epochs);
+            serve_summary ~engine service
+              (Arb_service.Service.history service)
+              ~json reg;
+            if not json then print_sessions_text engine);
         finish 0
   in
   let workload_arg =
@@ -646,12 +742,29 @@ let serve_cmd =
     let doc = "Emit lifecycle records and counters as JSON." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
+  let epochs_arg =
+    let doc =
+      "With a workload file holding recurring entries (\"every\"/\"window\"): \
+       drive this many epochs before the summary (default: the workload's \
+       \"epochs\" field, else 5)."
+    in
+    Arg.(value & opt (some int) None & info [ "epochs" ] ~docv:"N" ~doc)
+  in
+  let epoch_interval_arg =
+    let doc =
+      "With --listen: advance the continual engine one epoch every $(docv) \
+       seconds. 0 (the default) disables the wall-clock ticker; epochs are \
+       then driven by POST /v1/epoch."
+    in
+    Arg.(value & opt float 0.0 & info [ "epoch-interval" ] ~docv:"S" ~doc)
+  in
   let term =
     Term.(
       const run $ verbose_arg $ workload_arg $ devices_opt $ seed_opt
       $ workers_arg $ cache_dir_arg $ json_arg $ trace_out_arg
       $ metrics_out_arg $ trace_det_arg $ listen_arg $ host_arg
-      $ max_queue_arg $ http_workers_arg $ timeout_arg)
+      $ max_queue_arg $ http_workers_arg $ timeout_arg $ epochs_arg
+      $ epoch_interval_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -662,12 +775,87 @@ let serve_cmd =
           chain) — from a workload file, over HTTP with --listen, or both.")
     term
 
+let sessions_cmd =
+  let module J = Arb_util.Json in
+  let summary_line s =
+    let str name = J.to_str (J.member name s) in
+    let int name = J.to_int (J.member name s) in
+    Printf.printf
+      "%-12s query %-9s every %d  runs %d (%d cold, %d replanned, %d \
+       revalidated)  refusals %d%s\n"
+      (str "name") (str "query") (int "every") (int "runs") (int "coldPlans")
+      (int "replans") (int "revalidations")
+      (int "windowRefusals")
+      (match J.to_list (J.member "estimate" s) with
+      | [] -> ""
+      | e -> "  estimate " ^ String.concat "; " (List.map J.to_str e)
+      | exception J.Parse_error _ -> "")
+  in
+  let print_index j =
+    Printf.printf "epoch %d\n" (J.to_int (J.member "epoch" j));
+    List.iter summary_line (J.to_list (J.member "sessions" j))
+  in
+  let print_detail j =
+    summary_line j;
+    let history = try J.to_list (J.member "history" j) with J.Parse_error _ -> [] in
+    List.iter (fun r -> Printf.printf "  %s\n" (J.to_string r)) history
+  in
+  let run host port name json =
+    let target =
+      match name with None -> "/v1/sessions" | Some n -> "/v1/sessions/" ^ n
+    in
+    match Arb_service.Client.get ~host ~port target with
+    | Error m ->
+        Printf.eprintf "cannot reach %s:%d: %s\n" host port m;
+        1
+    | Ok resp when resp.Arb_service.Http.status <> 200 ->
+        Printf.eprintf "%d %s: %s\n" resp.Arb_service.Http.status
+          resp.Arb_service.Http.reason resp.Arb_service.Http.resp_body;
+        1
+    | Ok resp -> (
+        if json then begin
+          print_endline resp.Arb_service.Http.resp_body;
+          0
+        end
+        else
+          match J.of_string resp.Arb_service.Http.resp_body with
+          | exception J.Parse_error m ->
+              Printf.eprintf "malformed response: %s\n" m;
+              1
+          | j ->
+              (match name with None -> print_index j | Some _ -> print_detail j);
+              0)
+  in
+  let host_arg =
+    let doc = "Host of a running `arb serve --listen`." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc)
+  in
+  let port_arg =
+    let doc = "Port of a running `arb serve --listen`." in
+    Arg.(required & opt (some int) None & info [ "port"; "p" ] ~docv:"PORT" ~doc)
+  in
+  let session_arg =
+    let doc = "Show one session's summary and full epoch history." in
+    Arg.(value & opt (some string) None & info [ "session"; "s" ] ~docv:"NAME" ~doc)
+  in
+  let json_arg =
+    let doc = "Print the server's JSON verbatim." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "sessions"
+       ~doc:
+         "Inspect the continual sessions of a running service: per-session \
+          run/re-plan/re-validation counters, sliding budget windows, \
+          carried-state estimates, and (with --session) epoch history.")
+    Term.(const run $ host_arg $ port_arg $ session_arg $ json_arg)
+
 let main =
   let info =
     Cmd.info "arb" ~version:"1.0.0"
       ~doc:"Arboretum: a planner for large-scale federated analytics with differential privacy"
   in
   Cmd.group info
-    [ plan_cmd; certify_cmd; run_cmd; verify_cmd; serve_cmd; list_cmd ]
+    [ plan_cmd; certify_cmd; run_cmd; verify_cmd; serve_cmd; sessions_cmd; list_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,677 @@
+(* The continual-analytics scheduler: epoch-indexed recurring sessions
+   layered over the one-shot {!Arb_service.Service} core.
+
+   Each tick advances every session's sliding budget window (collecting
+   expiry refunds), re-submits the sessions due this epoch, drains the
+   service once, and settles: window charges for executed queries,
+   mechanism-state carryover, per-epoch records.
+
+   Plan reuse is the point. A due session first decides between
+   *re-validation* — the cached plan is still valid, submit and let the
+   service hit the cache — and a forced *re-plan* — evict the cache entry
+   so the service cold-plans — based on drift since the plan's
+   fingerprint: population estimate, cost-calibration tag, or budget
+   balance moving past a relative threshold. Undrifted epochs cost one
+   cache probe instead of a planner search.
+
+   Determinism: sessions are processed in registration order, all decision
+   inputs (windows, fingerprints, cache state) are updated sequentially,
+   and execution runs through the service's canonically-ordered pipeline —
+   so epoch records are byte-identical at any worker count. *)
+
+module B = Arb_dp.Budget
+module W = B.Window
+module J = Arb_util.Json
+module Q = Arb_queries.Registry
+module S = Arb_service
+
+let src = Logs.Src.create "arb.continual" ~doc:"Continual analytics engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type planned = Cold | Revalidated | Replanned of string
+
+let planned_name = function
+  | Cold -> "cold"
+  | Revalidated -> "revalidated"
+  | Replanned _ -> "replanned"
+
+type outcome =
+  | Skipped
+  | Window_refused of string
+  | Ran of {
+      index : int;
+      planned : planned;
+      status : string;
+      outputs : string list;
+    }
+
+type epoch_record = {
+  er_epoch : int;
+  er_session : string;
+  er_outcome : outcome;
+  er_refunded : B.t;
+  er_window : (B.t * B.t) option;  (* (spent, balance) after settling *)
+  er_estimate : string list;
+}
+
+type config = {
+  n_drift : float;
+  balance_drift : float;
+  poll_timeout_s : float;
+}
+
+let default_config =
+  { n_drift = 0.2; balance_drift = 0.5; poll_timeout_s = 60.0 }
+
+type fingerprint = {
+  fp_n : int;
+  fp_calibration : string;
+  fp_balance : float;
+}
+
+type session = {
+  name : string;
+  sub : S.Workload.submission;
+  every : int;
+  start_epoch : int;
+  carry : bool;
+  window : W.t option;
+  compose : int option;
+  kind : Mstate.kind;
+  mutable state_json : string;
+  mutable fingerprint : fingerprint option;
+  mutable last_cost : B.t option;
+  mutable cold : int;
+  mutable replans : int;
+  mutable revalidations : int;
+  mutable window_refusals : int;
+  mutable runs : int;
+  mutable history : epoch_record list;  (* newest first *)
+}
+
+type t = {
+  service : S.Service.t;
+  config : config;
+  tick_lock : Mutex.t;  (* serializes whole ticks *)
+  lock : Mutex.t;  (* guards epoch / sessions / population / calibration *)
+  mutable epoch : int;
+  mutable sessions : session list;  (* newest first *)
+  mutable population : int;
+  mutable calibration : string;
+}
+
+let create ?(config = default_config) ~service () =
+  {
+    service;
+    config;
+    tick_lock = Mutex.create ();
+    lock = Mutex.create ();
+    epoch = 0;
+    sessions = [];
+    population = S.Service.devices service;
+    calibration = "calib-v0";
+  }
+
+let service t = t.service
+let epoch t = Mutex.protect t.lock (fun () -> t.epoch)
+
+let observe_population t n =
+  if n < 1 then invalid_arg "Engine.observe_population: n < 1";
+  Mutex.protect t.lock (fun () -> t.population <- n)
+
+let set_calibration t tag =
+  Mutex.protect t.lock (fun () -> t.calibration <- tag)
+
+let resolve (sub : S.Workload.submission) =
+  match
+    match sub.S.Workload.categories with
+    | Some c ->
+        Q.make ~epsilon:sub.S.Workload.epsilon ~name:sub.S.Workload.query ~c ()
+    | None ->
+        Q.test_instance ~epsilon:sub.S.Workload.epsilon sub.S.Workload.query
+  with
+  | q -> Some q
+  | exception Not_found -> None
+
+let in_order t = List.rev t.sessions
+
+let register t ?name ~carry_state (sub : S.Workload.submission) =
+  match S.Workload.validate_recurring sub with
+  | Error e -> Error (S.Workload.recurring_error_message e)
+  | Ok () -> (
+      match sub.S.Workload.every with
+      | None ->
+          Error
+            (Printf.sprintf
+               "query %s: not recurring — add \"every\" to register a session"
+               sub.S.Workload.query)
+      | Some every ->
+          Mutex.protect t.lock @@ fun () ->
+          let exists n = List.exists (fun s -> s.name = n) t.sessions in
+          let base = Option.value name ~default:sub.S.Workload.query in
+          if name <> None && exists base then
+            Error (Printf.sprintf "session %s already exists" base)
+          else begin
+            let rec uniq candidate k =
+              if exists candidate then
+                uniq (Printf.sprintf "%s#%d" base k) (k + 1)
+              else candidate
+            in
+            let sname = uniq base 2 in
+            let kind =
+              match resolve sub with
+              | Some q -> Mstate.kind_for q
+              | None -> Mstate.Winners
+            in
+            let window =
+              Option.map
+                (fun w ->
+                  W.create ~horizon:w.S.Workload.w_epochs
+                    ~limit:w.S.Workload.w_budget)
+                sub.S.Workload.window
+            in
+            let s =
+              {
+                name = sname;
+                sub;
+                every;
+                start_epoch = t.epoch + 1;
+                carry = carry_state;
+                window;
+                compose =
+                  Option.bind sub.S.Workload.window (fun w ->
+                      w.S.Workload.w_compose);
+                kind;
+                state_json = J.to_string (Mstate.to_json (Mstate.create kind));
+                fingerprint = None;
+                last_cost = None;
+                cold = 0;
+                replans = 0;
+                revalidations = 0;
+                window_refusals = 0;
+                runs = 0;
+                history = [];
+              }
+            in
+            t.sessions <- s :: t.sessions;
+            Ok sname
+          end)
+
+(* ---------------- state carryover ---------------- *)
+
+let state_of s =
+  match Mstate.of_json (J.of_string s.state_json) with
+  | Ok st -> st
+  | Error _ | (exception J.Parse_error _) ->
+      (* Corrupt carried state resets rather than wedging the session. *)
+      Mstate.create s.kind
+
+let current_estimate s = Option.value (Mstate.estimate (state_of s)) ~default:[]
+
+let fold_outputs s outputs =
+  (* The carried artifact is the serialized form: decode, fold, re-encode —
+     every epoch exercises the restart path. *)
+  s.state_json <-
+    J.to_string (Mstate.to_json (Mstate.update (state_of s) ~outputs))
+
+(* ---------------- drift / re-validation ---------------- *)
+
+let relevant_balance t s =
+  match s.window with
+  | Some w -> (W.balance w).B.epsilon
+  | None -> (S.Service.budget_left t.service).B.epsilon
+
+let rel_drift now was =
+  Float.abs (now -. was) /. Float.max (Float.abs was) 1e-9
+
+let drift_reason t ~population ~calibration s =
+  match s.fingerprint with
+  | None -> None
+  | Some fp ->
+      if rel_drift (float_of_int population) (float_of_int fp.fp_n)
+         > t.config.n_drift
+      then
+        Some (Printf.sprintf "population drift: %d -> %d" fp.fp_n population)
+      else if calibration <> fp.fp_calibration then
+        Some
+          (Printf.sprintf "calibration drift: %s -> %s" fp.fp_calibration
+             calibration)
+      else if
+        rel_drift (relevant_balance t s) fp.fp_balance > t.config.balance_drift
+      then
+        Some
+          (Printf.sprintf "budget-balance drift: %.6g -> %.6g" fp.fp_balance
+             (relevant_balance t s))
+      else None
+
+(* ---------------- metrics ---------------- *)
+
+let emit_counter t ?labels name help =
+  match S.Service.metrics t.service with
+  | None -> ()
+  | Some reg -> Arb_obs.Metrics.add reg ?labels ~help name 1.0
+
+let emit_window_gauges t s =
+  match (S.Service.metrics t.service, s.window) with
+  | Some reg, Some w ->
+      let set name help v =
+        Arb_obs.Metrics.set_gauge reg
+          ~labels:[ ("session", s.name) ]
+          ~help name v
+      in
+      let spent = W.spent w and bal = W.balance w in
+      set "arb_budget_window_spent_epsilon"
+        "Epsilon spent inside the live budget window" spent.B.epsilon;
+      set "arb_budget_window_spent_delta"
+        "Delta spent inside the live budget window" spent.B.delta;
+      set "arb_budget_window_balance_epsilon"
+        "Epsilon remaining in the sliding budget window" bal.B.epsilon;
+      set "arb_budget_window_balance_delta"
+        "Delta remaining in the sliding budget window" bal.B.delta;
+      set "arb_budget_window_limit_epsilon"
+        "Epsilon limit of the sliding budget window" (W.limit w).B.epsilon;
+      set "arb_budget_window_live_epochs"
+        "Epochs carrying live charges in the budget window"
+        (float_of_int (List.length (W.charges w)))
+  | _ -> ()
+
+(* ---------------- tick ---------------- *)
+
+type pending = {
+  pd_session : session;
+  pd_refunded : B.t;
+  pd_index : int;
+  mutable pd_planned : planned;
+}
+
+let window_view s = Option.map (fun w -> (W.spent w, W.balance w)) s.window
+
+let push_record s r = s.history <- r :: s.history
+
+let wait_record t ~deadline index =
+  let rec loop () =
+    match S.Service.record t.service index with
+    | Some r -> Some r
+    | None ->
+        if Unix.gettimeofday () > deadline then None
+        else begin
+          (* Another executor (the HTTP front door's) owns the drain; its
+             records land momentarily. Never taken in standalone mode. *)
+          Unix.sleepf 0.002;
+          loop ()
+        end
+  in
+  loop ()
+
+(* Settle one due session from its lifecycle record: reconcile the planned
+   label, bump counters, refresh the fingerprint after a (re)plan, charge
+   the window for executed work, and fold outputs into carried state. *)
+let settle t ~population ~calibration pd record =
+  let s = pd.pd_session in
+  (match record with
+  | None -> ()
+  | Some (r : S.Lifecycle.record) -> (
+      (* A decision of Revalidated that still cold-planned means the entry
+         was evicted underneath us (another session's re-plan of a shared
+         key): account it as a re-plan, not a reuse. *)
+      (match (pd.pd_planned, r.S.Lifecycle.status) with
+      | Revalidated, (S.Lifecycle.Executed _ | S.Lifecycle.Exec_failed _)
+        when not r.S.Lifecycle.cache_hit ->
+          pd.pd_planned <- Replanned "cache evicted"
+      | _ -> ());
+      match r.S.Lifecycle.status with
+      | S.Lifecycle.Refused _ ->
+          (* The service's own admission refused it: nothing was planned or
+             executed, so neither counters nor the window move. *)
+          ()
+      | status ->
+          s.last_cost <- Some r.S.Lifecycle.cost;
+          (match pd.pd_planned with
+          | Cold ->
+              s.cold <- s.cold + 1;
+              emit_counter t "arb_continual_cold_plans_total"
+                "First-epoch cold plans by continual sessions"
+          | Replanned reason ->
+              s.replans <- s.replans + 1;
+              let label =
+                match String.index_opt reason ':' with
+                | Some i -> String.sub reason 0 i
+                | None -> reason
+              in
+              emit_counter t
+                ~labels:[ ("reason", label) ]
+                "arb_continual_replans_total"
+                "Forced re-plans after drift past a threshold"
+          | Revalidated ->
+              s.revalidations <- s.revalidations + 1;
+              emit_counter t "arb_continual_revalidations_total"
+                "Epochs that reused the cached plan via re-validation");
+          (* Fingerprint the world the plan was (re)priced under. *)
+          (match pd.pd_planned with
+          | Cold | Replanned _ ->
+              s.fingerprint <-
+                Some
+                  {
+                    fp_n = population;
+                    fp_calibration = calibration;
+                    fp_balance = relevant_balance t s;
+                  }
+          | Revalidated -> ());
+          (match status with
+          | S.Lifecycle.Executed { outputs } -> (
+              s.runs <- s.runs + 1;
+              if s.carry then fold_outputs s outputs;
+              match s.window with
+              | None -> ()
+              | Some w -> (
+                  match W.charge w ~cost:r.S.Lifecycle.cost with
+                  | Some _ -> ()
+                  | None ->
+                      (* Prescreened before submission; only reachable if the
+                         certified cost changed in between. *)
+                      Log.warn (fun f ->
+                          f "session %s: window charge failed post-execution"
+                            s.name)))
+          | _ -> ())));
+  let status, outputs =
+    match record with
+    | None -> ("missing", [])
+    | Some r -> (
+        ( S.Lifecycle.status_name r.S.Lifecycle.status,
+          match r.S.Lifecycle.status with
+          | S.Lifecycle.Executed { outputs } -> outputs
+          | _ -> [] ))
+  in
+  {
+    er_epoch = 0 (* patched by the caller *);
+    er_session = s.name;
+    er_outcome =
+      Ran { index = pd.pd_index; planned = pd.pd_planned; status; outputs };
+    er_refunded = pd.pd_refunded;
+    er_window = window_view s;
+    er_estimate = (if s.carry then current_estimate s else outputs);
+  }
+
+let tick ?tracer ?(workers = 1) t =
+  Mutex.protect t.tick_lock @@ fun () ->
+  let epoch, all_sessions, population, calibration =
+    Mutex.protect t.lock (fun () ->
+        t.epoch <- t.epoch + 1;
+        (t.epoch, in_order t, t.population, t.calibration))
+  in
+  (* Phase 1, in registration order: advance windows (collect refunds),
+     decide skip / window-refuse / submit, evict cache entries for forced
+     re-plans, and enqueue due work. *)
+  let pendings =
+    List.filter_map
+      (fun s ->
+        let refunded =
+          match s.window with None -> B.zero | Some w -> W.advance w epoch
+        in
+        let record_now outcome =
+          push_record s
+            {
+              er_epoch = epoch;
+              er_session = s.name;
+              er_outcome = outcome;
+              er_refunded = refunded;
+              er_window = window_view s;
+              er_estimate = (if s.carry then current_estimate s else []);
+            };
+          None
+        in
+        if epoch < s.start_epoch || (epoch - s.start_epoch) mod s.every <> 0
+        then record_now Skipped
+        else
+          let query = resolve s.sub in
+          let cost =
+            Option.bind query (fun q ->
+                let cert =
+                  Arb_lang.Certify.certify q.Q.program
+                    ~n:(S.Service.devices t.service)
+                in
+                if cert.Arb_lang.Certify.certified then
+                  Some cert.Arb_lang.Certify.cost
+                else None)
+          in
+          match (s.window, cost) with
+          | Some w, Some c when not (W.can_afford w ~cost:c) ->
+              (* Refused before anything reaches the service: session and
+                 window budgets stay byte-identical. *)
+              let reason =
+                Format.asprintf "window budget exhausted (need %a, have %a)%s"
+                  B.pp c B.pp (W.balance w)
+                  (match W.next_expiry w with
+                  | Some (e, r) ->
+                      Format.asprintf "; %a expires at epoch %d" B.pp r e
+                  | None -> "")
+              in
+              s.window_refusals <- s.window_refusals + 1;
+              emit_counter t "arb_continual_window_refusals_total"
+                "Epochs refused by the sliding-window budget prescreen";
+              record_now (Window_refused reason)
+          | _ ->
+              let planned =
+                match query with
+                | None -> Cold (* unknown query: the service refuses it *)
+                | Some q -> (
+                    let key =
+                      S.Cache.key ~goal:s.sub.S.Workload.goal ~query:q
+                        ~n:(S.Service.devices t.service) ()
+                    in
+                    match drift_reason t ~population ~calibration s with
+                    | Some reason ->
+                        S.Cache.remove (S.Service.cache t.service) key;
+                        Replanned reason
+                    | None ->
+                        if s.fingerprint <> None then Revalidated
+                        else if S.Cache.mem (S.Service.cache t.service) key
+                        then Revalidated
+                        else Cold)
+              in
+              let index = S.Service.submit t.service s.sub in
+              Some
+                {
+                  pd_session = s;
+                  pd_refunded = refunded;
+                  pd_index = index;
+                  pd_planned = planned;
+                })
+      all_sessions
+  in
+  (* Phase 2: one drain for the whole epoch. When an API executor owns
+     draining this returns [] and settle polls the history instead. *)
+  if pendings <> [] then ignore (S.Service.drain ?tracer ~workers t.service);
+  (* Phase 3, in registration order: settle and record. *)
+  let deadline = Unix.gettimeofday () +. t.config.poll_timeout_s in
+  List.iter
+    (fun pd ->
+      let record = wait_record t ~deadline pd.pd_index in
+      let er = settle t ~population ~calibration pd record in
+      push_record pd.pd_session { er with er_epoch = epoch })
+    pendings;
+  emit_counter t "arb_continual_epochs_total" "Epoch ticks processed";
+  (match S.Service.metrics t.service with
+  | None -> ()
+  | Some reg ->
+      Arb_obs.Metrics.set_gauge reg ~help:"Current continual epoch"
+        "arb_continual_epoch" (float_of_int epoch);
+      Arb_obs.Metrics.set_gauge reg ~help:"Registered continual sessions"
+        "arb_continual_sessions"
+        (float_of_int (List.length all_sessions)));
+  List.iter (emit_window_gauges t) all_sessions;
+  Log.info (fun f ->
+      f "epoch %d: %d sessions, %d due" epoch (List.length all_sessions)
+        (List.length pendings));
+  (* Every session's record for this epoch, in registration order. *)
+  Mutex.protect t.lock (fun () ->
+      List.filter_map
+        (fun s -> List.find_opt (fun r -> r.er_epoch = epoch) s.history)
+        (in_order t))
+
+let run_epochs ?tracer ?workers t n =
+  List.init n (fun _ -> tick ?tracer ?workers t)
+
+(* ---------------- views / JSON ---------------- *)
+
+type session_view = {
+  v_name : string;
+  v_query : string;
+  v_every : int;
+  v_carry : bool;
+  v_kind : Mstate.kind;
+  v_runs : int;
+  v_cold : int;
+  v_replans : int;
+  v_revalidations : int;
+  v_window_refusals : int;
+  v_estimate : string list;
+  v_state : J.t;
+  v_window : W.t option;
+  v_compose : int option;
+  v_last_cost : B.t option;
+  v_history : epoch_record list;  (* oldest first *)
+}
+
+let view_of s =
+  {
+    v_name = s.name;
+    v_query = s.sub.S.Workload.query;
+    v_every = s.every;
+    v_carry = s.carry;
+    v_kind = s.kind;
+    v_runs = s.runs;
+    v_cold = s.cold;
+    v_replans = s.replans;
+    v_revalidations = s.revalidations;
+    v_window_refusals = s.window_refusals;
+    v_estimate = (if s.carry then current_estimate s else []);
+    v_state = J.of_string s.state_json;
+    v_window = s.window;
+    v_compose = s.compose;
+    v_last_cost = s.last_cost;
+    v_history = List.rev s.history;
+  }
+
+let sessions t = Mutex.protect t.lock (fun () -> List.map view_of (in_order t))
+
+let session t name =
+  Mutex.protect t.lock (fun () ->
+      Option.map view_of (List.find_opt (fun s -> s.name = name) t.sessions))
+
+let strings l = J.List (List.map (fun s -> J.String s) l)
+
+let record_json r =
+  let outcome_fields =
+    match r.er_outcome with
+    | Skipped -> [ ("outcome", J.String "skipped") ]
+    | Window_refused reason ->
+        [ ("outcome", J.String "windowRefused"); ("reason", J.String reason) ]
+    | Ran { index; planned; status; outputs } ->
+        List.concat
+          [
+            [
+              ("outcome", J.String "ran");
+              ("index", J.Int index);
+              ("planned", J.String (planned_name planned));
+            ];
+            (match planned with
+            | Replanned reason -> [ ("replanReason", J.String reason) ]
+            | _ -> []);
+            [ ("status", J.String status); ("outputs", strings outputs) ];
+          ]
+  in
+  J.Obj
+    (List.concat
+       [
+         [ ("epoch", J.Int r.er_epoch); ("session", J.String r.er_session) ];
+         outcome_fields;
+         [ ("refunded", B.to_json r.er_refunded) ];
+         (match r.er_window with
+         | None -> []
+         | Some (spent, balance) ->
+             [
+               ("windowSpent", B.to_json spent);
+               ("windowBalance", B.to_json balance);
+             ]);
+         [ ("estimate", strings r.er_estimate) ];
+       ])
+
+let records_string records =
+  J.to_string (J.List (List.map record_json records))
+
+let session_summary_json v =
+  J.Obj
+    (List.concat
+       [
+         [
+           ("name", J.String v.v_name);
+           ("query", J.String v.v_query);
+           ("every", J.Int v.v_every);
+           ("carryState", J.Bool v.v_carry);
+           ("state", J.String (Mstate.kind_name v.v_kind));
+           ("runs", J.Int v.v_runs);
+           ("coldPlans", J.Int v.v_cold);
+           ("replans", J.Int v.v_replans);
+           ("revalidations", J.Int v.v_revalidations);
+           ("windowRefusals", J.Int v.v_window_refusals);
+           ("estimate", strings v.v_estimate);
+         ];
+         (match v.v_window with
+         | None -> []
+         | Some w ->
+             ("window", W.to_json w)
+             :: ("composed", B.to_json (W.composed w))
+             ::
+             (match (v.v_compose, v.v_last_cost) with
+             | Some k, Some cost ->
+                 (* Worst case over the declared composition horizon: k
+                    charges of the session's certified cost, priced at the
+                    tighter of sequential and advanced composition. *)
+                 let seq = B.scale cost (float_of_int k) in
+                 let adv =
+                   if cost.B.epsilon > 0.0 then
+                     B.advanced_composition ~epsilon:cost.B.epsilon
+                       ~delta:cost.B.delta ~k ~delta_slack:1e-9
+                   else seq
+                 in
+                 [
+                   ( "projectedComposed",
+                     B.to_json
+                       (if adv.B.epsilon < seq.B.epsilon then adv else seq) );
+                 ]
+             | _ -> []));
+       ])
+
+let session_json v =
+  match session_summary_json v with
+  | J.Obj fields ->
+      J.Obj (fields @ [ ("history", J.List (List.map record_json v.v_history)) ])
+  | j -> j
+
+let to_json t =
+  J.Obj
+    [
+      ("epoch", J.Int (epoch t));
+      ("sessions", J.List (List.map session_summary_json (sessions t)));
+    ]
+
+let budget_json t =
+  let left = S.Service.budget_left t.service in
+  let windows =
+    List.filter_map
+      (fun v ->
+        Option.map
+          (fun w ->
+            J.Obj [ ("session", J.String v.v_name); ("window", W.to_json w) ])
+          v.v_window)
+      (sessions t)
+  in
+  J.Obj
+    [
+      ("epsilon", J.Float left.B.epsilon);
+      ("delta", J.Float left.B.delta);
+      ("epoch", J.Int (epoch t));
+      ("windows", J.List windows);
+    ]

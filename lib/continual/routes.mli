@@ -1,0 +1,24 @@
+(** HTTP routes for the continual engine, designed to be passed as
+    {!Arb_service.Api.create}'s [?extra] handler:
+
+    - [GET /v1/sessions] — epoch + one summary per session (counters,
+      carried-state estimate, live window).
+    - [GET /v1/sessions/<name>] — the summary plus the session's full
+      epoch history; 404 for unknown names.
+    - [GET /v1/budget] — shadows the base route with
+      {!Engine.budget_json}: the same global [epsilon]/[delta] plus the
+      per-session window detail.
+    - [POST /v1/epoch] — drive one epoch by hand (the curl-facing
+      alternative to [--epoch-interval]); responds with the epoch's
+      records. Ticks serialize on the engine's internal lock.
+
+    Any other request falls through ([None]) to the base API routes. *)
+
+val handler :
+  ?tracer:Arb_obs.Tracer.t ->
+  ?workers:int ->
+  Engine.t ->
+  Arb_service.Http.request ->
+  Arb_service.Http.response option
+(** [workers] sizes the planning pool of drains triggered by
+    [POST /v1/epoch]. *)

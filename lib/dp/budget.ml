@@ -36,6 +36,16 @@ let equal a b = a.epsilon = b.epsilon && a.delta = b.delta
 
 let pp fmt t = Format.fprintf fmt "(eps=%.4f, delta=%.2e)" t.epsilon t.delta
 
+let to_json t =
+  Arb_util.Json.Obj
+    [ ("epsilon", Arb_util.Json.Float t.epsilon);
+      ("delta", Arb_util.Json.Float t.delta) ]
+
+let of_json j =
+  let open Arb_util.Json in
+  create ~epsilon:(to_float (member "epsilon" j))
+    ~delta:(to_float (member "delta" j))
+
 let advanced_composition ~epsilon ~delta ~k ~delta_slack =
   if k <= 0 then invalid_arg "Budget.advanced_composition: k <= 0";
   if delta_slack <= 0.0 || delta_slack >= 1.0 then
@@ -46,3 +56,167 @@ let advanced_composition ~epsilon ~delta ~k ~delta_slack =
     +. (kf *. epsilon *. (Float.exp epsilon -. 1.0))
   in
   { epsilon = eps'; delta = (kf *. delta) +. delta_slack }
+
+(* --- sliding-window accounting (continual analytics) --- *)
+
+module Window = struct
+  module J = Arb_util.Json
+
+  type budget = t
+
+  type w = {
+    horizon : int;
+    limit : budget;
+    mutable current : int;
+    (* epoch -> individual charges recorded at that epoch, newest first.
+       Totals are always computed over the canonically sorted list, so any
+       insertion/removal order within an epoch sums to the same bytes. *)
+    charges : (int, budget list) Hashtbl.t;
+  }
+
+  type t = w
+
+  let create ~horizon ~limit =
+    if horizon < 1 then invalid_arg "Budget.Window.create: horizon < 1";
+    { horizon; limit; current = 0; charges = Hashtbl.create 16 }
+
+  let horizon t = t.horizon
+  let limit t = t.limit
+  let epoch t = t.current
+
+  let canon cs =
+    List.sort (fun a b -> compare (a.epsilon, a.delta) (b.epsilon, b.delta)) cs
+
+  let sum cs = List.fold_left spend_all zero (canon cs)
+
+  let epoch_total t e =
+    match Hashtbl.find_opt t.charges e with None -> zero | Some cs -> sum cs
+
+  (* Epoch [e] is live at [current] iff current - horizon < e <= current. *)
+  let live_epochs t =
+    let lo = t.current - t.horizon + 1 in
+    Hashtbl.fold (fun e _ acc -> if e >= lo then e :: acc else acc) t.charges []
+    |> List.sort compare
+
+  let charges t = List.map (fun e -> (e, epoch_total t e)) (live_epochs t)
+
+  let spent t =
+    List.fold_left (fun acc (_, b) -> spend_all acc b) zero (charges t)
+
+  let balance t =
+    let s = spent t in
+    {
+      epsilon = t.limit.epsilon -. s.epsilon;
+      delta = t.limit.delta -. s.delta;
+    }
+
+  let window_can_afford t ~cost = can_afford (balance t) ~cost
+
+  let charge t ~cost =
+    if cost.epsilon < 0.0 || cost.delta < 0.0 then
+      invalid_arg "Budget.Window.charge: negative cost";
+    if window_can_afford t ~cost then begin
+      let existing =
+        Option.value (Hashtbl.find_opt t.charges t.current) ~default:[]
+      in
+      Hashtbl.replace t.charges t.current (cost :: existing);
+      Some (balance t)
+    end
+    else None
+
+  let refund t ~cost =
+    match Hashtbl.find_opt t.charges t.current with
+    | None -> false
+    | Some cs ->
+        let rec remove = function
+          | [] -> None
+          | c :: rest when equal c cost -> Some rest
+          | c :: rest -> Option.map (fun r -> c :: r) (remove rest)
+        in
+        (match remove cs with
+        | None -> false
+        | Some [] ->
+            Hashtbl.remove t.charges t.current;
+            true
+        | Some rest ->
+            Hashtbl.replace t.charges t.current rest;
+            true)
+
+  let advance t e =
+    if e < t.current then invalid_arg "Budget.Window.advance: epoch moved backwards";
+    t.current <- e;
+    let expired =
+      Hashtbl.fold
+        (fun e' _ acc -> if e' <= e - t.horizon then e' :: acc else acc)
+        t.charges []
+      |> List.sort compare
+    in
+    List.fold_left
+      (fun acc e' ->
+        let total = epoch_total t e' in
+        Hashtbl.remove t.charges e';
+        spend_all acc total)
+      zero expired
+
+  let next_expiry t =
+    match live_epochs t with
+    | [] -> None
+    | oldest :: _ -> Some (oldest + t.horizon, epoch_total t oldest)
+
+  let live_charges t =
+    let lo = t.current - t.horizon + 1 in
+    Hashtbl.fold
+      (fun e cs acc -> if e >= lo then List.rev_append cs acc else acc)
+      t.charges []
+    |> canon
+
+  let composed ?(delta_slack = 1e-9) t =
+    let cs = live_charges t in
+    let k = List.length cs in
+    if k = 0 then zero
+    else
+      let sequential = List.fold_left spend_all zero cs in
+      let eps_max = List.fold_left (fun m c -> Float.max m c.epsilon) 0.0 cs in
+      let delta_max = List.fold_left (fun m c -> Float.max m c.delta) 0.0 cs in
+      let adv =
+        advanced_composition ~epsilon:eps_max ~delta:delta_max ~k ~delta_slack
+      in
+      if adv.epsilon < sequential.epsilon then adv else sequential
+
+  let equal_window a b =
+    a.horizon = b.horizon && equal a.limit b.limit && a.current = b.current
+    && charges a = charges b
+
+  let to_json t =
+    let epochs =
+      List.map
+        (fun (e, cost) ->
+          J.Obj [ ("epoch", J.Int e); ("cost", to_json cost) ])
+        (charges t)
+    in
+    let next =
+      match next_expiry t with
+      | None -> J.Null
+      | Some (e, cost) ->
+          J.Obj [ ("epoch", J.Int e); ("refund", to_json cost) ]
+    in
+    J.Obj
+      [
+        ("horizon", J.Int t.horizon);
+        ("epoch", J.Int t.current);
+        ("limit", to_json t.limit);
+        ("spent", to_json (spent t));
+        ("balance", to_json (balance t));
+        ("epochs", J.List epochs);
+        ("nextRefund", next);
+      ]
+
+  let pp fmt t =
+    Format.fprintf fmt "window(epoch=%d, horizon=%d, spent=%a of %a)" t.current
+      t.horizon pp (spent t) pp t.limit
+
+  (* Shadow the outer names under the conventional ones now that the
+     implementation above no longer needs the scalar versions. *)
+  let can_afford = window_can_afford
+  let equal = equal_window
+end

@@ -38,6 +38,10 @@ val equal : t -> t -> bool
 
 val pp : Format.formatter -> t -> unit
 
+val to_json : t -> Arb_util.Json.t
+val of_json : Arb_util.Json.t -> t
+(** Raise [Json.Parse_error] / [Invalid_argument] on malformed input. *)
+
 val advanced_composition :
   epsilon:float -> delta:float -> k:int -> delta_slack:float -> t
 (** Dwork–Rothblum–Vadhan advanced composition: the total cost of [k]
@@ -45,3 +49,62 @@ val advanced_composition :
     eps' = eps * sqrt(2k ln(1/delta_slack)) + k eps (e^eps - 1). Tighter
     than sequential composition when eps is small and k large — an
     extension beyond the paper's basic accounting. *)
+
+(** Sliding-window accounting for continual (epoch-indexed) analytics:
+    "ε = L per H epochs". Charges are recorded against the current epoch;
+    advancing the window past [horizon] epochs expires old charges and
+    refunds them exactly. Per-epoch totals are computed over a canonically
+    sorted charge list, so charge/refund order within an epoch never
+    changes the serialized state. Not thread-safe: callers (the continual
+    engine) serialize access under their own lock. *)
+module Window : sig
+  type budget = t
+  type t
+
+  val create : horizon:int -> limit:budget -> t
+  (** Raises [Invalid_argument] when [horizon < 1]. Starts at epoch 0 with
+      no charges. *)
+
+  val horizon : t -> int
+  val limit : t -> budget
+  val epoch : t -> int
+
+  val advance : t -> int -> budget
+  (** [advance t e] moves the window to epoch [e] (idempotent at the
+      current epoch; raises [Invalid_argument] on a backwards move) and
+      returns the exact total refunded by expiring epochs [<= e - horizon]. *)
+
+  val can_afford : t -> cost:budget -> bool
+  (** Prescreen against the live-window balance — the window analogue of
+      [Service.try_submit]'s projected-budget check. *)
+
+  val charge : t -> cost:budget -> budget option
+  (** Record [cost] against the current epoch; [Some balance] on success,
+      [None] (state untouched) when the live window cannot afford it. *)
+
+  val refund : t -> cost:budget -> bool
+  (** Remove one charge equal to [cost] from the current epoch (a query
+      admitted then refused downstream). False if no such charge exists. *)
+
+  val spent : t -> budget
+  (** Canonical sum of all live charges (ascending epoch, each epoch's
+      charges sorted by (epsilon, delta)). *)
+
+  val balance : t -> budget
+  val charges : t -> (int * budget) list
+  (** Live per-epoch totals, ascending epoch. *)
+
+  val next_expiry : t -> (int * budget) option
+  (** The epoch at which the oldest live charges expire, and the exact
+      amount that will be refunded then. *)
+
+  val composed : ?delta_slack:float -> t -> budget
+  (** Privacy loss over the live window: the tighter of sequential
+      composition and Dwork–Rothblum–Vadhan advanced composition over the
+      individual live charges (using their max epsilon/delta). [zero] for
+      an empty window. *)
+
+  val equal : t -> t -> bool
+  val to_json : t -> Arb_util.Json.t
+  val pp : Format.formatter -> t -> unit
+end

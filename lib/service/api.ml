@@ -33,6 +33,10 @@ type t = {
   service : Service.t;
   config : config;
   tracer : Arb_obs.Tracer.t option;
+  extra : Http.request -> Http.response option;
+      (* consulted before the built-in routes: subsystems layered on top of
+         the service (the continual engine) add endpoints — and may shadow
+         built-ins like /v1/budget — without Api depending on them *)
   lock : Mutex.t;
   wake : Condition.t;
   mutable stop_requested : bool;
@@ -66,12 +70,14 @@ let executor_loop t =
   in
   loop ()
 
-let create ?(config = default_config) ?tracer ~service () =
+let create ?(config = default_config) ?tracer ?(extra = fun _ -> None)
+    ~service () =
   let t =
     {
       service;
       config;
       tracer;
+      extra;
       lock = Mutex.create ();
       wake = Condition.create ();
       stop_requested = false;
@@ -144,6 +150,10 @@ let submit t (req : Http.request) =
         Workload.submission_of_json
     with
     | Error m -> Http.error_response 400 m
+    | Ok sub when Workload.is_recurring sub ->
+        Http.error_response 400
+          "recurring submissions (\"every\"/\"window\") are session-scoped: \
+           register them in a workload file, then poll /v1/sessions"
     | Ok sub -> (
         match
           Service.try_submit ~max_queue:t.config.max_queue
@@ -210,6 +220,9 @@ let strip_prefix ~prefix s =
   else None
 
 let handler t (req : Http.request) =
+  match t.extra req with
+  | Some resp -> resp
+  | None ->
   let meth = req.Http.meth and path = req.Http.path in
   match (meth, path) with
   | "GET", "/healthz" -> health t

@@ -9,7 +9,8 @@
       ({!Workload.submission_of_json}); 202 with the assigned submission
       index, or 429 (reason [queueFull] or [budget]) via
       {!Service.try_submit} with the budget untouched, 400 on malformed
-      bodies, 503 once stopping.
+      bodies or recurring entries ([every]/[window] — those are
+      session-scoped, registered from workload files), 503 once stopping.
     - [GET /v1/queries/<index>] — poll one submission: its lifecycle
       record (wall-clock timings included) once drained, a pending stub
       before that, 404 for indices never assigned.
@@ -38,9 +39,21 @@ val default_config : config
 type t
 
 val create :
-  ?config:config -> ?tracer:Arb_obs.Tracer.t -> service:Service.t -> unit -> t
+  ?config:config ->
+  ?tracer:Arb_obs.Tracer.t ->
+  ?extra:(Http.request -> Http.response option) ->
+  service:Service.t ->
+  unit ->
+  t
 (** Spawns the executor domain immediately; it sleeps until a submission
-    arrives (or {!request_stop}). *)
+    arrives (or {!request_stop}).
+
+    [extra] is consulted before the built-in routes on every request
+    ([None] falls through): subsystems layered above the service — the
+    continual engine's [/v1/sessions] family — mount endpoints, and may
+    shadow built-ins such as [GET /v1/budget], without this module
+    depending on them. It runs on server worker domains concurrently, so
+    it must be thread-safe. *)
 
 val handler : t -> Http.request -> Http.response
 (** The route table — pass to {!Server.start}. *)

@@ -167,6 +167,14 @@ let add t k ~query_name entry =
           with Sys_error m ->
             Log.warn (fun f -> f "could not persist cache entry %s: %s" k m)))
 
+let remove t k =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.remove t.table k;
+      match t.dir with
+      | None -> ()
+      | Some dir -> (
+          try Sys.remove (path_of dir k) with Sys_error _ -> ()))
+
 let mem t k = find t k <> None
 let size t = Mutex.protect t.lock (fun () -> Hashtbl.length t.table)
 let revived t = Mutex.protect t.lock (fun () -> t.revived)

@@ -53,6 +53,11 @@ val add : t -> key -> query_name:string -> entry -> unit
     [query_name] is stored as informational metadata only; it is not part
     of the key. *)
 
+val remove : t -> key -> unit
+(** Evict from memory and (when persisting) delete the entry's file — the
+    continual engine's forced re-plan: the next [find] cold-misses even
+    across a restart. Removing an absent key is a no-op. *)
+
 val mem : t -> key -> bool
 
 val size : t -> int

@@ -479,3 +479,5 @@ let budget_left t = R.Session.budget_left t.session
 let queries_executed t = R.Session.queries_run t.session
 let chain_verifies t = R.Session.chain_verifies t.session
 let cache t = t.cache
+let devices t = t.devices
+let seed t = t.seed

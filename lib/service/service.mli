@@ -121,5 +121,12 @@ val chain_verifies : t -> bool
 
 val cache : t -> Cache.t
 
+val devices : t -> int
+(** The device population the service was created over — the [n] that
+    plan-cache keys and certificates are computed against. *)
+
+val seed : t -> int
+(** The database-synthesis seed passed at {!create} time. *)
+
 val metrics : t -> Arb_obs.Metrics.t option
 (** The registry passed at {!create} time, if any. *)

@@ -1,0 +1,464 @@
+(* Tests for the continual-analytics subsystem: recurring-spec validation,
+   session scheduling (skip cadence, re-validation vs forced re-plan),
+   sliding-window refusal and refund-driven recovery, mechanism-state
+   carryover fidelity (no-carry differential, carried convergence), and
+   multi-epoch byte-identity across worker counts. *)
+
+module S = Arb_service
+module E = Arb_continual.Engine
+module Ms = Arb_continual.Mstate
+module B = Arb_dp.Budget
+module P = Arb_planner
+module J = Arb_util.Json
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let goal = P.Constraints.Min_part_exp_time
+
+let sub ?categories ?(repeat = 1) ?every ?window ~epsilon query =
+  { S.Workload.query; epsilon; categories; goal; repeat; every; window }
+
+let win ?compose ~epochs ~epsilon ~delta () =
+  {
+    S.Workload.w_epochs = epochs;
+    w_budget = B.create ~epsilon ~delta;
+    w_compose = compose;
+  }
+
+let fresh ?(epsilon = 1.0e6) ?(devices = 24) () =
+  let svc =
+    S.Service.create
+      ~budget:(B.create ~epsilon ~delta:0.5)
+      ~devices ~seed:11 ()
+  in
+  (svc, E.create ~service:svc ())
+
+let register engine ?name s =
+  match E.register engine ?name ~carry_state:true s with
+  | Ok n -> n
+  | Error m -> Alcotest.fail ("register: " ^ m)
+
+let view engine name =
+  match E.session engine name with
+  | Some v -> v
+  | None -> Alcotest.fail ("no session view for " ^ name)
+
+let planned_of r =
+  match r.E.er_outcome with E.Ran { planned; _ } -> Some planned | _ -> None
+
+let outputs_of r =
+  match r.E.er_outcome with E.Ran { outputs; _ } -> outputs | _ -> []
+
+(* ---------------- recurring-spec validation ---------------- *)
+
+let test_validate_recurring () =
+  let expect_err what s pred =
+    match S.Workload.validate_recurring s with
+    | Ok () -> Alcotest.fail (what ^ ": accepted a malformed recurring spec")
+    | Error e ->
+        checkb (what ^ " typed error") true (pred e);
+        checkb
+          (what ^ " message names the query")
+          true
+          (let m = S.Workload.recurring_error_message e in
+           String.length m > 0
+           &&
+           let rec find i =
+             i + 4 <= String.length m && (String.sub m i 4 = "top1" || find (i + 1))
+           in
+           find 0)
+  in
+  checkb "one-shot ok" true
+    (S.Workload.validate_recurring (sub ~epsilon:0.5 "top1") = Ok ());
+  checkb "recurring ok" true
+    (S.Workload.validate_recurring
+       (sub ~epsilon:0.5 ~every:2
+          ~window:(win ~epochs:4 ~epsilon:1.0 ~delta:1e-6 ~compose:4 ())
+          "top1")
+    = Ok ());
+  expect_err "every <= 0"
+    (sub ~epsilon:0.5 ~every:0 "top1")
+    (function S.Workload.Bad_every _ -> true | _ -> false);
+  expect_err "window epochs < 1"
+    (sub ~epsilon:0.5 ~every:1
+       ~window:(win ~epochs:0 ~epsilon:1.0 ~delta:0.0 ())
+       "top1")
+    (function S.Workload.Bad_window_epochs _ -> true | _ -> false);
+  expect_err "compose < 1"
+    (sub ~epsilon:0.5 ~every:1
+       ~window:(win ~epochs:4 ~epsilon:1.0 ~delta:0.0 ~compose:0 ())
+       "top1")
+    (function S.Workload.Bad_compose _ -> true | _ -> false);
+  expect_err "window below composition horizon"
+    (sub ~epsilon:0.5 ~every:1
+       ~window:(win ~epochs:2 ~epsilon:1.0 ~delta:0.0 ~compose:5 ())
+       "top1")
+    (function S.Workload.Window_below_compose _ -> true | _ -> false);
+  expect_err "window without every"
+    (sub ~epsilon:0.5 ~window:(win ~epochs:4 ~epsilon:1.0 ~delta:0.0 ()) "top1")
+    (function S.Workload.Window_without_every _ -> true | _ -> false);
+  expect_err "recurring repeat"
+    (sub ~epsilon:0.5 ~every:1 ~repeat:3 "top1")
+    (function S.Workload.Recurring_repeat _ -> true | _ -> false)
+
+let test_workload_json_rejects_malformed () =
+  (* A workload file with a malformed recurring spec must fail at load
+     time with the typed message, not mid-serve. *)
+  let wl every =
+    J.Obj
+      [
+        ("formatVersion", J.Int 1);
+        ( "queries",
+          J.List
+            [
+              J.Obj
+                [
+                  ("query", J.String "top1");
+                  ("epsilon", J.Float 0.5);
+                  ("every", J.Int every);
+                ];
+            ] );
+      ]
+  in
+  (match S.Workload.of_json (wl 0) with
+  | Ok _ -> Alcotest.fail "every=0 accepted"
+  | Error m -> checkb "message mentions every" true
+      (let rec find i =
+         i + 5 <= String.length m && (String.sub m i 5 = "every" || find (i + 1))
+       in
+       find 0));
+  match S.Workload.of_json (wl 1) with
+  | Ok w ->
+      checki "recurring entry kept out of expand" 0
+        (List.length (S.Workload.expand w));
+      checki "recurring entry listed" 1 (List.length (S.Workload.recurring w))
+  | Error m -> Alcotest.fail m
+
+(* ---------------- registration ---------------- *)
+
+let test_register () =
+  let _svc, eng = fresh () in
+  (match E.register eng ~carry_state:false (sub ~epsilon:0.5 "top1") with
+  | Ok _ -> Alcotest.fail "non-recurring submission registered"
+  | Error m -> checkb "explains every" true (String.length m > 0));
+  let a = register eng (sub ~epsilon:0.5 ~every:1 "top1") in
+  checks "defaults to the query name" "top1" a;
+  let b = register eng (sub ~epsilon:0.5 ~every:1 "top1") in
+  checks "name collision auto-suffixes" "top1#2" b;
+  (match E.register eng ~name:"top1" ~carry_state:true (sub ~epsilon:0.5 ~every:1 "top1") with
+  | Ok _ -> Alcotest.fail "explicit duplicate name accepted"
+  | Error m -> checkb "duplicate error" true (String.length m > 0));
+  checki "both sessions listed" 2 (List.length (E.sessions eng))
+
+(* ---------------- scheduling: cadence, revalidate, re-plan ---------------- *)
+
+let test_cadence_and_revalidation () =
+  let _svc, eng = fresh () in
+  let a = register eng (sub ~epsilon:0.5 ~every:1 "top1") in
+  let m = register eng (sub ~epsilon:0.4 ~every:2 "median") in
+  let epochs = E.run_epochs eng 4 in
+  checki "four epochs of records" 4 (List.length epochs);
+  List.iteri
+    (fun i records ->
+      let e = i + 1 in
+      checki "record per session per epoch" 2 (List.length records);
+      let rm = List.find (fun r -> r.E.er_session = m) records in
+      if (e - 1) mod 2 = 0 then
+        checkb "median runs on its cadence" true (planned_of rm <> None)
+      else
+        checkb "median skips off-cadence epochs" true
+          (rm.E.er_outcome = E.Skipped))
+    epochs;
+  let va = view eng a in
+  checki "one cold plan" 1 va.E.v_cold;
+  checki "revalidations ever after" 3 va.E.v_revalidations;
+  checki "no replans" 0 va.E.v_replans;
+  checki "every epoch ran" 4 va.E.v_runs;
+  let vm = view eng m in
+  checki "median runs at half cadence" 2 vm.E.v_runs;
+  checki "median cold once" 1 vm.E.v_cold;
+  checki "median revalidates once" 1 vm.E.v_revalidations
+
+let test_drift_forces_one_replan () =
+  let _svc, eng = fresh () in
+  let a = register eng (sub ~epsilon:0.5 ~every:1 "top1") in
+  ignore (E.run_epochs eng 2);
+  E.observe_population eng 48 (* 24 -> 48: 100% > the 20% threshold *);
+  let e3 = E.tick eng in
+  (match List.filter_map planned_of e3 with
+  | [ E.Replanned reason ] ->
+      checkb "reason names population" true
+        (String.length reason >= 10 && String.sub reason 0 10 = "population")
+  | _ -> Alcotest.fail "population drift did not force exactly one re-plan");
+  let e4 = E.tick eng in
+  checkb "fingerprint refreshed: next epoch revalidates" true
+    (List.filter_map planned_of e4 = [ E.Revalidated ]);
+  E.set_calibration eng "calib-v1";
+  let e5 = E.tick eng in
+  (match List.filter_map planned_of e5 with
+  | [ E.Replanned reason ] ->
+      checkb "reason names calibration" true
+        (String.length reason >= 11 && String.sub reason 0 11 = "calibration")
+  | _ -> Alcotest.fail "calibration drift did not force exactly one re-plan");
+  checki "exactly two replans total" 2 (view eng a).E.v_replans
+
+(* ---------------- window refusal and recovery ---------------- *)
+
+let test_window_refusal_and_recovery () =
+  let svc, eng = fresh () in
+  let c =
+    register eng
+      (sub ~epsilon:0.5 ~every:1
+         ~window:(win ~epochs:3 ~epsilon:1.0 ~delta:1e-5 ~compose:3 ())
+         "top1")
+  in
+  ignore (E.run_epochs eng 2);
+  checki "two executed epochs" 2 (view eng c).E.v_runs;
+  let budget_before = S.Service.budget_left svc in
+  let spent_before =
+    match (view eng c).E.v_window with
+    | Some w -> B.Window.spent w
+    | None -> Alcotest.fail "windowed session lost its window"
+  in
+  (match E.tick eng with
+  | [ { E.er_outcome = E.Window_refused reason; _ } ] ->
+      checkb "refusal explains the exhaustion" true
+        (let rec find i =
+           i + 7 <= String.length reason
+           && (String.sub reason i 7 = "expires" || find (i + 1))
+         in
+         find 0)
+  | _ -> Alcotest.fail "exhausted window did not refuse epoch 3");
+  checkb "service budget byte-identical across the refusal" true
+    (B.equal budget_before (S.Service.budget_left svc));
+  (match (view eng c).E.v_window with
+  | Some w ->
+      checkb "window spend byte-identical across the refusal" true
+        (B.equal spent_before (B.Window.spent w))
+  | None -> Alcotest.fail "window vanished");
+  (* Epoch 4: the epoch-1 charge expires; the refund re-opens the window. *)
+  (match E.tick eng with
+  | [ { E.er_outcome = E.Ran { status = "executed"; _ }; er_refunded; _ } ] -> (
+      match (view eng c).E.v_last_cost with
+      | Some cost ->
+          checkb "recovery refund is exactly the expired charge" true
+            (B.equal er_refunded cost)
+      | None -> Alcotest.fail "no recorded cost")
+  | _ -> Alcotest.fail "expiry refund did not revive the session");
+  checki "exactly one refusal recorded" 1 (view eng c).E.v_window_refusals
+
+(* ---------------- state carryover ---------------- *)
+
+let test_no_carry_differential () =
+  (* With no carried state, the engine's epoch-k output must equal the
+     k-th submission of a from-scratch one-shot run on the same service
+     parameters: the continual layer adds scheduling, not arithmetic. *)
+  let k = 3 in
+  let _svc, eng = fresh () in
+  let n =
+    match
+      E.register eng ~carry_state:false (sub ~epsilon:0.5 ~every:1 "top1")
+    with
+    | Ok n -> n
+    | Error m -> Alcotest.fail m
+  in
+  let epochs = E.run_epochs eng k in
+  let continual_outputs =
+    List.map
+      (fun records ->
+        outputs_of (List.find (fun r -> r.E.er_session = n) records))
+      epochs
+  in
+  let scratch, _ = fresh () in
+  let scratch_outputs =
+    List.init k (fun _ ->
+        ignore (S.Service.submit scratch (sub ~epsilon:0.5 "top1"));
+        match S.Service.drain scratch with
+        | [ { S.Lifecycle.status = S.Lifecycle.Executed { outputs }; _ } ] ->
+            outputs
+        | _ -> Alcotest.fail "scratch run did not execute")
+  in
+  List.iteri
+    (fun i (c, s) ->
+      checkb (Printf.sprintf "epoch %d output matches from-scratch" (i + 1))
+        true (c = s))
+    (List.combine continual_outputs scratch_outputs);
+  (* No-carry estimates are the epoch's raw outputs, not an aggregate. *)
+  List.iteri
+    (fun i records ->
+      let r = List.find (fun r -> r.E.er_session = n) records in
+      checkb
+        (Printf.sprintf "epoch %d estimate = raw outputs" (i + 1))
+        true
+        (r.E.er_estimate = List.nth scratch_outputs i))
+    epochs
+
+let test_carry_convergence () =
+  (* Carried heavy-hitter state converges on the modal output across
+     epochs, and the serialized state round-trips every epoch. *)
+  let k = 5 in
+  let _svc, eng = fresh () in
+  let n = register eng (sub ~epsilon:0.5 ~every:1 "top1") in
+  let epochs = E.run_epochs eng k in
+  let per_epoch =
+    List.map
+      (fun records ->
+        outputs_of (List.find (fun r -> r.E.er_session = n) records))
+      epochs
+  in
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun o ->
+      Hashtbl.replace counts o (1 + Option.value (Hashtbl.find_opt counts o) ~default:0))
+    per_epoch;
+  let modal, _ =
+    Hashtbl.fold
+      (fun o c (bo, bc) -> if c > bc || (c = bc && o < bo) then (o, c) else (bo, bc))
+      counts ([ "" ], 0)
+  in
+  let v = view eng n in
+  checkb "carried estimate is the modal epoch output" true
+    (v.E.v_estimate = modal);
+  (* The carried artifact is serialized JSON that decodes to a state whose
+     epoch counter saw every run. *)
+  (match Ms.of_json v.E.v_state with
+  | Ok st ->
+      checki "state folded every epoch" k (Ms.epochs st);
+      checkb "state estimate agrees with the view" true
+        (Ms.estimate st = Some modal)
+  | Error m -> Alcotest.fail ("carried state does not deserialize: " ^ m))
+
+let test_mstate_roundtrip () =
+  let st = Ms.create Ms.Winners in
+  let st = Ms.update st ~outputs:[ "a"; "b" ] in
+  let st = Ms.update st ~outputs:[ "a"; "b" ] in
+  let st = Ms.update st ~outputs:[ "c" ] in
+  checkb "winners estimate is modal" true (Ms.estimate st = Some [ "a"; "b" ]);
+  (match Ms.of_json (Ms.to_json st) with
+  | Ok st' -> checkb "winners roundtrip" true (Ms.equal st st')
+  | Error m -> Alcotest.fail m);
+  let sk = Ms.create ~capacity:4 Ms.Sketch in
+  let sk =
+    List.fold_left
+      (fun acc v -> Ms.update acc ~outputs:[ v ])
+      sk
+      [ "5"; "1"; "9"; "3"; "7"; "2"; "8" ]
+  in
+  (match Ms.of_json (Ms.to_json sk) with
+  | Ok sk' -> checkb "sketch roundtrip" true (Ms.equal sk sk')
+  | Error m -> Alcotest.fail m);
+  (match Ms.estimate sk with
+  | Some [ v ] ->
+      checkb "sketch estimate is a held sample" true
+        (List.mem v [ "1"; "2"; "3"; "5"; "7"; "8"; "9" ])
+  | _ -> Alcotest.fail "sketch estimate missing");
+  checkb "malformed state rejected" true
+    (match Ms.of_json (J.Obj [ ("kind", J.String "nope") ]) with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* ---------------- multi-epoch determinism ---------------- *)
+
+let test_worker_count_invisible_across_epochs () =
+  let run workers =
+    let svc, eng = fresh () in
+    ignore
+      (register eng ~name:"a"
+         (sub ~epsilon:0.5 ~every:1
+            ~window:(win ~epochs:4 ~epsilon:4.0 ~delta:1e-4 ())
+            "top1"));
+    ignore (register eng ~name:"b" (sub ~epsilon:0.4 ~every:2 "median"));
+    let epochs = E.run_epochs ~workers eng 4 in
+    ( String.concat "\n" (List.map E.records_string epochs),
+      S.Lifecycle.records_to_string ~timings:false (S.Service.history svc),
+      S.Service.budget_left svc )
+  in
+  let c1, l1, b1 = run 1 in
+  List.iter
+    (fun workers ->
+      let c, l, b = run workers in
+      checkb
+        (Printf.sprintf "continual records byte-identical at workers=%d" workers)
+        true (c = c1);
+      checkb
+        (Printf.sprintf "lifecycle records byte-identical at workers=%d" workers)
+        true (l = l1);
+      checkb (Printf.sprintf "budget identical at workers=%d" workers) true
+        (B.equal b b1))
+    [ 2; 4 ]
+
+(* ---------------- views and JSON surface ---------------- *)
+
+let test_session_json_surface () =
+  let _svc, eng = fresh () in
+  let n =
+    register eng
+      (sub ~epsilon:0.5 ~every:1
+         ~window:(win ~epochs:3 ~epsilon:2.0 ~delta:1e-5 ~compose:3 ())
+         "top1")
+  in
+  ignore (E.run_epochs eng 2);
+  let contains s needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+    nl = 0 || go 0
+  in
+  let summary = J.to_string (E.session_summary_json (view eng n)) in
+  List.iter
+    (fun field -> checkb ("summary has " ^ field) true (contains summary field))
+    [ "\"name\""; "\"runs\""; "\"revalidations\""; "\"window\"";
+      "\"composed\""; "\"projectedComposed\"" ];
+  let detail = J.to_string (E.session_json (view eng n)) in
+  checkb "detail has history" true (contains detail "\"history\"");
+  let budget = J.to_string (E.budget_json eng) in
+  List.iter
+    (fun field -> checkb ("budget has " ^ field) true (contains budget field))
+    [ "\"epsilon\""; "\"delta\""; "\"epoch\""; "\"windows\"" ];
+  let index = J.to_string (E.to_json eng) in
+  checkb "index has sessions" true (contains index "\"sessions\"");
+  (* records_string is wall-clock-free canonical bytes *)
+  let records = List.concat (E.run_epochs eng 1) in
+  checks "records_string reproduces" (E.records_string records)
+    (E.records_string records)
+
+let () =
+  Alcotest.run "continual"
+    [
+      ( "workload",
+        [
+          Alcotest.test_case "typed recurring validation" `Quick
+            test_validate_recurring;
+          Alcotest.test_case "malformed specs rejected at load" `Quick
+            test_workload_json_rejects_malformed;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "registration" `Quick test_register;
+          Alcotest.test_case "cadence and revalidation" `Quick
+            test_cadence_and_revalidation;
+          Alcotest.test_case "drift forces exactly one re-plan" `Quick
+            test_drift_forces_one_replan;
+          Alcotest.test_case "window refusal and recovery" `Quick
+            test_window_refusal_and_recovery;
+        ] );
+      ( "state",
+        [
+          Alcotest.test_case "no-carry differential" `Quick
+            test_no_carry_differential;
+          Alcotest.test_case "carried convergence" `Quick test_carry_convergence;
+          Alcotest.test_case "mechanism-state roundtrip" `Quick
+            test_mstate_roundtrip;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "multi-epoch worker byte-identity" `Quick
+            test_worker_count_invisible_across_epochs;
+        ] );
+      ( "surface",
+        [
+          Alcotest.test_case "session json surface" `Quick
+            test_session_json_surface;
+        ] );
+    ]

@@ -234,6 +234,143 @@ let test_advanced_composition () =
 let test_sqrt_k () =
   checkb "sqrt k" true (Float.abs (B.sqrt_k_epsilon ~epsilon:0.5 ~k:4 -. 1.0) < 1e-12)
 
+(* ---------------- sliding-window accounting ---------------- *)
+
+module W = B.Window
+
+(* Dyadic costs: every partial sum is exactly representable in binary
+   floating point, so conservation and commutativity hold with *exact*
+   equality, independent of summation order. *)
+let dyadic k =
+  B.create
+    ~epsilon:(float_of_int k /. 64.0)
+    ~delta:(float_of_int k /. 1_048_576.0)
+
+let test_window_basics () =
+  let w = W.create ~horizon:3 ~limit:(B.create ~epsilon:1.0 ~delta:1e-5) in
+  checki "starts at epoch 0" 0 (W.epoch w);
+  ignore (W.advance w 1);
+  let c = B.create ~epsilon:0.5 ~delta:0.0 in
+  (match W.charge w ~cost:c with
+  | Some b -> checkf "balance after first charge" 0.5 b.B.epsilon
+  | None -> Alcotest.fail "affordable charge refused");
+  ignore (W.advance w 2);
+  ignore (W.charge w ~cost:c);
+  checkb "exhausted window refuses" true (not (W.can_afford w ~cost:c));
+  checkb "refused charge leaves state" true (W.charge w ~cost:c = None);
+  checkf "spent over live window" 1.0 (W.spent w).B.epsilon;
+  checkb "refund of an absent charge is false" true
+    (not (W.refund w ~cost:(B.create ~epsilon:0.125 ~delta:0.0)));
+  (match W.next_expiry w with
+  | Some (e, r) ->
+      checki "oldest charge expires at epoch 4" 4 e;
+      checkf "and refunds exactly its cost" 0.5 r.B.epsilon
+  | None -> Alcotest.fail "live window has no expiry");
+  let refund = W.advance w 4 in
+  checkf "advance returns the exact refund" 0.5 refund.B.epsilon;
+  checkb "refund makes the window affordable again" true
+    (W.can_afford w ~cost:c);
+  checkb "backwards advance rejected" true
+    (try ignore (W.advance w 1); false with Invalid_argument _ -> true);
+  checkb "bad horizon rejected" true
+    (try ignore (W.create ~horizon:0 ~limit:B.zero); false
+     with Invalid_argument _ -> true)
+
+let test_window_composed_partial () =
+  let limit = B.create ~epsilon:100.0 ~delta:1.0 in
+  let w = W.create ~horizon:2 ~limit in
+  ignore (W.advance w 1);
+  checkb "empty window composes to zero" true (B.equal (W.composed w) B.zero);
+  let c = B.create ~epsilon:0.01 ~delta:0.0 in
+  ignore (W.charge w ~cost:c);
+  (* A single live charge composes to itself: k=1 advanced composition
+     cannot beat the sequential bound. *)
+  checkf "single charge composes to itself" c.B.epsilon
+    (W.composed w).B.epsilon;
+  for _ = 1 to 199 do ignore (W.charge w ~cost:c) done;
+  let comp = W.composed ~delta_slack:1e-6 w in
+  let seq = W.spent w in
+  checkb "advanced beats sequential over 200 small charges" true
+    (comp.B.epsilon < seq.B.epsilon);
+  checkb "delta slack accounted" true (comp.B.delta >= 1e-6);
+  (* Partially-filled window: expired charges must drop out of the
+     composition, leaving only the live ones. *)
+  ignore (W.advance w 2);
+  ignore (W.charge w ~cost:(B.create ~epsilon:2.0 ~delta:0.0));
+  ignore (W.advance w 3);
+  checkb "composition covers live charges only" true
+    (B.equal (W.composed w) (B.create ~epsilon:2.0 ~delta:0.0))
+
+let prop_window_conservation =
+  (* Random charge/advance interleavings: the live spend never exceeds the
+     limit, refusals happen exactly when the prescreen says so, and once
+     everything has expired the refunds add up to every accepted charge. *)
+  QCheck.Test.make
+    ~name:"window never over-spends; expiry refunds are exact" ~count:300
+    QCheck.(
+      pair (int_range 1 5)
+        (list_of_size Gen.(int_range 1 40) (pair bool (int_range 1 16))))
+    (fun (horizon, ops) ->
+      let limit = B.create ~epsilon:0.25 ~delta:2e-4 in
+      let w = W.create ~horizon ~limit in
+      let epoch = ref 0 in
+      let charged = ref B.zero and refunded = ref B.zero in
+      List.iter
+        (fun (is_charge, k) ->
+          (if is_charge then begin
+             let cost = dyadic k in
+             let affordable = W.can_afford w ~cost in
+             match W.charge w ~cost with
+             | Some _ ->
+                 if not affordable then
+                   QCheck.Test.fail_report "charged past the prescreen";
+                 charged := B.spend_all !charged cost
+             | None ->
+                 if affordable then
+                   QCheck.Test.fail_report "refused an affordable charge"
+           end
+           else begin
+             epoch := !epoch + 1 + (k mod 3);
+             refunded := B.spend_all !refunded (W.advance w !epoch)
+           end);
+          let sp = W.spent w in
+          if sp.B.epsilon > limit.B.epsilon || sp.B.delta > limit.B.delta then
+            QCheck.Test.fail_report "window over-spent its limit")
+        ops;
+      refunded := B.spend_all !refunded (W.advance w (!epoch + horizon + 1));
+      B.equal !charged !refunded)
+
+let prop_window_commutative =
+  (* Within an epoch, charge order is invisible in the serialized state,
+     and a charge followed by its refund is a perfect no-op. *)
+  QCheck.Test.make
+    ~name:"charge/refund order within an epoch is commutative" ~count:300
+    QCheck.(small_list (int_range 1 16))
+    (fun ks ->
+      let limit = B.create ~epsilon:1000.0 ~delta:1.0 in
+      let bytes w = Arb_util.Json.to_string (W.to_json w) in
+      let mk order =
+        let w = W.create ~horizon:3 ~limit in
+        ignore (W.advance w 1);
+        List.iter (fun k -> ignore (W.charge w ~cost:(dyadic k))) order;
+        w
+      in
+      let w1 = mk ks and w2 = mk (List.rev ks) in
+      if not (W.equal w1 w2 && bytes w1 = bytes w2) then false
+      else begin
+        let w3 = mk ks in
+        let extra = B.create ~epsilon:512.0 ~delta:0.5 in
+        ignore (W.charge w3 ~cost:extra);
+        W.refund w3 ~cost:extra && W.equal w1 w3 && bytes w1 = bytes w3
+      end)
+
+let test_budget_json_roundtrip () =
+  let b = B.create ~epsilon:0.375 ~delta:1e-7 in
+  checkb "budget json roundtrip" true (B.equal b (B.of_json (B.to_json b)));
+  checkb "malformed budget json rejected" true
+    (try ignore (B.of_json (Arb_util.Json.String "nope")); false
+     with Arb_util.Json.Parse_error _ -> true)
+
 (* ---------------- committee sizing ---------------- *)
 
 let paper_p1 () = Cm.p1_of_round ~p:1e-8 ~rounds:1000
@@ -350,6 +487,15 @@ let () =
           Alcotest.test_case "amplification" `Quick test_amplification;
           Alcotest.test_case "sqrt-k" `Quick test_sqrt_k;
           Alcotest.test_case "advanced composition" `Quick test_advanced_composition;
+          Alcotest.test_case "json roundtrip" `Quick test_budget_json_roundtrip;
+        ] );
+      ( "window",
+        [
+          Alcotest.test_case "sliding-window basics" `Quick test_window_basics;
+          Alcotest.test_case "composition over a partial window" `Quick
+            test_window_composed_partial;
+          qtest prop_window_conservation;
+          qtest prop_window_commutative;
         ] );
       ( "committee",
         [

@@ -571,6 +571,8 @@ let net_sub epsilon =
     categories = None;
     goal = P.Constraints.Min_part_exp_time;
     repeat = 1;
+    every = None;
+    window = None;
   }
 
 let with_front_door ?(server_config = S.Server.default_config) f =

@@ -21,7 +21,8 @@ let contains s needle =
 
 let sub ?categories ?(repeat = 1) ?(goal = P.Constraints.Min_part_exp_time)
     ~epsilon query =
-  { S.Workload.query; epsilon; categories; goal; repeat }
+  { S.Workload.query; epsilon; categories; goal; repeat; every = None;
+    window = None }
 
 let service ?(epsilon = 100.0) ?(delta = 0.01) ?(devices = 32) ?(seed = 5) () =
   S.Service.create ~budget:(B.create ~epsilon ~delta) ~devices ~seed ()
@@ -353,6 +354,7 @@ let test_api_equivalence () =
         S.Workload.budget = None;
         devices = None;
         seed = None;
+        epochs = None;
         submissions = subs;
       }
   in
@@ -404,6 +406,80 @@ let test_api_graceful_stop_drains () =
         (List.length (S.Service.history svc));
       checkb "chain verifies" true (S.Service.chain_verifies svc))
 
+let test_api_continual_routes () =
+  let svc = service () in
+  let engine = Arb_continual.Engine.create ~service:svc () in
+  (match
+     Arb_continual.Engine.register engine ~carry_state:true
+       {
+         (sub ~epsilon:0.5 "top1") with
+         every = Some 1;
+         window =
+           Some
+             {
+               S.Workload.w_epochs = 3;
+               w_budget = B.create ~epsilon:2.0 ~delta:1e-5;
+               w_compose = Some 3;
+             };
+       }
+   with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  let api =
+    S.Api.create ~extra:(Arb_continual.Routes.handler engine) ~service:svc ()
+  in
+  let server = S.Server.start ~handler:(S.Api.handler api) () in
+  Fun.protect
+    ~finally:(fun () ->
+      S.Server.stop server;
+      S.Api.join api)
+    (fun () ->
+      let port = S.Server.port server in
+      (* Recurring submissions are session-scoped: the one-shot endpoint
+         rejects them with a pointer at /v1/sessions. *)
+      (match
+         S.Client.post_json ~host ~port
+           ~json:(submit_json { (sub ~epsilon:0.5 "top1") with every = Some 1 })
+           "/v1/queries"
+       with
+      | Ok r ->
+          checki "recurring submit rejected" 400 r.H.status;
+          checkb "points at sessions" true (contains r.H.resp_body "session")
+      | Error m -> Alcotest.fail m);
+      (* Drive an epoch by hand, then read the views back. *)
+      (match S.Client.post ~host ~port ~body:"" "/v1/epoch" with
+      | Ok r ->
+          checki "manual epoch ticks" 200 r.H.status;
+          checkb "tick returns records" true
+            (contains r.H.resp_body "\"records\"")
+      | Error m -> Alcotest.fail m);
+      (match S.Client.get ~host ~port "/v1/sessions" with
+      | Ok r ->
+          checki "sessions index" 200 r.H.status;
+          checkb "epoch advanced" true (contains r.H.resp_body "\"epoch\":1");
+          checkb "session summarized" true
+            (contains r.H.resp_body "\"name\":\"top1\"")
+      | Error m -> Alcotest.fail m);
+      (match S.Client.get ~host ~port "/v1/sessions/top1" with
+      | Ok r ->
+          checki "per-session detail" 200 r.H.status;
+          checkb "epoch history present" true
+            (contains r.H.resp_body "\"history\"")
+      | Error m -> Alcotest.fail m);
+      (match S.Client.get ~host ~port "/v1/sessions/nope" with
+      | Ok r -> checki "unknown session" 404 r.H.status
+      | Error m -> Alcotest.fail m);
+      (match S.Client.post ~host ~port ~body:"" "/v1/sessions/top1" with
+      | Ok r -> checki "wrong method on session" 405 r.H.status
+      | Error m -> Alcotest.fail m);
+      (* The continual engine shadows /v1/budget with the window detail. *)
+      match S.Client.get ~host ~port "/v1/budget" with
+      | Ok r ->
+          checki "budget still served" 200 r.H.status;
+          checkb "live window exposed" true
+            (contains r.H.resp_body "\"windows\"")
+      | Error m -> Alcotest.fail m)
+
 let () =
   Alcotest.run "http"
     [
@@ -445,5 +521,7 @@ let () =
             `Quick test_api_equivalence;
           Alcotest.test_case "graceful stop drains accepted work" `Quick
             test_api_graceful_stop_drains;
+          Alcotest.test_case "continual session routes" `Quick
+            test_api_continual_routes;
         ] );
     ]

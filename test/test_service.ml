@@ -33,7 +33,8 @@ let write_file path text =
 
 let sub ?categories ?(repeat = 1) ?(goal = P.Constraints.Min_part_exp_time)
     ~epsilon query =
-  { S.Workload.query; epsilon; categories; goal; repeat }
+  { S.Workload.query; epsilon; categories; goal; repeat; every = None;
+    window = None }
 
 let service ?cache ?(epsilon = 100.0) ?(delta = 0.01) ?(devices = 32) ?(seed = 5)
     () =
@@ -159,6 +160,7 @@ let test_service_cache_hits () =
         S.Workload.budget = None;
         devices = None;
         seed = None;
+        epochs = None;
         submissions = [ sub ~epsilon:0.5 ~repeat:3 "top1" ];
       }
   in
@@ -188,6 +190,7 @@ let test_admission_refuses_midworkload () =
         S.Workload.budget = None;
         devices = None;
         seed = None;
+        epochs = None;
         submissions = [ sub ~epsilon:0.5 ~repeat:4 "top1" ];
       }
   in
@@ -290,11 +293,20 @@ let arb_workload =
 
 let run_at ~workers ~seed subs =
   (* A budget that admits some but usually not all submissions, so the
-     property also covers mid-workload refusals. *)
+     property also covers mid-workload refusals. Submissions land in two
+     batches with a drain each — the service-level shape of a multi-epoch
+     continual run — so determinism must hold across drain boundaries,
+     not just within one. *)
   let t = service ~epsilon:1.5 ~delta:0.01 ~devices:24 ~seed () in
-  List.iter (fun s -> ignore (S.Service.submit t s)) subs;
-  let records = S.Service.drain ~workers t in
-  (S.Lifecycle.records_to_string records, S.Service.budget_left t)
+  let n = List.length subs in
+  let batch1 = List.filteri (fun i _ -> 2 * i < n) subs in
+  let batch2 = List.filteri (fun i _ -> 2 * i >= n) subs in
+  List.iter (fun s -> ignore (S.Service.submit t s)) batch1;
+  ignore (S.Service.drain ~workers t);
+  List.iter (fun s -> ignore (S.Service.submit t s)) batch2;
+  ignore (S.Service.drain ~workers t);
+  ( S.Lifecycle.records_to_string (S.Service.history t),
+    S.Service.budget_left t )
 
 let prop_worker_count_invisible =
   QCheck.Test.make
@@ -471,6 +483,7 @@ let test_workload_file_roundtrip () =
       S.Workload.budget = Some (B.create ~epsilon:3.0 ~delta:1e-6);
       devices = Some 48;
       seed = Some 7;
+      epochs = None;
       submissions =
         [ sub ~epsilon:0.5 ~repeat:2 "top1"; sub ~epsilon:0.4 "median" ];
     }
