@@ -800,7 +800,8 @@ let service_throughput () =
         | Some plan, Some metrics ->
             S.Cache.add cache
               (S.Cache.key ~goal ~query:q ~n ())
-              ~query_name:name { S.Cache.plan; metrics }
+              ~query_name:name
+              { S.Cache.plan; metrics; cols = q.Q.categories }
         | _ -> failwith ("service_throughput: no plan for " ^ name));
         (* A hit submission still canonicalizes its key; average the
            key+lookup over many repetitions for a stable figure. *)
@@ -1508,6 +1509,7 @@ let service_load () =
   let module H = S.Http in
   let module B = Arb_dp.Budget in
   let module J = Arb_util.Json in
+  let module O = Arb_obs in
   section "service_load: HTTP front door under concurrent load";
   let host = "127.0.0.1" in
   let time f =
@@ -1786,10 +1788,21 @@ let service_load () =
             let ds = List.init domains_n (fun _ -> Domain.spawn runner) in
             List.concat_map Domain.join ds))
   in
-  let sorted = List.sort compare latencies in
+  (* Summarize latencies through the registry's own histogram machinery
+     (the same estimator operators get from /v1/metrics) instead of
+     ad-hoc sorted-list math. *)
+  let lat_reg = O.Metrics.create () in
+  List.iter
+    (fun dt ->
+      O.Metrics.observe_in lat_reg ~buckets:O.Metrics.latency_buckets
+        "bench_http_latency_seconds" dt)
+    latencies;
   let pct p =
-    let n = List.length sorted in
-    List.nth sorted (min (n - 1) (int_of_float (p *. float_of_int n)))
+    match
+      O.Metrics.histogram_quantile lat_reg "bench_http_latency_seconds" p
+    with
+    | Some v -> v
+    | None -> 0.0
   in
   let total_reqs = domains_n * per_domain in
   let rps = float_of_int total_reqs /. Float.max 1e-9 tp_wall in
@@ -2248,6 +2261,335 @@ let continual_epochs () =
   close_out oc;
   Printf.printf "  wrote BENCH_continual.json\n"
 
+(* --------------------------------------------------------------------- *)
+(* calibration_loop: close the observability loop. Observed drains       *)
+(* accumulate a snapshot store; fitting it must shrink the cost model's  *)
+(* predicted-vs-measured error at least 2x; installing the fit re-prices *)
+(* the plan cache and forces exactly one continual re-plan; and a fixed  *)
+(* calibration keeps records byte-identical at any worker count. Writes  *)
+(* BENCH_calibration.json.                                               *)
+(* --------------------------------------------------------------------- *)
+
+let calibration_loop () =
+  let module S = Arb_service in
+  let module E = Arb_continual.Engine in
+  let module B = Arb_dp.Budget in
+  let module Obs = Arb_obs in
+  let module J = Arb_util.Json in
+  let module C = P.Calibration in
+  section
+    "calibration_loop: self-calibrating cost model (BENCH_calibration.json)";
+  let goal = P.Constraints.Min_part_exp_time in
+  let devices = if !smoke then 24 else 48 in
+  let queries =
+    if !smoke then [ "top1"; "median" ]
+    else [ "top1"; "median"; "hypotest"; "cms" ]
+  in
+  let mk_sub ~epsilon query =
+    { S.Workload.query; epsilon; categories = None; goal; repeat = 1;
+      every = None; window = None }
+  in
+  let mk_rec ~epsilon query =
+    { (mk_sub ~epsilon query) with S.Workload.every = Some 1 }
+  in
+  let counter reg name labels =
+    let rows = match Obs.Metrics.to_json reg with J.List r -> r | _ -> [] in
+    List.fold_left
+      (fun acc row ->
+        let name_ok =
+          try J.to_str (J.member "name" row) = name
+          with J.Parse_error _ -> false
+        in
+        let labels_ok =
+          List.for_all
+            (fun (k, v) ->
+              try J.to_str (J.member k (J.member "labels" row)) = v
+              with J.Parse_error _ -> false)
+            labels
+        in
+        if name_ok && labels_ok then
+          acc
+          +. (try J.to_float (J.member "value" row)
+              with J.Parse_error _ -> 0.0)
+        else acc)
+      0.0 rows
+  in
+  let snap_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "arb-bench-calibration-%d" (Unix.getpid ()))
+  in
+  let store = Filename.concat snap_dir "snapshots.jsonl" in
+  if Sys.file_exists store then Sys.remove store;
+
+  (* Phase 1: observe. One fresh service per query — each single drain
+     appends one tagged snapshot, so the store holds one run per query. *)
+  let run_workload ?calibration ?snapshots () =
+    let reg = Obs.Metrics.create () in
+    List.iter
+      (fun name ->
+        let svc =
+          S.Service.create ~metrics:reg ?calibration
+            ?snapshots:(Option.map (fun d -> (d, name)) snapshots)
+            ~budget:(B.create ~epsilon:1.0e6 ~delta:0.5)
+            ~devices ~seed:11 ()
+        in
+        ignore (S.Service.submit svc (mk_sub ~epsilon:0.5 name));
+        ignore (S.Service.drain svc))
+      queries;
+    reg
+  in
+  let mean_err reg =
+    let samples = C.samples_of_registry reg in
+    if samples = [] then failwith "calibration_loop: no residual samples";
+    List.fold_left
+      (fun acc (_, p, m) -> acc +. (Float.abs (p -. m) /. Float.max (Float.abs m) 1e-12))
+      0.0 samples
+    /. float_of_int (List.length samples)
+  in
+  let reg_before = run_workload ~snapshots:snap_dir () in
+  let err_observed = mean_err reg_before in
+
+  (* Phase 2: fit, and gate the provenance — the post-fit mean relative
+     error must be at most half the pre-fit error. *)
+  let fitted =
+    match C.fit_snapshots ~dir:snap_dir () with
+    | Ok c -> c
+    | Error m -> failwith ("calibration_loop: fit: " ^ m)
+  in
+  let prov = fitted.C.provenance in
+  if prov.C.p_runs < List.length queries then
+    failwith
+      (Printf.sprintf "calibration_loop: fit used %d run(s), want %d"
+         prov.C.p_runs (List.length queries));
+  if prov.C.p_err_after > 0.5 *. prov.C.p_err_before then
+    failwith
+      (Printf.sprintf
+         "calibration_loop: fit did not shrink the error 2x (%.4f -> %.4f)"
+         prov.C.p_err_before prov.C.p_err_after);
+  Printf.printf
+    "  fit: %d run(s), mean relative error %.4f -> %.4f (%.0fx)\n"
+    prov.C.p_runs prov.C.p_err_before prov.C.p_err_after
+    (prov.C.p_err_before /. Float.max 1e-12 prov.C.p_err_after);
+
+  (* Phase 3: verify by re-running the workload under the fitted model.
+     The residual histogram's own quantile estimator summarizes both. *)
+  let reg_after = run_workload ~calibration:fitted () in
+  let err_fitted = mean_err reg_after in
+  if err_fitted > 0.5 *. err_observed then
+    failwith
+      (Printf.sprintf
+         "calibration_loop: re-run under the fit stayed at %.4f (was %.4f)"
+         err_fitted err_observed);
+  (* The residual histogram is labeled per section; summarize with the
+     worst section's quantile. *)
+  let pct reg q =
+    List.fold_left
+      (fun acc section ->
+        match
+          Obs.Metrics.histogram_quantile reg
+            ~labels:[ ("section", section) ]
+            "arb_cal_residual_rel" q
+        with
+        | Some v -> Float.max acc v
+        | None -> acc)
+      0.0
+      (Obs.Metrics.label_values reg "arb_cal_residual_rel" ~label:"section")
+  in
+  Printf.printf
+    "  verify: mean relative error %.4f -> %.4f; residual p50 %.3f -> \
+     %.3f, p95 %.3f -> %.3f\n"
+    err_observed err_fitted (pct reg_before 0.50) (pct reg_after 0.50)
+    (pct reg_before 0.95) (pct reg_after 0.95);
+
+  (* Phase 4: live install. A mild recalibration (one field group +20%)
+     re-prices every cached plan in place; the aggressive fitted model
+     (scales far past the 0.5 drift threshold) evicts them instead. *)
+  let reg_svc = Obs.Metrics.create () in
+  let svc =
+    S.Service.create ~metrics:reg_svc
+      ~budget:(B.create ~epsilon:1.0e6 ~delta:0.5)
+      ~devices ~seed:11 ()
+  in
+  List.iter
+    (fun name -> ignore (S.Service.submit svc (mk_sub ~epsilon:0.5 name)))
+    queries;
+  ignore (S.Service.drain svc);
+  let cached = S.Cache.size (S.Service.cache svc) in
+  if cached < List.length queries then
+    failwith "calibration_loop: drains did not populate the plan cache";
+  let d = P.Cost_model.default in
+  let mild =
+    C.make
+      { d with P.Cost_model.kg_coeff_time = d.P.Cost_model.kg_coeff_time *. 1.2 }
+  in
+  let r_mild = S.Service.set_calibration svc mild in
+  if (not r_mild.S.Service.changed) || r_mild.S.Service.repriced < 1 then
+    failwith "calibration_loop: mild install did not re-price the cache";
+  if r_mild.S.Service.invalidated > 0 then
+    failwith "calibration_loop: mild install evicted entries below threshold";
+  if int_of_float (counter reg_svc "arb_service_cache_repriced_total" []) < 1
+  then failwith "calibration_loop: repriced counter did not move";
+  let r_fit = S.Service.set_calibration svc fitted in
+  if r_fit.S.Service.invalidated < 1 then
+    failwith "calibration_loop: fitted install did not evict drifted entries";
+  Printf.printf
+    "  install: mild re-priced %d/%d in place; fitted evicted %d past the \
+     drift threshold\n"
+    r_mild.S.Service.repriced cached r_fit.S.Service.invalidated;
+
+  (* Phase 5: continual sessions re-plan exactly once per calibration
+     change, tagged "calibration drift". *)
+  let reg_eng = Obs.Metrics.create () in
+  let svc_eng =
+    S.Service.create ~metrics:reg_eng
+      ~budget:(B.create ~epsilon:1.0e6 ~delta:0.5)
+      ~devices ~seed:11 ()
+  in
+  let eng = E.create ~service:svc_eng () in
+  (match E.register eng ~carry_state:true (mk_rec ~epsilon:0.5 "top1") with
+  | Ok _ -> ()
+  | Error m -> failwith ("calibration_loop: register: " ^ m));
+  ignore (E.run_epochs eng 2);
+  E.set_calibration eng fitted.C.fingerprint;
+  ignore (E.run_epochs eng 2);
+  let replans =
+    int_of_float
+      (counter reg_eng "arb_continual_replans_total"
+         [ ("reason", "calibration drift") ])
+  in
+  if replans <> 1 then
+    failwith
+      (Printf.sprintf
+         "calibration_loop: calibration change forced %d re-plan(s), want \
+          exactly 1"
+         replans);
+  Printf.printf "  continual: calibration change -> exactly 1 re-plan\n";
+
+  (* Phase 6: determinism — under the one fixed fitted calibration, both
+     lifecycle and continual records are byte-identical at any worker
+     count. *)
+  let det_epochs = 3 in
+  let det_run workers =
+    let svc =
+      S.Service.create ~calibration:fitted
+        ~budget:(B.create ~epsilon:1.0e6 ~delta:0.5)
+        ~devices ~seed:11 ()
+    in
+    List.iter
+      (fun name -> ignore (S.Service.submit svc (mk_sub ~epsilon:0.5 name)))
+      queries;
+    ignore (S.Service.drain ~workers svc);
+    let eng = E.create ~service:svc () in
+    E.set_calibration eng fitted.C.fingerprint;
+    (match
+       E.register eng ~name:"cal-det" ~carry_state:true
+         (mk_rec ~epsilon:0.4 "median")
+     with
+    | Ok _ -> ()
+    | Error m -> failwith ("calibration_loop: det register: " ^ m));
+    let epochs = E.run_epochs ~workers eng det_epochs in
+    ( S.Lifecycle.records_to_string ~timings:false (S.Service.history svc),
+      String.concat "\n" (List.map E.records_string epochs) )
+  in
+  let workers_list = [ 1; 2; 3 ] in
+  (match List.map det_run workers_list with
+  | (life_ref, cont_ref) :: rest ->
+      List.iteri
+        (fun i (life, cont) ->
+          if life <> life_ref then
+            failwith
+              (Printf.sprintf
+                 "calibration_loop: lifecycle records diverge at workers=%d"
+                 (List.nth workers_list (i + 1)));
+          if cont <> cont_ref then
+            failwith
+              (Printf.sprintf
+                 "calibration_loop: continual records diverge at workers=%d"
+                 (List.nth workers_list (i + 1))))
+        rest
+  | [] -> ());
+  Printf.printf
+    "  determinism: fixed calibration byte-identical at workers %s\n"
+    (String.concat "/" (List.map string_of_int workers_list));
+
+  T.print
+    ~header:[ "gate"; "result" ]
+    [
+      [ "fit 2x error shrink";
+        Printf.sprintf "%.4f -> %.4f" prov.C.p_err_before prov.C.p_err_after ];
+      [ "re-run under fit";
+        Printf.sprintf "%.4f -> %.4f" err_observed err_fitted ];
+      [ "cache re-price"; Printf.sprintf "%d in place" r_mild.S.Service.repriced ];
+      [ "cache invalidate";
+        Printf.sprintf "%d past threshold" r_fit.S.Service.invalidated ];
+      [ "continual re-plan"; "exactly 1" ];
+      [ "worker byte-identity";
+        Printf.sprintf "workers %s"
+          (String.concat "/" (List.map string_of_int workers_list)) ];
+    ];
+  let json =
+    J.Obj
+      [
+        ("schema", J.String "arb-bench-calibration/1");
+        ("smoke", J.Bool !smoke);
+        ("queries", J.List (List.map (fun q -> J.String q) queries));
+        ("devices", J.Int devices);
+        ( "fit",
+          J.Obj
+            [
+              ("runs", J.Int prov.C.p_runs);
+              ("fingerprint", J.String fitted.C.fingerprint);
+              ("err_before", J.Float prov.C.p_err_before);
+              ("err_after", J.Float prov.C.p_err_after);
+              ( "sections",
+                J.List
+                  (List.map
+                     (fun s ->
+                       J.Obj
+                         [
+                           ("section", J.String s.C.s_section);
+                           ("samples", J.Int s.C.s_samples);
+                           ("scale", J.Float s.C.s_scale);
+                           ("err_before", J.Float s.C.s_err_before);
+                           ("err_after", J.Float s.C.s_err_after);
+                         ])
+                     prov.C.p_sections) );
+            ] );
+        ( "verify",
+          J.Obj
+            [
+              ("err_observed", J.Float err_observed);
+              ("err_fitted", J.Float err_fitted);
+              ("residual_p50_before", J.Float (pct reg_before 0.50));
+              ("residual_p50_after", J.Float (pct reg_after 0.50));
+              ("residual_p95_before", J.Float (pct reg_before 0.95));
+              ("residual_p95_after", J.Float (pct reg_after 0.95));
+            ] );
+        ( "install",
+          J.Obj
+            [
+              ("cached", J.Int cached);
+              ("mild_repriced", J.Int r_mild.S.Service.repriced);
+              ("mild_invalidated", J.Int r_mild.S.Service.invalidated);
+              ("fitted_invalidated", J.Int r_fit.S.Service.invalidated);
+            ] );
+        ( "continual",
+          J.Obj [ ("calibration_replans", J.Int replans) ] );
+        ( "determinism",
+          J.Obj
+            [
+              ("epochs", J.Int det_epochs);
+              ("workers", J.List (List.map (fun w -> J.Int w) workers_list));
+              ("byte_identical", J.Bool true);
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_calibration.json" in
+  output_string oc (J.to_string ~pretty:true json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_calibration.json\n"
+
 let all =
   [ ("table1", table1); ("table2", table2); ("fig6", fig6); ("fig7", fig7);
     ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("fig11", fig11);
@@ -2256,4 +2598,5 @@ let all =
     ("planner_scaling", planner_scaling);
     ("service_throughput", service_throughput); ("profiling", profiling);
     ("crypto_kernels", crypto_kernels); ("device_scaling", device_scaling);
-    ("service_load", service_load); ("continual_epochs", continual_epochs) ]
+    ("service_load", service_load); ("continual_epochs", continual_epochs);
+    ("calibration_loop", calibration_loop) ]

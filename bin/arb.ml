@@ -5,6 +5,7 @@
      arb run    --query top1 --devices 256         plan + execute at sim scale
      arb certify --query median                    certification report
      arb serve  --workload file.json --workers 4   multi-query service
+     arb calibrate --from snaps/ --out calib.json  fit the cost model
      arb list                                      the built-in queries
 
    `arb plan --json`, `arb list --json` and `arb serve --json` emit
@@ -113,6 +114,42 @@ let obs_save ~trace_out ~metrics_out tracer metrics =
   | Some reg, Some path -> Arb_obs.Metrics.save reg path
   | _ -> ()
 
+let calibration_arg =
+  let doc =
+    "Price candidate plans with the fitted cost model from this calibration \
+     file (see `arb calibrate`). Unreadable, malformed or future-version \
+     files fall back to the built-in constants with a warning."
+  in
+  Arg.(value & opt (some string) None & info [ "calibration" ] ~docv:"FILE" ~doc)
+
+let snapshots_arg =
+  let doc =
+    "Append a tagged metrics-registry snapshot to this directory's store \
+     (snapshots.jsonl) — the ground truth `arb calibrate --from` fits. \
+     `serve` also appends after every drain."
+  in
+  Arg.(value & opt (some string) None & info [ "snapshots" ] ~docv:"DIR" ~doc)
+
+(* Resolve --calibration; failures demote to the defaults with the typed
+   reason on stderr so --json stdout stays machine-readable. *)
+let load_calibration = function
+  | None -> Arb_planner.Calibration.default
+  | Some path ->
+      let calib, err = Arb_planner.Calibration.load_or_default path in
+      (match err with
+      | Some e ->
+          Printf.eprintf "calibration: %s; using built-in defaults\n%!"
+            (Arb_planner.Calibration.error_message e)
+      | None -> ());
+      calib
+
+let snapshot_append ~dir ~tag reg =
+  try Arb_obs.Snapshot.append ~dir ~tag reg
+  with
+  | Sys_error m -> Printf.eprintf "snapshot append failed: %s\n%!" m
+  | Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "snapshot append failed: %s\n%!" (Unix.error_message e)
+
 let metrics_series reg =
   List.length
     (List.filter
@@ -120,7 +157,8 @@ let metrics_series reg =
        (String.split_on_char '\n' (Arb_obs.Metrics.to_prometheus reg)))
 
 let plan_cmd =
-  let run verbose name n categories epsilon goal json trace_out metrics_out det =
+  let run verbose name n categories epsilon goal json calibration trace_out
+      metrics_out det =
     setup_logs verbose;
     match build_query name categories epsilon with
     | Error (`Msg m) -> prerr_endline m; 1
@@ -131,8 +169,12 @@ let plan_cmd =
         let metrics =
           if metrics_out <> None then Some (Arb_obs.Metrics.create ()) else None
         in
+        let calib = load_calibration calibration in
         let code =
-          match Arboretum.plan ~goal ?tracer ?metrics ~n q with
+          match
+            Arboretum.plan ~cm:calib.Arb_planner.Calibration.constants ~goal
+              ?tracer ?metrics ~n q
+          with
           | p ->
               if json then
                 print_endline
@@ -155,7 +197,8 @@ let plan_cmd =
   let term =
     Term.(
       const run $ verbose_arg $ query_arg $ n_arg $ categories_arg $ epsilon_arg
-      $ goal_arg $ json_arg $ trace_out_arg $ metrics_out_arg $ trace_det_arg)
+      $ goal_arg $ json_arg $ calibration_arg $ trace_out_arg $ metrics_out_arg
+      $ trace_det_arg)
   in
   Cmd.v (Cmd.info "plan" ~doc:"Certify a query and print the chosen plan with its costs.") term
 
@@ -183,7 +226,7 @@ let certify_cmd =
 
 let run_cmd =
   let run verbose name devices epsilon seed workers cohort_size sampled_cohorts
-      trace_out metrics_out det =
+      calibration snapshots trace_out metrics_out det =
     setup_logs verbose;
     (* Execution uses a small category count so the whole protocol fits in
        one process with real ciphertexts. *)
@@ -201,12 +244,18 @@ let run_cmd =
         ~trace_out ~deterministic:det
     in
     let metrics =
-      if metrics_out <> None then Some (Arb_obs.Metrics.create ()) else None
+      (* --snapshots needs a registry even without --metrics-out: the
+         residual samples it persists live there. *)
+      if metrics_out <> None || snapshots <> None then
+        Some (Arb_obs.Metrics.create ())
+      else None
     in
+    let calib = load_calibration calibration in
+    let cm = calib.Arb_planner.Calibration.constants in
     let code =
       match
         let p =
-          Arboretum.plan ~limits:Arb_planner.Constraints.no_limits ?tracer
+          Arboretum.plan ~cm ~limits:Arb_planner.Constraints.no_limits ?tracer
             ?metrics ~n:devices q
         in
         match cohort_size with
@@ -239,7 +288,7 @@ let run_cmd =
             in
             (p, Arboretum.run_source ~config ~src p)
       with
-      | _, report ->
+      | planned, report ->
           Printf.printf "outputs: %s\n"
             (String.concat "; " (Arboretum.outputs_to_strings report));
           Printf.printf
@@ -249,7 +298,15 @@ let run_cmd =
             report.Arb_runtime.Exec.certificate_ok report.Arb_runtime.Exec.audit_ok;
           Format.printf "trace: %a@." Arb_runtime.Trace.pp report.Arb_runtime.Exec.trace;
           (match metrics with
-          | Some reg -> Arb_runtime.Trace.export report.Arb_runtime.Exec.trace reg
+          | Some reg ->
+              Arb_runtime.Trace.export report.Arb_runtime.Exec.trace reg;
+              Arb_planner.Calibration.record reg
+                (Arb_runtime.Exec.cost_samples ~cm
+                   ~plan:planned.Arboretum.plan
+                   ~cols:q.Arb_queries.Registry.categories
+                   ~m:
+                     Arb_runtime.Exec.default_config
+                       .Arb_runtime.Exec.committee_size report)
           | None -> ());
           0
       | exception Arboretum.Rejected m ->
@@ -257,6 +314,9 @@ let run_cmd =
           1
     in
     obs_save ~trace_out ~metrics_out tracer metrics;
+    (match (snapshots, metrics) with
+    | Some dir, Some reg -> snapshot_append ~dir ~tag:"run" reg
+    | _ -> ());
     code
   in
   let workers_arg =
@@ -283,8 +343,8 @@ let run_cmd =
   let term =
     Term.(
       const run $ verbose_arg $ query_arg $ devices_arg $ epsilon_arg $ seed_arg
-      $ workers_arg $ cohort_size_arg $ sampled_cohorts_arg $ trace_out_arg
-      $ metrics_out_arg $ trace_det_arg)
+      $ workers_arg $ cohort_size_arg $ sampled_cohorts_arg $ calibration_arg
+      $ snapshots_arg $ trace_out_arg $ metrics_out_arg $ trace_det_arg)
   in
   Cmd.v
     (Cmd.info "run"
@@ -419,6 +479,9 @@ let serve_summary ?engine service records ~json reg =
               ( "chainVerifies",
                 Arb_util.Json.Bool
                   (Arb_service.Service.chain_verifies service) );
+              ( "calibration",
+                Arb_util.Json.String
+                  (Arb_service.Service.calibration_fingerprint service) );
               ("metrics", Arb_obs.Metrics.to_json reg);
             ]
             @
@@ -449,7 +512,8 @@ let serve_summary ?engine service records ~json reg =
    until SIGINT or POST /v1/stop, then a graceful drain of both the
    connection queue and the submission queue before the summary prints. *)
 let serve_listen ~host ~port ~max_queue ~http_workers ~workers ~timeout
-    ~epoch_interval ~workload ~devices ~seed ~cache_dir ~json ~tracer reg =
+    ~epoch_interval ~workload ~devices ~seed ~cache_dir ~calib ~snapshots
+    ~live_fp ~json ~tracer reg =
   let budget =
     match Option.bind workload (fun w -> w.Arb_service.Workload.budget) with
     | Some b -> b
@@ -471,12 +535,18 @@ let serve_listen ~host ~port ~max_queue ~http_workers ~workers ~timeout
   in
   let cache = Arb_service.Cache.create ?dir:cache_dir () in
   let service =
-    Arb_service.Service.create ~cache ~metrics:reg ~budget ~devices ~seed ()
+    Arb_service.Service.create ~cache ~metrics:reg ~calibration:calib
+      ?snapshots:(Option.map (fun d -> (d, "serve")) snapshots)
+      ~budget ~devices ~seed ()
   in
   (* Recurring workload entries become continual sessions rather than
      preloaded one-shots; the engine's routes mount on the API's [extra]
      hook, so /v1/sessions and /v1/epoch share the same front door. *)
   let engine = Arb_continual.Engine.create ~service () in
+  (* Seed the engine's fingerprint with the calibration actually pricing
+     plans, so a later PUT of the same file is a no-op, not a re-plan. *)
+  Arb_continual.Engine.set_calibration engine
+    calib.Arb_planner.Calibration.fingerprint;
   (match workload with
   | Some w ->
       List.iter
@@ -577,6 +647,7 @@ let serve_listen ~host ~port ~max_queue ~http_workers ~workers ~timeout
         st.Arb_service.Server.rejected_busy st.Arb_service.Server.bad_requests
         st.Arb_service.Server.timeouts
         st.Arb_service.Server.client_disconnects;
+      live_fp := Arb_service.Service.calibration_fingerprint service;
       serve_summary ~engine service (Arb_service.Service.history service) ~json
         reg;
       if (not json) && Arb_continual.Engine.sessions engine <> [] then
@@ -584,9 +655,9 @@ let serve_listen ~host ~port ~max_queue ~http_workers ~workers ~timeout
       0
 
 let serve_cmd =
-  let run verbose workload_path devices seed workers cache_dir json trace_out
-      metrics_out det listen host max_queue http_workers timeout epochs
-      epoch_interval =
+  let run verbose workload_path devices seed workers cache_dir json
+      calibration snapshots trace_out metrics_out det listen host max_queue
+      http_workers timeout epochs epoch_interval =
     setup_logs verbose;
     (* serve always keeps a registry so every exit path can report a
        metrics summary; --metrics-out additionally persists it. *)
@@ -594,14 +665,23 @@ let serve_cmd =
     let tracer =
       obs_tracer ~clock:Arb_obs.Clock.Monotonic ~trace_out ~deterministic:det
     in
+    let calib = load_calibration calibration in
+    (* The exit line must report whatever calibration ended up active —
+       a PUT /v1/calibration mid-serve supersedes the one loaded here. *)
+    let live_fp = ref calib.Arb_planner.Calibration.fingerprint in
     let finish code =
       obs_save ~trace_out ~metrics_out tracer (Some reg);
+      (match snapshots with
+      | Some dir -> snapshot_append ~dir ~tag:"serve" reg
+      | None -> ());
       (* The final metrics summary line (also emitted on workload-file
          errors above); stderr, so --json stdout stays parseable. *)
-      Printf.eprintf "metrics: %d series%s\n%!" (metrics_series reg)
+      Printf.eprintf "metrics: %d series%s; calibration %s\n%!"
+        (metrics_series reg)
         (match metrics_out with
         | Some path -> " written to " ^ path
-        | None -> "");
+        | None -> "")
+        !live_fp;
       code
     in
     let workload =
@@ -627,8 +707,8 @@ let serve_cmd =
     | Ok workload, Some port ->
         finish
           (serve_listen ~host ~port ~max_queue ~http_workers ~workers ~timeout
-             ~epoch_interval ~workload ~devices ~seed ~cache_dir ~json ~tracer
-             reg)
+             ~epoch_interval ~workload ~devices ~seed ~cache_dir ~calib
+             ~snapshots ~live_fp ~json ~tracer reg)
     | Ok (Some workload), None ->
         let budget =
           match workload.Arb_service.Workload.budget with
@@ -647,7 +727,9 @@ let serve_cmd =
         in
         let cache = Arb_service.Cache.create ?dir:cache_dir () in
         let service =
-          Arb_service.Service.create ~cache ~metrics:reg ~budget ~devices ~seed ()
+          Arb_service.Service.create ~cache ~metrics:reg ~calibration:calib
+            ?snapshots:(Option.map (fun d -> (d, "serve")) snapshots)
+            ~budget ~devices ~seed ()
         in
         let records =
           Arb_service.Service.run_workload ?tracer ~workers service workload
@@ -658,6 +740,8 @@ let serve_cmd =
             (* One-shots ran above; recurring entries become sessions and
                the engine drives the requested number of epochs. *)
             let engine = Arb_continual.Engine.create ~service () in
+            Arb_continual.Engine.set_calibration engine
+              calib.Arb_planner.Calibration.fingerprint;
             List.iter
               (fun sub ->
                 match
@@ -761,10 +845,10 @@ let serve_cmd =
   let term =
     Term.(
       const run $ verbose_arg $ workload_arg $ devices_opt $ seed_opt
-      $ workers_arg $ cache_dir_arg $ json_arg $ trace_out_arg
-      $ metrics_out_arg $ trace_det_arg $ listen_arg $ host_arg
-      $ max_queue_arg $ http_workers_arg $ timeout_arg $ epochs_arg
-      $ epoch_interval_arg)
+      $ workers_arg $ cache_dir_arg $ json_arg $ calibration_arg
+      $ snapshots_arg $ trace_out_arg $ metrics_out_arg $ trace_det_arg
+      $ listen_arg $ host_arg $ max_queue_arg $ http_workers_arg
+      $ timeout_arg $ epochs_arg $ epoch_interval_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -774,6 +858,52 @@ let serve_cmd =
           concurrent planning, serialized execution on the certificate \
           chain) — from a workload file, over HTTP with --listen, or both.")
     term
+
+let calibrate_cmd =
+  let module C = Arb_planner.Calibration in
+  let run verbose from out =
+    setup_logs verbose;
+    match C.fit_snapshots ~dir:from () with
+    | Error m ->
+        Printf.eprintf "cannot fit: %s\n" m;
+        1
+    | Ok calib ->
+        C.save out calib;
+        let p = calib.C.provenance in
+        Printf.printf "calibration %s written to %s\n" calib.C.fingerprint out;
+        Printf.printf "  %d run(s)%s; mean relative error %.4f -> %.4f\n"
+          p.C.p_runs
+          (if p.C.p_skipped > 0 then
+             Printf.sprintf " (%d malformed snapshot line(s) skipped)"
+               p.C.p_skipped
+           else "")
+          p.C.p_err_before p.C.p_err_after;
+        List.iter
+          (fun s ->
+            Printf.printf "  %-14s x%-10.4f %4d sample(s)  %.4f -> %.4f\n"
+              s.C.s_section s.C.s_scale s.C.s_samples s.C.s_err_before
+              s.C.s_err_after)
+          p.C.p_sections;
+        0
+  in
+  let from_arg =
+    let doc =
+      "Snapshot-store directory to fit from (accumulated by `arb run \
+       --snapshots` / `arb serve --snapshots`)."
+    in
+    Arg.(required & opt (some string) None & info [ "from" ] ~docv:"DIR" ~doc)
+  in
+  let out_arg =
+    let doc = "Where to write the fitted calibration file." in
+    Arg.(value & opt string "calib.json" & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:
+         "Fit cost-model constants from a snapshot store of observed \
+          predicted-vs-measured residuals, writing a versioned calibration \
+          file for --calibration / PUT /v1/calibration.")
+    Term.(const run $ verbose_arg $ from_arg $ out_arg)
 
 let sessions_cmd =
   let module J = Arb_util.Json in
@@ -856,6 +986,7 @@ let main =
       ~doc:"Arboretum: a planner for large-scale federated analytics with differential privacy"
   in
   Cmd.group info
-    [ plan_cmd; certify_cmd; run_cmd; verify_cmd; serve_cmd; sessions_cmd; list_cmd ]
+    [ plan_cmd; certify_cmd; run_cmd; verify_cmd; serve_cmd; calibrate_cmd;
+      sessions_cmd; list_cmd ]
 
 let () = exit (Cmd.eval' main)

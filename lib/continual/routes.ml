@@ -19,6 +19,33 @@ let session_detail engine name =
   | None ->
       S.Http.error_response 404 (Printf.sprintf "no session named %S" name)
 
+(* Shadow the base PUT /v1/calibration: the service install re-prices the
+   plan cache as usual, and the fingerprint is additionally fed into the
+   epoch loop so due sessions re-plan exactly once (DESIGN.md §14). *)
+let put_calibration engine (req : S.Http.request) =
+  match
+    match J.of_string req.S.Http.body with
+    | j -> Arb_planner.Calibration.of_json ~path:"<body>" j
+    | exception J.Parse_error m ->
+        Error
+          (Arb_planner.Calibration.Malformed { path = "<body>"; reason = m })
+  with
+  | Error e ->
+      S.Http.error_response 400 (Arb_planner.Calibration.error_message e)
+  | Ok calib ->
+      let r = S.Service.set_calibration (Engine.service engine) calib in
+      Engine.set_calibration engine
+        calib.Arb_planner.Calibration.fingerprint;
+      S.Http.json_response ~status:200
+        (J.Obj
+           [
+             ("installed", J.String calib.Arb_planner.Calibration.fingerprint);
+             ("changed", J.Bool r.S.Service.changed);
+             ("repriced", J.Int r.S.Service.repriced);
+             ("invalidated", J.Int r.S.Service.invalidated);
+             ("continual", J.Bool true);
+           ])
+
 let tick ?tracer ?workers engine =
   let records = Engine.tick ?tracer ?workers engine in
   S.Http.json_response ~status:200
@@ -36,6 +63,7 @@ let handler ?tracer ?(workers = 1) engine (req : S.Http.request) =
          epoch and every session's live window. *)
       Some (S.Http.json_response ~status:200 (Engine.budget_json engine))
   | "POST", "/v1/epoch" -> Some (tick ?tracer ~workers engine)
+  | "PUT", "/v1/calibration" -> Some (put_calibration engine req)
   | meth, path -> (
       match strip_prefix ~prefix:"/v1/sessions/" path with
       | None -> None

@@ -11,6 +11,11 @@
     - [POST /v1/epoch] — drive one epoch by hand (the curl-facing
       alternative to [--epoch-interval]); responds with the epoch's
       records. Ticks serialize on the engine's internal lock.
+    - [PUT /v1/calibration] — shadows the base route: installs on the
+      service ({!Arb_service.Service.set_calibration}, re-pricing the
+      plan cache) {e and} feeds the fingerprint to
+      {!Engine.set_calibration} so due sessions re-plan exactly once at
+      their next epoch.
 
     Any other request falls through ([None]) to the base API routes. *)
 

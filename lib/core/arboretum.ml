@@ -59,7 +59,7 @@ let builtin_query ?epsilon ?categories name =
 
 let certify (q : query) ~n = Arb_lang.Certify.certify q.Arb_queries.Registry.program ~n
 
-let plan ?goal ?limits ?tracer ?metrics:registry ~n (q : query) =
+let plan ?cm ?goal ?limits ?tracer ?metrics:registry ~n (q : query) =
   let certification = certify q ~n in
   if not certification.Arb_lang.Certify.certified then
     raise
@@ -67,7 +67,8 @@ let plan ?goal ?limits ?tracer ?metrics:registry ~n (q : query) =
          ("certification failed: "
          ^ Option.value certification.Arb_lang.Certify.reason ~default:"?"));
   let r =
-    Arb_planner.Search.plan ?goal ?limits ?tracer ?metrics:registry ~query:q ~n ()
+    Arb_planner.Search.plan ?cm ?goal ?limits ?tracer ?metrics:registry
+      ~query:q ~n ()
   in
   match (r.Arb_planner.Search.plan, r.Arb_planner.Search.metrics) with
   | Some plan, Some metrics ->

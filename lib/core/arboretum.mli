@@ -58,6 +58,7 @@ val certify : query -> n:int -> Arb_lang.Certify.report
 (** Differential-privacy certification (§4.2); never raises. *)
 
 val plan :
+  ?cm:Arb_planner.Cost_model.t ->
   ?goal:Arb_planner.Constraints.goal ->
   ?limits:Arb_planner.Constraints.limits ->
   ?tracer:Arb_obs.Tracer.t ->
@@ -66,9 +67,11 @@ val plan :
   query ->
   planned
 (** Certify then search for the best plan (§4). Raises {!Rejected} when
-    certification fails or no plan satisfies the limits. [tracer] and
-    [metrics] are handed to {!Arb_planner.Search.plan} for span-level
-    profiling and [arb_planner_*] counters. *)
+    certification fails or no plan satisfies the limits. [cm] selects the
+    cost model pricing candidates (default {!Arb_planner.Cost_model.default};
+    pass a fitted [Calibration.t]'s constants — [arb plan --calibration]).
+    [tracer] and [metrics] are handed to {!Arb_planner.Search.plan} for
+    span-level profiling and [arb_planner_*] counters. *)
 
 val explain : planned -> string
 (** Human-readable plan: vignettes, placements, costs, committee sizing. *)

@@ -253,3 +253,175 @@ let save t path =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_prometheus t))
+
+let save_json t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.to_string (to_json t));
+      output_char oc '\n')
+
+(* --- JSON round-trip --- *)
+
+(* Rebuild a registry from its [to_json] form. Help strings are not part of
+   the JSON exposition, so they come back empty — values, labels, and
+   bucket layouts round-trip exactly, which is all the snapshot store and
+   the bench summaries consume. *)
+let of_json json =
+  match json with
+  | J.List items -> (
+      let t = create () in
+      try
+        List.iter
+          (fun item ->
+            let name = J.to_str (J.member "name" item) in
+            let labels =
+              match J.member "labels" item with
+              | J.Obj kvs -> List.map (fun (k, v) -> (k, J.to_str v)) kvs
+              | _ -> failwith "labels must be an object"
+            in
+            let key = (name, canon_labels labels) in
+            let inst =
+              match J.to_str (J.member "type" item) with
+              | "counter" -> I_counter (ref (J.to_float (J.member "value" item)))
+              | "gauge" -> I_gauge (ref (J.to_float (J.member "value" item)))
+              | "histogram" ->
+                  let buckets =
+                    match J.member "buckets" item with
+                    | J.List bs -> bs
+                    | _ -> failwith "buckets must be a list"
+                  in
+                  let bounds =
+                    List.filter_map
+                      (fun b ->
+                        match J.to_str (J.member "le" b) with
+                        | "+Inf" -> None
+                        | le -> Some (float_of_string le))
+                      buckets
+                  in
+                  let cumulative =
+                    List.map (fun b -> J.to_int (J.member "count" b)) buckets
+                  in
+                  if List.length cumulative <> List.length bounds + 1 then
+                    failwith "histogram needs exactly one +Inf bucket";
+                  let counts = Array.of_list cumulative in
+                  (* De-cumulate: exposition stores running totals. *)
+                  for i = Array.length counts - 1 downto 1 do
+                    counts.(i) <- counts.(i) - counts.(i - 1)
+                  done;
+                  if Array.exists (fun c -> c < 0) counts then
+                    failwith "histogram buckets must be cumulative";
+                  I_hist
+                    {
+                      h_bounds = Array.of_list bounds;
+                      h_counts = counts;
+                      h_sum = J.to_float (J.member "sum" item);
+                      h_count = J.to_int (J.member "count" item);
+                    }
+              | k -> failwith ("unknown instrument type " ^ k)
+            in
+            if Hashtbl.mem t.tbl key then failwith ("duplicate series " ^ name);
+            Hashtbl.replace t.tbl key { e_help = ""; e_inst = inst })
+          items;
+        Ok t
+      with
+      | Failure m -> Error m
+      | J.Parse_error m -> Error m)
+  | _ -> Error "metrics JSON must be a list of instruments"
+
+(* Mirrors Plan_io's malformed-demotes contract: a missing, unreadable, or
+   malformed file is not fatal — it demotes to an empty registry that
+   carries a diagnostic counter so the loss is visible downstream. *)
+let malformed_load_counter = "arb_metrics_malformed_loads_total"
+
+let demoted reason =
+  let t = create () in
+  add t
+    ~help:"Metrics files that failed to parse and were demoted to empty"
+    ~labels:[ ("reason", reason) ]
+    malformed_load_counter 1.0;
+  t
+
+let load_json path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error _ -> demoted "unreadable"
+  | raw -> (
+      match J.of_string raw with
+      | exception J.Parse_error _ -> demoted "malformed"
+      | json -> (
+          match of_json json with Ok t -> t | Error _ -> demoted "malformed"))
+
+(* --- quantiles --- *)
+
+(* Prometheus-style bucket interpolation. The q-quantile's target rank is
+   located in the cumulative bucket counts, then interpolated linearly
+   inside the covering bucket. Ranks landing in the +Inf overflow bucket
+   clamp to the highest finite bound (there is no upper edge to
+   interpolate toward); an all-underflow histogram interpolates inside
+   [0, first bound] like Prometheus does. *)
+let quantile_of_hist h q =
+  if not (Float.is_finite q) || q < 0.0 || q > 1.0 then
+    invalid_arg "Metrics.histogram_quantile: q must be in [0, 1]";
+  if h.h_count = 0 then None
+  else begin
+    let rank = Float.max 1.0 (q *. float_of_int h.h_count) in
+    let n = Array.length h.h_bounds in
+    let rec locate i cum_below =
+      if i >= n then `Overflow
+      else
+        let cum = cum_below + h.h_counts.(i) in
+        if float_of_int cum >= rank then `Bucket (i, cum_below) else locate (i + 1) cum
+    in
+    match locate 0 0 with
+    | `Overflow -> Some h.h_bounds.(n - 1)
+    | `Bucket (i, cum_below) ->
+        let lower =
+          if i = 0 then if h.h_bounds.(0) > 0.0 then 0.0 else h.h_bounds.(0)
+          else h.h_bounds.(i - 1)
+        in
+        let upper = h.h_bounds.(i) in
+        let in_bucket = float_of_int h.h_counts.(i) in
+        let frac = (rank -. float_of_int cum_below) /. in_bucket in
+        Some (lower +. ((upper -. lower) *. frac))
+  end
+
+let histogram_quantile t ?(labels = []) name q =
+  let key = (name, canon_labels labels) in
+  match
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.tbl key with
+        | Some { e_inst = I_hist h; _ } ->
+            (* Copy under the lock so interpolation reads a consistent view. *)
+            Some { h with h_counts = Array.copy h.h_counts }
+        | _ -> None)
+  with
+  | None -> None
+  | Some h -> quantile_of_hist h q
+
+(* --- point reads (calibration fits walk snapshot registries) --- *)
+
+let value_at t ?(labels = []) name =
+  let key = (name, canon_labels labels) in
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some { e_inst = I_counter c; _ } | Some { e_inst = I_gauge c; _ } ->
+          Some !c
+      | _ -> None)
+
+let label_values t name ~label =
+  let seen = Hashtbl.create 8 in
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.iter
+        (fun (n, labels) _ ->
+          if n = name then
+            match List.assoc_opt label labels with
+            | Some v when not (Hashtbl.mem seen v) -> Hashtbl.replace seen v ()
+            | _ -> ())
+        t.tbl);
+  List.sort String.compare (Hashtbl.fold (fun v () acc -> v :: acc) seen [])

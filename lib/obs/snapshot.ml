@@ -1,0 +1,94 @@
+module J = Arb_util.Json
+
+type t = { tag : string; seq : int; at : float; metrics : J.t }
+
+let schema = "arb-metrics-snapshot/1"
+
+let file ~dir = Filename.concat dir "snapshots.jsonl"
+
+(* EEXIST-tolerant recursive mkdir: two writers sharing a store may race
+   to create it, and losing that race is success. *)
+let rec mkdir_p dir =
+  if not (dir = "" || dir = "." || dir = "/" || Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    match Sys.mkdir dir 0o755 with
+    | () -> ()
+    | exception Sys_error _
+      when try Sys.is_directory dir with Sys_error _ -> false ->
+        ()
+  end
+
+(* Per-process append sequence — distinguishes this process's snapshots
+   when several writers share one store file. *)
+let seq = Atomic.make 0
+
+let append ~dir ~tag reg =
+  mkdir_p dir;
+  let line =
+    J.to_string
+      (J.Obj
+         [
+           ("schema", J.String schema);
+           ("tag", J.String tag);
+           ("seq", J.Int (Atomic.fetch_and_add seq 1));
+           ("at", J.Float (Unix.gettimeofday ()));
+           ("metrics", Metrics.to_json reg);
+         ])
+    ^ "\n"
+  in
+  let fd =
+    Unix.openfile (file ~dir) [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      (* One write call per line: O_APPEND makes concurrent appenders
+         interleave whole snapshots, not fragments. *)
+      let b = Bytes.of_string line in
+      ignore (Unix.write fd b 0 (Bytes.length b)))
+
+let parse_line line =
+  match J.of_string line with
+  | exception J.Parse_error _ -> None
+  | json -> (
+      match
+        ( J.to_str (J.member "schema" json),
+          J.to_str (J.member "tag" json),
+          J.to_int (J.member "seq" json),
+          J.to_float (J.member "at" json),
+          J.member "metrics" json )
+      with
+      | s, tag, seq, at, metrics when s = schema ->
+          Some { tag; seq; at; metrics }
+      | _ -> None
+      | exception J.Parse_error _ -> None)
+
+let load ~dir =
+  let path = file ~dir in
+  match open_in_bin path with
+  | exception Sys_error _ -> ([], 0)
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let rec go acc bad =
+            match input_line ic with
+            | exception End_of_file -> (List.rev acc, bad)
+            | "" -> go acc bad
+            | line -> (
+                match parse_line line with
+                | Some s -> go (s :: acc) bad
+                | None -> go acc (bad + 1))
+          in
+          go [] 0)
+
+let registry s =
+  match Metrics.of_json s.metrics with
+  | Ok t -> t
+  | Error _ ->
+      let t = Metrics.create () in
+      Metrics.add t
+        ~help:"Metrics files that failed to parse and were demoted to empty"
+        ~labels:[ ("reason", "malformed") ]
+        "arb_metrics_malformed_loads_total" 1.0;
+      t

@@ -1,0 +1,37 @@
+(** Persistent metrics-snapshot store: the ground-truth side of the
+    cost-model calibration loop (DESIGN.md §14).
+
+    A snapshot is one registry's full JSON exposition, stamped with a run
+    tag and a wall-clock time, appended as a single JSON line to
+    [<dir>/snapshots.jsonl]. [arb run] appends one at exit, [arb serve]
+    after every drain, so predicted-vs-measured residuals accumulate
+    across processes; [arb calibrate --from <dir>] folds the whole file
+    into a fitted {!Arb_planner.Calibration.t}.
+
+    Appends are O_APPEND single-[write] operations — concurrent writers
+    interleave whole lines, never bytes. Loading follows the same
+    malformed-demotes contract as {!Metrics.load_json}: a corrupt line is
+    skipped and counted, never fatal. *)
+
+type t = {
+  tag : string;  (** run tag the writer chose, e.g. ["serve"] *)
+  seq : int;  (** writer-process sequence number *)
+  at : float;  (** wall-clock append time (informational only) *)
+  metrics : Arb_util.Json.t;  (** the registry's {!Metrics.to_json} form *)
+}
+
+val file : dir:string -> string
+(** [<dir>/snapshots.jsonl]. *)
+
+val append : dir:string -> tag:string -> Metrics.t -> unit
+(** Append one snapshot of the registry, creating [dir] (and parents) as
+    needed. Write failures are reported as [Sys_error]. *)
+
+val load : dir:string -> t list * int
+(** All parseable snapshots in file order, plus the number of malformed
+    lines that were skipped. A missing store loads as [([], 0)]. *)
+
+val registry : t -> Metrics.t
+(** The snapshot's metrics as a live registry
+    ({!Metrics.of_json}-demoting: a malformed payload yields an empty
+    registry carrying the malformed-loads counter). *)

@@ -486,6 +486,187 @@ let member_cost_by_kind t ~n_devices ~m ~cols vignettes =
       else Some (c.c_kind, c.c_member_time, c.c_member_bytes))
     vignettes
 
+(* ---------------- JSON round-trip and content identity ---------------- *)
+
+module J = Arb_util.Json
+
+(* Full-record destructuring with no wildcard: a constant added to [t] but
+   missing here fails to compile, so the serialized form cannot silently
+   drop fields. *)
+let to_json t =
+  let {
+    felt_bytes;
+    he_add_ref;
+    he_mul_plain_ref;
+    he_rotate_ref;
+    he_encrypt_ref;
+    zk_prove_per_constraint;
+    zk_setup_per_constraint;
+    zk_verify;
+    proof_bytes;
+    sig_time;
+    kg_coeff_time;
+    kg_coeff_bytes;
+    dec_coeff_time;
+    gumbel_unit_time;
+    gumbel_unit_bytes;
+    laplace_unit_time;
+    laplace_unit_bytes;
+    cmp_time_ref;
+    cmp_bytes_ref;
+    triple_setup_time;
+    triple_setup_bytes;
+    exp_time_ref;
+    exp_bytes_ref;
+    share_op_time;
+    vsr_overhead_bytes;
+    round_latency;
+    device_factor;
+    post_flop;
+    audit_bytes;
+    audit_time;
+  } =
+    t
+  in
+  J.Obj
+    [
+      ("felt_bytes", J.Float felt_bytes);
+      ("he_add_ref", J.Float he_add_ref);
+      ("he_mul_plain_ref", J.Float he_mul_plain_ref);
+      ("he_rotate_ref", J.Float he_rotate_ref);
+      ("he_encrypt_ref", J.Float he_encrypt_ref);
+      ("zk_prove_per_constraint", J.Float zk_prove_per_constraint);
+      ("zk_setup_per_constraint", J.Float zk_setup_per_constraint);
+      ("zk_verify", J.Float zk_verify);
+      ("proof_bytes", J.Float proof_bytes);
+      ("sig_time", J.Float sig_time);
+      ("kg_coeff_time", J.Float kg_coeff_time);
+      ("kg_coeff_bytes", J.Float kg_coeff_bytes);
+      ("dec_coeff_time", J.Float dec_coeff_time);
+      ("gumbel_unit_time", J.Float gumbel_unit_time);
+      ("gumbel_unit_bytes", J.Float gumbel_unit_bytes);
+      ("laplace_unit_time", J.Float laplace_unit_time);
+      ("laplace_unit_bytes", J.Float laplace_unit_bytes);
+      ("cmp_time_ref", J.Float cmp_time_ref);
+      ("cmp_bytes_ref", J.Float cmp_bytes_ref);
+      ("triple_setup_time", J.Float triple_setup_time);
+      ("triple_setup_bytes", J.Float triple_setup_bytes);
+      ("exp_time_ref", J.Float exp_time_ref);
+      ("exp_bytes_ref", J.Float exp_bytes_ref);
+      ("share_op_time", J.Float share_op_time);
+      ("vsr_overhead_bytes", J.Float vsr_overhead_bytes);
+      ("round_latency", J.Float round_latency);
+      ("device_factor", J.Float device_factor);
+      ("post_flop", J.Float post_flop);
+      ("audit_bytes", J.Float audit_bytes);
+      ("audit_time", J.Float audit_time);
+    ]
+
+let of_json json =
+  match
+    let f name =
+      let v = J.to_float (J.member name json) in
+      if not (Float.is_finite v) then
+        raise (J.Parse_error (name ^ ": constants must be finite"));
+      v
+    in
+    {
+      felt_bytes = f "felt_bytes";
+      he_add_ref = f "he_add_ref";
+      he_mul_plain_ref = f "he_mul_plain_ref";
+      he_rotate_ref = f "he_rotate_ref";
+      he_encrypt_ref = f "he_encrypt_ref";
+      zk_prove_per_constraint = f "zk_prove_per_constraint";
+      zk_setup_per_constraint = f "zk_setup_per_constraint";
+      zk_verify = f "zk_verify";
+      proof_bytes = f "proof_bytes";
+      sig_time = f "sig_time";
+      kg_coeff_time = f "kg_coeff_time";
+      kg_coeff_bytes = f "kg_coeff_bytes";
+      dec_coeff_time = f "dec_coeff_time";
+      gumbel_unit_time = f "gumbel_unit_time";
+      gumbel_unit_bytes = f "gumbel_unit_bytes";
+      laplace_unit_time = f "laplace_unit_time";
+      laplace_unit_bytes = f "laplace_unit_bytes";
+      cmp_time_ref = f "cmp_time_ref";
+      cmp_bytes_ref = f "cmp_bytes_ref";
+      triple_setup_time = f "triple_setup_time";
+      triple_setup_bytes = f "triple_setup_bytes";
+      exp_time_ref = f "exp_time_ref";
+      exp_bytes_ref = f "exp_bytes_ref";
+      share_op_time = f "share_op_time";
+      vsr_overhead_bytes = f "vsr_overhead_bytes";
+      round_latency = f "round_latency";
+      device_factor = f "device_factor";
+      post_flop = f "post_flop";
+      audit_bytes = f "audit_bytes";
+      audit_time = f "audit_time";
+    }
+  with
+  | t -> Ok t
+  | exception J.Parse_error m -> Error m
+
+let fingerprint t =
+  Arb_crypto.Sha256.to_hex
+    (Arb_crypto.Sha256.digest ("arb-cost-model/1\n" ^ J.to_string (to_json t)))
+
+(* ---------------- per-section predictions ---------------- *)
+
+(* Predicted costs grouped the way the runtime actually measures them
+   (Trace: one MPC engine per committee kind, upload bytes summed over
+   devices). {!price}'s [c_kind] attributes a fused decrypt+noise vignette
+   wholly to [`Operations]; here its decryption share is split back out so
+   the pairs line up with [report.committee_wall_clock]. *)
+let section_costs t ~n_devices ~m ~cols vignettes =
+  let mf = m_scale ~m in
+  let kt = ref 0.0
+  and kb = ref 0.0
+  and dt = ref 0.0
+  and ot = ref 0.0
+  and ob = ref 0.0
+  and ub = ref 0.0 in
+  List.iter
+    (fun (v : Plan.vignette) ->
+      let c = price t ~n_devices ~m ~cols v in
+      let ring = ring_for t (match v.Plan.work with
+        | Plan.W_keygen cr | W_encrypt_input { crypto = cr; _ }
+        | W_he_sum { crypto = cr; _ } | W_he_affine { crypto = cr; _ }
+        | W_he_rotate_sum { crypto = cr; _ } | W_mpc_decrypt { crypto = cr; _ }
+        | W_mpc_decrypt_noise { crypto = cr; _ } -> cr
+        | _ -> Plan.Fhe)
+        ~cols
+      in
+      let n = float_of_int ring.ring_n in
+      match v.Plan.work with
+      | Plan.W_encrypt_input _ -> ub := !ub +. c.c_all_bytes
+      | W_mpc_decrypt_noise { cts; _ } ->
+          let dec_time = float_of_int cts *. t.dec_coeff_time *. n *. mf in
+          let dec_bytes =
+            float_of_int cts *. float_of_int (m - 1) *. n *. t.felt_bytes
+          in
+          dt := !dt +. dec_time;
+          ot := !ot +. Float.max 0.0 (c.c_member_time -. dec_time);
+          ob := !ob +. Float.max 0.0 (c.c_member_bytes -. dec_bytes)
+      | _ -> (
+          match c.c_kind with
+          | `Keygen ->
+              kt := !kt +. c.c_member_time;
+              kb := !kb +. c.c_member_bytes
+          | `Decryption -> dt := !dt +. c.c_member_time
+          | `Operations ->
+              ot := !ot +. c.c_member_time;
+              ob := !ob +. c.c_member_bytes
+          | `Base -> ()))
+    vignettes;
+  [
+    ("keygen_time", !kt);
+    ("keygen_bytes", !kb);
+    ("decrypt_time", !dt);
+    ("ops_time", !ot);
+    ("ops_bytes", !ob);
+    ("upload_bytes", !ub);
+  ]
+
 (* Re-derive the relative HE/MPC constants by microbenchmarking this
    machine's substrate at simulation scale (n = 2048), then scaling to the
    n = 2^15 reference ring. Paper-anchored committee constants (keygen,

@@ -46,10 +46,72 @@ type ring = {
   pk_bytes : float;
 }
 
-type t
-(** Calibration. *)
+(** The calibration constants. The record is exposed so the calibration
+    fitter ({!Calibration}) can scale groups of constants from observed
+    residuals and tests can plant known values; almost every caller should
+    still treat a [t] as opaque and obtain one from {!default},
+    {!calibrate}, or a fitted {!Calibration.t}. *)
+type t = {
+  felt_bytes : float;  (** serialized field element (135-bit modulus) *)
+  he_add_ref : float;  (** s per ciphertext addition at n = 2^15 *)
+  he_mul_plain_ref : float;
+  he_rotate_ref : float;
+  he_encrypt_ref : float;
+  zk_prove_per_constraint : float;  (** device seconds per R1CS constraint *)
+  zk_setup_per_constraint : float;  (** committee-member seconds *)
+  zk_verify : float;
+  proof_bytes : float;
+  sig_time : float;  (** device signature for sortition *)
+  kg_coeff_time : float;  (** keygen s per ring coefficient at m = 42 *)
+  kg_coeff_bytes : float;
+  dec_coeff_time : float;  (** threshold-decrypt s per coefficient at m = 42 *)
+  gumbel_unit_time : float;  (** s per member per party per sample *)
+  gumbel_unit_bytes : float;
+  laplace_unit_time : float;
+  laplace_unit_bytes : float;
+  cmp_time_ref : float;  (** comparison at m = 42, after triples exist *)
+  cmp_bytes_ref : float;
+  triple_setup_time : float;  (** first-comparison surcharge (§6) *)
+  triple_setup_bytes : float;
+  exp_time_ref : float;
+  exp_bytes_ref : float;
+  share_op_time : float;  (** local linear op on shares *)
+  vsr_overhead_bytes : float;  (** per member per MPC vignette hand-off *)
+  round_latency : float;
+  device_factor : float;  (** participant device vs reference server core *)
+  post_flop : float;
+  audit_bytes : float;  (** per-device certificate download + MHT challenges *)
+  audit_time : float;
+}
 
 val default : t
+
+val to_json : t -> Arb_util.Json.t
+(** Canonical JSON object over every constant (field names as keys). *)
+
+val of_json : Arb_util.Json.t -> (t, string) result
+(** Inverse of {!to_json}; every field is required. *)
+
+val fingerprint : t -> string
+(** SHA-256 hex of the canonical constants JSON — the content identity a
+    calibration install propagates to plan caches and continual sessions.
+    Deterministic: two models with equal constants share a fingerprint. *)
+
+val section_costs :
+  t ->
+  n_devices:int ->
+  m:int ->
+  cols:int ->
+  Plan.vignette list ->
+  (string * float) list
+(** Predicted cost per calibration section, attributed the way the runtime
+    measures it (one engine per committee kind; fused decrypt+noise
+    vignettes split between the decryption and operations sections):
+    [keygen_time]/[keygen_bytes], [decrypt_time], [ops_time]/[ops_bytes]
+    (per-member seconds and bytes at committee size [m]), and
+    [upload_bytes] (per device). Sections are emitted in that fixed order,
+    zeros included. *)
+
 val calibrate : unit -> t
 (** Microbenchmark this machine's substrate to refresh the relative
     constants (used by the bench harness; takes a few seconds). *)

@@ -1404,3 +1404,42 @@ let plan_and_execute_source cfg ~query ~src =
 
 let plan_and_execute cfg ~query ~db =
   plan_and_execute_source cfg ~query ~src:(source_of_db db)
+
+(* ---------------- calibration ground truth ---------------- *)
+
+(* Pair the cost model's per-section predictions with what this run
+   actually measured, priced at the committee size that executed ([m] is
+   [config.committee_size], not the plan's deployment-scale m — the
+   calibration loop compares like with like). Every measured value is a
+   deterministic function of the simulated run (MPC engine round/byte
+   counts, closed-form upload bytes), so recording samples never perturbs
+   byte-identity contracts. Sections where either side is zero carry no
+   calibration signal and are dropped. *)
+let cost_samples ~cm ~(plan : Plan.t) ~cols ~m (report : report) =
+  let trace = report.trace in
+  let devices = float_of_int (max 1 trace.Trace.devices_total) in
+  let predicted =
+    Arb_planner.Cost_model.section_costs cm
+      ~n_devices:(max 1 trace.Trace.devices_total)
+      ~m ~cols plan.Plan.vignettes
+  in
+  let wall kind =
+    match List.assoc_opt kind report.committee_wall_clock with
+    | Some s -> s
+    | None -> 0.0
+  in
+  let measured = function
+    | "keygen_time" -> wall Trace.Keygen
+    | "keygen_bytes" -> float_of_int (Trace.mpc_bytes trace Trace.Keygen)
+    | "decrypt_time" -> wall Trace.Decryption
+    | "ops_time" -> wall Trace.Operations
+    | "ops_bytes" -> float_of_int (Trace.mpc_bytes trace Trace.Operations)
+    | "upload_bytes" -> trace.Trace.device_upload_bytes
+    | _ -> 0.0
+  in
+  List.filter_map
+    (fun (section, p) ->
+      let p = if section = "upload_bytes" then p *. devices else p in
+      let v = measured section in
+      if p > 0.0 && v > 0.0 then Some (section, p, v) else None)
+    predicted

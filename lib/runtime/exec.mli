@@ -190,3 +190,19 @@ val plan_and_execute_source :
   src:source ->
   report
 (** {!plan_and_execute} over an on-demand {!source}. *)
+
+val cost_samples :
+  cm:Arb_planner.Cost_model.t ->
+  plan:Arb_planner.Plan.t ->
+  cols:int ->
+  m:int ->
+  report ->
+  (string * float * float) list
+(** Calibration ground truth for one finished run: (section, predicted,
+    measured) triples pairing {!Arb_planner.Cost_model.section_costs}
+    (priced at the {e executed} committee size [m], i.e.
+    [config.committee_size]) with the report's simulated committee
+    wall-clock, per-member MPC bytes, and device upload bytes. All values
+    are deterministic functions of the run; sections without signal on
+    both sides are dropped. Feed the result to
+    {!Arb_planner.Calibration.record}. *)

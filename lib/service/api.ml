@@ -136,7 +136,36 @@ let health t =
          ("pending", J.Int (Service.pending t.service));
          ("submitted", J.Int (Service.submitted t.service));
          ("drains", J.Int (drains t));
+         ("calibration", J.String (Service.calibration_fingerprint t.service));
        ])
+
+let get_calibration t =
+  Http.json_response ~status:200
+    (Arb_planner.Calibration.to_json (Service.calibration t.service))
+
+(* PUT a full calibration file body. This base route re-prices the plan
+   cache; when a continual engine is mounted, its [extra] hook shadows the
+   route to also feed the fingerprint into the epoch loop. *)
+let put_calibration t (req : Http.request) =
+  match
+    match J.of_string req.Http.body with
+    | j -> Arb_planner.Calibration.of_json ~path:"<body>" j
+    | exception J.Parse_error m ->
+        Error
+          (Arb_planner.Calibration.Malformed { path = "<body>"; reason = m })
+  with
+  | Error e ->
+      Http.error_response 400 (Arb_planner.Calibration.error_message e)
+  | Ok calib ->
+      let r = Service.set_calibration t.service calib in
+      Http.json_response ~status:200
+        (J.Obj
+           [
+             ("installed", J.String calib.Arb_planner.Calibration.fingerprint);
+             ("changed", J.Bool r.Service.changed);
+             ("repriced", J.Int r.Service.repriced);
+             ("invalidated", J.Int r.Service.invalidated);
+           ])
 
 let submit t (req : Http.request) =
   if stop_requested t then
@@ -233,13 +262,15 @@ let handler t (req : Http.request) =
       Http.json_response ~status:200
         (budget_json (Service.budget_left t.service))
   | "GET", "/v1/metrics" -> metrics t
+  | "GET", "/v1/calibration" -> get_calibration t
+  | "PUT", "/v1/calibration" -> put_calibration t req
   | "POST", "/v1/stop" -> stop_route t
   | "GET", _ when strip_prefix ~prefix:"/v1/queries/" path <> None -> (
       match strip_prefix ~prefix:"/v1/queries/" path with
       | Some rest -> poll t rest
       | None -> assert false)
   | _, ("/healthz" | "/v1/queries" | "/v1/records" | "/v1/counters"
-       | "/v1/budget" | "/v1/metrics" | "/v1/stop") ->
+       | "/v1/budget" | "/v1/metrics" | "/v1/calibration" | "/v1/stop") ->
       Http.error_response 405
         (Printf.sprintf "%s does not support %s" path meth)
   | _ -> Http.error_response 404 (Printf.sprintf "no such endpoint %s" path)

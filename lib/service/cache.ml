@@ -7,10 +7,15 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 type key = string
 
-type entry = { plan : P.Plan.t; metrics : P.Cost_model.metrics }
+type entry = { plan : P.Plan.t; metrics : P.Cost_model.metrics; cols : int }
+
+(* The table keeps the query name alongside the entry so a later
+   [update_metrics] can rewrite the entry's disk file without the caller
+   re-supplying it. *)
+type slot = { s_entry : entry; s_query : string }
 
 type t = {
-  table : (key, entry) Hashtbl.t;
+  table : (key, slot) Hashtbl.t;
   lock : Mutex.t;
   dir : string option;
   mutable revived : int;
@@ -102,11 +107,14 @@ let load_from_disk dir k =
       Result.bind (P.Plan_io.load_versioned path) (fun json ->
           match
             ( J.to_str (J.member "key" json),
+              J.to_str (J.member "query" json),
               P.Plan_io.plan_of_json (J.member "plan" json),
-              P.Plan_io.metrics_of_json (J.member "metrics" json) )
+              P.Plan_io.metrics_of_json (J.member "metrics" json),
+              J.to_int (J.member "cols" json) )
           with
-          | k', plan, metrics ->
-              if String.equal k' k then Ok { plan; metrics }
+          | k', query, plan, metrics, cols ->
+              if String.equal k' k then
+                Ok { s_entry = { plan; metrics; cols }; s_query = query }
               else Error (path ^ ": key field does not match file name")
           | exception J.Parse_error m -> Error (path ^ ": " ^ m))
     with
@@ -134,6 +142,7 @@ let write_to_disk dir k ~query_name entry =
          ("query", J.String query_name);
          ("plan", P.Plan_io.plan_to_json entry.plan);
          ("metrics", P.Plan_io.metrics_to_json entry.metrics);
+         ("cols", J.Int entry.cols);
        ]
    with e ->
      (try Sys.remove tmp with Sys_error _ -> ());
@@ -145,21 +154,21 @@ let write_to_disk dir k ~query_name entry =
 let find t k =
   Mutex.protect t.lock (fun () ->
       match Hashtbl.find_opt t.table k with
-      | Some _ as hit -> hit
+      | Some slot -> Some slot.s_entry
       | None -> (
           match t.dir with
           | None -> None
           | Some dir -> (
               match load_from_disk dir k with
-              | Some entry ->
-                  Hashtbl.replace t.table k entry;
+              | Some slot ->
+                  Hashtbl.replace t.table k slot;
                   t.revived <- t.revived + 1;
-                  Some entry
+                  Some slot.s_entry
               | None -> None)))
 
 let add t k ~query_name entry =
   Mutex.protect t.lock (fun () ->
-      Hashtbl.replace t.table k entry;
+      Hashtbl.replace t.table k { s_entry = entry; s_query = query_name };
       match t.dir with
       | None -> ()
       | Some dir -> (
@@ -178,3 +187,25 @@ let remove t k =
 let mem t k = find t k <> None
 let size t = Mutex.protect t.lock (fun () -> Hashtbl.length t.table)
 let revived t = Mutex.protect t.lock (fun () -> t.revived)
+
+let entries t =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.fold (fun k slot acc -> (k, slot.s_entry) :: acc) t.table [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let update_metrics t k metrics =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | None -> ()
+      | Some slot ->
+          let slot =
+            { slot with s_entry = { slot.s_entry with metrics } }
+          in
+          Hashtbl.replace t.table k slot;
+          (match t.dir with
+          | None -> ()
+          | Some dir -> (
+              try write_to_disk dir k ~query_name:slot.s_query slot.s_entry
+              with Sys_error m ->
+                Log.warn (fun f ->
+                    f "could not persist re-priced cache entry %s: %s" k m))))

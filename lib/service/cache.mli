@@ -21,6 +21,11 @@ type key = string
 type entry = {
   plan : Arb_planner.Plan.t;
   metrics : Arb_planner.Cost_model.metrics;
+  cols : int;
+      (** category count the plan was priced against — what calibration
+          installs need to re-price the entry without re-resolving the
+          query. Cache files written before this field exist demote to
+          misses (the standard malformed-demotes path) and re-plan once. *)
 }
 
 type t
@@ -65,3 +70,12 @@ val size : t -> int
 
 val revived : t -> int
 (** How many entries were promoted from disk over this cache's lifetime. *)
+
+val entries : t -> (key * entry) list
+(** Snapshot of the in-memory entries, sorted by key — the canonical order
+    calibration installs walk so re-price decisions are deterministic. *)
+
+val update_metrics : t -> key -> Arb_planner.Cost_model.metrics -> unit
+(** Replace an entry's priced metrics in memory and (when persisting)
+    rewrite its file — how a calibration install re-prices a kept entry.
+    Updating an absent key is a no-op. *)

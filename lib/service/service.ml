@@ -13,6 +13,13 @@ type t = {
   devices : int;
   seed : int;
   metrics : Arb_obs.Metrics.t option;
+  snapshots : (string * string) option;
+      (* (dir, tag): append a metrics snapshot per drain (DESIGN.md §14) *)
+  sim_m : int;
+      (* executed committee size (exec config), the m calibration samples
+         are priced at *)
+  mutable calibration : P.Calibration.t;
+      (* the cost model pricing cold plans; guarded by [lock] *)
   lock : Mutex.t;
       (* guards queue / next_index / history / reserved: HTTP handlers
          submit and poll from worker domains concurrently with drains *)
@@ -28,7 +35,8 @@ type t = {
          budget prescreen; advisory (drain re-checks authoritatively) *)
 }
 
-let create ?exec_config ?max_rounds ?cache ?metrics ~budget ~devices ~seed () =
+let create ?exec_config ?max_rounds ?cache ?metrics ?calibration ?snapshots
+    ~budget ~devices ~seed () =
   (* The session's creation-time database is a placeholder: every query
      brings its own synthesized inputs (same population, different
      question) through [run_with_plan]'s [?db]. *)
@@ -39,6 +47,13 @@ let create ?exec_config ?max_rounds ?cache ?metrics ~budget ~devices ~seed () =
     devices;
     seed;
     metrics;
+    snapshots;
+    sim_m =
+      (match exec_config with
+      | Some c -> c.R.Exec.committee_size
+      | None -> R.Exec.default_config.R.Exec.committee_size);
+    calibration =
+      (match calibration with Some c -> c | None -> P.Calibration.default);
     lock = Mutex.create ();
     drain_lock = Mutex.create ();
     queue = [];
@@ -59,6 +74,86 @@ let enqueue_locked t (s : Workload.submission) =
 let submit t s = Mutex.protect t.lock (fun () -> enqueue_locked t s)
 
 let pending t = Mutex.protect t.lock (fun () -> List.length t.queue)
+
+let calibration t = Mutex.protect t.lock (fun () -> t.calibration)
+let calibration_fingerprint t = (calibration t).P.Calibration.fingerprint
+
+(* Price a cached plan's metrics under a (possibly new) cost model — the
+   same [combine]-over-[price] arithmetic the search's winner carries. *)
+let price_entry cm ~devices ~cols (plan : P.Plan.t) =
+  P.Cost_model.combine ~n_devices:devices
+    (List.map
+       (P.Cost_model.price cm ~n_devices:devices
+          ~m:plan.P.Plan.committee_size ~cols)
+       plan.P.Plan.vignettes)
+
+(* Worst relative change across the six metric components — goal-agnostic,
+   so the invalidation decision does not depend on which goal each cached
+   plan was searched under. *)
+let metrics_drift (a : P.Cost_model.metrics) (b : P.Cost_model.metrics) =
+  let rel x y = Float.abs (y -. x) /. Float.max (Float.abs x) 1e-12 in
+  List.fold_left Float.max 0.0
+    [
+      rel a.P.Cost_model.agg_time b.P.Cost_model.agg_time;
+      rel a.P.Cost_model.agg_bytes b.P.Cost_model.agg_bytes;
+      rel a.P.Cost_model.part_exp_time b.P.Cost_model.part_exp_time;
+      rel a.P.Cost_model.part_max_time b.P.Cost_model.part_max_time;
+      rel a.P.Cost_model.part_exp_bytes b.P.Cost_model.part_exp_bytes;
+      rel a.P.Cost_model.part_max_bytes b.P.Cost_model.part_max_bytes;
+    ]
+
+type reprice = { repriced : int; invalidated : int; changed : bool }
+
+let set_calibration ?(drift_threshold = 0.5) t calib =
+  let changed =
+    Mutex.protect t.lock (fun () ->
+        let changed =
+          t.calibration.P.Calibration.fingerprint
+          <> calib.P.Calibration.fingerprint
+        in
+        t.calibration <- calib;
+        changed)
+  in
+  if not changed then { repriced = 0; invalidated = 0; changed = false }
+  else begin
+    let cm = calib.P.Calibration.constants in
+    let repriced = ref 0 and invalidated = ref 0 in
+    List.iter
+      (fun (key, (e : Cache.entry)) ->
+        let fresh =
+          price_entry cm ~devices:t.devices ~cols:e.Cache.cols e.Cache.plan
+        in
+        if metrics_drift e.Cache.metrics fresh > drift_threshold then begin
+          (* The plan may no longer be the winner under the new prices:
+             evict so the next submission re-plans cold. *)
+          Cache.remove t.cache key;
+          incr invalidated
+        end
+        else begin
+          Cache.update_metrics t.cache key fresh;
+          incr repriced
+        end)
+      (Cache.entries t.cache);
+    Log.info (fun f ->
+        f "calibration %s installed: %d cache entr%s re-priced, %d invalidated"
+          (String.sub calib.P.Calibration.fingerprint 0 12)
+          !repriced
+          (if !repriced = 1 then "y" else "ies")
+          !invalidated);
+    (match t.metrics with
+    | Some reg ->
+        let add name help v = Arb_obs.Metrics.add reg ~help name v in
+        add "arb_service_calibration_installs_total"
+          "Calibration installs that changed the fingerprint" 1.0;
+        add "arb_service_cache_repriced_total"
+          "Cache entries re-priced by calibration installs"
+          (float_of_int !repriced);
+        add "arb_service_cache_invalidated_total"
+          "Cache entries whose price drifted past the invalidation threshold"
+          (float_of_int !invalidated)
+    | None -> ());
+    { repriced = !repriced; invalidated = !invalidated; changed = true }
+  end
 
 type refusal =
   | Queue_full of int  (** the bound it hit *)
@@ -198,6 +293,10 @@ let drain ?tracer ?(workers = 1) t =
         batch
   | _ -> ());
   let n = t.devices in
+  (* One cost model per drain: cold plans, re-pricing and residual samples
+     in this batch all see the same calibration even if an install lands
+     mid-drain. *)
+  let cm = (calibration t).P.Calibration.constants in
   (* ---- stage 1+2: admission and cache labeling, in submission order ---- *)
   let projected = ref (R.Session.budget_left t.session) in
   let cold = ref [] (* (key, query, goal) newest first *)
@@ -295,7 +394,7 @@ let drain ?tracer ?(workers = 1) t =
         let _, query, goal = tasks.(i) in
         slots.(i) <-
           Some
-            (P.Search.plan ~goal ~limits:P.Constraints.no_limits
+            (P.Search.plan ~cm ~goal ~limits:P.Constraints.no_limits
                ?tracer:children.(i) ?metrics:t.metrics ~query ~n ());
         loop ()
       end
@@ -331,7 +430,7 @@ let drain ?tracer ?(workers = 1) t =
           match (r.P.Search.plan, r.P.Search.metrics) with
           | Some plan, Some metrics ->
               Cache.add t.cache key ~query_name:query.Q.name
-                { Cache.plan; metrics }
+                { Cache.plan; metrics; cols = query.Q.categories }
           | _ ->
               Hashtbl.replace plan_failed key
                 "planner found no plan for this query"))
@@ -395,7 +494,14 @@ let drain ?tracer ?(workers = 1) t =
             | Ok qr ->
                 (match t.metrics with
                 | Some reg ->
-                    R.Trace.export qr.R.Session.report.R.Exec.trace reg
+                    R.Trace.export qr.R.Session.report.R.Exec.trace reg;
+                    (* Calibration ground truth: predicted-vs-measured per
+                       section. Deterministic given the run, so recording
+                       never perturbs byte-identity contracts. *)
+                    P.Calibration.record reg
+                      (R.Exec.cost_samples ~cm ~plan:entry.Cache.plan
+                         ~cols:p.p_query.Q.categories ~m:t.sim_m
+                         qr.R.Session.report)
                 | None -> ());
                 finish
                   ~exec_s:(now () -. t0)
@@ -458,6 +564,14 @@ let drain ?tracer ?(workers = 1) t =
       Arb_obs.Metrics.set_gauge reg ~help:"Plan-cache entries"
         "arb_service_cache_entries"
         (float_of_int (Cache.size t.cache)));
+  (match (t.snapshots, t.metrics) with
+  | Some (dir, tag), Some reg -> (
+      (* Ground truth accumulates across drains and processes; a failed
+         append must not fail the drain. *)
+      try Arb_obs.Snapshot.append ~dir ~tag reg
+      with Sys_error m | Unix.Unix_error (_, _, m) ->
+        Log.warn (fun f -> f "could not append metrics snapshot: %s" m))
+  | _ -> ());
   records
 
 let run_workload ?tracer ?workers t workload =

@@ -37,6 +37,8 @@ val create :
   ?max_rounds:int ->
   ?cache:Cache.t ->
   ?metrics:Arb_obs.Metrics.t ->
+  ?calibration:Arb_planner.Calibration.t ->
+  ?snapshots:string * string ->
   budget:Arb_dp.Budget.t ->
   devices:int ->
   seed:int ->
@@ -50,8 +52,17 @@ val create :
     [arb_service_*] instruments (queue wait, per-outcome submission
     counts, hit/cold latency histograms, refusals, pool occupancy,
     cache size), the planner adds [arb_planner_*] for each cold search,
-    and each executed query's runtime trace is accumulated as
-    [arb_runtime_*] counters. *)
+    each executed query's runtime trace is accumulated as
+    [arb_runtime_*] counters, and predicted-vs-measured calibration
+    samples as [arb_cal_*] (DESIGN.md §14).
+
+    [calibration] selects the cost model pricing cold plans (default
+    {!Arb_planner.Calibration.default}, i.e. the hand-anchored
+    {!Arb_planner.Cost_model.default}). [snapshots] is a [(dir, tag)]
+    pair: when set (and [metrics] is attached), every drain appends a
+    tagged registry snapshot to [dir]'s store
+    ({!Arb_obs.Snapshot.append}) so ground truth accumulates for
+    [arb calibrate]. *)
 
 val submit : t -> Workload.submission -> int
 (** Enqueue ([repeat] is honored); returns the submission index of the
@@ -130,3 +141,31 @@ val seed : t -> int
 
 val metrics : t -> Arb_obs.Metrics.t option
 (** The registry passed at {!create} time, if any. *)
+
+val calibration : t -> Arb_planner.Calibration.t
+(** The calibration currently pricing cold plans. *)
+
+val calibration_fingerprint : t -> string
+(** Shorthand for [(calibration t).fingerprint] — surfaced in
+    [GET /v1/health] and the serve exit summary so operators can tell
+    which calibration priced a session. *)
+
+type reprice = { repriced : int; invalidated : int; changed : bool }
+(** What a calibration install did to the plan cache. [changed] is false
+    when the installed fingerprint equals the current one (the cache is
+    left untouched). *)
+
+val set_calibration :
+  ?drift_threshold:float -> t -> Arb_planner.Calibration.t -> reprice
+(** Install a calibration. When the fingerprint changes, every cached plan
+    is re-priced under the new constants in canonical key order: entries
+    whose worst metric component moved by more than [drift_threshold]
+    (relative, default 0.5) are evicted — the old winner may no longer
+    win, so the next submission re-plans cold — and the rest keep their
+    plan with refreshed metrics. Emits
+    [arb_service_calibration_installs_total] /
+    [arb_service_cache_repriced_total] /
+    [arb_service_cache_invalidated_total]. Drains already in flight finish
+    under the model they started with; continual sessions additionally
+    need the fingerprint fed to {!Arb_continual.Engine.set_calibration}
+    (the HTTP route does both). *)

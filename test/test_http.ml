@@ -406,6 +406,86 @@ let test_api_graceful_stop_drains () =
         (List.length (S.Service.history svc));
       checkb "chain verifies" true (S.Service.chain_verifies svc))
 
+let test_api_calibration_routes () =
+  with_api (fun svc _api port ->
+      let put body =
+        match S.Client.connect ~host ~port () with
+        | Error m -> Alcotest.fail m
+        | Ok conn ->
+            Fun.protect
+              ~finally:(fun () -> S.Client.close conn)
+              (fun () ->
+                match
+                  S.Client.request conn ~meth:"PUT" ~body
+                    ~target:"/v1/calibration" ()
+                with
+                | Ok r -> r
+                | Error m -> Alcotest.fail m)
+      in
+      let fp = S.Service.calibration_fingerprint svc in
+      (* The health endpoint carries the active fingerprint. *)
+      (match S.Client.get ~host ~port "/healthz" with
+      | Ok r ->
+          checki "healthy" 200 r.H.status;
+          checkb "fingerprint in health" true (contains r.H.resp_body fp)
+      | Error m -> Alcotest.fail m);
+      (* GET returns the full calibration document. *)
+      (match S.Client.get ~host ~port "/v1/calibration" with
+      | Ok r ->
+          checki "calibration served" 200 r.H.status;
+          checkb "schema present" true
+            (contains r.H.resp_body "arb-calibration/1");
+          checkb "fingerprint present" true (contains r.H.resp_body fp)
+      | Error m -> Alcotest.fail m);
+      (* PUT a recalibration: the response reports the install. *)
+      let d = Arb_planner.Cost_model.default in
+      let mild =
+        Arb_planner.Calibration.make
+          {
+            d with
+            Arb_planner.Cost_model.kg_coeff_time =
+              d.Arb_planner.Cost_model.kg_coeff_time *. 1.2;
+          }
+      in
+      let r =
+        put (J.to_string (Arb_planner.Calibration.to_json mild))
+      in
+      checki "install accepted" 200 r.H.status;
+      checkb "install changed" true (contains r.H.resp_body "\"changed\":true");
+      checks "service fingerprint moved"
+        mild.Arb_planner.Calibration.fingerprint
+        (S.Service.calibration_fingerprint svc);
+      (* Re-PUT of the same file is a no-op. *)
+      let r2 =
+        put (J.to_string (Arb_planner.Calibration.to_json mild))
+      in
+      checkb "re-install unchanged" true
+        (contains r2.H.resp_body "\"changed\":false");
+      (* Malformed and tampered bodies are 400 with the typed reason. *)
+      let r3 = put "{not json" in
+      checki "malformed body rejected" 400 r3.H.status;
+      let r4 =
+        put
+          (J.to_string
+             (J.Obj
+                [
+                  ("schema", J.String "arb-calibration/1");
+                  ("version", J.Int 99);
+                  ("fingerprint", J.String "beef");
+                  ("constants", Arb_planner.Cost_model.to_json d);
+                  ( "provenance",
+                    match Arb_planner.Calibration.to_json mild with
+                    | J.Obj fields -> List.assoc "provenance" fields
+                    | _ -> J.Obj [] );
+                ]))
+      in
+      checki "future version rejected" 400 r4.H.status;
+      checkb "version named" true (contains r4.H.resp_body "99");
+      (* Method mismatch. *)
+      match S.Client.post ~host ~port ~body:"" "/v1/calibration" with
+      | Ok r -> checki "POST not supported" 405 r.H.status
+      | Error m -> Alcotest.fail m)
+
 let test_api_continual_routes () =
   let svc = service () in
   let engine = Arb_continual.Engine.create ~service:svc () in
@@ -523,5 +603,7 @@ let () =
             test_api_graceful_stop_drains;
           Alcotest.test_case "continual session routes" `Quick
             test_api_continual_routes;
+          Alcotest.test_case "calibration routes" `Quick
+            test_api_calibration_routes;
         ] );
     ]

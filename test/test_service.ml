@@ -133,7 +133,8 @@ let test_cache_disk_persistence () =
   let r = P.Search.plan ~query:q ~n:100_000 () in
   let entry =
     match (r.P.Search.plan, r.P.Search.metrics) with
-    | Some plan, Some metrics -> { S.Cache.plan; metrics }
+    | Some plan, Some metrics ->
+        { S.Cache.plan; metrics; cols = q.Q.categories }
     | _ -> Alcotest.fail "no plan"
   in
   let c1 = S.Cache.create ~dir () in
@@ -421,7 +422,8 @@ let test_cache_concurrent_writers () =
   let r = P.Search.plan ~query:q ~n:100_000 () in
   let entry =
     match (r.P.Search.plan, r.P.Search.metrics) with
-    | Some plan, Some metrics -> { S.Cache.plan; metrics }
+    | Some plan, Some metrics ->
+        { S.Cache.plan; metrics; cols = q.Q.categories }
     | _ -> Alcotest.fail "no plan"
   in
   let cache = S.Cache.create ~dir () in
@@ -516,6 +518,96 @@ let test_workload_file_rejects () =
   | Error m -> checkb "mentions repeat" true (contains m "repeat"));
   Sys.remove path
 
+(* ---------------- calibration installs ---------------- *)
+
+let mild_calibration () =
+  (* One field group nudged 20%: every cached entry drifts well under the
+     0.5 threshold, so installs re-price in place. *)
+  let d = P.Cost_model.default in
+  P.Calibration.make
+    { d with P.Cost_model.kg_coeff_time = d.P.Cost_model.kg_coeff_time *. 1.2 }
+
+let aggressive_calibration () =
+  (* Everything 100x cheaper: far past the threshold, so installs evict. *)
+  let d = P.Cost_model.default in
+  P.Calibration.make
+    {
+      d with
+      P.Cost_model.felt_bytes = d.P.Cost_model.felt_bytes /. 100.0;
+      kg_coeff_time = d.P.Cost_model.kg_coeff_time /. 100.0;
+      kg_coeff_bytes = d.P.Cost_model.kg_coeff_bytes /. 100.0;
+      dec_coeff_time = d.P.Cost_model.dec_coeff_time /. 100.0;
+      round_latency = d.P.Cost_model.round_latency /. 100.0;
+      proof_bytes = d.P.Cost_model.proof_bytes /. 100.0;
+    }
+
+let cal_workload queries =
+  {
+    S.Workload.budget = None;
+    devices = None;
+    seed = None;
+    epochs = None;
+    submissions = List.map (fun q -> sub ~epsilon:0.5 q) queries;
+  }
+
+let test_set_calibration_reprice () =
+  let reg = Arb_obs.Metrics.create () in
+  let t =
+    S.Service.create ~metrics:reg
+      ~budget:(B.create ~epsilon:100.0 ~delta:0.01)
+      ~devices:32 ~seed:5 ()
+  in
+  ignore (S.Service.run_workload t (cal_workload [ "top1"; "median" ]));
+  let cached = S.Cache.size (S.Service.cache t) in
+  checki "two cached plans" 2 cached;
+  let before = S.Service.calibration_fingerprint t in
+  (* Reinstalling the current calibration is a no-op. *)
+  let r0 = S.Service.set_calibration t (S.Service.calibration t) in
+  checkb "same fingerprint unchanged" false r0.S.Service.changed;
+  checki "no reprices" 0 r0.S.Service.repriced;
+  (* A mild drift re-prices every entry in place. *)
+  let mild = mild_calibration () in
+  let r1 = S.Service.set_calibration t mild in
+  checkb "mild install changed" true r1.S.Service.changed;
+  checki "mild repriced all" cached r1.S.Service.repriced;
+  checki "mild invalidated none" 0 r1.S.Service.invalidated;
+  checki "cache intact" cached (S.Cache.size (S.Service.cache t));
+  checkb "fingerprint moved" true
+    (S.Service.calibration_fingerprint t <> before);
+  checkb "repriced counter" true
+    (S.Service.calibration_fingerprint t
+     = mild.P.Calibration.fingerprint);
+  (* An aggressive drift evicts; the next submission re-plans cold. *)
+  let planned_before = (S.Service.counters t).S.Lifecycle.planned in
+  let r2 = S.Service.set_calibration t (aggressive_calibration ()) in
+  checki "aggressive evicted all" cached r2.S.Service.invalidated;
+  checki "cache emptied" 0 (S.Cache.size (S.Service.cache t));
+  ignore (S.Service.run_workload t (cal_workload [ "top1" ]));
+  checki "evicted entry re-planned cold" (planned_before + 1)
+    (S.Service.counters t).S.Lifecycle.planned
+
+let test_fixed_calibration_worker_identity () =
+  (* Under one fixed calibration file, canonical records are byte-identical
+     at any planner worker count. *)
+  let calib = mild_calibration () in
+  let run workers =
+    let t =
+      S.Service.create ~calibration:calib
+        ~budget:(B.create ~epsilon:100.0 ~delta:0.01)
+        ~devices:32 ~seed:5 ()
+    in
+    List.iter
+      (fun q -> ignore (S.Service.submit t (sub ~epsilon:0.5 q)))
+      [ "top1"; "median"; "top1" ];
+    ignore (S.Service.drain ~workers t);
+    S.Lifecycle.records_to_string ~timings:false (S.Service.history t)
+  in
+  let reference = run 1 in
+  List.iter
+    (fun w ->
+      checks (Printf.sprintf "workers=%d byte-identical" w) reference (run w))
+    [ 2; 3 ]
+
 let () =
   Alcotest.run "service"
     [
@@ -550,6 +642,13 @@ let () =
             test_incremental_batches_share_cache;
         ] );
       ("determinism", [ qtest prop_worker_count_invisible ]);
+      ( "calibration",
+        [
+          Alcotest.test_case "install re-prices / invalidates the cache"
+            `Quick test_set_calibration_reprice;
+          Alcotest.test_case "fixed calibration byte-identical across workers"
+            `Quick test_fixed_calibration_worker_identity;
+        ] );
       ( "concurrency",
         [
           Alcotest.test_case "multi-domain submit stress" `Quick
