@@ -551,6 +551,7 @@ let ablations () =
               (match p.P.Plan.em_variant with
               | `Gumbel -> "gumbel"
               | `Exponentiate -> "exponentiate"
+              | `Sketch -> "sketch"
               | `None -> "-");
               U.seconds_to_string mt.Cm.part_exp_time;
               string_of_int p.P.Plan.committee_count ]
@@ -849,6 +850,7 @@ let service_throughput () =
             repeat = 2;
             every = None;
             window = None;
+            tolerance = None;
           };
         ])
       exec_queries
@@ -1031,7 +1033,7 @@ let profiling () =
     List.map
       (fun name ->
         { S.Workload.query = name; epsilon = 0.4; categories = None;
-          goal; repeat = 2; every = None; window = None })
+          goal; repeat = 2; every = None; window = None; tolerance = None })
       [ "top1"; "hypotest" ]
   in
   let det_run workers =
@@ -1520,7 +1522,7 @@ let service_load () =
   let goal = P.Constraints.Min_part_exp_time in
   let mk_sub ?(repeat = 1) ~epsilon query =
     { S.Workload.query; epsilon; categories = None; goal; repeat;
-      every = None; window = None }
+      every = None; window = None; tolerance = None }
   in
   let fresh_service () =
     S.Service.create
@@ -1946,7 +1948,7 @@ let continual_epochs () =
   let devices = if !smoke then 24 else 48 in
   let mk_rec ?(every = 1) ?window ~epsilon query =
     { S.Workload.query; epsilon; categories = None; goal; repeat = 1;
-      every = Some every; window }
+      every = Some every; window; tolerance = None }
   in
   let fresh () =
     let reg = Obs.Metrics.create () in
@@ -2287,7 +2289,7 @@ let calibration_loop () =
   in
   let mk_sub ~epsilon query =
     { S.Workload.query; epsilon; categories = None; goal; repeat = 1;
-      every = None; window = None }
+      every = None; window = None; tolerance = None }
   in
   let mk_rec ~epsilon query =
     { (mk_sub ~epsilon query) with S.Workload.every = Some 1 }
@@ -2590,6 +2592,345 @@ let calibration_loop () =
   close_out oc;
   Printf.printf "  wrote BENCH_calibration.json\n"
 
+(* --------------------------------------------------------------------- *)
+(* approx_crossover: approximate query processing. An analyst error       *)
+(* tolerance admits device-sampled and sketched plan variants; the gates  *)
+(* are the PR's acceptance criteria: the tolerance winner at paper scale  *)
+(* is >=10x cheaper than the exact winner both priced and simulated-      *)
+(* executed, spends strictly less budget (privacy amplification),         *)
+(* measured error stays within the tolerance, the no-tolerance winner is  *)
+(* byte-identical to the exact plan, and sampled execution reports are    *)
+(* byte-identical at any worker count. Writes BENCH_approx.json.          *)
+(* --------------------------------------------------------------------- *)
+
+let approx_crossover () =
+  let module R = Arb_runtime in
+  let module J = Arb_util.Json in
+  let module B = Arb_dp.Budget in
+  section
+    "approx_crossover: sampling + sketch plan variants (BENCH_approx.json)";
+  let goal = P.Constraints.Min_part_exp_time in
+  let plan_text p = Format.asprintf "%a" P.Plan.pp p in
+  let plan_with ?tol ~q n =
+    let limits =
+      P.Constraints.with_error_tolerance P.Constraints.no_limits tol
+    in
+    let r = P.Search.plan ~limits ~goal ~query:q ~n () in
+    match (r.P.Search.plan, r.P.Search.metrics) with
+    | Some p, Some m -> (p, m)
+    | _ -> failwith "approx_crossover: planner returned no plan"
+  in
+  let variant_of (p : P.Plan.t) =
+    let sketch =
+      List.fold_left
+        (fun acc v ->
+          match v.P.Plan.work with
+          | P.Plan.W_he_sketch { width; depth; _ } ->
+              Some (Printf.sprintf "cms %dx%d" depth width)
+          | P.Plan.W_he_coarsen { groups; _ } ->
+              Some (Printf.sprintf "coarsen %d" groups)
+          | _ -> acc)
+        None p.P.Plan.vignettes
+    in
+    String.concat "+"
+      (List.filter_map Fun.id
+         [
+           Option.map (Printf.sprintf "sample %g") p.P.Plan.device_sample;
+           sketch;
+         ])
+  in
+
+  (* --- priced crossover: tolerance x N at the paper's category count --- *)
+  let q_paper = Q.paper_instance "top1" in
+  let tolerances = [ 0.01; 0.05; 0.1 ] in
+  let sizes =
+    if !smoke then [ 100_000; 1_000_000 ]
+    else [ 1_000_000; 10_000_000; 100_000_000 ]
+  in
+  let n_gate = if !smoke then 1_000_000 else 100_000_000 in
+  let cells =
+    List.map
+      (fun n ->
+        let _, m_exact = plan_with ~q:q_paper n in
+        if m_exact.Cm.est_error <> 0.0 then
+          failwith "approx_crossover: exact winner carries est_error";
+        let rows =
+          List.map
+            (fun tol ->
+              let p, m = plan_with ~tol ~q:q_paper n in
+              if m.Cm.est_error > tol then
+                failwith
+                  (Printf.sprintf
+                     "approx_crossover: winner over tolerance (%.4f > %.4f)"
+                     m.Cm.est_error tol);
+              let speedup =
+                P.Constraints.goal_value goal m_exact
+                /. Float.max 1e-12 (P.Constraints.goal_value goal m)
+              in
+              (tol, p, m, speedup))
+            tolerances
+        in
+        (n, m_exact, rows))
+      sizes
+  in
+  T.print
+    ~header:[ "N"; "tol"; "variant"; "est err"; "exact cost"; "approx"; "x" ]
+    (List.concat_map
+       (fun (n, m_exact, rows) ->
+         List.map
+           (fun (tol, p, m, speedup) ->
+             [ U.si (float_of_int n); Printf.sprintf "%.2f" tol; variant_of p;
+               Printf.sprintf "%.4f" m.Cm.est_error;
+               U.seconds_to_string (P.Constraints.goal_value goal m_exact);
+               U.seconds_to_string (P.Constraints.goal_value goal m);
+               Printf.sprintf "%.0fx" speedup ])
+           rows)
+       cells);
+  let priced_speedup =
+    let _, _, rows = List.find (fun (n, _, _) -> n = n_gate) cells in
+    let _, _, _, s = List.find (fun (t, _, _, _) -> t = 0.05) rows in
+    s
+  in
+  if priced_speedup < 10.0 then
+    failwith
+      (Printf.sprintf
+         "approx_crossover: priced speedup %.1fx < 10x at N=%d" priced_speedup
+         n_gate);
+  Printf.printf "  priced gate: tolerance 0.05 winner %.0fx cheaper at N=%s\n"
+    priced_speedup
+    (U.si (float_of_int n_gate));
+
+  (* --- exactness gate: no tolerance (or one too tight for any variant)
+     yields the byte-identical exact winner --- *)
+  let p_none, m_none = plan_with ~q:q_paper n_gate in
+  let p_tight, _ = plan_with ~tol:1e-12 ~q:q_paper n_gate in
+  if plan_text p_none <> plan_text p_tight then
+    failwith "approx_crossover: tight tolerance changed the exact winner";
+  if p_none.P.Plan.device_sample <> None || m_none.Cm.est_error <> 0.0 then
+    failwith "approx_crossover: no-tolerance winner is not exact";
+  Printf.printf
+    "  exactness gate: no tolerance == 1e-12 tolerance, byte-identical plan\n";
+
+  (* --- simulated execution: the tolerance winner vs the exact winner over
+     the same cohort-sharded population --- *)
+  let qx = Q.test_instance ~epsilon:0.5 "top1" in
+  let n_exec = min (paper_n ()) 100_000_000 in
+  let exec_tol = 0.1 in
+  let workers = max 2 (min 4 (Domain.recommended_domain_count ())) in
+  let cohort_size = if !smoke then 1_024 else 4_096 in
+  let config =
+    {
+      R.Exec.default_config with
+      R.Exec.seed = 3L;
+      workers;
+      budget = B.create ~epsilon:10.0 ~delta:1e-6;
+      sharding = R.Exec.Sharded { cohort_size; sampled_cohorts = 1 };
+    }
+  in
+  let src n = { R.Exec.n_devices = n; row = Q.device_source ~seed:7L qx } in
+  let p_exact, _ = plan_with ~q:qx n_exec in
+  let p_approx, m_approx = plan_with ~tol:exec_tol ~q:qx n_exec in
+  if p_approx.P.Plan.device_sample = None then
+    failwith "approx_crossover: tolerance winner does not sample devices";
+  let rep_exact =
+    R.Exec.execute_source config ~query:qx ~plan:p_exact ~src:(src n_exec)
+  in
+  let rep_approx =
+    R.Exec.execute_source config ~query:qx ~plan:p_approx ~src:(src n_exec)
+  in
+  let upload t = t.R.Trace.device_upload_bytes in
+  let exec_speedup =
+    upload rep_exact.R.Exec.trace
+    /. Float.max 1.0 (upload rep_approx.R.Exec.trace)
+  in
+  if exec_speedup < 10.0 then
+    failwith
+      (Printf.sprintf "approx_crossover: executed speedup %.1fx < 10x"
+         exec_speedup);
+  let spent r =
+    10.0 -. r.R.Exec.budget_left.B.epsilon
+  in
+  if not (spent rep_approx < spent rep_exact) then
+    failwith "approx_crossover: sampled plan did not spend strictly less budget";
+  Printf.printf
+    "  executed gate: %s -> %s upload bytes (%.0fx); budget %.4f vs %.4f eps\n"
+    (U.si (upload rep_exact.R.Exec.trace))
+    (U.si (upload rep_approx.R.Exec.trace))
+    exec_speedup (spent rep_approx) (spent rep_exact);
+
+  (* --- measured error vs the priced bound, at a scale where the true
+     aggregate is computable --- *)
+  let n_err = if !smoke then 50_000 else 200_000 in
+  let err_cfg =
+    {
+      config with
+      R.Exec.sharding =
+        R.Exec.Sharded { cohort_size = 1_024; sampled_cohorts = 1 };
+    }
+  in
+  let out_int r =
+    let rec first = function
+      | Arb_lang.Interp.V_int i :: _ -> i
+      | _ :: rest -> first rest
+      | [] -> failwith "approx_crossover: no integer output"
+    in
+    first r.R.Exec.outputs
+  in
+  let true_sums q n =
+    let row = Q.device_source ~seed:7L q in
+    let acc = Array.make q.Q.categories 0 in
+    for i = 0 to n - 1 do
+      Array.iteri (fun j v -> acc.(j) <- acc.(j) + v) (row i)
+    done;
+    acc
+  in
+  let measure name =
+    let q = Q.test_instance ~epsilon:1.0 name in
+    let p, m = plan_with ~tol:exec_tol ~q n_err in
+    let rep =
+      R.Exec.execute_source err_cfg ~query:q ~plan:p
+        ~src:{ R.Exec.n_devices = n_err; row = Q.device_source ~seed:7L q }
+    in
+    let sums = true_sums q n_err in
+    let idx = out_int rep in
+    let err =
+      match name with
+      | "top1" ->
+          let best = Array.fold_left max 0 sums in
+          float_of_int (best - sums.(idx)) /. float_of_int (max 1 best)
+      | _ ->
+          (* median: rank (CDF mass) distance to the true median bin *)
+          let total = Array.fold_left ( + ) 0 sums in
+          let cdf i =
+            let upto = ref 0 in
+            for j = 0 to i do upto := !upto + sums.(j) done;
+            float_of_int !upto /. float_of_int (max 1 total)
+          in
+          let rec true_median i =
+            if i >= Array.length sums - 1 || cdf i >= 0.5 then i
+            else true_median (i + 1)
+          in
+          Float.abs (cdf idx -. cdf (true_median 0))
+    in
+    if err > exec_tol then
+      failwith
+        (Printf.sprintf "approx_crossover: %s measured error %.4f > %.2f" name
+           err exec_tol);
+    (name, variant_of p, m.Cm.est_error, err)
+  in
+  let errors = List.map measure [ "top1"; "median" ] in
+  List.iter
+    (fun (name, variant, est, err) ->
+      Printf.printf "  error gate: %s (%s) measured %.4f <= tol %.2f (est %.4f)\n"
+        name variant err exec_tol est)
+    errors;
+
+  (* --- sampled execution byte-identity across worker counts --- *)
+  let n_det = 50_000 in
+  let p_det, _ = plan_with ~tol:exec_tol ~q:qx n_det in
+  if p_det.P.Plan.device_sample = None then
+    failwith "approx_crossover: determinism plan does not sample devices";
+  let det_run w =
+    let rep =
+      R.Exec.execute_source
+        { err_cfg with R.Exec.workers = w }
+        ~query:qx ~plan:p_det ~src:(src n_det)
+    in
+    (rep.R.Exec.outputs, J.to_string (R.Trace.to_json rep.R.Exec.trace))
+  in
+  let det_workers = [ 1; 2; 3 ] in
+  (match List.map det_run det_workers with
+  | ref :: rest ->
+      List.iteri
+        (fun i r ->
+          if r <> ref then
+            failwith
+              (Printf.sprintf
+                 "approx_crossover: sampled run diverges at workers=%d"
+                 (List.nth det_workers (i + 1))))
+        rest
+  | [] -> ());
+  Printf.printf "  worker gate: sampled execution byte-identical at workers %s\n"
+    (String.concat "/" (List.map string_of_int det_workers));
+
+  let json =
+    J.Obj
+      [
+        ("schema", J.String "arb-bench-approx/1");
+        ("smoke", J.Bool !smoke);
+        ("goal", J.String "part-exp-time");
+        ( "priced",
+          J.List
+            (List.concat_map
+               (fun (n, m_exact, rows) ->
+                 List.map
+                   (fun (tol, p, m, speedup) ->
+                     J.Obj
+                       [
+                         ("devices", J.Int n);
+                         ("tolerance", J.Float tol);
+                         ("variant", J.String (variant_of p));
+                         ("est_error", J.Float m.Cm.est_error);
+                         ( "exact_cost",
+                           J.Float (P.Constraints.goal_value goal m_exact) );
+                         ( "approx_cost",
+                           J.Float (P.Constraints.goal_value goal m) );
+                         ("speedup", J.Float speedup);
+                       ])
+                   rows)
+               cells) );
+        ( "gates",
+          J.Obj
+            [
+              ("gate_n", J.Int n_gate);
+              ("priced_speedup", J.Float priced_speedup);
+              ("exact_byte_identical", J.Bool true);
+              ( "executed",
+                J.Obj
+                  [
+                    ("devices", J.Int n_exec);
+                    ("tolerance", J.Float exec_tol);
+                    ("variant", J.String (variant_of p_approx));
+                    ("est_error", J.Float m_approx.Cm.est_error);
+                    ( "exact_upload_bytes",
+                      J.Float (upload rep_exact.R.Exec.trace) );
+                    ( "approx_upload_bytes",
+                      J.Float (upload rep_approx.R.Exec.trace) );
+                    ("speedup", J.Float exec_speedup);
+                    ("exact_epsilon_spent", J.Float (spent rep_exact));
+                    ("approx_epsilon_spent", J.Float (spent rep_approx));
+                  ] );
+              ( "measured_error",
+                J.List
+                  (List.map
+                     (fun (name, variant, est, err) ->
+                       J.Obj
+                         [
+                           ("query", J.String name);
+                           ("variant", J.String variant);
+                           ("devices", J.Int n_err);
+                           ("est_error", J.Float est);
+                           ("measured_error", J.Float err);
+                           ("tolerance", J.Float exec_tol);
+                         ])
+                     errors) );
+              ( "determinism",
+                J.Obj
+                  [
+                    ("devices", J.Int n_det);
+                    ( "workers",
+                      J.List (List.map (fun w -> J.Int w) det_workers) );
+                    ("byte_identical", J.Bool true);
+                  ] );
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_approx.json" in
+  output_string oc (J.to_string ~pretty:true json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_approx.json\n"
+
 let all =
   [ ("table1", table1); ("table2", table2); ("fig6", fig6); ("fig7", fig7);
     ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("fig11", fig11);
@@ -2599,4 +2940,5 @@ let all =
     ("service_throughput", service_throughput); ("profiling", profiling);
     ("crypto_kernels", crypto_kernels); ("device_scaling", device_scaling);
     ("service_load", service_load); ("continual_epochs", continual_epochs);
-    ("calibration_loop", calibration_loop) ]
+    ("calibration_loop", calibration_loop);
+    ("approx_crossover", approx_crossover) ]

@@ -58,13 +58,37 @@ let verbose_arg =
   let doc = "Log planner and runtime progress to stderr." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
+let tolerance_arg =
+  let doc =
+    "Analyst error tolerance in (0, 1]: admit approximate plan variants \
+     (device sampling, sketches) whose estimated relative error stays \
+     within $(docv). Omit for exact plans only."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "error-tolerance" ] ~docv:"TOL" ~doc)
+
+let check_tolerance = function
+  | Some tol when not (tol > 0.0 && tol <= 1.0) ->
+      Error
+        (`Msg (Printf.sprintf "--error-tolerance must be in (0, 1], got %g" tol))
+  | t -> Ok t
+
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
 
-let build_query name categories epsilon =
-  try Ok (Arboretum.builtin_query ~epsilon ?categories name)
-  with Not_found -> Error (`Msg (Printf.sprintf "unknown query %S; try `arb list`" name))
+let build_query ?tolerance name categories epsilon =
+  match check_tolerance tolerance with
+  | Error e -> Error e
+  | Ok tolerance -> (
+      try
+        Ok
+          (Arboretum.builtin_query ~epsilon ?error_tolerance:tolerance
+             ?categories name)
+      with Not_found ->
+        Error (`Msg (Printf.sprintf "unknown query %S; try `arb list`" name)))
 
 let json_arg =
   let doc = "Emit the chosen plan and its cost metrics as JSON." in
@@ -157,10 +181,10 @@ let metrics_series reg =
        (String.split_on_char '\n' (Arb_obs.Metrics.to_prometheus reg)))
 
 let plan_cmd =
-  let run verbose name n categories epsilon goal json calibration trace_out
-      metrics_out det =
+  let run verbose name n categories epsilon tolerance goal json calibration
+      trace_out metrics_out det =
     setup_logs verbose;
-    match build_query name categories epsilon with
+    match build_query ?tolerance name categories epsilon with
     | Error (`Msg m) -> prerr_endline m; 1
     | Ok q ->
         let tracer =
@@ -197,8 +221,8 @@ let plan_cmd =
   let term =
     Term.(
       const run $ verbose_arg $ query_arg $ n_arg $ categories_arg $ epsilon_arg
-      $ goal_arg $ json_arg $ calibration_arg $ trace_out_arg $ metrics_out_arg
-      $ trace_det_arg)
+      $ tolerance_arg $ goal_arg $ json_arg $ calibration_arg $ trace_out_arg
+      $ metrics_out_arg $ trace_det_arg)
   in
   Cmd.v (Cmd.info "plan" ~doc:"Certify a query and print the chosen plan with its costs.") term
 
@@ -225,13 +249,20 @@ let certify_cmd =
   Cmd.v (Cmd.info "certify" ~doc:"Run differential-privacy certification only.") term
 
 let run_cmd =
-  let run verbose name devices epsilon seed workers cohort_size sampled_cohorts
-      calibration snapshots trace_out metrics_out det =
+  let run verbose name devices epsilon tolerance seed workers cohort_size
+      sampled_cohorts calibration snapshots trace_out metrics_out det =
     setup_logs verbose;
+    (match check_tolerance tolerance with
+    | Error (`Msg m) -> prerr_endline m; exit 1
+    | Ok _ -> ());
     (* Execution uses a small category count so the whole protocol fits in
        one process with real ciphertexts. *)
     let q =
-      try Arb_queries.Registry.test_instance ~epsilon name
+      try
+        {
+          (Arb_queries.Registry.test_instance ~epsilon name) with
+          Arb_queries.Registry.error_tolerance = tolerance;
+        }
       with Not_found ->
         prerr_endline ("unknown query " ^ name);
         exit 1
@@ -342,9 +373,10 @@ let run_cmd =
   in
   let term =
     Term.(
-      const run $ verbose_arg $ query_arg $ devices_arg $ epsilon_arg $ seed_arg
-      $ workers_arg $ cohort_size_arg $ sampled_cohorts_arg $ calibration_arg
-      $ snapshots_arg $ trace_out_arg $ metrics_out_arg $ trace_det_arg)
+      const run $ verbose_arg $ query_arg $ devices_arg $ epsilon_arg
+      $ tolerance_arg $ seed_arg $ workers_arg $ cohort_size_arg
+      $ sampled_cohorts_arg $ calibration_arg $ snapshots_arg $ trace_out_arg
+      $ metrics_out_arg $ trace_det_arg)
   in
   Cmd.v
     (Cmd.info "run"

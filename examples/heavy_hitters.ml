@@ -55,6 +55,7 @@ let () =
     (match planned.Arboretum.plan.Arb_planner.Plan.em_variant with
     | `Gumbel -> "Gumbel-noise"
     | `Exponentiate -> "exponentiation"
+    | `Sketch -> "count-min sketch"
     | `None -> "?");
   let report = Arboretum.run ~config ~db planned in
   Printf.printf "DP top-5: %s\n" (String.concat ", " (Arboretum.outputs_to_strings report));

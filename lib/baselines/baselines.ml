@@ -31,6 +31,7 @@ let orchard_plan ~crypto ~n ~cols ~noise_count ~cm =
     crypto;
     vignettes;
     sample_bins = None;
+    device_sample = None;
     committee_count = c;
     committee_size = m;
     em_variant = `None;

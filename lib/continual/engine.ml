@@ -68,11 +68,12 @@ type fingerprint = {
   fp_n : int;
   fp_calibration : string;
   fp_balance : float;
+  fp_tolerance : float option;
 }
 
 type session = {
   name : string;
-  sub : S.Workload.submission;
+  mutable sub : S.Workload.submission;
   every : int;
   start_epoch : int;
   carry : bool;
@@ -123,6 +124,17 @@ let observe_population t n =
 let set_calibration t tag =
   Mutex.protect t.lock (fun () -> t.calibration <- tag)
 
+let set_tolerance t name tol =
+  (match tol with
+  | Some v when not (v > 0.0 && v <= 1.0) ->
+      invalid_arg "Engine.set_tolerance: tolerance must be in (0, 1]"
+  | _ -> ());
+  Mutex.protect t.lock (fun () ->
+      match List.find_opt (fun s -> s.name = name) t.sessions with
+      | None -> invalid_arg ("Engine.set_tolerance: no session " ^ name)
+      | Some s ->
+          s.sub <- { s.sub with S.Workload.tolerance = tol })
+
 let resolve (sub : S.Workload.submission) =
   match
     match sub.S.Workload.categories with
@@ -131,7 +143,9 @@ let resolve (sub : S.Workload.submission) =
     | None ->
         Q.test_instance ~epsilon:sub.S.Workload.epsilon sub.S.Workload.query
   with
-  | q -> Some q
+  (* Mirror the service's admission: the tolerance is part of the query, so
+     the engine's cache-key computation matches the one the drain uses. *)
+  | q -> Some { q with Q.error_tolerance = sub.S.Workload.tolerance }
   | exception Not_found -> None
 
 let in_order t = List.rev t.sessions
@@ -237,6 +251,11 @@ let drift_reason t ~population ~calibration s =
         Some
           (Printf.sprintf "calibration drift: %s -> %s" fp.fp_calibration
              calibration)
+      else if s.sub.S.Workload.tolerance <> fp.fp_tolerance then
+        let show = function None -> "exact" | Some tol -> Printf.sprintf "%g" tol in
+        Some
+          (Printf.sprintf "tolerance drift: %s -> %s" (show fp.fp_tolerance)
+             (show s.sub.S.Workload.tolerance))
       else if
         rel_drift (relevant_balance t s) fp.fp_balance > t.config.balance_drift
       then
@@ -356,6 +375,7 @@ let settle t ~population ~calibration pd record =
                     fp_n = population;
                     fp_calibration = calibration;
                     fp_balance = relevant_balance t s;
+                    fp_tolerance = s.sub.S.Workload.tolerance;
                   }
           | Revalidated -> ());
           (match status with

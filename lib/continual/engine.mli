@@ -94,6 +94,13 @@ val set_calibration : t -> string -> unit
 (** Install a new cost-calibration fingerprint; due sessions re-plan once
     on their next epoch. *)
 
+val set_tolerance : t -> string -> float option -> unit
+(** Change session [name]'s analyst error tolerance ([None] = exact). A
+    changed tolerance forces exactly one re-plan ("tolerance drift") on
+    the session's next due epoch; subsequent epochs revalidate as usual.
+    Raises [Invalid_argument] on unknown sessions or tolerances outside
+    (0, 1]. *)
+
 val tick :
   ?tracer:Arb_obs.Tracer.t -> ?workers:int -> t -> epoch_record list
 (** Advance one epoch. Returns this epoch's record for every registered

@@ -47,15 +47,8 @@ let bump counts key =
   in
   List.sort (fun (a, _) (b, _) -> String.compare a b) (go counts)
 
-let rec decimate = function
-  | [] -> []
-  | [ x ] -> [ x ]
-  | keep :: _drop :: rest -> keep :: decimate rest
-
 let merge_samples capacity samples xs =
-  let merged = List.sort Float.compare (List.rev_append xs samples) in
-  let rec shrink s = if List.length s > capacity then shrink (decimate s) else s in
-  shrink merged
+  Arb_util.Sketch.merge_bounded ~capacity samples xs
 
 let update t ~outputs =
   match t.kind with

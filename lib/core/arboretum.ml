@@ -19,7 +19,7 @@ let width_of = function
   | Arb_lang.Ast.One_hot k -> k
   | Arb_lang.Ast.Bounded { width; _ } -> width
 
-let query_of_source ~name ~source ~row ~epsilon () =
+let query_of_source ?error_tolerance ~name ~source ~row ~epsilon () =
   match Arb_lang.Parser.parse_stmt source with
   | body ->
       let program = { Arb_lang.Ast.name; body; row; epsilon } in
@@ -47,15 +47,21 @@ let query_of_source ~name ~source ~row ~epsilon () =
            Arb_lang.Ast.fold_stmts
              (fun acc s -> acc || List.exists has_em_expr (Arb_lang.Ast.exprs_of_stmt s))
              false body);
+        error_tolerance;
       }
   | exception Arb_lang.Parser.Parse_error m -> raise (Rejected ("parse error: " ^ m))
   | exception Arb_lang.Lexer.Lex_error { pos; message } ->
       raise (Rejected (Printf.sprintf "lex error at %d: %s" pos message))
 
-let builtin_query ?epsilon ?categories name =
-  match categories with
-  | Some c -> Arb_queries.Registry.make ?epsilon ~name ~c ()
-  | None -> Arb_queries.Registry.paper_instance ?epsilon name
+let builtin_query ?epsilon ?error_tolerance ?categories name =
+  let q =
+    match categories with
+    | Some c -> Arb_queries.Registry.make ?epsilon ~name ~c ()
+    | None -> Arb_queries.Registry.paper_instance ?epsilon name
+  in
+  match error_tolerance with
+  | None -> q
+  | Some _ -> { q with Arb_queries.Registry.error_tolerance }
 
 let certify (q : query) ~n = Arb_lang.Certify.certify q.Arb_queries.Registry.program ~n
 
@@ -66,8 +72,17 @@ let plan ?cm ?goal ?limits ?tracer ?metrics:registry ~n (q : query) =
       (Rejected
          ("certification failed: "
          ^ Option.value certification.Arb_lang.Certify.reason ~default:"?"));
+  (* The query's declared tolerance becomes a planner constraint: without
+     one, only zero-error (exact) plans qualify and the search is byte-for-
+     byte what it was before the approximate variants existed. *)
+  let limits =
+    let base = Option.value limits ~default:Arb_planner.Constraints.no_limits in
+    match q.Arb_queries.Registry.error_tolerance with
+    | None -> base
+    | Some _ as tol -> Arb_planner.Constraints.with_error_tolerance base tol
+  in
   let r =
-    Arb_planner.Search.plan ?cm ?goal ?limits ?tracer ?metrics:registry
+    Arb_planner.Search.plan ?cm ?goal ?tracer ?metrics:registry ~limits
       ~query:q ~n ()
   in
   match (r.Arb_planner.Search.plan, r.Arb_planner.Search.metrics) with

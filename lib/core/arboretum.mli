@@ -42,15 +42,20 @@ val one_hot : int -> Arb_lang.Ast.row_shape
 val bounded : width:int -> lo:int -> hi:int -> Arb_lang.Ast.row_shape
 
 val query_of_source :
+  ?error_tolerance:float ->
   name:string ->
   source:string ->
   row:Arb_lang.Ast.row_shape ->
   epsilon:float ->
   unit ->
   query
-(** Parse an analyst query. Raises {!Rejected} on syntax errors. *)
+(** Parse an analyst query. Raises {!Rejected} on syntax errors.
+    [error_tolerance] opts the query into approximate plans: the planner
+    may then answer with sampled/sketched variants whose estimated relative
+    error stays within the tolerance. *)
 
-val builtin_query : ?epsilon:float -> ?categories:int -> string -> query
+val builtin_query :
+  ?epsilon:float -> ?error_tolerance:float -> ?categories:int -> string -> query
 (** One of the ten evaluation queries (Table 2) by name; default categories
     follow §7.1. *)
 

@@ -28,6 +28,13 @@ let amplified_epsilon ~epsilon ~phi =
   if epsilon > 30.0 then Float.max 0.0 (epsilon +. Float.log phi)
   else Float.log1p (phi *. (exp epsilon -. 1.0))
 
+let amplify t ~phi =
+  (* Privacy amplification by subsampling: when only a phi-fraction of
+     devices contribute, the mechanism's effective charge shrinks to
+     (ln(1 + phi(e^eps - 1)), phi * delta) — strictly below (eps, delta)
+     for phi < 1 and eps > 0. *)
+  { epsilon = amplified_epsilon ~epsilon:t.epsilon ~phi; delta = t.delta *. phi }
+
 let sqrt_k_epsilon ~epsilon ~k =
   if k <= 0 then invalid_arg "Budget.sqrt_k_epsilon";
   sqrt (float_of_int k) *. epsilon

@@ -28,6 +28,13 @@ val amplified_epsilon : epsilon:float -> phi:float -> float
 (** Secrecy of the sample (§2.1): running an eps-DP query on a secret
     phi-sample is ln(1 + phi(e^eps - 1))-DP. *)
 
+val amplify : t -> phi:float -> t
+(** Privacy amplification by subsampling: the effective cost of running a
+    [(epsilon, delta)] mechanism over a uniform phi-sample of the
+    population — [(amplified_epsilon, phi * delta)]. Strictly below the
+    full cost for [phi < 1] and [epsilon > 0]. Raises [Invalid_argument]
+    when [phi] is outside (0,1]. *)
+
 val sqrt_k_epsilon : epsilon:float -> k:int -> float
 (** Durfee–Rogers pay-what-you-get top-k: noise once, release k, pay
     sqrt(k) * eps. *)

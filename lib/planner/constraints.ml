@@ -13,6 +13,12 @@ type limits = {
   max_part_max_time : float option;
   max_part_exp_bytes : float option;
   max_part_max_bytes : float option;
+  max_est_error : float option;
+      (* Unlike the resource caps, [None] here does NOT mean "unconstrained":
+         it means the analyst supplied no error tolerance, so only exact
+         plans ([est_error = 0]) are admissible. This keeps the planner's
+         winners byte-identical to the pre-approximation planner whenever no
+         tolerance is given. *)
 }
 
 let no_limits =
@@ -23,6 +29,7 @@ let no_limits =
     max_part_max_time = None;
     max_part_exp_bytes = None;
     max_part_max_bytes = None;
+    max_est_error = None;
   }
 
 (* §7.2 caps participants at 4 GB / 20 min. The aggregator cap follows
@@ -37,11 +44,17 @@ let evaluation_limits =
     max_part_max_time = Some (20.0 *. 60.0);
     max_part_exp_bytes = None;
     max_part_max_bytes = Some 4.0e9;
+    max_est_error = None;
   }
 
 let with_agg_core_hours limits h = { limits with max_agg_time = Some (h *. 3600.0) }
+let with_error_tolerance limits tol = { limits with max_est_error = tol }
 
 let le_opt v = function None -> true | Some limit -> v <= limit
+
+(* [est_error] is capped by the tolerance when one is given; with no
+   tolerance only exact plans pass. *)
+let error_ok v = function None -> v <= 0.0 | Some limit -> v <= limit
 
 let satisfies l (m : Cost_model.metrics) =
   le_opt m.Cost_model.agg_time l.max_agg_time
@@ -50,6 +63,7 @@ let satisfies l (m : Cost_model.metrics) =
   && le_opt m.Cost_model.part_max_time l.max_part_max_time
   && le_opt m.Cost_model.part_exp_bytes l.max_part_exp_bytes
   && le_opt m.Cost_model.part_max_bytes l.max_part_max_bytes
+  && error_ok m.Cost_model.est_error l.max_est_error
 
 (* Every limit is an upper cap, so a *lower bound* on a candidate's metrics
    that already violates one can never be repaired by completing the plan:

@@ -15,6 +15,10 @@ type limits = {
   max_part_max_time : float option;
   max_part_exp_bytes : float option;
   max_part_max_bytes : float option;
+  max_est_error : float option;
+      (** Error tolerance. [None] means "no tolerance supplied": only exact
+          plans ([est_error = 0]) are admissible, keeping winners
+          byte-identical to the exact-only planner. *)
 }
 
 val no_limits : limits
@@ -24,6 +28,10 @@ val evaluation_limits : limits
     20 minutes; the aggregator spends at most 1,000 core-hours. *)
 
 val with_agg_core_hours : limits -> float -> limits
+
+val with_error_tolerance : limits -> float option -> limits
+(** [with_error_tolerance l tol] sets the error tolerance: [Some t] admits
+    plans whose [est_error] is at most [t]; [None] admits exact plans only. *)
 
 val satisfies : limits -> Cost_model.metrics -> bool
 

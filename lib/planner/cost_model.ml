@@ -5,6 +5,9 @@ type metrics = {
   part_max_time : float;
   part_exp_bytes : float;
   part_max_bytes : float;
+  est_error : float;
+      (* estimated relative error introduced by approximation (sampling,
+         sketches); 0.0 for exact plans *)
 }
 
 let zero_metrics =
@@ -15,17 +18,21 @@ let zero_metrics =
     part_max_time = 0.0;
     part_exp_bytes = 0.0;
     part_max_bytes = 0.0;
+    est_error = 0.0;
   }
 
 let pp_metrics fmt m =
   Format.fprintf fmt
-    "agg: %s / %s; participant exp: %s / %s, max: %s / %s"
+    "agg: %s / %s; participant exp: %s / %s, max: %s / %s%s"
     (Arb_util.Units.seconds_to_string m.agg_time)
     (Arb_util.Units.bytes_to_string m.agg_bytes)
     (Arb_util.Units.seconds_to_string m.part_exp_time)
     (Arb_util.Units.bytes_to_string m.part_exp_bytes)
     (Arb_util.Units.seconds_to_string m.part_max_time)
     (Arb_util.Units.bytes_to_string m.part_max_bytes)
+    (* exact plans render exactly as before the approximation dimension *)
+    (if m.est_error > 0.0 then Printf.sprintf "; est err: %.3g" m.est_error
+     else "")
 
 type contribution = {
   c_agg_time : float;
@@ -37,6 +44,7 @@ type contribution = {
   c_instances : int;
   c_members : int;  (* members per instance: m for MPC, 2 for replicated HE *)
   c_kind : [ `Keygen | `Decryption | `Operations | `Base ];
+  c_est_error : float;  (* relative error this vignette introduces *)
 }
 
 type ring = { ring_n : int; ct_bytes : float; pk_bytes : float }
@@ -163,6 +171,7 @@ let base_contribution =
     c_instances = 0;
     c_members = 0;
     c_kind = `Base;
+    c_est_error = 0.0;
   }
 
 let m_scale ~m = float_of_int m /. 42.0
@@ -178,7 +187,8 @@ let price t ~n_devices ~m ~cols (v : Plan.vignette) : contribution =
   let crypto_of = function
     | Plan.W_keygen c | W_encrypt_input { crypto = c; _ }
     | W_he_sum { crypto = c; _ } | W_he_affine { crypto = c; _ }
-    | W_he_rotate_sum { crypto = c; _ } | W_mpc_decrypt { crypto = c; _ }
+    | W_he_rotate_sum { crypto = c; _ } | W_he_sketch { crypto = c; _ }
+    | W_he_coarsen { crypto = c; _ } | W_mpc_decrypt { crypto = c; _ }
     | W_mpc_decrypt_noise { crypto = c; _ } -> c
     | _ -> Plan.Fhe
   in
@@ -288,6 +298,35 @@ let price t ~n_devices ~m ~cols (v : Plan.vignette) : contribution =
           c_member_bytes = float_of_int cts *. ring.ct_bytes;
           c_instances = max 1 instances;
           c_kind = `Base;
+        }
+    | W_he_sketch { crypto; cts; width; depth }, _ ->
+        (* Count-Min projection of the C-bin encrypted histogram into
+           depth x width counters. By CMS linearity this is public HE work
+           (one masked mul + rotate-accumulate pass per row), so it runs on
+           the aggregator. The standard CMS guarantee gives point estimates
+           within e/width of the true mass (relative to total count) with
+           probability 1 - e^-depth. *)
+        {
+          base_contribution with
+          c_agg_time =
+            float_of_int (depth * cts)
+            *. (he_mul_plain t crypto n +. he_rotate t crypto n +. he_add t crypto n);
+          c_est_error = Float.exp 1.0 /. float_of_int width;
+        }
+    | W_he_coarsen { crypto; cts; groups }, _ ->
+        (* Coarsen the C-bin encrypted histogram into [groups] buckets by
+           rotate-and-add folding: log2(C/groups) passes over the
+           ciphertexts. A rank query answered on the coarse histogram is off
+           by at most one bucket, i.e. relative rank error 1/groups. *)
+        let folds =
+          let ratio = max 1 (cols / max 1 groups) in
+          max 1 (int_of_float (ceil (Float.log2 (float_of_int ratio))))
+        in
+        {
+          base_contribution with
+          c_agg_time =
+            float_of_int (folds * cts) *. (he_rotate t crypto n +. he_add t crypto n);
+          c_est_error = 1.0 /. float_of_int groups;
         }
     | W_mpc_decrypt { cts; _ }, _ ->
         {
@@ -424,6 +463,8 @@ type partial = {
   p_seat_bytes : float;
   p_max_member_time : float;
   p_max_member_bytes : float;
+  p_est_error : float;  (* additive over vignettes, so monotone under
+                           completion: pruning on it is admissible *)
 }
 
 let empty_partial =
@@ -436,6 +477,7 @@ let empty_partial =
     p_seat_bytes = 0.0;
     p_max_member_time = 0.0;
     p_max_member_bytes = 0.0;
+    p_est_error = 0.0;
   }
 
 let add_contribution p c =
@@ -449,6 +491,7 @@ let add_contribution p c =
     p_seat_bytes = p.p_seat_bytes +. (seats *. c.c_member_bytes);
     p_max_member_time = Float.max p.p_max_member_time c.c_member_time;
     p_max_member_bytes = Float.max p.p_max_member_bytes c.c_member_bytes;
+    p_est_error = p.p_est_error +. c.c_est_error;
   }
 
 let combine_partial a b =
@@ -461,22 +504,37 @@ let combine_partial a b =
     p_seat_bytes = a.p_seat_bytes +. b.p_seat_bytes;
     p_max_member_time = Float.max a.p_max_member_time b.p_max_member_time;
     p_max_member_bytes = Float.max a.p_max_member_bytes b.p_max_member_bytes;
+    p_est_error = a.p_est_error +. b.p_est_error;
   }
 
 let partial_of_contributions cs = List.fold_left add_contribution empty_partial cs
 
-let finalize ~n_devices p =
+(* Relative standard error of a count estimated from a Bernoulli(phi) device
+   sample: ~2 standard deviations, 2 * sqrt((1-phi)/(phi*n)) <= 2/sqrt(phi*n). *)
+let sampling_error ~n_devices phi =
+  match phi with
+  | None -> 0.0
+  | Some phi -> 2.0 /. sqrt (phi *. float_of_int n_devices)
+
+(* [n_devices] is always the FULL population (committees are drawn from the
+   full population by sortition, so seat probabilities do not change);
+   [sample_phi] scales only the every-device costs, which a sampled-out
+   device never pays. *)
+let finalize ?sample_phi ~n_devices p =
   let nf = float_of_int n_devices in
+  let phi = match sample_phi with None -> 1.0 | Some phi -> phi in
   {
     agg_time = p.p_agg_time;
     agg_bytes = p.p_agg_bytes;
-    part_exp_time = p.p_all_time +. (p.p_seat_time /. nf);
+    part_exp_time = (phi *. p.p_all_time) +. (p.p_seat_time /. nf);
     part_max_time = p.p_all_time +. p.p_max_member_time;
-    part_exp_bytes = p.p_all_bytes +. (p.p_seat_bytes /. nf);
+    part_exp_bytes = (phi *. p.p_all_bytes) +. (p.p_seat_bytes /. nf);
     part_max_bytes = p.p_all_bytes +. p.p_max_member_bytes;
+    est_error = p.p_est_error +. sampling_error ~n_devices sample_phi;
   }
 
-let combine ~n_devices cs = finalize ~n_devices (partial_of_contributions cs)
+let combine ?sample_phi ~n_devices cs =
+  finalize ?sample_phi ~n_devices (partial_of_contributions cs)
 
 let member_cost_by_kind t ~n_devices ~m ~cols vignettes =
   List.filter_map
@@ -631,7 +689,8 @@ let section_costs t ~n_devices ~m ~cols vignettes =
       let ring = ring_for t (match v.Plan.work with
         | Plan.W_keygen cr | W_encrypt_input { crypto = cr; _ }
         | W_he_sum { crypto = cr; _ } | W_he_affine { crypto = cr; _ }
-        | W_he_rotate_sum { crypto = cr; _ } | W_mpc_decrypt { crypto = cr; _ }
+        | W_he_rotate_sum { crypto = cr; _ } | W_he_sketch { crypto = cr; _ }
+        | W_he_coarsen { crypto = cr; _ } | W_mpc_decrypt { crypto = cr; _ }
         | W_mpc_decrypt_noise { crypto = cr; _ } -> cr
         | _ -> Plan.Fhe)
         ~cols

@@ -19,6 +19,9 @@ type metrics = {
   part_max_time : float;  (** worst-case per-participant compute *)
   part_exp_bytes : float;  (** expected per-participant bytes sent *)
   part_max_bytes : float;  (** worst-case per-participant bytes sent *)
+  est_error : float;
+      (** estimated relative error introduced by approximation (device
+          sampling, sketch operators); exactly 0.0 for exact plans *)
 }
 
 val zero_metrics : metrics
@@ -38,6 +41,9 @@ type contribution = {
   c_members : int;  (** members per instance: m for MPC, 2 for replicated HE *)
   c_kind : [ `Keygen | `Decryption | `Operations | `Base ];
       (** committee type for the Fig. 7 breakdown *)
+  c_est_error : float;
+      (** relative error this vignette introduces (sketch width/coarsening
+          bounds); 0.0 for exact operators *)
 }
 
 type ring = {
@@ -157,12 +163,18 @@ val add_contribution : partial -> contribution -> partial
 val combine_partial : partial -> partial -> partial
 val partial_of_contributions : contribution list -> partial
 
-val finalize : n_devices:int -> partial -> metrics
+val finalize : ?sample_phi:float -> n_devices:int -> partial -> metrics
 (** Normalize the seat-weighted expected costs by the deployment size and
-    add the member maxima to the worst-case components. *)
+    add the member maxima to the worst-case components. [n_devices] is
+    always the full population (sortition draws committees from everyone).
+    [sample_phi], when given, is the device-sampling rate: it scales the
+    every-device expected costs (a sampled-out device pays nothing) and
+    adds the sampling term [2/sqrt(phi*n)] to [est_error]; the worst-case
+    components are untouched — the unluckiest device is sampled in. *)
 
-val combine : n_devices:int -> contribution list -> metrics
-(** [combine ~n_devices cs = finalize ~n_devices (partial_of_contributions cs)]. *)
+val combine : ?sample_phi:float -> n_devices:int -> contribution list -> metrics
+(** [combine ?sample_phi ~n_devices cs =
+     finalize ?sample_phi ~n_devices (partial_of_contributions cs)]. *)
 
 val member_cost_by_kind :
   t ->

@@ -7,6 +7,9 @@ type ctx = {
   bins : int option; (* secrecy-of-the-sample bin count for this candidate *)
   cm : Cost_model.t;
   redundant_boundaries : bool;
+  tolerance : float option;
+      (* analyst error tolerance; None = exact variants only, so the
+         enumeration (not just the winner) is unchanged without one *)
 }
 
 type choice = {
@@ -14,7 +17,7 @@ type choice = {
   vignettes : Plan.vignette list;
   domain_after : domain;
   needs_fhe : bool;
-  em_variant : [ `Gumbel | `Exponentiate | `None ];
+  em_variant : [ `Gumbel | `Exponentiate | `Sketch | `None ];
 }
 
 let slots ctx = (Cost_model.ring_for ctx.cm ctx.crypto ~cols:ctx.cols).Cost_model.ring_n
@@ -35,6 +38,13 @@ let fanout_options = [ 16; 64; 256; 1024 ]
 
 (* Argmax tournament fanouts. *)
 let argmax_fanouts = [ 2; 4; 8; 16; 64 ]
+
+(* Approximate-variant shape options (only enumerated under a tolerance):
+   Count-Min widths for the sketch EM variant, coarse-bucket counts for the
+   quantile scan. *)
+let sketch_widths = [ 64; 256; 1024 ]
+let sketch_depth = 3
+let coarsen_groups = [ 64; 256 ]
 
 let ceil_div a b = (a + b - 1) / b
 
@@ -177,7 +187,29 @@ let scan_choices ctx domain ~cols =
           (D_shares chunk))
       (chunk_options cols)
   in
-  enc_rotate @ mpc
+  (* Under a tolerance: coarsen the encrypted histogram into a few buckets
+     first, then scan only those — a rank query loses at most one bucket
+     (est_error 1/groups, priced on the W_he_coarsen vignette). *)
+  let coarsen =
+    match (ctx.tolerance, domain) with
+    | Some _, D_enc ->
+        List.filter_map
+          (fun groups ->
+            if groups >= cols then None
+            else
+              Some
+                (simple
+                   (Printf.sprintf "scan:coarsen(%d)" groups)
+                   ((vign Plan.Aggregator
+                       (Plan.W_he_coarsen
+                          { crypto = ctx.crypto; cts = cts_for ctx cols; groups })
+                    :: decrypt_vignettes ctx ~count:groups ~chunk:groups)
+                   @ [ vign (Plan.Committees 1) (Plan.W_mpc_scan { elements = groups }) ])
+                   (D_shares groups)))
+          coarsen_groups
+    | _ -> []
+  in
+  enc_rotate @ mpc @ coarsen
 
 let affine_choices ctx domain ~cols =
   let enc =
@@ -386,7 +418,46 @@ and em_choices_once ctx domain ~cols ~gap =
           (chunk_options cols))
       (chunk_options cols)
   in
-  gumbel @ exponentiate
+  (* Under a tolerance: project the encrypted histogram into a Count-Min
+     sketch (public HE work — CMS is linear), then decrypt + Laplace-noise
+     only depth x width counters instead of running the full EM machinery
+     over every category. The argmax over noisy min-estimates happens in
+     cleartext postprocessing (report-noisy-max). *)
+  let sketch =
+    match (ctx.tolerance, domain) with
+    | Some _, D_enc ->
+        List.filter_map
+          (fun width ->
+            if width >= cols then None
+            else
+              let counters = sketch_depth * width in
+              let cts = max 1 (ceil_div counters (slots ctx)) in
+              Some
+                {
+                  (simple
+                     (Printf.sprintf "em:sketch(%dx%d)" sketch_depth width)
+                     [
+                       vign Plan.Aggregator
+                         (Plan.W_he_sketch
+                            { crypto = ctx.crypto; cts = cts_for ctx cols;
+                              width; depth = sketch_depth });
+                       vign (Plan.Committees 1)
+                         (Plan.W_mpc_decrypt_noise
+                            { crypto = ctx.crypto; cts; kind = `Laplace;
+                              count = counters });
+                       vign (Plan.Committees 1)
+                         (Plan.W_mpc_output { values = counters });
+                       vign Plan.Aggregator
+                         (Plan.W_post { flops = counters + cols });
+                     ]
+                     (D_shares counters))
+                  with
+                  em_variant = `Sketch;
+                })
+          sketch_widths
+    | _ -> []
+  in
+  gumbel @ exponentiate @ sketch
 
 let mask_choices ctx ~cols =
   [

@@ -23,6 +23,9 @@ type ctx = {
   redundant_boundaries : bool;
       (** ablation: disable the §4.4 merging heuristics, inflating the
           space with equivalent re-segmentations *)
+  tolerance : float option;
+      (** analyst error tolerance; [None] disables the approximate variants
+          entirely, so the enumeration is unchanged without one *)
 }
 
 type choice = {
@@ -30,7 +33,7 @@ type choice = {
   vignettes : Plan.vignette list;
   domain_after : domain;
   needs_fhe : bool;
-  em_variant : [ `Gumbel | `Exponentiate | `None ];
+  em_variant : [ `Gumbel | `Exponentiate | `Sketch | `None ];
 }
 
 val prefix : ctx -> sampled_bins:int option -> Plan.vignette list

@@ -46,7 +46,34 @@ let vignette_table ~cm ~n_devices ~cols (p : Plan.t) =
 let em_string = function
   | `Gumbel -> "gumbel"
   | `Exponentiate -> "exponentiate"
+  | `Sketch -> "sketch"
   | `None -> "-"
+
+(* Describe the approximate variant chosen, if any; "" for exact plans so
+   their explanation is unchanged. *)
+let approx_string (p : Plan.t) (m : Cost_model.metrics) =
+  let parts =
+    (match p.Plan.device_sample with
+    | None -> []
+    | Some phi -> [ Printf.sprintf "device sample %g" phi ])
+    @
+    match p.Plan.em_variant with
+    | `Sketch -> [ "count-min sketch" ]
+    | _ ->
+        if
+          m.Cost_model.est_error > 0.0
+          && List.exists
+               (fun (v : Plan.vignette) ->
+                 match v.Plan.work with Plan.W_he_coarsen _ -> true | _ -> false)
+               p.Plan.vignettes
+        then [ "coarsened scan" ]
+        else []
+  in
+  if m.Cost_model.est_error <= 0.0 && parts = [] then ""
+  else
+    Format.asprintf "  approximate: %s, est. relative error %.3g@."
+      (match parts with [] -> "-" | _ -> String.concat " + " parts)
+      m.Cost_model.est_error
 
 let summary (p : Plan.t) (m : Cost_model.metrics) =
   Format.asprintf
@@ -61,6 +88,7 @@ let summary (p : Plan.t) (m : Cost_model.metrics) =
     (U.bytes_to_string m.Cost_model.part_exp_bytes)
     (U.seconds_to_string m.Cost_model.part_max_time)
     (U.bytes_to_string m.Cost_model.part_max_bytes)
+  ^ approx_string p m
 
 let alternatives_table alts =
   match alts with
@@ -72,7 +100,12 @@ let alternatives_table alts =
             [ (if i = 0 then "winner" else Printf.sprintf "#%d" (i + 1));
               Plan.crypto_name p.Plan.crypto;
               string_of_int p.Plan.committee_count;
-              em_string p.Plan.em_variant;
+              (* exact rows render exactly as before the approx dimension *)
+              (em_string p.Plan.em_variant
+              ^
+              match p.Plan.device_sample with
+              | None -> ""
+              | Some phi -> Printf.sprintf " @%g" phi);
               U.seconds_to_string m.Cost_model.part_exp_time;
               U.seconds_to_string m.Cost_model.part_max_time;
               U.seconds_to_string m.Cost_model.agg_time ])

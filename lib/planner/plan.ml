@@ -17,6 +17,8 @@ type work =
   | W_he_sum of { crypto : crypto; cts : int; inputs : int }
   | W_he_affine of { crypto : crypto; cts : int; muls : int; adds : int }
   | W_he_rotate_sum of { crypto : crypto; cts : int; rotations : int }
+  | W_he_sketch of { crypto : crypto; cts : int; width : int; depth : int }
+  | W_he_coarsen of { crypto : crypto; cts : int; groups : int }
   | W_mpc_decrypt of { crypto : crypto; cts : int }
   | W_mpc_decrypt_noise of {
       crypto : crypto;
@@ -41,9 +43,12 @@ type t = {
   crypto : crypto;
   vignettes : vignette list;
   sample_bins : int option;
+  device_sample : float option;
+      (* Bernoulli device-sampling rate phi in (0,1); None = every device
+         participates (exact) *)
   committee_count : int;
   committee_size : int;
-  em_variant : [ `Gumbel | `Exponentiate | `None ];
+  em_variant : [ `Gumbel | `Exponentiate | `Sketch | `None ];
 }
 
 let committee_count vs =
@@ -69,6 +74,12 @@ let describe_work = function
   | W_he_rotate_sum { crypto; cts; rotations } ->
       Printf.sprintf "heRotateSum(%s, %d cts, %d rots)" (crypto_name crypto) cts
         rotations
+  | W_he_sketch { crypto; cts; width; depth } ->
+      Printf.sprintf "heSketch(%s, %d cts -> %dx%d)" (crypto_name crypto) cts
+        depth width
+  | W_he_coarsen { crypto; cts; groups } ->
+      Printf.sprintf "heCoarsen(%s, %d cts -> %d groups)" (crypto_name crypto)
+        cts groups
   | W_mpc_decrypt { crypto; cts } ->
       Printf.sprintf "mpcDecrypt(%s, %d cts)" (crypto_name crypto) cts
   | W_mpc_decrypt_noise { crypto; cts; kind; count } ->
@@ -96,12 +107,17 @@ let describe_location = function
   | Participants -> "participants"
 
 let pp fmt t =
-  Format.fprintf fmt "plan for %s [%s, %d committees of %d, em=%s]@."
+  (* exact plans print exactly as before the approximation dimension *)
+  Format.fprintf fmt "plan for %s [%s, %d committees of %d, em=%s%s]@."
     t.query (crypto_name t.crypto) t.committee_count t.committee_size
     (match t.em_variant with
     | `Gumbel -> "gumbel"
     | `Exponentiate -> "exponentiate"
-    | `None -> "n/a");
+    | `Sketch -> "sketch"
+    | `None -> "n/a")
+    (match t.device_sample with
+    | None -> ""
+    | Some phi -> Printf.sprintf ", sample=%g" phi);
   List.iter
     (fun v ->
       Format.fprintf fmt "  %-16s %s@." (describe_location v.location)

@@ -35,6 +35,13 @@ type work =
       (** public-coefficient linear map on ciphertexts *)
   | W_he_rotate_sum of { crypto : crypto; cts : int; rotations : int }
       (** slot-wise prefix/suffix sums via rotations *)
+  | W_he_sketch of { crypto : crypto; cts : int; width : int; depth : int }
+      (** Count-Min projection of the encrypted histogram into depth x width
+          counters (public HE work — CMS is linear); point estimates are
+          within e/width of the true relative mass *)
+  | W_he_coarsen of { crypto : crypto; cts : int; groups : int }
+      (** fold the encrypted histogram into [groups] coarse buckets by
+          rotate-and-add; rank queries lose at most 1/groups *)
   | W_mpc_decrypt of { crypto : crypto; cts : int }
       (** threshold decryption of [cts] ciphertexts into shares *)
   | W_mpc_decrypt_noise of {
@@ -68,9 +75,13 @@ type t = {
   vignettes : vignette list;
   (* Derived when the plan is completed: *)
   sample_bins : int option;  (** secrecy-of-the-sample bin count (§6), when the query samples *)
+  device_sample : float option;
+      (** Bernoulli device-sampling rate phi in (0,1); [None] = every
+          device participates (exact). Sampling amplifies privacy: the
+          charged epsilon shrinks (see {!Arb_dp.Budget.amplify}). *)
   committee_count : int;  (** total committees across all vignettes *)
   committee_size : int;  (** minimum m for this plan's committee count *)
-  em_variant : [ `Gumbel | `Exponentiate | `None ];
+  em_variant : [ `Gumbel | `Exponentiate | `Sketch | `None ];
 }
 
 val committee_count : vignette list -> int

@@ -53,6 +53,14 @@ let work_to_json (w : Plan.work) =
       tag "heRotateSum"
         [ ("crypto", crypto_to_json crypto); ("cts", J.Int cts);
           ("rotations", J.Int rotations) ]
+  | W_he_sketch { crypto; cts; width; depth } ->
+      tag "heSketch"
+        [ ("crypto", crypto_to_json crypto); ("cts", J.Int cts);
+          ("width", J.Int width); ("depth", J.Int depth) ]
+  | W_he_coarsen { crypto; cts; groups } ->
+      tag "heCoarsen"
+        [ ("crypto", crypto_to_json crypto); ("cts", J.Int cts);
+          ("groups", J.Int groups) ]
   | W_mpc_decrypt { crypto; cts } ->
       tag "mpcDecrypt" [ ("crypto", crypto_to_json crypto); ("cts", J.Int cts) ]
   | W_mpc_decrypt_noise { crypto; cts; kind; count } ->
@@ -92,6 +100,14 @@ let work_of_json j : Plan.work =
       W_he_rotate_sum
         { crypto = crypto_of_json (J.member "crypto" j); cts = int "cts";
           rotations = int "rotations" }
+  | "heSketch" ->
+      W_he_sketch
+        { crypto = crypto_of_json (J.member "crypto" j); cts = int "cts";
+          width = int "width"; depth = int "depth" }
+  | "heCoarsen" ->
+      W_he_coarsen
+        { crypto = crypto_of_json (J.member "crypto" j); cts = int "cts";
+          groups = int "groups" }
   | "mpcDecrypt" ->
       W_mpc_decrypt
         { crypto = crypto_of_json (J.member "crypto" j); cts = int "cts" }
@@ -115,6 +131,7 @@ let work_of_json j : Plan.work =
 let em_to_json = function
   | `Gumbel -> J.String "gumbel"
   | `Exponentiate -> J.String "exponentiate"
+  | `Sketch -> J.String "sketch"
   | `None -> J.Null
 
 let em_of_json = function
@@ -123,6 +140,7 @@ let em_of_json = function
       match J.to_str j with
       | "gumbel" -> `Gumbel
       | "exponentiate" -> `Exponentiate
+      | "sketch" -> `Sketch
       | other -> raise (J.Parse_error ("unknown em variant " ^ other)))
 
 let plan_to_json (p : Plan.t) =
@@ -140,6 +158,8 @@ let plan_to_json (p : Plan.t) =
              p.Plan.vignettes) );
       ( "sampleBins",
         match p.Plan.sample_bins with None -> J.Null | Some b -> J.Int b );
+      ( "deviceSample",
+        match p.Plan.device_sample with None -> J.Null | Some phi -> J.Float phi );
       ("committeeCount", J.Int p.Plan.committee_count);
       ("committeeSize", J.Int p.Plan.committee_size);
       ("emVariant", em_to_json p.Plan.em_variant);
@@ -159,6 +179,10 @@ let plan_of_json j : Plan.t =
         (J.to_list (J.member "vignettes" j));
     sample_bins =
       (match J.member "sampleBins" j with J.Null -> None | v -> Some (J.to_int v));
+    device_sample =
+      (match J.member "deviceSample" j with
+      | J.Null -> None
+      | v -> Some (J.to_float v));
     committee_count = J.to_int (J.member "committeeCount" j);
     committee_size = J.to_int (J.member "committeeSize" j);
     em_variant = em_of_json (J.member "emVariant" j);
@@ -173,6 +197,7 @@ let metrics_to_json (m : Cost_model.metrics) =
       ("partMaxTime", J.Float m.Cost_model.part_max_time);
       ("partExpBytes", J.Float m.Cost_model.part_exp_bytes);
       ("partMaxBytes", J.Float m.Cost_model.part_max_bytes);
+      ("estError", J.Float m.Cost_model.est_error);
     ]
 
 let metrics_of_json j =
@@ -183,6 +208,7 @@ let metrics_of_json j =
     part_max_time = J.to_float (J.member "partMaxTime" j);
     part_exp_bytes = J.to_float (J.member "partExpBytes" j);
     part_max_bytes = J.to_float (J.member "partMaxBytes" j);
+    est_error = J.to_float (J.member "estError" j);
   }
 
 let plan_to_string ?pretty p = J.to_string ?pretty (plan_to_json p)
@@ -190,7 +216,12 @@ let plan_of_string s = plan_of_json (J.of_string s)
 
 (* ---------------- versioned file persistence ---------------- *)
 
-let format_version = 1
+(* v2: plans carry deviceSample, metrics carry estError, work items gained
+   heSketch/heCoarsen, and submissions may carry an errorTolerance. v1
+   files are rejected on load — cache entries written before the
+   approximation dimension demote to misses rather than colliding with
+   approximate plans. *)
+let format_version = 2
 
 let save_versioned path fields =
   let doc = J.Obj (("formatVersion", J.Int format_version) :: fields) in

@@ -52,7 +52,7 @@ let is_mpc_vignette (v : Plan.vignette) =
   | W_mpc_exp _ | W_mpc_sample_index _ | W_mpc_output _ ->
       true
   | W_encrypt_input _ | W_verify_inputs _ | W_he_sum _ | W_he_affine _
-  | W_he_rotate_sum _ | W_post _ ->
+  | W_he_rotate_sum _ | W_he_sketch _ | W_he_coarsen _ | W_post _ ->
       false
 
 let mpc_committee_count vs =
@@ -69,6 +69,7 @@ type searcher = {
   cm : Cost_model.t;
   crypto : Plan.crypto;
   bins : int option;
+  phi : float option;  (* device-sampling rate for this task; None = exact *)
   limits : Constraints.limits;
   goal : Constraints.goal;
   heuristics : bool;
@@ -154,7 +155,9 @@ let score_full s ~em_variant acc query_name =
   let m = committee_size_for ~f:s.f ~g:s.g ~p1:s.p1 (max 1 c) in
   (* The one full re-pricing pass: the true committee size m is only known
      now that the plan's total committee count is. *)
-  let metrics = Cost_model.combine ~n_devices:s.n (price_all s ~m acc) in
+  let metrics =
+    Cost_model.combine ?sample_phi:s.phi ~n_devices:s.n (price_all s ~m acc)
+  in
   if s.timed then
     s.score_seconds <- s.score_seconds +. (Unix.gettimeofday () -. t_start);
   if Constraints.satisfies s.limits metrics then begin
@@ -165,6 +168,7 @@ let score_full s ~em_variant acc query_name =
         crypto = s.crypto;
         vignettes = acc;
         sample_bins = s.bins;
+        device_sample = s.phi;
         committee_count = c;
         committee_size = m;
         em_variant;
@@ -247,7 +251,10 @@ let search_one s ~(ctx : Expand.ctx) ~prefix_vs ~ops ~query_name =
                 (* Fold only the delta vignettes into the running prefix
                    partial; the delta itself comes priced from the memo. *)
                 let partial = Cost_model.combine_partial acc_partial delta in
-                (c, None, partial, Cost_model.finalize ~n_devices:s.n partial))
+                ( c,
+                  None,
+                  partial,
+                  Cost_model.finalize ?sample_phi:s.phi ~n_devices:s.n partial ))
               (priced_choices domain depth op)
           else
             (* The pre-optimization behavior: re-expand and re-price the
@@ -256,7 +263,10 @@ let search_one s ~(ctx : Expand.ctx) ~prefix_vs ~ops ~query_name =
               (fun (c : Expand.choice) ->
                 let vs = acc @ c.Expand.vignettes in
                 let partial = partial_lb vs in
-                (c, Some vs, partial, Cost_model.finalize ~n_devices:s.n partial))
+                ( c,
+                  Some vs,
+                  partial,
+                  Cost_model.finalize ?sample_phi:s.phi ~n_devices:s.n partial ))
               (Expand.choices ctx domain op)
         in
         (* Explore cheap choices first so branch-and-bound gets a good
@@ -374,16 +384,26 @@ let plan ?(cm = Cost_model.default) ?(limits = Constraints.evaluation_limits)
   let cols = query.Arb_queries.Registry.categories in
   let m_lb = committee_size_for ~f ~g ~p1 1 in
   let shared_best = Atomic.make infinity in
-  (* Canonical task order: crypto profile major, sampled-bins minor. The
-     merge below folds results in this order, so ties resolve identically
-     however the tasks were scheduled. *)
+  (* Canonical task order: crypto profile major, sampled-bins middle,
+     device-sampling rate minor (exact first). The merge below folds
+     results in this order, so ties resolve identically however the tasks
+     were scheduled. Without a tolerance only the exact rate is enumerated,
+     so the task list — and therefore the winner — is byte-identical to the
+     exact-only planner. *)
+  let phis =
+    match limits.Constraints.max_est_error with
+    | None -> [ None ]
+    | Some _ -> [ None; Some 0.25; Some 0.1; Some 0.01; Some 0.001 ]
+  in
   let tasks =
     List.concat_map
       (fun crypto ->
-        List.map (fun bins -> (crypto, bins)) (Expand.sampled_bins_options ops))
+        List.concat_map
+          (fun bins -> List.map (fun phi -> (crypto, bins, phi)) phis)
+          (Expand.sampled_bins_options ops))
       [ Plan.Ahe; Plan.Fhe ]
   in
-  let run_task idx (crypto, bins) () =
+  let run_task idx (crypto, bins, phi) () =
     (* Each task writes to its own child tracer (its own tid); the parent
        grafts them back in canonical task order below, so the merged trace
        does not depend on worker scheduling. *)
@@ -398,6 +418,7 @@ let plan ?(cm = Cost_model.default) ?(limits = Constraints.evaluation_limits)
         cm;
         crypto;
         bins;
+        phi;
         limits;
         goal;
         heuristics;
@@ -428,14 +449,23 @@ let plan ?(cm = Cost_model.default) ?(limits = Constraints.evaluation_limits)
         depth_seconds = [||];
       }
     in
+    (* Sampled tasks size every-device vignettes (verification, sum trees)
+       for the expected sampled population; pricing still normalizes by the
+       full population, which is also where committees are drawn from. *)
+    let n_eff =
+      match phi with
+      | None -> n
+      | Some phi -> max 1 (int_of_float (Float.round (phi *. float_of_int n)))
+    in
     let ctx =
       {
-        Expand.n_devices = n;
+        Expand.n_devices = n_eff;
         cols;
         crypto;
         bins;
         cm;
         redundant_boundaries = not heuristics;
+        tolerance = limits.Constraints.max_est_error;
       }
     in
     let prefix_vs = Expand.prefix ctx ~sampled_bins:bins in
@@ -453,6 +483,10 @@ let plan ?(cm = Cost_model.default) ?(limits = Constraints.evaluation_limits)
               ( "bins",
                 match bins with
                 | Some b -> Arb_util.Json.Int b
+                | None -> Arb_util.Json.Null );
+              ( "sample",
+                match phi with
+                | Some p -> Arb_util.Json.Float p
                 | None -> Arb_util.Json.Null );
             ]
           "search"
@@ -624,6 +658,7 @@ let plan ?(cm = Cost_model.default) ?(limits = Constraints.evaluation_limits)
             (match p.Plan.em_variant with
             | `Gumbel -> "gumbel"
             | `Exponentiate -> "exponentiate"
+            | `Sketch -> "sketch"
             | `None -> "-"))
   | None -> Log.debug (fun m -> m "no feasible plan"));
   {

@@ -5,6 +5,7 @@ type query = {
   program : Arb_lang.Ast.program;
   categories : int;
   uses_em : bool;
+  error_tolerance : float option;
 }
 
 let names =
@@ -174,7 +175,7 @@ let spec_of name =
   | Some s -> s
   | None -> raise Not_found
 
-let make ?(epsilon = 0.1) ~name ~c () =
+let make ?(epsilon = 0.1) ?error_tolerance ~name ~c () =
   let s = spec_of name in
   let program =
     {
@@ -185,7 +186,7 @@ let make ?(epsilon = 0.1) ~name ~c () =
     }
   in
   { name; action = s.action_; source = s.source_; program;
-    categories = s.width_of_c c; uses_em = s.em }
+    categories = s.width_of_c c; uses_em = s.em; error_tolerance }
 
 let paper_instance ?epsilon name =
   let s = spec_of name in

@@ -15,13 +15,18 @@ type query = {
   program : Arb_lang.Ast.program;
   categories : int;  (** the C this instance was built with *)
   uses_em : bool;  (** exponential-mechanism query (vs Laplace) *)
+  error_tolerance : float option;
+      (** analyst-declared relative-error tolerance in (0,1]; [None] means
+          exact answers only — the planner never considers approximate
+          (sampled/sketched) variants for the query *)
 }
 
 val names : string list
 (** In Table 2 order: top1, topK, gap, auction, hypotest, secrecy, median,
     cms, bayes, kmedians. *)
 
-val make : ?epsilon:float -> name:string -> c:int -> unit -> query
+val make :
+  ?epsilon:float -> ?error_tolerance:float -> name:string -> c:int -> unit -> query
 (** Build a query instance for a given category count. [c] is interpreted
     per query (histogram width for top1-like queries, sketch width for cms,
     cluster count for kmedians). Raises [Not_found] for unknown names. *)

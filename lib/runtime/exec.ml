@@ -403,6 +403,47 @@ and em_mechanism st ~gap v : rvalue =
         | `Exponentiate ->
             Pr.em_exponentiate eng ~epsilon:st.epsilon ~sensitivity:st.sensitivity
               scores
+        | `Sketch ->
+            (* Count-min variant: fold the C scores into depth x width
+               counters on shares, noise and open only the counters, and
+               pick the winner from the cleartext point estimates — the
+               approximate plan's whole point is that width << C. Hash
+               placement is pure in (row, category), so the counters are
+               identical at any worker count. *)
+            let width, depth = sketch_shape_of_plan st.plan in
+            let n = Array.length scores in
+            let counters = Array.init (depth * width) (fun _ -> E.const eng 0) in
+            for c = 0 to n - 1 do
+              for row = 0 to depth - 1 do
+                let b = (row * width) + Arb_util.Sketch.cms_bucket ~row ~width c in
+                counters.(b) <- Fm.add eng counters.(b) scores.(c)
+              done
+            done;
+            let scale =
+              Arb_util.Fixed.of_float (2.0 *. st.sensitivity /. st.epsilon)
+            in
+            let noisy =
+              spn st.cfg
+                ~args:
+                  [ ("width", Arb_util.Json.Int width);
+                    ("depth", Arb_util.Json.Int depth) ]
+                "sketch-noise"
+                (fun () ->
+                  Array.map
+                    (fun s ->
+                      Fx.to_float
+                        (Fm.open_fixed eng (Fm.add eng s (Fm.laplace eng ~scale))))
+                    counters)
+            in
+            let best = ref 0 and best_v = ref neg_infinity in
+            for c = 0 to n - 1 do
+              let est = Arb_util.Sketch.cms_estimate ~depth ~width noisy c in
+              if est > !best_v then begin
+                best := c;
+                best_v := est
+              end
+            done;
+            !best
         | `Gumbel | `None ->
             (* Honor the plan's committee parallelism (Fig. 5): the noise
                chunk size chosen by the planner determines how many
@@ -466,6 +507,14 @@ and em_mechanism st ~gap v : rvalue =
   in
   record_ops_cost st cost_before;
   result
+
+and sketch_shape_of_plan (plan : Plan.t) =
+  List.fold_left
+    (fun acc (v : Plan.vignette) ->
+      match v.Plan.work with
+      | Plan.W_he_sketch { width; depth; _ } -> (width, depth)
+      | _ -> acc)
+    (256, 3) plan.Plan.vignettes
 
 and noise_chunk_of_plan (plan : Plan.t) =
   List.fold_left
@@ -660,6 +709,12 @@ let execute_inner cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~sr
     Setup.population ~seed:cfg.seed ~n:n_devices
       ~byzantine_fraction:cfg.byzantine_fraction
   in
+  (* Device sampling (approximate plans): inclusion is a pure PRF of
+     (population seed, id) from its own derived stream, so the sampled
+     device set — and every downstream byte — is identical at any worker
+     count and cohort geometry. *)
+  let dphi = plan.Plan.device_sample in
+  let dev_included gi = Setup.device_sampled pop ~phi:dphi gi in
   let n_committees = 4 in
   let assignment =
     spn cfg "sortition" (fun () ->
@@ -717,7 +772,13 @@ let execute_inner cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~sr
           Setup.keygen_ceremony rng ~device_seed:(Setup.device_seed pop)
             ~committee:kg_committee ~params
             ~query_id:cfg.query_id ~plan_digest ~budget:cfg.budget
-            ~cost:cert_report.L.Certify.cost
+            ~cost:
+              (* Privacy amplification by subsampling: a sampled plan is
+                 charged the strictly smaller amplified cost (§2.1). *)
+              (match dphi with
+              | None -> cert_report.L.Certify.cost
+              | Some phi ->
+                  Arb_dp.Budget.amplify cert_report.L.Certify.cost ~phi)
             ~registry_root:assignment.C.Sortition.registry_root
             ~engine:eng_keygen
         in
@@ -734,9 +795,15 @@ let execute_inner cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~sr
       m "query %d: keygen done (ring %d, t=%d, %d ct/device), certificate %s"
         cfg.query_id params.C.Bgv.n params.C.Bgv.t ct_count
         (if certificate_ok then "verified" else "INVALID"));
+  (* Only participating devices fetch the public key. *)
+  let key_recipients =
+    match dphi with
+    | None -> float_of_int n_devices
+    | Some phi -> Float.round (phi *. float_of_int n_devices)
+  in
   trace.Trace.agg_bytes_sent <-
     trace.Trace.agg_bytes_sent
-    +. float_of_int (n_devices * C.Bgv.public_key_bytes params);
+    +. (key_recipients *. float_of_int (C.Bgv.public_key_bytes params));
   (* 3. Input: encrypt + prove; aggregator verifies and aggregates. *)
   let audit = Audit.create () in
   let statement : C.Zkp.statement =
@@ -760,6 +827,10 @@ let execute_inner cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~sr
   let pending_roots = ref [] in
   let acc_ct = ref None in
   let accepted = ref 0 and rejected = ref 0 in
+  (* Devices the sampling PRF actually included (= n_devices for exact
+     plans); the interpreted program's N so sampled sums pair with the
+     matching population count. *)
+  let included_devices = ref 0 in
   (* Uploads travel over a link whose drops and delays come from the fault
      plan; a delay is absorbed as latency, a drop costs a retry. The
      per-kind fault streams are only consulted for materialized devices —
@@ -848,27 +919,33 @@ let execute_inner cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~sr
       let prepared =
         Array.init size (fun k ->
             let gi = lo + k in
-            let drng = Setup.device_input_rng pop gi in
-            let byz = device_byz drng in
-            let bin = device_bin drng in
-            let row = src.row gi in
-            let row = if byz then Array.map (fun _ -> 1) row else row in
-            let slots = Array.make slots_needed 0 in
-            Array.iteri
-              (fun j v -> if j < cols then slots.((bin * cols) + j) <- v)
-              row;
-            let rand =
-              Array.init ct_count (fun _ ->
-                  C.Bgv.sample_encrypt_randomness pk drng)
-            in
-            (byz, slots, row, rand))
+            (* A device outside the sample does no work at all: no stream
+               draw, no row, no upload. *)
+            if not (dev_included gi) then None
+            else
+              let drng = Setup.device_input_rng pop gi in
+              let byz = device_byz drng in
+              let bin = device_bin drng in
+              let row = src.row gi in
+              let row = if byz then Array.map (fun _ -> 1) row else row in
+              let slots = Array.make slots_needed 0 in
+              Array.iteri
+                (fun j v -> if j < cols then slots.((bin * cols) + j) <- v)
+                row;
+              let rand =
+                Array.init ct_count (fun _ ->
+                    C.Bgv.sample_encrypt_randomness pk drng)
+              in
+              Some (byz, slots, row, rand))
       in
       (* Pass 2 (parallel fan-out): the deterministic per-device compute —
          proof construction and the encryption arithmetic (no RNG access in
          Bgv.encrypt_with_randomness). *)
       let computed =
         parallel_map ~workers:cfg.workers size (fun k ->
-            let byz, slots, row, rand = prepared.(k) in
+            match prepared.(k) with
+            | None -> None
+            | Some (byz, slots, row, rand) ->
             (* The proof statement covers the full slot layout for one-hot
                rows (so a device cannot claim several bins); range
                statements cover the raw row. *)
@@ -890,14 +967,18 @@ let execute_inner cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~sr
                   C.Bgv.encrypt_with_randomness pk rand.(kk)
                     (Array.sub slots slo len))
             in
-            (proof, cts))
+            Some (proof, cts))
       in
       (* Pass 3 (sequential, canonical order): trace accounting, the lossy
          uplink (per-kind fault streams fire in device order), verification
          and aggregation. *)
       let cohort_cts = ref [] in
       Array.iteri
-        (fun k (proof, cts) ->
+        (fun k result ->
+          match result with
+          | None -> ()
+          | Some (proof, cts) ->
+          incr included_devices;
           let gi = lo + k in
           let prover = string_of_int gi in
           trace.Trace.device_encrypt_ops <-
@@ -967,43 +1048,50 @@ let execute_inner cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~sr
          from the same closed-form per-device costs the materialized path
          charges, so report accounting stays Full-comparable. *)
       let byz_count = ref 0 in
+      let inc_count = ref 0 in
       for k = 0 to size - 1 do
         let gi = lo + k in
-        let drng = Setup.device_input_rng pop gi in
-        if device_byz drng then incr byz_count
-        else begin
-          let bin = device_bin drng in
-          let row = src.row gi in
-          Array.iteri
-            (fun j v ->
-              if j < cols then
-                residual.((bin * cols) + j) <- residual.((bin * cols) + j) + v)
-            row
+        if dev_included gi then begin
+          incr inc_count;
+          let drng = Setup.device_input_rng pop gi in
+          if device_byz drng then incr byz_count
+          else begin
+            let bin = device_bin drng in
+            let row = src.row gi in
+            Array.iteri
+              (fun j v ->
+                if j < cols then
+                  residual.((bin * cols) + j) <- residual.((bin * cols) + j) + v)
+              row
+          end
         end
       done;
-      let honest = size - !byz_count in
+      let streamed = !inc_count in
+      included_devices := !included_devices + streamed;
+      let honest = streamed - !byz_count in
       residual_devices := !residual_devices + honest;
       accepted := !accepted + honest;
       rejected := !rejected + !byz_count;
       trace.Trace.device_encrypt_ops <-
-        trace.Trace.device_encrypt_ops + (size * ct_count);
+        trace.Trace.device_encrypt_ops + (streamed * ct_count);
       trace.Trace.device_proof_constraints <-
-        trace.Trace.device_proof_constraints + (size * constraints);
+        trace.Trace.device_proof_constraints + (streamed * constraints);
       trace.Trace.device_upload_bytes <-
-        trace.Trace.device_upload_bytes +. float_of_int (size * upload_bytes);
-      trace.Trace.agg_proofs_verified <- trace.Trace.agg_proofs_verified + size;
+        trace.Trace.device_upload_bytes +. float_of_int (streamed * upload_bytes);
+      trace.Trace.agg_proofs_verified <-
+        trace.Trace.agg_proofs_verified + streamed;
       trace.Trace.agg_proofs_rejected <-
         trace.Trace.agg_proofs_rejected + !byz_count;
       trace.Trace.upload_latency_s <-
-        trace.Trace.upload_latency_s +. (float_of_int size *. clean_latency);
-      adv cfg (float_of_int size *. clean_latency);
+        trace.Trace.upload_latency_s +. (float_of_int streamed *. clean_latency);
+      adv cfg (float_of_int streamed *. clean_latency);
       if sum_outsourced then
         trace.Trace.device_tree_adds <-
           trace.Trace.device_tree_adds + (max 0 (honest - 1) * ct_count)
       else
         trace.Trace.agg_he_adds <- trace.Trace.agg_he_adds + (honest * ct_count);
       Audit.record_step audit
-        (Printf.sprintf "cohort-extrapolate|%d|%d|%d" c size !byz_count)
+        (Printf.sprintf "cohort-extrapolate|%d|%d|%d" c streamed !byz_count)
     end
   done;
   match cfg.tracer with
@@ -1163,6 +1251,24 @@ let execute_inner cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~sr
         done;
         !acc)
   in
+  (* Coarsened-scan variant: the plan grouped adjacent bins homomorphically
+     before decryption, so downstream stages see group-resolution sums
+     (each group's mass on its first bin, full width preserved). *)
+  let sums =
+    let groups =
+      List.fold_left
+        (fun acc (v : Plan.vignette) ->
+          match v.Plan.work with
+          | Plan.W_he_coarsen { groups; _ } -> Some groups
+          | _ -> acc)
+        None plan.Plan.vignettes
+    in
+    match groups with
+    | None -> sums
+    | Some groups ->
+        Audit.record_step audit (Printf.sprintf "coarsen|%d" groups);
+        Arb_util.Sketch.coarsen ~groups sums
+  in
   (* Hand the sums from the decryption committee to the operations
      committee with real verifiable secret redistribution (§5.4): each
      decryption-committee member re-shares its Shamir share of the value to
@@ -1261,7 +1367,12 @@ let execute_inner cfg ~(query : Arb_queries.Registry.query) ~(plan : Plan.t) ~sr
       sampled_var = Option.map fst sampled;
     }
   in
-  Hashtbl.replace st.vars "N" (R_clean (V_int n_devices));
+  (* A sampled plan's sums cover only the included devices; pair them with
+     the matching N so ratios computed by the program stay unbiased. *)
+  let n_for_program =
+    match dphi with None -> n_devices | Some _ -> !included_devices
+  in
+  Hashtbl.replace st.vars "N" (R_clean (V_int n_for_program));
   Hashtbl.replace st.vars "C" (R_clean (V_int cols));
   (match sampled with
   | Some (v, _) -> Hashtbl.replace st.vars v (R_clean (V_int 0)) (* placeholder *)

@@ -25,6 +25,7 @@ type population = {
   byzantine_fraction : float;
   input_seed : int64;
   residual_seed : int64;
+  sample_seed : int64;
 }
 
 let population ~seed ~n ~byzantine_fraction =
@@ -34,6 +35,7 @@ let population ~seed ~n ~byzantine_fraction =
     byzantine_fraction;
     input_seed = sub 0x1A51;
     residual_seed = sub 0x1A52;
+    sample_seed = sub 0x1A53;
   }
 
 let population_size pop = C.Sortition.Registry.size pop.registry
@@ -45,6 +47,16 @@ let registry_root pop = C.Sortition.Registry.root pop.registry
    randomness — so a streamed (extrapolated) pass that stops after the bin
    draw perturbs nothing. *)
 let device_input_rng pop id = Arb_util.Rng.derive pop.input_seed id
+
+(* Device-sampling inclusion stream, separate from the input stream so a
+   sampled plan perturbs no input draw: inclusion is pure in (seed, id),
+   hence byte-identical across worker counts and cohort geometries. *)
+let device_sample_rng pop id = Arb_util.Rng.derive pop.sample_seed id
+
+let device_sampled pop ~phi id =
+  match phi with
+  | None -> true
+  | Some phi -> Arb_util.Rng.uniform01 (device_sample_rng pop id) < phi
 
 let residual_rng pop = Arb_util.Rng.create pop.residual_seed
 

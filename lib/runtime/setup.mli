@@ -51,6 +51,16 @@ val device_input_rng : population -> int -> Arb_util.Rng.t
     randomness — streamed (extrapolated) passes stop after the bin draw
     without perturbing any other device's stream. *)
 
+val device_sample_rng : population -> int -> Arb_util.Rng.t
+(** Device [id]'s sampling-inclusion stream — separate from
+    {!device_input_rng} so a sampled plan perturbs no input draw. *)
+
+val device_sampled : population -> phi:float option -> int -> bool
+(** Whether device [id] participates under device-sampling rate [phi]
+    ([None] = exact plan, everyone participates). Pure in
+    [(population seed, id)], hence byte-identical across worker counts and
+    cohort geometries. *)
+
 val residual_rng : population -> Arb_util.Rng.t
 (** Dedicated stream for encrypting the residual (extrapolated-cohort)
     aggregate; independent of the session and of every device stream. *)

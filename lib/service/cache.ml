@@ -73,22 +73,28 @@ let limits_repr (l : P.Constraints.limits) =
       opt l.max_part_max_time;
       opt l.max_part_exp_bytes;
       opt l.max_part_max_bytes;
+      opt l.max_est_error;
     ]
 
 let key ?(limits = P.Constraints.no_limits) ~goal
     ~(query : Arb_queries.Registry.query) ~n () =
   (* The program's canonical pretty-printed form — not the registry name —
      identifies the query, together with every other search input. The
-     leading tag versions the canonicalization itself. *)
+     leading tag versions the canonicalization itself (v2: the error
+     tolerance joined the key, so pre-approximation entries demote to
+     misses instead of serving a plan computed under other constraints). *)
   let canonical =
     String.concat "\n"
       [
-        "arb-plan-cache-key-v1";
+        "arb-plan-cache-key-v2";
         Arb_lang.Pretty.stmt query.Arb_queries.Registry.program.Arb_lang.Ast.body;
         row_repr query.Arb_queries.Registry.program.Arb_lang.Ast.row;
         float_repr query.Arb_queries.Registry.program.Arb_lang.Ast.epsilon;
         string_of_int n;
         string_of_int query.Arb_queries.Registry.categories;
+        (match query.Arb_queries.Registry.error_tolerance with
+        | None -> "-"
+        | Some tol -> float_repr tol);
         limits_repr limits;
         P.Constraints.goal_name goal;
       ]

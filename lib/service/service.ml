@@ -81,7 +81,7 @@ let calibration_fingerprint t = (calibration t).P.Calibration.fingerprint
 (* Price a cached plan's metrics under a (possibly new) cost model — the
    same [combine]-over-[price] arithmetic the search's winner carries. *)
 let price_entry cm ~devices ~cols (plan : P.Plan.t) =
-  P.Cost_model.combine ~n_devices:devices
+  P.Cost_model.combine ?sample_phi:plan.P.Plan.device_sample ~n_devices:devices
     (List.map
        (P.Cost_model.price cm ~n_devices:devices
           ~m:plan.P.Plan.committee_size ~cols)
@@ -315,15 +315,29 @@ let drain ?tracer ?(workers = 1) t =
           :: !refused
       in
       match
-        match sub.Workload.categories with
-        | Some c ->
-            Q.make ~epsilon:sub.Workload.epsilon ~name:sub.Workload.query ~c ()
-        | None -> Q.test_instance ~epsilon:sub.Workload.epsilon sub.Workload.query
+        let q =
+          match sub.Workload.categories with
+          | Some c ->
+              Q.make ~epsilon:sub.Workload.epsilon ~name:sub.Workload.query ~c
+                ()
+          | None ->
+              Q.test_instance ~epsilon:sub.Workload.epsilon sub.Workload.query
+        in
+        { q with Q.error_tolerance = sub.Workload.tolerance }
       with
       | exception Not_found ->
           refuse
             (Printf.sprintf "unknown query %S (see `arb list`)"
                sub.Workload.query)
+      | query when
+          (match sub.Workload.tolerance with
+          | Some tol -> not (tol > 0.0 && tol <= 1.0)
+          | None -> false) ->
+          (* Refused before any budget projection: an invalid tolerance
+             leaves both the global and window balances byte-identical. *)
+          refuse ~categories:query.Q.categories
+            (Printf.sprintf "tolerance must be in (0, 1], got %g"
+               (Option.get sub.Workload.tolerance))
       | query -> (
           let categories = query.Q.categories in
           let cert = Arb_lang.Certify.certify query.Q.program ~n in
@@ -392,10 +406,14 @@ let drain ?tracer ?(workers = 1) t =
       let i = Atomic.fetch_and_add next 1 in
       if i < Array.length tasks then begin
         let _, query, goal = tasks.(i) in
+        let limits =
+          P.Constraints.with_error_tolerance P.Constraints.no_limits
+            query.Q.error_tolerance
+        in
         slots.(i) <-
           Some
-            (P.Search.plan ~cm ~goal ~limits:P.Constraints.no_limits
-               ?tracer:children.(i) ?metrics:t.metrics ~query ~n ());
+            (P.Search.plan ~cm ~goal ~limits ?tracer:children.(i)
+               ?metrics:t.metrics ~query ~n ());
         loop ()
       end
     in

@@ -15,6 +15,7 @@ type submission = {
   repeat : int;
   every : int option;
   window : window_spec option;
+  tolerance : float option;
 }
 
 type t = {
@@ -133,6 +134,9 @@ let submission_to_json s =
          (match s.window with
          | None -> []
          | Some w -> [ ("window", window_to_json w) ]);
+         (match s.tolerance with
+         | None -> []
+         | Some tol -> [ ("tolerance", J.Float tol) ]);
        ])
 
 let to_json t =
@@ -188,18 +192,20 @@ let submission_of_json j =
         in
         let every = Option.map J.to_int (opt_member "every" j) in
         let window = Option.map window_of_json (opt_member "window" j) in
+        let tolerance = Option.map J.to_float (opt_member "tolerance" j) in
         let goal_spelling =
           match opt_member "goal" j with
           | Some g -> J.to_str g
           | None -> "part-exp-time"
         in
-        (goal_spelling, epsilon, categories, repeat, every, window)
+        (goal_spelling, epsilon, categories, repeat, every, window, tolerance)
       with
       | exception J.Parse_error m ->
           Error (Printf.sprintf "query %s: %s" query m)
       | exception Invalid_argument m ->
           Error (Printf.sprintf "query %s: %s" query m)
-      | goal_spelling, epsilon, categories, repeat, every, window -> (
+      | goal_spelling, epsilon, categories, repeat, every, window, tolerance
+        -> (
           match List.assoc_opt goal_spelling goal_names with
           | None ->
               Error
@@ -210,13 +216,23 @@ let submission_of_json j =
           | Some goal ->
               if repeat <= 0 then
                 Error (Printf.sprintf "query %s: repeat must be positive" query)
-              else
-                let s =
-                  { query; epsilon; categories; goal; repeat; every; window }
-                in
-                (match validate_recurring s with
-                | Ok () -> Ok s
-                | Error e -> Error (recurring_error_message e))))
+              else (
+                match tolerance with
+                | Some tol when not (tol > 0.0 && tol <= 1.0) ->
+                    Error
+                      (Printf.sprintf
+                         "query %s: tolerance must be in (0, 1], got %g" query
+                         tol)
+                | _ ->
+                    let s =
+                      {
+                        query; epsilon; categories; goal; repeat; every; window;
+                        tolerance;
+                      }
+                    in
+                    (match validate_recurring s with
+                    | Ok () -> Ok s
+                    | Error e -> Error (recurring_error_message e)))))
 
 let of_json json =
   match

@@ -4,7 +4,7 @@
     A workload is versioned JSON ({!Arb_planner.Plan_io.format_version}):
 
     {v
-    { "formatVersion": 1,
+    { "formatVersion": 2,
       "budget":  { "epsilon": 3.0, "delta": 1e-6 },
       "devices": 64,
       "seed":    7,
@@ -12,7 +12,7 @@
       "queries": [
         { "query": "top1", "epsilon": 0.5 },
         { "query": "median", "epsilon": 0.4, "categories": 16,
-          "goal": "part-exp-time", "repeat": 3 },
+          "goal": "part-exp-time", "repeat": 3, "tolerance": 0.05 },
         { "query": "top1", "epsilon": 0.5, "every": 1,
           "window": { "epochs": 24, "epsilon": 12.0, "delta": 0.01 } }
       ] }
@@ -45,6 +45,10 @@ type submission = {
   repeat : int;  (** submit this many consecutive copies *)
   every : int option;  (** recurring: re-submit every [every] epochs *)
   window : window_spec option;  (** sliding-window budget (recurring only) *)
+  tolerance : float option;
+      (** analyst error tolerance in (0, 1]: opts the query into the
+          planner's approximate (sampled/sketched) variants; rejected at
+          load when outside the range *)
 }
 
 type t = {

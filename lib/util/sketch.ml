@@ -1,0 +1,63 @@
+(* Small deterministic sketching helpers shared by the approximate plan
+   variants (count-min heavy hitters, coarsened scans) and the continual
+   engine's bounded quantile state. Everything here is pure integer/float
+   arithmetic so results are identical across workers and platforms. *)
+
+(* splitmix64 finalizer: a full-avalanche integer mix. *)
+let mix64 x =
+  let x = Int64.logxor x (Int64.shift_right_logical x 30) in
+  let x = Int64.mul x 0xbf58476d1ce4e5b9L in
+  let x = Int64.logxor x (Int64.shift_right_logical x 27) in
+  let x = Int64.mul x 0x94d049bb133111ebL in
+  Int64.logxor x (Int64.shift_right_logical x 31)
+
+(* The bucket category [item] hashes to in row [row] of a count-min sketch
+   of the given width. Rows use independent hash functions (the row index
+   is folded into the mix), as the CMS guarantee requires. *)
+let cms_bucket ~row ~width item =
+  if width <= 0 then invalid_arg "Sketch.cms_bucket: width <= 0";
+  let h =
+    mix64
+      (Int64.logxor
+         (Int64.mul (Int64.of_int (row + 1)) 0x9e3779b97f4a7c15L)
+         (Int64.of_int item))
+  in
+  Int64.to_int (Int64.unsigned_rem h (Int64.of_int width))
+
+(* Count-min point estimate: the minimum over rows of the counter the item
+   hashes to. [counters] is row-major, [depth * width] long. *)
+let cms_estimate ~depth ~width counters item =
+  let est = ref max_float in
+  for row = 0 to depth - 1 do
+    let c = counters.((row * width) + cms_bucket ~row ~width item) in
+    if c < !est then est := c
+  done;
+  !est
+
+(* Coarsen a histogram to [groups] adjacent-bin groups: each group's mass
+   lands on its first bin, the rest zero. The array keeps its full width so
+   downstream consumers see the same shape; only the resolution drops. *)
+let coarsen ~groups (a : int array) =
+  let n = Array.length a in
+  if groups <= 0 then invalid_arg "Sketch.coarsen: groups <= 0";
+  if groups >= n then Array.copy a
+  else begin
+    let out = Array.make n 0 in
+    let per = (n + groups - 1) / groups in
+    Array.iteri (fun i v -> out.(i / per * per) <- (out.(i / per * per) + v)) a;
+    out
+  end
+
+(* Deterministic eps-approximate quantile decimation: keep every other
+   element of a sorted list. *)
+let rec decimate = function
+  | [] -> []
+  | [ x ] -> [ x ]
+  | keep :: _drop :: rest -> keep :: decimate rest
+
+(* Merge new samples into a sorted bounded reservoir, decimating until the
+   result fits [capacity]. *)
+let merge_bounded ~capacity samples xs =
+  let merged = List.sort Float.compare (List.rev_append xs samples) in
+  let rec shrink s = if List.length s > capacity then shrink (decimate s) else s in
+  shrink merged

@@ -18,7 +18,8 @@ let checks = Alcotest.check Alcotest.string
 let goal = P.Constraints.Min_part_exp_time
 
 let sub ?categories ?(repeat = 1) ?every ?window ~epsilon query =
-  { S.Workload.query; epsilon; categories; goal; repeat; every; window }
+  { S.Workload.query; epsilon; categories; goal; repeat; every; window;
+    tolerance = None }
 
 let win ?compose ~epochs ~epsilon ~delta () =
   {
@@ -203,6 +204,32 @@ let test_drift_forces_one_replan () =
         (String.length reason >= 11 && String.sub reason 0 11 = "calibration")
   | _ -> Alcotest.fail "calibration drift did not force exactly one re-plan");
   checki "exactly two replans total" 2 (view eng a).E.v_replans
+
+let test_tolerance_drift_forces_one_replan () =
+  let _svc, eng = fresh () in
+  let a = register eng (sub ~epsilon:0.5 ~every:1 "top1") in
+  ignore (E.run_epochs eng 2);
+  E.set_tolerance eng a (Some 0.1);
+  let e3 = E.tick eng in
+  (match List.filter_map planned_of e3 with
+  | [ E.Replanned reason ] ->
+      checkb "reason names tolerance" true
+        (String.length reason >= 9 && String.sub reason 0 9 = "tolerance")
+  | _ -> Alcotest.fail "tolerance change did not force exactly one re-plan");
+  let e4 = E.tick eng in
+  checkb "fingerprint refreshed: next epoch revalidates" true
+    (List.filter_map planned_of e4 = [ E.Revalidated ]);
+  (* Dropping back to exact is a drift too — exactly one more re-plan. *)
+  E.set_tolerance eng a None;
+  (match List.filter_map planned_of (E.tick eng) with
+  | [ E.Replanned reason ] ->
+      checkb "reason names tolerance" true
+        (String.length reason >= 9 && String.sub reason 0 9 = "tolerance")
+  | _ -> Alcotest.fail "clearing the tolerance did not force a re-plan");
+  checki "exactly two replans total" 2 (view eng a).E.v_replans;
+  Alcotest.check_raises "invalid tolerance rejected"
+    (Invalid_argument "Engine.set_tolerance: tolerance must be in (0, 1]")
+    (fun () -> E.set_tolerance eng a (Some 2.0))
 
 (* ---------------- window refusal and recovery ---------------- *)
 
@@ -438,6 +465,8 @@ let () =
           Alcotest.test_case "registration" `Quick test_register;
           Alcotest.test_case "cadence and revalidation" `Quick
             test_cadence_and_revalidation;
+          Alcotest.test_case "tolerance drift forces exactly one re-plan"
+            `Quick test_tolerance_drift_forces_one_replan;
           Alcotest.test_case "drift forces exactly one re-plan" `Quick
             test_drift_forces_one_replan;
           Alcotest.test_case "window refusal and recovery" `Quick

@@ -215,6 +215,79 @@ let test_amplification () =
   let small = B.amplified_epsilon ~epsilon:0.1 ~phi:0.01 in
   checkb "linear regime" true (Float.abs (small -. 0.001) < 1e-4)
 
+(* Subsampling amplification: a Bernoulli(phi) device sample charges
+   ln(1 + phi(e^eps - 1)) — strictly below the full epsilon, monotone in
+   the sampling rate. *)
+let prop_amplified_strictly_below_and_monotone =
+  QCheck.Test.make
+    ~name:"amplified epsilon strictly below full, monotone in phi" ~count:500
+    QCheck.(
+      triple (float_range 0.01 5.0) (float_range 0.001 0.99)
+        (float_range 0.001 0.99))
+    (fun (eps, a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      let e_lo = B.amplified_epsilon ~epsilon:eps ~phi:lo
+      and e_hi = B.amplified_epsilon ~epsilon:eps ~phi:hi in
+      e_hi < eps && e_lo <= e_hi && e_lo > 0.0)
+
+let prop_amplify_budget =
+  QCheck.Test.make
+    ~name:"Budget.amplify: strict epsilon shrink, delta scales by phi"
+    ~count:500
+    QCheck.(pair (float_range 0.01 3.0) (float_range 0.001 0.99))
+    (fun (eps, phi) ->
+      let cost = B.create ~epsilon:eps ~delta:1e-6 in
+      let a = B.amplify cost ~phi in
+      a.B.epsilon < cost.B.epsilon
+      && Float.abs (a.B.epsilon -. B.amplified_epsilon ~epsilon:eps ~phi)
+         < 1e-12
+      && Float.abs (a.B.delta -. (1e-6 *. phi)) < 1e-20)
+
+(* A submission whose tolerance is outside (0, 1] is refused at service
+   admission — before any budget projection — so both the session's
+   sliding window and the service's global budget stay byte-identical. *)
+let test_refused_tolerance_budget_intact () =
+  let module Sv = Arb_service.Service in
+  let module Wk = Arb_service.Workload in
+  let module E = Arb_continual.Engine in
+  let svc =
+    Sv.create ~budget:(B.create ~epsilon:2.0 ~delta:1e-6) ~devices:24 ~seed:11
+      ()
+  in
+  let eng = E.create ~service:svc () in
+  let sub =
+    {
+      Wk.query = "top1";
+      epsilon = 0.5;
+      categories = None;
+      goal = Arb_planner.Constraints.Min_part_exp_time;
+      repeat = 1;
+      every = Some 1;
+      window =
+        Some
+          {
+            Wk.w_epochs = 4;
+            w_budget = B.create ~epsilon:1.0 ~delta:1e-6;
+            w_compose = None;
+          };
+      tolerance = Some 1.5;
+    }
+  in
+  (match E.register eng ~carry_state:false sub with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail ("register: " ^ m));
+  let before = Sv.budget_left svc in
+  (match E.tick eng with
+  | [ { E.er_outcome = E.Ran { status = "refused"; _ }; er_window; _ } ] -> (
+      match er_window with
+      | Some (spent, _) ->
+          checkb "window spend untouched" true
+            (B.equal spent (B.create ~epsilon:0.0 ~delta:0.0))
+      | None -> Alcotest.fail "windowed session lost its window")
+  | _ -> Alcotest.fail "invalid tolerance was not refused");
+  checkb "global budget byte-identical" true
+    (B.equal before (Sv.budget_left svc))
+
 let test_advanced_composition () =
   (* Small epsilon, many mechanisms: advanced composition beats basic. *)
   let eps = 0.01 and k = 1000 in
@@ -485,6 +558,10 @@ let () =
           Alcotest.test_case "arithmetic" `Quick test_budget_arithmetic;
           Alcotest.test_case "rejects" `Quick test_budget_rejects;
           Alcotest.test_case "amplification" `Quick test_amplification;
+          qtest prop_amplified_strictly_below_and_monotone;
+          qtest prop_amplify_budget;
+          Alcotest.test_case "refused tolerance leaves budgets intact" `Quick
+            test_refused_tolerance_budget_intact;
           Alcotest.test_case "sqrt-k" `Quick test_sqrt_k;
           Alcotest.test_case "advanced composition" `Quick test_advanced_composition;
           Alcotest.test_case "json roundtrip" `Quick test_budget_json_roundtrip;

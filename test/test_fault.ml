@@ -573,6 +573,7 @@ let net_sub epsilon =
     repeat = 1;
     every = None;
     window = None;
+    tolerance = None;
   }
 
 let with_front_door ?(server_config = S.Server.default_config) f =

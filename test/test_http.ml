@@ -22,7 +22,7 @@ let contains s needle =
 let sub ?categories ?(repeat = 1) ?(goal = P.Constraints.Min_part_exp_time)
     ~epsilon query =
   { S.Workload.query; epsilon; categories; goal; repeat; every = None;
-    window = None }
+    window = None; tolerance = None }
 
 let service ?(epsilon = 100.0) ?(delta = 0.01) ?(devices = 32) ?(seed = 5) () =
   S.Service.create ~budget:(B.create ~epsilon ~delta) ~devices ~seed ()

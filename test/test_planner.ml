@@ -82,7 +82,7 @@ let test_extract_rejects_dynamic () =
 
 (* ---------------- expansion ---------------- *)
 
-let ctx ?(crypto = P.Plan.Ahe) ?(cols = 1024) () =
+let ctx ?(crypto = P.Plan.Ahe) ?(cols = 1024) ?tolerance () =
   {
     P.Expand.n_devices = paper_n;
     cols;
@@ -90,6 +90,7 @@ let ctx ?(crypto = P.Plan.Ahe) ?(cols = 1024) () =
     bins = None;
     cm = Cm.default;
     redundant_boundaries = false;
+    tolerance;
   }
 
 let test_expand_sum_choices () =
@@ -237,7 +238,7 @@ let test_cost_combine_max_semantics () =
     {
       Cm.c_agg_time = 0.0; c_agg_bytes = 0.0; c_all_time = 0.0; c_all_bytes = 0.0;
       c_member_time = t; c_member_bytes = 10.0; c_instances = 1; c_members = 5;
-      c_kind = `Operations;
+      c_kind = `Operations; c_est_error = 0.0;
     }
   in
   let m = Cm.combine ~n_devices:1000 [ mk 10.0; mk 20.0 ] in
@@ -450,6 +451,61 @@ let test_search_stops_at_2_30_under_1000h () =
   checkb "feasible at 2^26" true (at (1 lsl 26));
   checkb "infeasible at 2^30" false (at (1 lsl 30))
 
+(* ---------------- approximate variants under an error tolerance ------ *)
+
+let test_tolerance_byte_identity () =
+  (* Without a tolerance — or with one tighter than any approximate
+     variant — the winner is the byte-identical exact plan. *)
+  let q = Q.paper_instance "top1" in
+  let pick tol =
+    let limits = P.Constraints.with_error_tolerance P.Constraints.no_limits tol in
+    match (P.Search.plan ~limits ~query:q ~n:paper_n ()).P.Search.plan with
+    | Some p -> p
+    | None -> Alcotest.fail "no plan"
+  in
+  let exact = pick None and tight = pick (Some 1e-12) in
+  Alcotest.check Alcotest.string "tight tolerance keeps the exact winner"
+    (Format.asprintf "%a" P.Plan.pp exact)
+    (Format.asprintf "%a" P.Plan.pp tight);
+  checkb "exact winner does not sample" true (exact.P.Plan.device_sample = None)
+
+let test_tolerance_admits_cheaper_winner () =
+  let q = Q.paper_instance "top1" in
+  let goal = P.Constraints.Min_part_exp_time in
+  let run tol =
+    let limits = P.Constraints.with_error_tolerance P.Constraints.no_limits tol in
+    match
+      (P.Search.plan ~goal ~limits ~query:q ~n:paper_n ()).P.Search.metrics
+    with
+    | Some m -> m
+    | None -> Alcotest.fail "no plan"
+  in
+  let m_exact = run None and m_approx = run (Some 0.1) in
+  checkb "exact winner carries zero est_error" true
+    (m_exact.Cm.est_error = 0.0);
+  checkb "approx winner within tolerance" true
+    (m_approx.Cm.est_error > 0.0 && m_approx.Cm.est_error <= 0.1);
+  checkb "approx winner at least 10x cheaper" true
+    (P.Constraints.goal_value goal m_approx
+    <= 0.1 *. P.Constraints.goal_value goal m_exact)
+
+let test_est_error_pricing_and_pruning () =
+  (* The sampling term is 2/sqrt(phi*n), additive with vignette error;
+     plans over the tolerance are pruned like any constraint violation. *)
+  let m = Cm.combine ~sample_phi:0.01 ~n_devices:10_000 [] in
+  checkb "sampling error term" true
+    (Float.abs (m.Cm.est_error -. 0.2) < 1e-9);
+  let q = Q.paper_instance "top1" in
+  let limits =
+    P.Constraints.with_error_tolerance P.Constraints.no_limits (Some 0.05)
+  in
+  let r = P.Search.plan ~limits ~query:q ~n:paper_n () in
+  List.iter
+    (fun (_, (m : Cm.metrics)) ->
+      checkb "every surviving candidate within tolerance" true
+        (m.Cm.est_error <= 0.05))
+    r.P.Search.alternatives
+
 let test_goals_change_plans () =
   (* Different optimization goals must be able to pick different plans:
      minimizing aggregator time favors outsourcing; minimizing expected
@@ -571,6 +627,13 @@ let gen_plan =
         map (fun inputs -> P.Plan.W_mpc_sample_index { inputs }) small;
         map (fun values -> P.Plan.W_mpc_output { values }) small;
         map (fun flops -> P.Plan.W_post { flops }) small;
+        map3
+          (fun crypto cts (width, depth) ->
+            P.Plan.W_he_sketch { crypto; cts; width; depth })
+          crypto small (pair small (1 -- 8));
+        map3
+          (fun crypto cts groups -> P.Plan.W_he_coarsen { crypto; cts; groups })
+          crypto small small;
       ]
   in
   let location =
@@ -589,13 +652,15 @@ let gen_plan =
     let* sample_bins = opt (1 -- 1024) in
     let* committee_count = 0 -- 4096 in
     let* committee_size = 1 -- 80 in
-    let* em_variant = oneofl [ `Gumbel; `Exponentiate; `None ] in
+    let* em_variant = oneofl [ `Gumbel; `Exponentiate; `Sketch; `None ] in
+    let* device_sample = opt (map (fun k -> 1.0 /. float_of_int k) (1 -- 1000)) in
     return
       {
         P.Plan.query;
         crypto;
         vignettes;
         sample_bins;
+        device_sample;
         committee_count;
         committee_size;
         em_variant;
@@ -612,8 +677,8 @@ let gen_metrics =
   let finite = map (fun f -> if Float.is_finite f then f else 0.0) float in
   let metrics =
     map
-      (fun (agg_time, agg_bytes, part_exp_time, part_max_time,
-            part_exp_bytes, part_max_bytes) ->
+      (fun ((agg_time, agg_bytes, part_exp_time, part_max_time,
+             part_exp_bytes, part_max_bytes), est_error) ->
         {
           Cm.agg_time;
           agg_bytes;
@@ -621,8 +686,9 @@ let gen_metrics =
           part_max_time;
           part_exp_bytes;
           part_max_bytes;
+          est_error;
         })
-      (tup6 finite finite finite finite finite finite)
+      (pair (tup6 finite finite finite finite finite finite) finite)
   in
   QCheck.make ~print:(Format.asprintf "%a" Cm.pp_metrics) metrics
 
@@ -761,6 +827,12 @@ let () =
           Alcotest.test_case "limit forces outsourcing" `Quick
             test_search_aggregator_limit_forces_outsourcing;
           Alcotest.test_case "red line stops" `Quick test_search_stops_at_2_30_under_1000h;
+          Alcotest.test_case "tolerance: exact byte-identity" `Quick
+            test_tolerance_byte_identity;
+          Alcotest.test_case "tolerance: cheaper winner admitted" `Quick
+            test_tolerance_admits_cheaper_winner;
+          Alcotest.test_case "tolerance: est_error priced and pruned" `Quick
+            test_est_error_pricing_and_pruning;
           Alcotest.test_case "goals change plans" `Quick test_goals_change_plans;
           Alcotest.test_case "calibration sane" `Slow test_calibrate_produces_sane_constants;
           Alcotest.test_case "plan pretty-prints" `Quick test_plan_pretty_prints;

@@ -444,7 +444,7 @@ let test_runtime_rejects_uncertifiable () =
           row = L.Ast.One_hot 4;
           epsilon = 1.0;
         };
-      categories = 4; uses_em = false;
+      categories = 4; uses_em = false; error_tolerance = None;
     }
   in
   let db = Array.make 64 [| 1; 0; 0; 0 |] in
@@ -652,6 +652,71 @@ let test_session_round_limit () =
   | Ok _ -> Alcotest.fail "round limit must bind"
   | Error m -> checkb "mentions the round limit" true (String.length m > 10)
 
+(* ---------------- sampled-vs-full differential (approximation) -------- *)
+
+let test_sampled_vs_full_within_est_error () =
+  (* The tolerance winner executes a PRF-derived device sample; its
+     declassified answer must stay within the priced est_error bound of
+     the full run's answer, on both heavy hitters and quantiles. *)
+  let n = 20_000 in
+  let goal = P.Constraints.Min_part_exp_time in
+  let sharded =
+    {
+      R.Exec.default_config with
+      R.Exec.seed = 3L;
+      budget = big_budget;
+      sharding = R.Exec.Sharded { cohort_size = 1_024; sampled_cohorts = 1 };
+    }
+  in
+  let check_query name measure =
+    let q = Q.test_instance ~epsilon:1.0 name in
+    let src = { R.Exec.n_devices = n; row = Q.device_source ~seed:7L q } in
+    let plan_with tol =
+      let limits =
+        P.Constraints.with_error_tolerance P.Constraints.no_limits tol
+      in
+      let r = P.Search.plan ~goal ~limits ~query:q ~n () in
+      match (r.P.Search.plan, r.P.Search.metrics) with
+      | Some p, Some m -> (p, m)
+      | _ -> Alcotest.fail "no plan"
+    in
+    let p_full, _ = plan_with None in
+    let p_samp, m_samp = plan_with (Some 0.1) in
+    checkb (name ^ ": tolerance winner samples devices") true
+      (p_samp.P.Plan.device_sample <> None);
+    let full = R.Exec.execute_source sharded ~query:q ~plan:p_full ~src in
+    let samp = R.Exec.execute_source sharded ~query:q ~plan:p_samp ~src in
+    let sums = Array.make q.Q.categories 0 in
+    for i = 0 to n - 1 do
+      Array.iteri (fun j v -> sums.(j) <- sums.(j) + v) (src.R.Exec.row i)
+    done;
+    let err = measure sums (first_int full) (first_int samp) in
+    checkb
+      (Printf.sprintf "%s: measured error %.4f within est %.4f" name err
+         m_samp.P.Cost_model.est_error)
+      true
+      (err <= m_samp.P.Cost_model.est_error)
+  in
+  (* heavy hitters: relative count gap between the full and sampled picks *)
+  check_query "top1" (fun sums i_full i_samp ->
+      let c_full = sums.(i_full) in
+      float_of_int (abs (c_full - sums.(i_samp)))
+      /. float_of_int (max 1 c_full));
+  (* quantiles: rank-mass distance between the chosen bins' CDF intervals
+     (bin i covers [cdf(i-1), cdf(i)]; overlapping bins have distance 0) *)
+  check_query "median" (fun sums i_full i_samp ->
+      let total = Array.fold_left ( + ) 0 sums in
+      let cdf i =
+        let acc = ref 0 in
+        for j = 0 to i do
+          acc := !acc + sums.(j)
+        done;
+        float_of_int !acc /. float_of_int (max 1 total)
+      in
+      let lo i = if i = 0 then 0.0 else cdf (i - 1) in
+      Float.max 0.0
+        (Float.max (lo i_samp -. cdf i_full) (lo i_full -. cdf i_samp)))
+
 let () =
   Alcotest.run "arb_runtime"
     [
@@ -684,6 +749,8 @@ let () =
             test_device_sum_tree_execution;
           Alcotest.test_case "byte-identical across worker counts" `Slow
             test_workers_byte_identical;
+          Alcotest.test_case "sampled-vs-full within est_error" `Slow
+            test_sampled_vs_full_within_est_error;
           Alcotest.test_case "sortition spot checks" `Slow test_sortition_spot_checks;
           Alcotest.test_case "churn reassignment" `Slow test_churn_reassignment;
           Alcotest.test_case "catastrophic churn aborts" `Quick

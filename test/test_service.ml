@@ -34,7 +34,7 @@ let write_file path text =
 let sub ?categories ?(repeat = 1) ?(goal = P.Constraints.Min_part_exp_time)
     ~epsilon query =
   { S.Workload.query; epsilon; categories; goal; repeat; every = None;
-    window = None }
+    window = None; tolerance = None }
 
 let service ?cache ?(epsilon = 100.0) ?(delta = 0.01) ?(devices = 32) ?(seed = 5)
     () =
@@ -82,7 +82,7 @@ let test_plan_io_rejects_malformed () =
   | Error m -> checkb "mentions the version" true (contains m "999"));
   Sys.remove stale;
   let truncated = tmp_path "truncated.json" in
-  write_file truncated "{\"formatVersion\": 1, \"plan\": {\"query\": \"x\"}}";
+  write_file truncated "{\"formatVersion\": 2, \"plan\": {\"query\": \"x\"}}";
   match P.Plan_io.load_plan truncated with
   | Ok _ -> Alcotest.fail "loaded a plan missing fields"
   | Error m ->
@@ -501,18 +501,18 @@ let test_workload_file_roundtrip () =
 
 let test_workload_file_rejects () =
   let path = tmp_path "bad-workload.json" in
-  write_file path "{\"formatVersion\": 1, \"queries\": [{\"epsilon\": 1}]}";
+  write_file path "{\"formatVersion\": 2, \"queries\": [{\"epsilon\": 1}]}";
   (match S.Workload.load path with
   | Ok _ -> Alcotest.fail "loaded a workload entry without a query name"
   | Error m -> checkb "mentions the query field" true (contains m "query"));
   write_file path
-    "{\"formatVersion\": 1, \"queries\": [{\"query\": \"top1\", \"goal\": \
+    "{\"formatVersion\": 2, \"queries\": [{\"query\": \"top1\", \"goal\": \
      \"warp-speed\"}]}";
   (match S.Workload.load path with
   | Ok _ -> Alcotest.fail "loaded a workload with an unknown goal"
   | Error m -> checkb "mentions the goal" true (contains m "warp-speed"));
   write_file path
-    "{\"formatVersion\": 1, \"queries\": [{\"query\": \"top1\", \"repeat\": 0}]}";
+    "{\"formatVersion\": 2, \"queries\": [{\"query\": \"top1\", \"repeat\": 0}]}";
   (match S.Workload.load path with
   | Ok _ -> Alcotest.fail "loaded a workload with repeat 0"
   | Error m -> checkb "mentions repeat" true (contains m "repeat"));
